@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Baselines Bechamel Benchmark Chameleondb Harness Hashtbl Kv_common List Measure Metrics Pmem_sim Printf Staged Test Time Toolkit Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Harness List Printf String Sys Unix

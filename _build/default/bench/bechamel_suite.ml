@@ -1,0 +1,132 @@
+(* Bechamel micro-benchmarks: one Test.make per paper table/figure, each
+   timing (in real wall-clock time) the hot operation that experiment
+   stresses.  These measure the cost of the simulation itself; the simulated
+   performance numbers come from the experiment harness. *)
+
+open Bechamel
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Types = Kv_common.Types
+module Store_intf = Kv_common.Store_intf
+module Config = Chameleondb.Config
+
+let small_scale =
+  { Harness.Stores.quick with
+    Harness.Stores.shards = 8;
+    memtable_slots = 128;
+    load_keys = 20_000 }
+
+let loaded_handle handle =
+  let _ =
+    Harness.Stores.load_unique ~handle ~threads:1 ~start_at:0.0
+      ~n:small_scale.Harness.Stores.load_keys ~vlen:8
+  in
+  handle
+
+let put_test ~name handle =
+  let handle = loaded_handle handle in
+  let clock = Clock.create ~at:1e12 () in
+  let i = ref small_scale.Harness.Stores.load_keys in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr i;
+         handle.Store_intf.put clock (Workload.Keyspace.key_of_index !i)
+           ~vlen:8))
+
+let get_test ~name handle =
+  let handle = loaded_handle handle in
+  let clock = Clock.create ~at:1e12 () in
+  let rng = Workload.Rng.create ~seed:13 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore
+           (handle.Store_intf.get clock
+              (Workload.Keyspace.key_of_index
+                 (Workload.Rng.int rng small_scale.Harness.Stores.load_keys)))))
+
+let chameleon_make ?(f = fun c -> c) () =
+  (Harness.Stores.chameleon ~f small_scale).Harness.Stores.make ()
+
+let lsm_make variant =
+  Baselines.Pmem_lsm.handle
+    (Baselines.Pmem_lsm.create
+       ~cfg:(Harness.Stores.chameleon_cfg small_scale)
+       variant)
+
+let tests () =
+  let dev = Device.create Pmem_sim.Cost_model.optane in
+  let dev_clock = Clock.create () in
+  let rng = Workload.Rng.create ~seed:1 in
+  let ycsb =
+    Workload.Ycsb.create ~mix:Workload.Ycsb.A
+      ~loaded:small_scale.Harness.Stores.load_keys ()
+  in
+  let ycsb_handle = loaded_handle (chameleon_make ()) in
+  let ycsb_clock = Clock.create ~at:1e12 () in
+  [ Test.make ~name:"fig1/device-256B-write"
+      (Staged.stage (fun () ->
+           Device.charge_write_at dev dev_clock
+             ~off:(Workload.Rng.int rng 100_000 * 256)
+             ~len:256));
+    get_test ~name:"fig2/pmem-lsm-f-get" (lsm_make Baselines.Pmem_lsm.F);
+    put_test ~name:"fig10/chameleondb-put" (chameleon_make ());
+    put_test ~name:"fig11-tab2/pmem-hash-put"
+      (Baselines.Pmem_hash.handle (Baselines.Pmem_hash.create ()));
+    get_test ~name:"fig12/chameleondb-get" (chameleon_make ());
+    get_test ~name:"fig13-tab3/dram-hash-get"
+      (Baselines.Dram_hash.handle (Baselines.Dram_hash.create ()));
+    put_test ~name:"tab4-fig3/pmem-lsm-pink-put"
+      (lsm_make Baselines.Pmem_lsm.Pink);
+    Test.make ~name:"fig14/ycsb-a-op"
+      (Staged.stage (fun () ->
+           Store_intf.apply ycsb_handle ycsb_clock (Workload.Ycsb.next ycsb)));
+    put_test ~name:"fig15/chameleondb-wim-put"
+      (chameleon_make ~f:(fun c -> { c with Config.write_intensive = true }) ());
+    get_test ~name:"fig16/chameleondb-gpm-get"
+      (chameleon_make ~f:(fun c -> { c with Config.gpm_enabled = true }) ());
+    put_test ~name:"fig17/novelsm-put"
+      (Baselines.Novelsm.handle (Baselines.Novelsm.create ()));
+    put_test ~name:"fig17/matrixkv-put"
+      (Baselines.Matrixkv.handle (Baselines.Matrixkv.create ()));
+    get_test ~name:"wa/pmem-lsm-nf-get" (lsm_make Baselines.Pmem_lsm.Nf) ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"chameleondb" (tests ()))
+  in
+  let results = Analyze.all ols instance raw in
+  let tbl =
+    Metrics.Table_fmt.create
+      ~title:"Bechamel micro-benchmarks (real ns per simulated operation)"
+      ~columns:
+        [ ("benchmark", Metrics.Table_fmt.Left);
+          ("ns/op", Metrics.Table_fmt.Right);
+          ("r^2", Metrics.Table_fmt.Right) ]
+  in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Metrics.Table_fmt.cell_f e
+        | _ -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "n/a"
+      in
+      Metrics.Table_fmt.add_row tbl [ name; est; r2 ])
+    rows;
+  Metrics.Table_fmt.print tbl

@@ -1,0 +1,297 @@
+(* ckv — command-line driver for the ChameleonDB reproduction.
+
+   ckv load  --store ChameleonDB --keys 200000 --threads 8
+   ckv ycsb  --mix B --ops 50000 --store all
+   ckv bench fig10 tab4 --quick
+   ckv list *)
+
+open Cmdliner
+module Store_intf = Kv_common.Store_intf
+module Table = Metrics.Table_fmt
+
+let scale_of_quick quick =
+  if quick then Harness.Stores.quick else Harness.Stores.default
+
+let store_names scale =
+  List.map (fun s -> s.Harness.Stores.name) (Harness.Stores.all scale)
+
+let resolve_stores scale name =
+  if name = "all" then Harness.Stores.all scale
+  else [ Harness.Stores.find scale name ]
+
+(* ------------------------------- load command ---------------------------- *)
+
+let run_load store keys threads quick =
+  let scale = scale_of_quick quick in
+  let tbl =
+    Table.create
+      ~title:(Printf.sprintf "load %d unique keys, %d threads" keys threads)
+      ~columns:
+        [ ("store", Table.Left); ("Mops/s", Table.Right);
+          ("put p50", Table.Right); ("put p99.9", Table.Right);
+          ("WA", Table.Right); ("DRAM", Table.Right) ]
+  in
+  List.iter
+    (fun spec ->
+      let handle = spec.Harness.Stores.make () in
+      let before =
+        Pmem_sim.Stats.copy (Pmem_sim.Device.stats handle.Store_intf.device)
+      in
+      let r =
+        Harness.Stores.load_unique ~handle ~threads ~start_at:0.0 ~n:keys
+          ~vlen:8
+      in
+      let delta =
+        Pmem_sim.Stats.diff
+          ~after:(Pmem_sim.Device.stats handle.Store_intf.device)
+          ~before
+      in
+      Table.add_row tbl
+        [ spec.Harness.Stores.name;
+          Table.cell_f (Harness.Stores.sustained_mops ~handle r);
+          Table.cell_ns
+            (Metrics.Histogram.percentile r.Harness.Runner.put_latency 50.0);
+          Table.cell_ns
+            (Metrics.Histogram.percentile r.Harness.Runner.put_latency 99.9);
+          Table.cell_f
+            (delta.Pmem_sim.Stats.media_write_bytes
+            /. float_of_int (keys * 24));
+          Table.cell_bytes (handle.Store_intf.dram_footprint ()) ])
+    (resolve_stores scale store);
+  Table.print tbl
+
+(* ------------------------------- ycsb command ---------------------------- *)
+
+let run_ycsb store mix ops threads quick =
+  let scale = scale_of_quick quick in
+  let mix =
+    match String.uppercase_ascii mix with
+    | "LOAD" -> Workload.Ycsb.Load
+    | "A" -> Workload.Ycsb.A
+    | "B" -> Workload.Ycsb.B
+    | "C" -> Workload.Ycsb.C
+    | "D" -> Workload.Ycsb.D
+    | "F" -> Workload.Ycsb.F
+    | s -> failwith ("unknown YCSB mix: " ^ s)
+  in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s: %d requests, %d threads over %d keys"
+           (Workload.Ycsb.name mix) ops threads scale.Harness.Stores.load_keys)
+      ~columns:
+        [ ("store", Table.Left); ("Mops/s", Table.Right);
+          ("p50", Table.Right); ("p99", Table.Right) ]
+  in
+  List.iter
+    (fun spec ->
+      let handle = spec.Harness.Stores.make () in
+      let load =
+        Harness.Stores.load_unique ~handle ~threads ~start_at:0.0
+          ~n:scale.Harness.Stores.load_keys ~vlen:8
+      in
+      let r =
+        match mix with
+        | Workload.Ycsb.Load -> load
+        | _ ->
+          let gen =
+            Workload.Ycsb.create ~mix
+              ~loaded:scale.Harness.Stores.load_keys ()
+          in
+          Harness.Runner.run_ops ~handle ~threads
+            ~start_at:(Harness.Stores.settled_cursor ~handle load)
+            ~ops
+            ~next:(fun () -> Workload.Ycsb.next gen)
+            ()
+      in
+      Table.add_row tbl
+        [ spec.Harness.Stores.name;
+          Table.cell_f (Harness.Runner.throughput_mops r);
+          Table.cell_ns
+            (Metrics.Histogram.percentile r.Harness.Runner.latency 50.0);
+          Table.cell_ns
+            (Metrics.Histogram.percentile r.Harness.Runner.latency 99.0) ])
+    (resolve_stores scale store);
+  Table.print tbl
+
+(* ----------------------------- inspect command --------------------------- *)
+
+let run_inspect keys quick =
+  let scale = scale_of_quick quick in
+  let cfg = Harness.Stores.chameleon_cfg scale in
+  let db = Chameleondb.Store.create ~cfg () in
+  let clock = Pmem_sim.Clock.create () in
+  for i = 0 to keys - 1 do
+    Chameleondb.Store.put db clock (Workload.Keyspace.key_of_index i) ~vlen:8
+  done;
+  Printf.printf "Loaded %d keys in %.2f simulated ms.\n\n" keys
+    (Pmem_sim.Clock.now clock /. 1e6);
+  print_string (Chameleondb.Report.to_string db)
+
+(* ------------------------------ trace command ---------------------------- *)
+
+let parse_mix s =
+  match String.uppercase_ascii s with
+  | "LOAD" -> Workload.Ycsb.Load
+  | "A" -> Workload.Ycsb.A
+  | "B" -> Workload.Ycsb.B
+  | "C" -> Workload.Ycsb.C
+  | "D" -> Workload.Ycsb.D
+  | "F" -> Workload.Ycsb.F
+  | other -> failwith ("unknown YCSB mix: " ^ other)
+
+let run_trace record replay mix ops store quick =
+  let scale = scale_of_quick quick in
+  match (record, replay) with
+  | Some path, None ->
+    let gen =
+      Workload.Ycsb.create ~mix:(parse_mix mix)
+        ~loaded:scale.Harness.Stores.load_keys ()
+    in
+    let t =
+      Workload.Trace.record ~n:ops ~gen:(fun () -> Workload.Ycsb.next gen)
+    in
+    Workload.Trace.save t path;
+    Printf.printf "recorded %d %s operations to %s\n" ops mix path
+  | None, Some path ->
+    let t = Workload.Trace.load path in
+    List.iter
+      (fun spec ->
+        let handle = spec.Harness.Stores.make () in
+        let load =
+          Harness.Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+            ~n:scale.Harness.Stores.load_keys ~vlen:8
+        in
+        let next = Workload.Trace.replayer t in
+        let gen ~thread:_ ~now:_ = next () in
+        let r =
+          Harness.Runner.run ~handle ~threads:8
+            ~start_at:(Harness.Stores.settled_cursor ~handle load)
+            ~gen ()
+        in
+        Printf.printf "%-16s replayed %d ops: %.2f Mops/s, p99 %s\n"
+          spec.Harness.Stores.name r.Harness.Runner.ops
+          (Harness.Runner.throughput_mops r)
+          (Table.cell_ns
+             (Metrics.Histogram.percentile r.Harness.Runner.latency 99.0)))
+      (resolve_stores scale store)
+  | Some _, Some _ | None, None ->
+    prerr_endline "trace: pass exactly one of --record FILE or --replay FILE";
+    exit 1
+
+(* ------------------------------ bench command ---------------------------- *)
+
+let run_bench ids quick =
+  Harness.Experiments.run_ids ~scale:(scale_of_quick quick) ids
+
+let run_list () =
+  print_endline "experiments:";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-12s %s\n" e.Harness.Experiments.id
+        e.Harness.Experiments.title)
+    Harness.Experiments.all;
+  print_endline "stores:";
+  List.iter
+    (fun n -> Printf.printf "  %s\n" n)
+    (store_names Harness.Stores.default)
+
+(* --------------------------------- wiring -------------------------------- *)
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use the reduced scale.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt string "ChameleonDB"
+    & info [ "store" ] ~docv:"NAME" ~doc:"Store to drive, or $(b,all).")
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N" ~doc:"Thread count.")
+
+let load_cmd =
+  let keys =
+    Arg.(
+      value & opt int 200_000
+      & info [ "keys" ] ~docv:"N" ~doc:"Unique keys to load.")
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load unique keys and report put performance")
+    Term.(const run_load $ store_arg $ keys $ threads_arg $ quick_arg)
+
+let ycsb_cmd =
+  let mix =
+    Arg.(
+      value & opt string "B"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"LOAD, A, B, C, D or F.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 50_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Requests after the load phase.")
+  in
+  Cmd.v
+    (Cmd.info "ycsb" ~doc:"Run a YCSB workload")
+    Term.(const run_ycsb $ store_arg $ mix $ ops $ threads_arg $ quick_arg)
+
+let bench_cmd =
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures")
+    Term.(const run_bench $ ids $ quick_arg)
+
+let trace_cmd =
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE" ~doc:"Record a trace to FILE.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE" ~doc:"Replay the trace in FILE.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "A"
+      & info [ "mix" ] ~docv:"MIX" ~doc:"Mix to record (LOAD|A|B|C|D|F).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 50_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations to record.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Record or replay workload traces")
+    Term.(
+      const run_trace $ record $ replay $ mix $ ops $ store_arg $ quick_arg)
+
+let inspect_cmd =
+  let keys =
+    Arg.(
+      value & opt int 200_000
+      & info [ "keys" ] ~docv:"N" ~doc:"Unique keys to load before dumping.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Load a store and dump its internal state")
+    Term.(const run_inspect $ keys $ quick_arg)
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List experiments and stores")
+    Term.(const run_list $ const ())
+
+let () =
+  let info =
+    Cmd.info "ckv" ~version:"1.0.0"
+      ~doc:"ChameleonDB (EuroSys'21) reproduction driver"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ load_cmd; ycsb_cmd; bench_cmd; trace_cmd; inspect_cmd; list_cmd ]))

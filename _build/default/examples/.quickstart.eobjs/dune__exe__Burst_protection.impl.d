@@ -1,0 +1,1 @@
+examples/burst_protection.ml: Array Chameleondb Float Harness Kv_common List Metrics Pmem_sim Printf Workload

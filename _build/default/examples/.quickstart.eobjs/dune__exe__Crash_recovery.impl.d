@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Baselines Chameleondb Metrics Pmem_sim Printf Workload

@@ -1,0 +1,1 @@
+examples/device_model.ml: Pmem_sim Printf

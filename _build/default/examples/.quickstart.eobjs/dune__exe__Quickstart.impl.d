@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Chameleondb Pmem_sim Printf Workload

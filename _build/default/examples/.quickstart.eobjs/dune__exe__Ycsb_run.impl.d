@@ -1,0 +1,1 @@
+examples/ycsb_run.ml: Array Harness List Metrics Printf Sys Workload

@@ -1,0 +1,66 @@
+(* Run a YCSB mix against every store design and compare throughput — a
+   miniature of the paper's Fig. 14.
+
+   Usage:  dune exec examples/ycsb_run.exe -- [A|B|C|D|F|LOAD] [ops]
+   Default: workload B, 50k requests over a 100k-key store. *)
+
+module Table = Metrics.Table_fmt
+
+let parse_mix = function
+  | "LOAD" -> Workload.Ycsb.Load
+  | "A" -> Workload.Ycsb.A
+  | "B" -> Workload.Ycsb.B
+  | "C" -> Workload.Ycsb.C
+  | "D" -> Workload.Ycsb.D
+  | "F" -> Workload.Ycsb.F
+  | s -> failwith ("unknown workload: " ^ s ^ " (use LOAD|A|B|C|D|F)")
+
+let () =
+  let mix =
+    if Array.length Sys.argv > 1 then parse_mix Sys.argv.(1)
+    else Workload.Ycsb.B
+  in
+  let ops =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 50_000
+  in
+  let scale =
+    { Harness.Stores.quick with Harness.Stores.load_keys = 100_000 }
+  in
+  let threads = 8 in
+  Printf.printf "%s (%s), %d requests, %d threads, %d-key store\n\n"
+    (Workload.Ycsb.name mix)
+    (Workload.Ycsb.description mix)
+    ops threads scale.Harness.Stores.load_keys;
+  let tbl =
+    Table.create ~title:"YCSB throughput"
+      ~columns:
+        [ ("store", Table.Left); ("Mops/s", Table.Right);
+          ("p50", Table.Right); ("p99", Table.Right) ]
+  in
+  List.iter
+    (fun spec ->
+      let handle = spec.Harness.Stores.make () in
+      let load =
+        Harness.Stores.load_unique ~handle ~threads ~start_at:0.0
+          ~n:scale.Harness.Stores.load_keys ~vlen:8
+      in
+      let r =
+        match mix with
+        | Workload.Ycsb.Load -> load
+        | _ ->
+          let gen =
+            Workload.Ycsb.create ~mix ~loaded:scale.Harness.Stores.load_keys ()
+          in
+          Harness.Runner.run_ops ~handle ~threads
+            ~start_at:(Harness.Stores.settled_cursor ~handle load)
+            ~ops
+            ~next:(fun () -> Workload.Ycsb.next gen)
+            ()
+      in
+      Table.add_row tbl
+        [ spec.Harness.Stores.name;
+          Table.cell_f (Harness.Runner.throughput_mops r);
+          Table.cell_ns (Metrics.Histogram.percentile r.Harness.Runner.latency 50.0);
+          Table.cell_ns (Metrics.Histogram.percentile r.Harness.Runner.latency 99.0) ])
+    (Harness.Stores.all scale);
+  Table.print tbl

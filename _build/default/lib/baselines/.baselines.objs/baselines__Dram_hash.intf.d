@@ -1,0 +1,1 @@
+lib/baselines/dram_hash.mli: Kv_common Pmem_sim

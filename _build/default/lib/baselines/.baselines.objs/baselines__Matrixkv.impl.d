@@ -1,0 +1,1 @@
+lib/baselines/matrixkv.ml: Array Hashtbl Int64 Kv_common List Pmem_sim

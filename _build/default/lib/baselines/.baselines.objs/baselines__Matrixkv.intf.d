@@ -1,0 +1,1 @@
+lib/baselines/matrixkv.mli: Kv_common Pmem_sim

@@ -1,0 +1,1 @@
+lib/baselines/novelsm.ml: Array Float Hashtbl Int64 Kv_common List Pmem_sim

@@ -1,0 +1,1 @@
+lib/baselines/novelsm.mli: Kv_common Pmem_sim

@@ -1,0 +1,1 @@
+lib/baselines/pmem_hash.ml: Int64 Kv_common Pmem_sim

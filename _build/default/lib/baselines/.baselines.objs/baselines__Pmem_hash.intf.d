@@ -1,0 +1,1 @@
+lib/baselines/pmem_hash.mli: Kv_common Pmem_sim

@@ -1,0 +1,1 @@
+lib/baselines/pmem_lsm.ml: Array Chameleondb Float Hashtbl Int64 Kv_common List Pmem_sim

@@ -1,0 +1,1 @@
+lib/baselines/pmem_lsm.mli: Chameleondb Kv_common Pmem_sim

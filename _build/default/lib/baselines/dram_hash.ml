@@ -1,0 +1,64 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Types = Kv_common.Types
+module Vlog = Kv_common.Vlog
+module Robinhood = Kv_common.Robinhood
+
+type t = {
+  dev : Device.t;
+  vlog : Vlog.t;
+  mutable index : Robinhood.t;
+}
+
+let create ?dev () =
+  let dev =
+    match dev with
+    | Some d -> d
+    | None -> Device.create Pmem_sim.Cost_model.optane
+  in
+  { dev; vlog = Vlog.create dev; index = Robinhood.create () }
+
+let put t clock key ~vlen =
+  let loc = Vlog.append t.vlog clock key ~vlen in
+  Robinhood.put t.index clock key loc
+
+let get t clock key =
+  match Robinhood.get t.index clock key with
+  | Some loc when not (Types.is_tombstone loc) ->
+    let k, _ = Vlog.read t.vlog clock loc in
+    if Int64.equal k key then Some loc else None
+  | Some _ | None -> None
+
+let delete t clock key =
+  let _loc = Vlog.append t.vlog clock key ~vlen:(-1) in
+  ignore (Robinhood.delete t.index clock key)
+
+let count t = Robinhood.count t.index
+
+let crash t =
+  Device.crash t.dev;
+  Vlog.crash t.vlog;
+  t.index <- Robinhood.create ()
+
+let recover t clock =
+  let t0 = Clock.now clock in
+  Vlog.iter_range t.vlog clock ~lo:0 ~hi:(Vlog.persisted t.vlog)
+    (fun loc key vlen ->
+      if vlen < 0 then ignore (Robinhood.delete t.index clock key)
+      else Robinhood.put t.index clock key loc);
+  Clock.now clock -. t0
+
+let handle t : Kv_common.Store_intf.handle =
+  { name = "Dram-Hash";
+    put = (fun clock key ~vlen -> put t clock key ~vlen);
+    get = (fun clock key -> get t clock key);
+    delete = (fun clock key -> delete t clock key);
+    flush = (fun clock -> Vlog.flush t.vlog clock);
+    crash = (fun () -> crash t);
+    recover = (fun clock -> ignore (recover t clock));
+    dram_footprint =
+      (fun () ->
+        Kv_common.Robinhood.footprint_bytes t.index
+        +. Vlog.dram_footprint t.vlog);
+    device = t.dev;
+    vlog = t.vlog }

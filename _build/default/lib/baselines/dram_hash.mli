@@ -1,0 +1,22 @@
+(** Dram-Hash baseline: a volatile robin-hood hash index over the
+    persistent value log (Section 3.2).
+
+    Best put/get throughput (no LSM maintenance, all index traffic in DRAM)
+    at the price of the largest DRAM footprint and a restart that must scan
+    the {e entire} log to rebuild the index — the design ChameleonDB's ABI
+    borrows speed from while bounding both costs. *)
+
+type t
+
+val create : ?dev:Pmem_sim.Device.t -> unit -> t
+
+val put : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> vlen:int -> unit
+val get : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> Kv_common.Types.loc option
+val delete : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> unit
+
+val count : t -> int
+val crash : t -> unit
+val recover : t -> Pmem_sim.Clock.t -> float
+(** Full log scan; returns restart time (ns). *)
+
+val handle : t -> Kv_common.Store_intf.handle

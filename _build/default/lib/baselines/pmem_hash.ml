@@ -1,0 +1,58 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Types = Kv_common.Types
+module Vlog = Kv_common.Vlog
+module Cceh = Kv_common.Cceh
+
+type t = {
+  dev : Device.t;
+  vlog : Vlog.t;
+  index : Cceh.t;
+}
+
+let create ?dev () =
+  let dev =
+    match dev with
+    | Some d -> d
+    | None -> Device.create Pmem_sim.Cost_model.optane
+  in
+  { dev; vlog = Vlog.create ~fenced:true dev; index = Cceh.create dev }
+
+let put t clock key ~vlen =
+  let loc = Vlog.append t.vlog clock key ~vlen in
+  Cceh.put t.index clock key loc
+
+let get t clock key =
+  match Cceh.get t.index clock key with
+  | Some loc when not (Types.is_tombstone loc) ->
+    let k, _ = Vlog.read t.vlog clock loc in
+    if Int64.equal k key then Some loc else None
+  | Some _ | None -> None
+
+let delete t clock key =
+  let _loc = Vlog.append t.vlog clock key ~vlen:(-1) in
+  ignore (Cceh.delete t.index clock key)
+
+let crash t =
+  Device.crash t.dev;
+  Vlog.crash t.vlog
+
+let recover t clock =
+  let t0 = Clock.now clock in
+  Cceh.recover t.index clock;
+  Clock.now clock -. t0
+
+let cceh t = t.index
+
+let handle t : Kv_common.Store_intf.handle =
+  { name = "Pmem-Hash";
+    put = (fun clock key ~vlen -> put t clock key ~vlen);
+    get = (fun clock key -> get t clock key);
+    delete = (fun clock key -> delete t clock key);
+    flush = (fun clock -> Vlog.flush t.vlog clock);
+    crash = (fun () -> crash t);
+    recover = (fun clock -> ignore (recover t clock));
+    dram_footprint =
+      (fun () -> Cceh.dram_footprint t.index +. Vlog.dram_footprint t.vlog);
+    device = t.dev;
+    vlog = t.vlog }

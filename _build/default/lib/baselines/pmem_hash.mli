@@ -1,0 +1,21 @@
+(** Pmem-Hash baseline: CCEH persistent hash table over a per-operation-
+    persisted value log (Section 3.2).
+
+    Every put performs in-place sub-256 B writes (log entry and 16 B index
+    slot, each individually fenced), so the media write amplification is
+    large and put throughput is the worst in the comparison; recovery, in
+    exchange, only rebuilds the small DRAM directory. *)
+
+type t
+
+val create : ?dev:Pmem_sim.Device.t -> unit -> t
+
+val put : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> vlen:int -> unit
+val get : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> Kv_common.Types.loc option
+val delete : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> unit
+
+val crash : t -> unit
+val recover : t -> Pmem_sim.Clock.t -> float
+
+val cceh : t -> Kv_common.Cceh.t
+val handle : t -> Kv_common.Store_intf.handle

@@ -1,0 +1,369 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Cost_model = Pmem_sim.Cost_model
+module Types = Kv_common.Types
+module Vlog = Kv_common.Vlog
+module Bloom = Kv_common.Bloom
+module Flat_table = Kv_common.Flat_table
+module Linear_table = Kv_common.Linear_table
+module Config = Chameleondb.Config
+module Memtable = Chameleondb.Memtable
+module Levels = Chameleondb.Levels
+
+type variant = Nf | F | Pink
+
+let variant_name = function
+  | Nf -> "Pmem-LSM-NF"
+  | F -> "Pmem-LSM-F"
+  | Pink -> "Pmem-LSM-PinK"
+
+type shard = {
+  id : int;
+  memtable : Memtable.t;
+  lv : Levels.t;
+  blooms : (int, Bloom.t) Hashtbl.t; (* keyed by table tag (F variant) *)
+  mutable next_seq : int;
+  mutable bg_free_at : float;
+  mutable mt_floor : int;
+}
+
+type t = {
+  variant : variant;
+  cfg : Config.t;
+  bloom_bits : int;
+  dev : Device.t;
+  vlog : Vlog.t;
+  shards : shard array;
+}
+
+let create ?(cfg = Config.default) ?(bloom_bits = 10) ?dev variant =
+  let dev =
+    match dev with
+    | Some d -> d
+    | None -> Device.create Pmem_sim.Cost_model.optane
+  in
+  let vlog = Vlog.create ~batch_bytes:cfg.Config.vlog_batch_bytes dev in
+  { variant;
+    cfg;
+    bloom_bits;
+    dev;
+    vlog;
+    shards =
+      Array.init cfg.Config.shards (fun id ->
+          { id;
+            memtable = Memtable.create ~cfg ~shard_id:id;
+            lv = Levels.create ~cfg;
+            blooms = Hashtbl.create 16;
+            next_seq = 1;
+            bg_free_at = 0.0;
+            mt_floor = 0 }) }
+
+let shard_of t key =
+  t.shards.(Kv_common.Hash.shard_of
+              ~hash:(Kv_common.Hash.mix64 key)
+              ~shards:t.cfg.Config.shards)
+
+(* {2 Table construction, with variant-specific extras.} *)
+
+let build_table t shard clock ~slots entries =
+  let tbl = Linear_table.build t.dev clock ~slots entries in
+  Linear_table.set_tag tbl shard.next_seq;
+  shard.next_seq <- shard.next_seq + 1;
+  (match t.variant with
+  | F ->
+    let bloom =
+      Bloom.create
+        ~expected:(max 16 (List.length entries))
+        ~bits_per_key:t.bloom_bits
+    in
+    List.iter (fun (k, _) -> Bloom.add bloom clock k) entries;
+    (* filter block persisted alongside the table, as in LevelDB *)
+    Device.charge_append t.dev clock
+      ~len:(int_of_float (Bloom.footprint_bytes bloom));
+    Hashtbl.replace shard.blooms (Linear_table.tag tbl) bloom
+  | Pink ->
+    (* copy the fresh table into its pinned DRAM mirror *)
+    Clock.advance clock
+      (Cost_model.memcpy_ns_per_byte
+      *. float_of_int (Linear_table.byte_size tbl))
+  | Nf -> ());
+  tbl
+
+let drop_table shard tbl =
+  Hashtbl.remove shard.blooms (Linear_table.tag tbl);
+  Linear_table.free tbl
+
+(* Read a table's entries for compaction: PinK reads its DRAM mirror, the
+   other variants stream from the Pmem. *)
+let table_entries t clock tbl =
+  let acc = ref [] in
+  (match t.variant with
+  | Pink ->
+    Clock.advance clock
+      (Cost_model.memcpy_ns_per_byte
+      *. float_of_int (Linear_table.byte_size tbl));
+    Linear_table.iter_silent tbl (fun k l -> acc := (k, l) :: !acc)
+  | Nf | F -> Linear_table.iter tbl clock (fun k l -> acc := (k, l) :: !acc));
+  List.rev !acc
+
+let merge_newest_first ?drop_tombstones clock per_table_entries =
+  Kv_common.Merge.newest_first ?drop_tombstones
+    ~on_entry:(fun () -> Clock.advance clock Cost_model.key_compare_ns)
+    (List.map Kv_common.Merge.of_list per_table_entries)
+
+let round_up_to v m = (v + m - 1) / m * m
+
+(* {2 Level-by-level size-tiered compaction with a leveled last level.} *)
+
+let rec cascade t shard bg ~level =
+  let u = Config.upper_levels t.cfg in
+  let tables = (Levels.upper shard.lv).(level) in
+  let sources = List.map (table_entries t bg) tables in
+  if level + 1 <= u - 1 then begin
+    let entries = merge_newest_first bg sources in
+    let slots = Levels.table_slots ~cfg:t.cfg ~level:(level + 1) in
+    let fresh = build_table t shard bg ~slots entries in
+    List.iter (drop_table shard) tables;
+    (Levels.upper shard.lv).(level) <- [];
+    Levels.add_table shard.lv ~level:(level + 1) fresh;
+    if Levels.level_len shard.lv (level + 1) >= t.cfg.Config.ratio then
+      cascade t shard bg ~level:(level + 1)
+  end
+  else begin
+    let last_entries =
+      match Levels.last shard.lv with
+      | None -> []
+      | Some tbl ->
+        (* the last level is never pinned: always a Pmem read *)
+        let acc = ref [] in
+        Linear_table.iter tbl bg (fun k l -> acc := (k, l) :: !acc);
+        [ List.rev !acc ]
+    in
+    let entries =
+      merge_newest_first ~drop_tombstones:true bg (sources @ last_entries)
+    in
+    let live = List.length entries in
+    let slots =
+      max t.cfg.Config.memtable_slots
+        (round_up_to
+           (int_of_float
+              (Float.ceil
+                 (float_of_int live /. t.cfg.Config.last_level_load_factor)))
+           t.cfg.Config.memtable_slots)
+    in
+    let fresh = build_table t shard bg ~slots entries in
+    (match Levels.last shard.lv with
+    | Some old -> drop_table shard old
+    | None -> ());
+    Levels.set_last shard.lv (Some fresh);
+    List.iter (drop_table shard) tables;
+    (Levels.upper shard.lv).(level) <- []
+  end
+
+let flush t shard clock =
+  ignore (Clock.wait_until clock shard.bg_free_at);
+  let entries = Memtable.entries shard.memtable in
+  let bg = Clock.create ~at:(Clock.now clock) () in
+  Vlog.flush t.vlog bg;
+  let tbl =
+    build_table t shard bg ~slots:t.cfg.Config.memtable_slots entries
+  in
+  Levels.add_table shard.lv ~level:0 tbl;
+  if Levels.l0_full shard.lv then cascade t shard bg ~level:0;
+  shard.bg_free_at <- Clock.now bg;
+  Memtable.reset shard.memtable;
+  (* keep the floor below the log entry of the put that triggered us *)
+  shard.mt_floor <- max shard.mt_floor (Vlog.length t.vlog - 1)
+
+let rec shard_put t shard clock key loc =
+  match Memtable.put shard.memtable clock key loc with
+  | `Ok -> ()
+  | `Full ->
+    flush t shard clock;
+    shard_put t shard clock key loc
+
+let put t clock key ~vlen =
+  let loc = Vlog.append t.vlog clock key ~vlen in
+  shard_put t (shard_of t key) clock key loc
+
+let delete t clock key =
+  let _loc = Vlog.append t.vlog clock key ~vlen:(-1) in
+  shard_put t (shard_of t key) clock key Types.tombstone
+
+(* {2 Get path: MemTable, then every table level by level.} *)
+
+let probe_table t shard clock tbl key =
+  match t.variant with
+  | Pink ->
+    let result, probes = Linear_table.get_silent tbl key in
+    Clock.advance clock
+      (Cost_model.dram_read_ns
+      +. (float_of_int (max 0 (probes - 1)) *. Cost_model.dram_hit_ns));
+    result
+  | Nf -> Linear_table.get tbl clock key
+  | F ->
+    let bloom = Hashtbl.find_opt shard.blooms (Linear_table.tag tbl) in
+    let maybe_present =
+      match bloom with
+      | Some b -> Bloom.mem b clock key
+      | None -> true
+    in
+    if maybe_present then Linear_table.get tbl clock key else None
+
+(* The last level is never pinned in DRAM: even PinK probes it on the
+   device (the F variant still consults its filter first). *)
+let probe_last t shard clock tbl key =
+  match t.variant with
+  | Nf | Pink -> Linear_table.get tbl clock key
+  | F ->
+    let bloom = Hashtbl.find_opt shard.blooms (Linear_table.tag tbl) in
+    let maybe_present =
+      match bloom with
+      | Some b -> Bloom.mem b clock key
+      | None -> true
+    in
+    if maybe_present then Linear_table.get tbl clock key else None
+
+let shard_get t shard clock key =
+  match Memtable.get shard.memtable clock key with
+  | Some loc -> (Some loc, 0)
+  | None ->
+    let rec go n = function
+      | [] ->
+        (match Levels.last shard.lv with
+        | Some tbl -> (probe_last t shard clock tbl key, n + 1)
+        | None -> (None, n))
+      | tbl :: rest ->
+        (match probe_table t shard clock tbl key with
+        | Some loc -> (Some loc, n + 1)
+        | None -> go (n + 1) rest)
+    in
+    go 0 (Levels.upper_tables_newest_first shard.lv ())
+
+let resolve = function
+  | Some loc when Types.is_tombstone loc -> None
+  | r -> r
+
+let get_with_level t clock key =
+  let result, probed = shard_get t (shard_of t key) clock key in
+  let result =
+    match resolve result with
+    | Some loc ->
+      let k, _ = Vlog.read t.vlog clock loc in
+      if Int64.equal k key then Some loc else None
+    | None -> None
+  in
+  (result, probed)
+
+let get t clock key = fst (get_with_level t clock key)
+
+let flush_all t clock =
+  Array.iter
+    (fun shard ->
+      if Memtable.count shard.memtable > 0 then flush t shard clock)
+    t.shards;
+  Vlog.flush t.vlog clock
+
+(* {2 Crash and recovery: only MemTables are volatile (plus the PinK DRAM
+   mirrors and the F filters, both rebuilt by scanning the tables).} *)
+
+let crash t =
+  Device.crash t.dev;
+  Vlog.crash t.vlog;
+  Array.iter
+    (fun shard ->
+      Memtable.reset shard.memtable;
+      shard.bg_free_at <- 0.0;
+      shard.mt_floor <- min shard.mt_floor (Vlog.persisted t.vlog))
+    t.shards
+
+let recover t clock =
+  let t0 = Clock.now clock in
+  let marks = Array.map (fun s -> s.mt_floor) t.shards in
+  let lo = Array.fold_left min (Vlog.persisted t.vlog) marks in
+  Vlog.iter_range t.vlog clock ~lo ~hi:(Vlog.persisted t.vlog)
+    (fun loc key vlen ->
+      let ix =
+        Kv_common.Hash.shard_of
+          ~hash:(Kv_common.Hash.mix64 key)
+          ~shards:t.cfg.Config.shards
+      in
+      if loc >= marks.(ix) then begin
+        let index_loc = if vlen < 0 then Types.tombstone else loc in
+        match Memtable.put t.shards.(ix).memtable clock key index_loc with
+        | `Ok -> ()
+        | `Full ->
+          (* recovered tail exceeds one MemTable: flush as usual *)
+          flush t t.shards.(ix) clock;
+          (match
+             Memtable.put t.shards.(ix).memtable clock key index_loc
+           with
+          | `Ok -> ()
+          | `Full -> assert false)
+      end);
+  (* variant-specific rebuild work *)
+  Array.iter
+    (fun shard ->
+      let tables =
+        Levels.upper_tables_newest_first shard.lv ()
+        @ (match Levels.last shard.lv with Some tbl -> [ tbl ] | None -> [])
+      in
+      match t.variant with
+      | Nf -> ()
+      | Pink ->
+        (* re-read upper tables into DRAM *)
+        List.iter
+          (fun tbl ->
+            Device.charge_read_bytes t.dev clock
+              ~len:(Linear_table.byte_size tbl)
+              ~hint:Bulk)
+          (Levels.upper_tables_newest_first shard.lv ())
+      | F ->
+        (* filter blocks are persistent: recovery reads them back from the
+           device (contents reconstructed without CPU-cost charging) *)
+        List.iter
+          (fun tbl ->
+            let bloom =
+              Bloom.create
+                ~expected:(max 16 (Linear_table.count tbl))
+                ~bits_per_key:t.bloom_bits
+            in
+            Linear_table.iter_silent tbl (fun k _ -> Bloom.add_silent bloom k);
+            Device.charge_read_bytes t.dev clock
+              ~len:(int_of_float (Bloom.footprint_bytes bloom))
+              ~hint:Bulk;
+            Hashtbl.replace shard.blooms (Linear_table.tag tbl) bloom)
+          tables)
+    t.shards;
+  Clock.now clock -. t0
+
+let dram_footprint t =
+  Array.fold_left
+    (fun acc shard ->
+      let base = acc +. Memtable.footprint_bytes shard.memtable in
+      match t.variant with
+      | Nf -> base
+      | F ->
+        Hashtbl.fold
+          (fun _ bloom a -> a +. Bloom.footprint_bytes bloom)
+          shard.blooms base
+      | Pink ->
+        (* DRAM mirrors of the upper levels *)
+        List.fold_left
+          (fun a tbl -> a +. float_of_int (Linear_table.byte_size tbl))
+          base
+          (Levels.upper_tables_newest_first shard.lv ()))
+    (Vlog.dram_footprint t.vlog)
+    t.shards
+
+let handle t : Kv_common.Store_intf.handle =
+  { name = variant_name t.variant;
+    put = (fun clock key ~vlen -> put t clock key ~vlen);
+    get = (fun clock key -> get t clock key);
+    delete = (fun clock key -> delete t clock key);
+    flush = (fun clock -> flush_all t clock);
+    crash = (fun () -> crash t);
+    recover = (fun clock -> ignore (recover t clock));
+    dram_footprint = (fun () -> dram_footprint t);
+    device = t.dev;
+    vlog = t.vlog }

@@ -1,0 +1,1 @@
+lib/core/levels.ml: Array Config Kv_common List

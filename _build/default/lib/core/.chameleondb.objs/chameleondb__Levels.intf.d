@@ -1,0 +1,1 @@
+lib/core/levels.mli: Config Kv_common

@@ -1,0 +1,1 @@
+lib/core/manifest.ml: Pmem_sim

@@ -1,0 +1,1 @@
+lib/core/manifest.mli: Pmem_sim

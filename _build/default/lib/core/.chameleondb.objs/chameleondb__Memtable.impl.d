@@ -1,0 +1,1 @@
+lib/core/memtable.ml: Config Int64 Kv_common

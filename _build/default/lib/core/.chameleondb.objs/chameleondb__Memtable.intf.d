@@ -1,0 +1,1 @@
+lib/core/memtable.mli: Config Kv_common Pmem_sim

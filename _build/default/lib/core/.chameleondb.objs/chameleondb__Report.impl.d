@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Config Format Kv_common Levels List Metrics Pmem_sim Shard Store

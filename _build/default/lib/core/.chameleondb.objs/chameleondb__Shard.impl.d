@@ -1,0 +1,1 @@
+lib/core/shard.ml: Array Config Float Hashtbl Kv_common Levels List Manifest Memtable Pmem_sim Printf

@@ -1,0 +1,1 @@
+lib/core/shard.mli: Config Kv_common Levels Manifest Pmem_sim

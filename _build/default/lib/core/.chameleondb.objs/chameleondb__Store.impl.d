@@ -1,0 +1,1 @@
+lib/core/store.ml: Array Config Hashtbl Int64 Kv_common Manifest Modes Pmem_sim Printf Shard

@@ -1,0 +1,1 @@
+lib/core/store.mli: Config Kv_common Modes Pmem_sim Shard

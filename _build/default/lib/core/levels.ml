@@ -1,0 +1,58 @@
+module Linear_table = Kv_common.Linear_table
+
+type t = {
+  cfg : Config.t;
+  upper : Linear_table.t list array; (* newest first *)
+  mutable last : Linear_table.t option;
+}
+
+let create ~cfg =
+  { cfg; upper = Array.make (Config.upper_levels cfg) []; last = None }
+
+let upper t = t.upper
+let last t = t.last
+let set_last t table = t.last <- table
+
+let add_table t ~level table =
+  t.upper.(level) <- table :: t.upper.(level)
+
+let level_len t k = List.length t.upper.(k)
+let l0_full t = level_len t 0 >= t.cfg.Config.ratio
+
+let clear_upper_range t ~upto =
+  for k = 0 to upto do
+    List.iter Linear_table.free t.upper.(k);
+    t.upper.(k) <- []
+  done
+
+let upper_tables_newest_first t ?upto () =
+  let upto =
+    match upto with Some u -> u | None -> Array.length t.upper - 1
+  in
+  let acc = ref [] in
+  for k = upto downto 0 do
+    (* prepend level k so that shallower (newer) levels end up first *)
+    acc := t.upper.(k) @ !acc
+  done;
+  !acc
+
+let upper_entry_count t =
+  Array.fold_left
+    (fun acc tables ->
+      List.fold_left (fun a tbl -> a + Linear_table.count tbl) acc tables)
+    0 t.upper
+
+let rec pow base = function 0 -> 1 | n -> base * pow base (n - 1)
+
+let table_slots ~cfg ~level =
+  pow cfg.Config.ratio level * cfg.Config.memtable_slots
+
+let pmem_bytes t =
+  let upper_bytes =
+    Array.fold_left
+      (fun acc tables ->
+        List.fold_left (fun a tbl -> a + Linear_table.byte_size tbl) acc tables)
+      0 t.upper
+  in
+  upper_bytes
+  + (match t.last with Some tbl -> Linear_table.byte_size tbl | None -> 0)

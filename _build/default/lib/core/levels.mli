@@ -1,0 +1,41 @@
+(** The persistent multi-level structure of one shard.
+
+    Upper levels (L0 .. L(levels-2)) hold lists of immutable persistent
+    tables, newest first; the last level is a single table.  Upper tables
+    exist for fast recovery — gets bypass them through the ABI — but they
+    are also the read source for the level-by-level compaction ablation and
+    for degraded (post-restart) gets. *)
+
+type t
+
+val create : cfg:Config.t -> t
+
+val upper : t -> Kv_common.Linear_table.t list array
+(** Index 0 = L0 ... newest table first within a level. *)
+
+val last : t -> Kv_common.Linear_table.t option
+
+val set_last : t -> Kv_common.Linear_table.t option -> unit
+
+val add_table : t -> level:int -> Kv_common.Linear_table.t -> unit
+(** Prepend a table to an upper level. *)
+
+val level_len : t -> int -> int
+
+val l0_full : t -> bool
+(** L0 holds [ratio] tables. *)
+
+val clear_upper_range : t -> upto:int -> unit
+(** Free and drop all tables in levels [0, upto] (inclusive). *)
+
+val upper_tables_newest_first : t -> ?upto:int -> unit -> Kv_common.Linear_table.t list
+(** All upper tables ordered newest to oldest (L0 head first), optionally
+    only levels [0, upto]. *)
+
+val upper_entry_count : t -> int
+
+val table_slots : cfg:Config.t -> level:int -> int
+(** Slot count of a level-[level] table: [ratio^level x memtable_slots]. *)
+
+val pmem_bytes : t -> int
+(** Total device bytes of all live tables (footprint reporting). *)

@@ -1,0 +1,12 @@
+type t = { dev : Pmem_sim.Device.t; mutable nupdates : int }
+
+let record_bytes = 64
+
+let create dev = { dev; nupdates = 0 }
+
+let record_update t clock =
+  t.nupdates <- t.nupdates + 1;
+  Pmem_sim.Device.charge_append t.dev clock ~len:record_bytes
+
+let updates t = t.nupdates
+let footprint_bytes t = float_of_int (t.nupdates * record_bytes)

@@ -1,0 +1,17 @@
+(** Persistent root metadata.
+
+    The manifest records, per shard, which persistent tables exist and the
+    log watermarks — a few dozen bytes appended and persisted on every
+    structural change (flush, compaction, dump).  In the simulation the
+    OCaml-side table handles {e are} the recovered metadata; this module
+    charges the corresponding device traffic and tracks update counts. *)
+
+type t
+
+val create : Pmem_sim.Device.t -> t
+
+val record_update : t -> Pmem_sim.Clock.t -> unit
+(** One structural change: a small appended persist (64 B). *)
+
+val updates : t -> int
+val footprint_bytes : t -> float

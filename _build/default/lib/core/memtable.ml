@@ -1,0 +1,49 @@
+module Flat_table = Kv_common.Flat_table
+module Hash = Kv_common.Hash
+
+type t = {
+  cfg : Config.t;
+  shard_id : int;
+  mutable tbl : Flat_table.t;
+  mutable flush_seq : int;
+}
+
+(* Deterministic per-(shard, flush) load factor in [lf_min, lf_max]. *)
+let draw_lf cfg ~shard_id ~flush_seq =
+  let h =
+    Hash.mix64
+      (Int64.of_int
+         ((cfg.Config.seed * 1_000_003) + (shard_id * 8191) + flush_seq))
+  in
+  let frac = float_of_int (Hash.to_int h mod 10_000) /. 10_000.0 in
+  cfg.Config.lf_min +. (frac *. (cfg.Config.lf_max -. cfg.Config.lf_min))
+
+let make_table cfg ~shard_id ~flush_seq =
+  Flat_table.create
+    ~load_factor:(draw_lf cfg ~shard_id ~flush_seq)
+    ~slots:cfg.Config.memtable_slots ()
+
+let create ~cfg ~shard_id =
+  { cfg; shard_id; tbl = make_table cfg ~shard_id ~flush_seq:0; flush_seq = 0 }
+
+let table t = t.tbl
+let put t clock key loc = Flat_table.put t.tbl clock key loc
+let get t clock key = Flat_table.get t.tbl clock key
+let is_full t = Flat_table.is_full t.tbl
+let count t = Flat_table.count t.tbl
+
+let has_room_for t n =
+  float_of_int (Flat_table.count t.tbl + n)
+  <= Flat_table.threshold t.tbl *. float_of_int (Flat_table.slots t.tbl)
+
+let entries t =
+  let acc = ref [] in
+  Flat_table.iter t.tbl (fun k l -> acc := (k, l) :: !acc);
+  !acc
+
+let reset t =
+  t.flush_seq <- t.flush_seq + 1;
+  t.tbl <- make_table t.cfg ~shard_id:t.shard_id ~flush_seq:t.flush_seq
+
+let load_factor_threshold t = Flat_table.threshold t.tbl
+let footprint_bytes t = Flat_table.footprint_bytes t.tbl

@@ -1,0 +1,35 @@
+(** Per-shard MemTable: a fixed-size in-DRAM hash table whose full-threshold
+    is re-randomized at every flush.
+
+    The randomized load factor (Section 2.5) staggers flush — and therefore
+    compaction — timings across shards, avoiding synchronized compaction
+    bursts under uniformly distributed insertions. *)
+
+type t
+
+val create : cfg:Config.t -> shard_id:int -> t
+
+val table : t -> Kv_common.Flat_table.t
+
+val put :
+  t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> Kv_common.Types.loc ->
+  [ `Ok | `Full ]
+
+val get :
+  t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> Kv_common.Types.loc option
+
+val is_full : t -> bool
+val count : t -> int
+
+val has_room_for : t -> int -> bool
+(** Can [n] more distinct keys be inserted before the threshold? *)
+
+val entries : t -> (Kv_common.Types.key * Kv_common.Types.loc) list
+(** Snapshot, arbitrary order (all entries are the newest versions within
+    this MemTable). *)
+
+val reset : t -> unit
+(** Clear after a flush and draw a fresh randomized load factor. *)
+
+val load_factor_threshold : t -> float
+val footprint_bytes : t -> float

@@ -1,0 +1,64 @@
+module Gpm = struct
+  type t = {
+    enabled : bool;
+    threshold_ns : float;
+    window : float array;
+    mutable filled : int;
+    mutable idx : int;
+    mutable since_eval : int;
+    mutable is_active : bool;
+    mutable nactivations : int;
+    mutable p99 : float;
+  }
+
+  let window_size = 512
+  let eval_every = 64
+
+  (* hysteresis: deactivate only once the tail has clearly subsided, so the
+     mode does not flap on/off within one burst *)
+  let release_fraction = 0.6
+
+  let create ~cfg =
+    { enabled = cfg.Config.gpm_enabled;
+      threshold_ns = cfg.Config.gpm_threshold_ns;
+      window = Array.make window_size 0.0;
+      filled = 0;
+      idx = 0;
+      since_eval = 0;
+      is_active = false;
+      nactivations = 0;
+      p99 = 0.0 }
+
+  let evaluate t =
+    let n = t.filled in
+    if n >= 64 then begin
+      let sample = Array.sub t.window 0 n in
+      Array.sort compare sample;
+      let i = min (n - 1) (int_of_float (0.99 *. float_of_int n)) in
+      t.p99 <- sample.(i);
+      if t.p99 > t.threshold_ns then begin
+        if not t.is_active then begin
+          t.is_active <- true;
+          t.nactivations <- t.nactivations + 1
+        end
+      end
+      else if t.p99 < release_fraction *. t.threshold_ns then
+        t.is_active <- false
+    end
+
+  let record_get t lat =
+    if t.enabled then begin
+      t.window.(t.idx) <- lat;
+      t.idx <- (t.idx + 1) mod window_size;
+      if t.filled < window_size then t.filled <- t.filled + 1;
+      t.since_eval <- t.since_eval + 1;
+      if t.since_eval >= eval_every then begin
+        t.since_eval <- 0;
+        evaluate t
+      end
+    end
+
+  let active t = t.enabled && t.is_active
+  let activations t = t.nactivations
+  let current_p99 t = t.p99
+end

@@ -1,0 +1,26 @@
+(** Execution-mode controllers.
+
+    Write-Intensive Mode is a static configuration switch (handled in
+    {!Shard}); the dynamic Get-Protect Mode (Section 2.4) lives here: a
+    controller watches a sliding window of get latencies and raises
+    [active] when the windowed p99 crosses the configured threshold,
+    lowering it once the tail subsides below the threshold again. *)
+
+module Gpm : sig
+  type t
+
+  val create : cfg:Config.t -> t
+
+  val record_get : t -> float -> unit
+  (** Feed one get latency (simulated ns); re-evaluates the window
+      periodically. *)
+
+  val active : t -> bool
+  (** Whether compactions are currently suspended. *)
+
+  val activations : t -> int
+  (** Times the mode has switched on (for experiments). *)
+
+  val current_p99 : t -> float
+  (** Most recently evaluated windowed p99 (0 before the first window). *)
+end

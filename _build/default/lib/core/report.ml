@@ -1,0 +1,73 @@
+module Vlog = Kv_common.Vlog
+module Linear_table = Kv_common.Linear_table
+
+let pp ppf db =
+  let cfg = Store.cfg db in
+  let shards = Store.shards db in
+  let nshards = Array.length shards in
+  Format.fprintf ppf "ChameleonDB state@.";
+  Format.fprintf ppf
+    "  config: %d shards x %d-slot MemTables, %d levels, r=%d%s%s@."
+    cfg.Config.shards cfg.Config.memtable_slots cfg.Config.levels
+    cfg.Config.ratio
+    (if cfg.Config.write_intensive then ", write-intensive" else "")
+    (if cfg.Config.gpm_enabled then ", get-protect" else "");
+  (* aggregate level occupancy *)
+  let upper = Config.upper_levels cfg in
+  let tables = Array.make upper 0 in
+  let entries = Array.make upper 0 in
+  let last_entries = ref 0 and last_bytes = ref 0 in
+  let memtable_entries = ref 0 and abi_entries = ref 0 and dumps = ref 0 in
+  Array.iter
+    (fun shard ->
+      let lv = Shard.levels shard in
+      Array.iteri
+        (fun k tbls ->
+          tables.(k) <- tables.(k) + List.length tbls;
+          entries.(k) <-
+            entries.(k)
+            + List.fold_left (fun a t -> a + Linear_table.count t) 0 tbls)
+        (Levels.upper lv);
+      (match Levels.last lv with
+      | Some t ->
+        last_entries := !last_entries + Linear_table.count t;
+        last_bytes := !last_bytes + Linear_table.byte_size t
+      | None -> ());
+      memtable_entries := !memtable_entries + Shard.memtable_count shard;
+      abi_entries := !abi_entries + Shard.abi_count shard;
+      dumps := !dumps + Shard.dump_count shard)
+    shards;
+  Format.fprintf ppf "  memtables: %d entries (%d shards)@." !memtable_entries
+    nshards;
+  Format.fprintf ppf "  abi: %d entries (%.0f%% of capacity)%s@." !abi_entries
+    (100.0
+    *. float_of_int !abi_entries
+    /. float_of_int
+         (nshards * cfg.Config.abi_slots_factor * cfg.Config.memtable_slots))
+    (if cfg.Config.abi_enabled then "" else " [disabled]");
+  Array.iteri
+    (fun k n ->
+      Format.fprintf ppf "  L%d: %d tables, %d entries@." k n entries.(k))
+    tables;
+  Format.fprintf ppf "  last level: %d entries, %s@." !last_entries
+    (Metrics.Table_fmt.cell_bytes (float_of_int !last_bytes));
+  if !dumps > 0 then
+    Format.fprintf ppf "  gpm dumps pending merge: %d@." !dumps;
+  let t = Store.totals db in
+  Format.fprintf ppf
+    "  ops: %d flushes, %d tiered + %d last-level compactions, %d absorbs, \
+     %d dumps, %s stalled@."
+    t.Store.flushes t.Store.upper_compactions t.Store.last_compactions
+    t.Store.absorbs t.Store.abi_dumps
+    (Metrics.Table_fmt.cell_ns t.Store.stall_ns);
+  let vlog = Store.vlog db in
+  Format.fprintf ppf "  log: %d entries (head %d, persisted %d), %s live@."
+    (Vlog.length vlog) (Vlog.head vlog) (Vlog.persisted vlog)
+    (Metrics.Table_fmt.cell_bytes (float_of_int (Vlog.live_bytes vlog)));
+  Format.fprintf ppf "  footprints: DRAM %s, Pmem %s@."
+    (Metrics.Table_fmt.cell_bytes (Store.dram_footprint db))
+    (Metrics.Table_fmt.cell_bytes (Store.pmem_footprint db));
+  Format.fprintf ppf "  device: %a@." Pmem_sim.Stats.pp
+    (Pmem_sim.Device.stats (Store.device db))
+
+let to_string db = Format.asprintf "%a" pp db

@@ -1,0 +1,7 @@
+(** Human-readable store state report: structure occupancy, operation
+    counters, log and device statistics.  For operators and debugging
+    (`ckv inspect` prints one). *)
+
+val pp : Format.formatter -> Store.t -> unit
+
+val to_string : Store.t -> string

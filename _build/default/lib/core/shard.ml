@@ -1,0 +1,531 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Flat_table = Kv_common.Flat_table
+module Linear_table = Kv_common.Linear_table
+module Types = Kv_common.Types
+module Vlog = Kv_common.Vlog
+
+type hit_stage = Hit_memtable | Hit_abi | Hit_dump | Hit_upper | Hit_last | Miss
+
+type counters = {
+  mutable flushes : int;
+  mutable upper_compactions : int;
+  mutable last_compactions : int;
+  mutable abi_dumps : int;
+  mutable absorbs : int;
+  mutable stall_ns : float;
+}
+
+type t = {
+  id : int;
+  cfg : Config.t;
+  dev : Device.t;
+  vlog : Vlog.t;
+  manifest : Manifest.t option;
+  memtable : Memtable.t;
+  lv : Levels.t;
+  mutable abi : Flat_table.t;
+  mutable dumps : Linear_table.t list; (* newest first *)
+  mutable bg_free_at : float;
+  mutable abi_ready_at : float;
+  mutable mt_floor : int;
+      (* log length when the MemTable was last empty: entries beyond it may
+         live only in the MemTable *)
+  mutable absorb_floor : int option;
+      (* log length at the first ABI absorption since the ABI was last made
+         persistent (dump or last-level compaction) *)
+  mutable next_seq : int; (* recency tags for persistent tables *)
+  ctr : counters;
+}
+
+let abi_slots cfg = cfg.Config.abi_slots_factor * cfg.Config.memtable_slots
+
+let make_abi cfg =
+  Flat_table.create ~load_factor:cfg.Config.abi_load_factor
+    ~slots:(abi_slots cfg) ()
+
+let create ?manifest ~cfg ~id dev vlog =
+  { id;
+    cfg;
+    dev;
+    vlog;
+    manifest;
+    memtable = Memtable.create ~cfg ~shard_id:id;
+    lv = Levels.create ~cfg;
+    abi = make_abi cfg;
+    dumps = [];
+    bg_free_at = 0.0;
+    abi_ready_at = 0.0;
+    mt_floor = 0;
+    absorb_floor = None;
+    next_seq = 1;
+    ctr =
+      { flushes = 0;
+        upper_compactions = 0;
+        last_compactions = 0;
+        abi_dumps = 0;
+        absorbs = 0;
+        stall_ns = 0.0 } }
+
+let counters t = t.ctr
+let levels t = t.lv
+let abi_count t = Flat_table.count t.abi
+let memtable_count t = Memtable.count t.memtable
+let dump_count t = List.length t.dumps
+let abi_ready_at t = t.abi_ready_at
+let background_free_at t = t.bg_free_at
+
+let persisted_mark t =
+  match t.absorb_floor with
+  | None -> t.mt_floor
+  | Some f -> min f t.mt_floor
+
+let fresh_tag t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+let build_table t clock ~slots entries =
+  let tbl = Linear_table.build t.dev clock ~slots entries in
+  Linear_table.set_tag tbl (fresh_tag t);
+  tbl
+
+let merge_entries = Kv_common.Merge.newest_first
+
+let abi_iter_source t visit = Flat_table.iter t.abi visit
+
+let table_iter_source clock tbl visit = Linear_table.iter tbl clock visit
+
+let round_up_to v m = (v + m - 1) / m * m
+
+(* {2 Last-level compaction (leveled), Direct flavour: fed from the ABI
+   (Fig. 8) plus any GPM-dumped tables, merged with the old last level.
+   Clears the upper levels, the dumps and the ABI. } *)
+
+let last_level_compact t bg =
+  t.ctr.last_compactions <- t.ctr.last_compactions + 1;
+  let upper_sources =
+    if t.cfg.Config.abi_enabled then [ abi_iter_source t ]
+    else
+      (* ablation: without the ABI the upper levels are re-read from the
+         device, ordered newest first *)
+      List.map (table_iter_source bg) (Levels.upper_tables_newest_first t.lv ())
+  in
+  let dump_sources = List.map (table_iter_source bg) t.dumps in
+  let last_source =
+    match Levels.last t.lv with
+    | None -> []
+    | Some tbl -> [ table_iter_source bg tbl ]
+  in
+  let entries =
+    merge_entries ~drop_tombstones:true
+      (upper_sources @ dump_sources @ last_source)
+  in
+  (* charge the DRAM-side sequential scan of the ABI *)
+  if t.cfg.Config.abi_enabled then
+    Clock.advance bg
+      (float_of_int (Flat_table.count t.abi)
+      *. Pmem_sim.Cost_model.scan_per_entry_ns);
+  let live = List.length entries in
+  let slots =
+    max t.cfg.Config.memtable_slots
+      (round_up_to
+         (int_of_float
+            (Float.ceil
+               (float_of_int live /. t.cfg.Config.last_level_load_factor)))
+         t.cfg.Config.memtable_slots)
+  in
+  let fresh = build_table t bg ~slots entries in
+  (match Levels.last t.lv with Some old -> Linear_table.free old | None -> ());
+  Levels.set_last t.lv (Some fresh);
+  List.iter Linear_table.free t.dumps;
+  t.dumps <- [];
+  Levels.clear_upper_range t.lv ~upto:(Config.upper_levels t.cfg - 1);
+  Flat_table.clear t.abi;
+  t.absorb_floor <- None
+
+(* {2 Size-tiered Direct Compaction among upper levels: merge levels
+   [0, target-1] into a single level-[target] table.} *)
+
+let direct_merge_upper t bg ~target =
+  t.ctr.upper_compactions <- t.ctr.upper_compactions + 1;
+  let sources = Levels.upper_tables_newest_first t.lv ~upto:(target - 1) () in
+  let entries =
+    merge_entries (List.map (table_iter_source bg) sources)
+  in
+  let slots = Levels.table_slots ~cfg:t.cfg ~level:target in
+  let fresh = build_table t bg ~slots entries in
+  Levels.clear_upper_range t.lv ~upto:(target - 1);
+  Levels.add_table t.lv ~level:target fresh
+
+(* {2 Level-by-level compaction cascade (Fig. 15 ablation).} *)
+
+let rec cascade_compact t bg ~level =
+  let u = Config.upper_levels t.cfg in
+  let tables = (Levels.upper t.lv).(level) in
+  if level + 1 <= u - 1 then begin
+    t.ctr.upper_compactions <- t.ctr.upper_compactions + 1;
+    let entries = merge_entries (List.map (table_iter_source bg) tables) in
+    let slots = Levels.table_slots ~cfg:t.cfg ~level:(level + 1) in
+    let fresh = build_table t bg ~slots entries in
+    List.iter Linear_table.free tables;
+    (Levels.upper t.lv).(level) <- [];
+    Levels.add_table t.lv ~level:(level + 1) fresh;
+    if Levels.level_len t.lv (level + 1) >= t.cfg.Config.ratio then
+      cascade_compact t bg ~level:(level + 1)
+  end
+  else begin
+    (* merging the deepest upper level into the last level: a full cascade
+       has emptied every other upper level, so afterwards the ABI can simply
+       be cleared.  Absorbed (DRAM-only) entries require the ABI-fed direct
+       path instead. *)
+    match t.absorb_floor with
+    | Some _ -> last_level_compact t bg
+    | None ->
+      t.ctr.last_compactions <- t.ctr.last_compactions + 1;
+      let last_source =
+        match Levels.last t.lv with
+        | None -> []
+        | Some tbl -> [ table_iter_source bg tbl ]
+      in
+      let entries =
+        merge_entries ~drop_tombstones:true
+          (List.map (table_iter_source bg) tables @ last_source)
+      in
+      let live = List.length entries in
+      let slots =
+        max t.cfg.Config.memtable_slots
+          (round_up_to
+             (int_of_float
+                (Float.ceil
+                   (float_of_int live /. t.cfg.Config.last_level_load_factor)))
+             t.cfg.Config.memtable_slots)
+      in
+      let fresh = build_table t bg ~slots entries in
+      (match Levels.last t.lv with
+      | Some old -> Linear_table.free old
+      | None -> ());
+      Levels.set_last t.lv (Some fresh);
+      List.iter Linear_table.free tables;
+      (Levels.upper t.lv).(level) <- [];
+      if Levels.upper_entry_count t.lv = 0 then Flat_table.clear t.abi
+  end
+
+let maybe_compact t bg =
+  if Levels.l0_full t.lv then begin
+    match t.cfg.Config.compaction with
+    | Config.Level_by_level -> cascade_compact t bg ~level:0
+    | Config.Direct ->
+      let u = Config.upper_levels t.cfg in
+      let rec find k =
+        if k > u - 1 then None
+        else if Levels.level_len t.lv k < t.cfg.Config.ratio - 1 then Some k
+        else find (k + 1)
+      in
+      (match find 1 with
+      | Some target -> direct_merge_upper t bg ~target
+      | None -> last_level_compact t bg)
+  end
+
+(* {2 ABI room management.} *)
+
+let abi_has_room_for t n =
+  float_of_int (Flat_table.count t.abi + n)
+  <= Flat_table.threshold t.abi *. float_of_int (Flat_table.slots t.abi)
+
+let dump_abi t bg =
+  t.ctr.abi_dumps <- t.ctr.abi_dumps + 1;
+  let entries = ref [] in
+  Flat_table.iter t.abi (fun k l -> entries := (k, l) :: !entries);
+  Clock.advance bg
+    (float_of_int (Flat_table.count t.abi)
+    *. Pmem_sim.Cost_model.scan_per_entry_ns);
+  (* size the dumped table at a moderate load factor: it will serve point
+     lookups (mostly misses) until it is merged, and linear-probing miss
+     chains explode near full occupancy *)
+  let slots =
+    max t.cfg.Config.memtable_slots
+      (round_up_to
+         (int_of_float
+            (Float.ceil (float_of_int (List.length !entries) /. 0.6)))
+         t.cfg.Config.memtable_slots)
+  in
+  let tbl = build_table t bg ~slots !entries in
+  t.dumps <- tbl :: t.dumps;
+  Flat_table.clear t.abi;
+  t.absorb_floor <- None
+
+let ensure_abi_room t bg ~incoming ~can_dump =
+  if not (abi_has_room_for t incoming) then begin
+    if can_dump && List.length t.dumps < t.cfg.Config.gpm_max_dumps then
+      dump_abi t bg
+    else last_level_compact t bg
+  end
+
+(* Run background work: the caller (a put that filled the MemTable) waits
+   for any previous background job, then [f] runs on the background clock
+   starting at the caller's current time. *)
+let with_background t clock f =
+  let stall = Clock.wait_until clock t.bg_free_at in
+  t.ctr.stall_ns <- t.ctr.stall_ns +. stall;
+  let bg = Clock.create ~at:(Clock.now clock) () in
+  f bg;
+  t.bg_free_at <- Clock.now bg
+
+(* {2 Flush (normal mode): Fig. 7 — persist the MemTable as an L0 table and
+   mirror its entries into the ABI.} *)
+
+let flush t clock =
+  t.ctr.flushes <- t.ctr.flushes + 1;
+  let entries = Memtable.entries t.memtable in
+  with_background t clock (fun bg ->
+      Vlog.flush t.vlog bg;
+      (* record the structural change first: the manifest append must not
+         queue behind this flush's own large writes *)
+      (match t.manifest with
+      | Some m -> Manifest.record_update m bg
+      | None -> ());
+      if t.cfg.Config.abi_enabled then
+        ensure_abi_room t bg ~incoming:(List.length entries) ~can_dump:false;
+      let tbl =
+        build_table t bg ~slots:t.cfg.Config.memtable_slots entries
+      in
+      Levels.add_table t.lv ~level:0 tbl;
+      (* mirror the flushed entries into the ABI (Fig. 7) *)
+      if t.cfg.Config.abi_enabled then
+        List.iter (fun (k, l) -> Flat_table.put_exn t.abi bg k l) entries;
+      maybe_compact t bg;
+      (* drain GPM dumps once compactions are allowed again *)
+      if t.dumps <> [] then last_level_compact t bg);
+  Memtable.reset t.memtable;
+  (* the operation that triggered this flush has already appended its log
+     entry but not yet inserted into the fresh MemTable: the recovery floor
+     must stay below that entry *)
+  t.mt_floor <- max t.mt_floor (Vlog.length t.vlog - 1)
+
+(* {2 Absorb (Write-Intensive Mode / active GPM): move the MemTable into the
+   ABI without touching the LSM structure.} *)
+
+let absorb t clock ~can_dump =
+  t.ctr.absorbs <- t.ctr.absorbs + 1;
+  let entries = Memtable.entries t.memtable in
+  if t.absorb_floor = None then t.absorb_floor <- Some t.mt_floor;
+  if not (abi_has_room_for t (List.length entries)) then
+    with_background t clock (fun bg ->
+        ensure_abi_room t bg ~incoming:(List.length entries) ~can_dump);
+  List.iter (fun (k, l) -> Flat_table.put_exn t.abi clock k l) entries;
+  Memtable.reset t.memtable;
+  t.mt_floor <- max t.mt_floor (Vlog.length t.vlog - 1)
+
+let rec put t clock key loc ~suspend_compactions ~can_dump =
+  match Memtable.put t.memtable clock key loc with
+  | `Ok -> ()
+  | `Full ->
+    if suspend_compactions then absorb t clock ~can_dump
+    else flush t clock;
+    put t clock key loc ~suspend_compactions ~can_dump
+
+let force_flush t clock =
+  if Memtable.count t.memtable > 0 then flush t clock
+  else
+    with_background t clock (fun bg -> Vlog.flush t.vlog bg)
+
+(* {2 Get path.} *)
+
+let resolve stage = function
+  | Some loc when Types.is_tombstone loc -> (None, stage)
+  | Some loc -> (Some loc, stage)
+  | None -> (None, Miss)
+
+let probe_tables clock tables key =
+  let rec go = function
+    | [] -> None
+    | tbl :: rest ->
+      (match Linear_table.get tbl clock key with
+      | Some loc -> Some loc
+      | None -> go rest)
+  in
+  go tables
+
+(* Degraded path (ABI still rebuilding after restart): consult every
+   persistent table in recency order, like Pmem-LSM-NF would. *)
+let degraded_lookup t clock key =
+  let candidates =
+    List.sort
+      (fun a b -> compare (Linear_table.tag b) (Linear_table.tag a))
+      (Levels.upper_tables_newest_first t.lv () @ t.dumps)
+  in
+  match probe_tables clock candidates key with
+  | Some loc -> (Some loc, Hit_upper)
+  | None ->
+    (match Levels.last t.lv with
+    | Some tbl -> (Linear_table.get tbl clock key, Hit_last)
+    | None -> (None, Miss))
+
+(* Raw index lookup: the stored location, tombstones included. *)
+let lookup t clock key =
+  match Memtable.get t.memtable clock key with
+  | Some loc -> (Some loc, Hit_memtable)
+  | None ->
+    if (not t.cfg.Config.abi_enabled) || Clock.now clock < t.abi_ready_at then
+      degraded_lookup t clock key
+    else begin
+      match Flat_table.get t.abi clock key with
+      | Some loc -> (Some loc, Hit_abi)
+      | None ->
+        (match probe_tables clock t.dumps key with
+        | Some loc -> (Some loc, Hit_dump)
+        | None ->
+          (match Levels.last t.lv with
+          | Some tbl -> (Linear_table.get tbl clock key, Hit_last)
+          | None -> (None, Miss)))
+    end
+
+let raw_lookup t clock key = fst (lookup t clock key)
+
+let get t clock key =
+  let loc, stage = lookup t clock key in
+  resolve stage loc
+
+(* Gradually merge GPM-dumped tables once the burst has subsided: runs on
+   the background clock whenever it is idle, without blocking the caller
+   (Section 2.4: "the dumped tables will gradually be merged with the last
+   level table after the put burst subsides"). *)
+let drain_dumps_if_idle t ~now =
+  if t.dumps <> [] && t.bg_free_at <= now then begin
+    let bg = Clock.create ~at:now () in
+    last_level_compact t bg;
+    t.bg_free_at <- Clock.now bg
+  end
+
+(* {2 Crash and recovery.} *)
+
+(* Crash: MemTable and ABI contents are lost, but the log floors survive
+   (they are manifest metadata) — [absorb_floor] in particular must persist,
+   because it is exactly what tells recovery how far back to scan for the
+   absorbed entries that no longer exist anywhere in DRAM. *)
+let lose_volatile t =
+  Memtable.reset t.memtable;
+  t.abi <- make_abi t.cfg;
+  t.bg_free_at <- 0.0;
+  t.mt_floor <- min t.mt_floor (Vlog.persisted t.vlog);
+  match t.absorb_floor with
+  | Some f -> t.absorb_floor <- Some (min f t.mt_floor)
+  | None -> ()
+
+let rec replay t clock key loc =
+  match Memtable.put t.memtable clock key loc with
+  | `Ok -> ()
+  | `Full ->
+    if t.absorb_floor = None then t.absorb_floor <- Some t.mt_floor;
+    let entries = Memtable.entries t.memtable in
+    if not (abi_has_room_for t (List.length entries)) then
+      last_level_compact t clock;
+    List.iter (fun (k, l) -> Flat_table.put_exn t.abi clock k l) entries;
+    Memtable.reset t.memtable;
+    replay t clock key loc
+
+(* Rebuild the ABI from the persistent upper tables (background, after
+   restart).  Dumped tables participate in version resolution but only keys
+   living in upper tables enter the ABI, preserving the pre-crash masking
+   relationship between the ABI and the dumps. *)
+let schedule_abi_rebuild t ~start_at =
+  let bg = Clock.create ~at:(Float.max start_at t.bg_free_at) () in
+  let upper =
+    if t.cfg.Config.abi_enabled then Levels.upper_tables_newest_first t.lv ()
+    else []
+  in
+  if upper <> [] then begin
+    let in_upper = Hashtbl.create 256 in
+    List.iter
+      (fun tbl -> Linear_table.iter tbl bg (fun k _ -> Hashtbl.replace in_upper k ()))
+      upper;
+    let ordered =
+      List.sort
+        (fun a b -> compare (Linear_table.tag b) (Linear_table.tag a))
+        (upper @ t.dumps)
+    in
+    let seen = Hashtbl.create 256 in
+    List.iter
+      (fun tbl ->
+        Linear_table.iter tbl bg (fun k loc ->
+            if Hashtbl.mem in_upper k && not (Hashtbl.mem seen k) then begin
+              Hashtbl.add seen k ();
+              (* never clobber an entry the recovery replay already put in
+                 the ABI: replayed log-tail versions are newer than any
+                 table *)
+              if Flat_table.get t.abi bg k = None then
+                Flat_table.put_exn t.abi bg k loc
+            end))
+      ordered
+  end;
+  t.bg_free_at <- Clock.now bg;
+  t.abi_ready_at <- Clock.now bg
+
+(* Visit every entry reachable in this shard, newest structure first:
+   MemTable, then ABI, then dumps and upper tables by recency, then the
+   last level.  The caller deduplicates by key; tombstones are passed
+   through so deletions can mask older versions. *)
+let iter_newest_first t clock f =
+  Flat_table.iter (Memtable.table t.memtable) f;
+  if t.cfg.Config.abi_enabled then Flat_table.iter t.abi f;
+  let tables =
+    List.sort
+      (fun a b -> compare (Linear_table.tag b) (Linear_table.tag a))
+      (Levels.upper_tables_newest_first t.lv () @ t.dumps)
+  in
+  List.iter (fun tbl -> Linear_table.iter tbl clock f) tables;
+  match Levels.last t.lv with
+  | Some tbl -> Linear_table.iter tbl clock f
+  | None -> ()
+
+(* {2 Footprints and invariants.} *)
+
+let dram_footprint t =
+  Memtable.footprint_bytes t.memtable +. Flat_table.footprint_bytes t.abi
+
+let pmem_footprint t =
+  float_of_int
+    (Levels.pmem_bytes t.lv
+    + List.fold_left (fun a tbl -> a + Linear_table.byte_size tbl) 0 t.dumps)
+
+let check_invariants t =
+  let cfg = t.cfg in
+  let u = Config.upper_levels cfg in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check_levels k =
+    if k >= u then Ok ()
+    else begin
+      let len = Levels.level_len t.lv k in
+      let cap = cfg.Config.ratio in
+      if len > cap then err "level %d has %d tables (max %d)" k len cap
+      else check_levels (k + 1)
+    end
+  in
+  match check_levels 0 with
+  | Error _ as e -> e
+  | Ok () ->
+    let lf = Memtable.load_factor_threshold t.memtable in
+    if lf < cfg.Config.lf_min -. 1e-9 || lf > cfg.Config.lf_max +. 1e-9 then
+      err "memtable load factor %.3f outside [%.2f, %.2f]" lf cfg.Config.lf_min
+        cfg.Config.lf_max
+    else begin
+      (* every key in an upper-level table must be reachable without
+         touching the upper levels: via the ABI, or — after a GPM dump
+         cleared the ABI — via a dumped table *)
+      let scratch = Clock.create () in
+      let missing = ref None in
+      if t.cfg.Config.abi_enabled then
+        List.iter
+          (fun tbl ->
+            Linear_table.iter tbl scratch (fun k _ ->
+                if
+                  !missing = None
+                  && Flat_table.get t.abi scratch k = None
+                  && probe_tables scratch t.dumps k = None
+                then missing := Some k))
+          (Levels.upper_tables_newest_first t.lv ());
+      match !missing with
+      | Some k -> err "upper-level key %Ld missing from ABI and dumps" k
+      | None -> Ok ()
+    end

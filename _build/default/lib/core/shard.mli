@@ -1,0 +1,103 @@
+(** One ChameleonDB shard: MemTable + multi-level persistent index + ABI.
+
+    The shard implements the paper's data path:
+
+    - {b put}: into the MemTable; when full, either {e flush} (persist as an
+      L0 table, mirror the entries into the ABI, then compact if needed) or
+      {e absorb} directly into the ABI when Write-Intensive Mode or an
+      active Get-Protect Mode suspends LSM maintenance;
+    - {b get}: MemTable -> ABI -> GPM-dumped tables -> last level.  Upper
+      Pmem tables are consulted only while the ABI is still being rebuilt
+      after a restart (degraded window), exactly as in Section 3.3;
+    - {b compaction}: size-tiered in the upper levels, leveled into the last
+      level, merged in one Direct Compaction step fed from the ABI (Fig. 8),
+      or level-by-level for the Fig. 15 ablation.
+
+    Flush/compaction work is charged to a per-shard background clock; a put
+    that finds the MemTable full while background work is still running
+    stalls until it completes — the source of put tail latency. *)
+
+type t
+
+type hit_stage = Hit_memtable | Hit_abi | Hit_dump | Hit_upper | Hit_last | Miss
+
+type counters = {
+  mutable flushes : int;
+  mutable upper_compactions : int;
+  mutable last_compactions : int;
+  mutable abi_dumps : int;
+  mutable absorbs : int;
+  mutable stall_ns : float; (** put time spent waiting on background work *)
+}
+
+val create :
+  ?manifest:Manifest.t -> cfg:Config.t -> id:int -> Pmem_sim.Device.t ->
+  Kv_common.Vlog.t -> t
+(** When [manifest] is given, every flush records a structural-change entry
+    on the background clock. *)
+
+val put :
+  t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> Kv_common.Types.loc ->
+  suspend_compactions:bool -> can_dump:bool -> unit
+(** Insert an index entry (the value is already in the log at [loc]).
+    [suspend_compactions] is true under Write-Intensive Mode or an active
+    Get-Protect Mode: the MemTable is absorbed into the ABI instead of
+    being flushed.  [can_dump] is true only under an active GPM: a full ABI
+    is then dumped as an un-merged Pmem table (Fig. 9) rather than merged
+    into the last level (the Write-Intensive Mode behaviour). *)
+
+val get :
+  t -> Pmem_sim.Clock.t -> Kv_common.Types.key ->
+  Kv_common.Types.loc option * hit_stage
+(** [None] when absent or deleted; the stage says which structure answered. *)
+
+val raw_lookup :
+  t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> Kv_common.Types.loc option
+(** The stored location without tombstone filtering — the GC's liveness
+    test ([Some loc] with [loc] equal to the scanned position means the log
+    entry is the key's current version). *)
+
+val force_flush : t -> Pmem_sim.Clock.t -> unit
+(** Flush the MemTable regardless of load factor (shutdown / checkpoint). *)
+
+val drain_dumps_if_idle : t -> now:float -> unit
+(** If GPM-dumped ABI tables exist and the background thread is idle, merge
+    them into the last level (called by the store once the Get-Protect Mode
+    deactivates). *)
+
+val persisted_mark : t -> int
+(** Log index below which every entry of this shard is recoverable from
+    persistent index structures alone. *)
+
+val replay : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> Kv_common.Types.loc -> unit
+(** Recovery path: reinsert a log entry without triggering flushes — the
+    MemTable overflows into the ABI as in absorb mode. *)
+
+val lose_volatile : t -> unit
+(** Crash: clear MemTable and ABI state (persistent tables survive). *)
+
+val schedule_abi_rebuild : t -> start_at:float -> unit
+(** After recovery: rebuild the ABI from the upper tables on the background
+    clock; gets take the degraded multi-level path until it finishes. *)
+
+val abi_ready_at : t -> float
+val background_free_at : t -> float
+val counters : t -> counters
+val levels : t -> Levels.t
+val abi_count : t -> int
+val memtable_count : t -> int
+val dump_count : t -> int
+
+val iter_newest_first :
+  t -> Pmem_sim.Clock.t ->
+  (Kv_common.Types.key -> Kv_common.Types.loc -> unit) -> unit
+(** Visit every reachable entry, newest structure first (MemTable, ABI,
+    dumps/upper tables by recency, last level).  The caller deduplicates by
+    key; tombstones are passed through. *)
+
+val dram_footprint : t -> float
+val pmem_footprint : t -> float
+
+val check_invariants : t -> (unit, string) result
+(** Structural invariants for tests: level occupancies within bounds, ABI
+    covers the upper-level keys once ready, load factors within band. *)

@@ -1,0 +1,279 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Types = Kv_common.Types
+module Vlog = Kv_common.Vlog
+module Hash = Kv_common.Hash
+
+type t = {
+  cfg : Config.t;
+  dev : Device.t;
+  vlog : Vlog.t;
+  shards : Shard.t array;
+  gpm : Modes.Gpm.t;
+  manifest : Manifest.t;
+}
+
+let create ?(cfg = Config.default) ?dev () =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Chameleondb.Store.create: " ^ msg));
+  let dev =
+    match dev with
+    | Some d -> d
+    | None -> Device.create Pmem_sim.Cost_model.optane
+  in
+  let vlog =
+    Vlog.create ~materialize:cfg.Config.materialize_values
+      ~batch_bytes:cfg.Config.vlog_batch_bytes dev
+  in
+  let manifest = Manifest.create dev in
+  { cfg;
+    dev;
+    vlog;
+    shards =
+      Array.init cfg.Config.shards (fun id ->
+          Shard.create ~manifest ~cfg ~id dev vlog);
+    gpm = Modes.Gpm.create ~cfg;
+    manifest }
+
+let cfg t = t.cfg
+let shards t = t.shards
+let device t = t.dev
+let vlog t = t.vlog
+let gpm t = t.gpm
+let gpm_active t = Modes.Gpm.active t.gpm
+
+let shard_of t key =
+  t.shards.(Hash.shard_of ~hash:(Hash.mix64 key) ~shards:t.cfg.Config.shards)
+
+let suspend_compactions t =
+  t.cfg.Config.abi_enabled
+  && (t.cfg.Config.write_intensive || Modes.Gpm.active t.gpm)
+
+(* dumping the ABI as an un-merged level is a Get-Protect-Mode action;
+   Write-Intensive Mode merges a full ABI into the last level instead *)
+let can_dump t = t.cfg.Config.abi_enabled && Modes.Gpm.active t.gpm
+
+let put t clock key ~vlen =
+  if vlen < 0 then invalid_arg "Store.put: negative value length";
+  let shard = shard_of t key in
+  let loc = Vlog.append t.vlog clock key ~vlen in
+  Shard.put shard clock key loc ~suspend_compactions:(suspend_compactions t)
+    ~can_dump:(can_dump t)
+
+let put_value t clock key value =
+  let shard = shard_of t key in
+  let loc = Vlog.append_value t.vlog clock key value in
+  Shard.put shard clock key loc ~suspend_compactions:(suspend_compactions t)
+    ~can_dump:(can_dump t)
+
+let delete t clock key =
+  let shard = shard_of t key in
+  let _loc = Vlog.append t.vlog clock key ~vlen:(-1) in
+  Shard.put shard clock key Types.tombstone
+    ~suspend_compactions:(suspend_compactions t) ~can_dump:(can_dump t)
+
+let get_detail t clock key =
+  let t0 = Clock.now clock in
+  let shard = shard_of t key in
+  if not (Modes.Gpm.active t.gpm) then
+    Shard.drain_dumps_if_idle shard ~now:t0;
+  let result, stage = Shard.get shard clock key in
+  let result =
+    match result with
+    | Some loc ->
+      (* fetch the value payload from the log *)
+      let k, _vlen = Vlog.read t.vlog clock loc in
+      if Int64.equal k key then Some loc
+      else None (* defensive: corrupt index entry *)
+    | None -> None
+  in
+  Modes.Gpm.record_get t.gpm (Clock.now clock -. t0);
+  (result, stage)
+
+let get t clock key = fst (get_detail t clock key)
+
+let get_value t clock key =
+  let t0 = Clock.now clock in
+  let shard = shard_of t key in
+  if not (Modes.Gpm.active t.gpm) then
+    Shard.drain_dumps_if_idle shard ~now:t0;
+  let result =
+    match Shard.get shard clock key with
+    | Some loc, _ -> Vlog.value_at t.vlog clock loc
+    | None, _ -> None
+  in
+  Modes.Gpm.record_get t.gpm (Clock.now clock -. t0);
+  result
+
+let flush_all t clock =
+  Array.iter (fun shard -> Shard.force_flush shard clock) t.shards;
+  Manifest.record_update t.manifest clock
+
+let wait_background t clock =
+  Array.iter
+    (fun shard ->
+      ignore (Clock.wait_until clock (Shard.background_free_at shard)))
+    t.shards
+
+let crash t =
+  Device.crash t.dev;
+  Vlog.crash t.vlog;
+  Array.iter Shard.lose_volatile t.shards
+
+let recover t clock =
+  let t0 = Clock.now clock in
+  let marks = Array.map Shard.persisted_mark t.shards in
+  let lo = Array.fold_left min (Vlog.persisted t.vlog) marks in
+  Vlog.iter_range t.vlog clock ~lo ~hi:(Vlog.persisted t.vlog)
+    (fun loc key vlen ->
+      let shard_ix =
+        Hash.shard_of ~hash:(Hash.mix64 key) ~shards:t.cfg.Config.shards
+      in
+      if loc >= marks.(shard_ix) then begin
+        let index_loc = if vlen < 0 then Types.tombstone else loc in
+        Shard.replay t.shards.(shard_ix) clock key index_loc
+      end);
+  let restart_ns = Clock.now clock -. t0 in
+  (* ABI rebuild proceeds in the background after service resumes *)
+  Array.iter
+    (fun shard -> Shard.schedule_abi_rebuild shard ~start_at:(Clock.now clock))
+    t.shards;
+  restart_ns
+
+(* {2 Value-log garbage collection.}
+
+   The paper leaves log GC out of scope; this is the natural extension for
+   a log-structured store.  A pass scans the oldest log entries: an entry is
+   live iff the index still resolves its key to that exact location.  Live
+   entries are copied to the log tail through the ordinary put path (so the
+   copy is crash-consistent by construction: recovery simply replays it);
+   dead entries — superseded versions, tombstone records already reflected
+   in the persistent index — are dropped.  After the batch is flushed, the
+   log head advances and the prefix is reclaimed. *)
+
+type gc_stats = {
+  gc_scanned : int;
+  gc_live : int;
+  gc_dead : int;
+  gc_reclaimed_bytes : int;
+}
+
+let gc t clock ?(max_entries = 100_000) () =
+  (* flush the open batch so the scan limit can include the current tail *)
+  Vlog.flush t.vlog clock;
+  let head = Vlog.head t.vlog in
+  let limit = min (Vlog.persisted t.vlog) (head + max_entries) in
+  let scanned = ref 0 and live = ref 0 and dead = ref 0 in
+  Vlog.iter_range t.vlog clock ~lo:head ~hi:limit (fun loc key vlen ->
+      incr scanned;
+      let shard = shard_of t key in
+      match Shard.raw_lookup shard clock key with
+      | Some cur when cur = loc ->
+        incr live;
+        let fresh = Vlog.copy_entry t.vlog clock loc in
+        Shard.put shard clock key fresh
+          ~suspend_compactions:(suspend_compactions t)
+          ~can_dump:(can_dump t)
+      | Some cur when Types.is_tombstone cur && vlen < 0 ->
+        (* the key is currently deleted and this is a deletion record: it
+           must survive, or a crash could resurrect an older version still
+           sitting in the persistent index *)
+        incr live;
+        let _fresh = Vlog.append t.vlog clock key ~vlen:(-1) in
+        Shard.put shard clock key Types.tombstone
+          ~suspend_compactions:(suspend_compactions t)
+          ~can_dump:(can_dump t)
+      | Some _ | None -> incr dead);
+  (* the copies must be durable before the originals are reclaimed *)
+  Vlog.flush t.vlog clock;
+  let reclaimed =
+    Vlog.bytes_upto t.vlog limit - Vlog.bytes_upto t.vlog head
+  in
+  Vlog.advance_head t.vlog limit;
+  Manifest.record_update t.manifest clock;
+  { gc_scanned = !scanned;
+    gc_live = !live;
+    gc_dead = !dead;
+    gc_reclaimed_bytes = reclaimed }
+
+(* {2 Full scan.} *)
+
+let iter t clock f =
+  (* newest-version-wins sweep over every structure, oldest tables masked
+     by newer ones via a seen-set *)
+  let seen = Hashtbl.create 4096 in
+  let visit key loc =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      if not (Types.is_tombstone loc) then f key loc
+    end
+  in
+  Array.iter
+    (fun shard ->
+      Hashtbl.reset seen;
+      Shard.iter_newest_first shard clock visit)
+    t.shards
+
+let dram_footprint t =
+  Array.fold_left (fun acc s -> acc +. Shard.dram_footprint s) 0.0 t.shards
+  +. Vlog.dram_footprint t.vlog
+
+let pmem_footprint t =
+  Array.fold_left (fun acc s -> acc +. Shard.pmem_footprint s) 0.0 t.shards
+  +. Manifest.footprint_bytes t.manifest
+
+type totals = {
+  flushes : int;
+  upper_compactions : int;
+  last_compactions : int;
+  abi_dumps : int;
+  absorbs : int;
+  stall_ns : float;
+  manifest_updates : int;
+}
+
+let totals t =
+  let acc =
+    { flushes = 0;
+      upper_compactions = 0;
+      last_compactions = 0;
+      abi_dumps = 0;
+      absorbs = 0;
+      stall_ns = 0.0;
+      manifest_updates = Manifest.updates t.manifest }
+  in
+  Array.fold_left
+    (fun acc s ->
+      let c = Shard.counters s in
+      { acc with
+        flushes = acc.flushes + c.Shard.flushes;
+        upper_compactions = acc.upper_compactions + c.Shard.upper_compactions;
+        last_compactions = acc.last_compactions + c.Shard.last_compactions;
+        abi_dumps = acc.abi_dumps + c.Shard.abi_dumps;
+        absorbs = acc.absorbs + c.Shard.absorbs;
+        stall_ns = acc.stall_ns +. c.Shard.stall_ns })
+    acc t.shards
+
+let check_invariants t =
+  let rec go i =
+    if i >= Array.length t.shards then Ok ()
+    else begin
+      match Shard.check_invariants t.shards.(i) with
+      | Ok () -> go (i + 1)
+      | Error msg -> Error (Printf.sprintf "shard %d: %s" i msg)
+    end
+  in
+  go 0
+
+let handle t : Kv_common.Store_intf.handle =
+  { name = "ChameleonDB";
+    put = (fun clock key ~vlen -> put t clock key ~vlen);
+    get = (fun clock key -> get t clock key);
+    delete = (fun clock key -> delete t clock key);
+    flush = (fun clock -> flush_all t clock);
+    crash = (fun () -> crash t);
+    recover = (fun clock -> ignore (recover t clock));
+    dram_footprint = (fun () -> dram_footprint t);
+    device = t.dev;
+    vlog = t.vlog }

@@ -1,0 +1,118 @@
+(** ChameleonDB: the public key-value store API.
+
+    A store is a set of hash-partitioned shards over a shared value log on
+    one simulated Optane device.  All operations charge simulated time to
+    the caller's clock; the experiment harness runs many clocks against one
+    store to model threads.
+
+    {[
+      let dev = Pmem_sim.Device.create Pmem_sim.Cost_model.optane in
+      let db = Store.create ~dev () in
+      let clock = Pmem_sim.Clock.create () in
+      Store.put db clock 42L ~vlen:8;
+      assert (Store.get db clock 42L <> None)
+    ]} *)
+
+type t
+
+val create : ?cfg:Config.t -> ?dev:Pmem_sim.Device.t -> unit -> t
+(** Build a store.  Raises [Invalid_argument] if the configuration fails
+    {!Config.validate}. *)
+
+val cfg : t -> Config.t
+
+val shards : t -> Shard.t array
+(** Read-only view of the shards, for tooling ([Report]) and tests. *)
+
+val device : t -> Pmem_sim.Device.t
+val vlog : t -> Kv_common.Vlog.t
+
+val put : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> vlen:int -> unit
+(** Append the value to the storage log and index it.  May trigger flushes
+    and compactions whose cost lands on the shard's background clock; the
+    put stalls only when it must wait for previous background work. *)
+
+val get : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> Kv_common.Types.loc option
+(** Index lookup plus a log read of the value on a hit.  [None] for absent
+    or deleted keys.  Feeds the Get-Protect Mode latency monitor. *)
+
+val get_detail :
+  t -> Pmem_sim.Clock.t -> Kv_common.Types.key ->
+  Kv_common.Types.loc option * Shard.hit_stage
+(** Like {!get} but also reports which structure answered (experiments). *)
+
+val delete : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> unit
+(** Tombstone write: a header-only log entry plus an index tombstone. *)
+
+val put_value : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> bytes -> unit
+(** Like {!put} with a real payload.  Retained and retrievable via
+    {!get_value} when {!Config.t.materialize_values} is set; otherwise only
+    its size is kept (identical device traffic either way). *)
+
+val get_value : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> bytes option
+(** The stored payload, or [None] when the key is absent/deleted or the
+    store runs in accounting-only mode. *)
+
+val flush_all : t -> Pmem_sim.Clock.t -> unit
+(** Flush every MemTable and the log batch (clean checkpoint). *)
+
+val wait_background : t -> Pmem_sim.Clock.t -> unit
+(** Advance the clock past all outstanding background compaction work. *)
+
+val crash : t -> unit
+(** Power failure: unpersisted device writes revert, the log's open batch
+    is dropped, MemTables and ABIs are lost. *)
+
+val recover : t -> Pmem_sim.Clock.t -> float
+(** Replay the persisted log tail to rebuild MemTables (and absorbed ABIs);
+    returns the simulated restart time (ns).  ABI rebuild from the upper
+    tables then proceeds in the background; gets run degraded (multi-level)
+    until it completes, as in Section 3.3. *)
+
+val gpm_active : t -> bool
+val gpm : t -> Modes.Gpm.t
+
+(** {1 Value-log garbage collection}
+
+    An extension beyond the paper (which leaves log GC out of scope): a GC
+    pass scans the oldest log prefix, copies still-live entries to the tail
+    through the ordinary put path (crash-consistent by construction) and
+    reclaims the prefix. *)
+
+type gc_stats = {
+  gc_scanned : int;           (** entries examined *)
+  gc_live : int;              (** copied to the tail *)
+  gc_dead : int;              (** superseded/deleted, dropped *)
+  gc_reclaimed_bytes : int;   (** log bytes reclaimed *)
+}
+
+val gc : t -> Pmem_sim.Clock.t -> ?max_entries:int -> unit -> gc_stats
+(** Run one GC pass over up to [max_entries] (default 100k) of the oldest
+    live log prefix. *)
+
+val iter :
+  t -> Pmem_sim.Clock.t ->
+  (Kv_common.Types.key -> Kv_common.Types.loc -> unit) -> unit
+(** Full scan: apply [f] to every live key exactly once, with its current
+    log location (deleted keys are skipped).  Order is unspecified. *)
+
+val dram_footprint : t -> float
+val pmem_footprint : t -> float
+
+type totals = {
+  flushes : int;
+  upper_compactions : int;
+  last_compactions : int;
+  abi_dumps : int;
+  absorbs : int;
+  stall_ns : float;
+  manifest_updates : int;
+}
+
+val totals : t -> totals
+(** Aggregated shard counters. *)
+
+val check_invariants : t -> (unit, string) result
+
+val handle : t -> Kv_common.Store_intf.handle
+(** Uniform handle for the experiment harness. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Baselines Chameleondb Float Format Hashtbl Kv_common List Metrics Option Pmem_sim Printf Runner Stores Timeline Workload

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Float Kv_common Metrics Pmem_sim

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Kv_common Metrics Pmem_sim

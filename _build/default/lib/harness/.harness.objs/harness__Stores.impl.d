@@ -1,0 +1,1 @@
+lib/harness/stores.ml: Baselines Chameleondb Float Kv_common List Pmem_sim Runner Workload

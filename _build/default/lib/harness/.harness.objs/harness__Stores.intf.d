@@ -1,0 +1,1 @@
+lib/harness/stores.mli: Chameleondb Kv_common Runner

@@ -1,0 +1,1 @@
+lib/harness/timeline.ml: Array Hashtbl Kv_common List Metrics Pmem_sim

@@ -1,0 +1,19 @@
+(** One experiment per table and figure of the paper's evaluation, plus
+    ablations.  Each experiment builds fresh stores, drives them through the
+    discrete-event runner and prints the same rows/series the paper reports
+    (see DESIGN.md section 4 for the index and EXPERIMENTS.md for measured
+    results). *)
+
+type exp = {
+  id : string;          (** e.g. "fig10" *)
+  title : string;
+  run : Stores.scale -> unit;
+}
+
+val all : exp list
+
+val ids : unit -> string list
+
+val run_ids : scale:Stores.scale -> string list -> unit
+(** Run the experiments with the given ids in registry order; raises
+    [Invalid_argument] on an unknown id. *)

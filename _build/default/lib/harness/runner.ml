@@ -1,0 +1,93 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Stats = Pmem_sim.Stats
+module Types = Kv_common.Types
+module Store_intf = Kv_common.Store_intf
+module Histogram = Metrics.Histogram
+
+type result = {
+  ops : int;
+  start_ns : float;
+  end_ns : float;
+  latency : Histogram.t;
+  get_latency : Histogram.t;
+  put_latency : Histogram.t;
+  device_delta : Stats.t;
+}
+
+let sim_ns r = r.end_ns -. r.start_ns
+
+let throughput_mops r =
+  let ns = sim_ns r in
+  if ns <= 0.0 then 0.0 else float_of_int r.ops /. ns *. 1000.0
+
+let min_clock_thread clocks alive =
+  let best = ref (-1) and best_t = ref infinity in
+  Array.iteri
+    (fun i c ->
+      if alive.(i) && Clock.now c < !best_t then begin
+        best := i;
+        best_t := Clock.now c
+      end)
+    clocks;
+  !best
+
+let run ~handle ~threads ~start_at ~gen () =
+  let dev = handle.Store_intf.device in
+  let before = Stats.copy (Device.stats dev) in
+  let prev_threads = Device.active_threads dev in
+  Device.set_active_threads dev threads;
+  let clocks = Array.init threads (fun _ -> Clock.create ~at:start_at ()) in
+  let alive = Array.make threads true in
+  let latency = Histogram.create () in
+  let get_latency = Histogram.create () in
+  let put_latency = Histogram.create () in
+  let ops = ref 0 in
+  let nalive = ref threads in
+  while !nalive > 0 do
+    let i = min_clock_thread clocks alive in
+    let clock = clocks.(i) in
+    match gen ~thread:i ~now:(Clock.now clock) with
+    | None ->
+      alive.(i) <- false;
+      decr nalive
+    | Some op ->
+      let t0 = Clock.now clock in
+      Store_intf.apply handle clock op;
+      let lat = Clock.now clock -. t0 in
+      Histogram.record latency lat;
+      (match op with
+      | Types.Get _ -> Histogram.record get_latency lat
+      | Types.Put _ | Types.Delete _ | Types.Read_modify_write _ ->
+        Histogram.record put_latency lat);
+      incr ops
+  done;
+  Device.set_active_threads dev prev_threads;
+  let end_ns =
+    Array.fold_left (fun acc c -> Float.max acc (Clock.now c)) start_at clocks
+  in
+  { ops = !ops;
+    start_ns = start_at;
+    end_ns;
+    latency;
+    get_latency;
+    put_latency;
+    device_delta = Stats.diff ~after:(Device.stats dev) ~before }
+
+let run_ops ~handle ~threads ~start_at ~ops ~next () =
+  let remaining = ref ops in
+  let gen ~thread:_ ~now:_ =
+    if !remaining <= 0 then None
+    else begin
+      decr remaining;
+      Some (next ())
+    end
+  in
+  run ~handle ~threads ~start_at ~gen ()
+
+let summary ~name ?(user_bytes = 0.0) ?dram_bytes r =
+  let dram_bytes = match dram_bytes with Some b -> b | None -> 0.0 in
+  Metrics.Summary.make ~name ~ops:r.ops ~sim_ns:(sim_ns r) ~latency:r.latency
+    ~pmem_write_bytes:r.device_delta.Stats.media_write_bytes
+    ~pmem_read_bytes:r.device_delta.Stats.media_read_bytes ~user_bytes
+    ~dram_bytes ()

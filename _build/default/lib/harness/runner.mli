@@ -1,0 +1,47 @@
+(** Discrete-event multi-thread driver.
+
+    [threads] virtual clocks run against one store handle; at every step the
+    thread with the smallest clock executes its next operation, so accesses
+    to the shared device bandwidth servers are processed in global time
+    order — throughput saturation and cross-thread interference emerge from
+    the device model rather than being scripted. *)
+
+type result = {
+  ops : int;
+  start_ns : float;
+  end_ns : float;              (** max over thread clocks at completion *)
+  latency : Metrics.Histogram.t;
+  get_latency : Metrics.Histogram.t; (** subset: Get ops only *)
+  put_latency : Metrics.Histogram.t; (** subset: Put / RMW / Delete ops *)
+  device_delta : Pmem_sim.Stats.t;   (** device counters over the run *)
+}
+
+val sim_ns : result -> float
+val throughput_mops : result -> float
+
+val run :
+  handle:Kv_common.Store_intf.handle ->
+  threads:int ->
+  start_at:float ->
+  gen:(thread:int -> now:float -> Kv_common.Types.op option) ->
+  unit ->
+  result
+(** Drive the handle until every thread's generator returns [None].  [gen]
+    receives the issuing thread id and its current simulated time (so
+    generators can be phase/burst aware).  The device's active-thread count
+    is set for the duration of the run. *)
+
+val run_ops :
+  handle:Kv_common.Store_intf.handle ->
+  threads:int ->
+  start_at:float ->
+  ops:int ->
+  next:(unit -> Kv_common.Types.op) ->
+  unit ->
+  result
+(** Convenience: issue exactly [ops] operations drawn from a single shared
+    sequence (the min-clock thread takes the next one). *)
+
+val summary :
+  name:string -> ?user_bytes:float -> ?dram_bytes:float -> result ->
+  Metrics.Summary.t

@@ -1,0 +1,98 @@
+module Config = Chameleondb.Config
+module Store_intf = Kv_common.Store_intf
+module Types = Kv_common.Types
+
+type scale = {
+  shards : int;
+  memtable_slots : int;
+  load_keys : int;
+  sweep_ops : int;
+  threads : int list;
+  vlen : int;
+}
+
+(* One full shard cycle (everything compacted to the last level once) is
+   shards x memtable_slots x r^(levels-1) x load_factor ~= shards x slots x
+   48 keys; the load must exceed ~2 cycles so that, as in the paper's
+   billion-key steady state, most keys reside in the last level. *)
+let default =
+  { shards = 32;
+    memtable_slots = 128;
+    load_keys = 500_000;
+    sweep_ops = 200_000;
+    threads = [ 1; 2; 4; 8; 16 ];
+    vlen = 8 }
+
+let quick =
+  { shards = 8;
+    memtable_slots = 128;
+    load_keys = 125_000;
+    sweep_ops = 50_000;
+    threads = [ 1; 4; 16 ];
+    vlen = 8 }
+
+let chameleon_cfg scale =
+  { Config.default with
+    Config.shards = scale.shards;
+    memtable_slots = scale.memtable_slots }
+
+type spec = { name : string; make : unit -> Store_intf.handle }
+
+let chameleon ?(f = fun cfg -> cfg) scale =
+  { name = "ChameleonDB";
+    make =
+      (fun () -> Chameleondb.Store.handle
+          (Chameleondb.Store.create ~cfg:(f (chameleon_cfg scale)) ())) }
+
+let all scale =
+  let cfg = chameleon_cfg scale in
+  [ chameleon scale;
+    { name = "Pmem-LSM-PinK";
+      make =
+        (fun () -> Baselines.Pmem_lsm.handle
+            (Baselines.Pmem_lsm.create ~cfg Baselines.Pmem_lsm.Pink)) };
+    { name = "Pmem-LSM-NF";
+      make =
+        (fun () -> Baselines.Pmem_lsm.handle
+            (Baselines.Pmem_lsm.create ~cfg Baselines.Pmem_lsm.Nf)) };
+    { name = "Pmem-LSM-F";
+      make =
+        (fun () -> Baselines.Pmem_lsm.handle
+            (Baselines.Pmem_lsm.create ~cfg Baselines.Pmem_lsm.F)) };
+    { name = "Pmem-Hash";
+      make =
+        (fun () -> Baselines.Pmem_hash.handle (Baselines.Pmem_hash.create ())) };
+    { name = "Dram-Hash";
+      make =
+        (fun () -> Baselines.Dram_hash.handle (Baselines.Dram_hash.create ())) }
+  ]
+
+let find scale name =
+  match List.find_opt (fun s -> s.name = name) (all scale) with
+  | Some s -> s
+  | None -> invalid_arg ("Stores.find: unknown store " ^ name)
+
+let load_unique ~handle ~threads ~start_at ~n ~vlen =
+  let i = ref 0 in
+  let next () =
+    let key = Workload.Keyspace.key_of_index !i in
+    incr i;
+    Types.Put (key, vlen)
+  in
+  let r = Runner.run_ops ~handle ~threads ~start_at ~ops:n ~next () in
+  let clock = Pmem_sim.Clock.create ~at:r.Runner.end_ns () in
+  handle.Store_intf.flush clock;
+  r
+
+let settled_cursor ~handle r =
+  Float.max r.Runner.end_ns
+    (Pmem_sim.Device.quiesce_at handle.Store_intf.device)
+
+let sustained_mops ~handle r =
+  let ns = settled_cursor ~handle r -. r.Runner.start_ns in
+  if ns <= 0.0 then 0.0 else float_of_int r.Runner.ops /. ns *. 1000.0
+
+let uniform_get_gen ~seed ~universe =
+  let rng = Workload.Rng.create ~seed in
+  fun () ->
+    Types.Get (Workload.Keyspace.key_of_index (Workload.Rng.int rng universe))

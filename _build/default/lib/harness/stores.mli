@@ -1,0 +1,58 @@
+(** Store zoo and experiment scaling.
+
+    The paper loads one billion keys into stores with 16384 shards; we run
+    the same ratios at reduced scale (see DESIGN.md).  [scale] centralizes
+    the knobs so every experiment sizes itself consistently, and [--quick]
+    maps to {!quick}. *)
+
+type scale = {
+  shards : int;
+  memtable_slots : int;
+  load_keys : int;     (** unique keys loaded before read-side experiments *)
+  sweep_ops : int;     (** operations per measurement sweep *)
+  threads : int list;  (** thread counts for throughput sweeps *)
+  vlen : int;          (** value size (8 B in the paper's main runs) *)
+}
+
+val default : scale
+val quick : scale
+
+val chameleon_cfg : scale -> Chameleondb.Config.t
+(** ChameleonDB (and Pmem-LSM) configuration at this scale. *)
+
+type spec = {
+  name : string;
+  make : unit -> Kv_common.Store_intf.handle;
+      (** fresh store on a fresh simulated device *)
+}
+
+val all : scale -> spec list
+(** The six stores of the main evaluation: ChameleonDB, Pmem-LSM-PinK,
+    Pmem-LSM-NF, Pmem-LSM-F, Pmem-Hash, Dram-Hash. *)
+
+val chameleon :
+  ?f:(Chameleondb.Config.t -> Chameleondb.Config.t) -> scale -> spec
+(** ChameleonDB with a config tweak (modes, compaction scheme, ablations). *)
+
+val find : scale -> string -> spec
+
+val load_unique :
+  handle:Kv_common.Store_intf.handle -> threads:int -> start_at:float ->
+  n:int -> vlen:int -> Runner.result
+(** Load [n] unique keys (indices [0, n)) and flush. *)
+
+val settled_cursor :
+  handle:Kv_common.Store_intf.handle -> Runner.result -> float
+(** Time to start the next measurement phase: past the run's end {e and}
+    past any background device backlog it left behind. *)
+
+val sustained_mops :
+  handle:Kv_common.Store_intf.handle -> Runner.result -> float
+(** Throughput over the settled duration — the honest number for write
+    workloads, where foreground clocks can finish while compaction backlog
+    is still queued on the device. *)
+
+val uniform_get_gen :
+  seed:int -> universe:int -> unit -> Kv_common.Types.op
+(** Shared generator of uniform random gets over loaded keys (use with
+    {!Runner.run_ops}, which bounds the count). *)

@@ -1,0 +1,81 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Types = Kv_common.Types
+module Store_intf = Kv_common.Store_intf
+module Histogram = Metrics.Histogram
+
+type window = {
+  t_start : float;
+  ops : int;
+  puts : int;
+  gets : int;
+  get_p99 : float;
+  get_p50 : float;
+}
+
+type bucket = {
+  mutable b_ops : int;
+  mutable b_puts : int;
+  mutable b_gets : int;
+  b_get_hist : Histogram.t;
+}
+
+let fresh_bucket () =
+  { b_ops = 0; b_puts = 0; b_gets = 0; b_get_hist = Histogram.create () }
+
+let run ~handle ~threads ~start_at ~window_ns ~gen () =
+  let dev = handle.Store_intf.device in
+  let prev_threads = Device.active_threads dev in
+  Device.set_active_threads dev threads;
+  let clocks = Array.init threads (fun _ -> Clock.create ~at:start_at ()) in
+  let alive = Array.make threads true in
+  let nalive = ref threads in
+  let buckets : (int, bucket) Hashtbl.t = Hashtbl.create 256 in
+  let bucket_of t =
+    let ix = int_of_float ((t -. start_at) /. window_ns) in
+    match Hashtbl.find_opt buckets ix with
+    | Some b -> b
+    | None ->
+      let b = fresh_bucket () in
+      Hashtbl.add buckets ix b;
+      b
+  in
+  while !nalive > 0 do
+    (* min-clock thread *)
+    let best = ref (-1) and best_t = ref infinity in
+    Array.iteri
+      (fun i c ->
+        if alive.(i) && Clock.now c < !best_t then begin
+          best := i;
+          best_t := Clock.now c
+        end)
+      clocks;
+    let i = !best in
+    let clock = clocks.(i) in
+    match gen ~thread:i ~now:(Clock.now clock) with
+    | None ->
+      alive.(i) <- false;
+      decr nalive
+    | Some op ->
+      let t0 = Clock.now clock in
+      Store_intf.apply handle clock op;
+      let t1 = Clock.now clock in
+      let b = bucket_of t1 in
+      b.b_ops <- b.b_ops + 1;
+      (match op with
+      | Types.Get _ ->
+        b.b_gets <- b.b_gets + 1;
+        Histogram.record b.b_get_hist (t1 -. t0)
+      | Types.Put _ | Types.Delete _ | Types.Read_modify_write _ ->
+        b.b_puts <- b.b_puts + 1)
+  done;
+  Device.set_active_threads dev prev_threads;
+  Hashtbl.fold (fun ix b acc -> (ix, b) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (ix, b) ->
+         { t_start = start_at +. (float_of_int ix *. window_ns);
+           ops = b.b_ops;
+           puts = b.b_puts;
+           gets = b.b_gets;
+           get_p99 = Histogram.percentile b.b_get_hist 99.0;
+           get_p50 = Histogram.percentile b.b_get_hist 50.0 })

@@ -1,0 +1,25 @@
+(** Windowed time-series runner for the burst experiments (Figs. 15, 16).
+
+    Like {!Runner.run}, but operation completions are bucketed into fixed
+    simulated-time windows, yielding per-window throughput and per-window
+    get tail latency. *)
+
+type window = {
+  t_start : float;          (** window start, simulated ns *)
+  ops : int;                (** operations completed in the window *)
+  puts : int;
+  gets : int;
+  get_p99 : float;          (** p99 get latency within the window (0 if no gets) *)
+  get_p50 : float;
+}
+
+val run :
+  handle:Kv_common.Store_intf.handle ->
+  threads:int ->
+  start_at:float ->
+  window_ns:float ->
+  gen:(thread:int -> now:float -> Kv_common.Types.op option) ->
+  unit ->
+  window list
+(** Windows are returned in time order; empty trailing windows are
+    omitted. *)

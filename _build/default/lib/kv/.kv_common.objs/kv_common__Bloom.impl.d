@@ -1,0 +1,1 @@
+lib/kv/bloom.ml: Bytes Char Hash Int64 Pmem_sim

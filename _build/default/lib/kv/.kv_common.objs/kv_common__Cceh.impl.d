@@ -1,0 +1,1 @@
+lib/kv/cceh.ml: Array Bytes Hash Int64 Pmem_sim Types

@@ -1,0 +1,1 @@
+lib/kv/cceh.mli: Pmem_sim Types

@@ -1,0 +1,1 @@
+lib/kv/flat_table.ml: Array Hash Int64 Pmem_sim Types

@@ -1,0 +1,1 @@
+lib/kv/flat_table.mli: Pmem_sim Types

@@ -1,0 +1,1 @@
+lib/kv/linear_table.ml: Array Bytes Hash Int64 List Pmem_sim Types

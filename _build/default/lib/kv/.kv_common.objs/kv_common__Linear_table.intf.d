@@ -1,0 +1,1 @@
+lib/kv/linear_table.mli: Pmem_sim Types

@@ -1,0 +1,1 @@
+lib/kv/merge.ml: Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/kv/merge.mli: Types

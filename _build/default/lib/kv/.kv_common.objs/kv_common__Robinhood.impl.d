@@ -1,0 +1,1 @@
+lib/kv/robinhood.ml: Array Hash Int64 Pmem_sim Types

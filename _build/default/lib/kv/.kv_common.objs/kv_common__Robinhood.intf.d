@@ -1,0 +1,1 @@
+lib/kv/robinhood.mli: Pmem_sim Types

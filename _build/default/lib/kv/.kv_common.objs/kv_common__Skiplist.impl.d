@@ -1,0 +1,1 @@
+lib/kv/skiplist.ml: Array Hash Int64 Pmem_sim

@@ -1,0 +1,1 @@
+lib/kv/skiplist.mli: Pmem_sim Types

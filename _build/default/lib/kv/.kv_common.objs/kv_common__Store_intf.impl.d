@@ -1,0 +1,1 @@
+lib/kv/store_intf.ml: Pmem_sim Types Vlog

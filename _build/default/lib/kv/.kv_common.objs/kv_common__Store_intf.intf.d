@@ -1,0 +1,1 @@
+lib/kv/store_intf.mli: Pmem_sim Types Vlog

@@ -1,0 +1,1 @@
+lib/kv/vlog.ml: Array Bigarray Bytes Hashtbl Int64 Pmem_sim

@@ -1,0 +1,1 @@
+lib/kv/vlog.mli: Pmem_sim Types

@@ -1,0 +1,26 @@
+(** Bloom filters, as used by the Pmem-LSM-F baseline (and by NoveLSM /
+    MatrixKV models).
+
+    The filter itself lives in DRAM; what matters to the simulation is the
+    CPU cost: {!add} charges the construction cost the paper identifies as
+    Pmem-LSM-F's put bottleneck, and {!mem} charges the per-filter check cost
+    that dominates read latency on Optane (Challenge 2 / Fig. 2). *)
+
+type t
+
+val create : expected:int -> bits_per_key:int -> t
+(** A filter sized for [expected] keys at [bits_per_key] (k is derived as
+    [max 1 (round (0.69 * bits_per_key))]). *)
+
+val add : t -> Pmem_sim.Clock.t -> Types.key -> unit
+
+val mem : t -> Pmem_sim.Clock.t -> Types.key -> bool
+(** May return false positives; never false negatives. *)
+
+val add_silent : t -> Types.key -> unit
+(** Insert without charging time (used when rebuilding in tests). *)
+
+val mem_silent : t -> Types.key -> bool
+
+val footprint_bytes : t -> float
+val nkeys : t -> int

@@ -1,0 +1,40 @@
+(** CCEH — Cacheline-Conscious Extendible Hashing (Nam et al., FAST'19) —
+    the paper's Pmem-Hash baseline.
+
+    A directory of segments; a key hashes to a directory entry (top bits)
+    and linear-probes a bounded window inside the 16 KB segment.  A
+    successful insertion is a single in-place 16 B slot write persisted
+    immediately — which on Optane turns into a full 256 B media unit, the
+    write amplification that makes Pmem-Hash the slowest writer in the
+    evaluation.  When a probe window overflows, the segment splits (bulk
+    read + two bulk writes) and the directory may double.
+
+    Because both segments and slots are persisted in place, recovery only
+    rebuilds the small DRAM directory cache. *)
+
+type t
+
+val create : ?segment_slots:int -> ?probe_limit:int -> Pmem_sim.Device.t -> t
+(** Defaults: 1024 slots per segment (16 KB), probe window 16. *)
+
+val count : t -> int
+val segments : t -> int
+val global_depth : t -> int
+
+val put : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc -> unit
+val get : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
+(** Returns the stored location; tombstones are returned as-is (the caller
+    interprets them). *)
+
+val delete : t -> Pmem_sim.Clock.t -> Types.key -> bool
+(** In-place tombstone write; [true] if the key was present. *)
+
+val dram_footprint : t -> float
+(** Directory cache plus per-segment metadata kept in DRAM. *)
+
+val recover : t -> Pmem_sim.Clock.t -> unit
+(** Rebuild the DRAM directory from segment metadata: one small read per
+    segment. *)
+
+val splits : t -> int
+(** Number of segment splits performed (tests / latency attribution). *)

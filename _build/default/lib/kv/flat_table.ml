@@ -1,0 +1,79 @@
+module Clock = Pmem_sim.Clock
+module Cost_model = Pmem_sim.Cost_model
+
+type t = {
+  keys : int64 array;
+  locs : int array;
+  nslots : int;
+  thresh : float;
+  mutable n : int;
+}
+
+let create ?(load_factor = 0.75) ~slots () =
+  if slots <= 0 then invalid_arg "Flat_table.create";
+  { keys = Array.make slots Types.empty_key;
+    locs = Array.make slots 0;
+    nslots = slots;
+    thresh = load_factor;
+    n = 0 }
+
+let slots t = t.nslots
+let count t = t.n
+let load_factor t = float_of_int t.n /. float_of_int t.nslots
+let threshold t = t.thresh
+let is_full t = float_of_int t.n >= (t.thresh *. float_of_int t.nslots)
+
+let charge_probe clock ~first =
+  Clock.advance clock
+    (if first then Cost_model.dram_read_ns else Cost_model.dram_hit_ns)
+
+(* Returns the slot holding [key], or the first empty slot of its probe
+   chain.  The table is never 100% full (threshold < 1), so a chain always
+   terminates. *)
+let find_slot t clock key =
+  let h = Hash.mix64 key in
+  let start = Hash.slot_of ~hash:h ~slots:t.nslots in
+  let rec probe i steps =
+    charge_probe clock ~first:(steps = 0);
+    if Int64.equal t.keys.(i) key || Int64.equal t.keys.(i) Types.empty_key
+    then i
+    else probe ((i + 1) mod t.nslots) (steps + 1)
+  in
+  probe start 0
+
+let put t clock key loc =
+  assert (not (Int64.equal key Types.empty_key));
+  let i = find_slot t clock key in
+  if Int64.equal t.keys.(i) key then begin
+    t.locs.(i) <- loc;
+    Clock.advance clock Cost_model.dram_hit_ns;
+    `Ok
+  end
+  else if is_full t then `Full
+  else begin
+    t.keys.(i) <- key;
+    t.locs.(i) <- loc;
+    t.n <- t.n + 1;
+    Clock.advance clock Cost_model.dram_hit_ns;
+    `Ok
+  end
+
+let put_exn t clock key loc =
+  match put t clock key loc with
+  | `Ok -> ()
+  | `Full -> failwith "Flat_table.put_exn: table full"
+
+let get t clock key =
+  let i = find_slot t clock key in
+  if Int64.equal t.keys.(i) key then Some t.locs.(i) else None
+
+let iter t f =
+  for i = 0 to t.nslots - 1 do
+    if not (Int64.equal t.keys.(i) Types.empty_key) then f t.keys.(i) t.locs.(i)
+  done
+
+let clear t =
+  Array.fill t.keys 0 t.nslots Types.empty_key;
+  t.n <- 0
+
+let footprint_bytes t = float_of_int (t.nslots * Types.slot_bytes)

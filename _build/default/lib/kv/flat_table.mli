@@ -1,0 +1,45 @@
+(** Fixed-size in-DRAM hash table with linear probing.
+
+    This is the building block for ChameleonDB's MemTable and Auxiliary
+    Bypass Index: a fixed slot count (no rehashing, Section 2.5), a load-
+    factor threshold that declares the table full, and linear probing for
+    collisions.  Deletions are represented by tombstone locations stored as
+    values, never by slot removal, so probe chains stay valid.
+
+    Every access charges DRAM costs to the clock: the first probe is a
+    cache-missing random access, subsequent linear probes hit the same or
+    the next cache line. *)
+
+type t
+
+val create : ?load_factor:float -> slots:int -> unit -> t
+(** [create ~slots ()] with a full-threshold of [load_factor] (default 0.75,
+    the paper randomizes it per shard between 0.65 and 0.85). *)
+
+val slots : t -> int
+val count : t -> int
+val load_factor : t -> float
+val threshold : t -> float
+
+val is_full : t -> bool
+(** True once [count >= load_factor * slots]. *)
+
+val put : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc -> [ `Ok | `Full ]
+(** Insert or update.  [`Full] is returned (and nothing is inserted) when
+    inserting a {e new} key while {!is_full}; updates of present keys always
+    succeed. *)
+
+val put_exn : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc -> unit
+(** Like {!put} but raises [Failure] on [`Full]. *)
+
+val get : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
+(** [Some loc] if present (the location may be a tombstone). *)
+
+val iter : t -> (Types.key -> Types.loc -> unit) -> unit
+(** Iterate live entries without cost charging (cost is charged by the bulk
+    operation driving the iteration, e.g. a flush). *)
+
+val clear : t -> unit
+
+val footprint_bytes : t -> float
+(** slots x 16 B. *)

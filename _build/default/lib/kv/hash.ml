@@ -1,0 +1,13 @@
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let to_int h = Int64.to_int h land max_int
+
+let slot_of ~hash ~slots = to_int hash mod slots
+
+let shard_of ~hash ~shards =
+  (* take high bits: shift so that the slot bits (low) are not reused *)
+  Int64.to_int (Int64.shift_right_logical hash 40) mod shards

@@ -1,0 +1,18 @@
+(** 64-bit hashing utilities (splitmix64 finalizer).
+
+    All index structures hash keys through {!mix64} so that sequential or
+    skewed key patterns spread uniformly over shards and slots, as the
+    paper's hashed-key placement requires. *)
+
+val mix64 : int64 -> int64
+(** Bijective avalanche mixer (splitmix64 finalizer). *)
+
+val to_int : int64 -> int
+(** Non-negative OCaml int from a hash (drops the sign bit). *)
+
+val slot_of : hash:int64 -> slots:int -> int
+(** Slot index in [0, slots) taken from the low bits of [hash]. *)
+
+val shard_of : hash:int64 -> shards:int -> int
+(** Shard index in [0, shards) taken from the {e high} bits of [hash], so the
+    bits used for shard routing and in-table slots are independent. *)

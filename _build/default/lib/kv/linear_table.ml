@@ -1,0 +1,114 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Cost_model = Pmem_sim.Cost_model
+
+type t = {
+  dev : Device.t;
+  off : int;
+  nslots : int;
+  mutable live : int;
+  mutable tag : int;
+}
+
+let slot_off t i = t.off + (i * Types.slot_bytes)
+
+let build dev clock ~slots entries =
+  if slots <= 0 then invalid_arg "Linear_table.build";
+  let keys = Array.make slots Types.empty_key in
+  let locs = Array.make slots 0 in
+  let live = ref 0 in
+  let insert (key, loc) =
+    assert (not (Int64.equal key Types.empty_key));
+    let h = Hash.mix64 key in
+    let rec probe i =
+      if Int64.equal keys.(i) key then locs.(i) <- loc
+      else if Int64.equal keys.(i) Types.empty_key then begin
+        keys.(i) <- key;
+        locs.(i) <- loc;
+        incr live
+      end
+      else probe ((i + 1) mod slots)
+    in
+    if !live >= slots then invalid_arg "Linear_table.build: overfull";
+    Clock.advance clock (Cost_model.hash_ns +. Cost_model.dram_hit_ns);
+    probe (Hash.slot_of ~hash:h ~slots)
+  in
+  List.iter insert entries;
+  let bytes = Bytes.create (slots * Types.slot_bytes) in
+  for i = 0 to slots - 1 do
+    Bytes.set_int64_le bytes (i * Types.slot_bytes) keys.(i);
+    Bytes.set_int64_le bytes ((i * Types.slot_bytes) + 8)
+      (Int64.of_int locs.(i))
+  done;
+  let off = Device.alloc dev (slots * Types.slot_bytes) in
+  Device.write_bytes dev clock ~off bytes;
+  Device.persist dev clock ~off ~len:(slots * Types.slot_bytes);
+  { dev; off; nslots = slots; live = !live; tag = 0 }
+
+let slots t = t.nslots
+let count t = t.live
+let tag t = t.tag
+let set_tag t v = t.tag <- v
+let byte_size t = t.nslots * Types.slot_bytes
+
+let get t clock key =
+  let h = Hash.mix64 key in
+  let unit = (Device.profile t.dev).Cost_model.write_unit in
+  let start = Hash.slot_of ~hash:h ~slots:t.nslots in
+  let rec probe i prev_line =
+    let off = slot_off t i in
+    let line = off / unit in
+    let hint : Device.read_hint =
+      if prev_line = line then Adjacent else Random
+    in
+    let k = Device.read_u64 t.dev clock ~off ~hint in
+    if Int64.equal k key then begin
+      let loc = Device.read_u64 t.dev clock ~off:(off + 8) ~hint:Adjacent in
+      Some (Int64.to_int loc)
+    end
+    else if Int64.equal k Types.empty_key then None
+    else probe ((i + 1) mod t.nslots) line
+  in
+  probe start (-1)
+
+let iter t clock f =
+  let len = t.nslots * Types.slot_bytes in
+  let bytes = Device.read_bytes t.dev clock ~off:t.off ~len ~hint:Bulk in
+  for i = 0 to t.nslots - 1 do
+    let k = Bytes.get_int64_le bytes (i * Types.slot_bytes) in
+    if not (Int64.equal k Types.empty_key) then begin
+      let loc = Int64.to_int (Bytes.get_int64_le bytes ((i * Types.slot_bytes) + 8)) in
+      f k loc
+    end
+  done
+
+let free t = Device.dealloc t.dev ~off:t.off ~len:(byte_size t)
+
+(* Silent accessors: no device-cost charging.  Used by stores that keep a
+   DRAM copy of a table (Pmem-LSM-PinK) and charge DRAM costs themselves.
+   [get_silent] also reports the probe count so callers can price the walk. *)
+
+let get_silent t key =
+  let h = Hash.mix64 key in
+  let start = Hash.slot_of ~hash:h ~slots:t.nslots in
+  let rec probe i steps =
+    let off = slot_off t i in
+    let k = Device.peek_u64 t.dev ~off in
+    if Int64.equal k key then begin
+      let loc = Device.peek_u64 t.dev ~off:(off + 8) in
+      (Some (Int64.to_int loc), steps + 1)
+    end
+    else if Int64.equal k Types.empty_key then (None, steps + 1)
+    else probe ((i + 1) mod t.nslots) (steps + 1)
+  in
+  probe start 0
+
+let iter_silent t f =
+  for i = 0 to t.nslots - 1 do
+    let off = slot_off t i in
+    let k = Device.peek_u64 t.dev ~off in
+    if not (Int64.equal k Types.empty_key) then begin
+      let loc = Int64.to_int (Device.peek_u64 t.dev ~off:(off + 8)) in
+      f k loc
+    end
+  done

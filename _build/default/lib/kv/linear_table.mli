@@ -1,0 +1,50 @@
+(** Immutable persistent hash table laid out on the simulated Pmem device.
+
+    This is the paper's on-Pmem table format (a sub-level of an LSM level):
+    a fixed array of 16 B slots (8 B key, 8 B location), filled by linear
+    probing, written to the device as one large aligned write — which is why
+    flushing/compacting tables "can fully utilize the write bandwidth of
+    Optane Pmem" (Section 2.1).  Once built, a table is immutable; it is
+    dropped as a whole after compaction. *)
+
+type t
+
+val build :
+  Pmem_sim.Device.t -> Pmem_sim.Clock.t -> slots:int ->
+  (Types.key * Types.loc) list -> t
+(** [build dev c ~slots entries] assembles the slot array in a DRAM staging
+    buffer (charging hashing and copy costs), writes it to a fresh device
+    allocation and persists it with a single large write.  Later bindings of
+    the same key override earlier ones.  Raises [Invalid_argument] if
+    [entries] exceed [slots]. *)
+
+val slots : t -> int
+val count : t -> int
+(** Live entries. *)
+
+val tag : t -> int
+val set_tag : t -> int -> unit
+(** Client-managed recency tag: ChameleonDB orders a shard's tables by
+    creation sequence to resolve key versions across levels and GPM dumps. *)
+
+val byte_size : t -> int
+
+val get : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
+(** Probe the persistent table.  The first probe is a random device read;
+    linear-probe successors within the same 256 B unit are charged as
+    adjacent accesses. *)
+
+val iter : t -> Pmem_sim.Clock.t -> (Types.key -> Types.loc -> unit) -> unit
+(** Stream the whole table from the device (one bulk read) and apply [f] to
+    live slots — the read half of a compaction. *)
+
+val free : t -> unit
+(** Return the allocation to the device accounting. *)
+
+val get_silent : t -> Types.key -> Types.loc option * int
+(** Probe without charging device costs; also returns the number of slots
+    probed so a caller holding a DRAM mirror (Pmem-LSM-PinK) can charge
+    DRAM costs for the walk. *)
+
+val iter_silent : t -> (Types.key -> Types.loc -> unit) -> unit
+(** Iterate live slots without cost charging. *)

@@ -1,0 +1,18 @@
+type source = (Types.key -> Types.loc -> unit) -> unit
+
+let of_list entries f = List.iter (fun (k, l) -> f k l) entries
+
+let newest_first ?(drop_tombstones = false) ?(on_entry = fun () -> ()) sources
+    =
+  let seen = Hashtbl.create 1024 in
+  let acc = ref [] in
+  let visit key loc =
+    on_entry ();
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      if not (drop_tombstones && Types.is_tombstone loc) then
+        acc := (key, loc) :: !acc
+    end
+  in
+  List.iter (fun source -> source visit) sources;
+  !acc

@@ -1,0 +1,23 @@
+(** Newest-first compaction merge.
+
+    Every LSM-style store in this repository compacts by visiting sources in
+    recency order and keeping the first (newest) binding of each key.  This
+    is that dedup step, shared so its semantics — including tombstone
+    handling at the bottom of the tree — stay identical everywhere. *)
+
+type source = (Types.key -> Types.loc -> unit) -> unit
+(** A source is an iterator over its entries (e.g. a table's [iter],
+    partially applied).  Sources are consumed newest first. *)
+
+val of_list : (Types.key * Types.loc) list -> source
+
+val newest_first :
+  ?drop_tombstones:bool ->
+  ?on_entry:(unit -> unit) ->
+  source list ->
+  (Types.key * Types.loc) list
+(** [newest_first sources] merges, keeping the newest binding per key.
+    [drop_tombstones] (default false) discards deletion markers — only
+    correct when merging into the bottom of the tree, where nothing older
+    can be masked.  [on_entry] is invoked once per visited entry (cost
+    charging).  Order of the result is unspecified. *)

@@ -1,0 +1,132 @@
+module Clock = Pmem_sim.Clock
+module Cost_model = Pmem_sim.Cost_model
+
+type t = {
+  mutable keys : int64 array;
+  mutable locs : int array;
+  mutable cap : int;
+  mutable n : int;
+  mutable rehashes : int;
+}
+
+let max_load = 0.80
+
+let create ?(initial_slots = 64) () =
+  { keys = Array.make initial_slots Types.empty_key;
+    locs = Array.make initial_slots 0;
+    cap = initial_slots;
+    n = 0;
+    rehashes = 0 }
+
+let count t = t.n
+let capacity t = t.cap
+let home t key = Hash.slot_of ~hash:(Hash.mix64 key) ~slots:t.cap
+
+(* Probe-sequence length of the entry currently in slot [i]. *)
+let psl_of t i =
+  let h = home t t.keys.(i) in
+  (i - h + t.cap) mod t.cap
+
+let insert_raw t key loc =
+  let rec place key loc i psl =
+    if Int64.equal t.keys.(i) Types.empty_key then begin
+      t.keys.(i) <- key;
+      t.locs.(i) <- loc;
+      t.n <- t.n + 1
+    end
+    else if Int64.equal t.keys.(i) key then t.locs.(i) <- loc
+    else if psl_of t i < psl then begin
+      (* rob the rich: swap and keep placing the displaced entry *)
+      let k' = t.keys.(i) and l' = t.locs.(i) in
+      let psl' = psl_of t i in
+      t.keys.(i) <- key;
+      t.locs.(i) <- loc;
+      place k' l' ((i + 1) mod t.cap) (psl' + 1)
+    end
+    else place key loc ((i + 1) mod t.cap) (psl + 1)
+  in
+  place key loc (home t key) 0
+
+let grow t clock =
+  let old_keys = t.keys and old_locs = t.locs and old_cap = t.cap in
+  t.cap <- t.cap * 2;
+  t.keys <- Array.make t.cap Types.empty_key;
+  t.locs <- Array.make t.cap 0;
+  t.n <- 0;
+  t.rehashes <- t.rehashes + 1;
+  for i = 0 to old_cap - 1 do
+    if not (Int64.equal old_keys.(i) Types.empty_key) then
+      insert_raw t old_keys.(i) old_locs.(i)
+  done;
+  (* The whole rehash stalls the inserting operation; the scan itself is
+     sequential and cache-friendly. *)
+  Clock.advance clock (float_of_int old_cap *. Cost_model.rehash_per_key_ns)
+
+let put t clock key loc =
+  assert (not (Int64.equal key Types.empty_key));
+  if float_of_int (t.n + 1) >= (max_load *. float_of_int t.cap) then
+    grow t clock;
+  (* charge the probe walk *)
+  let rec charge i first =
+    Clock.advance clock
+      (if first then Cost_model.dram_read_ns else Cost_model.dram_hit_ns);
+    if
+      (not (Int64.equal t.keys.(i) Types.empty_key))
+      && not (Int64.equal t.keys.(i) key)
+    then charge ((i + 1) mod t.cap) false
+  in
+  charge (home t key) true;
+  insert_raw t key loc
+
+let get t clock key =
+  let rec probe i psl first =
+    Clock.advance clock
+      (if first then Cost_model.dram_read_ns else Cost_model.dram_hit_ns);
+    if Int64.equal t.keys.(i) key then Some t.locs.(i)
+    else if Int64.equal t.keys.(i) Types.empty_key then None
+    else if psl_of t i < psl then None (* robin-hood early termination *)
+    else probe ((i + 1) mod t.cap) (psl + 1) false
+  in
+  probe (home t key) 0 true
+
+let delete t clock key =
+  let rec find i psl =
+    if Int64.equal t.keys.(i) key then Some i
+    else if Int64.equal t.keys.(i) Types.empty_key then None
+    else if psl_of t i < psl then None
+    else find ((i + 1) mod t.cap) (psl + 1)
+  in
+  Clock.advance clock Cost_model.dram_read_ns;
+  match find (home t key) 0 with
+  | None -> false
+  | Some i ->
+    (* backward-shift deletion: pull successors left while they are
+       displaced from their home slot *)
+    let rec shift i =
+      let j = (i + 1) mod t.cap in
+      if
+        Int64.equal t.keys.(j) Types.empty_key
+        || psl_of t j = 0
+      then t.keys.(i) <- Types.empty_key
+      else begin
+        Clock.advance clock Cost_model.dram_hit_ns;
+        t.keys.(i) <- t.keys.(j);
+        t.locs.(i) <- t.locs.(j);
+        shift j
+      end
+    in
+    shift i;
+    t.n <- t.n - 1;
+    true
+
+let iter t f =
+  for i = 0 to t.cap - 1 do
+    if not (Int64.equal t.keys.(i) Types.empty_key) then f t.keys.(i) t.locs.(i)
+  done
+
+let clear t =
+  Array.fill t.keys 0 t.cap Types.empty_key;
+  t.n <- 0
+
+let footprint_bytes t = float_of_int (t.cap * Types.slot_bytes)
+let rehash_count t = t.rehashes

@@ -1,0 +1,27 @@
+(** Growable in-DRAM robin-hood hash table — the index of the Dram-Hash
+    baseline (the paper uses the martinus/robin-hood-hashing C++ library).
+
+    Robin-hood insertion steals slots from richer entries, keeping probe
+    sequences short; deletion uses backward shifting.  The table doubles and
+    rehashes at 80% load — that rehash is charged, in full, to the clock of
+    the operation that triggered it, reproducing Dram-Hash's multi-second
+    worst-case put latency (Table 2). *)
+
+type t
+
+val create : ?initial_slots:int -> unit -> t
+
+val count : t -> int
+val capacity : t -> int
+
+val put : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc -> unit
+val get : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
+val delete : t -> Pmem_sim.Clock.t -> Types.key -> bool
+(** [true] if the key was present. *)
+
+val iter : t -> (Types.key -> Types.loc -> unit) -> unit
+val clear : t -> unit
+
+val footprint_bytes : t -> float
+val rehash_count : t -> int
+(** Number of doublings performed (tests / latency attribution). *)

@@ -1,0 +1,126 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Cost_model = Pmem_sim.Cost_model
+
+let max_level = 16
+
+type node = {
+  key : int64;
+  mutable loc : int;
+  forward : node option array; (* length = node level *)
+}
+
+type t = {
+  dev : Device.t;
+  head : node; (* sentinel with max_level forwards *)
+  mutable level : int;
+  mutable n : int;
+  mutable bytes : int;
+}
+
+let node_bytes levels = 16 + (8 * levels)
+
+let create dev =
+  { dev;
+    head =
+      { key = Int64.min_int; loc = 0; forward = Array.make max_level None };
+    level = 1;
+    n = 0;
+    bytes = 0 }
+
+let count t = t.n
+
+(* Deterministic tower height from the key hash: geometric(1/2). *)
+let level_of key =
+  let h = Hash.to_int (Hash.mix64 (Int64.add key 0x5851f42d4c957f2dL)) in
+  let rec go lvl bits =
+    if lvl >= max_level || bits land 1 = 0 then lvl
+    else go (lvl + 1) (bits lsr 1)
+  in
+  go 1 h
+
+let charge_hop t clock =
+  Device.charge_read_bytes t.dev clock ~len:16 ~hint:Random;
+  Clock.advance clock Cost_model.skiplist_probe_ns
+
+(* Walk down from the top level, recording the rightmost node < key at each
+   level.  Charges one device hop per node visited. *)
+let find_predecessors t clock key =
+  let update = Array.make max_level t.head in
+  let x = ref t.head in
+  for lvl = t.level - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match !x.forward.(lvl) with
+      | Some nxt when Int64.compare nxt.key key < 0 ->
+        charge_hop t clock;
+        x := nxt
+      | _ -> continue := false
+    done;
+    update.(lvl) <- !x
+  done;
+  update
+
+let put t clock key loc =
+  let update = find_predecessors t clock key in
+  match update.(0).forward.(0) with
+  | Some nxt when Int64.equal nxt.key key ->
+    nxt.loc <- loc;
+    (* in-place 8 B update, persisted: one RMW media write *)
+    Device.charge_write_random t.dev clock ~len:8
+  | _ ->
+    let lvl = level_of key in
+    if lvl > t.level then begin
+      for l = t.level to lvl - 1 do
+        update.(l) <- t.head
+      done;
+      t.level <- lvl
+    end;
+    let node = { key; loc; forward = Array.make lvl None } in
+    for l = 0 to lvl - 1 do
+      node.forward.(l) <- update.(l).forward.(l);
+      update.(l).forward.(l) <- Some node
+    done;
+    t.n <- t.n + 1;
+    t.bytes <- t.bytes + node_bytes lvl;
+    (* persist the new node, then the predecessor pointer updates: each is a
+       small random Pmem write *)
+    Device.charge_write_random t.dev clock ~len:(node_bytes lvl);
+    Device.charge_write_random t.dev clock ~len:8
+
+let get t clock key =
+  let x = ref t.head in
+  let found = ref None in
+  for lvl = t.level - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match !x.forward.(lvl) with
+      | Some nxt when Int64.compare nxt.key key < 0 ->
+        charge_hop t clock;
+        x := nxt
+      | _ -> continue := false
+    done
+  done;
+  (match !x.forward.(0) with
+  | Some nxt when Int64.equal nxt.key key ->
+    charge_hop t clock;
+    found := Some nxt.loc
+  | _ -> ());
+  !found
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+      f node.key node.loc;
+      go node.forward.(0)
+  in
+  go t.head.forward.(0)
+
+let clear t =
+  Array.fill t.head.forward 0 max_level None;
+  t.level <- 1;
+  t.n <- 0;
+  t.bytes <- 0
+
+let byte_size t = t.bytes

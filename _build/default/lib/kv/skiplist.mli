@@ -1,0 +1,26 @@
+(** Skiplist whose nodes live on the persistent device — NoveLSM's mutable
+    in-Pmem MemTable.
+
+    Every traversal hop is a random Pmem read and every insert persists a
+    small node in place, so the structure exhibits exactly the two costs the
+    paper attributes to NoveLSM: random Pmem reads on the get path and
+    sub-256 B writes (hence write amplification) on the put path. *)
+
+type t
+
+val create : Pmem_sim.Device.t -> t
+
+val count : t -> int
+
+val put : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc -> unit
+val get : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
+
+val iter : t -> (Types.key -> Types.loc -> unit) -> unit
+(** In ascending key order, without cost charging (the caller charges the
+    bulk read when flushing the MemTable). *)
+
+val clear : t -> unit
+(** Drop all nodes (after a flush) and release their device accounting. *)
+
+val byte_size : t -> int
+(** Device bytes occupied by the nodes. *)

@@ -1,0 +1,21 @@
+type handle = {
+  name : string;
+  put : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit;
+  get : Pmem_sim.Clock.t -> Types.key -> Types.loc option;
+  delete : Pmem_sim.Clock.t -> Types.key -> unit;
+  flush : Pmem_sim.Clock.t -> unit;
+  crash : unit -> unit;
+  recover : Pmem_sim.Clock.t -> unit;
+  dram_footprint : unit -> float;
+  device : Pmem_sim.Device.t;
+  vlog : Vlog.t;
+}
+
+let apply h clock (op : Types.op) =
+  match op with
+  | Types.Put (k, vlen) -> h.put clock k ~vlen
+  | Types.Get k -> ignore (h.get clock k)
+  | Types.Delete k -> h.delete clock k
+  | Types.Read_modify_write (k, vlen) ->
+    ignore (h.get clock k);
+    h.put clock k ~vlen

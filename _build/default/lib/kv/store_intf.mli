@@ -1,0 +1,26 @@
+(** Uniform store handle used by the experiment harness.
+
+    Each store design (ChameleonDB and the five baselines) wraps itself in a
+    [handle]; the harness drives handles without knowing the design.  All
+    operations charge simulated time to the supplied clock.  [get] includes
+    reading the value payload from the log on a hit, as a real get must. *)
+
+type handle = {
+  name : string;
+  put : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit;
+  get : Pmem_sim.Clock.t -> Types.key -> Types.loc option;
+      (** [None] for absent or deleted keys. *)
+  delete : Pmem_sim.Clock.t -> Types.key -> unit;
+  flush : Pmem_sim.Clock.t -> unit;
+      (** Push buffered state (log batch, MemTables) to the device. *)
+  crash : unit -> unit;
+      (** Simulate power failure: volatile state is lost. *)
+  recover : Pmem_sim.Clock.t -> unit;
+      (** Rebuild to service-ready; the clock advance is the restart time. *)
+  dram_footprint : unit -> float;  (** resident DRAM bytes *)
+  device : Pmem_sim.Device.t;
+  vlog : Vlog.t;
+}
+
+val apply : handle -> Pmem_sim.Clock.t -> Types.op -> unit
+(** Run one workload operation against a handle (RMW = get then put). *)

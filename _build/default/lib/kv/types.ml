@@ -1,0 +1,19 @@
+type key = int64
+type loc = int
+
+let empty_key = 0L
+let tombstone = -1
+let is_tombstone loc = loc < 0
+let slot_bytes = 16
+
+type op =
+  | Put of key * int
+  | Get of key
+  | Delete of key
+  | Read_modify_write of key * int
+
+let pp_op ppf = function
+  | Put (k, n) -> Format.fprintf ppf "Put(%Ld,%d)" k n
+  | Get k -> Format.fprintf ppf "Get(%Ld)" k
+  | Delete k -> Format.fprintf ppf "Delete(%Ld)" k
+  | Read_modify_write (k, n) -> Format.fprintf ppf "RMW(%Ld,%d)" k n

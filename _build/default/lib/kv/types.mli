@@ -1,0 +1,32 @@
+(** Shared key/value vocabulary.
+
+    Keys are 8-byte integers (the paper evaluates with 8 B keys); the value
+    payload lives in the storage log and indexes hold a location in that log.
+    Key [0L] is reserved as the empty-slot sentinel of the open-addressing
+    tables; {!Workload.Keyspace} never generates it. *)
+
+type key = int64
+
+type loc = int
+(** Index of an entry in the value log. *)
+
+val empty_key : key
+(** [0L]; never a valid user key. *)
+
+val tombstone : loc
+(** Location value marking a deletion; negative, never a valid log index. *)
+
+val is_tombstone : loc -> bool
+
+val slot_bytes : int
+(** Bytes per index slot: 8 B key + 8 B location, the 16 B index-entry size
+    the paper uses when computing write amplification. *)
+
+type op =
+  | Put of key * int       (** insert/update with value length *)
+  | Get of key
+  | Delete of key
+  | Read_modify_write of key * int
+      (** YCSB F: get then put of the same key *)
+
+val pp_op : Format.formatter -> op -> unit

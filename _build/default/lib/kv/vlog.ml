@@ -1,0 +1,193 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Cost_model = Pmem_sim.Cost_model
+
+(* Growable parallel arrays for entry metadata: key and value length. *)
+type meta = {
+  mutable keys : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable vlens : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable cap : int;
+}
+
+let meta_create () =
+  { keys = Bigarray.Array1.create Int64 C_layout 1024;
+    vlens = Bigarray.Array1.create Int C_layout 1024;
+    cap = 1024 }
+
+let meta_ensure m n =
+  if n > m.cap then begin
+    let cap = ref m.cap in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let keys = Bigarray.Array1.create Int64 C_layout !cap in
+    let vlens = Bigarray.Array1.create Int C_layout !cap in
+    Bigarray.Array1.blit m.keys (Bigarray.Array1.sub keys 0 m.cap);
+    Bigarray.Array1.blit m.vlens (Bigarray.Array1.sub vlens 0 m.cap);
+    m.keys <- keys;
+    m.vlens <- vlens;
+    m.cap <- !cap
+  end
+
+type t = {
+  dev : Device.t;
+  fenced : bool;
+  materialize : bool;
+  payloads : (int, Bytes.t) Hashtbl.t; (* loc -> value, materialized mode *)
+  batch_bytes : int;
+  meta : meta;
+  mutable n : int;
+  mutable head : int; (* entries below are garbage-collected *)
+  mutable persisted_n : int;
+  mutable open_batch_bytes : int;
+  mutable total_bytes : int; (* bytes of entries [0, n) *)
+  mutable byte_offsets_dirty : bool;
+  mutable byte_offsets : int array; (* prefix sums, rebuilt lazily *)
+}
+
+(* A negative [vlen] encodes a tombstone entry: header only, no payload. *)
+let entry_bytes ~vlen = 16 + max vlen 0
+
+let create ?(fenced = false) ?(materialize = false) ?(batch_bytes = 4096) dev
+    =
+  { dev;
+    fenced;
+    materialize;
+    payloads = Hashtbl.create (if materialize then 1024 else 1);
+    batch_bytes;
+    meta = meta_create ();
+    n = 0;
+    head = 0;
+    persisted_n = 0;
+    open_batch_bytes = 0;
+    total_bytes = 0;
+    byte_offsets_dirty = true;
+    byte_offsets = [||] }
+
+let device t = t.dev
+let length t = t.n
+let persisted t = t.persisted_n
+let head t = t.head
+
+let advance_head t upto =
+  if upto < t.head || upto > t.persisted_n then
+    invalid_arg "Vlog.advance_head";
+  t.head <- upto
+
+let key_at t loc =
+  if loc < 0 || loc >= t.n then invalid_arg "Vlog.key_at";
+  Bigarray.Array1.get t.meta.keys loc
+
+let vlen_at t loc =
+  if loc < 0 || loc >= t.n then invalid_arg "Vlog.vlen_at";
+  Bigarray.Array1.get t.meta.vlens loc
+
+let flush t clock =
+  if t.open_batch_bytes > 0 then begin
+    Device.charge_append t.dev clock ~len:t.open_batch_bytes;
+    t.open_batch_bytes <- 0;
+    t.persisted_n <- t.n
+  end
+
+let append t clock key ~vlen =
+  let loc = t.n in
+  meta_ensure t.meta (t.n + 1);
+  Bigarray.Array1.set t.meta.keys loc key;
+  Bigarray.Array1.set t.meta.vlens loc vlen;
+  t.n <- t.n + 1;
+  t.byte_offsets_dirty <- true;
+  let bytes = entry_bytes ~vlen in
+  t.total_bytes <- t.total_bytes + bytes;
+  if t.fenced then begin
+    (* per-operation persistence: every append is an individually fenced
+       small write — the tail media unit is rewritten each time *)
+    Device.charge_write_random t.dev clock ~len:bytes;
+    t.persisted_n <- t.n
+  end
+  else begin
+    (* copy into the DRAM batch buffer *)
+    Clock.advance clock (Cost_model.memcpy_ns_per_byte *. float_of_int bytes);
+    t.open_batch_bytes <- t.open_batch_bytes + bytes;
+    if t.open_batch_bytes >= t.batch_bytes then flush t clock
+  end;
+  loc
+
+let append_value t clock key value =
+  let loc = append t clock key ~vlen:(Bytes.length value) in
+  if t.materialize then Hashtbl.replace t.payloads loc (Bytes.copy value);
+  loc
+
+let value_at t clock loc =
+  if loc < t.head || loc >= t.n then invalid_arg "Vlog.value_at";
+  match Hashtbl.find_opt t.payloads loc with
+  | Some v ->
+    let bytes = entry_bytes ~vlen:(Bytes.length v) in
+    Device.charge_read_bytes t.dev clock ~len:(min bytes 256) ~hint:Random;
+    if bytes > 256 then
+      Device.charge_read_bytes t.dev clock ~len:(bytes - 256) ~hint:Bulk;
+    Some (Bytes.copy v)
+  | None -> None
+
+let copy_entry t clock loc =
+  let vlen = vlen_at t loc in
+  let key = key_at t loc in
+  match Hashtbl.find_opt t.payloads loc with
+  | Some v -> append_value t clock key v
+  | None -> append t clock key ~vlen
+
+let read t clock loc =
+  if loc < 0 || loc >= t.n then invalid_arg "Vlog.read";
+  if loc < t.head then invalid_arg "Vlog.read: reclaimed location";
+  let vlen = vlen_at t loc in
+  let bytes = entry_bytes ~vlen in
+  (* First line is a random access; a large value streams the rest. *)
+  Device.charge_read_bytes t.dev clock ~len:(min bytes 256) ~hint:Random;
+  if bytes > 256 then
+    Device.charge_read_bytes t.dev clock ~len:(bytes - 256) ~hint:Bulk;
+  (key_at t loc, vlen)
+
+let verify t clock loc key =
+  let k, _ = read t clock loc in
+  Int64.equal k key
+
+let bytes_upto t n =
+  if n <= 0 then 0
+  else begin
+    if t.byte_offsets_dirty then begin
+      t.byte_offsets <- Array.make (t.n + 1) 0;
+      for i = 0 to t.n - 1 do
+        t.byte_offsets.(i + 1) <-
+          t.byte_offsets.(i) + entry_bytes ~vlen:(vlen_at t i)
+      done;
+      t.byte_offsets_dirty <- false
+    end;
+    t.byte_offsets.(min n t.n)
+  end
+
+let live_bytes t = bytes_upto t t.n - bytes_upto t t.head
+
+let iter_range t clock ~lo ~hi f =
+  let lo = max lo t.head in
+  let hi = min hi t.persisted_n in
+  if lo < hi then begin
+    let bytes = bytes_upto t hi - bytes_upto t lo in
+    Device.charge_read_bytes t.dev clock ~len:bytes ~hint:Bulk;
+    for loc = lo to hi - 1 do
+      Clock.advance clock Pmem_sim.Cost_model.cpu_op_ns;
+      f loc (key_at t loc) (vlen_at t loc)
+    done
+  end
+
+let crash t =
+  t.n <- t.persisted_n;
+  t.open_batch_bytes <- 0;
+  t.byte_offsets_dirty <- true;
+  t.total_bytes <- bytes_upto t t.n;
+  if t.materialize then
+    Hashtbl.iter
+      (fun loc _ -> if loc >= t.n then Hashtbl.remove t.payloads loc)
+      (Hashtbl.copy t.payloads)
+
+let dram_footprint t = float_of_int t.batch_bytes
+
+let materialized t = t.materialize

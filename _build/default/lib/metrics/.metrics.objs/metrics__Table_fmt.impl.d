@@ -1,0 +1,1 @@
+lib/metrics/table_fmt.ml: Array Buffer Float List Printf String

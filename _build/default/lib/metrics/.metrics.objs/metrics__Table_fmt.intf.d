@@ -1,0 +1,1 @@
+lib/metrics/table_fmt.mli:

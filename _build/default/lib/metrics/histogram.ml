@@ -1,0 +1,124 @@
+(* Geometric bucketing: bucket index for value v is
+   [octave * sub + position within octave], where octave = floor(log2 v).
+   With [sub] sub-buckets per octave the relative width of a bucket is
+   2^(1/sub) - 1, i.e. ~4.4% for sub = 16. *)
+
+let sub = 16
+let octaves = 62
+let nbuckets = (octaves * sub) + 1 (* +1 for the [0, 1) bucket *)
+
+type t = {
+  buckets : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  { buckets = Array.make nbuckets 0;
+    total = 0;
+    sum = 0.0;
+    vmin = infinity;
+    vmax = neg_infinity }
+
+let bucket_of_value v =
+  if v < 1.0 then 0
+  else begin
+    let octave = int_of_float (Float.log2 v) in
+    let octave = if octave >= octaves then octaves - 1 else octave in
+    let base = Float.pow 2.0 (float_of_int octave) in
+    let frac = (v -. base) /. base in
+    let slot = int_of_float (frac *. float_of_int sub) in
+    let slot = if slot >= sub then sub - 1 else slot in
+    1 + (octave * sub) + slot
+  end
+
+(* Upper edge of a bucket: the largest value that maps into it. *)
+let value_of_bucket i =
+  if i = 0 then 1.0
+  else begin
+    let i = i - 1 in
+    let octave = i / sub and slot = i mod sub in
+    let base = Float.pow 2.0 (float_of_int octave) in
+    base +. (base *. float_of_int (slot + 1) /. float_of_int sub)
+  end
+
+let record_n h v n =
+  if n > 0 then begin
+    let v = if v < 0.0 then 0.0 else v in
+    let i = bucket_of_value v in
+    h.buckets.(i) <- h.buckets.(i) + n;
+    h.total <- h.total + n;
+    h.sum <- h.sum +. (v *. float_of_int n);
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+  end
+
+let record h v = record_n h v 1
+let count h = h.total
+let min_value h = if h.total = 0 then 0.0 else h.vmin
+let max_value h = if h.total = 0 then 0.0 else h.vmax
+let mean h = if h.total = 0 then 0.0 else h.sum /. float_of_int h.total
+
+let percentile h p =
+  if h.total = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let target = p /. 100.0 *. float_of_int h.total in
+    let rec scan i acc =
+      if i >= nbuckets then max_value h
+      else begin
+        let acc = acc + h.buckets.(i) in
+        if float_of_int acc >= target then Float.min (value_of_bucket i) h.vmax
+        else scan (i + 1) acc
+      end
+    in
+    scan 0 0
+  end
+
+let median h = percentile h 50.0
+
+let cdf h ?(points = 50) () =
+  if h.total = 0 then []
+  else begin
+    let nonempty = ref 0 in
+    Array.iter (fun c -> if c > 0 then incr nonempty) h.buckets;
+    let stride = Stdlib.max 1 (!nonempty / points) in
+    let acc = ref 0 and seen = ref 0 and out = ref [] in
+    let totalf = float_of_int h.total in
+    for i = 0 to nbuckets - 1 do
+      if h.buckets.(i) > 0 then begin
+        acc := !acc + h.buckets.(i);
+        incr seen;
+        if !seen mod stride = 0 || !acc = h.total then begin
+          let v = Float.min (value_of_bucket i) h.vmax in
+          out := (v, float_of_int !acc /. totalf) :: !out
+        end
+      end
+    done;
+    List.rev !out
+  end
+
+let merge a b =
+  let m = create () in
+  Array.blit a.buckets 0 m.buckets 0 nbuckets;
+  Array.iteri (fun i c -> m.buckets.(i) <- m.buckets.(i) + c) b.buckets;
+  m.total <- a.total + b.total;
+  m.sum <- a.sum +. b.sum;
+  m.vmin <- Float.min a.vmin b.vmin;
+  m.vmax <- Float.max a.vmax b.vmax;
+  m
+
+let clear h =
+  Array.fill h.buckets 0 nbuckets 0;
+  h.total <- 0;
+  h.sum <- 0.0;
+  h.vmin <- infinity;
+  h.vmax <- neg_infinity
+
+let pp_summary ppf h =
+  Format.fprintf ppf
+    "n=%d p50=%.0f p99=%.0f p99.9=%.0f p99.99=%.0f max=%.0f"
+    h.total (percentile h 50.0) (percentile h 99.0) (percentile h 99.9)
+    (percentile h 99.99) (max_value h)

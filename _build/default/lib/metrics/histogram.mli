@@ -1,0 +1,50 @@
+(** Log-bucketed histogram for latency measurements.
+
+    Values (simulated nanoseconds, or any non-negative quantity) are recorded
+    into geometrically spaced buckets, giving bounded memory and a relative
+    quantile error of at most [1 / sub_buckets_per_octave].  This is the same
+    trade-off HdrHistogram makes; it is sufficient for the p50/p99/p99.9/
+    p99.99 figures the paper reports. *)
+
+type t
+
+val create : unit -> t
+(** [create ()] is an empty histogram covering values in [0, 2^62). *)
+
+val record : t -> float -> unit
+(** [record h v] adds one observation of value [v] (clamped to >= 0). *)
+
+val record_n : t -> float -> int -> unit
+(** [record_n h v n] adds [n] observations of value [v]. *)
+
+val count : t -> int
+(** Number of recorded observations. *)
+
+val min_value : t -> float
+(** Smallest recorded value exactly (not bucketed). 0 when empty. *)
+
+val max_value : t -> float
+(** Largest recorded value exactly (not bucketed). 0 when empty. *)
+
+val mean : t -> float
+(** Exact arithmetic mean of recorded values. 0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile h p] for [p] in [0, 100]: an upper bound on the value below
+    which [p]% of observations fall, within one bucket of the true quantile.
+    0 when empty. *)
+
+val median : t -> float
+
+val cdf : t -> ?points:int -> unit -> (float * float) list
+(** [cdf h ()] is a list of [(value, fraction <= value)] pairs suitable for
+    plotting a CDF curve, sampled at up to [points] (default 50) non-empty
+    buckets. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding the observations of both. *)
+
+val clear : t -> unit
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [p50/p99/p99.9/p99.99/max] rendering. *)

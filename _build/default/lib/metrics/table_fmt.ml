@@ -1,0 +1,103 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~columns =
+  { title;
+    headers = List.map fst columns;
+    aligns = List.map snd columns;
+    rows = [] }
+
+let ncols t = List.length t.headers
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > ncols t then
+    invalid_arg
+      (Printf.sprintf "Table_fmt.add_row: %d cells for %d columns" n (ncols t));
+  let cells =
+    if n < ncols t then cells @ List.init (ncols t - n) (fun _ -> "")
+    else cells
+  in
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let measure = function
+    | Rule -> ()
+    | Cells cs ->
+      List.iteri
+        (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+        cs
+  in
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let fill = width - String.length s in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+  in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        if i < Array.length widths - 1 then Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_cells cs =
+    List.iteri
+      (fun i c ->
+        let a = List.nth t.aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_char buf ' ';
+        if i < ncols t - 1 then Buffer.add_char buf '|')
+      cs;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  emit_cells t.headers;
+  rule ();
+  List.iter (function Rule -> rule () | Cells cs -> emit_cells cs) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f v =
+  if v = 0.0 then "0"
+  else begin
+    let a = Float.abs v in
+    if a >= 1000.0 then Printf.sprintf "%.0f" v
+    else if a >= 10.0 then Printf.sprintf "%.1f" v
+    else if a >= 0.01 then Printf.sprintf "%.2f" v
+    else Printf.sprintf "%.2e" v
+  end
+
+let cell_ns v =
+  let a = Float.abs v in
+  if a < 1e3 then Printf.sprintf "%.0fns" v
+  else if a < 1e6 then Printf.sprintf "%.1fus" (v /. 1e3)
+  else if a < 1e9 then Printf.sprintf "%.1fms" (v /. 1e6)
+  else Printf.sprintf "%.2fs" (v /. 1e9)
+
+let cell_bytes v =
+  let a = Float.abs v in
+  if a < 1024.0 then Printf.sprintf "%.0fB" v
+  else if a < 1024.0 *. 1024.0 then Printf.sprintf "%.1fKB" (v /. 1024.0)
+  else if a < 1024.0 *. 1024.0 *. 1024.0 then
+    Printf.sprintf "%.1fMB" (v /. 1024.0 /. 1024.0)
+  else Printf.sprintf "%.2fGB" (v /. 1024.0 /. 1024.0 /. 1024.0)

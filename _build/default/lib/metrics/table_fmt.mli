@@ -1,0 +1,34 @@
+(** Aligned ASCII table rendering for the benchmark harness.
+
+    Every paper table/figure is printed as one of these, so the bench output
+    reads like the paper's evaluation section. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** [create ~title ~columns] starts a table.  Each column is a header plus an
+    alignment. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  Rows shorter than the header are padded
+    with empty cells; longer rows raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : t -> string
+(** Render the full table, with title, header, separators and aligned cells. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val cell_f : float -> string
+(** Format a float compactly (3 significant-ish digits). *)
+
+val cell_ns : float -> string
+(** Format a simulated-nanoseconds value with unit scaling (ns/us/ms/s). *)
+
+val cell_bytes : float -> string
+(** Format a byte count with unit scaling (B/KB/MB/GB). *)

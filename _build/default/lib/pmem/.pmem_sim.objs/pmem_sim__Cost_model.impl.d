@@ -1,0 +1,1 @@
+lib/pmem/cost_model.ml: Array Float

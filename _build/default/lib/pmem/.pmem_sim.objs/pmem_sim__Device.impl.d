@@ -1,0 +1,1 @@
+lib/pmem/device.ml: Bytes Clock Cost_model Float List Stats

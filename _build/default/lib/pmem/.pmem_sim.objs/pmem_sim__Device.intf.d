@@ -1,0 +1,1 @@
+lib/pmem/device.mli: Clock Cost_model Stats

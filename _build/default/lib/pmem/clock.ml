@@ -1,0 +1,19 @@
+type t = { mutable now : float }
+
+let create ?(at = 0.0) () = { now = at }
+let now c = c.now
+
+let advance c ns =
+  assert (ns >= 0.0);
+  c.now <- c.now +. ns
+
+let wait_until c deadline =
+  if deadline > c.now then begin
+    let stall = deadline -. c.now in
+    c.now <- deadline;
+    stall
+  end
+  else 0.0
+
+let set c t = c.now <- t
+let copy c = { now = c.now }

@@ -1,0 +1,28 @@
+(** Virtual per-thread clock, in simulated nanoseconds.
+
+    Every store operation charges its costs to a clock.  The harness runs one
+    clock per simulated thread and always advances the thread whose clock is
+    smallest, which makes shared-resource queueing (see {!Device}) a proper
+    discrete-event simulation. *)
+
+type t
+
+val create : ?at:float -> unit -> t
+(** A clock starting at [at] (default 0) simulated ns. *)
+
+val now : t -> float
+
+val advance : t -> float -> unit
+(** [advance c ns] moves the clock forward by [ns] (>= 0). *)
+
+val wait_until : t -> float -> float
+(** [wait_until c deadline] advances the clock to [deadline] if it is in the
+    future and returns the stall duration (0 if none).  Used for queueing on
+    busy resources and for flush-blocked puts. *)
+
+val set : t -> float -> unit
+(** Force the clock to an absolute time (used when handing work to a
+    background compaction thread that may be ahead). *)
+
+val copy : t -> t
+(** Fresh clock at the same instant. *)

@@ -1,0 +1,110 @@
+(** Simulated byte-addressable persistent memory device.
+
+    The device plays the role of one socket's interleaved Optane Pmem DIMMs
+    in App Direct mode.  It provides:
+
+    - a flat byte space with a bump allocator ({!alloc} / {!dealloc});
+    - loads and stores ({!read_u64}, {!write_bytes}, ...) that charge
+      simulated time to a {!Clock.t} according to the device {!Cost_model.profile};
+    - explicit persistence ({!persist} = clwb/ntstore + sfence): a store is
+      volatile (reverted by {!crash}) until the covering range is persisted;
+    - media write-unit accounting: persisting a range smaller than (or
+      misaligned to) the 256 B write unit charges a read-modify-write of
+      whole units, which is exactly the write amplification the paper's
+      Challenge 1 is about;
+    - shared bandwidth servers: reads and writes queue on per-direction
+      resources whose rate scales with {!set_active_threads}, so throughput
+      saturation, iMC contention and compaction interference emerge from the
+      simulation rather than being scripted.
+
+    Accounting-only variants ({!charge_append}, {!charge_read_bytes}) charge
+    time and traffic without materializing bytes; the value log uses them so
+    that multi-GB experiments fit in memory (see DESIGN.md). *)
+
+type t
+
+type read_hint =
+  | Random    (** independent cache-missing access *)
+  | Adjacent  (** next slot within the line fetched by the previous access *)
+  | Bulk      (** part of a large sequential transfer *)
+
+val create : ?capacity:int -> Cost_model.profile -> t
+(** [create profile] makes an empty device.  [capacity] (default 4 MiB) is
+    the initial size of the materialized byte space; it grows on demand. *)
+
+val profile : t -> Cost_model.profile
+val stats : t -> Stats.t
+
+val set_active_threads : t -> int -> unit
+(** Number of threads driving the device; sets the bandwidth scaling point
+    (default 1). *)
+
+val active_threads : t -> int
+
+(** {1 Allocation} *)
+
+val alloc : t -> int -> int
+(** [alloc t len] reserves [len] bytes aligned to the media write unit and
+    returns the offset. *)
+
+val dealloc : t -> off:int -> len:int -> unit
+(** Returns space to the accounting (the simulator does not reuse it). *)
+
+val used_bytes : t -> float
+(** Live allocated bytes. *)
+
+(** {1 Stores (volatile until persisted)} *)
+
+val write_bytes : t -> Clock.t -> off:int -> bytes -> unit
+val write_u64 : t -> Clock.t -> off:int -> int64 -> unit
+
+val persist : t -> Clock.t -> off:int -> len:int -> unit
+(** Flush the range to the media: charges media-unit-aligned bandwidth plus
+    write latency, commits the covered stores (they now survive {!crash}),
+    and charges RMW reads for partially covered edge units. *)
+
+(** {1 Loads} *)
+
+val read_u64 : t -> Clock.t -> off:int -> hint:read_hint -> int64
+val read_bytes : t -> Clock.t -> off:int -> len:int -> hint:read_hint -> bytes
+
+(** {1 Accounting-only traffic (value log)} *)
+
+val charge_append : t -> Clock.t -> len:int -> unit
+(** Persist [len] bytes appended contiguously to a stream: no RMW (the write-
+    combining buffer merges unit boundaries of a contiguous stream), media
+    bytes = [len] rounded up to the unit only at stream granularity. *)
+
+val charge_write_random : t -> Clock.t -> len:int -> unit
+(** Persist [len] bytes at an arbitrary (unaligned, isolated) location:
+    worst-case unit rounding plus RMW reads, as for {!persist}. *)
+
+val charge_write_at : t -> Clock.t -> off:int -> len:int -> unit
+(** Persist [len] bytes at a specific offset, charging exactly the aligned
+    span (and edge RMWs) that {!persist} would — without materializing the
+    bytes.  The raw-device microbenchmark (Fig. 1) uses this. *)
+
+val charge_read_bytes : t -> Clock.t -> len:int -> hint:read_hint -> unit
+
+val quiesce_at : t -> float
+(** Simulated time at which both bandwidth servers are free.  Experiment
+    phases start measurement clocks past this point so that one phase's
+    background backlog does not bleed into the next phase's latencies. *)
+
+(** {1 Uncharged access} *)
+
+val peek_u64 : t -> off:int -> int64
+(** Read without charging time or traffic — for stores that hold a DRAM
+    mirror of device-resident data (and for tests). *)
+
+val peek_bytes : t -> off:int -> len:int -> bytes
+
+(** {1 Crash model} *)
+
+val crash : t -> unit
+(** Power failure: every store not yet covered by a {!persist} is reverted to
+    its previous contents.  Bandwidth servers and allocation are unaffected
+    (allocation metadata is assumed to be recoverable from the manifest). *)
+
+val pending_ranges : t -> (int * int) list
+(** Offsets and lengths of currently unpersisted stores (for tests). *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable user_write_bytes : float;
+  mutable media_write_bytes : float;
+  mutable media_read_bytes : float;
+  mutable rmw_read_bytes : float;
+  mutable read_ops : int;
+  mutable write_ops : int;
+  mutable persist_ops : int;
+  mutable live_bytes : float;
+  mutable write_wait_ns : float;
+  mutable read_wait_ns : float;
+}
+
+let create () =
+  { user_write_bytes = 0.0;
+    media_write_bytes = 0.0;
+    media_read_bytes = 0.0;
+    rmw_read_bytes = 0.0;
+    read_ops = 0;
+    write_ops = 0;
+    persist_ops = 0;
+    live_bytes = 0.0;
+    write_wait_ns = 0.0;
+    read_wait_ns = 0.0 }
+
+let copy t = { t with user_write_bytes = t.user_write_bytes }
+
+let diff ~after ~before =
+  { user_write_bytes = after.user_write_bytes -. before.user_write_bytes;
+    media_write_bytes = after.media_write_bytes -. before.media_write_bytes;
+    media_read_bytes = after.media_read_bytes -. before.media_read_bytes;
+    rmw_read_bytes = after.rmw_read_bytes -. before.rmw_read_bytes;
+    read_ops = after.read_ops - before.read_ops;
+    write_ops = after.write_ops - before.write_ops;
+    persist_ops = after.persist_ops - before.persist_ops;
+    live_bytes = after.live_bytes;
+    write_wait_ns = after.write_wait_ns -. before.write_wait_ns;
+    read_wait_ns = after.read_wait_ns -. before.read_wait_ns }
+
+let write_amplification t =
+  if t.user_write_bytes <= 0.0 then 0.0
+  else t.media_write_bytes /. t.user_write_bytes
+
+let pp ppf t =
+  Format.fprintf ppf
+    "user_w=%.0fB media_w=%.0fB (WA=%.2f) media_r=%.0fB rmw_r=%.0fB \
+     ops(r/w/p)=%d/%d/%d live=%.0fB"
+    t.user_write_bytes t.media_write_bytes (write_amplification t)
+    t.media_read_bytes t.rmw_read_bytes t.read_ops t.write_ops t.persist_ops
+    t.live_bytes

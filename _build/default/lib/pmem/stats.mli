@@ -1,0 +1,30 @@
+(** Traffic counters for a simulated device.
+
+    [media_write_bytes] counts bytes actually written to the media, including
+    the 256 B-unit read-modify-write amplification; [user_write_bytes] counts
+    the bytes the caller asked to persist.  Their ratio is the paper's device-
+    level write amplification. *)
+
+type t = {
+  mutable user_write_bytes : float;
+  mutable media_write_bytes : float;
+  mutable media_read_bytes : float;
+  mutable rmw_read_bytes : float;  (** reads induced by sub-unit writes *)
+  mutable read_ops : int;
+  mutable write_ops : int;
+  mutable persist_ops : int;
+  mutable live_bytes : float;      (** allocated minus deallocated *)
+  mutable write_wait_ns : float;   (** time spent queued on the write server *)
+  mutable read_wait_ns : float;
+}
+
+val create : unit -> t
+val copy : t -> t
+
+val diff : after:t -> before:t -> t
+(** Counter deltas between two snapshots (live_bytes is taken from [after]). *)
+
+val write_amplification : t -> float
+(** media / user write bytes; 0 when nothing was written. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/keyspace.ml: Int64 Kv_common

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Fun Int64 Kv_common List Printf String

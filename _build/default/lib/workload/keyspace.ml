@@ -1,0 +1,8 @@
+let key_of_index i =
+  let k = Kv_common.Hash.mix64 (Int64.of_int (i + 1)) in
+  if Int64.equal k Kv_common.Types.empty_key then 1L else k
+
+let unique_stream ~n =
+  fun i ->
+    if i < 0 || i >= n then invalid_arg "Keyspace.unique_stream";
+    key_of_index i

@@ -1,0 +1,11 @@
+(** Key universe: a bijection from dense indices to well-spread 64-bit keys.
+
+    Workloads reason in indices (0, 1, 2, ...); stores see hashed keys.  The
+    mapping never produces the reserved empty-slot key [0L]. *)
+
+val key_of_index : int -> Kv_common.Types.key
+(** Deterministic, collision-free for indices < 2^62, never [0L]. *)
+
+val unique_stream : n:int -> (int -> Kv_common.Types.key)
+(** [unique_stream ~n] is [fun i -> key_of_index i] with a bounds check, for
+    load phases of [n] unique keys. *)

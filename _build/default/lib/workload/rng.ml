@@ -1,0 +1,18 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+  Kv_common.Hash.mix64 t.state
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  Kv_common.Hash.to_int (next_int64 t) mod n
+
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L

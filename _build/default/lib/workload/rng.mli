@@ -1,0 +1,18 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Every experiment seeds its own generator, so runs are reproducible
+    bit-for-bit regardless of execution order. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int t n] uniform in [0, n). Requires [n > 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool

@@ -1,0 +1,72 @@
+module Types = Kv_common.Types
+
+type t = { ops : Types.op array }
+
+let of_ops ops = { ops = Array.of_list ops }
+let record ~n ~gen = { ops = Array.init n (fun _ -> gen ()) }
+let length t = Array.length t.ops
+
+let get t i =
+  if i < 0 || i >= Array.length t.ops then invalid_arg "Trace.get";
+  t.ops.(i)
+
+let iter t f = Array.iter f t.ops
+
+let replayer t =
+  let i = ref 0 in
+  fun () ->
+    if !i >= Array.length t.ops then None
+    else begin
+      let op = t.ops.(!i) in
+      incr i;
+      Some op
+    end
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (fun (op : Types.op) ->
+          match op with
+          | Types.Put (k, vlen) -> Printf.fprintf oc "P %Lu %d\n" k vlen
+          | Types.Get k -> Printf.fprintf oc "G %Lu\n" k
+          | Types.Delete k -> Printf.fprintf oc "D %Lu\n" k
+          | Types.Read_modify_write (k, vlen) ->
+            Printf.fprintf oc "R %Lu %d\n" k vlen)
+        t.ops)
+
+let parse_line lineno line =
+  let fail () =
+    failwith (Printf.sprintf "Trace.load: malformed line %d: %S" lineno line)
+  in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "P"; k; v ] -> (
+    try Types.Put (Int64.of_string ("0u" ^ k), int_of_string v)
+    with _ -> fail ())
+  | [ "G"; k ] -> (
+    try Types.Get (Int64.of_string ("0u" ^ k)) with _ -> fail ())
+  | [ "D"; k ] -> (
+    try Types.Delete (Int64.of_string ("0u" ^ k)) with _ -> fail ())
+  | [ "R"; k; v ] -> (
+    try Types.Read_modify_write (Int64.of_string ("0u" ^ k), int_of_string v)
+    with _ -> fail ())
+  | _ -> fail ()
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let ops = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           let line = input_line ic in
+           if String.trim line <> "" then
+             ops := parse_line !lineno line :: !ops
+         done
+       with End_of_file -> ());
+      { ops = Array.of_list (List.rev !ops) })

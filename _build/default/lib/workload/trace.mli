@@ -1,0 +1,32 @@
+(** Operation traces: record a workload once, replay it bit-identically
+    against every store.
+
+    The YCSB generators are deterministic given a seed, but traces decouple
+    experiment runs from generator versions and allow externally produced
+    workloads (one line per operation) to drive the stores. *)
+
+type t
+
+val of_ops : Kv_common.Types.op list -> t
+
+val record : n:int -> gen:(unit -> Kv_common.Types.op) -> t
+(** Capture [n] operations from a generator. *)
+
+val length : t -> int
+val get : t -> int -> Kv_common.Types.op
+(** Raises [Invalid_argument] out of range. *)
+
+val iter : t -> (Kv_common.Types.op -> unit) -> unit
+
+val replayer : t -> unit -> Kv_common.Types.op option
+(** A stateful generator yielding the trace once, then [None] — plugs into
+    {!Harness.Runner.run}-style drivers. *)
+
+(** {1 Persistence}
+
+    Line format: [P <key> <vlen>] put, [G <key>] get, [D <key>] delete,
+    [R <key> <vlen>] read-modify-write.  Keys in decimal (unsigned 64-bit). *)
+
+val save : t -> string -> unit
+val load : string -> t
+(** Raises [Failure] on a malformed line. *)

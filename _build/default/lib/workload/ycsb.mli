@@ -1,0 +1,33 @@
+(** YCSB workload generator (Cooper et al., SoCC'10), Table 5 of the paper.
+
+    Supported mixes (E is omitted, as in the paper — hashed-key stores do
+    not support range scans):
+
+    - [Load]: 100% put of unique keys
+    - [A]: 50% get / 50% update, zipfian
+    - [B]: 95% get / 5% update, zipfian
+    - [C]: 100% get, zipfian
+    - [D]: get most-recently-inserted keys ("latest" distribution, with 5%
+      inserts extending the universe)
+    - [F]: 50% get / 50% read-modify-write, zipfian *)
+
+type mix = Load | A | B | C | D | F
+
+val all : mix list
+val name : mix -> string
+val description : mix -> string
+
+type t
+
+val create :
+  ?seed:int -> ?vlen:int -> mix:mix -> loaded:int -> unit -> t
+(** A generator over a store pre-loaded with [loaded] unique keys (indices
+    [0, loaded)).  [vlen] is the value size for writes (default 8, as in the
+    paper's main experiments). *)
+
+val next : t -> Kv_common.Types.op
+(** Produce the next operation.  [Load] mode yields puts of fresh unique
+    keys; other mixes choose existing keys per their distribution. *)
+
+val inserted : t -> int
+(** Total keys existing after the operations produced so far. *)

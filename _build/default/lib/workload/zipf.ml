@@ -1,0 +1,62 @@
+type t = {
+  theta : float;
+  mutable nitems : int;
+  mutable zetan : float;
+  mutable alpha : float;
+  mutable eta : float;
+  zeta2 : float;
+}
+
+let zeta_range lo hi theta =
+  let acc = ref 0.0 in
+  for i = lo to hi do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let refresh t =
+  t.alpha <- 1.0 /. (1.0 -. t.theta);
+  t.eta <-
+    (1.0 -. Float.pow (2.0 /. float_of_int t.nitems) (1.0 -. t.theta))
+    /. (1.0 -. (t.zeta2 /. t.zetan))
+
+let create ?(theta = 0.99) ~n () =
+  if n < 1 then invalid_arg "Zipf.create";
+  let t =
+    { theta;
+      nitems = n;
+      zetan = zeta_range 1 n theta;
+      alpha = 0.0;
+      eta = 0.0;
+      zeta2 = zeta_range 1 2 theta }
+  in
+  refresh t;
+  t
+
+let n t = t.nitems
+
+let grow t n =
+  if n > t.nitems then begin
+    t.zetan <- t.zetan +. zeta_range (t.nitems + 1) n t.theta;
+    t.nitems <- n;
+    refresh t
+  end
+
+let next t rng =
+  let u = Rng.float rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else begin
+    let rank =
+      float_of_int t.nitems
+      *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+    in
+    let rank = int_of_float rank in
+    if rank >= t.nitems then t.nitems - 1 else rank
+  end
+
+let scrambled t rng ~universe =
+  let rank = next t rng in
+  Kv_common.Hash.to_int (Kv_common.Hash.mix64 (Int64.of_int rank))
+  mod universe

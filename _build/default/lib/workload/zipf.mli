@@ -1,0 +1,22 @@
+(** Zipfian item chooser (Gray et al.'s method, as used by YCSB).
+
+    Items are ranks [0, n); rank 0 is the most popular.  The generator
+    supports growing [n] cheaply (incremental zeta update), which the
+    YCSB D "latest" distribution needs as inserts arrive. *)
+
+type t
+
+val create : ?theta:float -> n:int -> unit -> t
+(** [theta] defaults to 0.99, the YCSB constant.  Requires [n >= 1]. *)
+
+val n : t -> int
+
+val grow : t -> int -> unit
+(** Extend the item count (no-op if smaller than current). *)
+
+val next : t -> Rng.t -> int
+(** Sample a rank in [0, n). *)
+
+val scrambled : t -> Rng.t -> universe:int -> int
+(** YCSB's scrambled zipfian: spread the skewed ranks over [0, universe)
+    via hashing, so popular keys are not clustered. *)

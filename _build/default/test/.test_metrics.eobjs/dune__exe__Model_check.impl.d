@@ -1,0 +1,1 @@
+test/model_check.ml: Alcotest Hashtbl Kv_common List Option Pmem_sim Printf Workload

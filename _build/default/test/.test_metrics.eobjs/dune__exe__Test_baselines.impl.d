@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Chameleondb Kv_common List Model_check Pmem_sim Printf Workload

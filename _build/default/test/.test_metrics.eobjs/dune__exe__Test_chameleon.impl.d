@@ -1,0 +1,1 @@
+test/test_chameleon.ml: Alcotest Bytes Chameleondb Hashtbl Int64 Kv_common List Model_check Option Pmem_sim Printf QCheck QCheck_alcotest String Workload

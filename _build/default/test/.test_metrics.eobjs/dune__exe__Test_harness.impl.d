@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Harness Int64 Kv_common List Metrics Pmem_sim Workload

@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Array Float Gen Hashtbl Int64 Kv_common List Pmem_sim Printf QCheck QCheck_alcotest Workload

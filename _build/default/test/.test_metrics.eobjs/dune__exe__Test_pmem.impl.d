@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Array Bytes Float Int64 List Pmem_sim Printf QCheck QCheck_alcotest

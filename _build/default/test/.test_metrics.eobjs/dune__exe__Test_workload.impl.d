@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Chameleondb Filename Fun Hashtbl Int64 Kv_common List Option Pmem_sim Printf QCheck QCheck_alcotest String Sys Workload

@@ -1,0 +1,322 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Stats = Pmem_sim.Stats
+module Types = Kv_common.Types
+module Vlog = Kv_common.Vlog
+module Store_intf = Kv_common.Store_intf
+module Config = Chameleondb.Config
+
+let key i = Workload.Keyspace.key_of_index i
+
+let small_cfg = { Config.default with Config.shards = 4; memtable_slots = 32 }
+
+let lsm variant () =
+  Baselines.Pmem_lsm.handle (Baselines.Pmem_lsm.create ~cfg:small_cfg variant)
+
+let all_handles () =
+  [ lsm Baselines.Pmem_lsm.Nf ();
+    lsm Baselines.Pmem_lsm.F ();
+    lsm Baselines.Pmem_lsm.Pink ();
+    Baselines.Pmem_hash.handle (Baselines.Pmem_hash.create ());
+    Baselines.Dram_hash.handle (Baselines.Dram_hash.create ());
+    Baselines.Novelsm.handle
+      (Baselines.Novelsm.create ~memtable_cap:256 ~l0_runs:2 ());
+    Baselines.Matrixkv.handle
+      (Baselines.Matrixkv.create ~memtable_cap:256 ~l0_sublevels:2 ()) ]
+
+(* -------------------------- Generic per-store checks --------------------- *)
+
+let crud_check (h : Store_intf.handle) =
+  let c = Clock.create () in
+  Alcotest.(check bool) (h.Store_intf.name ^ ": missing") true
+    (h.Store_intf.get c 1L = None);
+  h.Store_intf.put c 1L ~vlen:8;
+  Alcotest.(check bool) (h.Store_intf.name ^ ": present") true
+    (h.Store_intf.get c 1L <> None);
+  h.Store_intf.delete c 1L;
+  Alcotest.(check bool) (h.Store_intf.name ^ ": deleted") true
+    (h.Store_intf.get c 1L = None);
+  h.Store_intf.put c 1L ~vlen:8;
+  Alcotest.(check bool) (h.Store_intf.name ^ ": reinserted") true
+    (h.Store_intf.get c 1L <> None)
+
+let test_all_crud () = List.iter crud_check (all_handles ())
+
+let bulk_check (h : Store_intf.handle) =
+  let c = Clock.create () in
+  let n = 8_000 in
+  for i = 0 to n - 1 do
+    h.Store_intf.put c (key i) ~vlen:8
+  done;
+  for i = 0 to n - 1 do
+    if h.Store_intf.get c (key i) = None then
+      Alcotest.failf "%s: key %d lost during load" h.Store_intf.name i
+  done
+
+let test_all_bulk () = List.iter bulk_check (all_handles ())
+
+let crash_check (h : Store_intf.handle) =
+  let c = Clock.create () in
+  let n = 4_000 in
+  for i = 0 to n - 1 do
+    h.Store_intf.put c (key i) ~vlen:8
+  done;
+  h.Store_intf.crash ();
+  let persisted = Vlog.persisted h.Store_intf.vlog in
+  h.Store_intf.recover c;
+  for i = 0 to persisted - 1 do
+    let k = Vlog.key_at h.Store_intf.vlog i in
+    if h.Store_intf.get c k = None then
+      Alcotest.failf "%s: persisted entry %d lost across crash"
+        h.Store_intf.name i
+  done
+
+let test_all_crash_recover () = List.iter crash_check (all_handles ())
+
+let test_all_model_checked () =
+  List.iteri
+    (fun i h -> Model_check.run ~ops:6_000 ~universe:600 ~seed:(50 + i) h)
+    (all_handles ())
+
+let test_model_with_crashes_lsm_family () =
+  List.iteri
+    (fun i h ->
+      Model_check.run ~ops:6_000 ~universe:500 ~crash_every:1_500
+        ~seed:(70 + i) h)
+    [ lsm Baselines.Pmem_lsm.Nf ();
+      lsm Baselines.Pmem_lsm.F ();
+      lsm Baselines.Pmem_lsm.Pink ();
+      Baselines.Dram_hash.handle (Baselines.Dram_hash.create ());
+      Baselines.Novelsm.handle
+        (Baselines.Novelsm.create ~memtable_cap:256 ~l0_runs:2 ());
+      Baselines.Matrixkv.handle
+        (Baselines.Matrixkv.create ~memtable_cap:256 ~l0_sublevels:2 ()) ]
+
+let test_model_with_crashes_pmem_hash () =
+  Model_check.run ~ops:4_000 ~universe:400 ~crash_every:1_000 ~seed:81
+    (Baselines.Pmem_hash.handle (Baselines.Pmem_hash.create ()))
+
+(* ----------------------------- Design signatures ------------------------- *)
+
+let test_pmem_hash_write_amplification () =
+  let h = Baselines.Pmem_hash.handle (Baselines.Pmem_hash.create ()) in
+  let c = Clock.create () in
+  for i = 0 to 999 do
+    h.Store_intf.put c (key i) ~vlen:8
+  done;
+  let st = Device.stats h.Store_intf.device in
+  let wa = st.Stats.media_write_bytes /. (1000.0 *. 24.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "Pmem-Hash logical WA %.1f > 10" wa)
+    true (wa > 10.0)
+
+let test_lsm_write_batching () =
+  let h = lsm Baselines.Pmem_lsm.Nf () in
+  let c = Clock.create () in
+  for i = 0 to 9_999 do
+    h.Store_intf.put c (key i) ~vlen:8
+  done;
+  h.Store_intf.flush c;
+  let st = Device.stats h.Store_intf.device in
+  (* batched index writes: device-level amplification stays ~1 *)
+  Alcotest.(check bool) "no RMW amplification" true
+    (Stats.write_amplification st < 1.1)
+
+let test_dram_hash_restart_scans_whole_log () =
+  let mk n =
+    let h = Baselines.Dram_hash.handle (Baselines.Dram_hash.create ()) in
+    let c = Clock.create () in
+    for i = 0 to n - 1 do
+      h.Store_intf.put c (key i) ~vlen:8
+    done;
+    h.Store_intf.flush c;
+    h.Store_intf.crash ();
+    let rc = Clock.create () in
+    h.Store_intf.recover rc;
+    Clock.now rc
+  in
+  let small = mk 2_000 and large = mk 20_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "restart scales with log (%.0f vs %.0f)" small large)
+    true
+    (large > 5.0 *. small)
+
+let test_lsm_restart_is_bounded () =
+  (* LSM stores recover the MemTable tail only: restart must not scale with
+     total data *)
+  let mk n =
+    let h = lsm Baselines.Pmem_lsm.Nf () in
+    let c = Clock.create () in
+    for i = 0 to n - 1 do
+      h.Store_intf.put c (key i) ~vlen:8
+    done;
+    h.Store_intf.crash ();
+    let rc = Clock.create () in
+    h.Store_intf.recover rc;
+    Clock.now rc
+  in
+  let small = mk 4_000 and large = mk 40_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "restart bounded (%.0f vs %.0f)" small large)
+    true
+    (large < 4.0 *. small)
+
+let test_lsm_variant_footprints () =
+  let loaded variant =
+    let h = lsm variant () in
+    let c = Clock.create () in
+    for i = 0 to 9_999 do
+      h.Store_intf.put c (key i) ~vlen:8
+    done;
+    h.Store_intf.dram_footprint ()
+  in
+  let nf = loaded Baselines.Pmem_lsm.Nf in
+  let f = loaded Baselines.Pmem_lsm.F in
+  let pink = loaded Baselines.Pmem_lsm.Pink in
+  Alcotest.(check bool) "NF smallest" true (nf < f && nf < pink);
+  Alcotest.(check bool) "PinK largest (pinned upper levels)" true (pink > f)
+
+let test_novelsm_memtable_in_pmem () =
+  let store = Baselines.Novelsm.create ~memtable_cap:100_000 () in
+  let h = Baselines.Novelsm.handle store in
+  let c = Clock.create () in
+  let before =
+    (Device.stats h.Store_intf.device).Stats.media_write_bytes
+  in
+  (* stays in the (in-Pmem) MemTable: no flush, yet heavy media writes *)
+  for i = 0 to 999 do
+    h.Store_intf.put c (key i) ~vlen:8
+  done;
+  let delta =
+    (Device.stats h.Store_intf.device).Stats.media_write_bytes -. before
+  in
+  Alcotest.(check bool) "skiplist writes amplified" true
+    (delta > 1000.0 *. 256.0)
+
+let test_matrixkv_rowtable_traffic () =
+  let mk_bytes sublevels =
+    let h =
+      Baselines.Matrixkv.handle
+        (Baselines.Matrixkv.create ~memtable_cap:128 ~l0_sublevels:sublevels ())
+    in
+    let c = Clock.create () in
+    for i = 0 to 2_000 do
+      h.Store_intf.put c (key i) ~vlen:8
+    done;
+    (Device.stats h.Store_intf.device).Stats.media_write_bytes
+  in
+  (* flushing more, smaller sublevels costs more RowTable metadata plus
+     compaction rewrites *)
+  Alcotest.(check bool) "metadata traffic visible" true
+    (mk_bytes 2 > 2_000.0 *. 24.0)
+
+let test_pmem_lsm_get_depth () =
+  let store = Baselines.Pmem_lsm.create ~cfg:small_cfg Baselines.Pmem_lsm.Nf in
+  let h = Baselines.Pmem_lsm.handle store in
+  let c = Clock.create () in
+  for i = 0 to 9_999 do
+    h.Store_intf.put c (key i) ~vlen:8
+  done;
+  let deep = ref 0 in
+  for i = 0 to 999 do
+    let r, depth = Baselines.Pmem_lsm.get_with_level store c (key i) in
+    Alcotest.(check bool) "found" true (r <> None);
+    if depth > 1 then incr deep
+  done;
+  Alcotest.(check bool) "multi-level probing happens" true (!deep > 0)
+
+let test_handles_have_names () =
+  let names = List.map (fun h -> h.Store_intf.name) (all_handles ()) in
+  Alcotest.(check int) "distinct names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+
+let flush_durability_check (h : Store_intf.handle) =
+  let c = Clock.create () in
+  let n = 3_000 in
+  for i = 0 to n - 1 do
+    h.Store_intf.put c (key i) ~vlen:8
+  done;
+  h.Store_intf.flush c;
+  (* after an explicit flush, a crash must lose nothing *)
+  h.Store_intf.crash ();
+  h.Store_intf.recover c;
+  for i = 0 to n - 1 do
+    if h.Store_intf.get c (key i) = None then
+      Alcotest.failf "%s: key %d lost despite flush" h.Store_intf.name i
+  done
+
+let test_all_flush_durability () =
+  List.iter flush_durability_check (all_handles ())
+
+let test_repeated_crashes () =
+  (* crash/recover cycles must be idempotent on a clean store *)
+  List.iter
+    (fun (h : Store_intf.handle) ->
+      let c = Clock.create () in
+      for i = 0 to 499 do
+        h.Store_intf.put c (key i) ~vlen:8
+      done;
+      h.Store_intf.flush c;
+      for _ = 1 to 3 do
+        h.Store_intf.crash ();
+        h.Store_intf.recover c
+      done;
+      for i = 0 to 499 do
+        if h.Store_intf.get c (key i) = None then
+          Alcotest.failf "%s: key %d lost across repeated crashes"
+            h.Store_intf.name i
+      done)
+    (all_handles ())
+
+let test_update_semantics_all () =
+  List.iter
+    (fun (h : Store_intf.handle) ->
+      let c = Clock.create () in
+      h.Store_intf.put c 9L ~vlen:8;
+      let l1 = h.Store_intf.get c 9L in
+      h.Store_intf.put c 9L ~vlen:8;
+      let l2 = h.Store_intf.get c 9L in
+      Alcotest.(check bool)
+        (h.Store_intf.name ^ ": update yields newer location")
+        true (l2 > l1))
+    (all_handles ())
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "correctness",
+        [ Alcotest.test_case "crud (all stores)" `Quick test_all_crud;
+          Alcotest.test_case "bulk load (all stores)" `Quick test_all_bulk;
+          Alcotest.test_case "crash/recover (all stores)" `Quick
+            test_all_crash_recover;
+          Alcotest.test_case "model-checked (all stores)" `Quick
+            test_all_model_checked;
+          Alcotest.test_case "model with crashes (log-replay family)" `Quick
+            test_model_with_crashes_lsm_family;
+          Alcotest.test_case "model with crashes (pmem-hash)" `Quick
+            test_model_with_crashes_pmem_hash;
+          Alcotest.test_case "flush durability (all stores)" `Quick
+            test_all_flush_durability;
+          Alcotest.test_case "repeated crashes (all stores)" `Quick
+            test_repeated_crashes;
+          Alcotest.test_case "update semantics (all stores)" `Quick
+            test_update_semantics_all ] );
+      ( "design-signatures",
+        [ Alcotest.test_case "Pmem-Hash write amplification" `Quick
+            test_pmem_hash_write_amplification;
+          Alcotest.test_case "LSM write batching" `Quick
+            test_lsm_write_batching;
+          Alcotest.test_case "Dram-Hash restart scales with log" `Quick
+            test_dram_hash_restart_scans_whole_log;
+          Alcotest.test_case "LSM restart bounded" `Quick
+            test_lsm_restart_is_bounded;
+          Alcotest.test_case "variant DRAM footprints" `Quick
+            test_lsm_variant_footprints;
+          Alcotest.test_case "NoveLSM in-Pmem MemTable" `Quick
+            test_novelsm_memtable_in_pmem;
+          Alcotest.test_case "MatrixKV RowTable traffic" `Quick
+            test_matrixkv_rowtable_traffic;
+          Alcotest.test_case "multi-level get depth" `Quick
+            test_pmem_lsm_get_depth;
+          Alcotest.test_case "distinct handle names" `Quick
+            test_handles_have_names ] ) ]

@@ -1,0 +1,939 @@
+module C = Chameleondb
+module Config = C.Config
+module Store = C.Store
+module Shard = C.Shard
+module Memtable = C.Memtable
+module Levels = C.Levels
+module Modes = C.Modes
+module Manifest = C.Manifest
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Types = Kv_common.Types
+module Vlog = Kv_common.Vlog
+
+let key i = Workload.Keyspace.key_of_index i
+
+(* a small but structurally complete configuration *)
+let small_cfg =
+  { Config.default with Config.shards = 4; memtable_slots = 32 }
+
+let mk ?(cfg = small_cfg) () = Store.create ~cfg ()
+
+(* enough unique keys to push every shard through last-level compactions *)
+let full_cycle_keys cfg =
+  cfg.Config.shards * Config.max_upper_entries cfg * 3 / 4
+
+let load db clock n =
+  for i = 0 to n - 1 do
+    Store.put db clock (key i) ~vlen:8
+  done
+
+(* --------------------------------- Config -------------------------------- *)
+
+let test_config_default_valid () =
+  Alcotest.(check bool) "default ok" true (Config.validate Config.default = Ok ())
+
+let test_config_rejections () =
+  let bad f =
+    match Config.validate (f Config.default) with
+    | Error _ -> true
+    | Ok () -> false
+  in
+  Alcotest.(check bool) "shards" true (bad (fun c -> { c with Config.shards = 0 }));
+  Alcotest.(check bool) "memtable" true
+    (bad (fun c -> { c with Config.memtable_slots = 4 }));
+  Alcotest.(check bool) "levels" true (bad (fun c -> { c with Config.levels = 1 }));
+  Alcotest.(check bool) "ratio" true (bad (fun c -> { c with Config.ratio = 1 }));
+  Alcotest.(check bool) "lf band" true
+    (bad (fun c -> { c with Config.lf_min = 0.9; lf_max = 0.8 }));
+  Alcotest.(check bool) "abi too small" true
+    (bad (fun c -> { c with Config.abi_slots_factor = 2 }))
+
+let test_config_derived () =
+  Alcotest.(check int) "upper levels" 3 (Config.upper_levels Config.default);
+  Alcotest.(check int) "max upper entries"
+    (64 * Config.default.Config.memtable_slots)
+    (Config.max_upper_entries Config.default);
+  let s = Config.scaled ~shards:7 ~memtable_slots:64 Config.default in
+  Alcotest.(check int) "scaled shards" 7 s.Config.shards;
+  Alcotest.(check int) "scaled slots" 64 s.Config.memtable_slots
+
+let test_store_create_rejects_invalid () =
+  Alcotest.(check bool) "invalid cfg raises" true
+    (try
+       ignore (Store.create ~cfg:{ Config.default with Config.ratio = 0 } ());
+       false
+     with Invalid_argument _ -> true)
+
+(* -------------------------------- Memtable ------------------------------- *)
+
+let test_memtable_lf_band () =
+  for shard_id = 0 to 20 do
+    let m = Memtable.create ~cfg:Config.default ~shard_id in
+    let lf = Memtable.load_factor_threshold m in
+    Alcotest.(check bool) "within band" true
+      (lf >= Config.default.Config.lf_min -. 1e-9
+      && lf <= Config.default.Config.lf_max +. 1e-9)
+  done
+
+let test_memtable_reset_redraws () =
+  let m = Memtable.create ~cfg:Config.default ~shard_id:0 in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 20 do
+    Hashtbl.replace seen (Memtable.load_factor_threshold m) ();
+    Memtable.reset m
+  done;
+  Alcotest.(check bool) "thresholds vary across flushes" true
+    (Hashtbl.length seen > 3)
+
+let test_memtable_room () =
+  let m = Memtable.create ~cfg:small_cfg ~shard_id:1 in
+  let c = Clock.create () in
+  Alcotest.(check bool) "room when empty" true (Memtable.has_room_for m 10);
+  let i = ref 0 in
+  while not (Memtable.is_full m) do
+    incr i;
+    ignore (Memtable.put m c (key !i) !i)
+  done;
+  Alcotest.(check bool) "no room when full" false (Memtable.has_room_for m 5);
+  Alcotest.(check int) "entries snapshot" (Memtable.count m)
+    (List.length (Memtable.entries m))
+
+(* --------------------------------- Levels -------------------------------- *)
+
+let test_levels_slots () =
+  Alcotest.(check int) "L0 table" 32
+    (Levels.table_slots ~cfg:small_cfg ~level:0);
+  Alcotest.(check int) "L2 table" (32 * 16)
+    (Levels.table_slots ~cfg:small_cfg ~level:2)
+
+let test_levels_structure () =
+  let lv = Levels.create ~cfg:small_cfg in
+  let dev = Device.create Pmem_sim.Cost_model.optane in
+  let c = Clock.create () in
+  Alcotest.(check bool) "not full" false (Levels.l0_full lv);
+  for i = 1 to 4 do
+    let tbl = Kv_common.Linear_table.build dev c ~slots:32 [ (key i, i) ] in
+    Kv_common.Linear_table.set_tag tbl i;
+    Levels.add_table lv ~level:0 tbl
+  done;
+  Alcotest.(check bool) "full at ratio" true (Levels.l0_full lv);
+  Alcotest.(check int) "entry count" 4 (Levels.upper_entry_count lv);
+  (* newest first ordering *)
+  (match Levels.upper_tables_newest_first lv () with
+  | first :: _ ->
+    Alcotest.(check int) "newest first" 4 (Kv_common.Linear_table.tag first)
+  | [] -> Alcotest.fail "no tables");
+  Alcotest.(check bool) "pmem bytes" true (Levels.pmem_bytes lv > 0);
+  Levels.clear_upper_range lv ~upto:0;
+  Alcotest.(check int) "cleared" 0 (Levels.level_len lv 0)
+
+(* ----------------------------------- GPM --------------------------------- *)
+
+let gpm_cfg = { small_cfg with Config.gpm_enabled = true }
+
+let test_gpm_activates_and_releases () =
+  let g = Modes.Gpm.create ~cfg:gpm_cfg in
+  Alcotest.(check bool) "starts inactive" false (Modes.Gpm.active g);
+  for _ = 1 to 256 do
+    Modes.Gpm.record_get g 10_000.0
+  done;
+  Alcotest.(check bool) "activates on slow tail" true (Modes.Gpm.active g);
+  Alcotest.(check int) "one activation" 1 (Modes.Gpm.activations g);
+  (* hysteresis: needs clearly low tail to release *)
+  for _ = 1 to 1024 do
+    Modes.Gpm.record_get g 300.0
+  done;
+  Alcotest.(check bool) "releases once subsided" false (Modes.Gpm.active g);
+  Alcotest.(check bool) "p99 tracked" true (Modes.Gpm.current_p99 g > 0.0)
+
+let test_gpm_disabled_never_active () =
+  let g = Modes.Gpm.create ~cfg:small_cfg in
+  for _ = 1 to 1000 do
+    Modes.Gpm.record_get g 1e9
+  done;
+  Alcotest.(check bool) "stays off" false (Modes.Gpm.active g)
+
+(* -------------------------------- Manifest ------------------------------- *)
+
+let test_manifest () =
+  let dev = Device.create Pmem_sim.Cost_model.optane in
+  let m = Manifest.create dev in
+  let c = Clock.create () in
+  Manifest.record_update m c;
+  Manifest.record_update m c;
+  Alcotest.(check int) "updates" 2 (Manifest.updates m);
+  Alcotest.(check bool) "persisted to device" true
+    ((Device.stats dev).Pmem_sim.Stats.media_write_bytes > 0.0);
+  Alcotest.(check bool) "footprint" true (Manifest.footprint_bytes m > 0.0)
+
+(* ------------------------------- Store basics ---------------------------- *)
+
+let test_store_crud () =
+  let db = mk () in
+  let c = Clock.create () in
+  Alcotest.(check bool) "missing" true (Store.get db c 1L = None);
+  Store.put db c 1L ~vlen:8;
+  Alcotest.(check bool) "present" true (Store.get db c 1L <> None);
+  Store.delete db c 1L;
+  Alcotest.(check bool) "deleted" true (Store.get db c 1L = None);
+  Store.put db c 1L ~vlen:8;
+  Alcotest.(check bool) "reinserted" true (Store.get db c 1L <> None)
+
+let test_store_update_returns_newest () =
+  let db = mk () in
+  let c = Clock.create () in
+  Store.put db c 5L ~vlen:8;
+  let l1 = Store.get db c 5L in
+  Store.put db c 5L ~vlen:8;
+  let l2 = Store.get db c 5L in
+  Alcotest.(check bool) "newer location" true (l2 > l1)
+
+let test_store_negative_vlen_rejected () =
+  let db = mk () in
+  let c = Clock.create () in
+  Alcotest.check_raises "negative vlen"
+    (Invalid_argument "Store.put: negative value length") (fun () ->
+      Store.put db c 1L ~vlen:(-3))
+
+let test_store_full_cycle_correct () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = 2 * full_cycle_keys small_cfg in
+  load db c n;
+  let t = Store.totals db in
+  Alcotest.(check bool) "flushes happened" true (t.Store.flushes > 0);
+  Alcotest.(check bool) "upper compactions happened" true
+    (t.Store.upper_compactions > 0);
+  Alcotest.(check bool) "last-level compactions happened" true
+    (t.Store.last_compactions > 0);
+  for i = 0 to n - 1 do
+    if Store.get db c (key i) = None then
+      Alcotest.failf "key %d missing after compactions" i
+  done;
+  (match Store.check_invariants db with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_store_updates_survive_compactions () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = full_cycle_keys small_cfg in
+  load db c n;
+  (* update a subset, then push more data through to force compactions *)
+  let probe = [ 0; 7; 99; n / 2; n - 1 ] in
+  let updated_locs =
+    List.map
+      (fun i ->
+        Store.put db c (key i) ~vlen:16;
+        (i, Option.get (Store.get db c (key i))))
+      probe
+  in
+  for i = n to 2 * n do
+    Store.put db c (key i) ~vlen:8
+  done;
+  List.iter
+    (fun (i, loc) ->
+      match Store.get db c (key i) with
+      | Some l ->
+        Alcotest.(check bool)
+          (Printf.sprintf "key %d kept newest version" i)
+          true (l >= loc)
+      | None -> Alcotest.failf "key %d lost" i)
+    updated_locs
+
+let test_store_deletes_survive_compactions () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = full_cycle_keys small_cfg in
+  load db c n;
+  Store.delete db c (key 3);
+  Store.delete db c (key (n / 2));
+  for i = n to 2 * n do
+    Store.put db c (key i) ~vlen:8
+  done;
+  Alcotest.(check bool) "deleted stays deleted" true
+    (Store.get db c (key 3) = None);
+  Alcotest.(check bool) "deleted stays deleted 2" true
+    (Store.get db c (key (n / 2)) = None)
+
+let test_store_get_stages () =
+  let db = mk () in
+  let c = Clock.create () in
+  load db c (2 * full_cycle_keys small_cfg);
+  let stages = Hashtbl.create 8 in
+  for i = 0 to 2 * full_cycle_keys small_cfg - 1 do
+    let r, stage = Store.get_detail db c (key i) in
+    Alcotest.(check bool) "found" true (r <> None);
+    Hashtbl.replace stages stage ()
+  done;
+  Alcotest.(check bool) "some last-level hits" true
+    (Hashtbl.mem stages Shard.Hit_last);
+  Alcotest.(check bool) "some DRAM-index hits" true
+    (Hashtbl.mem stages Shard.Hit_abi || Hashtbl.mem stages Shard.Hit_memtable)
+
+(* ---------------------------- Crash and recovery ------------------------- *)
+
+let test_recovery_normal () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = full_cycle_keys small_cfg in
+  load db c n;
+  Store.crash db;
+  let persisted = Vlog.persisted (Store.vlog db) in
+  let rc = Clock.create ~at:(Clock.now c) () in
+  let restart = Store.recover db rc in
+  Alcotest.(check bool) "restart time positive" true (restart >= 0.0);
+  (* every key whose log entry persisted must be readable *)
+  for i = 0 to persisted - 1 do
+    let k = Vlog.key_at (Store.vlog db) i in
+    if Store.get db rc k = None then
+      Alcotest.failf "persisted key at loc %d missing after recovery" i
+  done
+
+let test_recovery_degraded_then_ready () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = full_cycle_keys small_cfg / 2 in
+  load db c n;
+  (* checkpoint so the whole data set survives the crash; the ABI is still
+     volatile, so recovery serves degraded until its rebuild completes *)
+  Store.flush_all db c;
+  Store.crash db;
+  let rc = Clock.create ~at:(Clock.now c) () in
+  ignore (Store.recover db rc);
+  (* immediately after recovery: gets run degraded but must be correct *)
+  let _, stage = Store.get_detail db rc (key 0) in
+  Alcotest.(check bool) "answered" true (stage <> Shard.Miss);
+  (* after the ABI rebuild completes, gets go through the ABI again *)
+  Store.wait_background db rc;
+  let late = Clock.create ~at:(Clock.now rc +. 1e9) () in
+  let hit_dram = ref false in
+  for i = 0 to n - 1 do
+    match Store.get_detail db late (key i) with
+    | Some _, (Shard.Hit_abi | Shard.Hit_memtable) -> hit_dram := true
+    | Some _, _ -> ()
+    | None, _ -> Alcotest.failf "key %d missing" i
+  done;
+  Alcotest.(check bool) "ABI serving after rebuild" true !hit_dram
+
+let test_recovery_wim_preserves_absorbed () =
+  (* regression: absorbed (DRAM-only) entries must be recovered from the
+     log via the absorb floor, which has to survive the crash *)
+  let cfg = { small_cfg with Config.write_intensive = true } in
+  let db = mk ~cfg () in
+  let c = Clock.create () in
+  let n = full_cycle_keys small_cfg in
+  load db c n;
+  let t = Store.totals db in
+  Alcotest.(check bool) "absorptions happened" true (t.Store.absorbs > 0);
+  Store.crash db;
+  let persisted = Vlog.persisted (Store.vlog db) in
+  let rc = Clock.create ~at:(Clock.now c) () in
+  let restart = Store.recover db rc in
+  for i = 0 to persisted - 1 do
+    let k = Vlog.key_at (Store.vlog db) i in
+    if Store.get db rc k = None then
+      Alcotest.failf "WIM: persisted key at loc %d lost" i
+  done;
+  (* WIM restart scans a long log tail: far slower than a normal restart *)
+  let db2 = mk () in
+  let c2 = Clock.create () in
+  load db2 c2 n;
+  Store.crash db2;
+  let rc2 = Clock.create ~at:(Clock.now c2) () in
+  let restart_normal = Store.recover db2 rc2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "WIM restart (%.0f) >> normal (%.0f)" restart
+       restart_normal)
+    true
+    (restart > 4.0 *. restart_normal)
+
+let test_wim_throughput_and_structure () =
+  let cfg = { small_cfg with Config.write_intensive = true } in
+  let db = mk ~cfg () in
+  let c = Clock.create () in
+  (* enough data to fill every shard's ABI at least once *)
+  load db c (2 * full_cycle_keys small_cfg);
+  let t = Store.totals db in
+  Alcotest.(check int) "no flushes in WIM" 0 t.Store.flushes;
+  Alcotest.(check int) "no upper compactions" 0 t.Store.upper_compactions;
+  Alcotest.(check bool) "ABI-full last compactions only" true
+    (t.Store.last_compactions > 0)
+
+(* ------------------------------ GPM dump path ---------------------------- *)
+
+let test_shard_gpm_dump_and_drain () =
+  let cfg = { small_cfg with Config.gpm_max_dumps = 1 } in
+  let dev = Device.create Pmem_sim.Cost_model.optane in
+  let vlog = Vlog.create dev in
+  let shard = Shard.create ~cfg ~id:0 dev vlog in
+  let c = Clock.create () in
+  (* absorb until the ABI fills and dumps once *)
+  let i = ref 0 in
+  while Shard.dump_count shard = 0 do
+    incr i;
+    let loc = Vlog.append vlog c (key !i) ~vlen:8 in
+    Shard.put shard c (key !i) loc ~suspend_compactions:true ~can_dump:true
+  done;
+  Alcotest.(check int) "one dump" 1 (Shard.dump_count shard);
+  (match Shard.check_invariants shard with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("invariants after dump: " ^ e));
+  let n_at_dump = !i in
+  (* keys from the dumped generation are served from the dump table *)
+  let loc, stage = Shard.get shard c (key 1) in
+  Alcotest.(check bool) "dump hit" true
+    (loc <> None && stage = Shard.Hit_dump);
+  (* more absorbs: newer versions land in the fresh ABI and mask the dump *)
+  let loc2 = Vlog.append vlog c (key 1) ~vlen:8 in
+  Shard.put shard c (key 1) loc2 ~suspend_compactions:true ~can_dump:true;
+  let got, stage2 = Shard.get shard c (key 1) in
+  Alcotest.(check bool) "ABI masks dump" true
+    (got = Some loc2
+    && (stage2 = Shard.Hit_abi || stage2 = Shard.Hit_memtable));
+  (* a normal-mode flush drains the dump into the last level *)
+  Shard.force_flush shard c;
+  Alcotest.(check int) "dump drained" 0 (Shard.dump_count shard);
+  for j = 1 to n_at_dump do
+    let r, _ = Shard.get shard c (key j) in
+    if r = None then Alcotest.failf "key %d lost across dump drain" j
+  done
+
+let test_shard_drain_dumps_if_idle () =
+  let cfg = { small_cfg with Config.gpm_max_dumps = 2 } in
+  let dev = Device.create Pmem_sim.Cost_model.optane in
+  let vlog = Vlog.create dev in
+  let shard = Shard.create ~cfg ~id:0 dev vlog in
+  let c = Clock.create () in
+  let i = ref 0 in
+  while Shard.dump_count shard = 0 do
+    incr i;
+    let loc = Vlog.append vlog c (key !i) ~vlen:8 in
+    Shard.put shard c (key !i) loc ~suspend_compactions:true ~can_dump:true
+  done;
+  Shard.drain_dumps_if_idle shard ~now:(Clock.now c +. 1e9);
+  Alcotest.(check int) "drained opportunistically" 0 (Shard.dump_count shard)
+
+(* ----------------------------- ABI-disabled mode ------------------------- *)
+
+let test_abi_disabled_still_correct () =
+  let cfg = { small_cfg with Config.abi_enabled = false } in
+  let db = mk ~cfg () in
+  let c = Clock.create () in
+  let n = full_cycle_keys small_cfg in
+  load db c n;
+  for i = 0 to n - 1 do
+    match Store.get_detail db c (key i) with
+    | Some _, _ -> ()
+    | None, _ -> Alcotest.failf "key %d missing without ABI" i
+  done;
+  (* and gets never report ABI hits *)
+  let r, stage = Store.get_detail db c (key 0) in
+  Alcotest.(check bool) "no ABI stage" true
+    (r <> None && stage <> Shard.Hit_abi)
+
+(* ------------------------------- Footprints ------------------------------ *)
+
+let test_footprints () =
+  let db = mk () in
+  let c = Clock.create () in
+  load db c (full_cycle_keys small_cfg);
+  let dram = Store.dram_footprint db in
+  let pmem = Store.pmem_footprint db in
+  Alcotest.(check bool) "dram > 0" true (dram > 0.0);
+  Alcotest.(check bool) "pmem > dram (tables + log vs ABI)" true (pmem > 0.0);
+  (* ABI dominates the DRAM footprint: footprint ~= shards x abi bytes *)
+  let abi_bytes =
+    float_of_int
+      (small_cfg.Config.shards * small_cfg.Config.abi_slots_factor
+      * small_cfg.Config.memtable_slots * 16)
+  in
+  Alcotest.(check bool) "ABI-dominated" true (dram >= abi_bytes)
+
+(* ------------------------------- Model-based ----------------------------- *)
+
+let test_model_random_ops () =
+  let db = mk () in
+  Model_check.run ~ops:15_000 ~universe:1_500 ~seed:11 (Store.handle db)
+
+let test_model_with_crashes () =
+  let db = mk () in
+  Model_check.run ~ops:12_000 ~universe:1_000 ~crash_every:2_500 ~seed:23
+    (Store.handle db)
+
+let test_model_wim_with_crashes () =
+  let cfg = { small_cfg with Config.write_intensive = true } in
+  let db = mk ~cfg () in
+  Model_check.run ~ops:12_000 ~universe:1_000 ~crash_every:3_000 ~seed:31
+    (Store.handle db)
+
+let prop_small_stores_vs_model =
+  QCheck.Test.make ~name:"random op streams match model" ~count:12
+    QCheck.small_int
+    (fun seed ->
+      let db = mk () in
+      Model_check.run ~ops:3_000 ~universe:400 ~seed (Store.handle db);
+      true)
+
+
+(* ---------------------------------- GC ----------------------------------- *)
+
+let test_gc_reclaims_dead_versions () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = 4_000 in
+  (* write every key three times: 2/3 of the log is dead *)
+  for round = 1 to 3 do
+    ignore round;
+    for i = 0 to n - 1 do
+      Store.put db c (key i) ~vlen:8
+    done
+  done;
+  let before = Vlog.live_bytes (Store.vlog db) in
+  let stats = Store.gc db c ~max_entries:(2 * n) () in
+  Alcotest.(check int) "scanned the prefix" (2 * n) stats.Store.gc_scanned;
+  Alcotest.(check bool) "mostly dead" true
+    (stats.Store.gc_dead > stats.Store.gc_live);
+  Alcotest.(check bool) "bytes reclaimed" true
+    (stats.Store.gc_reclaimed_bytes > 0);
+  Alcotest.(check bool) "log shrank" true
+    (Vlog.live_bytes (Store.vlog db) < before);
+  Alcotest.(check int) "head advanced" (2 * n) (Vlog.head (Store.vlog db));
+  for i = 0 to n - 1 do
+    if Store.get db c (key i) = None then Alcotest.failf "key %d lost by GC" i
+  done
+
+let test_gc_preserves_live_prefix () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = 3_000 in
+  for i = 0 to n - 1 do
+    Store.put db c (key i) ~vlen:8
+  done;
+  (* everything in the scanned prefix is live: GC must copy it all *)
+  let stats = Store.gc db c ~max_entries:n () in
+  Alcotest.(check int) "all live" n stats.Store.gc_live;
+  Alcotest.(check int) "none dead" 0 stats.Store.gc_dead;
+  for i = 0 to n - 1 do
+    if Store.get db c (key i) = None then Alcotest.failf "key %d lost" i
+  done
+
+let test_gc_tombstones_survive () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = 2_000 in
+  for i = 0 to n - 1 do
+    Store.put db c (key i) ~vlen:8
+  done;
+  for i = 0 to (n / 2) - 1 do
+    Store.delete db c (key i)
+  done;
+  (* collect the whole current log, then crash: deletions must not be
+     resurrected from older versions in the persistent index *)
+  let _ = Store.gc db c ~max_entries:(Vlog.length (Store.vlog db)) () in
+  for i = 0 to n - 1 do
+    let expect_deleted = i < n / 2 in
+    let present = Store.get db c (key i) <> None in
+    if present = expect_deleted then
+      Alcotest.failf "key %d wrong after GC (present=%b)" i present
+  done;
+  Store.crash db;
+  let rc = Clock.create ~at:(Clock.now c) () in
+  ignore (Store.recover db rc);
+  for i = 0 to n - 1 do
+    let expect_deleted = i < n / 2 in
+    let present = Store.get db rc (key i) <> None in
+    if present = expect_deleted then
+      Alcotest.failf "key %d resurrected/lost after GC+crash (present=%b)" i
+        present
+  done
+
+let test_gc_then_crash_preserves_data () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = 3_000 in
+  for round = 1 to 2 do
+    ignore round;
+    for i = 0 to n - 1 do
+      Store.put db c (key i) ~vlen:8
+    done
+  done;
+  let _ = Store.gc db c ~max_entries:n () in
+  Store.crash db;
+  let rc = Clock.create ~at:(Clock.now c) () in
+  ignore (Store.recover db rc);
+  for i = 0 to n - 1 do
+    if Store.get db rc (key i) = None then
+      Alcotest.failf "key %d lost after GC+crash" i
+  done
+
+let test_gc_repeated_passes_converge () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = 2_000 in
+  for round = 1 to 4 do
+    ignore round;
+    for i = 0 to n - 1 do
+      Store.put db c (key i) ~vlen:8
+    done
+  done;
+  (* run GC to exhaustion: live bytes converge to ~one version per key *)
+  let rec drain guard =
+    let before_head = Vlog.head (Store.vlog db) in
+    let _ = Store.gc db c ~max_entries:10_000 () in
+    if Vlog.head (Store.vlog db) > before_head && guard > 0 then
+      drain (guard - 1)
+  in
+  drain 50;
+  let live = Vlog.live_bytes (Store.vlog db) in
+  (* one 24 B version per key, within a factor for the copied churn *)
+  Alcotest.(check bool)
+    (Printf.sprintf "log compacted to ~live set (%d bytes)" live)
+    true
+    (live < 3 * n * 24);
+  for i = 0 to n - 1 do
+    if Store.get db c (key i) = None then Alcotest.failf "key %d lost" i
+  done
+
+let test_gc_model_random_ops () =
+  (* random puts/deletes/gets with periodic GC and crashes, checked against
+     a model of the final state *)
+  let db = mk () in
+  let rng = Workload.Rng.create ~seed:99 in
+  let c = Clock.create () in
+  let universe = 800 in
+  let m = Hashtbl.create universe in
+  for step = 1 to 15_000 do
+    let i = Workload.Rng.int rng universe in
+    (match Workload.Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 | 4 | 5 ->
+      Store.put db c (key i) ~vlen:8;
+      Hashtbl.replace m (key i) true
+    | 6 ->
+      Store.delete db c (key i);
+      Hashtbl.replace m (key i) false
+    | _ ->
+      let expect = Option.value ~default:false (Hashtbl.find_opt m (key i)) in
+      let got = Store.get db c (key i) <> None in
+      if expect <> got then
+        Alcotest.failf "step %d: key %d expect %b got %b" step i expect got);
+    if step mod 4_000 = 0 then ignore (Store.gc db c ~max_entries:5_000 ())
+  done;
+  (* GC passes flush the log, so a final flush+crash+recover loses nothing *)
+  Store.flush_all db c;
+  Store.crash db;
+  ignore (Store.recover db c);
+  Hashtbl.iter
+    (fun k expect ->
+      let got = Store.get db c k <> None in
+      if expect <> got then
+        Alcotest.failf "after crash: key %Ld expect %b got %b" k expect got)
+    m
+
+(* -------------------------------- Full scan ------------------------------ *)
+
+let test_iter_visits_live_keys_once () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = full_cycle_keys small_cfg in
+  load db c n;
+  Store.delete db c (key 0);
+  Store.delete db c (key (n - 1));
+  let seen = Hashtbl.create n in
+  Store.iter db c (fun k loc ->
+      Alcotest.(check bool) "no duplicates" false (Hashtbl.mem seen k);
+      Alcotest.(check bool) "valid loc" true (loc >= 0);
+      Hashtbl.replace seen k ());
+  Alcotest.(check int) "all live keys, deletions excluded" (n - 2)
+    (Hashtbl.length seen);
+  Alcotest.(check bool) "deleted not visited" false
+    (Hashtbl.mem seen (key 0))
+
+let test_iter_sees_updates () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = 2_000 in
+  load db c n;
+  Store.put db c (key 7) ~vlen:16;
+  let newest = Option.get (Store.get db c (key 7)) in
+  let found = ref (-1) in
+  Store.iter db c (fun k loc -> if Int64.equal k (key 7) then found := loc);
+  Alcotest.(check int) "newest version" newest !found
+
+
+(* ----------------------------- Materialized values ----------------------- *)
+
+let mat_cfg = { small_cfg with Config.materialize_values = true }
+
+let test_put_get_value_roundtrip () =
+  let db = mk ~cfg:mat_cfg () in
+  let c = Clock.create () in
+  Store.put_value db c 1L (Bytes.of_string "hello world");
+  Store.put_value db c 2L (Bytes.of_string "");
+  Alcotest.(check (option string)) "roundtrip" (Some "hello world")
+    (Option.map Bytes.to_string (Store.get_value db c 1L));
+  Alcotest.(check (option string)) "empty value" (Some "")
+    (Option.map Bytes.to_string (Store.get_value db c 2L));
+  Alcotest.(check bool) "absent" true (Store.get_value db c 3L = None);
+  Store.put_value db c 1L (Bytes.of_string "v2");
+  Alcotest.(check (option string)) "update" (Some "v2")
+    (Option.map Bytes.to_string (Store.get_value db c 1L));
+  Store.delete db c 1L;
+  Alcotest.(check bool) "deleted" true (Store.get_value db c 1L = None)
+
+let test_value_accounting_mode_returns_none () =
+  let db = mk () in
+  let c = Clock.create () in
+  Store.put_value db c 1L (Bytes.of_string "x");
+  Alcotest.(check bool) "present in index" true (Store.get db c 1L <> None);
+  Alcotest.(check bool) "payload not retained" true
+    (Store.get_value db c 1L = None)
+
+let test_values_survive_compactions_and_gc () =
+  let db = mk ~cfg:mat_cfg () in
+  let c = Clock.create () in
+  let n = full_cycle_keys small_cfg in
+  let content i = Printf.sprintf "value-%d" i in
+  for i = 0 to n - 1 do
+    Store.put_value db c (key i) (Bytes.of_string (content i))
+  done;
+  (* force compactions with a second round of updates *)
+  for i = 0 to n - 1 do
+    Store.put_value db c (key i) (Bytes.of_string (content (i + 1)))
+  done;
+  let _ = Store.gc db c ~max_entries:n () in
+  for i = 0 to n - 1 do
+    match Store.get_value db c (key i) with
+    | Some v when Bytes.to_string v = content (i + 1) -> ()
+    | Some v ->
+      Alcotest.failf "key %d: wrong payload %S" i (Bytes.to_string v)
+    | None -> Alcotest.failf "key %d: payload lost" i
+  done
+
+let test_values_dropped_on_crash_tail () =
+  let db = mk ~cfg:mat_cfg () in
+  let c = Clock.create () in
+  Store.put_value db c 1L (Bytes.of_string "persisted");
+  Store.flush_all db c;
+  Store.put_value db c 2L (Bytes.of_string "volatile");
+  Store.crash db;
+  ignore (Store.recover db c);
+  Alcotest.(check (option string)) "persisted survives" (Some "persisted")
+    (Option.map Bytes.to_string (Store.get_value db c 1L));
+  Alcotest.(check bool) "unpersisted payload gone" true
+    (Store.get_value db c 2L = None)
+
+
+(* --------------------------------- Report -------------------------------- *)
+
+let test_report_renders () =
+  let db = mk () in
+  let c = Clock.create () in
+  load db c (full_cycle_keys small_cfg);
+  let s = C.Report.to_string db in
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "ChameleonDB state"; "memtables"; "abi"; "last level"; "log";
+      "footprints"; "device" ]
+
+
+(* ------------------------- Shard-level properties ------------------------ *)
+
+(* Drive one shard directly through random puts/deletes (exercising flush,
+   tiered and last-level compactions) and compare against a model map. *)
+let shard_model_run ~compaction ~seed ~ops =
+  let cfg = { small_cfg with Config.shards = 1; compaction } in
+  let dev = Device.create Pmem_sim.Cost_model.optane in
+  let vlog = Vlog.create dev in
+  let shard = Shard.create ~cfg ~id:0 dev vlog in
+  let c = Clock.create () in
+  let rng = Workload.Rng.create ~seed in
+  let m = Hashtbl.create 256 in
+  for _ = 1 to ops do
+    let k = key (Workload.Rng.int rng 500) in
+    if Workload.Rng.int rng 8 = 0 then begin
+      let loc = Vlog.append vlog c k ~vlen:(-1) in
+      ignore loc;
+      Shard.put shard c k Types.tombstone ~suspend_compactions:false
+        ~can_dump:false;
+      Hashtbl.replace m k None
+    end
+    else begin
+      let loc = Vlog.append vlog c k ~vlen:8 in
+      Shard.put shard c k loc ~suspend_compactions:false ~can_dump:false;
+      Hashtbl.replace m k (Some loc)
+    end
+  done;
+  Hashtbl.iter
+    (fun k expect ->
+      let got, _ = Shard.get shard c k in
+      if got <> expect then
+        Alcotest.failf "shard model (%s): key %Ld expected %s got %s"
+          (match compaction with
+          | Config.Direct -> "direct"
+          | Config.Level_by_level -> "level-by-level")
+          k
+          (match expect with Some l -> string_of_int l | None -> "absent")
+          (match got with Some l -> string_of_int l | None -> "absent"))
+    m;
+  match Shard.check_invariants shard with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_shard_model_direct () =
+  shard_model_run ~compaction:Config.Direct ~seed:5 ~ops:30_000
+
+let test_shard_model_level_by_level () =
+  shard_model_run ~compaction:Config.Level_by_level ~seed:6 ~ops:30_000
+
+let prop_shard_random_configs =
+  QCheck.Test.make ~name:"shard correct across random small configs" ~count:8
+    QCheck.(triple (int_range 2 4) (int_range 2 4) small_int)
+    (fun (levels, ratio, seed) ->
+      let cfg =
+        { small_cfg with
+          Config.shards = 1;
+          levels;
+          ratio;
+          memtable_slots = 32;
+          abi_slots_factor = 4 * ratio * ratio * ratio }
+      in
+      let dev = Device.create Pmem_sim.Cost_model.optane in
+      let vlog = Vlog.create dev in
+      let shard = Shard.create ~cfg ~id:0 dev vlog in
+      let c = Clock.create () in
+      let rng = Workload.Rng.create ~seed in
+      let m = Hashtbl.create 256 in
+      for _ = 1 to 8_000 do
+        let k = key (Workload.Rng.int rng 300) in
+        let loc = Vlog.append vlog c k ~vlen:8 in
+        Shard.put shard c k loc ~suspend_compactions:false ~can_dump:false;
+        Hashtbl.replace m k loc
+      done;
+      Hashtbl.fold
+        (fun k expect acc -> acc && fst (Shard.get shard c k) = Some expect)
+        m true)
+
+let prop_iter_counts_live_keys =
+  QCheck.Test.make ~name:"Store.iter visits exactly the live keys" ~count:8
+    QCheck.small_int
+    (fun seed ->
+      let db = mk () in
+      let c = Clock.create () in
+      let rng = Workload.Rng.create ~seed in
+      let m = Hashtbl.create 256 in
+      for _ = 1 to 10_000 do
+        let i = Workload.Rng.int rng 1_000 in
+        if Workload.Rng.int rng 6 = 0 then begin
+          Store.delete db c (key i);
+          Hashtbl.remove m (key i)
+        end
+        else begin
+          Store.put db c (key i) ~vlen:8;
+          Hashtbl.replace m (key i) ()
+        end
+      done;
+      let seen = Hashtbl.create 256 in
+      Store.iter db c (fun k _ -> Hashtbl.replace seen k ());
+      Hashtbl.length seen = Hashtbl.length m
+      && Hashtbl.fold (fun k () acc -> acc && Hashtbl.mem seen k) m true)
+
+let () =
+  Alcotest.run "chameleondb"
+    [ ( "config",
+        [ Alcotest.test_case "default valid" `Quick test_config_default_valid;
+          Alcotest.test_case "rejections" `Quick test_config_rejections;
+          Alcotest.test_case "derived values" `Quick test_config_derived;
+          Alcotest.test_case "store rejects invalid" `Quick
+            test_store_create_rejects_invalid ] );
+      ( "memtable",
+        [ Alcotest.test_case "load-factor band" `Quick test_memtable_lf_band;
+          Alcotest.test_case "reset redraws" `Quick test_memtable_reset_redraws;
+          Alcotest.test_case "room accounting" `Quick test_memtable_room ] );
+      ( "levels",
+        [ Alcotest.test_case "table slots" `Quick test_levels_slots;
+          Alcotest.test_case "structure" `Quick test_levels_structure ] );
+      ( "gpm",
+        [ Alcotest.test_case "activates and releases" `Quick
+            test_gpm_activates_and_releases;
+          Alcotest.test_case "disabled never active" `Quick
+            test_gpm_disabled_never_active ] );
+      ( "manifest", [ Alcotest.test_case "updates" `Quick test_manifest ] );
+      ( "store",
+        [ Alcotest.test_case "crud" `Quick test_store_crud;
+          Alcotest.test_case "update returns newest" `Quick
+            test_store_update_returns_newest;
+          Alcotest.test_case "negative vlen rejected" `Quick
+            test_store_negative_vlen_rejected;
+          Alcotest.test_case "full-cycle correctness" `Quick
+            test_store_full_cycle_correct;
+          Alcotest.test_case "updates survive compactions" `Quick
+            test_store_updates_survive_compactions;
+          Alcotest.test_case "deletes survive compactions" `Quick
+            test_store_deletes_survive_compactions;
+          Alcotest.test_case "get stages" `Quick test_store_get_stages ] );
+      ( "recovery",
+        [ Alcotest.test_case "normal" `Quick test_recovery_normal;
+          Alcotest.test_case "degraded then ready" `Quick
+            test_recovery_degraded_then_ready;
+          Alcotest.test_case "WIM preserves absorbed entries" `Quick
+            test_recovery_wim_preserves_absorbed;
+          Alcotest.test_case "WIM structure" `Quick
+            test_wim_throughput_and_structure ] );
+      ( "gpm-dumps",
+        [ Alcotest.test_case "dump, mask and drain" `Quick
+            test_shard_gpm_dump_and_drain;
+          Alcotest.test_case "idle drain" `Quick
+            test_shard_drain_dumps_if_idle ] );
+      ( "ablation",
+        [ Alcotest.test_case "ABI disabled still correct" `Quick
+            test_abi_disabled_still_correct ] );
+      ( "footprints", [ Alcotest.test_case "sizes" `Quick test_footprints ] );
+      ( "gc",
+        [ Alcotest.test_case "reclaims dead versions" `Quick
+            test_gc_reclaims_dead_versions;
+          Alcotest.test_case "preserves live prefix" `Quick
+            test_gc_preserves_live_prefix;
+          Alcotest.test_case "tombstones survive" `Quick
+            test_gc_tombstones_survive;
+          Alcotest.test_case "GC then crash" `Quick
+            test_gc_then_crash_preserves_data;
+          Alcotest.test_case "repeated passes converge" `Quick
+            test_gc_repeated_passes_converge;
+          Alcotest.test_case "model with GC and crash" `Quick
+            test_gc_model_random_ops ] );
+      ( "values",
+        [ Alcotest.test_case "roundtrip" `Quick test_put_get_value_roundtrip;
+          Alcotest.test_case "accounting mode returns None" `Quick
+            test_value_accounting_mode_returns_none;
+          Alcotest.test_case "survive compactions and GC" `Quick
+            test_values_survive_compactions_and_gc;
+          Alcotest.test_case "crash drops unpersisted payloads" `Quick
+            test_values_dropped_on_crash_tail ] );
+      ( "scan",
+        [ Alcotest.test_case "iter visits live keys once" `Quick
+            test_iter_visits_live_keys_once;
+          Alcotest.test_case "iter sees updates" `Quick
+            test_iter_sees_updates ] );
+      ( "shard-model",
+        [ Alcotest.test_case "direct compaction" `Quick
+            test_shard_model_direct;
+          Alcotest.test_case "level-by-level compaction" `Quick
+            test_shard_model_level_by_level;
+          QCheck_alcotest.to_alcotest prop_shard_random_configs;
+          QCheck_alcotest.to_alcotest prop_iter_counts_live_keys ] );
+      ( "report",
+        [ Alcotest.test_case "renders state" `Quick test_report_renders ] );
+      ( "model",
+        [ Alcotest.test_case "random ops" `Quick test_model_random_ops;
+          Alcotest.test_case "with crashes" `Quick test_model_with_crashes;
+          Alcotest.test_case "WIM with crashes" `Quick
+            test_model_wim_with_crashes;
+          QCheck_alcotest.to_alcotest prop_small_stores_vs_model ] ) ]

@@ -1,0 +1,281 @@
+module Clock = Pmem_sim.Clock
+module Types = Kv_common.Types
+module Store_intf = Kv_common.Store_intf
+module Runner = Harness.Runner
+module Timeline = Harness.Timeline
+module Stores = Harness.Stores
+module Experiments = Harness.Experiments
+
+let tiny_scale =
+  { Stores.quick with
+    Stores.shards = 4;
+    memtable_slots = 64;
+    load_keys = 8_000;
+    sweep_ops = 2_000;
+    threads = [ 1; 2 ] }
+
+let key i = Workload.Keyspace.key_of_index i
+
+(* --------------------------------- Runner -------------------------------- *)
+
+let test_runner_counts_ops () =
+  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let i = ref 0 in
+  let r =
+    Runner.run_ops ~handle ~threads:4 ~start_at:0.0 ~ops:1_000
+      ~next:(fun () ->
+        incr i;
+        Types.Put (key !i, 8))
+      ()
+  in
+  Alcotest.(check int) "ops" 1_000 r.Runner.ops;
+  Alcotest.(check int) "latencies recorded" 1_000
+    (Metrics.Histogram.count r.Runner.latency);
+  Alcotest.(check int) "all puts" 1_000
+    (Metrics.Histogram.count r.Runner.put_latency);
+  Alcotest.(check bool) "time advanced" true (Runner.sim_ns r > 0.0);
+  Alcotest.(check bool) "throughput positive" true
+    (Runner.throughput_mops r > 0.0)
+
+let test_runner_start_at () =
+  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let r =
+    Runner.run_ops ~handle ~threads:1 ~start_at:5e6 ~ops:10
+      ~next:(fun () -> Types.Get 1L)
+      ()
+  in
+  Alcotest.(check (float 0.0)) "start preserved" 5e6 r.Runner.start_ns;
+  Alcotest.(check bool) "end after start" true (r.Runner.end_ns > 5e6)
+
+let test_runner_generator_driven () =
+  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  (* each thread issues a fixed budget, then retires *)
+  let budget = Array.make 3 100 in
+  let gen ~thread ~now:_ =
+    if budget.(thread) = 0 then None
+    else begin
+      budget.(thread) <- budget.(thread) - 1;
+      Some (Types.Put (key (thread * 1000 + budget.(thread)), 8))
+    end
+  in
+  let r = Runner.run ~handle ~threads:3 ~start_at:0.0 ~gen () in
+  Alcotest.(check int) "per-thread budgets honoured" 300 r.Runner.ops
+
+let test_runner_splits_get_put () =
+  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let i = ref 0 in
+  let r =
+    Runner.run_ops ~handle ~threads:2 ~start_at:0.0 ~ops:100
+      ~next:(fun () ->
+        incr i;
+        if !i mod 2 = 0 then Types.Get (key !i) else Types.Put (key !i, 8))
+      ()
+  in
+  Alcotest.(check int) "gets" 50 (Metrics.Histogram.count r.Runner.get_latency);
+  Alcotest.(check int) "puts" 50 (Metrics.Histogram.count r.Runner.put_latency)
+
+let test_runner_restores_thread_count () =
+  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let dev = handle.Store_intf.device in
+  Pmem_sim.Device.set_active_threads dev 3;
+  let _ =
+    Runner.run_ops ~handle ~threads:8 ~start_at:0.0 ~ops:10
+      ~next:(fun () -> Types.Get 1L)
+      ()
+  in
+  Alcotest.(check int) "restored" 3 (Pmem_sim.Device.active_threads dev)
+
+(* -------------------------------- Timeline ------------------------------- *)
+
+let test_timeline_windows () =
+  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let remaining = ref 5_000 in
+  let gen ~thread:_ ~now:_ =
+    if !remaining = 0 then None
+    else begin
+      decr remaining;
+      Some (Types.Put (key !remaining, 8))
+    end
+  in
+  let windows =
+    Timeline.run ~handle ~threads:2 ~start_at:0.0 ~window_ns:100_000.0 ~gen ()
+  in
+  Alcotest.(check bool) "has windows" true (List.length windows > 1);
+  let total = List.fold_left (fun a w -> a + w.Timeline.ops) 0 windows in
+  Alcotest.(check int) "ops conserved" 5_000 total;
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "time-ordered" true
+        (a.Timeline.t_start < b.Timeline.t_start);
+      ordered rest
+    | _ -> ()
+  in
+  ordered windows;
+  List.iter
+    (fun w ->
+      Alcotest.(check int) "puts+gets=ops" w.Timeline.ops
+        (w.Timeline.puts + w.Timeline.gets))
+    windows
+
+(* --------------------------------- Stores -------------------------------- *)
+
+let test_stores_zoo () =
+  let specs = Stores.all tiny_scale in
+  Alcotest.(check int) "six stores" 6 (List.length specs);
+  List.iter
+    (fun spec ->
+      let h = spec.Stores.make () in
+      Alcotest.(check string) "name matches" spec.Stores.name
+        h.Store_intf.name)
+    specs;
+  Alcotest.(check bool) "find works" true
+    ((Stores.find tiny_scale "Dram-Hash").Stores.name = "Dram-Hash");
+  Alcotest.(check bool) "find unknown raises" true
+    (try
+       ignore (Stores.find tiny_scale "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_load_unique () =
+  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let r =
+    Stores.load_unique ~handle ~threads:2 ~start_at:0.0 ~n:500 ~vlen:8
+  in
+  Alcotest.(check int) "loaded" 500 r.Runner.ops;
+  let c = Clock.create ~at:(Stores.settled_cursor ~handle r) () in
+  for i = 0 to 499 do
+    if handle.Store_intf.get c (key i) = None then
+      Alcotest.failf "key %d missing after load" i
+  done
+
+let test_settled_cursor_past_backlog () =
+  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let r =
+    Stores.load_unique ~handle ~threads:2 ~start_at:0.0 ~n:2_000 ~vlen:8
+  in
+  let cursor = Stores.settled_cursor ~handle r in
+  Alcotest.(check bool) "cursor >= end" true (cursor >= r.Runner.end_ns)
+
+let test_uniform_get_gen () =
+  let gen = Stores.uniform_get_gen ~seed:3 ~universe:100 in
+  for _ = 1 to 200 do
+    match gen () with
+    | Types.Get k ->
+      let found = ref false in
+      for i = 0 to 99 do
+        if Int64.equal (key i) k then found := true
+      done;
+      Alcotest.(check bool) "within universe" true !found
+    | _ -> Alcotest.fail "expected get"
+  done
+
+(* ------------------------------- Experiments ----------------------------- *)
+
+let test_experiment_registry () =
+  let ids = Experiments.ids () in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun must ->
+      Alcotest.(check bool) ("has " ^ must) true (List.mem must ids))
+    [ "fig1"; "fig2"; "fig3"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14";
+      "fig15"; "fig16"; "fig17"; "tab1"; "tab4"; "tab5"; "wa" ]
+
+let test_experiment_unknown_id () =
+  Alcotest.(check bool) "unknown id rejected" true
+    (try
+       Experiments.run_ids ~scale:tiny_scale [ "nope" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_experiment_smoke () =
+  (* cheap experiments actually run end-to-end *)
+  Experiments.run_ids ~scale:tiny_scale [ "tab1"; "tab5" ]
+
+let test_summary_of_result () =
+  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  (* enough entries that log batches persist within the measured run *)
+  let r =
+    Stores.load_unique ~handle ~threads:1 ~start_at:0.0 ~n:400 ~vlen:8
+  in
+  let s = Runner.summary ~name:"x" ~user_bytes:9600.0 r in
+  Alcotest.(check bool) "throughput carried" true
+    (Metrics.Summary.throughput_mops s > 0.0);
+  Alcotest.(check bool) "wa computed" true
+    (Metrics.Summary.write_amplification s > 0.0)
+
+
+let test_trace_through_runner () =
+  (* a recorded trace drives the runner; ops and results are conserved *)
+  let g = Workload.Ycsb.create ~seed:21 ~mix:Workload.Ycsb.F ~loaded:500 () in
+  let t =
+    Workload.Trace.record ~n:2_000 ~gen:(fun () -> Workload.Ycsb.next g)
+  in
+  let run () =
+    let handle = (Stores.chameleon tiny_scale).Stores.make () in
+    let load =
+      Stores.load_unique ~handle ~threads:2 ~start_at:0.0 ~n:500 ~vlen:8
+    in
+    let next = Workload.Trace.replayer t in
+    let r =
+      Runner.run ~handle ~threads:4
+        ~start_at:(Stores.settled_cursor ~handle load)
+        ~gen:(fun ~thread:_ ~now:_ -> next ())
+        ()
+    in
+    (r.Runner.ops, Runner.sim_ns r)
+  in
+  let ops1, ns1 = run () in
+  let ops2, ns2 = run () in
+  Alcotest.(check int) "all ops replayed" 2_000 ops1;
+  Alcotest.(check int) "deterministic ops" ops1 ops2;
+  Alcotest.(check (float 0.0)) "deterministic simulated time" ns1 ns2
+
+let test_uniform_get_gen_deterministic () =
+  let a = Stores.uniform_get_gen ~seed:5 ~universe:50 in
+  let b = Stores.uniform_get_gen ~seed:5 ~universe:50 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "same stream" true (a () = b ())
+  done
+
+let test_runner_empty_generators () =
+  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let r =
+    Runner.run ~handle ~threads:4 ~start_at:0.0
+      ~gen:(fun ~thread:_ ~now:_ -> None)
+      ()
+  in
+  Alcotest.(check int) "no ops" 0 r.Runner.ops;
+  Alcotest.(check (float 0.0)) "no time" 0.0 (Runner.sim_ns r)
+
+let () =
+  Alcotest.run "harness"
+    [ ( "runner",
+        [ Alcotest.test_case "counts ops" `Quick test_runner_counts_ops;
+          Alcotest.test_case "start_at" `Quick test_runner_start_at;
+          Alcotest.test_case "generator-driven" `Quick
+            test_runner_generator_driven;
+          Alcotest.test_case "splits get/put latencies" `Quick
+            test_runner_splits_get_put;
+          Alcotest.test_case "restores device thread count" `Quick
+            test_runner_restores_thread_count ] );
+      ( "integration",
+        [ Alcotest.test_case "trace through runner" `Quick
+            test_trace_through_runner;
+          Alcotest.test_case "uniform gen deterministic" `Quick
+            test_uniform_get_gen_deterministic;
+          Alcotest.test_case "empty generators" `Quick
+            test_runner_empty_generators ] );
+      ( "timeline",
+        [ Alcotest.test_case "windows" `Quick test_timeline_windows ] );
+      ( "stores",
+        [ Alcotest.test_case "zoo" `Quick test_stores_zoo;
+          Alcotest.test_case "load_unique" `Quick test_load_unique;
+          Alcotest.test_case "settled cursor" `Quick
+            test_settled_cursor_past_backlog;
+          Alcotest.test_case "uniform get gen" `Quick test_uniform_get_gen ] );
+      ( "experiments",
+        [ Alcotest.test_case "registry" `Quick test_experiment_registry;
+          Alcotest.test_case "unknown id" `Quick test_experiment_unknown_id;
+          Alcotest.test_case "smoke (tab1, tab5)" `Quick test_experiment_smoke;
+          Alcotest.test_case "summary" `Quick test_summary_of_result ] ) ]

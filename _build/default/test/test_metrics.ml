@@ -1,0 +1,209 @@
+module H = Metrics.Histogram
+module S = Metrics.Summary
+module T = Metrics.Table_fmt
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* ------------------------------- Histogram ------------------------------ *)
+
+let test_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  Alcotest.(check (float 0.0)) "p50" 0.0 (H.percentile h 50.0);
+  Alcotest.(check (float 0.0)) "max" 0.0 (H.max_value h);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (H.mean h);
+  Alcotest.(check bool) "cdf empty" true (H.cdf h () = [])
+
+let test_single_value () =
+  let h = H.create () in
+  H.record h 1000.0;
+  Alcotest.(check int) "count" 1 (H.count h);
+  Alcotest.(check (float 0.0)) "min" 1000.0 (H.min_value h);
+  Alcotest.(check (float 0.0)) "max" 1000.0 (H.max_value h);
+  Alcotest.(check (float 0.0)) "mean" 1000.0 (H.mean h);
+  Alcotest.(check (float 0.0)) "p99 = the value" 1000.0 (H.percentile h 99.0)
+
+let test_percentile_ordering () =
+  let h = H.create () in
+  for i = 1 to 10_000 do
+    H.record h (float_of_int i)
+  done;
+  let p50 = H.percentile h 50.0 in
+  let p90 = H.percentile h 90.0 in
+  let p99 = H.percentile h 99.0 in
+  Alcotest.(check bool) "p50 <= p90" true (p50 <= p90);
+  Alcotest.(check bool) "p90 <= p99" true (p90 <= p99);
+  Alcotest.(check bool) "p99 <= max" true (p99 <= H.max_value h);
+  (* within one bucket (~7%) of the true quantile *)
+  Alcotest.(check bool) "p50 near 5000" true
+    (p50 >= 5000.0 *. 0.93 && p50 <= 5000.0 *. 1.07)
+
+let test_negative_clamped () =
+  let h = H.create () in
+  H.record h (-5.0);
+  Alcotest.(check (float 0.0)) "clamped to 0" 0.0 (H.min_value h)
+
+let test_record_n () =
+  let h = H.create () in
+  H.record_n h 100.0 50;
+  Alcotest.(check int) "count 50" 50 (H.count h);
+  Alcotest.(check bool) "record_n 0 is a no-op" true
+    (H.record_n h 5.0 0;
+     H.count h = 50)
+
+let test_merge () =
+  let a = H.create () and b = H.create () in
+  H.record a 10.0;
+  H.record b 1000.0;
+  let m = H.merge a b in
+  Alcotest.(check int) "count" 2 (H.count m);
+  Alcotest.(check (float 0.0)) "min" 10.0 (H.min_value m);
+  Alcotest.(check (float 0.0)) "max" 1000.0 (H.max_value m);
+  (* originals untouched *)
+  Alcotest.(check int) "a unchanged" 1 (H.count a)
+
+let test_clear () =
+  let h = H.create () in
+  H.record h 42.0;
+  H.clear h;
+  Alcotest.(check int) "count" 0 (H.count h);
+  H.record h 7.0;
+  Alcotest.(check (float 0.0)) "reusable" 7.0 (H.max_value h)
+
+let test_cdf_monotone () =
+  let h = H.create () in
+  let rng = Workload.Rng.create ~seed:1 in
+  for _ = 1 to 5_000 do
+    H.record h (float_of_int (Workload.Rng.int rng 1_000_000))
+  done;
+  let cdf = H.cdf h () in
+  Alcotest.(check bool) "non-empty" true (cdf <> []);
+  let rec check_sorted = function
+    | (v1, f1) :: ((v2, f2) :: _ as rest) ->
+      Alcotest.(check bool) "values ascend" true (v1 <= v2);
+      Alcotest.(check bool) "fractions ascend" true (f1 <= f2);
+      check_sorted rest
+    | [ (_, last) ] ->
+      Alcotest.(check bool) "ends at 1.0" true (close last 1.0)
+    | [] -> ()
+  in
+  check_sorted cdf
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within [min, max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (float_bound_exclusive 1e9))
+              (float_bound_inclusive 100.0))
+    (fun (values, p) ->
+      let h = H.create () in
+      List.iter (fun v -> H.record h v) values;
+      let q = H.percentile h p in
+      q >= 0.0 && q <= H.max_value h +. 1e-6)
+
+let prop_mean_exact =
+  QCheck.Test.make ~name:"mean is exact" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1e6))
+    (fun values ->
+      let h = H.create () in
+      List.iter (fun v -> H.record h v) values;
+      let expected =
+        List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+      in
+      Float.abs (H.mean h -. expected) < 1e-3)
+
+(* -------------------------------- Summary ------------------------------- *)
+
+let test_summary_throughput () =
+  let s = S.make ~name:"x" ~ops:1_000_000 ~sim_ns:1e9 () in
+  Alcotest.(check (float 1e-6)) "1 Mops" 1.0 (S.throughput_mops s);
+  let zero = S.make ~name:"x" ~ops:5 ~sim_ns:0.0 () in
+  Alcotest.(check (float 0.0)) "zero duration" 0.0 (S.throughput_mops zero)
+
+let test_summary_wa () =
+  let s =
+    S.make ~name:"x" ~ops:1 ~sim_ns:1.0 ~pmem_write_bytes:300.0
+      ~user_bytes:100.0 ()
+  in
+  Alcotest.(check (float 1e-9)) "WA 3" 3.0 (S.write_amplification s);
+  let s0 = S.make ~name:"x" ~ops:1 ~sim_ns:1.0 () in
+  Alcotest.(check (float 0.0)) "WA no user bytes" 0.0
+    (S.write_amplification s0)
+
+let test_summary_bandwidth () =
+  let s =
+    S.make ~name:"x" ~ops:1 ~sim_ns:1e9 ~pmem_write_bytes:4e9
+      ~pmem_read_bytes:12e9 ()
+  in
+  Alcotest.(check (float 1e-6)) "write GB/s" 4.0 (S.pmem_write_gbps s);
+  Alcotest.(check (float 1e-6)) "read GB/s" 12.0 (S.pmem_read_gbps s)
+
+(* ------------------------------- Table_fmt ------------------------------ *)
+
+let test_table_render () =
+  let t =
+    T.create ~title:"demo" ~columns:[ ("a", T.Left); ("bb", T.Right) ]
+  in
+  T.add_row t [ "x"; "1" ];
+  T.add_rule t;
+  T.add_row t [ "longer"; "22" ];
+  let s = T.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  (* all lines of the body have equal width *)
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+  in
+  (match lines with
+  | _title :: header :: rest ->
+    List.iter
+      (fun l ->
+        Alcotest.(check int) "aligned width" (String.length header)
+          (String.length l))
+      rest
+  | _ -> Alcotest.fail "expected header")
+
+let test_table_short_row_padded () =
+  let t = T.create ~title:"t" ~columns:[ ("a", T.Left); ("b", T.Left) ] in
+  T.add_row t [ "only" ];
+  Alcotest.(check bool) "renders" true (String.length (T.render t) > 0)
+
+let test_table_long_row_rejected () =
+  let t = T.create ~title:"t" ~columns:[ ("a", T.Left) ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table_fmt.add_row: 2 cells for 1 columns") (fun () ->
+      T.add_row t [ "x"; "y" ])
+
+let test_cells () =
+  Alcotest.(check string) "zero" "0" (T.cell_f 0.0);
+  Alcotest.(check string) "ns" "500ns" (T.cell_ns 500.0);
+  Alcotest.(check string) "us" "1.5us" (T.cell_ns 1500.0);
+  Alcotest.(check string) "ms" "2.0ms" (T.cell_ns 2e6);
+  Alcotest.(check string) "s" "3.00s" (T.cell_ns 3e9);
+  Alcotest.(check string) "bytes" "512B" (T.cell_bytes 512.0);
+  Alcotest.(check string) "kb" "2.0KB" (T.cell_bytes 2048.0);
+  Alcotest.(check string) "gb" "1.00GB" (T.cell_bytes (1024.0 ** 3.0))
+
+let () =
+  Alcotest.run "metrics"
+    [ ( "histogram",
+        [ Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single value" `Quick test_single_value;
+          Alcotest.test_case "percentile ordering" `Quick
+            test_percentile_ordering;
+          Alcotest.test_case "negative clamped" `Quick test_negative_clamped;
+          Alcotest.test_case "record_n" `Quick test_record_n;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "cdf monotone" `Quick test_cdf_monotone;
+          QCheck_alcotest.to_alcotest prop_percentile_bounds;
+          QCheck_alcotest.to_alcotest prop_mean_exact ] );
+      ( "summary",
+        [ Alcotest.test_case "throughput" `Quick test_summary_throughput;
+          Alcotest.test_case "write amplification" `Quick test_summary_wa;
+          Alcotest.test_case "bandwidth" `Quick test_summary_bandwidth ] );
+      ( "table_fmt",
+        [ Alcotest.test_case "render aligned" `Quick test_table_render;
+          Alcotest.test_case "short row padded" `Quick
+            test_table_short_row_padded;
+          Alcotest.test_case "long row rejected" `Quick
+            test_table_long_row_rejected;
+          Alcotest.test_case "cell formatting" `Quick test_cells ] ) ]
