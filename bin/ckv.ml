@@ -62,7 +62,7 @@ let run_load store keys threads quick =
 
 (* ------------------------------- ycsb command ---------------------------- *)
 
-let run_ycsb store mix ops threads quick =
+let run_ycsb store mix ops threads trace_file quick =
   let scale = scale_of_quick quick in
   let mix =
     match String.uppercase_ascii mix with
@@ -83,36 +83,73 @@ let run_ycsb store mix ops threads quick =
         [ ("store", Table.Left); ("Mops/s", Table.Right);
           ("p50", Table.Right); ("p99", Table.Right) ]
   in
+  let specs = resolve_stores scale store in
+  (* with several stores, each gets its own trace file: NAME-<file> *)
+  let trace_path spec =
+    match trace_file with
+    | None -> None
+    | Some path when List.length specs = 1 -> Some path
+    | Some path ->
+      Some
+        (Filename.concat
+           (Filename.dirname path)
+           (spec.Harness.Stores.name ^ "-" ^ Filename.basename path))
+  in
+  Obs.Attribution.enable ();
+  let results =
+    List.map
+      (fun spec ->
+        (* fresh counters and attribution per store *)
+        Obs.Counters.reset_all ();
+        Obs.Attribution.reset ();
+        let tracing = trace_path spec <> None in
+        if tracing && mix = Workload.Ycsb.Load then Obs.Trace.enable ();
+        let handle = spec.Harness.Stores.make () in
+        let load =
+          Harness.Stores.load_unique ~handle ~threads ~start_at:0.0
+            ~n:scale.Harness.Stores.load_keys ~vlen:8
+        in
+        let r =
+          match mix with
+          | Workload.Ycsb.Load -> load
+          | _ ->
+            if tracing then Obs.Trace.enable ();
+            let gen =
+              Workload.Ycsb.create ~mix
+                ~loaded:scale.Harness.Stores.load_keys ()
+            in
+            Harness.Runner.run_ops ~handle ~threads
+              ~start_at:(Harness.Stores.settled_cursor ~handle load)
+              ~ops
+              ~next:(fun () -> Workload.Ycsb.next gen)
+              ()
+        in
+        (match trace_path spec with
+        | Some path ->
+          (try
+             Obs.Export.write_chrome_trace path;
+             Printf.printf "wrote %d trace events to %s (%d dropped)\n"
+               (Obs.Trace.length ()) path (Obs.Trace.dropped ())
+           with Sys_error msg ->
+             Printf.eprintf "ckv: cannot write trace: %s\n" msg);
+          Obs.Trace.disable ()
+        | None -> ());
+        Table.add_row tbl
+          [ spec.Harness.Stores.name;
+            Table.cell_f (Harness.Runner.throughput_mops r);
+            Table.cell_ns
+              (Metrics.Histogram.percentile r.Harness.Runner.latency 50.0);
+            Table.cell_ns
+              (Metrics.Histogram.percentile r.Harness.Runner.latency 99.0) ];
+        (spec.Harness.Stores.name, r))
+      specs
+  in
+  Table.print tbl;
   List.iter
-    (fun spec ->
-      let handle = spec.Harness.Stores.make () in
-      let load =
-        Harness.Stores.load_unique ~handle ~threads ~start_at:0.0
-          ~n:scale.Harness.Stores.load_keys ~vlen:8
-      in
-      let r =
-        match mix with
-        | Workload.Ycsb.Load -> load
-        | _ ->
-          let gen =
-            Workload.Ycsb.create ~mix
-              ~loaded:scale.Harness.Stores.load_keys ()
-          in
-          Harness.Runner.run_ops ~handle ~threads
-            ~start_at:(Harness.Stores.settled_cursor ~handle load)
-            ~ops
-            ~next:(fun () -> Workload.Ycsb.next gen)
-            ()
-      in
-      Table.add_row tbl
-        [ spec.Harness.Stores.name;
-          Table.cell_f (Harness.Runner.throughput_mops r);
-          Table.cell_ns
-            (Metrics.Histogram.percentile r.Harness.Runner.latency 50.0);
-          Table.cell_ns
-            (Metrics.Histogram.percentile r.Harness.Runner.latency 99.0) ])
-    (resolve_stores scale store);
-  Table.print tbl
+    (fun (name, r) ->
+      print_string (Harness.Runner.attribution_table ~name r);
+      print_newline ())
+    results
 
 (* ----------------------------- inspect command --------------------------- *)
 
@@ -231,9 +268,23 @@ let ycsb_cmd =
       value & opt int 50_000
       & info [ "ops" ] ~docv:"N" ~doc:"Requests after the load phase.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ]
+          ~docv:"FILE"
+          ~doc:
+            "Record spans during the measured run and write Chrome \
+             trace-event JSON to $(docv) (open in chrome://tracing or \
+             Perfetto).  With $(b,--store all), one file per store, \
+             prefixed with the store name.")
+  in
   Cmd.v
     (Cmd.info "ycsb" ~doc:"Run a YCSB workload")
-    Term.(const run_ycsb $ store_arg $ mix $ ops $ threads_arg $ quick_arg)
+    Term.(
+      const run_ycsb $ store_arg $ mix $ ops $ threads_arg $ trace
+      $ quick_arg)
 
 let bench_cmd =
   let ids =

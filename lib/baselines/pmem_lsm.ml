@@ -17,6 +17,17 @@ let variant_name = function
   | F -> "Pmem-LSM-F"
   | Pink -> "Pmem-LSM-PinK"
 
+(* Shared observability counters (same registry names as the ChameleonDB
+   shard, so stage tallies are directly comparable across stores). *)
+let c_flushes = Obs.Counters.counter "shard.flushes"
+let c_flush_bytes = Obs.Counters.counter "flush.bytes"
+let c_compaction_bytes = Obs.Counters.counter "compaction.bytes"
+let c_put_stall_ns = Obs.Counters.counter "put.stall_ns"
+let c_memtable_hits = Obs.Counters.counter "get.memtable_hits"
+let c_bloom_fp = Obs.Counters.counter "bloom.false_positives"
+
+let bg_tid id = 1000 + id
+
 type shard = {
   id : int;
   memtable : Memtable.t;
@@ -25,6 +36,7 @@ type shard = {
   mutable next_seq : int;
   mutable bg_free_at : float;
   mutable mt_floor : int;
+  mutable last_bg_compacted : bool;
 }
 
 type t = {
@@ -56,7 +68,8 @@ let create ?(cfg = Config.default) ?(bloom_bits = 10) ?dev variant =
             blooms = Hashtbl.create 16;
             next_seq = 1;
             bg_free_at = 0.0;
-            mt_floor = 0 }) }
+            mt_floor = 0;
+            last_bg_compacted = false }) }
 
 let shard_of t key =
   t.shards.(Kv_common.Hash.shard_of
@@ -123,6 +136,7 @@ let rec cascade t shard bg ~level =
     let entries = merge_newest_first bg sources in
     let slots = Levels.table_slots ~cfg:t.cfg ~level:(level + 1) in
     let fresh = build_table t shard bg ~slots entries in
+    Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
     List.iter (drop_table shard) tables;
     (Levels.upper shard.lv).(level) <- [];
     Levels.add_table shard.lv ~level:(level + 1) fresh;
@@ -152,6 +166,7 @@ let rec cascade t shard bg ~level =
            t.cfg.Config.memtable_slots)
     in
     let fresh = build_table t shard bg ~slots entries in
+    Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
     (match Levels.last shard.lv with
     | Some old -> drop_table shard old
     | None -> ());
@@ -161,34 +176,65 @@ let rec cascade t shard bg ~level =
   end
 
 let flush t shard clock =
-  ignore (Clock.wait_until clock shard.bg_free_at);
+  let stall = Clock.wait_until clock shard.bg_free_at in
+  if stall > 0.0 then begin
+    Obs.Counters.add c_put_stall_ns stall;
+    if Obs.Attribution.enabled () then
+      Obs.Attribution.add
+        (if shard.last_bg_compacted then Obs.Attribution.Put_compaction_stall
+         else Obs.Attribution.Put_flush_stall)
+        stall
+  end;
+  Obs.Counters.incr c_flushes;
   let entries = Memtable.entries shard.memtable in
   let bg = Clock.create ~at:(Clock.now clock) () in
+  Obs.Trace.begin_span bg ~tid:(bg_tid shard.id) ~cat:"bg" "flush";
   Vlog.flush t.vlog bg;
   let tbl =
     build_table t shard bg ~slots:t.cfg.Config.memtable_slots entries
   in
+  Obs.Counters.add_int c_flush_bytes (Linear_table.byte_size tbl);
   Levels.add_table shard.lv ~level:0 tbl;
-  if Levels.l0_full shard.lv then cascade t shard bg ~level:0;
+  shard.last_bg_compacted <- false;
+  if Levels.l0_full shard.lv then begin
+    Obs.Trace.begin_span bg ~tid:(bg_tid shard.id) ~cat:"compaction"
+      "compact";
+    cascade t shard bg ~level:0;
+    Obs.Trace.end_span bg ~tid:(bg_tid shard.id) ~cat:"compaction" "compact";
+    shard.last_bg_compacted <- true
+  end;
+  Obs.Trace.end_span bg ~tid:(bg_tid shard.id) ~cat:"bg" "flush";
   shard.bg_free_at <- Clock.now bg;
   Memtable.reset shard.memtable;
   (* keep the floor below the log entry of the put that triggered us *)
   shard.mt_floor <- max shard.mt_floor (Vlog.length t.vlog - 1)
 
 let rec shard_put t shard clock key loc =
+  let attr = Obs.Attribution.enabled () in
+  let t0 = if attr then Clock.now clock else 0.0 in
   match Memtable.put shard.memtable clock key loc with
-  | `Ok -> ()
+  | `Ok ->
+    if attr then
+      Obs.Attribution.add Obs.Attribution.Put_index_insert
+        (Clock.now clock -. t0)
   | `Full ->
+    if attr then
+      Obs.Attribution.add Obs.Attribution.Put_index_insert
+        (Clock.now clock -. t0);
     flush t shard clock;
     shard_put t shard clock key loc
 
 let put t clock key ~vlen =
+  Obs.Trace.begin_span clock ~cat:"op" "put";
   let loc = Vlog.append t.vlog clock key ~vlen in
-  shard_put t (shard_of t key) clock key loc
+  shard_put t (shard_of t key) clock key loc;
+  Obs.Trace.end_span clock ~cat:"op" "put"
 
 let delete t clock key =
+  Obs.Trace.begin_span clock ~cat:"op" "delete";
   let _loc = Vlog.append t.vlog clock key ~vlen:(-1) in
-  shard_put t (shard_of t key) clock key Types.tombstone
+  shard_put t (shard_of t key) clock key Types.tombstone;
+  Obs.Trace.end_span clock ~cat:"op" "delete"
 
 (* {2 Get path: MemTable, then every table level by level.} *)
 
@@ -208,7 +254,12 @@ let probe_table t shard clock tbl key =
       | Some b -> Bloom.mem b clock key
       | None -> true
     in
-    if maybe_present then Linear_table.get tbl clock key else None
+    if maybe_present then begin
+      let r = Linear_table.get tbl clock key in
+      if r = None && bloom <> None then Obs.Counters.incr c_bloom_fp;
+      r
+    end
+    else None
 
 (* The last level is never pinned in DRAM: even PinK probes it on the
    device (the F variant still consults its filter first). *)
@@ -222,12 +273,25 @@ let probe_last t shard clock tbl key =
       | Some b -> Bloom.mem b clock key
       | None -> true
     in
-    if maybe_present then Linear_table.get tbl clock key else None
+    if maybe_present then begin
+      let r = Linear_table.get tbl clock key in
+      if r = None && bloom <> None then Obs.Counters.incr c_bloom_fp;
+      r
+    end
+    else None
 
 let shard_get t shard clock key =
-  match Memtable.get shard.memtable clock key with
-  | Some loc -> (Some loc, 0)
+  let attr = Obs.Attribution.enabled () in
+  let t0 = if attr then Clock.now clock else 0.0 in
+  let mt = Memtable.get shard.memtable clock key in
+  if attr then
+    Obs.Attribution.add Obs.Attribution.Get_memtable (Clock.now clock -. t0);
+  match mt with
+  | Some loc ->
+    Obs.Counters.incr c_memtable_hits;
+    (Some loc, 0)
   | None ->
+    let t1 = if attr then Clock.now clock else 0.0 in
     let rec go n = function
       | [] ->
         (match Levels.last shard.lv with
@@ -238,13 +302,18 @@ let shard_get t shard clock key =
         | Some loc -> (Some loc, n + 1)
         | None -> go (n + 1) rest)
     in
-    go 0 (Levels.upper_tables_newest_first shard.lv ())
+    let r = go 0 (Levels.upper_tables_newest_first shard.lv ()) in
+    if attr then
+      Obs.Attribution.add Obs.Attribution.Get_level_probe
+        (Clock.now clock -. t1);
+    r
 
 let resolve = function
   | Some loc when Types.is_tombstone loc -> None
   | r -> r
 
 let get_with_level t clock key =
+  Obs.Trace.begin_span clock ~cat:"op" "get";
   let result, probed = shard_get t (shard_of t key) clock key in
   let result =
     match resolve result with
@@ -253,6 +322,7 @@ let get_with_level t clock key =
       if Int64.equal k key then Some loc else None
     | None -> None
   in
+  Obs.Trace.end_span clock ~cat:"op" "get";
   (result, probed)
 
 let get t clock key = fst (get_with_level t clock key)

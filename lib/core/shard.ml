@@ -7,6 +7,23 @@ module Vlog = Kv_common.Vlog
 
 type hit_stage = Hit_memtable | Hit_abi | Hit_dump | Hit_upper | Hit_last | Miss
 
+(* Unified observability counters (Obs.Counters registry); the per-shard
+   [counters] record below stays the per-instance view consumed by
+   [Store.totals] and [Report]. *)
+let c_flushes = Obs.Counters.counter "shard.flushes"
+let c_upper_compactions = Obs.Counters.counter "shard.upper_compactions"
+let c_last_compactions = Obs.Counters.counter "shard.last_compactions"
+let c_abi_dumps = Obs.Counters.counter "shard.abi_dumps"
+let c_absorbs = Obs.Counters.counter "shard.absorbs"
+let c_put_stall_ns = Obs.Counters.counter "put.stall_ns"
+let c_flush_bytes = Obs.Counters.counter "flush.bytes"
+let c_compaction_bytes = Obs.Counters.counter "compaction.bytes"
+let c_memtable_hits = Obs.Counters.counter "get.memtable_hits"
+let c_abi_hits = Obs.Counters.counter "get.abi_hits"
+
+(* Background work is traced on a per-shard virtual thread. *)
+let bg_tid id = 1000 + id
+
 type counters = {
   mutable flushes : int;
   mutable upper_compactions : int;
@@ -35,6 +52,9 @@ type t = {
       (* log length at the first ABI absorption since the ABI was last made
          persistent (dump or last-level compaction) *)
   mutable next_seq : int; (* recency tags for persistent tables *)
+  mutable last_bg_compacted : bool;
+      (* whether the most recent background job ran a compaction: decides
+         if a put stalling behind it is attributed to flush or compaction *)
   ctr : counters;
 }
 
@@ -59,6 +79,7 @@ let create ?manifest ~cfg ~id dev vlog =
     mt_floor = 0;
     absorb_floor = None;
     next_seq = 1;
+    last_bg_compacted = false;
     ctr =
       { flushes = 0;
         upper_compactions = 0;
@@ -104,6 +125,8 @@ let round_up_to v m = (v + m - 1) / m * m
 
 let last_level_compact t bg =
   t.ctr.last_compactions <- t.ctr.last_compactions + 1;
+  Obs.Counters.incr c_last_compactions;
+  Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"compaction" "compact:last";
   let upper_sources =
     if t.cfg.Config.abi_enabled then [ abi_iter_source t ]
     else
@@ -136,27 +159,33 @@ let last_level_compact t bg =
          t.cfg.Config.memtable_slots)
   in
   let fresh = build_table t bg ~slots entries in
+  Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
   (match Levels.last t.lv with Some old -> Linear_table.free old | None -> ());
   Levels.set_last t.lv (Some fresh);
   List.iter Linear_table.free t.dumps;
   t.dumps <- [];
   Levels.clear_upper_range t.lv ~upto:(Config.upper_levels t.cfg - 1);
   Flat_table.clear t.abi;
-  t.absorb_floor <- None
+  t.absorb_floor <- None;
+  Obs.Trace.end_span bg ~tid:(bg_tid t.id) ~cat:"compaction" "compact:last"
 
 (* {2 Size-tiered Direct Compaction among upper levels: merge levels
    [0, target-1] into a single level-[target] table.} *)
 
 let direct_merge_upper t bg ~target =
   t.ctr.upper_compactions <- t.ctr.upper_compactions + 1;
+  Obs.Counters.incr c_upper_compactions;
+  Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"compaction" "compact:upper";
   let sources = Levels.upper_tables_newest_first t.lv ~upto:(target - 1) () in
   let entries =
     merge_entries (List.map (table_iter_source bg) sources)
   in
   let slots = Levels.table_slots ~cfg:t.cfg ~level:target in
   let fresh = build_table t bg ~slots entries in
+  Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
   Levels.clear_upper_range t.lv ~upto:(target - 1);
-  Levels.add_table t.lv ~level:target fresh
+  Levels.add_table t.lv ~level:target fresh;
+  Obs.Trace.end_span bg ~tid:(bg_tid t.id) ~cat:"compaction" "compact:upper"
 
 (* {2 Level-by-level compaction cascade (Fig. 15 ablation).} *)
 
@@ -165,9 +194,11 @@ let rec cascade_compact t bg ~level =
   let tables = (Levels.upper t.lv).(level) in
   if level + 1 <= u - 1 then begin
     t.ctr.upper_compactions <- t.ctr.upper_compactions + 1;
+    Obs.Counters.incr c_upper_compactions;
     let entries = merge_entries (List.map (table_iter_source bg) tables) in
     let slots = Levels.table_slots ~cfg:t.cfg ~level:(level + 1) in
     let fresh = build_table t bg ~slots entries in
+    Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
     List.iter Linear_table.free tables;
     (Levels.upper t.lv).(level) <- [];
     Levels.add_table t.lv ~level:(level + 1) fresh;
@@ -183,6 +214,7 @@ let rec cascade_compact t bg ~level =
     | Some _ -> last_level_compact t bg
     | None ->
       t.ctr.last_compactions <- t.ctr.last_compactions + 1;
+      Obs.Counters.incr c_last_compactions;
       let last_source =
         match Levels.last t.lv with
         | None -> []
@@ -202,6 +234,7 @@ let rec cascade_compact t bg ~level =
              t.cfg.Config.memtable_slots)
       in
       let fresh = build_table t bg ~slots entries in
+      Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
       (match Levels.last t.lv with
       | Some old -> Linear_table.free old
       | None -> ());
@@ -235,6 +268,8 @@ let abi_has_room_for t n =
 
 let dump_abi t bg =
   t.ctr.abi_dumps <- t.ctr.abi_dumps + 1;
+  Obs.Counters.incr c_abi_dumps;
+  Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"bg" "abi-dump";
   let entries = ref [] in
   Flat_table.iter t.abi (fun k l -> entries := (k, l) :: !entries);
   Clock.advance bg
@@ -253,7 +288,8 @@ let dump_abi t bg =
   let tbl = build_table t bg ~slots !entries in
   t.dumps <- tbl :: t.dumps;
   Flat_table.clear t.abi;
-  t.absorb_floor <- None
+  t.absorb_floor <- None;
+  Obs.Trace.end_span bg ~tid:(bg_tid t.id) ~cat:"bg" "abi-dump"
 
 let ensure_abi_room t bg ~incoming ~can_dump =
   if not (abi_has_room_for t incoming) then begin
@@ -264,12 +300,29 @@ let ensure_abi_room t bg ~incoming ~can_dump =
 
 (* Run background work: the caller (a put that filled the MemTable) waits
    for any previous background job, then [f] runs on the background clock
-   starting at the caller's current time. *)
-let with_background t clock f =
+   starting at the caller's current time.  A stall is attributed to the kind
+   of work the caller waited behind — whatever the previous background job
+   was doing. *)
+let with_background t clock ~label f =
   let stall = Clock.wait_until clock t.bg_free_at in
   t.ctr.stall_ns <- t.ctr.stall_ns +. stall;
+  if stall > 0.0 then begin
+    Obs.Counters.add c_put_stall_ns stall;
+    if Obs.Attribution.enabled () then
+      Obs.Attribution.add
+        (if t.last_bg_compacted then Obs.Attribution.Put_compaction_stall
+         else Obs.Attribution.Put_flush_stall)
+        stall
+  end;
+  let compactions_before =
+    t.ctr.upper_compactions + t.ctr.last_compactions
+  in
   let bg = Clock.create ~at:(Clock.now clock) () in
+  Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"bg" label;
   f bg;
+  Obs.Trace.end_span bg ~tid:(bg_tid t.id) ~cat:"bg" label;
+  t.last_bg_compacted <-
+    t.ctr.upper_compactions + t.ctr.last_compactions > compactions_before;
   t.bg_free_at <- Clock.now bg
 
 (* {2 Flush (normal mode): Fig. 7 — persist the MemTable as an L0 table and
@@ -277,8 +330,9 @@ let with_background t clock f =
 
 let flush t clock =
   t.ctr.flushes <- t.ctr.flushes + 1;
+  Obs.Counters.incr c_flushes;
   let entries = Memtable.entries t.memtable in
-  with_background t clock (fun bg ->
+  with_background t clock ~label:"flush" (fun bg ->
       Vlog.flush t.vlog bg;
       (* record the structural change first: the manifest append must not
          queue behind this flush's own large writes *)
@@ -290,6 +344,7 @@ let flush t clock =
       let tbl =
         build_table t bg ~slots:t.cfg.Config.memtable_slots entries
       in
+      Obs.Counters.add_int c_flush_bytes (Linear_table.byte_size tbl);
       Levels.add_table t.lv ~level:0 tbl;
       (* mirror the flushed entries into the ABI (Fig. 7) *)
       if t.cfg.Config.abi_enabled then
@@ -308,19 +363,28 @@ let flush t clock =
 
 let absorb t clock ~can_dump =
   t.ctr.absorbs <- t.ctr.absorbs + 1;
+  Obs.Counters.incr c_absorbs;
   let entries = Memtable.entries t.memtable in
   if t.absorb_floor = None then t.absorb_floor <- Some t.mt_floor;
   if not (abi_has_room_for t (List.length entries)) then
-    with_background t clock (fun bg ->
+    with_background t clock ~label:"abi-room" (fun bg ->
         ensure_abi_room t bg ~incoming:(List.length entries) ~can_dump);
   List.iter (fun (k, l) -> Flat_table.put_exn t.abi clock k l) entries;
   Memtable.reset t.memtable;
   t.mt_floor <- max t.mt_floor (Vlog.length t.vlog - 1)
 
 let rec put t clock key loc ~suspend_compactions ~can_dump =
+  let attr = Obs.Attribution.enabled () in
+  let t0 = if attr then Clock.now clock else 0.0 in
   match Memtable.put t.memtable clock key loc with
-  | `Ok -> ()
+  | `Ok ->
+    if attr then
+      Obs.Attribution.add Obs.Attribution.Put_index_insert
+        (Clock.now clock -. t0)
   | `Full ->
+    if attr then
+      Obs.Attribution.add Obs.Attribution.Put_index_insert
+        (Clock.now clock -. t0);
     if suspend_compactions then absorb t clock ~can_dump
     else flush t clock;
     put t clock key loc ~suspend_compactions ~can_dump
@@ -328,7 +392,8 @@ let rec put t clock key loc ~suspend_compactions ~can_dump =
 let force_flush t clock =
   if Memtable.count t.memtable > 0 then flush t clock
   else
-    with_background t clock (fun bg -> Vlog.flush t.vlog bg)
+    with_background t clock ~label:"vlog-flush" (fun bg ->
+        Vlog.flush t.vlog bg)
 
 (* {2 Get path.} *)
 
@@ -362,23 +427,53 @@ let degraded_lookup t clock key =
     | Some tbl -> (Linear_table.get tbl clock key, Hit_last)
     | None -> (None, Miss))
 
-(* Raw index lookup: the stored location, tombstones included. *)
+(* Raw index lookup: the stored location, tombstones included.  Each probe
+   stage's clock delta is attributed so the harness can decompose the get
+   latency (memtable / ABI / persistent-level probes; the log read is
+   charged separately by [Vlog.read]). *)
 let lookup t clock key =
-  match Memtable.get t.memtable clock key with
-  | Some loc -> (Some loc, Hit_memtable)
+  let attr = Obs.Attribution.enabled () in
+  let t0 = if attr then Clock.now clock else 0.0 in
+  let mt = Memtable.get t.memtable clock key in
+  if attr then
+    Obs.Attribution.add Obs.Attribution.Get_memtable (Clock.now clock -. t0);
+  match mt with
+  | Some loc ->
+    Obs.Counters.incr c_memtable_hits;
+    (Some loc, Hit_memtable)
   | None ->
-    if (not t.cfg.Config.abi_enabled) || Clock.now clock < t.abi_ready_at then
-      degraded_lookup t clock key
+    if (not t.cfg.Config.abi_enabled) || Clock.now clock < t.abi_ready_at
+    then begin
+      let t1 = if attr then Clock.now clock else 0.0 in
+      let r = degraded_lookup t clock key in
+      if attr then
+        Obs.Attribution.add Obs.Attribution.Get_level_probe
+          (Clock.now clock -. t1);
+      r
+    end
     else begin
-      match Flat_table.get t.abi clock key with
-      | Some loc -> (Some loc, Hit_abi)
+      let t1 = if attr then Clock.now clock else 0.0 in
+      let hit = Flat_table.get t.abi clock key in
+      if attr then
+        Obs.Attribution.add Obs.Attribution.Get_abi (Clock.now clock -. t1);
+      match hit with
+      | Some loc ->
+        Obs.Counters.incr c_abi_hits;
+        (Some loc, Hit_abi)
       | None ->
-        (match probe_tables clock t.dumps key with
-        | Some loc -> (Some loc, Hit_dump)
-        | None ->
-          (match Levels.last t.lv with
-          | Some tbl -> (Linear_table.get tbl clock key, Hit_last)
-          | None -> (None, Miss)))
+        let t2 = if attr then Clock.now clock else 0.0 in
+        let r =
+          match probe_tables clock t.dumps key with
+          | Some loc -> (Some loc, Hit_dump)
+          | None ->
+            (match Levels.last t.lv with
+            | Some tbl -> (Linear_table.get tbl clock key, Hit_last)
+            | None -> (None, Miss))
+        in
+        if attr then
+          Obs.Attribution.add Obs.Attribution.Get_level_probe
+            (Clock.now clock -. t2);
+        r
     end
 
 let raw_lookup t clock key = fst (lookup t clock key)
@@ -394,7 +489,10 @@ let get t clock key =
 let drain_dumps_if_idle t ~now =
   if t.dumps <> [] && t.bg_free_at <= now then begin
     let bg = Clock.create ~at:now () in
+    Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"bg" "drain-dumps";
     last_level_compact t bg;
+    Obs.Trace.end_span bg ~tid:(bg_tid t.id) ~cat:"bg" "drain-dumps";
+    t.last_bg_compacted <- true;
     t.bg_free_at <- Clock.now bg
   end
 
@@ -431,6 +529,7 @@ let rec replay t clock key loc =
    relationship between the ABI and the dumps. *)
 let schedule_abi_rebuild t ~start_at =
   let bg = Clock.create ~at:(Float.max start_at t.bg_free_at) () in
+  Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"bg" "abi-rebuild";
   let upper =
     if t.cfg.Config.abi_enabled then Levels.upper_tables_newest_first t.lv ()
     else []
@@ -459,6 +558,7 @@ let schedule_abi_rebuild t ~start_at =
             end))
       ordered
   end;
+  Obs.Trace.end_span bg ~tid:(bg_tid t.id) ~cat:"bg" "abi-rebuild";
   t.bg_free_at <- Clock.now bg;
   t.abi_ready_at <- Clock.now bg
 

@@ -4,6 +4,9 @@ module Types = Kv_common.Types
 module Vlog = Kv_common.Vlog
 module Hash = Kv_common.Hash
 
+let c_gc_relocations = Obs.Counters.counter "gc.relocations"
+let c_gc_reclaimed = Obs.Counters.counter "gc.reclaimed_bytes"
+
 type t = {
   cfg : Config.t;
   dev : Device.t;
@@ -56,24 +59,31 @@ let can_dump t = t.cfg.Config.abi_enabled && Modes.Gpm.active t.gpm
 
 let put t clock key ~vlen =
   if vlen < 0 then invalid_arg "Store.put: negative value length";
+  Obs.Trace.begin_span clock ~cat:"op" "put";
   let shard = shard_of t key in
   let loc = Vlog.append t.vlog clock key ~vlen in
   Shard.put shard clock key loc ~suspend_compactions:(suspend_compactions t)
-    ~can_dump:(can_dump t)
+    ~can_dump:(can_dump t);
+  Obs.Trace.end_span clock ~cat:"op" "put"
 
 let put_value t clock key value =
+  Obs.Trace.begin_span clock ~cat:"op" "put";
   let shard = shard_of t key in
   let loc = Vlog.append_value t.vlog clock key value in
   Shard.put shard clock key loc ~suspend_compactions:(suspend_compactions t)
-    ~can_dump:(can_dump t)
+    ~can_dump:(can_dump t);
+  Obs.Trace.end_span clock ~cat:"op" "put"
 
 let delete t clock key =
+  Obs.Trace.begin_span clock ~cat:"op" "delete";
   let shard = shard_of t key in
   let _loc = Vlog.append t.vlog clock key ~vlen:(-1) in
   Shard.put shard clock key Types.tombstone
-    ~suspend_compactions:(suspend_compactions t) ~can_dump:(can_dump t)
+    ~suspend_compactions:(suspend_compactions t) ~can_dump:(can_dump t);
+  Obs.Trace.end_span clock ~cat:"op" "delete"
 
 let get_detail t clock key =
+  Obs.Trace.begin_span clock ~cat:"op" "get";
   let t0 = Clock.now clock in
   let shard = shard_of t key in
   if not (Modes.Gpm.active t.gpm) then
@@ -89,11 +99,13 @@ let get_detail t clock key =
     | None -> None
   in
   Modes.Gpm.record_get t.gpm (Clock.now clock -. t0);
+  Obs.Trace.end_span clock ~cat:"op" "get";
   (result, stage)
 
 let get t clock key = fst (get_detail t clock key)
 
 let get_value t clock key =
+  Obs.Trace.begin_span clock ~cat:"op" "get";
   let t0 = Clock.now clock in
   let shard = shard_of t key in
   if not (Modes.Gpm.active t.gpm) then
@@ -104,6 +116,7 @@ let get_value t clock key =
     | None, _ -> None
   in
   Modes.Gpm.record_get t.gpm (Clock.now clock -. t0);
+  Obs.Trace.end_span clock ~cat:"op" "get";
   result
 
 let flush_all t clock =
@@ -122,6 +135,7 @@ let crash t =
   Array.iter Shard.lose_volatile t.shards
 
 let recover t clock =
+  Obs.Trace.begin_span clock ~cat:"recovery" "recover";
   let t0 = Clock.now clock in
   let marks = Array.map Shard.persisted_mark t.shards in
   let lo = Array.fold_left min (Vlog.persisted t.vlog) marks in
@@ -135,6 +149,7 @@ let recover t clock =
         Shard.replay t.shards.(shard_ix) clock key index_loc
       end);
   let restart_ns = Clock.now clock -. t0 in
+  Obs.Trace.end_span clock ~cat:"recovery" "recover";
   (* ABI rebuild proceeds in the background after service resumes *)
   Array.iter
     (fun shard -> Shard.schedule_abi_rebuild shard ~start_at:(Clock.now clock))
@@ -160,6 +175,7 @@ type gc_stats = {
 }
 
 let gc t clock ?(max_entries = 100_000) () =
+  Obs.Trace.begin_span clock ~cat:"gc" "gc";
   (* flush the open batch so the scan limit can include the current tail *)
   Vlog.flush t.vlog clock;
   let head = Vlog.head t.vlog in
@@ -171,6 +187,7 @@ let gc t clock ?(max_entries = 100_000) () =
       match Shard.raw_lookup shard clock key with
       | Some cur when cur = loc ->
         incr live;
+        Obs.Counters.incr c_gc_relocations;
         let fresh = Vlog.copy_entry t.vlog clock loc in
         Shard.put shard clock key fresh
           ~suspend_compactions:(suspend_compactions t)
@@ -180,6 +197,7 @@ let gc t clock ?(max_entries = 100_000) () =
            must survive, or a crash could resurrect an older version still
            sitting in the persistent index *)
         incr live;
+        Obs.Counters.incr c_gc_relocations;
         let _fresh = Vlog.append t.vlog clock key ~vlen:(-1) in
         Shard.put shard clock key Types.tombstone
           ~suspend_compactions:(suspend_compactions t)
@@ -192,6 +210,8 @@ let gc t clock ?(max_entries = 100_000) () =
   in
   Vlog.advance_head t.vlog limit;
   Manifest.record_update t.manifest clock;
+  Obs.Counters.add_int c_gc_reclaimed reclaimed;
+  Obs.Trace.end_span clock ~cat:"gc" "gc";
   { gc_scanned = !scanned;
     gc_live = !live;
     gc_dead = !dead;

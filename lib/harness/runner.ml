@@ -13,6 +13,7 @@ type result = {
   get_latency : Histogram.t;
   put_latency : Histogram.t;
   device_delta : Stats.t;
+  attribution : Obs.Attribution.snapshot;
 }
 
 let sim_ns r = r.end_ns -. r.start_ns
@@ -35,6 +36,7 @@ let min_clock_thread clocks alive =
 let run ~handle ~threads ~start_at ~gen () =
   let dev = handle.Store_intf.device in
   let before = Stats.copy (Device.stats dev) in
+  let attr_before = Obs.Attribution.snapshot () in
   let prev_threads = Device.active_threads dev in
   Device.set_active_threads dev threads;
   let clocks = Array.init threads (fun _ -> Clock.create ~at:start_at ()) in
@@ -52,6 +54,7 @@ let run ~handle ~threads ~start_at ~gen () =
       alive.(i) <- false;
       decr nalive
     | Some op ->
+      if Obs.Trace.enabled () then Obs.Trace.set_tid i;
       let t0 = Clock.now clock in
       Store_intf.apply handle clock op;
       let lat = Clock.now clock -. t0 in
@@ -72,7 +75,10 @@ let run ~handle ~threads ~start_at ~gen () =
     latency;
     get_latency;
     put_latency;
-    device_delta = Stats.diff ~after:(Device.stats dev) ~before }
+    device_delta = Stats.diff ~after:(Device.stats dev) ~before;
+    attribution =
+      Obs.Attribution.diff ~after:(Obs.Attribution.snapshot ())
+        ~before:attr_before }
 
 let run_ops ~handle ~threads ~start_at ~ops ~next () =
   let remaining = ref ops in
@@ -84,6 +90,59 @@ let run_ops ~handle ~threads ~start_at ~ops ~next () =
     end
   in
   run ~handle ~threads ~start_at ~gen ()
+
+(* Per-stage latency attribution table.  For each op kind the instrumented
+   stage means must reconcile with the measured end-to-end mean; whatever
+   the stages did not cover is shown as "(other)". *)
+let attribution_table ~name r =
+  let tbl =
+    Metrics.Table_fmt.create
+      ~title:(Printf.sprintf "%s: per-stage latency attribution" name)
+      ~columns:
+        [ ("op", Metrics.Table_fmt.Left); ("stage", Metrics.Table_fmt.Left);
+          ("mean/op", Metrics.Table_fmt.Right);
+          ("share", Metrics.Table_fmt.Right) ]
+  in
+  let section op hist =
+    let n = Histogram.count hist in
+    if n > 0 then begin
+      let nf = float_of_int n in
+      let mean = Histogram.mean hist in
+      let op_name = match op with `Get -> "get" | `Put -> "put" in
+      let covered = ref 0.0 in
+      List.iter
+        (fun stage ->
+          if Obs.Attribution.op_of stage = op then begin
+            let per_op =
+              Obs.Attribution.stage_ns r.attribution stage /. nf
+            in
+            covered := !covered +. per_op;
+            let share =
+              if mean > 0.0 then
+                Printf.sprintf "%5.1f%%" (100.0 *. per_op /. mean)
+              else "-"
+            in
+            Metrics.Table_fmt.add_row tbl
+              [ op_name; Obs.Attribution.name stage;
+                Metrics.Table_fmt.cell_ns per_op; share ]
+          end)
+        Obs.Attribution.all;
+      let other = mean -. !covered in
+      let share =
+        if mean > 0.0 then Printf.sprintf "%5.1f%%" (100.0 *. other /. mean)
+        else "-"
+      in
+      Metrics.Table_fmt.add_row tbl
+        [ op_name; "(other)"; Metrics.Table_fmt.cell_ns other; share ];
+      Metrics.Table_fmt.add_row tbl
+        [ op_name; "= end-to-end mean"; Metrics.Table_fmt.cell_ns mean;
+          "100.0%" ];
+      Metrics.Table_fmt.add_rule tbl
+    end
+  in
+  section `Get r.get_latency;
+  section `Put r.put_latency;
+  Metrics.Table_fmt.render tbl
 
 let summary ~name ?(user_bytes = 0.0) ?dram_bytes r =
   let dram_bytes = match dram_bytes with Some b -> b | None -> 0.0 in

@@ -14,6 +14,9 @@ type result = {
   get_latency : Metrics.Histogram.t; (** subset: Get ops only *)
   put_latency : Metrics.Histogram.t; (** subset: Put / RMW / Delete ops *)
   device_delta : Pmem_sim.Stats.t;   (** device counters over the run *)
+  attribution : Obs.Attribution.snapshot;
+      (** per-stage time accumulated during the run (all zero unless
+          [Obs.Attribution] was enabled) *)
 }
 
 val sim_ns : result -> float
@@ -41,6 +44,13 @@ val run_ops :
   result
 (** Convenience: issue exactly [ops] operations drawn from a single shared
     sequence (the min-clock thread takes the next one). *)
+
+val attribution_table : name:string -> result -> string
+(** Render the per-stage get/put latency attribution recorded during the
+    run: mean simulated ns per op and share of the end-to-end mean for each
+    instrumented stage, an "(other)" row for uninstrumented remainder, and
+    the end-to-end mean itself.  Meaningful only if [Obs.Attribution] was
+    enabled for the run. *)
 
 val summary :
   name:string -> ?user_bytes:float -> ?dram_bytes:float -> result ->

@@ -36,13 +36,19 @@ let mem_silent t key =
   let rec go j = j >= t.k || (get_bit t (probe t key j) && go (j + 1)) in
   go 0
 
+let c_probes = Obs.Counters.counter "bloom.probes"
+let c_negatives = Obs.Counters.counter "bloom.negatives"
+
 let add t clock key =
   Pmem_sim.Clock.advance clock Pmem_sim.Cost_model.bloom_build_per_key_ns;
   add_silent t key
 
 let mem t clock key =
   Pmem_sim.Clock.advance clock Pmem_sim.Cost_model.bloom_check_ns;
-  mem_silent t key
+  Obs.Counters.incr c_probes;
+  let hit = mem_silent t key in
+  if not hit then Obs.Counters.incr c_negatives;
+  hit
 
 let footprint_bytes t = float_of_int (Bytes.length t.bits)
 let nkeys t = t.count

@@ -2,6 +2,10 @@ module Clock = Pmem_sim.Clock
 module Device = Pmem_sim.Device
 module Cost_model = Pmem_sim.Cost_model
 
+let c_append_bytes = Obs.Counters.counter "vlog.append_bytes"
+let c_batch_flushes = Obs.Counters.counter "vlog.batch_flushes"
+let c_reads = Obs.Counters.counter "vlog.reads"
+
 (* Growable parallel arrays for entry metadata: key and value length. *)
 type meta = {
   mutable keys : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
@@ -84,12 +88,15 @@ let vlen_at t loc =
 
 let flush t clock =
   if t.open_batch_bytes > 0 then begin
+    Obs.Counters.incr c_batch_flushes;
     Device.charge_append t.dev clock ~len:t.open_batch_bytes;
     t.open_batch_bytes <- 0;
     t.persisted_n <- t.n
   end
 
 let append t clock key ~vlen =
+  let attr = Obs.Attribution.enabled () in
+  let t0 = if attr then Clock.now clock else 0.0 in
   let loc = t.n in
   meta_ensure t.meta (t.n + 1);
   Bigarray.Array1.set t.meta.keys loc key;
@@ -110,6 +117,9 @@ let append t clock key ~vlen =
     t.open_batch_bytes <- t.open_batch_bytes + bytes;
     if t.open_batch_bytes >= t.batch_bytes then flush t clock
   end;
+  Obs.Counters.add_int c_append_bytes bytes;
+  if attr then
+    Obs.Attribution.add Obs.Attribution.Put_batch_copy (Clock.now clock -. t0);
   loc
 
 let append_value t clock key value =
@@ -121,10 +131,16 @@ let value_at t clock loc =
   if loc < t.head || loc >= t.n then invalid_arg "Vlog.value_at";
   match Hashtbl.find_opt t.payloads loc with
   | Some v ->
+    let attr = Obs.Attribution.enabled () in
+    let t0 = if attr then Clock.now clock else 0.0 in
     let bytes = entry_bytes ~vlen:(Bytes.length v) in
     Device.charge_read_bytes t.dev clock ~len:(min bytes 256) ~hint:Random;
     if bytes > 256 then
       Device.charge_read_bytes t.dev clock ~len:(bytes - 256) ~hint:Bulk;
+    Obs.Counters.incr c_reads;
+    if attr then
+      Obs.Attribution.add Obs.Attribution.Get_log_read
+        (Clock.now clock -. t0);
     Some (Bytes.copy v)
   | None -> None
 
@@ -138,12 +154,17 @@ let copy_entry t clock loc =
 let read t clock loc =
   if loc < 0 || loc >= t.n then invalid_arg "Vlog.read";
   if loc < t.head then invalid_arg "Vlog.read: reclaimed location";
+  let attr = Obs.Attribution.enabled () in
+  let t0 = if attr then Clock.now clock else 0.0 in
   let vlen = vlen_at t loc in
   let bytes = entry_bytes ~vlen in
   (* First line is a random access; a large value streams the rest. *)
   Device.charge_read_bytes t.dev clock ~len:(min bytes 256) ~hint:Random;
   if bytes > 256 then
     Device.charge_read_bytes t.dev clock ~len:(bytes - 256) ~hint:Bulk;
+  Obs.Counters.incr c_reads;
+  if attr then
+    Obs.Attribution.add Obs.Attribution.Get_log_read (Clock.now clock -. t0);
   (key_at t loc, vlen)
 
 let verify t clock loc key =

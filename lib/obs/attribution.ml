@@ -1,0 +1,62 @@
+type stage =
+  | Get_memtable
+  | Get_abi
+  | Get_level_probe
+  | Get_log_read
+  | Put_batch_copy
+  | Put_index_insert
+  | Put_flush_stall
+  | Put_compaction_stall
+
+let nstages = 8
+
+let index = function
+  | Get_memtable -> 0
+  | Get_abi -> 1
+  | Get_level_probe -> 2
+  | Get_log_read -> 3
+  | Put_batch_copy -> 4
+  | Put_index_insert -> 5
+  | Put_flush_stall -> 6
+  | Put_compaction_stall -> 7
+
+let all =
+  [ Get_memtable; Get_abi; Get_level_probe; Get_log_read; Put_batch_copy;
+    Put_index_insert; Put_flush_stall; Put_compaction_stall ]
+
+let name = function
+  | Get_memtable -> "memtable"
+  | Get_abi -> "abi"
+  | Get_level_probe -> "level-probe"
+  | Get_log_read -> "log-read"
+  | Put_batch_copy -> "batch-copy"
+  | Put_index_insert -> "index-insert"
+  | Put_flush_stall -> "flush-stall"
+  | Put_compaction_stall -> "compaction-stall"
+
+let op_of = function
+  | Get_memtable | Get_abi | Get_level_probe | Get_log_read -> `Get
+  | Put_batch_copy | Put_index_insert | Put_flush_stall
+  | Put_compaction_stall ->
+    `Put
+
+let on = ref false
+let acc = Array.make nstages 0.0
+
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+let reset () = Array.fill acc 0 nstages 0.0
+
+let add stage ns = acc.(index stage) <- acc.(index stage) +. ns
+
+type snapshot = float array
+
+let snapshot () = Array.copy acc
+let diff ~after ~before = Array.init nstages (fun i -> after.(i) -. before.(i))
+let stage_ns snap stage = snap.(index stage)
+
+let total ~op snap =
+  List.fold_left
+    (fun a s -> if op_of s = op then a +. stage_ns snap s else a)
+    0.0 all

@@ -1,0 +1,47 @@
+(** Per-operation stage attribution.
+
+    Where does a get or put spend its simulated time?  Instrumentation on
+    the data path measures the clock delta of each stage and accumulates it
+    here; the harness snapshots the accumulators around a run and prints a
+    per-stage breakdown whose sums reconcile with the end-to-end mean
+    latency.
+
+    Get stages: MemTable probe, ABI probe, persistent-level probes (dumped /
+    upper / last tables), value-log read.  Put stages: log batch copy,
+    index (MemTable) insert, and the two stall flavours — waiting behind a
+    background flush vs. behind a compaction.
+
+    Like {!Trace}, recording is a no-op unless {!enable}d. *)
+
+type stage =
+  | Get_memtable
+  | Get_abi
+  | Get_level_probe
+  | Get_log_read
+  | Put_batch_copy
+  | Put_index_insert
+  | Put_flush_stall
+  | Put_compaction_stall
+
+val all : stage list
+val name : stage -> string
+val op_of : stage -> [ `Get | `Put ]
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero the accumulators. *)
+
+val add : stage -> float -> unit
+(** Accumulate [ns] against a stage.  Callers are expected to guard with
+    {!enabled} so the disabled fast path never computes the delta. *)
+
+type snapshot
+
+val snapshot : unit -> snapshot
+val diff : after:snapshot -> before:snapshot -> snapshot
+val stage_ns : snapshot -> stage -> float
+val total : op:[ `Get | `Put ] -> snapshot -> float
+(** Sum of the stage times belonging to one operation kind. *)

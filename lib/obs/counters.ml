@@ -1,0 +1,31 @@
+type t = { cname : string; mutable v : float }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+    let c = { cname = name; v = 0.0 } in
+    Hashtbl.add registry name c;
+    c
+
+let name c = c.cname
+let value c = c.v
+let add c x = c.v <- c.v +. x
+let add_int c n = c.v <- c.v +. float_of_int n
+let incr c = c.v <- c.v +. 1.0
+let reset c = c.v <- 0.0
+let reset_all () = Hashtbl.iter (fun _ c -> c.v <- 0.0) registry
+let find name = Option.map value (Hashtbl.find_opt registry name)
+
+let snapshot () =
+  Hashtbl.fold (fun _ c acc -> (c.cname, c.v) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp ppf () =
+  List.iter
+    (fun (n, v) ->
+      if Float.is_integer v then Format.fprintf ppf "%-28s %12.0f@." n v
+      else Format.fprintf ppf "%-28s %12.1f@." n v)
+    (snapshot ())

@@ -1,0 +1,38 @@
+(** Unified global-counter registry.
+
+    One process-wide namespace of named monotone counters (ABI hits, Bloom
+    probes and false positives, flush/compaction bytes, put stalls, GC
+    relocations, ...).  Instrumentation sites obtain their counter handle
+    once at module initialisation — {!counter} is get-or-create — so the
+    per-event cost is a single float add.
+
+    The per-device {!Pmem_sim.Stats} records stay authoritative for
+    per-store byte accounting (several stores with independent devices can
+    coexist in one run); this registry is the cross-cutting, resettable view
+    the harness reads and the export writes out. *)
+
+type t
+
+val counter : string -> t
+(** Get or create the counter registered under a name.  Use a dotted
+    hierarchy, e.g. ["get.abi_hits"], ["compaction.bytes"]. *)
+
+val name : t -> string
+val value : t -> float
+
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+val incr : t -> unit
+
+val reset : t -> unit
+
+val reset_all : unit -> unit
+(** Zero every registered counter (harness calls this between runs). *)
+
+val find : string -> float option
+(** Value of a counter by name, [None] if never registered. *)
+
+val snapshot : unit -> (string * float) list
+(** All registered counters, sorted by name. *)
+
+val pp : Format.formatter -> unit -> unit

@@ -1,0 +1,130 @@
+(* Chrome trace-event export (the "catapult" JSON array format understood by
+   chrome://tracing and https://ui.perfetto.dev).
+
+   The ring buffer may have overwritten the begin event of a span whose end
+   survived (or the run may have ended inside a span), so exported events
+   pass through a balancing pass first: an [E] with no open span on its
+   thread is dropped, and every span still open at the end of the stream is
+   closed with a synthetic [E] at the final timestamp.  The result is a
+   well-formed stream — per thread, begins and ends pair up with proper
+   stack discipline. *)
+
+let balanced_events evs =
+  (* per-tid stack of open (name, cat) spans *)
+  let stacks : (int, (string * string) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.add stacks tid s;
+      s
+  in
+  let max_ts = List.fold_left (fun a e -> Float.max a e.Trace.ts) 0.0 evs in
+  let kept =
+    List.filter
+      (fun e ->
+        match e.Trace.ph with
+        | Trace.B ->
+          let s = stack e.Trace.tid in
+          s := (e.Trace.name, e.Trace.cat) :: !s;
+          true
+        | Trace.E -> (
+          let s = stack e.Trace.tid in
+          match !s with
+          | [] -> false (* orphan end: its begin was overwritten *)
+          | _ :: rest ->
+            s := rest;
+            true)
+        | Trace.I | Trace.C -> true)
+      evs
+  in
+  let closers =
+    Hashtbl.fold
+      (fun tid s acc ->
+        List.fold_left
+          (fun acc (name, cat) ->
+            { Trace.ph = Trace.E; name; cat; ts = max_ts; tid; value = None }
+            :: acc)
+          acc !s)
+      stacks []
+  in
+  kept @ closers
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let ph_string = function
+  | Trace.B -> "B"
+  | Trace.E -> "E"
+  | Trace.I -> "i"
+  | Trace.C -> "C"
+
+let event_json ~pid b e =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.4f,\"pid\":%d,\"tid\":%d"
+       (escape e.Trace.name) (escape e.Trace.cat)
+       (ph_string e.Trace.ph)
+       (e.Trace.ts /. 1e3) (* simulated ns -> trace-format microseconds *)
+       pid e.Trace.tid);
+  (match e.Trace.ph with
+  | Trace.I -> Buffer.add_string b ",\"s\":\"t\""
+  | Trace.C ->
+    let v = match e.Trace.value with Some v -> v | None -> 0.0 in
+    Buffer.add_string b (Printf.sprintf ",\"args\":{\"value\":%.4f}" v)
+  | Trace.B | Trace.E -> ());
+  Buffer.add_char b '}'
+
+let to_chrome_json ?(pid = 1) evs =
+  (* stable sort by timestamp: per-tid append order is time-ordered already,
+     so equal timestamps keep their original (correctly nested) order *)
+  let evs =
+    List.stable_sort (fun a b -> compare a.Trace.ts b.Trace.ts) evs
+  in
+  let evs = balanced_events evs in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      event_json ~pid b e)
+    evs;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents b
+
+let write_chrome_trace ?pid path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json ?pid (Trace.events ())))
+
+let summary () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "trace: %d events recorded, %d dropped (capacity %d)\n"
+       (Trace.length ()) (Trace.dropped ()) (Trace.capacity ()));
+  Buffer.add_string b "counters:\n";
+  List.iter
+    (fun (n, v) ->
+      if v <> 0.0 then
+        Buffer.add_string b
+          (if Float.is_integer v then Printf.sprintf "  %-28s %14.0f\n" n v
+           else Printf.sprintf "  %-28s %14.1f\n" n v))
+    (Counters.snapshot ());
+  Buffer.contents b

@@ -1,0 +1,18 @@
+(** Trace export: Chrome trace-event JSON and a plain-text summary. *)
+
+val balanced_events : Trace.event list -> Trace.event list
+(** Repair stack discipline per virtual thread: drop end events whose begin
+    was lost to ring overwrite, and close still-open spans with synthetic
+    end events at the final timestamp.  Exposed for tests. *)
+
+val to_chrome_json : ?pid:int -> Trace.event list -> string
+(** Serialize to the catapult JSON object format ([{"traceEvents": [...]}]),
+    loadable in [chrome://tracing] and Perfetto.  Events are stably sorted
+    by timestamp and balanced with {!balanced_events}; simulated nanoseconds
+    map onto the format's microsecond [ts] field. *)
+
+val write_chrome_trace : ?pid:int -> string -> unit
+(** Write the currently recorded events ({!Trace.events}) to a file. *)
+
+val summary : unit -> string
+(** Human-readable dump: ring statistics plus every non-zero counter. *)

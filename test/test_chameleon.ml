@@ -549,6 +549,40 @@ let test_gc_tombstones_survive () =
         present
   done
 
+let test_gc_stats_consistency () =
+  let db = mk () in
+  let c = Clock.create () in
+  let n = 3_000 in
+  for round = 1 to 2 do
+    ignore round;
+    for i = 0 to n - 1 do
+      Store.put db c (key i) ~vlen:8
+    done
+  done;
+  for i = 0 to (n / 4) - 1 do
+    Store.delete db c (key i)
+  done;
+  let vl = Store.vlog db in
+  let head_before = Vlog.head vl in
+  let stats = Store.gc db c ~max_entries:n () in
+  Alcotest.(check int) "scanned = live + dead" stats.Store.gc_scanned
+    (stats.Store.gc_live + stats.Store.gc_dead);
+  Alcotest.(check int) "scanned the requested prefix" n stats.Store.gc_scanned;
+  let head_after = Vlog.head vl in
+  Alcotest.(check int) "head advanced by scanned entries"
+    (head_before + stats.Store.gc_scanned)
+    head_after;
+  Alcotest.(check int) "reclaimed bytes = head byte advance"
+    (Vlog.bytes_upto vl head_after - Vlog.bytes_upto vl head_before)
+    stats.Store.gc_reclaimed_bytes;
+  (* a second pass over the next prefix stays consistent too *)
+  let stats2 = Store.gc db c ~max_entries:n () in
+  Alcotest.(check int) "pass 2: scanned = live + dead" stats2.Store.gc_scanned
+    (stats2.Store.gc_live + stats2.Store.gc_dead);
+  Alcotest.(check int) "pass 2: reclaimed matches head advance"
+    (Vlog.bytes_upto vl (Vlog.head vl) - Vlog.bytes_upto vl head_after)
+    stats2.Store.gc_reclaimed_bytes
+
 let test_gc_then_crash_preserves_data () =
   let db = mk () in
   let c = Clock.create () in
@@ -903,6 +937,8 @@ let () =
             test_gc_preserves_live_prefix;
           Alcotest.test_case "tombstones survive" `Quick
             test_gc_tombstones_survive;
+          Alcotest.test_case "stats consistency" `Quick
+            test_gc_stats_consistency;
           Alcotest.test_case "GC then crash" `Quick
             test_gc_then_crash_preserves_data;
           Alcotest.test_case "repeated passes converge" `Quick

@@ -38,6 +38,32 @@ let test_percentile_ordering () =
   Alcotest.(check bool) "p50 near 5000" true
     (p50 >= 5000.0 *. 0.93 && p50 <= 5000.0 *. 1.07)
 
+let test_percentile_clamping () =
+  let h = H.create () in
+  (* empty: any percentile argument, in range or not, yields 0 *)
+  Alcotest.(check (float 0.0)) "empty p-50" 0.0 (H.percentile h (-50.0));
+  Alcotest.(check (float 0.0)) "empty p150" 0.0 (H.percentile h 150.0);
+  (* single sample: every percentile collapses to that sample *)
+  H.record h 1000.0;
+  Alcotest.(check (float 0.0)) "single p100" 1000.0 (H.percentile h 100.0);
+  Alcotest.(check (float 0.0)) "single p150 = p100" (H.percentile h 100.0)
+    (H.percentile h 150.0);
+  Alcotest.(check (float 0.0)) "single p-10 = p0" (H.percentile h 0.0)
+    (H.percentile h (-10.0));
+  (* spread data: out-of-range arguments clamp to the [p0, p100] endpoints *)
+  let h2 = H.create () in
+  for i = 1 to 1_000 do
+    H.record h2 (float_of_int i)
+  done;
+  Alcotest.(check (float 0.0)) "p150 = p100" (H.percentile h2 100.0)
+    (H.percentile h2 150.0);
+  Alcotest.(check (float 0.0)) "p-1 = p0" (H.percentile h2 0.0)
+    (H.percentile h2 (-1.0));
+  Alcotest.(check bool) "p0 <= p100" true
+    (H.percentile h2 0.0 <= H.percentile h2 100.0);
+  Alcotest.(check bool) "p100 <= max" true
+    (H.percentile h2 100.0 <= H.max_value h2)
+
 let test_negative_clamped () =
   let h = H.create () in
   H.record h (-5.0);
@@ -189,6 +215,8 @@ let () =
           Alcotest.test_case "single value" `Quick test_single_value;
           Alcotest.test_case "percentile ordering" `Quick
             test_percentile_ordering;
+          Alcotest.test_case "percentile arg clamping" `Quick
+            test_percentile_clamping;
           Alcotest.test_case "negative clamped" `Quick test_negative_clamped;
           Alcotest.test_case "record_n" `Quick test_record_n;
           Alcotest.test_case "merge" `Quick test_merge;

@@ -1,0 +1,313 @@
+module Trace = Obs.Trace
+module Counters = Obs.Counters
+module Attribution = Obs.Attribution
+module Export = Obs.Export
+module Clock = Pmem_sim.Clock
+
+let reset_obs () =
+  Trace.disable ();
+  Trace.clear ();
+  Attribution.disable ();
+  Attribution.reset ();
+  Counters.reset_all ()
+
+(* --------------------------------- Trace -------------------------------- *)
+
+let test_span_nesting () =
+  reset_obs ();
+  Trace.enable ~capacity:64 ();
+  let c = Clock.create () in
+  Trace.begin_span c ~cat:"t" "outer";
+  Clock.advance c 10.0;
+  Trace.begin_span c ~cat:"t" "inner";
+  Clock.advance c 5.0;
+  Trace.end_span c ~cat:"t" "inner";
+  Clock.advance c 1.0;
+  Trace.end_span c ~cat:"t" "outer";
+  let evs = Trace.events () in
+  Alcotest.(check int) "4 events" 4 (List.length evs);
+  let phases = List.map (fun e -> e.Trace.ph) evs in
+  Alcotest.(check bool) "B B E E" true
+    (phases = [ Trace.B; Trace.B; Trace.E; Trace.E ]);
+  let names = List.map (fun e -> e.Trace.name) evs in
+  Alcotest.(check bool) "names" true
+    (names = [ "outer"; "inner"; "inner"; "outer" ]);
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      a.Trace.ts <= b.Trace.ts && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps non-decreasing" true (monotone evs);
+  Trace.disable ()
+
+let test_with_span_on_exception () =
+  reset_obs ();
+  Trace.enable ~capacity:16 ();
+  let c = Clock.create () in
+  (try
+     Trace.with_span c ~cat:"t" "boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  let phases = List.map (fun e -> e.Trace.ph) (Trace.events ()) in
+  Alcotest.(check bool) "end emitted on exception" true
+    (phases = [ Trace.B; Trace.E ]);
+  Trace.disable ()
+
+let test_ring_bounding () =
+  reset_obs ();
+  Trace.enable ~capacity:8 ();
+  let c = Clock.create () in
+  for i = 1 to 20 do
+    Clock.advance c 1.0;
+    Trace.instant c ~cat:"t" (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "bounded" 8 (Trace.length ());
+  Alcotest.(check int) "dropped" 12 (Trace.dropped ());
+  let names = List.map (fun e -> e.Trace.name) (Trace.events ()) in
+  Alcotest.(check bool) "newest window survives" true
+    (names = [ "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20" ]);
+  Trace.disable ()
+
+let test_disabled_records_nothing () =
+  reset_obs ();
+  let c = Clock.create () in
+  Trace.begin_span c ~cat:"t" "x";
+  Trace.end_span c ~cat:"t" "x";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length ())
+
+(* -------------------------------- Counters ------------------------------ *)
+
+let test_counters_basics () =
+  reset_obs ();
+  let a = Counters.counter "test.a" in
+  let b = Counters.counter "test.b" in
+  Counters.incr a;
+  Counters.incr a;
+  Counters.add b 2.5;
+  Alcotest.(check (float 1e-9)) "a" 2.0 (Counters.value a);
+  Alcotest.(check (float 1e-9)) "b" 2.5 (Counters.value b);
+  Alcotest.(check bool) "same handle" true (Counters.counter "test.a" == a);
+  Alcotest.(check bool) "find" true (Counters.find "test.a" = Some 2.0)
+
+let test_counters_reset_between_runs () =
+  reset_obs ();
+  let a = Counters.counter "test.reset" in
+  Counters.add_int a 7;
+  Alcotest.(check (float 1e-9)) "set" 7.0 (Counters.value a);
+  Counters.reset_all ();
+  Alcotest.(check (float 1e-9)) "zeroed" 0.0 (Counters.value a);
+  (* every registered counter is zero after reset *)
+  Alcotest.(check bool) "all zero" true
+    (List.for_all (fun (_, v) -> v = 0.0) (Counters.snapshot ()))
+
+(* ------------------------------ Attribution ----------------------------- *)
+
+let test_attribution_accumulates () =
+  reset_obs ();
+  Attribution.enable ();
+  Attribution.add Attribution.Get_memtable 5.0;
+  Attribution.add Attribution.Get_memtable 7.0;
+  Attribution.add Attribution.Put_batch_copy 3.0;
+  let snap = Attribution.snapshot () in
+  Alcotest.(check (float 1e-9)) "get stage" 12.0
+    (Attribution.stage_ns snap Attribution.Get_memtable);
+  Alcotest.(check (float 1e-9)) "get total" 12.0
+    (Attribution.total ~op:`Get snap);
+  Alcotest.(check (float 1e-9)) "put total" 3.0
+    (Attribution.total ~op:`Put snap);
+  let before = snap in
+  Attribution.add Attribution.Get_abi 4.0;
+  let d = Attribution.diff ~after:(Attribution.snapshot ()) ~before in
+  Alcotest.(check (float 1e-9)) "diff isolates the delta" 4.0
+    (Attribution.total ~op:`Get d);
+  Attribution.disable ();
+  Attribution.reset ()
+
+(* --------------------------------- Export ------------------------------- *)
+
+let check_balanced evs =
+  (* per-tid stack discipline: E never underflows, all spans closed *)
+  let depth = Hashtbl.create 8 in
+  let ok = ref true in
+  List.iter
+    (fun e ->
+      let d =
+        match Hashtbl.find_opt depth e.Trace.tid with
+        | Some d -> d
+        | None -> 0
+      in
+      match e.Trace.ph with
+      | Trace.B -> Hashtbl.replace depth e.Trace.tid (d + 1)
+      | Trace.E ->
+        if d = 0 then ok := false
+        else Hashtbl.replace depth e.Trace.tid (d - 1)
+      | Trace.I | Trace.C -> ())
+    evs;
+  Hashtbl.iter (fun _ d -> if d <> 0 then ok := false) depth;
+  !ok
+
+let test_export_balances_orphans () =
+  reset_obs ();
+  (* a tiny ring: the B of the first span gets overwritten, and one span is
+     still open at export time *)
+  Trace.enable ~capacity:4 ();
+  let c = Clock.create () in
+  Trace.begin_span c ~cat:"t" "lost";
+  Clock.advance c 1.0;
+  Trace.begin_span c ~cat:"t" "kept";
+  Clock.advance c 1.0;
+  Trace.instant c ~cat:"t" "i1";
+  Trace.instant c ~cat:"t" "i2";
+  Clock.advance c 1.0;
+  Trace.end_span c ~cat:"t" "kept";
+  Trace.end_span c ~cat:"t" "lost" (* its B was overwritten *);
+  Trace.begin_span c ~cat:"t" "open" (* never closed *);
+  Alcotest.(check bool) "raw stream is unbalanced" false
+    (check_balanced (Trace.events ()));
+  Alcotest.(check bool) "balanced after repair" true
+    (check_balanced (Export.balanced_events (Trace.events ())));
+  Trace.disable ()
+
+(* Minimal JSON well-formedness: balanced braces/brackets outside string
+   literals, and proper string termination. *)
+let json_well_formed s =
+  let depth = ref 0 and ok = ref true and in_str = ref false in
+  let esc = ref false in
+  String.iter
+    (fun ch ->
+      if !in_str then begin
+        if !esc then esc := false
+        else if ch = '\\' then esc := true
+        else if ch = '"' then in_str := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let count_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let count = ref 0 in
+  for i = 0 to n - m do
+    if String.sub s i m = sub then incr count
+  done;
+  !count
+
+let test_export_json_from_real_run () =
+  reset_obs ();
+  Trace.enable ~capacity:4096 ();
+  Attribution.enable ();
+  let cfg =
+    { Chameleondb.Config.default with
+      Chameleondb.Config.shards = 2;
+      memtable_slots = 32 }
+  in
+  let db = Chameleondb.Store.create ~cfg () in
+  let c = Clock.create () in
+  for i = 0 to 2_000 do
+    Chameleondb.Store.put db c (Workload.Keyspace.key_of_index i) ~vlen:8
+  done;
+  for i = 0 to 500 do
+    ignore (Chameleondb.Store.get db c (Workload.Keyspace.key_of_index i))
+  done;
+  let json = Export.to_chrome_json (Trace.events ()) in
+  Alcotest.(check bool) "has event payload" true (Trace.length () > 0);
+  Alcotest.(check bool) "well-formed JSON" true (json_well_formed json);
+  Alcotest.(check bool) "catapult envelope" true
+    (String.length json > 16 && String.sub json 0 16 = "{\"traceEvents\":[");
+  Alcotest.(check int) "balanced B/E events"
+    (count_substring json "\"ph\":\"B\"")
+    (count_substring json "\"ph\":\"E\"");
+  (* per-tid monotone timestamps in the exported (sorted, balanced) order *)
+  let evs = Export.balanced_events (Trace.events ()) in
+  Alcotest.(check bool) "balanced" true (check_balanced evs);
+  let last = Hashtbl.create 8 in
+  let monotone = ref true in
+  List.iter
+    (fun e ->
+      (match Hashtbl.find_opt last e.Trace.tid with
+      | Some t when e.Trace.ts < t -> monotone := false
+      | _ -> ());
+      Hashtbl.replace last e.Trace.tid e.Trace.ts)
+    (Trace.events ());
+  Alcotest.(check bool) "per-tid monotone timestamps" true !monotone;
+  reset_obs ()
+
+(* --------------------- Attribution vs. measured latency ------------------ *)
+
+(* The acceptance bar for the attribution table: per-op stage sums must
+   reconcile with the measured end-to-end mean latency (within 1%). *)
+let test_attribution_reconciles_with_latency () =
+  reset_obs ();
+  Attribution.enable ();
+  let scale = Harness.Stores.quick in
+  let spec = Harness.Stores.find scale "ChameleonDB" in
+  let handle = spec.Harness.Stores.make () in
+  let load =
+    Harness.Stores.load_unique ~handle ~threads:4 ~start_at:0.0 ~n:20_000
+      ~vlen:8
+  in
+  let gen =
+    Workload.Ycsb.create ~mix:Workload.Ycsb.A ~loaded:20_000 ()
+  in
+  let r =
+    Harness.Runner.run_ops ~handle ~threads:4
+      ~start_at:(Harness.Stores.settled_cursor ~handle load)
+      ~ops:10_000
+      ~next:(fun () -> Workload.Ycsb.next gen)
+      ()
+  in
+  let check_op op hist =
+    let n = Metrics.Histogram.count hist in
+    Alcotest.(check bool) "ops recorded" true (n > 0);
+    let mean = Metrics.Histogram.mean hist in
+    let staged =
+      Attribution.total ~op r.Harness.Runner.attribution /. float_of_int n
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "stage sum %.1f within 1%% of mean %.1f" staged mean)
+      true
+      (Float.abs (staged -. mean) <= 0.01 *. mean)
+  in
+  check_op `Get r.Harness.Runner.get_latency;
+  check_op `Put r.Harness.Runner.put_latency;
+  (* the table renders without blowing up and names every stage *)
+  let table = Harness.Runner.attribution_table ~name:"ChameleonDB" r in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        (Attribution.name stage ^ " in table")
+        true
+        (count_substring table (Attribution.name stage) >= 1))
+    Attribution.all;
+  reset_obs ()
+
+let () =
+  Alcotest.run "obs"
+    [ ( "trace",
+        [ Alcotest.test_case "span nesting and ordering" `Quick
+            test_span_nesting;
+          Alcotest.test_case "with_span closes on exception" `Quick
+            test_with_span_on_exception;
+          Alcotest.test_case "ring buffer bounding" `Quick test_ring_bounding;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_disabled_records_nothing ] );
+      ( "counters",
+        [ Alcotest.test_case "basics" `Quick test_counters_basics;
+          Alcotest.test_case "reset between runs" `Quick
+            test_counters_reset_between_runs ] );
+      ( "attribution",
+        [ Alcotest.test_case "accumulate / snapshot / diff" `Quick
+            test_attribution_accumulates;
+          Alcotest.test_case "reconciles with measured latency" `Quick
+            test_attribution_reconciles_with_latency ] );
+      ( "export",
+        [ Alcotest.test_case "balances orphan spans" `Quick
+            test_export_balances_orphans;
+          Alcotest.test_case "valid Chrome JSON from a real run" `Quick
+            test_export_json_from_real_run ] ) ]
