@@ -16,31 +16,31 @@ let small_scale =
     memtable_slots = 128;
     load_keys = 20_000 }
 
-let loaded_handle handle =
+let loaded_handle store =
   let _ =
-    Harness.Stores.load_unique ~handle ~threads:1 ~start_at:0.0
+    Harness.Stores.load_unique ~store ~threads:1 ~start_at:0.0
       ~n:small_scale.Harness.Stores.load_keys ~vlen:8
   in
-  handle
+  store
 
-let put_test ~name handle =
-  let handle = loaded_handle handle in
+let put_test ~name store =
+  let store = loaded_handle store in
   let clock = Clock.create ~at:1e12 () in
   let i = ref small_scale.Harness.Stores.load_keys in
   Test.make ~name
     (Staged.stage (fun () ->
          incr i;
-         handle.Store_intf.put clock (Workload.Keyspace.key_of_index !i)
+         Store_intf.put store clock (Workload.Keyspace.key_of_index !i)
            ~vlen:8))
 
-let get_test ~name handle =
-  let handle = loaded_handle handle in
+let get_test ~name store =
+  let store = loaded_handle store in
   let clock = Clock.create ~at:1e12 () in
   let rng = Workload.Rng.create ~seed:13 in
   Test.make ~name
     (Staged.stage (fun () ->
          ignore
-           (handle.Store_intf.get clock
+           (Store_intf.get store clock
               (Workload.Keyspace.key_of_index
                  (Workload.Rng.int rng small_scale.Harness.Stores.load_keys)))))
 
@@ -48,7 +48,7 @@ let chameleon_make ?(f = fun c -> c) () =
   (Harness.Stores.chameleon ~f small_scale).Harness.Stores.make ()
 
 let lsm_make variant =
-  Baselines.Pmem_lsm.handle
+  Baselines.Pmem_lsm.store
     (Baselines.Pmem_lsm.create
        ~cfg:(Harness.Stores.chameleon_cfg small_scale)
        variant)
@@ -71,10 +71,10 @@ let tests () =
     get_test ~name:"fig2/pmem-lsm-f-get" (lsm_make Baselines.Pmem_lsm.F);
     put_test ~name:"fig10/chameleondb-put" (chameleon_make ());
     put_test ~name:"fig11-tab2/pmem-hash-put"
-      (Baselines.Pmem_hash.handle (Baselines.Pmem_hash.create ()));
+      (Baselines.Pmem_hash.store (Baselines.Pmem_hash.create ()));
     get_test ~name:"fig12/chameleondb-get" (chameleon_make ());
     get_test ~name:"fig13-tab3/dram-hash-get"
-      (Baselines.Dram_hash.handle (Baselines.Dram_hash.create ()));
+      (Baselines.Dram_hash.store (Baselines.Dram_hash.create ()));
     put_test ~name:"tab4-fig3/pmem-lsm-pink-put"
       (lsm_make Baselines.Pmem_lsm.Pink);
     Test.make ~name:"fig14/ycsb-a-op"
@@ -85,9 +85,9 @@ let tests () =
     get_test ~name:"fig16/chameleondb-gpm-get"
       (chameleon_make ~f:(fun c -> { c with Config.gpm_enabled = true }) ());
     put_test ~name:"fig17/novelsm-put"
-      (Baselines.Novelsm.handle (Baselines.Novelsm.create ()));
+      (Baselines.Novelsm.store (Baselines.Novelsm.create ()));
     put_test ~name:"fig17/matrixkv-put"
-      (Baselines.Matrixkv.handle (Baselines.Matrixkv.create ()));
+      (Baselines.Matrixkv.store (Baselines.Matrixkv.create ()));
     get_test ~name:"wa/pmem-lsm-nf-get" (lsm_make Baselines.Pmem_lsm.Nf) ]
 
 let run () =

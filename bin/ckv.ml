@@ -35,20 +35,20 @@ let run_load store keys threads quick =
     (fun spec ->
       let handle = spec.Harness.Stores.make () in
       let before =
-        Pmem_sim.Stats.copy (Pmem_sim.Device.stats handle.Store_intf.device)
+        Pmem_sim.Stats.copy (Pmem_sim.Device.stats (Store_intf.device handle))
       in
       let r =
-        Harness.Stores.load_unique ~handle ~threads ~start_at:0.0 ~n:keys
+        Harness.Stores.load_unique ~store:handle ~threads ~start_at:0.0 ~n:keys
           ~vlen:8
       in
       let delta =
         Pmem_sim.Stats.diff
-          ~after:(Pmem_sim.Device.stats handle.Store_intf.device)
+          ~after:(Pmem_sim.Device.stats (Store_intf.device handle))
           ~before
       in
       Table.add_row tbl
         [ spec.Harness.Stores.name;
-          Table.cell_f (Harness.Stores.sustained_mops ~handle r);
+          Table.cell_f (Harness.Stores.sustained_mops ~store:handle r);
           Table.cell_ns
             (Metrics.Histogram.percentile r.Harness.Runner.put_latency 50.0);
           Table.cell_ns
@@ -56,7 +56,7 @@ let run_load store keys threads quick =
           Table.cell_f
             (delta.Pmem_sim.Stats.media_write_bytes
             /. float_of_int (keys * 24));
-          Table.cell_bytes (handle.Store_intf.dram_footprint ()) ])
+          Table.cell_bytes (Store_intf.dram_footprint handle) ])
     (resolve_stores scale store);
   Table.print tbl
 
@@ -106,7 +106,7 @@ let run_ycsb store mix ops threads trace_file quick =
         if tracing && mix = Workload.Ycsb.Load then Obs.Trace.enable ();
         let handle = spec.Harness.Stores.make () in
         let load =
-          Harness.Stores.load_unique ~handle ~threads ~start_at:0.0
+          Harness.Stores.load_unique ~store:handle ~threads ~start_at:0.0
             ~n:scale.Harness.Stores.load_keys ~vlen:8
         in
         let r =
@@ -118,8 +118,8 @@ let run_ycsb store mix ops threads trace_file quick =
               Workload.Ycsb.create ~mix
                 ~loaded:scale.Harness.Stores.load_keys ()
             in
-            Harness.Runner.run_ops ~handle ~threads
-              ~start_at:(Harness.Stores.settled_cursor ~handle load)
+            Harness.Runner.run_ops ~store:handle ~threads
+              ~start_at:(Harness.Stores.settled_cursor ~store:handle load)
               ~ops
               ~next:(fun () -> Workload.Ycsb.next gen)
               ()
@@ -196,14 +196,14 @@ let run_trace record replay mix ops store quick =
       (fun spec ->
         let handle = spec.Harness.Stores.make () in
         let load =
-          Harness.Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+          Harness.Stores.load_unique ~store:handle ~threads:8 ~start_at:0.0
             ~n:scale.Harness.Stores.load_keys ~vlen:8
         in
         let next = Workload.Trace.replayer t in
         let gen ~thread:_ ~now:_ = next () in
         let r =
-          Harness.Runner.run ~handle ~threads:8
-            ~start_at:(Harness.Stores.settled_cursor ~handle load)
+          Harness.Runner.run ~store:handle ~threads:8
+            ~start_at:(Harness.Stores.settled_cursor ~store:handle load)
             ~gen ()
         in
         Printf.printf "%-16s replayed %d ops: %.2f Mops/s, p99 %s\n"
@@ -215,6 +215,106 @@ let run_trace record replay mix ops store quick =
   | Some _, Some _ | None, None ->
     prerr_endline "trace: pass exactly one of --record FILE or --replay FILE";
     exit 1
+
+(* ------------------------------ crash command ---------------------------- *)
+
+let run_crash store seeds seed ops universe per_site no_tear site at
+    recovery_at export quick =
+  let scale = scale_of_quick quick in
+  let specs = resolve_stores scale store in
+  let tear = not no_tear in
+  let seed_list =
+    match seed with Some s -> [ s ] | None -> List.init seeds (fun i -> i + 1)
+  in
+  let violations = ref 0 in
+  (match site with
+  | Some site_name ->
+    (* pinpoint mode: one exact case per store x seed, for reproducing a
+       sweep failure from its printed hint *)
+    let site =
+      match Kv_common.Fault_point.of_string site_name with
+      | Some s -> s
+      | None -> failwith ("unknown crash site: " ^ site_name)
+    in
+    List.iter
+      (fun spec ->
+        List.iter
+          (fun sd ->
+            let case =
+              { Fault.Sweep.c_store = spec.Harness.Stores.name;
+                c_seed = sd; c_site = site; c_after = at;
+                c_recovery_after = recovery_at }
+            in
+            let o =
+              Fault.Sweep.run_case_of ~make:spec.Harness.Stores.make ~ops
+                ~universe ~tear case
+            in
+            Printf.printf "%-16s seed=%d site=%s at=%d: crashed=%b%s %s\n"
+              o.Fault.Checker.store_name sd site_name at
+              o.Fault.Checker.crashed
+              (if o.Fault.Checker.recovery_crashed then " recovery-crashed"
+               else "")
+              (if o.Fault.Checker.violations = [] then "ok" else "VIOLATIONS");
+            List.iter
+              (fun v ->
+                incr violations;
+                Printf.printf "    %s\n" v)
+              o.Fault.Checker.violations)
+          seed_list)
+      specs
+  | None ->
+    let tbl =
+      Table.create
+        ~title:
+          (Printf.sprintf
+             "crash sweep: %d seed(s), first/middle/last event per site%s"
+             (List.length seed_list)
+             (if tear then ", torn 256B writes" else ""))
+        ~columns:
+          [ ("store", Table.Left); ("cases", Table.Right);
+            ("crashes fired", Table.Right); ("recovery crashes", Table.Right);
+            ("violations", Table.Right); ("verdict", Table.Left) ]
+    in
+    List.iter
+      (fun spec ->
+        let v =
+          Fault.Sweep.run_store ~name:spec.Harness.Stores.name
+            ~make:spec.Harness.Stores.make ~seeds:seed_list ~per_site ~ops
+            ~universe ~tear ()
+        in
+        let nviol =
+          List.fold_left
+            (fun a f -> a + List.length f.Fault.Sweep.f_violations)
+            0 v.Fault.Sweep.v_failures
+        in
+        violations := !violations + nviol;
+        Table.add_row tbl
+          [ v.Fault.Sweep.v_store;
+            string_of_int v.Fault.Sweep.v_cases;
+            string_of_int v.Fault.Sweep.v_fired;
+            string_of_int v.Fault.Sweep.v_recovery_crashes;
+            string_of_int nviol;
+            (if Fault.Sweep.passed v then "ok" else "FAIL") ];
+        List.iter
+          (fun f ->
+            Printf.printf "repro: %s\n" (Fault.Sweep.repro_hint f.Fault.Sweep.f_case);
+            List.iter
+              (fun d -> Printf.printf "    %s\n" d)
+              f.Fault.Sweep.f_violations)
+          v.Fault.Sweep.v_failures;
+        match export with
+        | Some dir when v.Fault.Sweep.v_failures <> [] ->
+          (try
+             List.iter
+               (fun p -> Printf.printf "trace: wrote %s\n" p)
+               (Fault.Sweep.export_failures ~make:spec.Harness.Stores.make
+                  ~ops ~universe ~tear ~dir v)
+           with Sys_error msg ->
+             Printf.eprintf "ckv: cannot export traces: %s\n" msg)
+        | Some _ | None -> ())
+      specs;
+    Table.print tbl);
+  if !violations > 0 then exit 1
 
 (* ------------------------------ bench command ---------------------------- *)
 
@@ -286,6 +386,85 @@ let ycsb_cmd =
       const run_ycsb $ store_arg $ mix $ ops $ threads_arg $ trace
       $ quick_arg)
 
+let crash_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 3
+      & info [ "seeds" ] ~docv:"N" ~doc:"Sweep seeds 1..$(docv).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Use exactly this seed (overrides $(b,--seeds)).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 4_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Workload operations per case.")
+  in
+  let universe =
+    Arg.(
+      value & opt int 400
+      & info [ "universe" ] ~docv:"N" ~doc:"Distinct keys in the workload.")
+  in
+  let per_site =
+    Arg.(
+      value & opt int 3
+      & info [ "per-site" ] ~docv:"N"
+          ~doc:"Crash points per fault site (first/middle/last).")
+  in
+  let no_tear =
+    Arg.(
+      value & flag
+      & info [ "no-tear" ]
+          ~doc:"Disable torn 256B writes inside the unpersisted tail.")
+  in
+  let site =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "site" ] ~docv:"SITE"
+          ~doc:
+            "Pinpoint one fault site (e.g. $(b,flush), \
+             $(b,upper-compaction), $(b,gc), $(b,manifest-update)) instead \
+             of sweeping; combine with $(b,--at) and $(b,--seed) to replay \
+             a reported violation.")
+  in
+  let at =
+    Arg.(
+      value & opt int 0
+      & info [ "at" ] ~docv:"N"
+          ~doc:"With $(b,--site): crash at the N-th persist event there.")
+  in
+  let recovery_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "recovery-at" ] ~docv:"N"
+          ~doc:
+            "Also crash recovery at its N-th persist event, then recover \
+             again (idempotence check).")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"DIR"
+          ~doc:
+            "Re-run violating cases with tracing and write Chrome-trace \
+             JSON files into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Crash fault-injection sweep: verify recovery correctness at \
+          every fault site")
+    Term.(
+      const run_crash $ store_arg $ seeds $ seed $ ops $ universe $ per_site
+      $ no_tear $ site $ at $ recovery_at $ export $ quick_arg)
+
 let bench_cmd =
   let ids =
     Arg.(
@@ -345,4 +524,5 @@ let () =
       ~doc:"ChameleonDB (EuroSys'21) reproduction driver"
   in
   exit (Cmd.eval (Cmd.group info
-       [ load_cmd; ycsb_cmd; bench_cmd; trace_cmd; inspect_cmd; list_cmd ]))
+       [ load_cmd; ycsb_cmd; bench_cmd; crash_cmd; trace_cmd; inspect_cmd;
+         list_cmd ]))

@@ -22,9 +22,9 @@ let run_with ~gpm =
       gpm_threshold_ns = 2_500.0 }
   in
   let db = Store.create ~cfg () in
-  let handle = Store.handle db in
+  let store = Store.store db in
   let load =
-    Harness.Stores.load_unique ~handle ~threads ~start_at:0.0 ~n:loaded
+    Harness.Stores.load_unique ~store ~threads ~start_at:0.0 ~n:loaded
       ~vlen:8
   in
   (* each thread: a get phase, a put burst (80% fresh inserts), a get phase *)
@@ -50,8 +50,8 @@ let run_with ~gpm =
     end
   in
   let windows =
-    Harness.Timeline.run ~handle ~threads
-      ~start_at:(Harness.Stores.settled_cursor ~handle load)
+    Harness.Timeline.run ~store ~threads
+      ~start_at:(Harness.Stores.settled_cursor ~store load)
       ~window_ns:1_000_000.0 ~gen ()
   in
   (db, windows)

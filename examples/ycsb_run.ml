@@ -39,9 +39,9 @@ let () =
   in
   List.iter
     (fun spec ->
-      let handle = spec.Harness.Stores.make () in
+      let store = spec.Harness.Stores.make () in
       let load =
-        Harness.Stores.load_unique ~handle ~threads ~start_at:0.0
+        Harness.Stores.load_unique ~store ~threads ~start_at:0.0
           ~n:scale.Harness.Stores.load_keys ~vlen:8
       in
       let r =
@@ -51,8 +51,8 @@ let () =
           let gen =
             Workload.Ycsb.create ~mix ~loaded:scale.Harness.Stores.load_keys ()
           in
-          Harness.Runner.run_ops ~handle ~threads
-            ~start_at:(Harness.Stores.settled_cursor ~handle load)
+          Harness.Runner.run_ops ~store ~threads
+            ~start_at:(Harness.Stores.settled_cursor ~store load)
             ~ops
             ~next:(fun () -> Workload.Ycsb.next gen)
             ()

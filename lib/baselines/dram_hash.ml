@@ -35,30 +35,60 @@ let delete t clock key =
 
 let count t = Robinhood.count t.index
 
+(* Honest crash semantics: the whole index is DRAM, so a power failure
+   loses every entry — by design.  What survives is exactly the persisted
+   prefix of the log. *)
 let crash t =
   Device.crash t.dev;
   Vlog.crash t.vlog;
   t.index <- Robinhood.create ()
 
+(* Recovery is a full scan of the persisted log — the design's whole
+   restart cost.  Replaying into a partially rebuilt index is restartable:
+   a crash during recovery drops the index again and the next recovery
+   rescans from the head. *)
 let recover t clock =
+  Kv_common.Fault_point.with_site Kv_common.Fault_point.Recovery @@ fun () ->
   let t0 = Clock.now clock in
-  Vlog.iter_range t.vlog clock ~lo:0 ~hi:(Vlog.persisted t.vlog)
-    (fun loc key vlen ->
+  Vlog.iter_range t.vlog clock ~lo:(Vlog.head t.vlog)
+    ~hi:(Vlog.persisted t.vlog) (fun loc key vlen ->
       if vlen < 0 then ignore (Robinhood.delete t.index clock key)
       else Robinhood.put t.index clock key loc);
   Clock.now clock -. t0
 
-let handle t : Kv_common.Store_intf.handle =
-  { name = "Dram-Hash";
-    put = (fun clock key ~vlen -> put t clock key ~vlen);
-    get = (fun clock key -> get t clock key);
-    delete = (fun clock key -> delete t clock key);
-    flush = (fun clock -> Vlog.flush t.vlog clock);
-    crash = (fun () -> crash t);
-    recover = (fun clock -> ignore (recover t clock));
-    dram_footprint =
-      (fun () ->
-        Kv_common.Robinhood.footprint_bytes t.index
-        +. Vlog.dram_footprint t.vlog);
-    device = t.dev;
-    vlog = t.vlog }
+(* Every live index entry must point at a log record for its own key. *)
+let check_invariants t =
+  let bad = ref None in
+  Robinhood.iter t.index (fun key loc ->
+      if !bad = None && not (Types.is_tombstone loc) then
+        if
+          loc < Vlog.head t.vlog
+          || loc >= Vlog.length t.vlog
+          || not (Int64.equal (Vlog.key_at t.vlog loc) key)
+        then bad := Some key);
+  match !bad with
+  | Some k -> Error (Printf.sprintf "index entry for %Ld is dangling" k)
+  | None -> Ok ()
+
+let store t : Kv_common.Store_intf.store =
+  (module struct
+    let name = "Dram-Hash"
+    let put clock key ~vlen = put t clock key ~vlen
+    let get clock key = get t clock key
+    let delete clock key = delete t clock key
+    let flush clock = Vlog.flush t.vlog clock
+    let maintenance _ = ()
+    let crash () = crash t
+    let recover clock = ignore (recover t clock)
+    let check_invariants () = check_invariants t
+
+    let dram_footprint () =
+      Robinhood.footprint_bytes t.index +. Vlog.dram_footprint t.vlog
+
+    let pmem_footprint () = Device.used_bytes t.dev
+    let device = t.dev
+    let vlog = t.vlog
+    let fault_points = Kv_common.Fault_point.[ Foreground; Recovery ]
+  end)
+
+let handle t = Kv_common.Store_intf.to_handle (store t)

@@ -19,4 +19,10 @@ val crash : t -> unit
 val recover : t -> Pmem_sim.Clock.t -> float
 (** Full log scan; returns restart time (ns). *)
 
+val check_invariants : t -> (unit, string) result
+
+val store : t -> Kv_common.Store_intf.store
+(** First-class store for the harness and the crash checker. *)
+
 val handle : t -> Kv_common.Store_intf.handle
+(** Deprecated record adapter; will be removed next PR. *)

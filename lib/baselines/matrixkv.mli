@@ -25,4 +25,10 @@ val flush_all : t -> Pmem_sim.Clock.t -> unit
 val crash : t -> unit
 val recover : t -> Pmem_sim.Clock.t -> float
 
+val check_invariants : t -> (unit, string) result
+
+val store : t -> Kv_common.Store_intf.store
+(** First-class store for the harness and the crash checker. *)
+
 val handle : t -> Kv_common.Store_intf.handle
+(** Deprecated record adapter; will be removed next PR. *)

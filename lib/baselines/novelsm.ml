@@ -220,19 +220,29 @@ let recover t clock =
       Skiplist.put t.memtable clock key index_loc);
   Clock.now clock -. t0
 
-let handle t : Kv_common.Store_intf.handle =
-  { name = "NoveLSM";
-    put = (fun clock key ~vlen -> put t clock key ~vlen);
-    get = (fun clock key -> get t clock key);
-    delete = (fun clock key -> delete t clock key);
-    flush = (fun clock -> flush_all t clock);
-    crash = (fun () -> crash t);
-    recover = (fun clock -> ignore (recover t clock));
-    dram_footprint =
-      (fun () ->
-        Hashtbl.fold
-          (fun _ b acc -> acc +. Bloom.footprint_bytes b)
-          t.blooms
-          (Vlog.dram_footprint t.vlog));
-    device = t.dev;
-    vlog = t.vlog }
+let check_invariants _t = Ok ()
+
+let store t : Kv_common.Store_intf.store =
+  (module struct
+    let name = "NoveLSM"
+    let put clock key ~vlen = put t clock key ~vlen
+    let get clock key = get t clock key
+    let delete clock key = delete t clock key
+    let flush clock = flush_all t clock
+    let maintenance _ = ()
+    let crash () = crash t
+    let recover clock = ignore (recover t clock)
+    let check_invariants () = check_invariants t
+
+    let dram_footprint () =
+      Hashtbl.fold
+        (fun _ b acc -> acc +. Bloom.footprint_bytes b)
+        t.blooms (Vlog.dram_footprint t.vlog)
+
+    let pmem_footprint () = Device.used_bytes t.dev
+    let device = t.dev
+    let vlog = t.vlog
+    let fault_points = Kv_common.Fault_point.[ Foreground; Recovery ]
+  end)
+
+let handle t = Kv_common.Store_intf.to_handle (store t)

@@ -33,26 +33,50 @@ let delete t clock key =
   let _loc = Vlog.append t.vlog clock key ~vlen:(-1) in
   ignore (Cceh.delete t.index clock key)
 
+(* Honest crash semantics: both the log (fenced, so every completed append
+   is already durable) and the CCEH table (each slot write is individually
+   persisted) live on the device; a crash loses only in-flight stores.
+   The only volatile state is the CCEH directory, a DRAM cache of
+   per-segment metadata. *)
 let crash t =
   Device.crash t.dev;
   Vlog.crash t.vlog
 
+(* Recovery replays the persisted table: one metadata read per segment
+   rebuilds the directory; slot data needs no replay.  Idempotent — the
+   rebuild reads only persisted state. *)
 let recover t clock =
+  Kv_common.Fault_point.with_site Kv_common.Fault_point.Recovery @@ fun () ->
   let t0 = Clock.now clock in
   Cceh.recover t.index clock;
   Clock.now clock -. t0
 
 let cceh t = t.index
 
-let handle t : Kv_common.Store_intf.handle =
-  { name = "Pmem-Hash";
-    put = (fun clock key ~vlen -> put t clock key ~vlen);
-    get = (fun clock key -> get t clock key);
-    delete = (fun clock key -> delete t clock key);
-    flush = (fun clock -> Vlog.flush t.vlog clock);
-    crash = (fun () -> crash t);
-    recover = (fun clock -> ignore (recover t clock));
-    dram_footprint =
-      (fun () -> Cceh.dram_footprint t.index +. Vlog.dram_footprint t.vlog);
-    device = t.dev;
-    vlog = t.vlog }
+let check_invariants t =
+  if Cceh.count t.index < 0 then Error "CCEH count negative"
+  else if Cceh.segments t.index < 1 then Error "CCEH has no segments"
+  else Ok ()
+
+let store t : Kv_common.Store_intf.store =
+  (module struct
+    let name = "Pmem-Hash"
+    let put clock key ~vlen = put t clock key ~vlen
+    let get clock key = get t clock key
+    let delete clock key = delete t clock key
+    let flush clock = Vlog.flush t.vlog clock
+    let maintenance _ = ()
+    let crash () = crash t
+    let recover clock = ignore (recover t clock)
+    let check_invariants () = check_invariants t
+
+    let dram_footprint () =
+      Cceh.dram_footprint t.index +. Vlog.dram_footprint t.vlog
+
+    let pmem_footprint () = Device.used_bytes t.dev
+    let device = t.dev
+    let vlog = t.vlog
+    let fault_points = Kv_common.Fault_point.[ Foreground; Recovery ]
+  end)
+
+let handle t = Kv_common.Store_intf.to_handle (store t)

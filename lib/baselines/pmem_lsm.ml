@@ -9,6 +9,8 @@ module Linear_table = Kv_common.Linear_table
 module Config = Chameleondb.Config
 module Memtable = Chameleondb.Memtable
 module Levels = Chameleondb.Levels
+module Manifest = Chameleondb.Manifest
+module Fault_point = Kv_common.Fault_point
 
 type variant = Nf | F | Pink
 
@@ -45,7 +47,9 @@ type t = {
   bloom_bits : int;
   dev : Device.t;
   vlog : Vlog.t;
+  manifest : Manifest.t;
   shards : shard array;
+  mutable in_recovery : bool;
 }
 
 let create ?(cfg = Config.default) ?(bloom_bits = 10) ?dev variant =
@@ -60,6 +64,8 @@ let create ?(cfg = Config.default) ?(bloom_bits = 10) ?dev variant =
     bloom_bits;
     dev;
     vlog;
+    manifest = Manifest.create ~shards:cfg.Config.shards dev;
+    in_recovery = false;
     shards =
       Array.init cfg.Config.shards (fun id ->
           { id;
@@ -133,17 +139,19 @@ let rec cascade t shard bg ~level =
   let tables = (Levels.upper shard.lv).(level) in
   let sources = List.map (table_entries t bg) tables in
   if level + 1 <= u - 1 then begin
-    let entries = merge_newest_first bg sources in
-    let slots = Levels.table_slots ~cfg:t.cfg ~level:(level + 1) in
-    let fresh = build_table t shard bg ~slots entries in
-    Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
-    List.iter (drop_table shard) tables;
-    (Levels.upper shard.lv).(level) <- [];
-    Levels.add_table shard.lv ~level:(level + 1) fresh;
+    Fault_point.with_site Fault_point.Upper_compaction (fun () ->
+        let entries = merge_newest_first bg sources in
+        let slots = Levels.table_slots ~cfg:t.cfg ~level:(level + 1) in
+        let fresh = build_table t shard bg ~slots entries in
+        Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
+        List.iter (drop_table shard) tables;
+        (Levels.upper shard.lv).(level) <- [];
+        Levels.add_table shard.lv ~level:(level + 1) fresh);
     if Levels.level_len shard.lv (level + 1) >= t.cfg.Config.ratio then
       cascade t shard bg ~level:(level + 1)
   end
   else begin
+    Fault_point.with_site Fault_point.Last_level_merge @@ fun () ->
     let last_entries =
       match Levels.last shard.lv with
       | None -> []
@@ -187,27 +195,37 @@ let flush t shard clock =
   end;
   Obs.Counters.incr c_flushes;
   let entries = Memtable.entries shard.memtable in
+  (* keep the floor below the log entry of the put that triggered us *)
+  let floor' = max shard.mt_floor (Vlog.length t.vlog - 1) in
   let bg = Clock.create ~at:(Clock.now clock) () in
   Obs.Trace.begin_span bg ~tid:(bg_tid shard.id) ~cat:"bg" "flush";
-  Vlog.flush t.vlog bg;
-  let tbl =
-    build_table t shard bg ~slots:t.cfg.Config.memtable_slots entries
-  in
-  Obs.Counters.add_int c_flush_bytes (Linear_table.byte_size tbl);
-  Levels.add_table shard.lv ~level:0 tbl;
-  shard.last_bg_compacted <- false;
-  if Levels.l0_full shard.lv then begin
-    Obs.Trace.begin_span bg ~tid:(bg_tid shard.id) ~cat:"compaction"
-      "compact";
-    cascade t shard bg ~level:0;
-    Obs.Trace.end_span bg ~tid:(bg_tid shard.id) ~cat:"compaction" "compact";
-    shard.last_bg_compacted <- true
-  end;
+  Fault_point.with_site Fault_point.Flush (fun () ->
+      Vlog.flush t.vlog bg;
+      let tbl =
+        build_table t shard bg ~slots:t.cfg.Config.memtable_slots entries
+      in
+      Obs.Counters.add_int c_flush_bytes (Linear_table.byte_size tbl);
+      Levels.add_table shard.lv ~level:0 tbl;
+      shard.last_bg_compacted <- false;
+      if Levels.l0_full shard.lv then begin
+        Obs.Trace.begin_span bg ~tid:(bg_tid shard.id) ~cat:"compaction"
+          "compact";
+        cascade t shard bg ~level:0;
+        Obs.Trace.end_span bg ~tid:(bg_tid shard.id) ~cat:"compaction"
+          "compact";
+        shard.last_bg_compacted <- true
+      end;
+      (* persist the recovery floor last, once everything it stands for is
+         durable — except while recovery itself replays the log: entries
+         past the replay point are in no table yet, so advancing the
+         persisted floor mid-replay would lose them if recovery crashed *)
+      if not t.in_recovery then
+        Manifest.set_floors t.manifest bg ~shard:shard.id ~mt_floor:floor'
+          ~absorb_floor:None);
   Obs.Trace.end_span bg ~tid:(bg_tid shard.id) ~cat:"bg" "flush";
   shard.bg_free_at <- Clock.now bg;
   Memtable.reset shard.memtable;
-  (* keep the floor below the log entry of the put that triggered us *)
-  shard.mt_floor <- max shard.mt_floor (Vlog.length t.vlog - 1)
+  shard.mt_floor <- floor'
 
 let rec shard_put t shard clock key loc =
   let attr = Obs.Attribution.enabled () in
@@ -344,10 +362,16 @@ let crash t =
     (fun shard ->
       Memtable.reset shard.memtable;
       shard.bg_free_at <- 0.0;
-      shard.mt_floor <- min shard.mt_floor (Vlog.persisted t.vlog))
+      (* the recovery floor comes back from the manifest's device-backed
+         record, not from the DRAM copy *)
+      let mt, _ = Manifest.floors t.manifest ~shard:shard.id in
+      shard.mt_floor <- min mt (Vlog.persisted t.vlog))
     t.shards
 
 let recover t clock =
+  Fault_point.with_site Fault_point.Recovery @@ fun () ->
+  t.in_recovery <- true;
+  Fun.protect ~finally:(fun () -> t.in_recovery <- false) @@ fun () ->
   let t0 = Clock.now clock in
   let marks = Array.map (fun s -> s.mt_floor) t.shards in
   let lo = Array.fold_left min (Vlog.persisted t.vlog) marks in
@@ -426,14 +450,42 @@ let dram_footprint t =
     (Vlog.dram_footprint t.vlog)
     t.shards
 
-let handle t : Kv_common.Store_intf.handle =
-  { name = variant_name t.variant;
-    put = (fun clock key ~vlen -> put t clock key ~vlen);
-    get = (fun clock key -> get t clock key);
-    delete = (fun clock key -> delete t clock key);
-    flush = (fun clock -> flush_all t clock);
-    crash = (fun () -> crash t);
-    recover = (fun clock -> ignore (recover t clock));
-    dram_footprint = (fun () -> dram_footprint t);
-    device = t.dev;
-    vlog = t.vlog }
+let check_invariants t =
+  let u = Config.upper_levels t.cfg in
+  let bad = ref None in
+  Array.iter
+    (fun shard ->
+      for k = 0 to u - 1 do
+        let len = Levels.level_len shard.lv k in
+        if !bad = None && len > t.cfg.Config.ratio then
+          bad :=
+            Some
+              (Printf.sprintf "shard %d: level %d has %d tables (max %d)"
+                 shard.id k len t.cfg.Config.ratio)
+      done)
+    t.shards;
+  match !bad with Some msg -> Error msg | None -> Ok ()
+
+let store t : Kv_common.Store_intf.store =
+  (module struct
+    let name = variant_name t.variant
+    let put clock key ~vlen = put t clock key ~vlen
+    let get clock key = get t clock key
+    let delete clock key = delete t clock key
+    let flush clock = flush_all t clock
+    let maintenance _ = ()
+    let crash () = crash t
+    let recover clock = ignore (recover t clock)
+    let check_invariants () = check_invariants t
+    let dram_footprint () = dram_footprint t
+    let pmem_footprint () = Device.used_bytes t.dev
+    let device = t.dev
+    let vlog = t.vlog
+
+    let fault_points =
+      Fault_point.
+        [ Foreground; Flush; Upper_compaction; Last_level_merge;
+          Manifest_update; Recovery ]
+  end)
+
+let handle t = Kv_common.Store_intf.to_handle (store t)

@@ -1,12 +1,69 @@
-type t = { dev : Pmem_sim.Device.t; mutable nupdates : int }
+module Device = Pmem_sim.Device
+module Clock = Pmem_sim.Clock
+module Fault_point = Kv_common.Fault_point
+
+type t = {
+  dev : Device.t;
+  mutable nupdates : int;
+  shards : int;
+  floors_off : int; (* device offset of the floor records; -1 when shards=0 *)
+}
 
 let record_bytes = 64
+let floor_bytes = 16
 
-let create dev = { dev; nupdates = 0 }
+(* Encoding of a shard's floor record: two little-endian int64s,
+   [mt_floor] then [absorb_floor] (-1L = none). *)
+let encode_floor ~mt_floor ~absorb_floor =
+  let b = Bytes.create floor_bytes in
+  Bytes.set_int64_le b 0 (Int64.of_int mt_floor);
+  Bytes.set_int64_le b 8
+    (match absorb_floor with None -> -1L | Some f -> Int64.of_int f);
+  b
+
+let create ?(shards = 0) dev =
+  let floors_off =
+    if shards = 0 then -1
+    else begin
+      let off = Device.alloc dev (shards * floor_bytes) in
+      (* Zero floors are the correct initial state (replay from the log
+         origin); persist them on a scratch clock, as table construction
+         at create time does elsewhere. *)
+      let clock = Clock.create () in
+      for s = 0 to shards - 1 do
+        Device.write_bytes dev clock
+          ~off:(off + (s * floor_bytes))
+          (encode_floor ~mt_floor:0 ~absorb_floor:None)
+      done;
+      Device.persist dev clock ~off ~len:(shards * floor_bytes);
+      off
+    end
+  in
+  { dev; nupdates = 0; shards; floors_off }
 
 let record_update t clock =
-  t.nupdates <- t.nupdates + 1;
-  Pmem_sim.Device.charge_append t.dev clock ~len:record_bytes
+  Fault_point.with_site Fault_point.Manifest_update (fun () ->
+      t.nupdates <- t.nupdates + 1;
+      Device.charge_append t.dev clock ~len:record_bytes)
 
+let set_floors t clock ~shard ~mt_floor ~absorb_floor =
+  if shard < 0 || shard >= t.shards then invalid_arg "Manifest.set_floors";
+  Fault_point.with_site Fault_point.Manifest_update (fun () ->
+      t.nupdates <- t.nupdates + 1;
+      let off = t.floors_off + (shard * floor_bytes) in
+      Device.write_bytes t.dev clock ~off
+        (encode_floor ~mt_floor ~absorb_floor);
+      Device.persist t.dev clock ~off ~len:floor_bytes)
+
+let floors t ~shard =
+  if shard < 0 || shard >= t.shards then invalid_arg "Manifest.floors";
+  let off = t.floors_off + (shard * floor_bytes) in
+  let mt = Int64.to_int (Device.peek_u64 t.dev ~off) in
+  let ab = Device.peek_u64 t.dev ~off:(off + 8) in
+  (mt, if Int64.compare ab 0L < 0 then None else Some (Int64.to_int ab))
+
+let shards t = t.shards
 let updates t = t.nupdates
-let footprint_bytes t = float_of_int (t.nupdates * record_bytes)
+
+let footprint_bytes t =
+  float_of_int ((t.nupdates * record_bytes) + (max 0 t.shards * floor_bytes))

@@ -1,17 +1,37 @@
 (** Persistent root metadata.
 
     The manifest records, per shard, which persistent tables exist and the
-    log watermarks — a few dozen bytes appended and persisted on every
-    structural change (flush, compaction, dump).  In the simulation the
-    OCaml-side table handles {e are} the recovered metadata; this module
-    charges the corresponding device traffic and tracks update counts. *)
+    log watermarks.  Table existence remains simulated (the OCaml-side
+    table handles {e are} the recovered metadata, charged via
+    {!record_update}), but the {e recovery floors} — the log watermarks
+    that bound how much of the value log a shard must replay after a crash
+    — are real device-backed records: 16 B per shard, written and
+    persisted under the [Manifest_update] fault site, re-read by
+    {!floors} during crash recovery.  A crash between a structural change
+    and its floor persist leaves a stale (smaller) floor, which is safe:
+    replaying more of the log than necessary is idempotent. *)
 
 type t
 
-val create : Pmem_sim.Device.t -> t
+val create : ?shards:int -> Pmem_sim.Device.t -> t
+(** Allocates and zero-persists the per-shard floor region when
+    [shards > 0] (default 0: accounting-only manifest, no floor region). *)
 
 val record_update : t -> Pmem_sim.Clock.t -> unit
-(** One structural change: a small appended persist (64 B). *)
+(** One structural change: a small appended persist (64 B), charged under
+    the [Manifest_update] fault site. *)
 
+val set_floors :
+  t -> Pmem_sim.Clock.t -> shard:int -> mt_floor:int ->
+  absorb_floor:int option -> unit
+(** Persist shard's recovery floors (a 16 B in-place write + persist,
+    [Manifest_update] site).  Call only after the state the floors stand
+    for is itself durable. *)
+
+val floors : t -> shard:int -> int * int option
+(** [(mt_floor, absorb_floor)] as last persisted (uncharged read; recovery
+    charges its device traffic elsewhere). *)
+
+val shards : t -> int
 val updates : t -> int
 val footprint_bytes : t -> float

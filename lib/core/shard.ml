@@ -4,6 +4,7 @@ module Flat_table = Kv_common.Flat_table
 module Linear_table = Kv_common.Linear_table
 module Types = Kv_common.Types
 module Vlog = Kv_common.Vlog
+module Fault_point = Kv_common.Fault_point
 
 type hit_stage = Hit_memtable | Hit_abi | Hit_dump | Hit_upper | Hit_last | Miss
 
@@ -124,9 +125,16 @@ let round_up_to v m = (v + m - 1) / m * m
    Clears the upper levels, the dumps and the ABI. } *)
 
 let last_level_compact t bg =
+  Fault_point.with_site Fault_point.Last_level_merge @@ fun () ->
   t.ctr.last_compactions <- t.ctr.last_compactions + 1;
   Obs.Counters.incr c_last_compactions;
   Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"compaction" "compact:last";
+  (* write-ahead order: absorbed ABI entries may reference log records from
+     the open batch; they must be durable before a persistent table points
+     at them, or a crash truncates the log under the new last level.
+     (Found by the crash checker; test_fault's WIM sweep keeps the
+     regression.) *)
+  Vlog.flush t.vlog bg;
   let upper_sources =
     if t.cfg.Config.abi_enabled then [ abi_iter_source t ]
     else
@@ -173,6 +181,7 @@ let last_level_compact t bg =
    [0, target-1] into a single level-[target] table.} *)
 
 let direct_merge_upper t bg ~target =
+  Fault_point.with_site Fault_point.Direct_compaction @@ fun () ->
   t.ctr.upper_compactions <- t.ctr.upper_compactions + 1;
   Obs.Counters.incr c_upper_compactions;
   Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"compaction" "compact:upper";
@@ -193,15 +202,18 @@ let rec cascade_compact t bg ~level =
   let u = Config.upper_levels t.cfg in
   let tables = (Levels.upper t.lv).(level) in
   if level + 1 <= u - 1 then begin
-    t.ctr.upper_compactions <- t.ctr.upper_compactions + 1;
-    Obs.Counters.incr c_upper_compactions;
-    let entries = merge_entries (List.map (table_iter_source bg) tables) in
-    let slots = Levels.table_slots ~cfg:t.cfg ~level:(level + 1) in
-    let fresh = build_table t bg ~slots entries in
-    Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
-    List.iter Linear_table.free tables;
-    (Levels.upper t.lv).(level) <- [];
-    Levels.add_table t.lv ~level:(level + 1) fresh;
+    Fault_point.with_site Fault_point.Upper_compaction (fun () ->
+        t.ctr.upper_compactions <- t.ctr.upper_compactions + 1;
+        Obs.Counters.incr c_upper_compactions;
+        let entries =
+          merge_entries (List.map (table_iter_source bg) tables)
+        in
+        let slots = Levels.table_slots ~cfg:t.cfg ~level:(level + 1) in
+        let fresh = build_table t bg ~slots entries in
+        Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
+        List.iter Linear_table.free tables;
+        (Levels.upper t.lv).(level) <- [];
+        Levels.add_table t.lv ~level:(level + 1) fresh);
     if Levels.level_len t.lv (level + 1) >= t.cfg.Config.ratio then
       cascade_compact t bg ~level:(level + 1)
   end
@@ -213,6 +225,7 @@ let rec cascade_compact t bg ~level =
     match t.absorb_floor with
     | Some _ -> last_level_compact t bg
     | None ->
+      Fault_point.with_site Fault_point.Last_level_merge @@ fun () ->
       t.ctr.last_compactions <- t.ctr.last_compactions + 1;
       Obs.Counters.incr c_last_compactions;
       let last_source =
@@ -267,9 +280,13 @@ let abi_has_room_for t n =
   <= Flat_table.threshold t.abi *. float_of_int (Flat_table.slots t.abi)
 
 let dump_abi t bg =
+  Fault_point.with_site Fault_point.Abi_dump @@ fun () ->
   t.ctr.abi_dumps <- t.ctr.abi_dumps + 1;
   Obs.Counters.incr c_abi_dumps;
   Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"bg" "abi-dump";
+  (* same write-ahead order as [last_level_compact]: absorbed entries'
+     log records must be durable before the dumped table is *)
+  Vlog.flush t.vlog bg;
   let entries = ref [] in
   Flat_table.iter t.abi (fun k l -> entries := (k, l) :: !entries);
   Clock.advance bg
@@ -332,7 +349,12 @@ let flush t clock =
   t.ctr.flushes <- t.ctr.flushes + 1;
   Obs.Counters.incr c_flushes;
   let entries = Memtable.entries t.memtable in
+  (* the operation that triggered this flush has already appended its log
+     entry but not yet inserted into the fresh MemTable: the recovery floor
+     must stay below that entry *)
+  let floor' = max t.mt_floor (Vlog.length t.vlog - 1) in
   with_background t clock ~label:"flush" (fun bg ->
+      Fault_point.with_site Fault_point.Flush @@ fun () ->
       Vlog.flush t.vlog bg;
       (* record the structural change first: the manifest append must not
          queue behind this flush's own large writes *)
@@ -351,12 +373,18 @@ let flush t clock =
         List.iter (fun (k, l) -> Flat_table.put_exn t.abi bg k l) entries;
       maybe_compact t bg;
       (* drain GPM dumps once compactions are allowed again *)
-      if t.dumps <> [] then last_level_compact t bg);
+      if t.dumps <> [] then last_level_compact t bg;
+      (* persist the recovery floors last: everything they stand for —
+         the vlog batch, the L0 table, compaction results — is durable by
+         now, so a crash tearing this very record in either direction is
+         safe (old floor = replay more, new floor = exactly enough) *)
+      match t.manifest with
+      | Some m ->
+        Manifest.set_floors m bg ~shard:t.id ~mt_floor:floor'
+          ~absorb_floor:t.absorb_floor
+      | None -> ());
   Memtable.reset t.memtable;
-  (* the operation that triggered this flush has already appended its log
-     entry but not yet inserted into the fresh MemTable: the recovery floor
-     must stay below that entry *)
-  t.mt_floor <- max t.mt_floor (Vlog.length t.vlog - 1)
+  t.mt_floor <- floor'
 
 (* {2 Absorb (Write-Intensive Mode / active GPM): move the MemTable into the
    ABI without touching the LSM structure.} *)
@@ -365,10 +393,14 @@ let absorb t clock ~can_dump =
   t.ctr.absorbs <- t.ctr.absorbs + 1;
   Obs.Counters.incr c_absorbs;
   let entries = Memtable.entries t.memtable in
-  if t.absorb_floor = None then t.absorb_floor <- Some t.mt_floor;
   if not (abi_has_room_for t (List.length entries)) then
     with_background t clock ~label:"abi-room" (fun bg ->
         ensure_abi_room t bg ~incoming:(List.length entries) ~can_dump);
+  (* establish the floor only after the room check: a dump or compaction
+     in there clears [absorb_floor], and setting it first would leave the
+     entries inserted below covered by no floor at all — lost on crash.
+     (Found by the crash checker; test_fault keeps the regression.) *)
+  if t.absorb_floor = None then t.absorb_floor <- Some t.mt_floor;
   List.iter (fun (k, l) -> Flat_table.put_exn t.abi clock k l) entries;
   Memtable.reset t.memtable;
   t.mt_floor <- max t.mt_floor (Vlog.length t.vlog - 1)
@@ -498,18 +530,29 @@ let drain_dumps_if_idle t ~now =
 
 (* {2 Crash and recovery.} *)
 
-(* Crash: MemTable and ABI contents are lost, but the log floors survive
-   (they are manifest metadata) — [absorb_floor] in particular must persist,
-   because it is exactly what tells recovery how far back to scan for the
-   absorbed entries that no longer exist anywhere in DRAM. *)
+(* Crash: MemTable and ABI contents are lost; the log floors come back
+   from the manifest's device-backed records — [absorb_floor] in
+   particular, because it is exactly what tells recovery how far back to
+   scan for the absorbed entries that no longer exist anywhere in DRAM.
+   Floors are persisted lazily (at flush), so the recovered values may
+   trail the in-DRAM ones; that only means replaying more of the log,
+   which is idempotent.  Without a manifest (standalone shard tests) the
+   DRAM floors are assumed recoverable, clamped to the persisted log. *)
 let lose_volatile t =
   Memtable.reset t.memtable;
   t.abi <- make_abi t.cfg;
   t.bg_free_at <- 0.0;
-  t.mt_floor <- min t.mt_floor (Vlog.persisted t.vlog);
-  match t.absorb_floor with
-  | Some f -> t.absorb_floor <- Some (min f t.mt_floor)
-  | None -> ()
+  (match t.manifest with
+  | Some m when Manifest.shards m > t.id ->
+    let mt, ab = Manifest.floors m ~shard:t.id in
+    t.mt_floor <- min mt (Vlog.persisted t.vlog);
+    t.absorb_floor <-
+      (match ab with Some f -> Some (min f t.mt_floor) | None -> None)
+  | Some _ | None ->
+    t.mt_floor <- min t.mt_floor (Vlog.persisted t.vlog);
+    (match t.absorb_floor with
+    | Some f -> t.absorb_floor <- Some (min f t.mt_floor)
+    | None -> ()))
 
 let rec replay t clock key loc =
   match Memtable.put t.memtable clock key loc with

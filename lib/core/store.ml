@@ -3,6 +3,7 @@ module Device = Pmem_sim.Device
 module Types = Kv_common.Types
 module Vlog = Kv_common.Vlog
 module Hash = Kv_common.Hash
+module Fault_point = Kv_common.Fault_point
 
 let c_gc_relocations = Obs.Counters.counter "gc.relocations"
 let c_gc_reclaimed = Obs.Counters.counter "gc.reclaimed_bytes"
@@ -29,7 +30,7 @@ let create ?(cfg = Config.default) ?dev () =
     Vlog.create ~materialize:cfg.Config.materialize_values
       ~batch_bytes:cfg.Config.vlog_batch_bytes dev
   in
-  let manifest = Manifest.create dev in
+  let manifest = Manifest.create ~shards:cfg.Config.shards dev in
   { cfg;
     dev;
     vlog;
@@ -135,6 +136,7 @@ let crash t =
   Array.iter Shard.lose_volatile t.shards
 
 let recover t clock =
+  Fault_point.with_site Fault_point.Recovery @@ fun () ->
   Obs.Trace.begin_span clock ~cat:"recovery" "recover";
   let t0 = Clock.now clock in
   let marks = Array.map Shard.persisted_mark t.shards in
@@ -175,6 +177,7 @@ type gc_stats = {
 }
 
 let gc t clock ?(max_entries = 100_000) () =
+  Fault_point.with_site Fault_point.Gc @@ fun () ->
   Obs.Trace.begin_span clock ~cat:"gc" "gc";
   (* flush the open batch so the scan limit can include the current tail *)
   Vlog.flush t.vlog clock;
@@ -286,14 +289,33 @@ let check_invariants t =
   in
   go 0
 
-let handle t : Kv_common.Store_intf.handle =
-  { name = "ChameleonDB";
-    put = (fun clock key ~vlen -> put t clock key ~vlen);
-    get = (fun clock key -> get t clock key);
-    delete = (fun clock key -> delete t clock key);
-    flush = (fun clock -> flush_all t clock);
-    crash = (fun () -> crash t);
-    recover = (fun clock -> ignore (recover t clock));
-    dram_footprint = (fun () -> dram_footprint t);
-    device = t.dev;
-    vlog = t.vlog }
+let store ?(name = "ChameleonDB") t : Kv_common.Store_intf.store =
+  (module struct
+    let name = name
+    let put clock key ~vlen = put t clock key ~vlen
+    let get clock key = get t clock key
+    let delete clock key = delete t clock key
+    let flush clock = flush_all t clock
+    let maintenance clock = ignore (gc t clock ())
+    let crash () = crash t
+    let recover clock = ignore (recover t clock)
+    let check_invariants () = check_invariants t
+    let dram_footprint () = dram_footprint t
+    let pmem_footprint () = pmem_footprint t
+    let device = t.dev
+    let vlog = t.vlog
+
+    let fault_points =
+      Fault_point.
+        [ Foreground; Flush; Last_level_merge; Gc; Manifest_update;
+          Recovery ]
+      @ (match t.cfg.Config.compaction with
+        | Config.Direct -> [ Fault_point.Direct_compaction ]
+        | Config.Level_by_level -> [ Fault_point.Upper_compaction ])
+      @
+      if t.cfg.Config.gpm_enabled && t.cfg.Config.abi_enabled then
+        [ Fault_point.Abi_dump ]
+      else []
+  end)
+
+let handle t = Kv_common.Store_intf.to_handle (store t)

@@ -114,5 +114,11 @@ val totals : t -> totals
 
 val check_invariants : t -> (unit, string) result
 
+val store : ?name:string -> t -> Kv_common.Store_intf.store
+(** First-class store for the harness and the fault checker.
+    [maintenance] runs one {!gc} pass; [fault_points] reflects the
+    configuration (compaction flavour, GPM). *)
+
 val handle : t -> Kv_common.Store_intf.handle
-(** Uniform handle for the experiment harness. *)
+(** Deprecated record adapter ([Store_intf.to_handle] of {!store});
+    will be removed next PR. *)

@@ -1,0 +1,195 @@
+module Clock = Pmem_sim.Clock
+module Types = Kv_common.Types
+module Vlog = Kv_common.Vlog
+module Store_intf = Kv_common.Store_intf
+module Fault_point = Kv_common.Fault_point
+module Rng = Workload.Rng
+module Keyspace = Workload.Keyspace
+
+type outcome = {
+  store_name : string;
+  seed : int;
+  crashed : bool;
+  crash_site : Fault_point.site option;
+  crash_step : int;
+  recovery_crashed : bool;
+  violations : string list;
+}
+
+(* In-DRAM oracle: per-key history of (log location, is_delete), newest
+   first, recorded only for operations that COMPLETED before the crash.
+   Pruning at the post-crash [Vlog.persisted] watermark yields exactly the
+   state an honest store must expose: an acknowledged op whose record made
+   it below the watermark is durable; one above it is legitimately lost. *)
+type oracle = (Types.key, (int * bool) list) Hashtbl.t
+
+let oracle_record (o : oracle) key loc ~deleted =
+  let hist = Option.value ~default:[] (Hashtbl.find_opt o key) in
+  Hashtbl.replace o key ((loc, deleted) :: hist)
+
+let oracle_mem (o : oracle) key =
+  match Hashtbl.find_opt o key with
+  | Some ((_, deleted) :: _) -> not deleted
+  | Some [] | None -> false
+
+let oracle_prune (o : oracle) ~persisted =
+  Hashtbl.iter
+    (fun key hist ->
+      Hashtbl.replace o key
+        (List.filter (fun (loc, _) -> loc < persisted) hist))
+    (Hashtbl.copy o)
+
+let default_post_ops ops = ops / 4
+
+let run_case ~make ?(ops = 4_000) ?(universe = 400) ?crash_site ?crash_after
+    ?recovery_crash_after ?(tear = true) ?post_ops ~seed () =
+  let store = make () in
+  let name = Store_intf.name store in
+  let dev = Store_intf.device store in
+  let vlog = Store_intf.vlog store in
+  let inj = Injector.attach dev in
+  let rng = Rng.create ~seed in
+  let clock = Clock.create () in
+  let oracle : oracle = Hashtbl.create (2 * universe) in
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let crashed = ref false in
+  let crash_step = ref 0 in
+  let crash_site_fired = ref None in
+  let recovery_crashed = ref false in
+  (* [inflight] is the key of the operation currently executing; if the
+     crash interrupts it, that key becomes [ambiguous]: its pre- and post-op
+     states are both acceptable (the append may or may not have persisted),
+     so it is exempt from checks until a later COMPLETED write resolves it. *)
+  let inflight = ref None in
+  let ambiguous = ref None in
+  let crash_with_tear () =
+    if tear then Injector.set_tear inj ~seed ~keep_prob:0.5;
+    Store_intf.crash store;
+    Injector.clear_tear inj;
+    oracle_prune oracle ~persisted:(Vlog.persisted vlog)
+  in
+  let recover_once () = Store_intf.recover store clock in
+  (* Recovery, optionally crashing partway through it and recovering again:
+     a correct store's recovery must be idempotent under its own crash. *)
+  let recover () =
+    match recovery_crash_after with
+    | None -> recover_once ()
+    | Some k -> (
+      Injector.arm inj ~after:k ();
+      match recover_once () with
+      | () -> Injector.disarm inj
+      | exception Injector.Crash_injected ->
+        recovery_crashed := true;
+        crash_with_tear ();
+        recover_once ())
+  in
+  let check_key ~context key =
+    if !ambiguous <> Some key then begin
+      let expect = oracle_mem oracle key in
+      let got = Store_intf.get store clock key <> None in
+      if expect <> got then
+        violate "%s: key %Ld expected %s, store says %s" context key
+          (if expect then "present" else "absent")
+          (if got then "present" else "absent")
+    end
+  in
+  let verify_sweep ~context =
+    for i = 0 to universe - 1 do
+      check_key ~context (Keyspace.key_of_index i)
+    done;
+    match Store_intf.check_invariants store with
+    | Ok () -> ()
+    | Error msg -> violate "%s: invariant violated: %s" context msg
+  in
+  let run_op step =
+    let key = Keyspace.key_of_index (Rng.int rng universe) in
+    match Rng.int rng 20 with
+    | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 ->
+      inflight := Some key;
+      Store_intf.put store clock key ~vlen:8;
+      oracle_record oracle key (Vlog.length vlog - 1) ~deleted:false;
+      inflight := None;
+      if !ambiguous = Some key then ambiguous := None
+    | 9 | 10 ->
+      inflight := Some key;
+      Store_intf.delete store clock key;
+      oracle_record oracle key (Vlog.length vlog - 1) ~deleted:true;
+      inflight := None;
+      if !ambiguous = Some key then ambiguous := None
+    | _ -> check_key ~context:(Printf.sprintf "step %d" step) key
+  in
+  let drive lo hi =
+    let step = ref lo in
+    (try
+       while !step < hi do
+         incr step;
+         run_op !step;
+         if !step mod 701 = 0 then Store_intf.flush store clock;
+         if !step mod 907 = 0 then Store_intf.maintenance store clock
+       done
+     with
+    | Injector.Crash_injected ->
+      crashed := true;
+      crash_step := !step;
+      crash_site_fired := Injector.fired_site inj;
+      ambiguous := !inflight;
+      inflight := None;
+      crash_with_tear ();
+      recover ();
+      verify_sweep ~context:(Printf.sprintf "post-recovery (step %d)" !step)
+    | exn ->
+      violate "step %d: unexpected exception %s" !step
+        (Printexc.to_string exn));
+    !step
+  in
+  (match crash_site with
+  | Some site -> Injector.arm inj ~site ~after:(Option.value ~default:0 crash_after) ()
+  | None -> (
+    match crash_after with
+    | Some after -> Injector.arm inj ~after ()
+    | None -> ()));
+  let reached = drive 0 ops in
+  (* exercise the store after recovery: a correct store keeps serving and
+     stays consistent with the (pruned) oracle *)
+  if !crashed then begin
+    let extra = Option.value ~default:(default_post_ops ops) post_ops in
+    ignore (drive reached (reached + extra));
+    verify_sweep ~context:"post-crash workload"
+  end
+  else begin
+    (* no crash fired: still sweep so clean runs validate the oracle *)
+    verify_sweep ~context:"clean run"
+  end;
+  Injector.detach inj;
+  { store_name = name;
+    seed;
+    crashed = !crashed;
+    crash_site = !crash_site_fired;
+    crash_step = !crash_step;
+    recovery_crashed = !recovery_crashed;
+    violations = List.rev !violations }
+
+(* Run the identical workload with the injector only counting persist
+   events: the per-site totals enumerate every crash point a site offers. *)
+let profile ~make ?(ops = 4_000) ?(universe = 400) ~seed () =
+  let store = make () in
+  let dev = Store_intf.device store in
+  let inj = Injector.attach dev in
+  Injector.observe inj;
+  let rng = Rng.create ~seed in
+  let clock = Clock.create () in
+  for step = 1 to ops do
+    let key = Keyspace.key_of_index (Rng.int rng universe) in
+    (match Rng.int rng 20 with
+    | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 -> Store_intf.put store clock key ~vlen:8
+    | 9 | 10 -> Store_intf.delete store clock key
+    | _ -> ignore (Store_intf.get store clock key));
+    if step mod 701 = 0 then Store_intf.flush store clock;
+    if step mod 907 = 0 then Store_intf.maintenance store clock
+  done;
+  let counts = Injector.counts inj in
+  Injector.detach inj;
+  counts

@@ -1,0 +1,65 @@
+(* Deliberately broken stores used to prove the checker has teeth: each
+   mutant miscompiles one recovery rule, and test_fault asserts the sweep
+   flags it. *)
+
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module Types = Kv_common.Types
+module Vlog = Kv_common.Vlog
+module Robinhood = Kv_common.Robinhood
+module Fault_point = Kv_common.Fault_point
+
+(* A Dram-Hash clone whose recovery replays the persisted log NEWEST-first,
+   so the oldest record of each key wins: stale values reappear and deleted
+   keys resurrect whenever a key has several persisted records. *)
+let broken_replay () : Kv_common.Store_intf.store =
+  let dev = Device.create Pmem_sim.Cost_model.optane in
+  let vlog = Vlog.create dev in
+  let index = ref (Robinhood.create ()) in
+  (module struct
+    let name = "Broken-Replay"
+
+    let put clock key ~vlen =
+      let loc = Vlog.append vlog clock key ~vlen in
+      Robinhood.put !index clock key loc
+
+    let get clock key =
+      match Robinhood.get !index clock key with
+      | Some loc when not (Types.is_tombstone loc) ->
+        let k, _ = Vlog.read vlog clock loc in
+        if Int64.equal k key then Some loc else None
+      | Some _ | None -> None
+
+    let delete clock key =
+      let _loc = Vlog.append vlog clock key ~vlen:(-1) in
+      ignore (Robinhood.delete !index clock key)
+
+    let flush clock = Vlog.flush vlog clock
+    let maintenance _ = ()
+
+    let crash () =
+      Device.crash dev;
+      Vlog.crash vlog;
+      index := Robinhood.create ()
+
+    let recover clock =
+      Fault_point.with_site Fault_point.Recovery @@ fun () ->
+      let entries = ref [] in
+      Vlog.iter_range vlog clock ~lo:(Vlog.head vlog)
+        ~hi:(Vlog.persisted vlog) (fun loc key vlen ->
+          entries := (loc, key, vlen) :: !entries);
+      (* BUG: [entries] is already newest-first; a correct replay would
+         List.rev it so later records overwrite earlier ones *)
+      List.iter
+        (fun (loc, key, vlen) ->
+          if vlen < 0 then ignore (Robinhood.delete !index clock key)
+          else Robinhood.put !index clock key loc)
+        !entries
+
+    let check_invariants () = Ok ()
+    let dram_footprint () = Robinhood.footprint_bytes !index
+    let pmem_footprint () = Device.used_bytes dev
+    let device = dev
+    let vlog = vlog
+    let fault_points = Fault_point.[ Foreground; Recovery ]
+  end)

@@ -1,0 +1,8 @@
+(** Deliberately broken stores that the checker must reject — mutation
+    tests for the fault harness itself. *)
+
+val broken_replay : unit -> Kv_common.Store_intf.store
+(** A Dram-Hash clone whose recovery replays the persisted log in reversed
+    (newest-first) order, so the oldest record of each key wins.  Any sweep
+    that crashes after a key accumulates two persisted records must report
+    violations against it. *)

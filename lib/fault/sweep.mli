@@ -1,0 +1,65 @@
+(** Crash-point sweep: enumerate every fault-injection site a store
+    declares, crash at the first/middle/last persist event of each across a
+    seed matrix, and aggregate the checker verdicts. *)
+
+type case = {
+  c_store : string;
+  c_seed : int;
+  c_site : Kv_common.Fault_point.site;
+  c_after : int;
+  c_recovery_after : int option;
+}
+
+type failure = {
+  f_case : case;
+  f_violations : string list;
+}
+
+type verdict = {
+  v_store : string;
+  v_cases : int;
+  v_fired : int;
+  v_recovery_crashes : int;
+  v_failures : failure list;
+}
+
+val passed : verdict -> bool
+
+val repro_hint : case -> string
+(** The [ckv crash] command line that reproduces this exact case. *)
+
+val run_case_of :
+  make:(unit -> Kv_common.Store_intf.store) ->
+  ops:int ->
+  universe:int ->
+  tear:bool ->
+  case ->
+  Checker.outcome
+
+val run_store :
+  name:string ->
+  make:(unit -> Kv_common.Store_intf.store) ->
+  ?seeds:int list ->
+  ?per_site:int ->
+  ?ops:int ->
+  ?universe:int ->
+  ?tear:bool ->
+  ?sites:Kv_common.Fault_point.site list ->
+  unit ->
+  verdict
+(** Sweep one store.  Per seed: profile the workload's persist events, then
+    run one checker case per (site, first/middle/last event) pair, plus two
+    crash-during-recovery cases on the busiest site.  [sites] restricts the
+    sweep to a subset of the store's declared fault points. *)
+
+val export_failures :
+  make:(unit -> Kv_common.Store_intf.store) ->
+  ops:int ->
+  universe:int ->
+  tear:bool ->
+  dir:string ->
+  ?cap:int ->
+  verdict ->
+  string list
+(** Re-run up to [cap] violating cases under {!Obs.Trace} and write one
+    Chrome-trace JSON per case into [dir]; returns the paths written. *)

@@ -99,17 +99,17 @@ let fig2 scale =
           memtable_slots = 128;
           levels = 7 }
       in
-      let store = Baselines.Pmem_lsm.create ~cfg ~dev Baselines.Pmem_lsm.F in
-      let handle = Baselines.Pmem_lsm.handle store in
+      let lsm = Baselines.Pmem_lsm.create ~cfg ~dev Baselines.Pmem_lsm.F in
+      let store = Baselines.Pmem_lsm.store lsm in
       let n = scale.Stores.load_keys / 4 in
       let r =
-        Stores.load_unique ~handle ~threads:4 ~start_at:0.0 ~n
+        Stores.load_unique ~store ~threads:4 ~start_at:0.0 ~n
           ~vlen:scale.Stores.vlen
       in
       (* measure gets grouped by how many tables were consulted *)
       let by_depth = Hashtbl.create 16 in
       let clock =
-        Clock.create ~at:(Stores.settled_cursor ~handle r) ()
+        Clock.create ~at:(Stores.settled_cursor ~store r) ()
       in
       let rng = Workload.Rng.create ~seed:2 in
       for _ = 1 to scale.Stores.sweep_ops / 8 do
@@ -117,7 +117,7 @@ let fig2 scale =
           Workload.Keyspace.key_of_index (Workload.Rng.int rng n)
         in
         let t0 = Clock.now clock in
-        let _, depth = Baselines.Pmem_lsm.get_with_level store clock key in
+        let _, depth = Baselines.Pmem_lsm.get_with_level lsm clock key in
         let lat = Clock.now clock -. t0 in
         let sum, cnt =
           match Hashtbl.find_opt by_depth depth with
@@ -165,44 +165,44 @@ let collect_overall scale =
   let tmax = List.fold_left max 1 scale.Stores.threads in
   List.map
     (fun spec ->
-      let handle = spec.Stores.make () in
-      let before = Stats.copy (Device.stats handle.Store_intf.device) in
+      let store = spec.Stores.make () in
+      let before = Stats.copy (Device.stats (Store_intf.device store)) in
       let load =
-        Stores.load_unique ~handle ~threads:tmax ~start_at:0.0
+        Stores.load_unique ~store ~threads:tmax ~start_at:0.0
           ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
       in
-      let after = Stats.copy (Device.stats handle.Store_intf.device) in
+      let after = Stats.copy (Device.stats (Store_intf.device store)) in
       let delta = Stats.diff ~after ~before in
       (* snapshot sustained put throughput now: quiesce_at moves with later
          phases *)
-      let put_mops = Stores.sustained_mops ~handle load in
-      let cursor = Stores.settled_cursor ~handle load in
+      let put_mops = Stores.sustained_mops ~store load in
+      let cursor = Stores.settled_cursor ~store load in
       let gets =
-        Runner.run_ops ~handle ~threads:tmax ~start_at:cursor
+        Runner.run_ops ~store ~threads:tmax ~start_at:cursor
           ~ops:scale.Stores.sweep_ops
           ~next:
             (Stores.uniform_get_gen ~seed:11
                ~universe:scale.Stores.load_keys)
           ()
       in
-      let dram = handle.Store_intf.dram_footprint () in
+      let dram = Store_intf.dram_footprint store in
       (* crash from a dirty state: a tail of un-checkpointed puts, as after
          the paper's billion-key load *)
       let extra = scale.Stores.sweep_ops / 8 in
       let i = ref scale.Stores.load_keys in
       let dirty =
-        Runner.run_ops ~handle ~threads:tmax
-          ~start_at:(Stores.settled_cursor ~handle gets)
+        Runner.run_ops ~store ~threads:tmax
+          ~start_at:(Stores.settled_cursor ~store gets)
           ~ops:extra
           ~next:(fun () ->
             incr i;
             Types.Put (Workload.Keyspace.key_of_index !i, scale.Stores.vlen))
           ()
       in
-      let cursor = Stores.settled_cursor ~handle dirty in
-      handle.Store_intf.crash ();
+      let cursor = Stores.settled_cursor ~store dirty in
+      Store_intf.crash store;
       let rclock = Clock.create ~at:cursor () in
-      handle.Store_intf.recover rclock;
+      Store_intf.recover store rclock;
       let restart_ns = Clock.now rclock -. cursor in
       (* the paper's write amplification: media bytes per logical KV byte *)
       let logical_bytes =
@@ -295,12 +295,12 @@ let fig10 scale =
       let row =
         List.map
           (fun threads ->
-            let handle = spec.Stores.make () in
+            let store = spec.Stores.make () in
             let r =
-              Stores.load_unique ~handle ~threads ~start_at:0.0
+              Stores.load_unique ~store ~threads ~start_at:0.0
                 ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
             in
-            Table.cell_f (Stores.sustained_mops ~handle r))
+            Table.cell_f (Stores.sustained_mops ~store r))
           scale.Stores.threads
       in
       Table.add_row tbl (spec.Stores.name :: row))
@@ -355,9 +355,9 @@ let fig11 scale =
   let hists =
     List.map
       (fun spec ->
-        let handle = spec.Stores.make () in
+        let store = spec.Stores.make () in
         let r =
-          Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+          Stores.load_unique ~store ~threads:8 ~start_at:0.0
             ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
         in
         (spec.Stores.name, r.Runner.put_latency))
@@ -385,24 +385,24 @@ let fig12 scale =
   in
   List.iter
     (fun spec ->
-      let handle = spec.Stores.make () in
+      let store = spec.Stores.make () in
       let load =
-        Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+        Stores.load_unique ~store ~threads:8 ~start_at:0.0
           ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
       in
-      let cursor = ref (Stores.settled_cursor ~handle load) in
+      let cursor = ref (Stores.settled_cursor ~store load) in
       let row =
         List.map
           (fun threads ->
             let r =
-              Runner.run_ops ~handle ~threads ~start_at:!cursor
+              Runner.run_ops ~store ~threads ~start_at:!cursor
                 ~ops:scale.Stores.sweep_ops
                 ~next:
                   (Stores.uniform_get_gen ~seed:(threads + 77)
                      ~universe:scale.Stores.load_keys)
                 ()
             in
-            cursor := Stores.settled_cursor ~handle r;
+            cursor := Stores.settled_cursor ~store r;
             Table.cell_f (Runner.throughput_mops r))
           scale.Stores.threads
       in
@@ -420,14 +420,14 @@ let fig13 scale =
   let hists =
     List.map
       (fun spec ->
-        let handle = spec.Stores.make () in
+        let store = spec.Stores.make () in
         let load =
-          Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+          Stores.load_unique ~store ~threads:8 ~start_at:0.0
             ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
         in
         let r =
-          Runner.run_ops ~handle ~threads:1
-            ~start_at:(Stores.settled_cursor ~handle load)
+          Runner.run_ops ~store ~threads:1
+            ~start_at:(Stores.settled_cursor ~store load)
             ~ops:(scale.Stores.sweep_ops / 2)
             ~next:
               (Stores.uniform_get_gen ~seed:5
@@ -442,12 +442,12 @@ let fig13 scale =
   (* ChameleonDB's two-stage curve: hit-stage breakdown *)
   let cfg = Stores.chameleon_cfg scale in
   let db = Chameleondb.Store.create ~cfg () in
-  let handle = Chameleondb.Store.handle db in
+  let store = Chameleondb.Store.store db in
   let load =
-    Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+    Stores.load_unique ~store ~threads:8 ~start_at:0.0
       ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
   in
-  let clock = Clock.create ~at:(Stores.settled_cursor ~handle load) () in
+  let clock = Clock.create ~at:(Stores.settled_cursor ~store load) () in
   let rng = Workload.Rng.create ~seed:5 in
   let stages = Hashtbl.create 8 in
   for _ = 1 to scale.Stores.sweep_ops / 2 do
@@ -485,22 +485,22 @@ let fig14 scale =
     (fun spec ->
       List.iter
         (fun mix ->
-          let handle = spec.Stores.make () in
+          let store = spec.Stores.make () in
           let load =
-            Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+            Stores.load_unique ~store ~threads:8 ~start_at:0.0
               ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
           in
           let thr =
             match mix with
-            | Workload.Ycsb.Load -> Stores.sustained_mops ~handle load
+            | Workload.Ycsb.Load -> Stores.sustained_mops ~store load
             | _ ->
               let gen =
                 Workload.Ycsb.create ~seed:3 ~vlen:scale.Stores.vlen ~mix
                   ~loaded:scale.Stores.load_keys ()
               in
               let r =
-                Runner.run_ops ~handle ~threads:8
-                  ~start_at:(Stores.settled_cursor ~handle load)
+                Runner.run_ops ~store ~threads:8
+                  ~start_at:(Stores.settled_cursor ~store load)
                   ~ops:scale.Stores.sweep_ops
                   ~next:(fun () -> Workload.Ycsb.next gen)
                   ()
@@ -563,14 +563,14 @@ let fig15 scale =
     (fun (name, f) ->
       let cfg = f (Stores.chameleon_cfg scale) in
       let db = Chameleondb.Store.create ~cfg () in
-      let handle = Chameleondb.Store.handle db in
-      let before = Stats.copy (Device.stats handle.Store_intf.device) in
+      let store = Chameleondb.Store.store db in
+      let before = Stats.copy (Device.stats (Store_intf.device store)) in
       let i = ref 0 in
       let r =
         (* no clean shutdown: the crash below must find a dirty store; 16
            threads so the media (not the issuing cores) is the bottleneck
            that the modes relieve *)
-        Runner.run_ops ~handle ~threads:16 ~start_at:0.0
+        Runner.run_ops ~store ~threads:16 ~start_at:0.0
           ~ops:scale.Stores.load_keys
           ~next:(fun () ->
             let key = Workload.Keyspace.key_of_index !i in
@@ -578,7 +578,7 @@ let fig15 scale =
             Types.Put (key, scale.Stores.vlen))
           ()
       in
-      let after = Stats.copy (Device.stats handle.Store_intf.device) in
+      let after = Stats.copy (Device.stats (Store_intf.device store)) in
       let delta = Stats.diff ~after ~before in
       let log_bytes =
         float_of_int
@@ -587,7 +587,7 @@ let fig15 scale =
       in
       let index_media = delta.Stats.media_write_bytes -. log_bytes in
       let totals = Chameleondb.Store.totals db in
-      let put_mops = Stores.sustained_mops ~handle r in
+      let put_mops = Stores.sustained_mops ~store r in
       Chameleondb.Store.crash db;
       let rclock = Clock.create ~at:r.Runner.end_ns () in
       let restart = Chameleondb.Store.recover db rclock in
@@ -624,9 +624,9 @@ let fig16 scale =
   let burst = scale.Stores.load_keys / 4 / threads in
   List.iter
     (fun (name, make) ->
-      let handle = make () in
+      let store = make () in
       let load =
-        Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+        Stores.load_unique ~store ~threads:8 ~start_at:0.0
           ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
       in
       (* phase plan per thread: gets, burst puts, gets, burst puts, gets *)
@@ -668,8 +668,8 @@ let fig16 scale =
         end
       in
       let windows =
-        Timeline.run ~handle ~threads
-          ~start_at:(Stores.settled_cursor ~handle load)
+        Timeline.run ~store ~threads
+          ~start_at:(Stores.settled_cursor ~store load)
           ~window_ns:2_000_000.0 ~gen ()
       in
       let base_p99 =
@@ -745,13 +745,13 @@ let fig17 scale =
           scale)
          .Stores.make ());
       ("NoveLSM",
-       Baselines.Novelsm.handle
+       Baselines.Novelsm.store
          (Baselines.Novelsm.create ~memtable_cap:cap ~l0_runs:4 ~ratio:8 ()));
       ("MatrixKV",
        (* finer-grained column compactions: small L0, frequent leveled
           rewrites below — the paper measures MatrixKV writing even more
           media bytes than NoveLSM *)
-       Baselines.Matrixkv.handle
+       Baselines.Matrixkv.store
          (Baselines.Matrixkv.create
             ~memtable_cap:(max 512 (n / 64))
             ~l0_sublevels:2 ~ratio:8 ())) ]
@@ -774,26 +774,26 @@ let fig17 scale =
       let n = max 4_000 (write_budget / (16 + vlen)) in
       let nreads = max 2_000 (read_budget / (16 + vlen)) in
       List.iter
-        (fun (name, handle) ->
-          let before = Stats.copy (Device.stats handle.Store_intf.device) in
+        (fun (name, store) ->
+          let before = Stats.copy (Device.stats (Store_intf.device store)) in
           let load =
-            Stores.load_unique ~handle ~threads:1 ~start_at:0.0 ~n ~vlen
+            Stores.load_unique ~store ~threads:1 ~start_at:0.0 ~n ~vlen
           in
-          let mid = Stats.copy (Device.stats handle.Store_intf.device) in
+          let mid = Stats.copy (Device.stats (Store_intf.device store)) in
           let wdelta = Stats.diff ~after:mid ~before in
-          let put_kops = Stores.sustained_mops ~handle load *. 1000.0 in
+          let put_kops = Stores.sustained_mops ~store load *. 1000.0 in
           let put_duration =
-            Stores.settled_cursor ~handle load -. load.Runner.start_ns
+            Stores.settled_cursor ~store load -. load.Runner.start_ns
           in
           let gets =
-            Runner.run_ops ~handle ~threads:1
-              ~start_at:(Stores.settled_cursor ~handle load) ~ops:nreads
+            Runner.run_ops ~store ~threads:1
+              ~start_at:(Stores.settled_cursor ~store load) ~ops:nreads
               ~next:(Stores.uniform_get_gen ~seed:9 ~universe:n)
               ()
           in
           let rdelta =
             Stats.diff
-              ~after:(Stats.copy (Device.stats handle.Store_intf.device))
+              ~after:(Stats.copy (Device.stats (Store_intf.device store)))
               ~before:mid
           in
           Table.add_row tbl
@@ -866,15 +866,15 @@ let tab5 _scale =
 let wa_check scale =
   let cfg = Stores.chameleon_cfg scale in
   let db = Chameleondb.Store.create ~cfg () in
-  let handle = Chameleondb.Store.handle db in
-  let before = Stats.copy (Device.stats handle.Store_intf.device) in
+  let store = Chameleondb.Store.store db in
+  let before = Stats.copy (Device.stats (Store_intf.device store)) in
   let _ =
-    Stores.load_unique ~handle ~threads:4 ~start_at:0.0
+    Stores.load_unique ~store ~threads:4 ~start_at:0.0
       ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
   in
   let delta =
     Stats.diff
-      ~after:(Stats.copy (Device.stats handle.Store_intf.device))
+      ~after:(Stats.copy (Device.stats (Store_intf.device store)))
       ~before
   in
   let vlog = Chameleondb.Store.vlog db in
@@ -920,14 +920,14 @@ let abl_abi scale =
   List.iter
     (fun (name, f) ->
       let spec = Stores.chameleon ~f scale in
-      let handle = spec.Stores.make () in
+      let store = spec.Stores.make () in
       let load =
-        Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+        Stores.load_unique ~store ~threads:8 ~start_at:0.0
           ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
       in
       let r =
-        Runner.run_ops ~handle ~threads:8
-          ~start_at:(Stores.settled_cursor ~handle load)
+        Runner.run_ops ~store ~threads:8
+          ~start_at:(Stores.settled_cursor ~store load)
           ~ops:scale.Stores.sweep_ops
           ~next:(Stores.uniform_get_gen ~seed:4 ~universe:scale.Stores.load_keys)
           ()
@@ -959,7 +959,7 @@ let abl_shards scale =
   List.iter
     (fun (name, f) ->
       let spec = Stores.chameleon ~f scale in
-      let handle = spec.Stores.make () in
+      let store = spec.Stores.make () in
       let i = ref 0 in
       let n = scale.Stores.load_keys in
       let gen ~thread:_ ~now:_ =
@@ -971,7 +971,7 @@ let abl_shards scale =
         end
       in
       let windows =
-        Timeline.run ~handle ~threads:8 ~start_at:0.0 ~window_ns:1_000_000.0
+        Timeline.run ~store ~threads:8 ~start_at:0.0 ~window_ns:1_000_000.0
           ~gen ()
       in
       let rates =
@@ -1002,17 +1002,17 @@ let abl_bloom scale =
   List.iter
     (fun bits ->
       let cfg = Stores.chameleon_cfg scale in
-      let store =
+      let lsm =
         Baselines.Pmem_lsm.create ~cfg ~bloom_bits:bits Baselines.Pmem_lsm.F
       in
-      let handle = Baselines.Pmem_lsm.handle store in
+      let store = Baselines.Pmem_lsm.store lsm in
       let load =
-        Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+        Stores.load_unique ~store ~threads:8 ~start_at:0.0
           ~n:(scale.Stores.load_keys / 2) ~vlen:scale.Stores.vlen
       in
       let gets =
-        Runner.run_ops ~handle ~threads:8
-          ~start_at:(Stores.settled_cursor ~handle load)
+        Runner.run_ops ~store ~threads:8
+          ~start_at:(Stores.settled_cursor ~store load)
           ~ops:(scale.Stores.sweep_ops / 2)
           ~next:
             (Stores.uniform_get_gen ~seed:6
@@ -1021,7 +1021,7 @@ let abl_bloom scale =
       in
       Table.add_row tbl
         [ string_of_int bits;
-          Table.cell_f (Stores.sustained_mops ~handle load);
+          Table.cell_f (Stores.sustained_mops ~store load);
           Table.cell_f (Runner.throughput_mops gets);
           Table.cell_ns (Histogram.median gets.Runner.get_latency) ])
     [ 4; 8; 12; 16 ];
@@ -1103,15 +1103,15 @@ let abl_ratio scale =
           abi_slots_factor = 2 * r * r * r }
       in
       let db = Chameleondb.Store.create ~cfg () in
-      let handle = Chameleondb.Store.handle db in
-      let before = Stats.copy (Device.stats handle.Store_intf.device) in
+      let store = Chameleondb.Store.store db in
+      let before = Stats.copy (Device.stats (Store_intf.device store)) in
       let load =
-        Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+        Stores.load_unique ~store ~threads:8 ~start_at:0.0
           ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
       in
       let delta =
         Stats.diff
-          ~after:(Stats.copy (Device.stats handle.Store_intf.device))
+          ~after:(Stats.copy (Device.stats (Store_intf.device store)))
           ~before
       in
       let vlog = Chameleondb.Store.vlog db in
@@ -1122,10 +1122,10 @@ let abl_ratio scale =
         (delta.Stats.media_write_bytes -. log_bytes)
         /. float_of_int (scale.Stores.load_keys * 16)
       in
-      let put_mops = Stores.sustained_mops ~handle load in
+      let put_mops = Stores.sustained_mops ~store load in
       let gets =
-        Runner.run_ops ~handle ~threads:1
-          ~start_at:(Stores.settled_cursor ~handle load)
+        Runner.run_ops ~store ~threads:1
+          ~start_at:(Stores.settled_cursor ~store load)
           ~ops:(scale.Stores.sweep_ops / 4)
           ~next:(Stores.uniform_get_gen ~seed:8 ~universe:scale.Stores.load_keys)
           ()
@@ -1157,14 +1157,14 @@ let abl_batch scale =
         { (Stores.chameleon_cfg scale) with Config.vlog_batch_bytes = batch }
       in
       let db = Chameleondb.Store.create ~cfg () in
-      let handle = Chameleondb.Store.handle db in
+      let store = Chameleondb.Store.store db in
       let r =
-        Stores.load_unique ~handle ~threads:8 ~start_at:0.0
+        Stores.load_unique ~store ~threads:8 ~start_at:0.0
           ~n:(scale.Stores.load_keys / 2) ~vlen:scale.Stores.vlen
       in
       Table.add_row tbl
         [ Table.cell_bytes (float_of_int batch);
-          Table.cell_f (Stores.sustained_mops ~handle r);
+          Table.cell_f (Stores.sustained_mops ~store r);
           Table.cell_ns (Histogram.percentile r.Runner.put_latency 99.0);
           Table.cell_ns (Histogram.percentile r.Runner.put_latency 99.9) ])
     [ 256; 1024; 4096; 16384 ];
@@ -1188,15 +1188,15 @@ let abl_device scale =
     (fun (dev_name, profile) ->
       let run make =
         let dev = Device.create profile in
-        let handle = make dev in
+        let store = make dev in
         (* load past the compaction cycle so most keys live in the last
            level, as in the main experiments *)
         let load =
-          Stores.load_unique ~handle ~threads:4 ~start_at:0.0
+          Stores.load_unique ~store ~threads:4 ~start_at:0.0
             ~n:scale.Stores.load_keys ~vlen:scale.Stores.vlen
         in
-        Runner.run_ops ~handle ~threads:1
-          ~start_at:(Stores.settled_cursor ~handle load)
+        Runner.run_ops ~store ~threads:1
+          ~start_at:(Stores.settled_cursor ~store load)
           ~ops:(scale.Stores.sweep_ops / 8)
           ~next:
             (Stores.uniform_get_gen ~seed:14
@@ -1208,11 +1208,11 @@ let abl_device scale =
       in
       let cham =
         run (fun dev ->
-            Chameleondb.Store.handle (Chameleondb.Store.create ~cfg ~dev ()))
+            Chameleondb.Store.store (Chameleondb.Store.create ~cfg ~dev ()))
       in
       let f =
         run (fun dev ->
-            Baselines.Pmem_lsm.handle
+            Baselines.Pmem_lsm.store
               (Baselines.Pmem_lsm.create ~cfg ~dev Baselines.Pmem_lsm.F))
       in
       let kops r = Runner.throughput_mops r *. 1000.0 in

@@ -7,6 +7,7 @@ module Histogram = Metrics.Histogram
 
 type result = {
   ops : int;
+  seed : int option;
   start_ns : float;
   end_ns : float;
   latency : Histogram.t;
@@ -33,8 +34,8 @@ let min_clock_thread clocks alive =
     clocks;
   !best
 
-let run ~handle ~threads ~start_at ~gen () =
-  let dev = handle.Store_intf.device in
+let run ?seed ~store ~threads ~start_at ~gen () =
+  let dev = Store_intf.device store in
   let before = Stats.copy (Device.stats dev) in
   let attr_before = Obs.Attribution.snapshot () in
   let prev_threads = Device.active_threads dev in
@@ -56,7 +57,7 @@ let run ~handle ~threads ~start_at ~gen () =
     | Some op ->
       if Obs.Trace.enabled () then Obs.Trace.set_tid i;
       let t0 = Clock.now clock in
-      Store_intf.apply handle clock op;
+      Store_intf.apply store clock op;
       let lat = Clock.now clock -. t0 in
       Histogram.record latency lat;
       (match op with
@@ -70,6 +71,7 @@ let run ~handle ~threads ~start_at ~gen () =
     Array.fold_left (fun acc c -> Float.max acc (Clock.now c)) start_at clocks
   in
   { ops = !ops;
+    seed;
     start_ns = start_at;
     end_ns;
     latency;
@@ -80,7 +82,7 @@ let run ~handle ~threads ~start_at ~gen () =
       Obs.Attribution.diff ~after:(Obs.Attribution.snapshot ())
         ~before:attr_before }
 
-let run_ops ~handle ~threads ~start_at ~ops ~next () =
+let run_ops ?seed ~store ~threads ~start_at ~ops ~next () =
   let remaining = ref ops in
   let gen ~thread:_ ~now:_ =
     if !remaining <= 0 then None
@@ -89,7 +91,7 @@ let run_ops ~handle ~threads ~start_at ~ops ~next () =
       Some (next ())
     end
   in
-  run ~handle ~threads ~start_at ~gen ()
+  run ?seed ~store ~threads ~start_at ~gen ()
 
 (* Per-stage latency attribution table.  For each op kind the instrumented
    stage means must reconcile with the measured end-to-end mean; whatever

@@ -1,6 +1,6 @@
 (** Discrete-event multi-thread driver.
 
-    [threads] virtual clocks run against one store handle; at every step the
+    [threads] virtual clocks run against one store; at every step the
     thread with the smallest clock executes its next operation, so accesses
     to the shared device bandwidth servers are processed in global time
     order — throughput saturation and cross-thread interference emerge from
@@ -8,6 +8,10 @@
 
 type result = {
   ops : int;
+  seed : int option;
+      (** RNG seed the workload generator was built from, when the caller
+          supplied one — printed in reports so any run reproduces from a
+          single [--seed N] flag *)
   start_ns : float;
   end_ns : float;              (** max over thread clocks at completion *)
   latency : Metrics.Histogram.t;
@@ -23,19 +27,21 @@ val sim_ns : result -> float
 val throughput_mops : result -> float
 
 val run :
-  handle:Kv_common.Store_intf.handle ->
+  ?seed:int ->
+  store:Kv_common.Store_intf.store ->
   threads:int ->
   start_at:float ->
   gen:(thread:int -> now:float -> Kv_common.Types.op option) ->
   unit ->
   result
-(** Drive the handle until every thread's generator returns [None].  [gen]
+(** Drive the store until every thread's generator returns [None].  [gen]
     receives the issuing thread id and its current simulated time (so
     generators can be phase/burst aware).  The device's active-thread count
     is set for the duration of the run. *)
 
 val run_ops :
-  handle:Kv_common.Store_intf.handle ->
+  ?seed:int ->
+  store:Kv_common.Store_intf.store ->
   threads:int ->
   start_at:float ->
   ops:int ->

@@ -36,12 +36,12 @@ let chameleon_cfg scale =
     Config.shards = scale.shards;
     memtable_slots = scale.memtable_slots }
 
-type spec = { name : string; make : unit -> Store_intf.handle }
+type spec = { name : string; make : unit -> Store_intf.store }
 
-let chameleon ?(f = fun cfg -> cfg) scale =
-  { name = "ChameleonDB";
+let chameleon ?(f = fun cfg -> cfg) ?(name = "ChameleonDB") scale =
+  { name;
     make =
-      (fun () -> Chameleondb.Store.handle
+      (fun () -> Chameleondb.Store.store ~name
           (Chameleondb.Store.create ~cfg:(f (chameleon_cfg scale)) ())) }
 
 let all scale =
@@ -49,22 +49,22 @@ let all scale =
   [ chameleon scale;
     { name = "Pmem-LSM-PinK";
       make =
-        (fun () -> Baselines.Pmem_lsm.handle
+        (fun () -> Baselines.Pmem_lsm.store
             (Baselines.Pmem_lsm.create ~cfg Baselines.Pmem_lsm.Pink)) };
     { name = "Pmem-LSM-NF";
       make =
-        (fun () -> Baselines.Pmem_lsm.handle
+        (fun () -> Baselines.Pmem_lsm.store
             (Baselines.Pmem_lsm.create ~cfg Baselines.Pmem_lsm.Nf)) };
     { name = "Pmem-LSM-F";
       make =
-        (fun () -> Baselines.Pmem_lsm.handle
+        (fun () -> Baselines.Pmem_lsm.store
             (Baselines.Pmem_lsm.create ~cfg Baselines.Pmem_lsm.F)) };
     { name = "Pmem-Hash";
       make =
-        (fun () -> Baselines.Pmem_hash.handle (Baselines.Pmem_hash.create ())) };
+        (fun () -> Baselines.Pmem_hash.store (Baselines.Pmem_hash.create ())) };
     { name = "Dram-Hash";
       make =
-        (fun () -> Baselines.Dram_hash.handle (Baselines.Dram_hash.create ())) }
+        (fun () -> Baselines.Dram_hash.store (Baselines.Dram_hash.create ())) }
   ]
 
 let find scale name =
@@ -72,24 +72,24 @@ let find scale name =
   | Some s -> s
   | None -> invalid_arg ("Stores.find: unknown store " ^ name)
 
-let load_unique ~handle ~threads ~start_at ~n ~vlen =
+let load_unique ~store ~threads ~start_at ~n ~vlen =
   let i = ref 0 in
   let next () =
     let key = Workload.Keyspace.key_of_index !i in
     incr i;
     Types.Put (key, vlen)
   in
-  let r = Runner.run_ops ~handle ~threads ~start_at ~ops:n ~next () in
+  let r = Runner.run_ops ~store ~threads ~start_at ~ops:n ~next () in
   let clock = Pmem_sim.Clock.create ~at:r.Runner.end_ns () in
-  handle.Store_intf.flush clock;
+  Store_intf.flush store clock;
   r
 
-let settled_cursor ~handle r =
+let settled_cursor ~store r =
   Float.max r.Runner.end_ns
-    (Pmem_sim.Device.quiesce_at handle.Store_intf.device)
+    (Pmem_sim.Device.quiesce_at (Store_intf.device store))
 
-let sustained_mops ~handle r =
-  let ns = settled_cursor ~handle r -. r.Runner.start_ns in
+let sustained_mops ~store r =
+  let ns = settled_cursor ~store r -. r.Runner.start_ns in
   if ns <= 0.0 then 0.0 else float_of_int r.Runner.ops /. ns *. 1000.0
 
 let uniform_get_gen ~seed ~universe =

@@ -22,7 +22,7 @@ val chameleon_cfg : scale -> Chameleondb.Config.t
 
 type spec = {
   name : string;
-  make : unit -> Kv_common.Store_intf.handle;
+  make : unit -> Kv_common.Store_intf.store;
       (** fresh store on a fresh simulated device *)
 }
 
@@ -31,23 +31,25 @@ val all : scale -> spec list
     Pmem-LSM-NF, Pmem-LSM-F, Pmem-Hash, Dram-Hash. *)
 
 val chameleon :
-  ?f:(Chameleondb.Config.t -> Chameleondb.Config.t) -> scale -> spec
-(** ChameleonDB with a config tweak (modes, compaction scheme, ablations). *)
+  ?f:(Chameleondb.Config.t -> Chameleondb.Config.t) -> ?name:string ->
+  scale -> spec
+(** ChameleonDB with a config tweak (modes, compaction scheme, ablations);
+    [name] labels the variant in reports and the crash sweep. *)
 
 val find : scale -> string -> spec
 
 val load_unique :
-  handle:Kv_common.Store_intf.handle -> threads:int -> start_at:float ->
+  store:Kv_common.Store_intf.store -> threads:int -> start_at:float ->
   n:int -> vlen:int -> Runner.result
 (** Load [n] unique keys (indices [0, n)) and flush. *)
 
 val settled_cursor :
-  handle:Kv_common.Store_intf.handle -> Runner.result -> float
+  store:Kv_common.Store_intf.store -> Runner.result -> float
 (** Time to start the next measurement phase: past the run's end {e and}
     past any background device backlog it left behind. *)
 
 val sustained_mops :
-  handle:Kv_common.Store_intf.handle -> Runner.result -> float
+  store:Kv_common.Store_intf.store -> Runner.result -> float
 (** Throughput over the settled duration — the honest number for write
     workloads, where foreground clocks can finish while compaction backlog
     is still queued on the device. *)

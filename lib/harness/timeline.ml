@@ -23,8 +23,8 @@ type bucket = {
 let fresh_bucket () =
   { b_ops = 0; b_puts = 0; b_gets = 0; b_get_hist = Histogram.create () }
 
-let run ~handle ~threads ~start_at ~window_ns ~gen () =
-  let dev = handle.Store_intf.device in
+let run ~store ~threads ~start_at ~window_ns ~gen () =
+  let dev = Store_intf.device store in
   let prev_threads = Device.active_threads dev in
   Device.set_active_threads dev threads;
   let clocks = Array.init threads (fun _ -> Clock.create ~at:start_at ()) in
@@ -58,7 +58,7 @@ let run ~handle ~threads ~start_at ~window_ns ~gen () =
       decr nalive
     | Some op ->
       let t0 = Clock.now clock in
-      Store_intf.apply handle clock op;
+      Store_intf.apply store clock op;
       let t1 = Clock.now clock in
       let b = bucket_of t1 in
       b.b_ops <- b.b_ops + 1;

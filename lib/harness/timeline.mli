@@ -14,7 +14,7 @@ type window = {
 }
 
 val run :
-  handle:Kv_common.Store_intf.handle ->
+  store:Kv_common.Store_intf.store ->
   threads:int ->
   start_at:float ->
   window_ns:float ->

@@ -1,0 +1,42 @@
+type site =
+  | Foreground
+  | Flush
+  | Upper_compaction
+  | Direct_compaction
+  | Abi_dump
+  | Last_level_merge
+  | Gc
+  | Manifest_update
+  | Recovery
+
+let all =
+  [ Foreground; Flush; Upper_compaction; Direct_compaction; Abi_dump;
+    Last_level_merge; Gc; Manifest_update; Recovery ]
+
+let to_string = function
+  | Foreground -> "foreground"
+  | Flush -> "flush"
+  | Upper_compaction -> "upper-compaction"
+  | Direct_compaction -> "direct-compaction"
+  | Abi_dump -> "abi-dump"
+  | Last_level_merge -> "last-level-merge"
+  | Gc -> "gc"
+  | Manifest_update -> "manifest-update"
+  | Recovery -> "recovery"
+
+let of_string s =
+  List.find_opt (fun site -> to_string site = s) all
+
+(* The simulator is single-threaded (the multi-thread harness interleaves
+   virtual clocks, not OCaml threads), so one global stack is enough. *)
+let stack : site list ref = ref []
+
+let current () = match !stack with [] -> Foreground | s :: _ -> s
+
+let with_site site f =
+  stack := site :: !stack;
+  Fun.protect ~finally:(fun () ->
+      match !stack with [] -> () | _ :: tl -> stack := tl)
+    f
+
+let reset () = stack := []

@@ -1,0 +1,33 @@
+(** Persistence-site registry for crash fault injection.
+
+    Every code path that issues persist-class device operations declares
+    which logical site it is running under ([with_site]); the fault
+    injector reads [current ()] from the device persist hook to decide
+    whether the scheduled crash point has been reached.  Sites nest
+    (e.g. an ABI dump triggered from inside a flush reports [Abi_dump]);
+    the innermost site wins. *)
+
+type site =
+  | Foreground        (** no background site active: user op / vlog append *)
+  | Flush             (** MemTable flush into L0 (or baseline level 0) *)
+  | Upper_compaction  (** upper-level to upper-level compaction *)
+  | Direct_compaction (** ChameleonDB direct compaction (skip levels) *)
+  | Abi_dump          (** GPM dump of the ABI into the upper levels *)
+  | Last_level_merge  (** merge into the terminal KV-separated level *)
+  | Gc                (** value-log garbage collection *)
+  | Manifest_update   (** persisting manifest records (recovery floors) *)
+  | Recovery          (** post-crash recovery itself (for crash-during-recovery) *)
+
+val all : site list
+val to_string : site -> string
+val of_string : string -> site option
+
+val current : unit -> site
+(** Innermost active site, [Foreground] when none. *)
+
+val with_site : site -> (unit -> 'a) -> 'a
+(** Run [f] with [site] pushed; exception-safe (the injector unwinds
+    through these frames when it raises a crash). *)
+
+val reset : unit -> unit
+(** Clear the site stack.  Harness hygiene between independent runs. *)

@@ -1,21 +1,91 @@
+(* First-class store API.  Each store design packs itself as a
+   [(module STORE)]; the harness and the fault injector drive stores
+   through the accessor functions below without knowing the design. *)
+
+module type STORE = sig
+  val name : string
+  val put : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit
+  val get : Pmem_sim.Clock.t -> Types.key -> Types.loc option
+  val delete : Pmem_sim.Clock.t -> Types.key -> unit
+  val flush : Pmem_sim.Clock.t -> unit
+  val maintenance : Pmem_sim.Clock.t -> unit
+  val crash : unit -> unit
+  val recover : Pmem_sim.Clock.t -> unit
+  val check_invariants : unit -> (unit, string) result
+  val dram_footprint : unit -> float
+  val pmem_footprint : unit -> float
+  val device : Pmem_sim.Device.t
+  val vlog : Vlog.t
+  val fault_points : Fault_point.site list
+end
+
+type store = (module STORE)
+
+let name (module S : STORE) = S.name
+let put (module S : STORE) clock key ~vlen = S.put clock key ~vlen
+let get (module S : STORE) clock key = S.get clock key
+let delete (module S : STORE) clock key = S.delete clock key
+let flush (module S : STORE) clock = S.flush clock
+let maintenance (module S : STORE) clock = S.maintenance clock
+let crash (module S : STORE) = S.crash ()
+let recover (module S : STORE) clock = S.recover clock
+let check_invariants (module S : STORE) = S.check_invariants ()
+let dram_footprint (module S : STORE) = S.dram_footprint ()
+let pmem_footprint (module S : STORE) = S.pmem_footprint ()
+let device (module S : STORE) = S.device
+let vlog (module S : STORE) = S.vlog
+let fault_points (module S : STORE) = S.fault_points
+
+let apply (module S : STORE) clock (op : Types.op) =
+  match op with
+  | Types.Put (k, vlen) -> S.put clock k ~vlen
+  | Types.Get k -> ignore (S.get clock k)
+  | Types.Delete k -> S.delete clock k
+  | Types.Read_modify_write (k, vlen) ->
+    ignore (S.get clock k);
+    S.put clock k ~vlen
+
+(* Legacy record-of-closures handle, kept for one PR as a compat adapter. *)
+
 type handle = {
-  name : string;
-  put : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit;
-  get : Pmem_sim.Clock.t -> Types.key -> Types.loc option;
-  delete : Pmem_sim.Clock.t -> Types.key -> unit;
-  flush : Pmem_sim.Clock.t -> unit;
-  crash : unit -> unit;
-  recover : Pmem_sim.Clock.t -> unit;
-  dram_footprint : unit -> float;
-  device : Pmem_sim.Device.t;
-  vlog : Vlog.t;
+  hname : string;
+  hput : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit;
+  hget : Pmem_sim.Clock.t -> Types.key -> Types.loc option;
+  hdelete : Pmem_sim.Clock.t -> Types.key -> unit;
+  hflush : Pmem_sim.Clock.t -> unit;
+  hcrash : unit -> unit;
+  hrecover : Pmem_sim.Clock.t -> unit;
+  hdram_footprint : unit -> float;
+  hdevice : Pmem_sim.Device.t;
+  hvlog : Vlog.t;
 }
 
-let apply h clock (op : Types.op) =
-  match op with
-  | Types.Put (k, vlen) -> h.put clock k ~vlen
-  | Types.Get k -> ignore (h.get clock k)
-  | Types.Delete k -> h.delete clock k
-  | Types.Read_modify_write (k, vlen) ->
-    ignore (h.get clock k);
-    h.put clock k ~vlen
+let to_handle (module S : STORE) =
+  { hname = S.name;
+    hput = S.put;
+    hget = S.get;
+    hdelete = S.delete;
+    hflush = S.flush;
+    hcrash = S.crash;
+    hrecover = S.recover;
+    hdram_footprint = S.dram_footprint;
+    hdevice = S.device;
+    hvlog = S.vlog }
+
+let of_handle h : store =
+  (module struct
+    let name = h.hname
+    let put = h.hput
+    let get = h.hget
+    let delete = h.hdelete
+    let flush = h.hflush
+    let maintenance _ = ()
+    let crash = h.hcrash
+    let recover = h.hrecover
+    let check_invariants () = Ok ()
+    let dram_footprint = h.hdram_footprint
+    let pmem_footprint () = Pmem_sim.Device.used_bytes h.hdevice
+    let device = h.hdevice
+    let vlog = h.hvlog
+    let fault_points = [ Fault_point.Foreground ]
+  end)

@@ -1,26 +1,96 @@
-(** Uniform store handle used by the experiment harness.
+(** First-class store API.
 
-    Each store design (ChameleonDB and the five baselines) wraps itself in a
-    [handle]; the harness drives handles without knowing the design.  All
+    Each store design (ChameleonDB and the five baselines) packs itself as
+    a [(module STORE)] value; the harness, checker and fault injector drive
+    stores through the accessors below without knowing the design.  All
     operations charge simulated time to the supplied clock.  [get] includes
     reading the value payload from the log on a hit, as a real get must. *)
 
+module type STORE = sig
+  val name : string
+
+  val put : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit
+  val get : Pmem_sim.Clock.t -> Types.key -> Types.loc option
+  (** [None] for absent or deleted keys. *)
+
+  val delete : Pmem_sim.Clock.t -> Types.key -> unit
+
+  val flush : Pmem_sim.Clock.t -> unit
+  (** Push buffered state (log batch, MemTables) to the device. *)
+
+  val maintenance : Pmem_sim.Clock.t -> unit
+  (** One background-maintenance pass (value-log GC where the design has
+      it; a no-op otherwise).  The fault harness calls it to reach the
+      [Gc] crash site. *)
+
+  val crash : unit -> unit
+  (** Simulate power failure: volatile state is lost; unpersisted device
+      stores revert (or tear, see {!Pmem_sim.Device.set_tear}). *)
+
+  val recover : Pmem_sim.Clock.t -> unit
+  (** Rebuild to service-ready; the clock advance is the restart time.
+      Must be restartable: if interrupted by a crash, a following
+      [crash]+[recover] must converge to the same service-ready state. *)
+
+  val check_invariants : unit -> (unit, string) result
+  (** Structural self-check; the crash checker runs it after recovery. *)
+
+  val dram_footprint : unit -> float  (** resident DRAM bytes *)
+
+  val pmem_footprint : unit -> float  (** allocated device bytes *)
+
+  val device : Pmem_sim.Device.t
+  val vlog : Vlog.t
+
+  val fault_points : Fault_point.site list
+  (** Persistence sites this design actually executes; the crash sweep
+      enumerates exactly these. *)
+end
+
+type store = (module STORE)
+
+(** {1 Accessors} — call these rather than unpacking at every site. *)
+
+val name : store -> string
+val put : store -> Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit
+val get : store -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
+val delete : store -> Pmem_sim.Clock.t -> Types.key -> unit
+val flush : store -> Pmem_sim.Clock.t -> unit
+val maintenance : store -> Pmem_sim.Clock.t -> unit
+val crash : store -> unit
+val recover : store -> Pmem_sim.Clock.t -> unit
+val check_invariants : store -> (unit, string) result
+val dram_footprint : store -> float
+val pmem_footprint : store -> float
+val device : store -> Pmem_sim.Device.t
+val vlog : store -> Vlog.t
+val fault_points : store -> Fault_point.site list
+
+val apply : store -> Pmem_sim.Clock.t -> Types.op -> unit
+(** Run one workload operation against a store (RMW = get then put). *)
+
+(** {1 Deprecated record handle}
+
+    The pre-PR-2 record-of-closures interface.  It survives for one PR as
+    a thin adapter for downstream code; all in-repo call sites use
+    [store].  Construct one only via {!to_handle}.  Will be removed. *)
+
 type handle = {
-  name : string;
-  put : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit;
-  get : Pmem_sim.Clock.t -> Types.key -> Types.loc option;
-      (** [None] for absent or deleted keys. *)
-  delete : Pmem_sim.Clock.t -> Types.key -> unit;
-  flush : Pmem_sim.Clock.t -> unit;
-      (** Push buffered state (log batch, MemTables) to the device. *)
-  crash : unit -> unit;
-      (** Simulate power failure: volatile state is lost. *)
-  recover : Pmem_sim.Clock.t -> unit;
-      (** Rebuild to service-ready; the clock advance is the restart time. *)
-  dram_footprint : unit -> float;  (** resident DRAM bytes *)
-  device : Pmem_sim.Device.t;
-  vlog : Vlog.t;
+  hname : string;
+  hput : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit;
+  hget : Pmem_sim.Clock.t -> Types.key -> Types.loc option;
+  hdelete : Pmem_sim.Clock.t -> Types.key -> unit;
+  hflush : Pmem_sim.Clock.t -> unit;
+  hcrash : unit -> unit;
+  hrecover : Pmem_sim.Clock.t -> unit;
+  hdram_footprint : unit -> float;
+  hdevice : Pmem_sim.Device.t;
+  hvlog : Vlog.t;
 }
 
-val apply : handle -> Pmem_sim.Clock.t -> Types.op -> unit
-(** Run one workload operation against a handle (RMW = get then put). *)
+val to_handle : store -> handle
+(** Adapter for legacy consumers of the record interface. *)
+
+val of_handle : handle -> store
+(** Wrap a legacy handle as a [store]; [maintenance] is a no-op,
+    [check_invariants] always passes, [fault_points] is [[Foreground]]. *)

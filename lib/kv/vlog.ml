@@ -199,7 +199,44 @@ let iter_range t clock ~lo ~hi f =
     done
   end
 
+(* Torn-batch crash: with a tear function on the device, a crash while the
+   open batch streams toward the tail keeps whichever whole 256 B media
+   units reached the device.  An entry is recoverable only if every unit it
+   touches survived AND every earlier entry in the batch is recoverable —
+   log traversal stops at the first torn record (length-chained records
+   with per-record checksums cannot be walked past a hole), so the
+   surviving prefix simply extends [persisted_n]. *)
+let torn_survivors t =
+  match Device.tear t.dev with
+  | None -> t.persisted_n
+  | Some keep ->
+    let unit = (Device.profile t.dev).Pmem_sim.Cost_model.write_unit in
+    let base = bytes_upto t t.persisted_n in
+    let keep_memo = Hashtbl.create 16 in
+    let unit_kept u =
+      match Hashtbl.find_opt keep_memo u with
+      | Some r -> r
+      | None ->
+        let r = keep u in
+        Hashtbl.add keep_memo u r;
+        r
+    in
+    let rec extend loc off =
+      if loc >= t.n then loc
+      else begin
+        let off' = off + entry_bytes ~vlen:(vlen_at t loc) in
+        let u0 = (off - base) / unit and u1 = (off' - 1 - base) / unit in
+        let ok = ref true in
+        for u = u0 to u1 do
+          if not (unit_kept (base + (u * unit))) then ok := false
+        done;
+        if !ok then extend (loc + 1) off' else loc
+      end
+    in
+    extend t.persisted_n base
+
 let crash t =
+  if not t.fenced then t.persisted_n <- torn_survivors t;
   t.n <- t.persisted_n;
   t.open_batch_bytes <- 0;
   t.byte_offsets_dirty <- true;

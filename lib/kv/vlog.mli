@@ -94,7 +94,12 @@ val iter_range :
     of the byte range and the per-entry parse cost, then applies [f]. *)
 
 val crash : t -> unit
-(** Drop the unpersisted tail (entries beyond {!persisted}). *)
+(** Drop the unpersisted tail (entries beyond {!persisted}).  If the device
+    has a tear function installed ({!Pmem_sim.Device.set_tear}), the open
+    batch is instead truncated at 256 B media-unit granularity: the longest
+    prefix of whole entries whose units all survived the torn write extends
+    {!persisted} — entries past the first torn record are unreachable (log
+    traversal cannot walk past a hole) and are dropped. *)
 
 val dram_footprint : t -> float
 (** DRAM used by the open batch buffer. *)

@@ -43,6 +43,8 @@ type t = {
   read_srv : server;
   write_srv : server;
   mutable threads : int;
+  mutable persist_hook : (unit -> unit) option;
+  mutable tear : (int -> bool) option;
 }
 
 let create ?(capacity = 4 * 1024 * 1024) prof =
@@ -53,10 +55,22 @@ let create ?(capacity = 4 * 1024 * 1024) prof =
     pending = [];
     read_srv = { backlog = 0.0; last = 0.0 };
     write_srv = { backlog = 0.0; last = 0.0 };
-    threads = 1 }
+    threads = 1;
+    persist_hook = None;
+    tear = None }
 
 let profile t = t.prof
 let stats t = t.st
+
+let set_persist_hook t hook = t.persist_hook <- hook
+let set_tear t f = t.tear <- f
+let tear t = t.tear
+
+(* Fired at the START of every persist-class operation, so a hook that
+   raises models a crash just before the Nth durable write: everything
+   the operation was about to make durable is still volatile. *)
+let fire_persist_hook t =
+  match t.persist_hook with None -> () | Some hook -> hook ()
 let set_active_threads t n = t.threads <- max 1 n
 let active_threads t = t.threads
 
@@ -174,6 +188,7 @@ let charge_persist_range t clock ~off ~len =
 
 let persist t clock ~off ~len =
   if len > 0 then begin
+    fire_persist_hook t;
     charge_persist_range t clock ~off ~len;
     t.pending <- List.filter (fun p -> not (intersects p ~off ~len)) t.pending
   end
@@ -206,6 +221,7 @@ let read_bytes t clock ~off ~len ~hint =
 (* Accounting-only paths. *)
 
 let charge_append t clock ~len =
+  fire_persist_hook t;
   t.st.Stats.user_write_bytes <-
     t.st.Stats.user_write_bytes +. float_of_int len;
   t.st.Stats.media_write_bytes <-
@@ -215,11 +231,15 @@ let charge_append t clock ~len =
   queue_write t clock ~occupancy ~latency:t.prof.Cost_model.write_latency_ns
 
 let charge_write_random t clock ~len =
+  fire_persist_hook t;
   (* Model an isolated store at an arbitrary address: worst-case alignment. *)
   charge_persist_range t clock ~off:1 ~len
 
 let charge_write_at t clock ~off ~len =
-  if len > 0 then charge_persist_range t clock ~off ~len
+  if len > 0 then begin
+    fire_persist_hook t;
+    charge_persist_range t clock ~off ~len
+  end
 
 let charge_read_bytes t clock ~len ~hint = read_cost t clock ~len ~hint
 
@@ -231,9 +251,39 @@ let quiesce_at t =
 let peek_u64 t ~off = Bytes.get_int64_le t.mem off
 let peek_bytes t ~off ~len = Bytes.sub t.mem off len
 
+(* Crash semantics: unpersisted stores normally revert wholesale.  With a
+   tear function installed, survival is decided per media write unit —
+   modelling the 256 B (write_unit) atomicity of the media: a unit either
+   reached the media before power failed or it did not.  The decision is
+   memoised per unit so overlapping pendings see one coherent outcome;
+   reverted units restore undos newest-first (as in the untorn path) so the
+   final bytes are the oldest pre-image. *)
 let crash t =
+  let revert_unit =
+    match t.tear with
+    | None -> fun _ -> true
+    | Some keep ->
+      let memo = Hashtbl.create 16 in
+      fun u ->
+        (match Hashtbl.find_opt memo u with
+        | Some r -> r
+        | None ->
+          let r = not (keep u) in
+          Hashtbl.add memo u r;
+          r)
+  in
+  let unit = t.prof.Cost_model.write_unit in
   List.iter
-    (fun p -> Bytes.blit p.p_undo 0 t.mem p.p_off (Bytes.length p.p_undo))
+    (fun p ->
+      let len = Bytes.length p.p_undo in
+      let u0 = p.p_off / unit and u1 = (p.p_off + len - 1) / unit in
+      for u = u0 to u1 do
+        if revert_unit (u * unit) then begin
+          let lo = max p.p_off (u * unit) in
+          let hi = min (p.p_off + len) ((u + 1) * unit) in
+          Bytes.blit p.p_undo (lo - p.p_off) t.mem lo (hi - lo)
+        end
+      done)
     t.pending;
   t.pending <- []
 

@@ -104,7 +104,29 @@ val peek_bytes : t -> off:int -> len:int -> bytes
 val crash : t -> unit
 (** Power failure: every store not yet covered by a {!persist} is reverted to
     its previous contents.  Bandwidth servers and allocation are unaffected
-    (allocation metadata is assumed to be recoverable from the manifest). *)
+    (allocation metadata is assumed to be recoverable from the manifest).
+    With a tear function installed ({!set_tear}), survival of unpersisted
+    stores is instead decided per media write unit: the unit either reached
+    the media before power failed (kept) or it did not (reverted). *)
+
+val set_persist_hook : t -> (unit -> unit) option -> unit
+(** Install a hook fired at the start of every persist-class operation
+    ({!persist}, {!charge_append}, {!charge_write_random},
+    {!charge_write_at}).  The fault injector uses it to count durable
+    writes and to raise a crash exception just before the Nth one — at
+    that point nothing the interrupted operation meant to persist is
+    durable yet.  [None] uninstalls. *)
+
+val set_tear : t -> (int -> bool) option -> unit
+(** Install a torn-write decision function for the next {!crash}: given the
+    unit-aligned offset of a media write unit holding unpersisted stores,
+    return [true] to keep the new (unpersisted) bytes of that unit and
+    [false] to revert them.  Decisions are memoised per unit within one
+    crash.  [None] restores revert-everything semantics. *)
+
+val tear : t -> (int -> bool) option
+(** Currently installed tear function (the value log consults it so that a
+    torn crash truncates its open batch at the same granularity). *)
 
 val pending_ranges : t -> (int * int) list
 (** Offsets and lengths of currently unpersisted stores (for tests). *)

@@ -1,4 +1,4 @@
-(* Shared model-based checker: drives any store handle with a deterministic
+(* Shared model-based checker: drives any store with a deterministic
    random operation stream mirrored into a reference model, validating every
    get against it — including across crash/recovery, where the model rolls
    back exactly the entries whose log records were not yet persisted. *)
@@ -27,9 +27,9 @@ let model_crash m ~persisted =
       Hashtbl.replace m key (List.filter (fun (loc, _) -> loc < persisted) hist))
     (Hashtbl.copy m)
 
-let check_key handle clock m key ~context =
+let check_key store clock m key ~context =
   let expect = model_mem m key in
-  let got = handle.Store_intf.get clock key <> None in
+  let got = Store_intf.get store clock key <> None in
   if expect <> got then
     Alcotest.failf "%s: key %Ld expected %s, store says %s" context key
       (if expect then "present" else "absent")
@@ -37,7 +37,7 @@ let check_key handle clock m key ~context =
 
 (* Drive [ops] random operations (puts/updates/deletes/gets) over a key
    universe; optionally crash and recover every [crash_every] operations. *)
-let run ?(ops = 20_000) ?(universe = 2_000) ?crash_every ~seed handle =
+let run ?(ops = 20_000) ?(universe = 2_000) ?crash_every ~seed store =
   let rng = Workload.Rng.create ~seed in
   let m : model = Hashtbl.create (2 * universe) in
   let clock = Clock.create () in
@@ -46,22 +46,22 @@ let run ?(ops = 20_000) ?(universe = 2_000) ?crash_every ~seed handle =
     let key = key_at (Workload.Rng.int rng universe) in
     (match Workload.Rng.int rng 10 with
     | 0 | 1 | 2 | 3 | 4 ->
-      handle.Store_intf.put clock key ~vlen:8;
-      model_put m key (Vlog.length handle.Store_intf.vlog - 1) ~deleted:false
+      Store_intf.put store clock key ~vlen:8;
+      model_put m key (Vlog.length (Store_intf.vlog store) - 1) ~deleted:false
     | 5 ->
-      handle.Store_intf.delete clock key;
-      model_put m key (Vlog.length handle.Store_intf.vlog - 1) ~deleted:true
+      Store_intf.delete store clock key;
+      model_put m key (Vlog.length (Store_intf.vlog store) - 1) ~deleted:true
     | 6 | 7 | 8 | 9 ->
-      check_key handle clock m key ~context:(Printf.sprintf "step %d" step)
+      check_key store clock m key ~context:(Printf.sprintf "step %d" step)
     | _ -> assert false);
     (match crash_every with
     | Some n when step mod n = 0 ->
-      handle.Store_intf.crash ();
-      model_crash m ~persisted:(Vlog.persisted handle.Store_intf.vlog);
-      handle.Store_intf.recover clock
+      Store_intf.crash store;
+      model_crash m ~persisted:(Vlog.persisted (Store_intf.vlog store));
+      Store_intf.recover store clock
     | Some _ | None -> ())
   done;
   (* final sweep over the whole universe *)
   for i = 0 to universe - 1 do
-    check_key handle clock m (key_at i) ~context:"final sweep"
+    check_key store clock m (key_at i) ~context:"final sweep"
   done

@@ -11,72 +11,72 @@ let key i = Workload.Keyspace.key_of_index i
 let small_cfg = { Config.default with Config.shards = 4; memtable_slots = 32 }
 
 let lsm variant () =
-  Baselines.Pmem_lsm.handle (Baselines.Pmem_lsm.create ~cfg:small_cfg variant)
+  Baselines.Pmem_lsm.store (Baselines.Pmem_lsm.create ~cfg:small_cfg variant)
 
-let all_handles () =
+let all_stores () =
   [ lsm Baselines.Pmem_lsm.Nf ();
     lsm Baselines.Pmem_lsm.F ();
     lsm Baselines.Pmem_lsm.Pink ();
-    Baselines.Pmem_hash.handle (Baselines.Pmem_hash.create ());
-    Baselines.Dram_hash.handle (Baselines.Dram_hash.create ());
-    Baselines.Novelsm.handle
+    Baselines.Pmem_hash.store (Baselines.Pmem_hash.create ());
+    Baselines.Dram_hash.store (Baselines.Dram_hash.create ());
+    Baselines.Novelsm.store
       (Baselines.Novelsm.create ~memtable_cap:256 ~l0_runs:2 ());
-    Baselines.Matrixkv.handle
+    Baselines.Matrixkv.store
       (Baselines.Matrixkv.create ~memtable_cap:256 ~l0_sublevels:2 ()) ]
 
 (* -------------------------- Generic per-store checks --------------------- *)
 
-let crud_check (h : Store_intf.handle) =
+let crud_check (h : Store_intf.store) =
   let c = Clock.create () in
-  Alcotest.(check bool) (h.Store_intf.name ^ ": missing") true
-    (h.Store_intf.get c 1L = None);
-  h.Store_intf.put c 1L ~vlen:8;
-  Alcotest.(check bool) (h.Store_intf.name ^ ": present") true
-    (h.Store_intf.get c 1L <> None);
-  h.Store_intf.delete c 1L;
-  Alcotest.(check bool) (h.Store_intf.name ^ ": deleted") true
-    (h.Store_intf.get c 1L = None);
-  h.Store_intf.put c 1L ~vlen:8;
-  Alcotest.(check bool) (h.Store_intf.name ^ ": reinserted") true
-    (h.Store_intf.get c 1L <> None)
+  Alcotest.(check bool) ((Store_intf.name h) ^ ": missing") true
+    (Store_intf.get h c 1L = None);
+  Store_intf.put h c 1L ~vlen:8;
+  Alcotest.(check bool) ((Store_intf.name h) ^ ": present") true
+    (Store_intf.get h c 1L <> None);
+  Store_intf.delete h c 1L;
+  Alcotest.(check bool) ((Store_intf.name h) ^ ": deleted") true
+    (Store_intf.get h c 1L = None);
+  Store_intf.put h c 1L ~vlen:8;
+  Alcotest.(check bool) ((Store_intf.name h) ^ ": reinserted") true
+    (Store_intf.get h c 1L <> None)
 
-let test_all_crud () = List.iter crud_check (all_handles ())
+let test_all_crud () = List.iter crud_check (all_stores ())
 
-let bulk_check (h : Store_intf.handle) =
+let bulk_check (h : Store_intf.store) =
   let c = Clock.create () in
   let n = 8_000 in
   for i = 0 to n - 1 do
-    h.Store_intf.put c (key i) ~vlen:8
+    Store_intf.put h c (key i) ~vlen:8
   done;
   for i = 0 to n - 1 do
-    if h.Store_intf.get c (key i) = None then
-      Alcotest.failf "%s: key %d lost during load" h.Store_intf.name i
+    if Store_intf.get h c (key i) = None then
+      Alcotest.failf "%s: key %d lost during load" (Store_intf.name h) i
   done
 
-let test_all_bulk () = List.iter bulk_check (all_handles ())
+let test_all_bulk () = List.iter bulk_check (all_stores ())
 
-let crash_check (h : Store_intf.handle) =
+let crash_check (h : Store_intf.store) =
   let c = Clock.create () in
   let n = 4_000 in
   for i = 0 to n - 1 do
-    h.Store_intf.put c (key i) ~vlen:8
+    Store_intf.put h c (key i) ~vlen:8
   done;
-  h.Store_intf.crash ();
-  let persisted = Vlog.persisted h.Store_intf.vlog in
-  h.Store_intf.recover c;
+  Store_intf.crash h;
+  let persisted = Vlog.persisted (Store_intf.vlog h) in
+  Store_intf.recover h c;
   for i = 0 to persisted - 1 do
-    let k = Vlog.key_at h.Store_intf.vlog i in
-    if h.Store_intf.get c k = None then
+    let k = Vlog.key_at (Store_intf.vlog h) i in
+    if Store_intf.get h c k = None then
       Alcotest.failf "%s: persisted entry %d lost across crash"
-        h.Store_intf.name i
+        (Store_intf.name h) i
   done
 
-let test_all_crash_recover () = List.iter crash_check (all_handles ())
+let test_all_crash_recover () = List.iter crash_check (all_stores ())
 
 let test_all_model_checked () =
   List.iteri
     (fun i h -> Model_check.run ~ops:6_000 ~universe:600 ~seed:(50 + i) h)
-    (all_handles ())
+    (all_stores ())
 
 let test_model_with_crashes_lsm_family () =
   List.iteri
@@ -86,25 +86,25 @@ let test_model_with_crashes_lsm_family () =
     [ lsm Baselines.Pmem_lsm.Nf ();
       lsm Baselines.Pmem_lsm.F ();
       lsm Baselines.Pmem_lsm.Pink ();
-      Baselines.Dram_hash.handle (Baselines.Dram_hash.create ());
-      Baselines.Novelsm.handle
+      Baselines.Dram_hash.store (Baselines.Dram_hash.create ());
+      Baselines.Novelsm.store
         (Baselines.Novelsm.create ~memtable_cap:256 ~l0_runs:2 ());
-      Baselines.Matrixkv.handle
+      Baselines.Matrixkv.store
         (Baselines.Matrixkv.create ~memtable_cap:256 ~l0_sublevels:2 ()) ]
 
 let test_model_with_crashes_pmem_hash () =
   Model_check.run ~ops:4_000 ~universe:400 ~crash_every:1_000 ~seed:81
-    (Baselines.Pmem_hash.handle (Baselines.Pmem_hash.create ()))
+    (Baselines.Pmem_hash.store (Baselines.Pmem_hash.create ()))
 
 (* ----------------------------- Design signatures ------------------------- *)
 
 let test_pmem_hash_write_amplification () =
-  let h = Baselines.Pmem_hash.handle (Baselines.Pmem_hash.create ()) in
+  let h = Baselines.Pmem_hash.store (Baselines.Pmem_hash.create ()) in
   let c = Clock.create () in
   for i = 0 to 999 do
-    h.Store_intf.put c (key i) ~vlen:8
+    Store_intf.put h c (key i) ~vlen:8
   done;
-  let st = Device.stats h.Store_intf.device in
+  let st = Device.stats (Store_intf.device h) in
   let wa = st.Stats.media_write_bytes /. (1000.0 *. 24.0) in
   Alcotest.(check bool)
     (Printf.sprintf "Pmem-Hash logical WA %.1f > 10" wa)
@@ -114,25 +114,25 @@ let test_lsm_write_batching () =
   let h = lsm Baselines.Pmem_lsm.Nf () in
   let c = Clock.create () in
   for i = 0 to 9_999 do
-    h.Store_intf.put c (key i) ~vlen:8
+    Store_intf.put h c (key i) ~vlen:8
   done;
-  h.Store_intf.flush c;
-  let st = Device.stats h.Store_intf.device in
+  Store_intf.flush h c;
+  let st = Device.stats (Store_intf.device h) in
   (* batched index writes: device-level amplification stays ~1 *)
   Alcotest.(check bool) "no RMW amplification" true
     (Stats.write_amplification st < 1.1)
 
 let test_dram_hash_restart_scans_whole_log () =
   let mk n =
-    let h = Baselines.Dram_hash.handle (Baselines.Dram_hash.create ()) in
+    let h = Baselines.Dram_hash.store (Baselines.Dram_hash.create ()) in
     let c = Clock.create () in
     for i = 0 to n - 1 do
-      h.Store_intf.put c (key i) ~vlen:8
+      Store_intf.put h c (key i) ~vlen:8
     done;
-    h.Store_intf.flush c;
-    h.Store_intf.crash ();
+    Store_intf.flush h c;
+    Store_intf.crash h;
     let rc = Clock.create () in
-    h.Store_intf.recover rc;
+    Store_intf.recover h rc;
     Clock.now rc
   in
   let small = mk 2_000 and large = mk 20_000 in
@@ -148,11 +148,11 @@ let test_lsm_restart_is_bounded () =
     let h = lsm Baselines.Pmem_lsm.Nf () in
     let c = Clock.create () in
     for i = 0 to n - 1 do
-      h.Store_intf.put c (key i) ~vlen:8
+      Store_intf.put h c (key i) ~vlen:8
     done;
-    h.Store_intf.crash ();
+    Store_intf.crash h;
     let rc = Clock.create () in
-    h.Store_intf.recover rc;
+    Store_intf.recover h rc;
     Clock.now rc
   in
   let small = mk 4_000 and large = mk 40_000 in
@@ -166,9 +166,9 @@ let test_lsm_variant_footprints () =
     let h = lsm variant () in
     let c = Clock.create () in
     for i = 0 to 9_999 do
-      h.Store_intf.put c (key i) ~vlen:8
+      Store_intf.put h c (key i) ~vlen:8
     done;
-    h.Store_intf.dram_footprint ()
+    Store_intf.dram_footprint h
   in
   let nf = loaded Baselines.Pmem_lsm.Nf in
   let f = loaded Baselines.Pmem_lsm.F in
@@ -178,17 +178,17 @@ let test_lsm_variant_footprints () =
 
 let test_novelsm_memtable_in_pmem () =
   let store = Baselines.Novelsm.create ~memtable_cap:100_000 () in
-  let h = Baselines.Novelsm.handle store in
+  let h = Baselines.Novelsm.store store in
   let c = Clock.create () in
   let before =
-    (Device.stats h.Store_intf.device).Stats.media_write_bytes
+    (Device.stats (Store_intf.device h)).Stats.media_write_bytes
   in
   (* stays in the (in-Pmem) MemTable: no flush, yet heavy media writes *)
   for i = 0 to 999 do
-    h.Store_intf.put c (key i) ~vlen:8
+    Store_intf.put h c (key i) ~vlen:8
   done;
   let delta =
-    (Device.stats h.Store_intf.device).Stats.media_write_bytes -. before
+    (Device.stats (Store_intf.device h)).Stats.media_write_bytes -. before
   in
   Alcotest.(check bool) "skiplist writes amplified" true
     (delta > 1000.0 *. 256.0)
@@ -196,14 +196,14 @@ let test_novelsm_memtable_in_pmem () =
 let test_matrixkv_rowtable_traffic () =
   let mk_bytes sublevels =
     let h =
-      Baselines.Matrixkv.handle
+      Baselines.Matrixkv.store
         (Baselines.Matrixkv.create ~memtable_cap:128 ~l0_sublevels:sublevels ())
     in
     let c = Clock.create () in
     for i = 0 to 2_000 do
-      h.Store_intf.put c (key i) ~vlen:8
+      Store_intf.put h c (key i) ~vlen:8
     done;
-    (Device.stats h.Store_intf.device).Stats.media_write_bytes
+    (Device.stats (Store_intf.device h)).Stats.media_write_bytes
   in
   (* flushing more, smaller sublevels costs more RowTable metadata plus
      compaction rewrites *)
@@ -212,10 +212,10 @@ let test_matrixkv_rowtable_traffic () =
 
 let test_pmem_lsm_get_depth () =
   let store = Baselines.Pmem_lsm.create ~cfg:small_cfg Baselines.Pmem_lsm.Nf in
-  let h = Baselines.Pmem_lsm.handle store in
+  let h = Baselines.Pmem_lsm.store store in
   let c = Clock.create () in
   for i = 0 to 9_999 do
-    h.Store_intf.put c (key i) ~vlen:8
+    Store_intf.put h c (key i) ~vlen:8
   done;
   let deep = ref 0 in
   for i = 0 to 999 do
@@ -225,62 +225,62 @@ let test_pmem_lsm_get_depth () =
   done;
   Alcotest.(check bool) "multi-level probing happens" true (!deep > 0)
 
-let test_handles_have_names () =
-  let names = List.map (fun h -> h.Store_intf.name) (all_handles ()) in
+let test_stores_have_names () =
+  let names = List.map (fun h -> (Store_intf.name h)) (all_stores ()) in
   Alcotest.(check int) "distinct names" (List.length names)
     (List.length (List.sort_uniq compare names))
 
 
-let flush_durability_check (h : Store_intf.handle) =
+let flush_durability_check (h : Store_intf.store) =
   let c = Clock.create () in
   let n = 3_000 in
   for i = 0 to n - 1 do
-    h.Store_intf.put c (key i) ~vlen:8
+    Store_intf.put h c (key i) ~vlen:8
   done;
-  h.Store_intf.flush c;
+  Store_intf.flush h c;
   (* after an explicit flush, a crash must lose nothing *)
-  h.Store_intf.crash ();
-  h.Store_intf.recover c;
+  Store_intf.crash h;
+  Store_intf.recover h c;
   for i = 0 to n - 1 do
-    if h.Store_intf.get c (key i) = None then
-      Alcotest.failf "%s: key %d lost despite flush" h.Store_intf.name i
+    if Store_intf.get h c (key i) = None then
+      Alcotest.failf "%s: key %d lost despite flush" (Store_intf.name h) i
   done
 
 let test_all_flush_durability () =
-  List.iter flush_durability_check (all_handles ())
+  List.iter flush_durability_check (all_stores ())
 
 let test_repeated_crashes () =
   (* crash/recover cycles must be idempotent on a clean store *)
   List.iter
-    (fun (h : Store_intf.handle) ->
+    (fun (h : Store_intf.store) ->
       let c = Clock.create () in
       for i = 0 to 499 do
-        h.Store_intf.put c (key i) ~vlen:8
+        Store_intf.put h c (key i) ~vlen:8
       done;
-      h.Store_intf.flush c;
+      Store_intf.flush h c;
       for _ = 1 to 3 do
-        h.Store_intf.crash ();
-        h.Store_intf.recover c
+        Store_intf.crash h;
+        Store_intf.recover h c
       done;
       for i = 0 to 499 do
-        if h.Store_intf.get c (key i) = None then
+        if Store_intf.get h c (key i) = None then
           Alcotest.failf "%s: key %d lost across repeated crashes"
-            h.Store_intf.name i
+            (Store_intf.name h) i
       done)
-    (all_handles ())
+    (all_stores ())
 
 let test_update_semantics_all () =
   List.iter
-    (fun (h : Store_intf.handle) ->
+    (fun (h : Store_intf.store) ->
       let c = Clock.create () in
-      h.Store_intf.put c 9L ~vlen:8;
-      let l1 = h.Store_intf.get c 9L in
-      h.Store_intf.put c 9L ~vlen:8;
-      let l2 = h.Store_intf.get c 9L in
+      Store_intf.put h c 9L ~vlen:8;
+      let l1 = Store_intf.get h c 9L in
+      Store_intf.put h c 9L ~vlen:8;
+      let l2 = Store_intf.get h c 9L in
       Alcotest.(check bool)
-        (h.Store_intf.name ^ ": update yields newer location")
+        ((Store_intf.name h) ^ ": update yields newer location")
         true (l2 > l1))
-    (all_handles ())
+    (all_stores ())
 
 let () =
   Alcotest.run "baselines"
@@ -318,5 +318,5 @@ let () =
             test_matrixkv_rowtable_traffic;
           Alcotest.test_case "multi-level get depth" `Quick
             test_pmem_lsm_get_depth;
-          Alcotest.test_case "distinct handle names" `Quick
-            test_handles_have_names ] ) ]
+          Alcotest.test_case "distinct store names" `Quick
+            test_stores_have_names ] ) ]

@@ -455,25 +455,25 @@ let test_footprints () =
 
 let test_model_random_ops () =
   let db = mk () in
-  Model_check.run ~ops:15_000 ~universe:1_500 ~seed:11 (Store.handle db)
+  Model_check.run ~ops:15_000 ~universe:1_500 ~seed:11 (Store.store db)
 
 let test_model_with_crashes () =
   let db = mk () in
   Model_check.run ~ops:12_000 ~universe:1_000 ~crash_every:2_500 ~seed:23
-    (Store.handle db)
+    (Store.store db)
 
 let test_model_wim_with_crashes () =
   let cfg = { small_cfg with Config.write_intensive = true } in
   let db = mk ~cfg () in
   Model_check.run ~ops:12_000 ~universe:1_000 ~crash_every:3_000 ~seed:31
-    (Store.handle db)
+    (Store.store db)
 
 let prop_small_stores_vs_model =
   QCheck.Test.make ~name:"random op streams match model" ~count:12
     QCheck.small_int
     (fun seed ->
       let db = mk () in
-      Model_check.run ~ops:3_000 ~universe:400 ~seed (Store.handle db);
+      Model_check.run ~ops:3_000 ~universe:400 ~seed (Store.store db);
       true)
 
 

@@ -19,10 +19,10 @@ let key i = Workload.Keyspace.key_of_index i
 (* --------------------------------- Runner -------------------------------- *)
 
 let test_runner_counts_ops () =
-  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let store = (Stores.chameleon tiny_scale).Stores.make () in
   let i = ref 0 in
   let r =
-    Runner.run_ops ~handle ~threads:4 ~start_at:0.0 ~ops:1_000
+    Runner.run_ops ~store ~threads:4 ~start_at:0.0 ~ops:1_000
       ~next:(fun () ->
         incr i;
         Types.Put (key !i, 8))
@@ -38,9 +38,9 @@ let test_runner_counts_ops () =
     (Runner.throughput_mops r > 0.0)
 
 let test_runner_start_at () =
-  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let store = (Stores.chameleon tiny_scale).Stores.make () in
   let r =
-    Runner.run_ops ~handle ~threads:1 ~start_at:5e6 ~ops:10
+    Runner.run_ops ~store ~threads:1 ~start_at:5e6 ~ops:10
       ~next:(fun () -> Types.Get 1L)
       ()
   in
@@ -48,7 +48,7 @@ let test_runner_start_at () =
   Alcotest.(check bool) "end after start" true (r.Runner.end_ns > 5e6)
 
 let test_runner_generator_driven () =
-  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let store = (Stores.chameleon tiny_scale).Stores.make () in
   (* each thread issues a fixed budget, then retires *)
   let budget = Array.make 3 100 in
   let gen ~thread ~now:_ =
@@ -58,14 +58,14 @@ let test_runner_generator_driven () =
       Some (Types.Put (key (thread * 1000 + budget.(thread)), 8))
     end
   in
-  let r = Runner.run ~handle ~threads:3 ~start_at:0.0 ~gen () in
+  let r = Runner.run ~store ~threads:3 ~start_at:0.0 ~gen () in
   Alcotest.(check int) "per-thread budgets honoured" 300 r.Runner.ops
 
 let test_runner_splits_get_put () =
-  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let store = (Stores.chameleon tiny_scale).Stores.make () in
   let i = ref 0 in
   let r =
-    Runner.run_ops ~handle ~threads:2 ~start_at:0.0 ~ops:100
+    Runner.run_ops ~store ~threads:2 ~start_at:0.0 ~ops:100
       ~next:(fun () ->
         incr i;
         if !i mod 2 = 0 then Types.Get (key !i) else Types.Put (key !i, 8))
@@ -75,11 +75,11 @@ let test_runner_splits_get_put () =
   Alcotest.(check int) "puts" 50 (Metrics.Histogram.count r.Runner.put_latency)
 
 let test_runner_restores_thread_count () =
-  let handle = (Stores.chameleon tiny_scale).Stores.make () in
-  let dev = handle.Store_intf.device in
+  let store = (Stores.chameleon tiny_scale).Stores.make () in
+  let dev = (Store_intf.device store) in
   Pmem_sim.Device.set_active_threads dev 3;
   let _ =
-    Runner.run_ops ~handle ~threads:8 ~start_at:0.0 ~ops:10
+    Runner.run_ops ~store ~threads:8 ~start_at:0.0 ~ops:10
       ~next:(fun () -> Types.Get 1L)
       ()
   in
@@ -88,7 +88,7 @@ let test_runner_restores_thread_count () =
 (* -------------------------------- Timeline ------------------------------- *)
 
 let test_timeline_windows () =
-  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let store = (Stores.chameleon tiny_scale).Stores.make () in
   let remaining = ref 5_000 in
   let gen ~thread:_ ~now:_ =
     if !remaining = 0 then None
@@ -98,7 +98,7 @@ let test_timeline_windows () =
     end
   in
   let windows =
-    Timeline.run ~handle ~threads:2 ~start_at:0.0 ~window_ns:100_000.0 ~gen ()
+    Timeline.run ~store ~threads:2 ~start_at:0.0 ~window_ns:100_000.0 ~gen ()
   in
   Alcotest.(check bool) "has windows" true (List.length windows > 1);
   let total = List.fold_left (fun a w -> a + w.Timeline.ops) 0 windows in
@@ -126,7 +126,7 @@ let test_stores_zoo () =
     (fun spec ->
       let h = spec.Stores.make () in
       Alcotest.(check string) "name matches" spec.Stores.name
-        h.Store_intf.name)
+        (Store_intf.name h))
     specs;
   Alcotest.(check bool) "find works" true
     ((Stores.find tiny_scale "Dram-Hash").Stores.name = "Dram-Hash");
@@ -137,23 +137,23 @@ let test_stores_zoo () =
      with Invalid_argument _ -> true)
 
 let test_load_unique () =
-  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let store = (Stores.chameleon tiny_scale).Stores.make () in
   let r =
-    Stores.load_unique ~handle ~threads:2 ~start_at:0.0 ~n:500 ~vlen:8
+    Stores.load_unique ~store ~threads:2 ~start_at:0.0 ~n:500 ~vlen:8
   in
   Alcotest.(check int) "loaded" 500 r.Runner.ops;
-  let c = Clock.create ~at:(Stores.settled_cursor ~handle r) () in
+  let c = Clock.create ~at:(Stores.settled_cursor ~store r) () in
   for i = 0 to 499 do
-    if handle.Store_intf.get c (key i) = None then
+    if Store_intf.get store c (key i) = None then
       Alcotest.failf "key %d missing after load" i
   done
 
 let test_settled_cursor_past_backlog () =
-  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let store = (Stores.chameleon tiny_scale).Stores.make () in
   let r =
-    Stores.load_unique ~handle ~threads:2 ~start_at:0.0 ~n:2_000 ~vlen:8
+    Stores.load_unique ~store ~threads:2 ~start_at:0.0 ~n:2_000 ~vlen:8
   in
-  let cursor = Stores.settled_cursor ~handle r in
+  let cursor = Stores.settled_cursor ~store r in
   Alcotest.(check bool) "cursor >= end" true (cursor >= r.Runner.end_ns)
 
 let test_uniform_get_gen () =
@@ -193,10 +193,10 @@ let test_experiment_smoke () =
   Experiments.run_ids ~scale:tiny_scale [ "tab1"; "tab5" ]
 
 let test_summary_of_result () =
-  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let store = (Stores.chameleon tiny_scale).Stores.make () in
   (* enough entries that log batches persist within the measured run *)
   let r =
-    Stores.load_unique ~handle ~threads:1 ~start_at:0.0 ~n:400 ~vlen:8
+    Stores.load_unique ~store ~threads:1 ~start_at:0.0 ~n:400 ~vlen:8
   in
   let s = Runner.summary ~name:"x" ~user_bytes:9600.0 r in
   Alcotest.(check bool) "throughput carried" true
@@ -212,14 +212,14 @@ let test_trace_through_runner () =
     Workload.Trace.record ~n:2_000 ~gen:(fun () -> Workload.Ycsb.next g)
   in
   let run () =
-    let handle = (Stores.chameleon tiny_scale).Stores.make () in
+    let store = (Stores.chameleon tiny_scale).Stores.make () in
     let load =
-      Stores.load_unique ~handle ~threads:2 ~start_at:0.0 ~n:500 ~vlen:8
+      Stores.load_unique ~store ~threads:2 ~start_at:0.0 ~n:500 ~vlen:8
     in
     let next = Workload.Trace.replayer t in
     let r =
-      Runner.run ~handle ~threads:4
-        ~start_at:(Stores.settled_cursor ~handle load)
+      Runner.run ~store ~threads:4
+        ~start_at:(Stores.settled_cursor ~store load)
         ~gen:(fun ~thread:_ ~now:_ -> next ())
         ()
     in
@@ -239,9 +239,9 @@ let test_uniform_get_gen_deterministic () =
   done
 
 let test_runner_empty_generators () =
-  let handle = (Stores.chameleon tiny_scale).Stores.make () in
+  let store = (Stores.chameleon tiny_scale).Stores.make () in
   let r =
-    Runner.run ~handle ~threads:4 ~start_at:0.0
+    Runner.run ~store ~threads:4 ~start_at:0.0
       ~gen:(fun ~thread:_ ~now:_ -> None)
       ()
   in

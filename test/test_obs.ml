@@ -85,7 +85,7 @@ let test_counters_basics () =
   Counters.add b 2.5;
   Alcotest.(check (float 1e-9)) "a" 2.0 (Counters.value a);
   Alcotest.(check (float 1e-9)) "b" 2.5 (Counters.value b);
-  Alcotest.(check bool) "same handle" true (Counters.counter "test.a" == a);
+  Alcotest.(check bool) "same store" true (Counters.counter "test.a" == a);
   Alcotest.(check bool) "find" true (Counters.find "test.a" = Some 2.0)
 
 let test_counters_reset_between_runs () =
@@ -247,17 +247,17 @@ let test_attribution_reconciles_with_latency () =
   Attribution.enable ();
   let scale = Harness.Stores.quick in
   let spec = Harness.Stores.find scale "ChameleonDB" in
-  let handle = spec.Harness.Stores.make () in
+  let store = spec.Harness.Stores.make () in
   let load =
-    Harness.Stores.load_unique ~handle ~threads:4 ~start_at:0.0 ~n:20_000
+    Harness.Stores.load_unique ~store ~threads:4 ~start_at:0.0 ~n:20_000
       ~vlen:8
   in
   let gen =
     Workload.Ycsb.create ~mix:Workload.Ycsb.A ~loaded:20_000 ()
   in
   let r =
-    Harness.Runner.run_ops ~handle ~threads:4
-      ~start_at:(Harness.Stores.settled_cursor ~handle load)
+    Harness.Runner.run_ops ~store ~threads:4
+      ~start_at:(Harness.Stores.settled_cursor ~store load)
       ~ops:10_000
       ~next:(fun () -> Workload.Ycsb.next gen)
       ()

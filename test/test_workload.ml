@@ -306,10 +306,10 @@ let test_trace_drives_store () =
         memtable_slots = 32 }
     in
     let db = Chameleondb.Store.create ~cfg () in
-    let handle = Chameleondb.Store.handle db in
+    let store = Chameleondb.Store.store db in
     let clock = Pmem_sim.Clock.create () in
     Workload.Trace.iter t (fun op ->
-        Kv_common.Store_intf.apply handle clock op);
+        Kv_common.Store_intf.apply store clock op);
     Pmem_sim.Clock.now clock
   in
   Alcotest.(check (float 0.0)) "deterministic simulated time" (run ()) (run ())
