@@ -8,6 +8,7 @@
 open Cmdliner
 module Store_intf = Kv_common.Store_intf
 module Table = Metrics.Table_fmt
+module Proto = Service.Proto
 
 let scale_of_quick quick =
   if quick then Harness.Stores.quick else Harness.Stores.default
@@ -316,6 +317,60 @@ let run_crash store seeds seed ops universe per_site no_tear site at
     Table.print tbl);
   if !violations > 0 then exit 1
 
+(* --------------------------- serve / client ------------------------------ *)
+
+let run_serve store path max_requests quick =
+  let scale = scale_of_quick quick in
+  let clock = Pmem_sim.Clock.create () in
+  let backend =
+    if store = "ChameleonDB" then
+      (* the real path materializes values so gets return payloads *)
+      let cfg =
+        { (Harness.Stores.chameleon_cfg scale) with
+          Chameleondb.Config.materialize_values = true }
+      in
+      Service.Endpoint.backend_of_chameleon ~clock
+        (Chameleondb.Store.create ~cfg ())
+    else
+      Service.Endpoint.backend_of_store ~clock
+        ((Harness.Stores.find scale store).Harness.Stores.make ())
+  in
+  let max_requests = Option.value max_requests ~default:max_int in
+  let served =
+    Service.Endpoint.serve ~max_requests
+      ~on_ready:(fun () ->
+        Printf.printf "ckv serve: %s listening on %s\n%!" store path)
+      ~path backend
+  in
+  Printf.printf "ckv serve: done after %d request(s)\n" served
+
+let run_client path script =
+  let key s =
+    match Int64.of_string_opt s with
+    | Some k -> k
+    | None -> failwith ("client: bad key " ^ s)
+  in
+  let c = Service.Endpoint.connect path in
+  let show = function
+    | Proto.Value v -> Printf.printf "value %s\n" (Bytes.to_string v)
+    | r -> Format.printf "%a@." Proto.pp_reply r
+  in
+  let rec go = function
+    | [] -> ()
+    | "put" :: k :: v :: rest ->
+      show (Service.Endpoint.request c (Proto.Put (key k, Bytes.of_string v)));
+      go rest
+    | "get" :: k :: rest ->
+      show (Service.Endpoint.request c (Proto.Get (key k)));
+      go rest
+    | "del" :: k :: rest ->
+      show (Service.Endpoint.request c (Proto.Delete (key k)));
+      go rest
+    | op :: _ -> failwith ("client: unknown op " ^ op)
+  in
+  go script;
+  Service.Endpoint.close c
+
 (* ------------------------------ bench command ---------------------------- *)
 
 let run_bench ids quick =
@@ -513,6 +568,39 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Load a store and dump its internal state")
     Term.(const run_inspect $ keys $ quick_arg)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/ckv.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let max_requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Exit after answering $(docv) requests (default: serve \
+                forever).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a store over a Unix-domain socket (wire protocol)")
+    Term.(const run_serve $ store_arg $ socket_arg $ max_requests $ quick_arg)
+
+let client_cmd =
+  let script =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"OP"
+          ~doc:
+            "Operations, in order: $(b,put KEY VALUE), $(b,get KEY), \
+             $(b,del KEY).")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Send requests to a running ckv serve")
+    Term.(const run_client $ socket_arg $ script)
+
 let list_cmd =
   Cmd.v
     (Cmd.info "list" ~doc:"List experiments and stores")
@@ -525,4 +613,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ load_cmd; ycsb_cmd; bench_cmd; crash_cmd; trace_cmd; inspect_cmd;
-         list_cmd ]))
+         serve_cmd; client_cmd; list_cmd ]))

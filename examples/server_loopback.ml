@@ -1,0 +1,90 @@
+(* Serving-layer loopback: encode requests to wire bytes, push them through
+   the simulated server (decode -> admission -> queue -> workers -> reply),
+   and read the coordinated-omission-free service latency out the other end.
+
+   The scenario is a small open-loop version of Fig. 16: a steady Poisson
+   stream of gets shares the server with a square wave of put bursts.  Run
+   once unprotected and once with Get-Protect Mode plus admission control.
+
+   Run with:  dune exec examples/server_loopback.exe *)
+
+module Store = Chameleondb.Store
+module Config = Chameleondb.Config
+module Clock = Pmem_sim.Clock
+module Table = Metrics.Table_fmt
+module Histogram = Metrics.Histogram
+
+let loaded = 60_000
+let workers = 4
+
+let run_with ~protect =
+  let cfg =
+    { Config.default with Config.shards = 16; gpm_enabled = protect }
+  in
+  let db = Store.create ~cfg () in
+  let store = Store.store db in
+  let load =
+    Harness.Stores.load_unique ~store ~threads:workers ~start_at:0.0 ~n:loaded
+      ~vlen:8
+  in
+  let t0 = Harness.Stores.settled_cursor ~store load in
+  (* 2 ms of offered load: gets at 2 Mreq/s all along, puts bursting to
+     4 Mreq/s for a quarter of each 0.5 ms period *)
+  let gets =
+    Service.Loadgen.open_loop ~seed:1 ~conns:4
+      ~process:(Service.Loadgen.Poisson { rate_mops = 2.0 })
+      ~reqgen:(Service.Loadgen.mixed_reqgen ~n_keys:loaded ~get_frac:1.0 ~vlen:8)
+      ~duration_ns:2_000_000.0 ~start_at:t0 ()
+  in
+  let puts =
+    Service.Loadgen.open_loop ~seed:2 ~conns:4 ~conn_base:100
+      ~process:
+        (Service.Loadgen.Square
+           { base_mops = 0.2; burst_mops = 10.0; period_ns = 500_000.0;
+             duty = 0.25 })
+      ~reqgen:(Service.Loadgen.mixed_reqgen ~n_keys:loaded ~get_frac:0.0 ~vlen:8)
+      ~duration_ns:2_000_000.0 ~start_at:t0 ()
+  in
+  let admission =
+    if protect then
+      Some
+        (Service.Admission.create ~signals:(Store.signals db) ~burst:256.0
+           ~rate_mops:1.0 ())
+    else None
+  in
+  Service.Server.run ?admission ~sched:Service.Server.Shard_affinity ~store
+    ~workers ~start_at:t0
+    ~arrivals:(Service.Loadgen.merge [ gets; puts ])
+    ()
+
+let () =
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "loopback serving: %d workers, open-loop gets + put bursts" workers)
+      ~columns:
+        [ ("configuration", Table.Left); ("requests", Table.Right);
+          ("shed", Table.Right); ("get p50", Table.Right);
+          ("get p99", Table.Right); ("get p99.9", Table.Right);
+          ("max queue", Table.Right) ]
+  in
+  let row name s =
+    Table.add_row tbl
+      [ name;
+        string_of_int s.Service.Server.submitted;
+        Printf.sprintf "%.1f%%" (100.0 *. Service.Server.shed_rate s);
+        Table.cell_ns (Histogram.percentile s.Service.Server.get_service 50.0);
+        Table.cell_ns (Histogram.percentile s.Service.Server.get_service 99.0);
+        Table.cell_ns (Histogram.percentile s.Service.Server.get_service 99.9);
+        string_of_int s.Service.Server.max_depth ]
+  in
+  let plain = run_with ~protect:false in
+  let protected_ = run_with ~protect:true in
+  row "unprotected" plain;
+  row "GPM + admission" protected_;
+  Table.print tbl;
+  Printf.printf
+    "\nService latency is measured from each request's intended arrival, so\n\
+     the unprotected burst windows show the full queueing delay; protection\n\
+     sheds part of the bursts and keeps the get tail flat.\n"

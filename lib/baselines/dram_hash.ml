@@ -91,4 +91,3 @@ let store t : Kv_common.Store_intf.store =
     let fault_points = Kv_common.Fault_point.[ Foreground; Recovery ]
   end)
 
-let handle t = Kv_common.Store_intf.to_handle (store t)

@@ -30,6 +30,3 @@ val check_invariants : t -> (unit, string) result
 
 val store : t -> Kv_common.Store_intf.store
 (** First-class store for the harness and the crash checker. *)
-
-val handle : t -> Kv_common.Store_intf.handle
-(** Deprecated record adapter; will be removed next PR. *)

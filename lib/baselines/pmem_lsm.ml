@@ -488,4 +488,3 @@ let store t : Kv_common.Store_intf.store =
           Manifest_update; Recovery ]
   end)
 
-let handle t = Kv_common.Store_intf.to_handle (store t)

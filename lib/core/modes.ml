@@ -62,3 +62,26 @@ module Gpm = struct
   let activations t = t.nactivations
   let current_p99 t = t.p99
 end
+
+(* Mode state exported to layers above the store.  The serving layer's
+   admission controller keys its write budget off these without depending
+   on the store's concrete type: tighten puts while the store is protecting
+   reads (GPM active), relax them when it is configured to absorb writes
+   (Write-Intensive Mode). *)
+module Signals = struct
+  type t = {
+    write_intensive : bool;
+    get_protect_active : unit -> bool;
+    get_p99_ns : unit -> float;
+  }
+
+  let none =
+    { write_intensive = false;
+      get_protect_active = (fun () -> false);
+      get_p99_ns = (fun () -> 0.0) }
+
+  let of_gpm ~write_intensive gpm =
+    { write_intensive;
+      get_protect_active = (fun () -> Gpm.active gpm);
+      get_p99_ns = (fun () -> Gpm.current_p99 gpm) }
+end

@@ -24,3 +24,20 @@ module Gpm : sig
   val current_p99 : t -> float
   (** Most recently evaluated windowed p99 (0 before the first window). *)
 end
+
+(** Mode state exported upward (to [lib/service]'s admission controller)
+    without exposing the store's concrete type: a write-burst admission
+    policy tightens puts while Get-Protect is active and relaxes them under
+    Write-Intensive Mode. *)
+module Signals : sig
+  type t = {
+    write_intensive : bool;       (** static WIM configuration switch *)
+    get_protect_active : unit -> bool;  (** live {!Gpm.active} probe *)
+    get_p99_ns : unit -> float;   (** live windowed get p99 *)
+  }
+
+  val none : t
+  (** Inert signals (stores without mode controllers). *)
+
+  val of_gpm : write_intensive:bool -> Gpm.t -> t
+end

@@ -47,6 +47,9 @@ let vlog t = t.vlog
 let gpm t = t.gpm
 let gpm_active t = Modes.Gpm.active t.gpm
 
+let signals t =
+  Modes.Signals.of_gpm ~write_intensive:t.cfg.Config.write_intensive t.gpm
+
 let shard_of t key =
   t.shards.(Hash.shard_of ~hash:(Hash.mix64 key) ~shards:t.cfg.Config.shards)
 
@@ -318,4 +321,3 @@ let store ?(name = "ChameleonDB") t : Kv_common.Store_intf.store =
       else []
   end)
 
-let handle t = Kv_common.Store_intf.to_handle (store t)

@@ -72,6 +72,9 @@ val recover : t -> Pmem_sim.Clock.t -> float
 val gpm_active : t -> bool
 val gpm : t -> Modes.Gpm.t
 
+val signals : t -> Modes.Signals.t
+(** Live mode signals for the serving layer's admission controller. *)
+
 (** {1 Value-log garbage collection}
 
     An extension beyond the paper (which leaves log GC out of scope): a GC
@@ -118,7 +121,3 @@ val store : ?name:string -> t -> Kv_common.Store_intf.store
 (** First-class store for the harness and the fault checker.
     [maintenance] runs one {!gc} pass; [fault_points] reflects the
     configuration (compaction flavour, GPM). *)
-
-val handle : t -> Kv_common.Store_intf.handle
-(** Deprecated record adapter ([Store_intf.to_handle] of {!store});
-    will be removed next PR. *)

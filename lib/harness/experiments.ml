@@ -1233,6 +1233,212 @@ let abl_device scale =
   pr "filter checks (the paper's Fig. 2 argument inverted).@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Service: Fig 16's burst scenario re-run open-loop through the       *)
+(* serving layer (wire codec, scheduler queue, admission control).     *)
+(* ------------------------------------------------------------------ *)
+
+let service scale =
+  let workers = 8 in
+  let vlen = scale.Stores.vlen in
+  let n_keys = scale.Stores.load_keys in
+  let reqgen_get = Service.Loadgen.mixed_reqgen ~n_keys ~get_frac:1.0 ~vlen in
+  let reqgen_put = Service.Loadgen.mixed_reqgen ~n_keys ~get_frac:0.0 ~vlen in
+  let mk ~gpm () =
+    let cfg = Stores.chameleon_cfg scale in
+    let cfg = if gpm then { cfg with Config.gpm_enabled = true } else cfg in
+    let db = Chameleondb.Store.create ~cfg () in
+    let store = Chameleondb.Store.store db in
+    let load =
+      Stores.load_unique ~store ~threads:workers ~start_at:0.0 ~n:n_keys ~vlen
+    in
+    (db, store, Stores.settled_cursor ~store load)
+  in
+  (* capacity probe: closed-loop gets saturate the worker pool, giving the
+     Mreq/s the offered open-loop rates are expressed against *)
+  let _, pstore, pt0 = mk ~gpm:false () in
+  let conns = workers * 4 in
+  let probe =
+    Service.Server.run ~store:pstore ~workers ~start_at:pt0
+      ~closed:
+        (Service.Loadgen.closed_loop ~conns
+           ~reqs_per_conn:(max 64 (scale.Stores.sweep_ops / conns / 4))
+           ~reqgen:reqgen_get ())
+      ()
+  in
+  let cap = Service.Server.throughput_mops probe in
+  pr "Closed-loop capacity probe: %.2f Mreq/s over %d workers (get p99 %s)@.@."
+    cap workers
+    (Table.cell_ns (Histogram.percentile probe.Service.Server.get_service 99.0));
+  (* open-loop offered load: a steady get stream at 60%% of capacity plus a
+     square wave of put bursts that pushes the total past capacity during
+     each burst, as in Fig 16 *)
+  let get_rate = 0.6 *. cap in
+  let burst_rate = 0.9 *. cap in
+  let base_rate = 0.05 *. cap in
+  let avg_rate = get_rate +. (0.25 *. burst_rate) +. (0.75 *. base_rate) in
+  let duration_ns =
+    float_of_int scale.Stores.sweep_ops /. avg_rate *. 1000.0
+  in
+  let period_ns = duration_ns /. 4.0 in
+  let window_ns = Float.max 100_000.0 (duration_ns /. 64.0) in
+  let run_variant ~gpm ~admit ~sched () =
+    let db, store, t0 = mk ~gpm () in
+    let gets =
+      Service.Loadgen.open_loop ~seed:21 ~conns:4
+        ~process:(Service.Loadgen.Poisson { rate_mops = get_rate })
+        ~reqgen:reqgen_get ~duration_ns ~start_at:t0 ()
+    in
+    let puts =
+      Service.Loadgen.open_loop ~seed:22 ~conns:4 ~conn_base:100
+        ~process:
+          (Service.Loadgen.Square
+             { base_mops = base_rate; burst_mops = burst_rate; period_ns;
+               duty = 0.25 })
+        ~reqgen:reqgen_put ~duration_ns ~start_at:t0 ()
+    in
+    let arrivals = Service.Loadgen.merge [ gets; puts ] in
+    let admission =
+      if admit then
+        Some
+          (Service.Admission.create
+             ~signals:(Chameleondb.Store.signals db)
+             ~burst:512.0
+             ~rate_mops:(Float.max 0.1 (0.4 *. cap))
+             ())
+      else None
+    in
+    Service.Server.run ?admission ~sched ~store ~workers ~start_at:t0
+      ~window_ns ~arrivals ()
+  in
+  let variants =
+    [ ("no GPM", false, false); ("GPM", true, false);
+      ("GPM+admission", true, true) ]
+  in
+  let results =
+    List.map
+      (fun (name, gpm, admit) ->
+        (name, run_variant ~gpm ~admit ~sched:Service.Server.Fifo ()))
+      variants
+  in
+  (* burst-window tail: windows where writes dominate, as in fig16 *)
+  let burst_p99 s =
+    let l =
+      List.filter_map
+        (fun w ->
+          if w.Service.Server.w_writes * 4 > w.Service.Server.w_reqs
+             && w.Service.Server.w_gets > 0
+          then Some w.Service.Server.w_get_p99
+          else None)
+        s.Service.Server.windows
+      |> List.sort compare
+    in
+    match l with [] -> 0.0 | _ -> List.nth l (List.length l / 2)
+  in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "service: open-loop burst scenario (%d workers, %.2f Mreq/s gets, \
+            %.2f Mreq/s put bursts)"
+           workers get_rate burst_rate)
+      ~columns:
+        [ ("configuration", Table.Left); ("reqs", Table.Right);
+          ("Mops/s", Table.Right); ("shed", Table.Right);
+          ("maxQ", Table.Right); ("get p50", Table.Right);
+          ("get p99", Table.Right); ("burst get p99", Table.Right);
+          ("put p99", Table.Right) ]
+  in
+  List.iter
+    (fun (name, s) ->
+      Table.add_row tbl
+        [ name;
+          string_of_int s.Service.Server.submitted;
+          Table.cell_f (Service.Server.throughput_mops s);
+          Printf.sprintf "%.1f%%" (100.0 *. Service.Server.shed_rate s);
+          string_of_int s.Service.Server.max_depth;
+          Table.cell_ns
+            (Histogram.percentile s.Service.Server.get_service 50.0);
+          Table.cell_ns
+            (Histogram.percentile s.Service.Server.get_service 99.0);
+          Table.cell_ns (burst_p99 s);
+          Table.cell_ns
+            (Histogram.percentile s.Service.Server.put_service 99.0) ])
+    results;
+  Table.print tbl;
+  (* windowed timeline for the two extremes *)
+  List.iter
+    (fun (name, s) ->
+      if name <> "GPM" then begin
+        let tbl =
+          Table.create
+            ~title:
+              (Printf.sprintf "service [%s]: windowed get service p99" name)
+            ~columns:
+              [ ("t (ms)", Table.Right); ("reqs", Table.Right);
+                ("writes", Table.Right); ("shed", Table.Right);
+                ("get p99", Table.Right) ]
+        in
+        let nw = List.length s.Service.Server.windows in
+        let stride = max 1 (nw / 16) in
+        List.iteri
+          (fun i w ->
+            if i mod stride = 0 then
+              Table.add_row tbl
+                [ Printf.sprintf "%.1f"
+                    ((w.Service.Server.w_start -. s.Service.Server.start_ns)
+                    /. 1e6);
+                  string_of_int w.Service.Server.w_reqs;
+                  string_of_int w.Service.Server.w_writes;
+                  string_of_int w.Service.Server.w_shed;
+                  Table.cell_ns w.Service.Server.w_get_p99 ])
+          s.Service.Server.windows;
+        Table.print tbl
+      end)
+    results;
+  (* SLO attainment on get service latency, queueing included *)
+  Table.print
+    (Metrics.Slo.table ~title:"service: get SLO attainment (service latency)"
+       ~targets:
+         [ Metrics.Slo.target ~name:"5us" ~ns:5_000.0;
+           Metrics.Slo.target ~name:"20us" ~ns:20_000.0;
+           Metrics.Slo.target ~name:"100us" ~ns:100_000.0 ]
+       (List.map (fun (n, s) -> (n, s.Service.Server.get_service)) results));
+  (* scheduler comparison at the protected configuration *)
+  let sched_tbl =
+    Table.create ~title:"service: scheduler comparison (GPM+admission)"
+      ~columns:
+        [ ("scheduler", Table.Left); ("Mops/s", Table.Right);
+          ("get p99", Table.Right); ("queue wait p99", Table.Right);
+          ("maxQ", Table.Right) ]
+  in
+  List.iter
+    (fun sched ->
+      let s = run_variant ~gpm:true ~admit:true ~sched () in
+      Table.add_row sched_tbl
+        [ Service.Server.sched_name sched;
+          Table.cell_f (Service.Server.throughput_mops s);
+          Table.cell_ns
+            (Histogram.percentile s.Service.Server.get_service 99.0);
+          Table.cell_ns
+            (Histogram.percentile s.Service.Server.queue_wait 99.0);
+          string_of_int s.Service.Server.max_depth ])
+    [ Service.Server.Fifo; Service.Server.Shard_affinity ];
+  Table.print sched_tbl;
+  let p99 name =
+    burst_p99 (List.assoc name results)
+  in
+  let shed = Service.Server.shed_rate (List.assoc "GPM+admission" results) in
+  pr
+    "Shape check: burst-window get p99 — no GPM %s vs GPM %s vs \
+     GPM+admission %s;@."
+    (Table.cell_ns (p99 "no GPM"))
+    (Table.cell_ns (p99 "GPM"))
+    (Table.cell_ns (p99 "GPM+admission"));
+  pr "GPM must cut the burst tail materially and admission sheds a bounded@.";
+  pr "fraction (%.1f%% here) rather than letting the queue run away.@.@."
+    (100.0 *. shed)
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1268,7 +1474,10 @@ let all =
     { id = "abl-ratio"; title = "Ablation: between-level ratio"; run = abl_ratio };
     { id = "abl-batch"; title = "Ablation: log batch size"; run = abl_batch };
     { id = "abl-device"; title = "Ablation: design fit across devices";
-      run = abl_device } ]
+      run = abl_device };
+    { id = "service";
+      title = "Service: open-loop bursts through the serving layer";
+      run = service } ]
 
 let ids () = List.map (fun e -> e.id) all
 

@@ -15,6 +15,7 @@ type result = {
   put_latency : Histogram.t;
   device_delta : Stats.t;
   attribution : Obs.Attribution.snapshot;
+  counters : (string * float) list;
 }
 
 let sim_ns r = r.end_ns -. r.start_ns
@@ -38,6 +39,7 @@ let run ?seed ~store ~threads ~start_at ~gen () =
   let dev = Store_intf.device store in
   let before = Stats.copy (Device.stats dev) in
   let attr_before = Obs.Attribution.snapshot () in
+  let counters_before = Obs.Counters.snapshot () in
   let prev_threads = Device.active_threads dev in
   Device.set_active_threads dev threads;
   let clocks = Array.init threads (fun _ -> Clock.create ~at:start_at ()) in
@@ -80,7 +82,10 @@ let run ?seed ~store ~threads ~start_at ~gen () =
     device_delta = Stats.diff ~after:(Device.stats dev) ~before;
     attribution =
       Obs.Attribution.diff ~after:(Obs.Attribution.snapshot ())
-        ~before:attr_before }
+        ~before:attr_before;
+    counters =
+      Obs.Counters.diff_snapshots ~after:(Obs.Counters.snapshot ())
+        ~before:counters_before }
 
 let run_ops ?seed ~store ~threads ~start_at ~ops ~next () =
   let remaining = ref ops in
@@ -105,12 +110,14 @@ let attribution_table ~name r =
           ("mean/op", Metrics.Table_fmt.Right);
           ("share", Metrics.Table_fmt.Right) ]
   in
-  let section op hist =
+  let section (op : [ `Get | `Put | `Svc ]) hist =
     let n = Histogram.count hist in
     if n > 0 then begin
       let nf = float_of_int n in
       let mean = Histogram.mean hist in
-      let op_name = match op with `Get -> "get" | `Put -> "put" in
+      let op_name =
+        match op with `Get -> "get" | `Put -> "put" | `Svc -> "svc"
+      in
       let covered = ref 0.0 in
       List.iter
         (fun stage ->

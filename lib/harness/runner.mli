@@ -21,6 +21,9 @@ type result = {
   attribution : Obs.Attribution.snapshot;
       (** per-stage time accumulated during the run (all zero unless
           [Obs.Attribution] was enabled) *)
+  counters : (string * float) list;
+      (** per-run {!Obs.Counters} deltas (snapshot-and-diff around the run,
+          so consecutive runs in one process never leak into each other) *)
 }
 
 val sim_ns : result -> float

@@ -44,48 +44,3 @@ let apply (module S : STORE) clock (op : Types.op) =
   | Types.Read_modify_write (k, vlen) ->
     ignore (S.get clock k);
     S.put clock k ~vlen
-
-(* Legacy record-of-closures handle, kept for one PR as a compat adapter. *)
-
-type handle = {
-  hname : string;
-  hput : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit;
-  hget : Pmem_sim.Clock.t -> Types.key -> Types.loc option;
-  hdelete : Pmem_sim.Clock.t -> Types.key -> unit;
-  hflush : Pmem_sim.Clock.t -> unit;
-  hcrash : unit -> unit;
-  hrecover : Pmem_sim.Clock.t -> unit;
-  hdram_footprint : unit -> float;
-  hdevice : Pmem_sim.Device.t;
-  hvlog : Vlog.t;
-}
-
-let to_handle (module S : STORE) =
-  { hname = S.name;
-    hput = S.put;
-    hget = S.get;
-    hdelete = S.delete;
-    hflush = S.flush;
-    hcrash = S.crash;
-    hrecover = S.recover;
-    hdram_footprint = S.dram_footprint;
-    hdevice = S.device;
-    hvlog = S.vlog }
-
-let of_handle h : store =
-  (module struct
-    let name = h.hname
-    let put = h.hput
-    let get = h.hget
-    let delete = h.hdelete
-    let flush = h.hflush
-    let maintenance _ = ()
-    let crash = h.hcrash
-    let recover = h.hrecover
-    let check_invariants () = Ok ()
-    let dram_footprint = h.hdram_footprint
-    let pmem_footprint () = Pmem_sim.Device.used_bytes h.hdevice
-    let device = h.hdevice
-    let vlog = h.hvlog
-    let fault_points = [ Fault_point.Foreground ]
-  end)

@@ -68,29 +68,3 @@ val fault_points : store -> Fault_point.site list
 
 val apply : store -> Pmem_sim.Clock.t -> Types.op -> unit
 (** Run one workload operation against a store (RMW = get then put). *)
-
-(** {1 Deprecated record handle}
-
-    The pre-PR-2 record-of-closures interface.  It survives for one PR as
-    a thin adapter for downstream code; all in-repo call sites use
-    [store].  Construct one only via {!to_handle}.  Will be removed. *)
-
-type handle = {
-  hname : string;
-  hput : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit;
-  hget : Pmem_sim.Clock.t -> Types.key -> Types.loc option;
-  hdelete : Pmem_sim.Clock.t -> Types.key -> unit;
-  hflush : Pmem_sim.Clock.t -> unit;
-  hcrash : unit -> unit;
-  hrecover : Pmem_sim.Clock.t -> unit;
-  hdram_footprint : unit -> float;
-  hdevice : Pmem_sim.Device.t;
-  hvlog : Vlog.t;
-}
-
-val to_handle : store -> handle
-(** Adapter for legacy consumers of the record interface. *)
-
-val of_handle : handle -> store
-(** Wrap a legacy handle as a [store]; [maintenance] is a no-op,
-    [check_invariants] always passes, [fault_points] is [[Foreground]]. *)

@@ -79,6 +79,24 @@ let percentile h p =
 
 let median h = percentile h 50.0
 
+let fraction_below h v =
+  if h.total = 0 then 0.0
+  else if v < h.vmin then 0.0
+  else if v >= h.vmax then 1.0
+  else begin
+    (* count whole buckets whose upper edge is <= v; the bucket containing
+       [v] is included iff its upper edge does not exceed it, keeping the
+       result a lower bound consistent with [percentile]'s upper bound *)
+    let acc = ref 0 in
+    (try
+       for i = 0 to nbuckets - 1 do
+         if value_of_bucket i > v then raise Exit
+         else acc := !acc + h.buckets.(i)
+       done
+     with Exit -> ());
+    float_of_int !acc /. float_of_int h.total
+  end
+
 let cdf h ?(points = 50) () =
   if h.total = 0 then []
   else begin

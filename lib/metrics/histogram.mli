@@ -36,6 +36,12 @@ val percentile : t -> float -> float
 
 val median : t -> float
 
+val fraction_below : t -> float -> float
+(** [fraction_below h v] is the fraction of observations [<= v], in
+    [0, 1] — the SLO-attainment primitive.  A lower bound within one
+    bucket of the true fraction (the dual of {!percentile}'s upper
+    bound), so an SLO report never overstates attainment. *)
+
 val cdf : t -> ?points:int -> unit -> (float * float) list
 (** [cdf h ()] is a list of [(value, fraction <= value)] pairs suitable for
     plotting a CDF curve, sampled at up to [points] (default 50) non-empty

@@ -1,0 +1,29 @@
+type target = { slo_name : string; slo_ns : float }
+
+let target ~name ~ns = { slo_name = name; slo_ns = ns }
+
+let attainment hist t = Histogram.fraction_below hist t.slo_ns
+
+let cell_pct f = Printf.sprintf "%.2f%%" (100.0 *. f)
+
+let table ~title ~targets rows =
+  let tbl =
+    Table_fmt.create ~title
+      ~columns:
+        (("series", Table_fmt.Left)
+        :: ("n", Table_fmt.Right)
+        :: List.map
+             (fun t ->
+               ( Printf.sprintf "%s (<=%s)" t.slo_name
+                   (Table_fmt.cell_ns t.slo_ns),
+                 Table_fmt.Right ))
+             targets)
+  in
+  List.iter
+    (fun (name, hist) ->
+      Table_fmt.add_row tbl
+        (name
+        :: string_of_int (Histogram.count hist)
+        :: List.map (fun t -> cell_pct (attainment hist t)) targets))
+    rows;
+  tbl

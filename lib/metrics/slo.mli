@@ -1,0 +1,24 @@
+(** SLO attainment reporting.
+
+    A service-level objective is a latency threshold; attainment is the
+    fraction of requests at or under it.  Attainment is computed with
+    {!Histogram.fraction_below}, i.e. it is a lower bound within one
+    histogram bucket — an SLO table never flatters the system.  Used by the
+    open-loop service experiment, where latencies are measured from
+    intended arrival time and therefore include queueing delay. *)
+
+type target = { slo_name : string; slo_ns : float }
+
+val target : name:string -> ns:float -> target
+
+val attainment : Histogram.t -> target -> float
+(** Fraction of observations meeting the target, in [0, 1]. *)
+
+val cell_pct : float -> string
+(** Render a [0, 1] fraction as a percentage cell. *)
+
+val table :
+  title:string -> targets:target list -> (string * Histogram.t) list ->
+  Table_fmt.t
+(** One row per (series, histogram), one column per target, cells are
+    attainment percentages. *)

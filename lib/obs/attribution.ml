@@ -7,8 +7,12 @@ type stage =
   | Put_index_insert
   | Put_flush_stall
   | Put_compaction_stall
+  | Svc_decode
+  | Svc_queue
+  | Svc_execute
+  | Svc_encode
 
-let nstages = 8
+let nstages = 12
 
 let index = function
   | Get_memtable -> 0
@@ -19,10 +23,15 @@ let index = function
   | Put_index_insert -> 5
   | Put_flush_stall -> 6
   | Put_compaction_stall -> 7
+  | Svc_decode -> 8
+  | Svc_queue -> 9
+  | Svc_execute -> 10
+  | Svc_encode -> 11
 
 let all =
   [ Get_memtable; Get_abi; Get_level_probe; Get_log_read; Put_batch_copy;
-    Put_index_insert; Put_flush_stall; Put_compaction_stall ]
+    Put_index_insert; Put_flush_stall; Put_compaction_stall; Svc_decode;
+    Svc_queue; Svc_execute; Svc_encode ]
 
 let name = function
   | Get_memtable -> "memtable"
@@ -33,12 +42,17 @@ let name = function
   | Put_index_insert -> "index-insert"
   | Put_flush_stall -> "flush-stall"
   | Put_compaction_stall -> "compaction-stall"
+  | Svc_decode -> "svc-decode"
+  | Svc_queue -> "svc-queue"
+  | Svc_execute -> "svc-execute"
+  | Svc_encode -> "svc-encode"
 
 let op_of = function
   | Get_memtable | Get_abi | Get_level_probe | Get_log_read -> `Get
   | Put_batch_copy | Put_index_insert | Put_flush_stall
   | Put_compaction_stall ->
     `Put
+  | Svc_decode | Svc_queue | Svc_execute | Svc_encode -> `Svc
 
 let on = ref false
 let acc = Array.make nstages 0.0

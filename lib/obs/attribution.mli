@@ -9,7 +9,10 @@
     Get stages: MemTable probe, ABI probe, persistent-level probes (dumped /
     upper / last tables), value-log read.  Put stages: log batch copy,
     index (MemTable) insert, and the two stall flavours — waiting behind a
-    background flush vs. behind a compaction.
+    background flush vs. behind a compaction.  Service stages (the [`Svc]
+    class) attribute a request's life inside the serving pipeline: frame
+    decode, scheduler-queue wait, store execution, reply encode — their sum
+    is the coordinated-omission-free service latency.
 
     Like {!Trace}, recording is a no-op unless {!enable}d. *)
 
@@ -22,10 +25,14 @@ type stage =
   | Put_index_insert
   | Put_flush_stall
   | Put_compaction_stall
+  | Svc_decode
+  | Svc_queue
+  | Svc_execute
+  | Svc_encode
 
 val all : stage list
 val name : stage -> string
-val op_of : stage -> [ `Get | `Put ]
+val op_of : stage -> [ `Get | `Put | `Svc ]
 
 val enable : unit -> unit
 val disable : unit -> unit
@@ -43,5 +50,5 @@ type snapshot
 val snapshot : unit -> snapshot
 val diff : after:snapshot -> before:snapshot -> snapshot
 val stage_ns : snapshot -> stage -> float
-val total : op:[ `Get | `Put ] -> snapshot -> float
+val total : op:[ `Get | `Put | `Svc ] -> snapshot -> float
 (** Sum of the stage times belonging to one operation kind. *)

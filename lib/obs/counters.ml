@@ -23,6 +23,19 @@ let snapshot () =
   Hashtbl.fold (fun _ c acc -> (c.cname, c.v) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Both snapshots are name-sorted; counters are created on first use, so
+   [after] can only contain extra names, never fewer. *)
+let diff_snapshots ~after ~before =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (n, v) -> Hashtbl.replace tbl n v) before;
+  List.filter_map
+    (fun (n, v) ->
+      let d =
+        match Hashtbl.find_opt tbl n with Some v0 -> v -. v0 | None -> v
+      in
+      if d = 0.0 then None else Some (n, d))
+    after
+
 let pp ppf () =
   List.iter
     (fun (n, v) ->

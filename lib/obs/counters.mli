@@ -35,4 +35,14 @@ val find : string -> float option
 val snapshot : unit -> (string * float) list
 (** All registered counters, sorted by name. *)
 
+val diff_snapshots :
+  after:(string * float) list ->
+  before:(string * float) list ->
+  (string * float) list
+(** Per-run counter deltas: for every counter in [after], its value minus
+    the value in [before] (0 if absent), dropping zero deltas.  The harness
+    brackets each run with {!snapshot} so that back-to-back experiments in
+    one process report per-run numbers instead of process-lifetime
+    accumulations. *)
+
 val pp : Format.formatter -> unit -> unit

@@ -1,0 +1,86 @@
+(* Write-burst admission control.
+
+   A token bucket refilled in simulated time meters the write ops a frame
+   carries; gets are never shed (the whole point of Get-Protect Mode is
+   that reads keep flowing).  The store's mode signals modulate the cost of
+   a write token draw: while Get-Protect is active each write costs more
+   (the store is busy defending its read tail, so the front door tightens),
+   and under Write-Intensive Mode each write costs less (the store is
+   configured to absorb bursts).  A request that cannot draw its tokens is
+   shed immediately with a [Proto.Shed] reply rather than queued — an
+   open-loop queue under sustained overload otherwise grows without
+   bound. *)
+
+module Signals = Chameleondb.Modes.Signals
+
+let c_shed = Obs.Counters.counter "service.shed"
+let c_admitted = Obs.Counters.counter "service.admitted"
+
+type t = {
+  signals : Signals.t;
+  burst : float;            (* bucket capacity, tokens *)
+  rate_per_ns : float;      (* refill rate *)
+  gpm_write_cost : float;   (* per-write tokens while Get-Protect active *)
+  wim_write_cost : float;   (* per-write tokens under Write-Intensive Mode *)
+  mutable tokens : float;
+  mutable last_ns : float;
+  mutable admitted : int;
+  mutable shed : int;
+}
+
+let create ?(signals = Signals.none) ?(burst = 512.0)
+    ?(rate_mops = 1.0) ?(gpm_write_cost = 4.0) ?(wim_write_cost = 0.5) () =
+  if burst <= 0.0 then invalid_arg "Admission.create: burst <= 0";
+  if rate_mops <= 0.0 then invalid_arg "Admission.create: rate <= 0";
+  { signals;
+    burst;
+    (* 1 Mops/s = one token per 1000 simulated ns *)
+    rate_per_ns = rate_mops /. 1000.0;
+    gpm_write_cost;
+    wim_write_cost;
+    tokens = burst;
+    last_ns = 0.0;
+    admitted = 0;
+    shed = 0 }
+
+let refill t ~now =
+  if now > t.last_ns then begin
+    t.tokens <-
+      Float.min t.burst (t.tokens +. ((now -. t.last_ns) *. t.rate_per_ns));
+    t.last_ns <- now
+  end
+
+let write_cost t =
+  if t.signals.Signals.get_protect_active () then t.gpm_write_cost
+  else if t.signals.Signals.write_intensive then t.wim_write_cost
+  else 1.0
+
+let admit t ~now req =
+  let writes = Proto.puts_in_req req in
+  if writes = 0 then begin
+    t.admitted <- t.admitted + 1;
+    Obs.Counters.incr c_admitted;
+    true
+  end
+  else begin
+    refill t ~now;
+    let cost = float_of_int writes *. write_cost t in
+    if t.tokens >= cost then begin
+      t.tokens <- t.tokens -. cost;
+      t.admitted <- t.admitted + 1;
+      Obs.Counters.incr c_admitted;
+      true
+    end
+    else begin
+      t.shed <- t.shed + 1;
+      Obs.Counters.incr c_shed;
+      false
+    end
+  end
+
+let admitted t = t.admitted
+let shed t = t.shed
+
+let shed_rate t =
+  let total = t.admitted + t.shed in
+  if total = 0 then 0.0 else float_of_int t.shed /. float_of_int total

@@ -1,0 +1,35 @@
+(** Token-bucket admission control for write bursts.
+
+    Wired to the store's mode signals ({!Chameleondb.Modes.Signals}):
+    while Get-Protect Mode is active, each write draws more tokens (the
+    store is defending its read tail, so the front door tightens); under
+    Write-Intensive Mode each write draws fewer (the store absorbs
+    bursts).  Gets are always admitted.  A request that cannot pay is shed
+    at arrival with a {!Proto.Shed} reply — never queued — which bounds
+    queue growth under sustained open-loop overload. *)
+
+type t
+
+val create :
+  ?signals:Chameleondb.Modes.Signals.t ->
+  ?burst:float ->
+  ?rate_mops:float ->
+  ?gpm_write_cost:float ->
+  ?wim_write_cost:float ->
+  unit ->
+  t
+(** [burst] is the bucket capacity in tokens (default 512); [rate_mops]
+    the refill rate in million write-tokens per simulated second (default
+    1.0); a write costs 1 token normally, [gpm_write_cost] (default 4)
+    while Get-Protect is active, [wim_write_cost] (default 0.5) under
+    Write-Intensive Mode. *)
+
+val admit : t -> now:float -> Proto.req -> bool
+(** Whether the request may enter the queue at simulated time [now].
+    Batches pay for all their writes at once, or are shed whole. *)
+
+val admitted : t -> int
+val shed : t -> int
+
+val shed_rate : t -> float
+(** Shed requests / total requests seen, in [0, 1]. *)

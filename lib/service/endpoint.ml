@@ -1,0 +1,176 @@
+(* Real serving path: the same Proto frames over a Unix-domain socket.
+
+   This is deliberately small — a select loop, one Proto decoder per
+   connection, a backend function that executes requests against a store.
+   It exists so the wire codec is proven against a live byte stream (torn
+   reads, pipelined frames, hostile input) and so `ckv serve` / `ckv
+   client` give the repo a runnable server, not only a simulated one.
+
+   Execution uses a free-running simulated clock per server: the cost
+   model still meters device traffic, but wall-clock scheduling is the
+   OS's business here, not ours. *)
+
+type backend = Proto.req -> Proto.reply
+
+let backend_of_store ~clock store =
+  let module S = Kv_common.Store_intf in
+  let vlog = S.vlog store in
+  let rec exec ~top req =
+    match req with
+    | Proto.Get k -> (
+      match S.get store clock k with
+      | Some loc -> (
+        match Kv_common.Vlog.value_at vlog clock loc with
+        | Some v -> Proto.Value v
+        | None -> Proto.Hit (Kv_common.Vlog.vlen_at vlog loc))
+      | None -> Proto.Miss)
+    | Proto.Put (k, v) ->
+      S.put store clock k ~vlen:(Bytes.length v);
+      Proto.Ok
+    | Proto.Delete k ->
+      S.delete store clock k;
+      Proto.Ok
+    | Proto.Batch reqs ->
+      if top then Proto.Replies (List.map (exec ~top:false) reqs)
+      else Proto.Err "nested batch"
+  in
+  exec ~top:true
+
+let backend_of_chameleon ~clock (t : Chameleondb.Store.t) =
+  let rec exec ~top req =
+    match req with
+    | Proto.Get k -> (
+      match Chameleondb.Store.get_value t clock k with
+      | Some v -> Proto.Value v
+      | None -> (
+        match Chameleondb.Store.get t clock k with
+        | Some loc ->
+          Proto.Hit (Kv_common.Vlog.vlen_at (Chameleondb.Store.vlog t) loc)
+        | None -> Proto.Miss))
+    | Proto.Put (k, v) ->
+      Chameleondb.Store.put_value t clock k v;
+      Proto.Ok
+    | Proto.Delete k ->
+      Chameleondb.Store.delete t clock k;
+      Proto.Ok
+    | Proto.Batch reqs ->
+      if top then Proto.Replies (List.map (exec ~top:false) reqs)
+      else Proto.Err "nested batch"
+  in
+  exec ~top:true
+
+(* ------------------------------- server ------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Proto.decoder;
+}
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.write fd b !off (n - !off) in
+    if k <= 0 then raise Exit;
+    off := !off + k
+  done
+
+let serve ?(backlog = 16) ?(max_requests = max_int) ?on_ready ~path backend =
+  (match Sys.os_type with
+  | "Unix" -> ( try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+  | _ -> ());
+  if Sys.file_exists path then Unix.unlink path;
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd backlog;
+  (match on_ready with Some f -> f () | None -> ());
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  let served = ref 0 in
+  let buf = Bytes.create 4096 in
+  let close_conn c =
+    Hashtbl.remove conns c.fd;
+    try Unix.close c.fd with _ -> ()
+  in
+  let handle_readable c =
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 -> close_conn c
+    | n ->
+      Proto.feed c.dec buf ~off:0 ~len:n;
+      let rec drain () =
+        match Proto.next c.dec with
+        | `Await -> ()
+        | `Corrupt m ->
+          (try write_all c.fd (Proto.encode_reply (Proto.Err m))
+           with _ -> ());
+          close_conn c
+        | `Msg (Proto.Reply _) ->
+          (try
+             write_all c.fd
+               (Proto.encode_reply (Proto.Err "unexpected reply"))
+           with _ -> ());
+          close_conn c
+        | `Msg (Proto.Request req) ->
+          let reply = try backend req with _ -> Proto.Err "backend failure" in
+          (match try write_all c.fd (Proto.encode_reply reply); true
+                 with _ -> close_conn c; false
+           with
+          | true ->
+            incr served;
+            drain ()
+          | false -> ())
+      in
+      drain ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_conn c
+  in
+  (try
+     while !served < max_requests do
+       let fds = lfd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+       let readable, _, _ = Unix.select fds [] [] (-1.0) in
+       List.iter
+         (fun fd ->
+           if fd = lfd then begin
+             let cfd, _ = Unix.accept lfd in
+             Hashtbl.replace conns cfd { fd = cfd; dec = Proto.decoder () }
+           end
+           else
+             match Hashtbl.find_opt conns fd with
+             | Some c -> handle_readable c
+             | None -> ())
+         readable
+     done
+   with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with _ -> ()) conns;
+  (try Unix.close lfd with _ -> ());
+  (try Unix.unlink path with _ -> ());
+  !served
+
+(* ------------------------------- client ------------------------------- *)
+
+type client = {
+  cfd : Unix.file_descr;
+  cdec : Proto.decoder;
+}
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { cfd = fd; cdec = Proto.decoder () }
+
+let request c req =
+  write_all c.cfd (Proto.encode_request req);
+  let buf = Bytes.create 4096 in
+  let rec await () =
+    match Proto.next c.cdec with
+    | `Msg (Proto.Reply r) -> r
+    | `Msg (Proto.Request _) -> failwith "Endpoint.request: server sent request"
+    | `Corrupt m -> failwith ("Endpoint.request: corrupt reply: " ^ m)
+    | `Await ->
+      let n = Unix.read c.cfd buf 0 (Bytes.length buf) in
+      if n = 0 then failwith "Endpoint.request: connection closed";
+      Proto.feed c.cdec buf ~off:0 ~len:n;
+      await ()
+  in
+  await ()
+
+let close c = try Unix.close c.cfd with _ -> ()

@@ -1,0 +1,40 @@
+(** Real serving path: {!Proto} frames over a Unix-domain socket.
+
+    A select loop multiplexes client connections, each with its own
+    incremental decoder; corrupt input earns an [Err] reply and a closed
+    connection.  Backs `ckv serve` / `ckv client`. *)
+
+type backend = Proto.req -> Proto.reply
+
+val backend_of_store :
+  clock:Pmem_sim.Clock.t -> Kv_common.Store_intf.store -> backend
+(** Executes against any packed store.  Gets reply [Value] when the vlog
+    materializes payloads, [Hit vlen] otherwise. *)
+
+val backend_of_chameleon :
+  clock:Pmem_sim.Clock.t -> Chameleondb.Store.t -> backend
+(** ChameleonDB with real payloads via [put_value] / [get_value]. *)
+
+val serve :
+  ?backlog:int ->
+  ?max_requests:int ->
+  ?on_ready:(unit -> unit) ->
+  path:string ->
+  backend ->
+  int
+(** Bind [path] (unlinking any stale socket), accept clients, and serve
+    until [max_requests] requests have been answered (default: forever).
+    Returns the number of requests served.  [on_ready] fires after the
+    socket is listening. *)
+
+(** {1 Client} *)
+
+type client
+
+val connect : string -> client
+
+val request : client -> Proto.req -> Proto.reply
+(** Send one request and block for its reply.  Raises [Failure] on a
+    corrupt stream or closed connection. *)
+
+val close : client -> unit

@@ -1,0 +1,88 @@
+(** Simulated serving pipeline: connections, scheduler queue, workers.
+
+    Requests arrive as wire frames ({!Proto}) at intended times fixed by
+    the load generator.  Each connection RX-decodes its frames on its own
+    clock, admission control ({!Admission}) may shed writes at the door,
+    and admitted requests wait in a scheduler queue until a simulated
+    worker dispatches them (FIFO or shard-affinity with work stealing),
+    executes them against the store, and encodes the reply.
+
+    Service latency is measured from the *intended* arrival — queueing
+    included — so open-loop tails are free of coordinated omission. *)
+
+type sched =
+  | Fifo             (** single shared queue, oldest-first *)
+  | Shard_affinity   (** per-worker queues routed by key shard; idle
+                         workers steal from the deepest backlog *)
+
+val sched_name : sched -> string
+
+type costs = {
+  byte_ns : float;      (** codec cost per wire byte (RX and TX) *)
+  frame_ns : float;     (** fixed per-frame codec cost *)
+  dispatch_ns : float;  (** scheduler hand-off, paid once per worker batch *)
+}
+
+val default_costs : costs
+
+type arrival = {
+  at : float;      (** intended arrival, simulated ns *)
+  conn : int;      (** connection id; frames on a conn decode in order *)
+  frame : bytes;   (** raw wire bytes — may be a partial or corrupt frame *)
+}
+
+type closed = {
+  conns : int;
+  gen : conn:int -> now:float -> Proto.req option;
+  (** Closed-loop clients: each connection issues its next request when
+      the previous reply lands; [None] retires the connection. *)
+}
+
+type window = {
+  w_start : float;
+  w_reqs : int;
+  w_writes : int;
+  w_shed : int;
+  w_gets : int;
+  w_get_p99 : float;  (** windowed p99 get {e service} latency, ns *)
+}
+
+type stats = {
+  submitted : int;       (** requests decoded off connections *)
+  executed : int;        (** requests that reached the store *)
+  ops_executed : int;    (** primitive ops (batches count their size) *)
+  shed : int;            (** rejected by admission control *)
+  corrupt : int;         (** connections dropped on codec corruption *)
+  start_ns : float;
+  end_ns : float;
+  service : Metrics.Histogram.t;      (** finish − intended, all requests *)
+  get_service : Metrics.Histogram.t;  (** read-only requests *)
+  put_service : Metrics.Histogram.t;  (** requests containing a write *)
+  queue_wait : Metrics.Histogram.t;   (** dispatch − RX-ready *)
+  get_execute : Metrics.Histogram.t;  (** store-execution stage of gets *)
+  max_depth : int;                    (** peak scheduler-queue depth *)
+  windows : window list;
+  counters : (string * float) list;   (** Obs counter deltas for this run *)
+}
+
+val throughput_mops : stats -> float
+val shed_rate : stats -> float
+
+val run :
+  ?costs:costs ->
+  ?sched:sched ->
+  ?admission:Admission.t ->
+  ?batch_max:int ->
+  ?window_ns:float ->
+  ?arrivals:arrival array ->
+  ?closed:closed ->
+  store:Kv_common.Store_intf.store ->
+  workers:int ->
+  start_at:float ->
+  unit ->
+  stats
+(** Drive the serving pipeline to completion: all open-loop [arrivals]
+    (must be sorted by [at]) plus any [closed] connections.  [workers]
+    simulated threads execute requests; [batch_max] bounds how many queued
+    requests one dispatch hands a worker.  [window_ns] sets the bucketing
+    for {!stats.windows}. *)

@@ -276,14 +276,16 @@ let test_attribution_reconciles_with_latency () =
   in
   check_op `Get r.Harness.Runner.get_latency;
   check_op `Put r.Harness.Runner.put_latency;
-  (* the table renders without blowing up and names every stage *)
+  (* the table renders without blowing up and names every get/put stage
+     (svc-* stages belong to the serving layer, which has its own runs) *)
   let table = Harness.Runner.attribution_table ~name:"ChameleonDB" r in
   List.iter
     (fun stage ->
-      Alcotest.(check bool)
-        (Attribution.name stage ^ " in table")
-        true
-        (count_substring table (Attribution.name stage) >= 1))
+      if Attribution.op_of stage <> `Svc then
+        Alcotest.(check bool)
+          (Attribution.name stage ^ " in table")
+          true
+          (count_substring table (Attribution.name stage) >= 1))
     Attribution.all;
   reset_obs ()
 
