@@ -16,9 +16,9 @@ let scale_of_quick quick =
 let store_names scale =
   List.map (fun s -> s.Harness.Stores.name) (Harness.Stores.all scale)
 
-let resolve_stores scale name =
-  if name = "all" then Harness.Stores.all scale
-  else [ Harness.Stores.find scale name ]
+let resolve_stores ?cache_bytes scale name =
+  if name = "all" then Harness.Stores.all ?cache_bytes scale
+  else [ Harness.Stores.find ?cache_bytes scale name ]
 
 (* ------------------------------- load command ---------------------------- *)
 
@@ -63,8 +63,9 @@ let run_load store keys threads quick =
 
 (* ------------------------------- ycsb command ---------------------------- *)
 
-let run_ycsb store mix ops threads trace_file quick =
+let run_ycsb store mix ops threads trace_file cache_mb quick =
   let scale = scale_of_quick quick in
+  let cache_bytes = cache_mb * 1024 * 1024 in
   let mix =
     match String.uppercase_ascii mix with
     | "LOAD" -> Workload.Ycsb.Load
@@ -84,7 +85,7 @@ let run_ycsb store mix ops threads trace_file quick =
         [ ("store", Table.Left); ("Mops/s", Table.Right);
           ("p50", Table.Right); ("p99", Table.Right) ]
   in
-  let specs = resolve_stores scale store in
+  let specs = resolve_stores ~cache_bytes scale store in
   (* with several stores, each gets its own trace file: NAME-<file> *)
   let trace_path spec =
     match trace_file with
@@ -220,9 +221,9 @@ let run_trace record replay mix ops store quick =
 (* ------------------------------ crash command ---------------------------- *)
 
 let run_crash store seeds seed ops universe per_site no_tear site at
-    recovery_at export quick =
+    recovery_at export cache_mb quick =
   let scale = scale_of_quick quick in
-  let specs = resolve_stores scale store in
+  let specs = resolve_stores ~cache_bytes:(cache_mb * 1024 * 1024) scale store in
   let tear = not no_tear in
   let seed_list =
     match seed with Some s -> [ s ] | None -> List.init seeds (fun i -> i + 1)
@@ -319,21 +320,23 @@ let run_crash store seeds seed ops universe per_site no_tear site at
 
 (* --------------------------- serve / client ------------------------------ *)
 
-let run_serve store path max_requests quick =
+let run_serve store path max_requests cache_mb quick =
   let scale = scale_of_quick quick in
   let clock = Pmem_sim.Clock.create () in
+  let cache_bytes = cache_mb * 1024 * 1024 in
   let backend =
     if store = "ChameleonDB" then
       (* the real path materializes values so gets return payloads *)
       let cfg =
         { (Harness.Stores.chameleon_cfg scale) with
-          Chameleondb.Config.materialize_values = true }
+          Chameleondb.Config.materialize_values = true;
+          cache_bytes }
       in
-      Service.Endpoint.backend_of_chameleon ~clock
-        (Chameleondb.Store.create ~cfg ())
+      Service.Endpoint.backend_of_store ~clock
+        (Chameleondb.Store.store (Chameleondb.Store.create ~cfg ()))
     else
       Service.Endpoint.backend_of_store ~clock
-        ((Harness.Stores.find scale store).Harness.Stores.make ())
+        ((Harness.Stores.find ~cache_bytes scale store).Harness.Stores.make ())
   in
   let max_requests = Option.value max_requests ~default:max_int in
   let served =
@@ -402,6 +405,14 @@ let store_arg =
 let threads_arg =
   Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N" ~doc:"Thread count.")
 
+let cache_mb_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:
+          "ChameleonDB DRAM read-cache capacity in MB (0 = disabled; \
+           baselines never have one).")
+
 let load_cmd =
   let keys =
     Arg.(
@@ -439,7 +450,7 @@ let ycsb_cmd =
     (Cmd.info "ycsb" ~doc:"Run a YCSB workload")
     Term.(
       const run_ycsb $ store_arg $ mix $ ops $ threads_arg $ trace
-      $ quick_arg)
+      $ cache_mb_arg $ quick_arg)
 
 let crash_cmd =
   let seeds =
@@ -518,7 +529,8 @@ let crash_cmd =
           every fault site")
     Term.(
       const run_crash $ store_arg $ seeds $ seed $ ops $ universe $ per_site
-      $ no_tear $ site $ at $ recovery_at $ export $ quick_arg)
+      $ no_tear $ site $ at $ recovery_at $ export $ cache_mb_arg
+      $ quick_arg)
 
 let bench_cmd =
   let ids =
@@ -586,7 +598,9 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a store over a Unix-domain socket (wire protocol)")
-    Term.(const run_serve $ store_arg $ socket_arg $ max_requests $ quick_arg)
+    Term.(
+      const run_serve $ store_arg $ socket_arg $ max_requests $ cache_mb_arg
+      $ quick_arg)
 
 let client_cmd =
   let script =

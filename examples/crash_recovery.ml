@@ -6,7 +6,7 @@
 
 module Store = Chameleondb.Store
 module Config = Chameleondb.Config
-module Shard = Chameleondb.Shard
+module Store_intf = Kv_common.Store_intf
 module Clock = Pmem_sim.Clock
 
 let n = 150_000
@@ -42,10 +42,12 @@ let () =
      in the upper levels rather than the last level *)
   let degraded = ref 0 and dram = ref 0 and last = ref 0 in
   for i = n - 30_000 to n - 29_801 do
-    match Store.get_detail db clock (Workload.Keyspace.key_of_index i) with
-    | Some _, Shard.Hit_upper -> incr degraded
-    | Some _, (Shard.Hit_abi | Shard.Hit_memtable) -> incr dram
-    | Some _, Shard.Hit_last -> incr last
+    match Store.read db clock (Workload.Keyspace.key_of_index i) with
+    | { Store_intf.loc = Some _; stage = Store_intf.Upper; _ } ->
+      incr degraded
+    | { loc = Some _; stage = Store_intf.Abi | Store_intf.Memtable; _ } ->
+      incr dram
+    | { loc = Some _; stage = Store_intf.Last; _ } -> incr last
     | _ -> ()
   done;
   Printf.printf
@@ -58,8 +60,11 @@ let () =
   Store.wait_background db clock;
   let dram2 = ref 0 in
   for i = n - 30_000 to n - 25_001 do
-    match Store.get_detail db clock (Workload.Keyspace.key_of_index i) with
-    | Some _, (Shard.Hit_abi | Shard.Hit_memtable) -> incr dram2
+    match Store.read db clock (Workload.Keyspace.key_of_index i) with
+    | { Store_intf.loc = Some _;
+        stage = Store_intf.Abi | Store_intf.Memtable;
+        _ } ->
+      incr dram2
     | _ -> ()
   done;
   Printf.printf

@@ -63,8 +63,9 @@ let () =
              with Config.materialize_values = true }
       ()
   in
-  Store.put_value small clock 99L (Bytes.of_string "a real payload");
-  (match Store.get_value small clock 99L with
+  Store.write small clock 99L
+    (Kv_common.Store_intf.Payload (Bytes.of_string "a real payload"));
+  (match (Store.read small clock 99L).Kv_common.Store_intf.value with
   | Some v -> Printf.printf "materialized value: %S\n" (Bytes.to_string v)
   | None -> assert false);
 

@@ -73,8 +73,16 @@ let check_invariants t =
 let store t : Kv_common.Store_intf.store =
   (module struct
     let name = "Dram-Hash"
-    let put clock key ~vlen = put t clock key ~vlen
-    let get clock key = get t clock key
+    let write clock key spec =
+      put t clock key ~vlen:(Kv_common.Store_intf.spec_vlen spec)
+
+    let read clock key : Kv_common.Store_intf.read_result =
+      match get t clock key with
+      | Some loc ->
+        { loc = Some loc; stage = Kv_common.Store_intf.Index; value = None }
+      | None ->
+        { loc = None; stage = Kv_common.Store_intf.Miss; value = None }
+
     let delete clock key = delete t clock key
     let flush clock = Vlog.flush t.vlog clock
     let maintenance _ = ()

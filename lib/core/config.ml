@@ -18,6 +18,9 @@ type t = {
   vlog_batch_bytes : int;
   materialize_values : bool;
   abi_enabled : bool;
+  cache_bytes : int;
+  cache_negative : bool;
+  gc_max_entries : int;
   seed : int;
 }
 
@@ -39,6 +42,9 @@ let default =
     vlog_batch_bytes = 4096;
     materialize_values = false;
     abi_enabled = true;
+    cache_bytes = 0;
+    cache_negative = true;
+    gc_max_entries = 100_000;
     seed = 7 }
 
 let scaled ?shards ?memtable_slots t =
@@ -60,6 +66,8 @@ let validate t =
   else if t.ratio < 2 then Error "ratio must be >= 2"
   else if not (0.0 < t.lf_min && t.lf_min <= t.lf_max && t.lf_max < 1.0) then
     Error "load-factor band must satisfy 0 < min <= max < 1"
+  else if t.cache_bytes < 0 then Error "cache_bytes must be >= 0"
+  else if t.gc_max_entries <= 0 then Error "gc_max_entries must be positive"
   else begin
     (* the ABI must accommodate the worst-case upper-level content *)
     let abi_capacity =

@@ -27,13 +27,23 @@ type t = {
   gpm_max_dumps : int;    (** ABIs dumpable as un-merged levels (default 1) *)
   vlog_batch_bytes : int; (** storage-log batch size (4 KB, Section 2.5) *)
   materialize_values : bool;
-      (** retain value payloads so {!Store.get_value} can return them
-          (default false: accounting-only log, memory-bounded for large
-          benchmark sweeps) *)
+      (** retain value payloads so {!Store.read} can return them (default
+          false: accounting-only log, memory-bounded for large benchmark
+          sweeps) *)
   abi_enabled : bool;
       (** ablation switch: with the ABI disabled, gets walk the levels in
           the Pmem and last-level compactions read the upper tables from
           the device — i.e. the store degenerates to Pmem-LSM-NF *)
+  cache_bytes : int;
+      (** DRAM read-cache capacity in bytes, split across per-shard
+          segments (0 = no cache, the default; the read path is then
+          byte-for-byte the pre-cache one) *)
+  cache_negative : bool;
+      (** also cache misses (negative caching), so repeated gets of absent
+          keys are answered from DRAM (default true; only meaningful with
+          [cache_bytes > 0]) *)
+  gc_max_entries : int;
+      (** log entries one {!Store.gc} pass scans by default (100k) *)
   seed : int;             (** randomized-load-factor seed *)
 }
 

@@ -4,6 +4,7 @@ module Types = Kv_common.Types
 module Vlog = Kv_common.Vlog
 module Hash = Kv_common.Hash
 module Fault_point = Kv_common.Fault_point
+module Store_intf = Kv_common.Store_intf
 
 let c_gc_relocations = Obs.Counters.counter "gc.relocations"
 let c_gc_reclaimed = Obs.Counters.counter "gc.reclaimed_bytes"
@@ -15,6 +16,7 @@ type t = {
   shards : Shard.t array;
   gpm : Modes.Gpm.t;
   manifest : Manifest.t;
+  cache : Cache.t option;
 }
 
 let create ?(cfg = Config.default) ?dev () =
@@ -38,7 +40,14 @@ let create ?(cfg = Config.default) ?dev () =
       Array.init cfg.Config.shards (fun id ->
           Shard.create ~manifest ~cfg ~id dev vlog);
     gpm = Modes.Gpm.create ~cfg;
-    manifest }
+    manifest;
+    cache =
+      (if cfg.Config.cache_bytes > 0 then
+         Some
+           (Cache.create ~negative:cfg.Config.cache_negative
+              ~shards:cfg.Config.shards
+              ~capacity_bytes:cfg.Config.cache_bytes ())
+       else None) }
 
 let cfg t = t.cfg
 let shards t = t.shards
@@ -61,67 +70,110 @@ let suspend_compactions t =
    Write-Intensive Mode merges a full ABI into the last level instead *)
 let can_dump t = t.cfg.Config.abi_enabled && Modes.Gpm.active t.gpm
 
-let put t clock key ~vlen =
-  if vlen < 0 then invalid_arg "Store.put: negative value length";
+(* Every put/delete must drop any cached entry for the key in the same
+   breath as the index insert, or a later cached read would serve a stale
+   location.  The cost is attributed to the index-insert stage: the cache
+   probe is index maintenance riding on the already-computed key hash. *)
+let cache_invalidate ?(attributed = true) t clock key =
+  match t.cache with
+  | None -> ()
+  | Some cache ->
+    let attr = attributed && Obs.Attribution.enabled () in
+    let t0 = if attr then Clock.now clock else 0.0 in
+    Cache.invalidate cache clock key;
+    if attr then
+      Obs.Attribution.add Obs.Attribution.Put_index_insert
+        (Clock.now clock -. t0)
+
+let write t clock key spec =
+  (match spec with
+  | Store_intf.Sized vlen when vlen < 0 ->
+    invalid_arg "Store.put: negative value length"
+  | _ -> ());
   Obs.Trace.begin_span clock ~cat:"op" "put";
   let shard = shard_of t key in
-  let loc = Vlog.append t.vlog clock key ~vlen in
+  let loc =
+    match spec with
+    | Store_intf.Sized vlen -> Vlog.append t.vlog clock key ~vlen
+    | Store_intf.Payload v -> Vlog.append_value t.vlog clock key v
+  in
+  cache_invalidate t clock key;
   Shard.put shard clock key loc ~suspend_compactions:(suspend_compactions t)
     ~can_dump:(can_dump t);
   Obs.Trace.end_span clock ~cat:"op" "put"
 
-let put_value t clock key value =
-  Obs.Trace.begin_span clock ~cat:"op" "put";
-  let shard = shard_of t key in
-  let loc = Vlog.append_value t.vlog clock key value in
-  Shard.put shard clock key loc ~suspend_compactions:(suspend_compactions t)
-    ~can_dump:(can_dump t);
-  Obs.Trace.end_span clock ~cat:"op" "put"
+let put t clock key ~vlen = write t clock key (Store_intf.Sized vlen)
 
 let delete t clock key =
   Obs.Trace.begin_span clock ~cat:"op" "delete";
   let shard = shard_of t key in
   let _loc = Vlog.append t.vlog clock key ~vlen:(-1) in
+  cache_invalidate ~attributed:false t clock key;
   Shard.put shard clock key Types.tombstone
     ~suspend_compactions:(suspend_compactions t) ~can_dump:(can_dump t);
   Obs.Trace.end_span clock ~cat:"op" "delete"
 
-let get_detail t clock key =
-  Obs.Trace.begin_span clock ~cat:"op" "get";
-  let t0 = Clock.now clock in
+let stage_of_hit : Shard.hit_stage -> Store_intf.read_stage = function
+  | Shard.Hit_memtable -> Store_intf.Memtable
+  | Shard.Hit_abi -> Store_intf.Abi
+  | Shard.Hit_dump -> Store_intf.Dump
+  | Shard.Hit_upper -> Store_intf.Upper
+  | Shard.Hit_last -> Store_intf.Last
+  | Shard.Miss -> Store_intf.Miss
+
+(* Index walk + log read, byte-for-byte the pre-cache get path: with the
+   cache disabled this is the whole read, so [cache_bytes = 0] reproduces
+   pre-cache latencies exactly. *)
+let slow_read t clock key : Store_intf.read_result =
   let shard = shard_of t key in
   if not (Modes.Gpm.active t.gpm) then
-    Shard.drain_dumps_if_idle shard ~now:t0;
-  let result, stage = Shard.get shard clock key in
-  let result =
-    match result with
-    | Some loc ->
-      (* fetch the value payload from the log *)
-      let k, _vlen = Vlog.read t.vlog clock loc in
-      if Int64.equal k key then Some loc
-      else None (* defensive: corrupt index entry *)
-    | None -> None
-  in
-  Modes.Gpm.record_get t.gpm (Clock.now clock -. t0);
-  Obs.Trace.end_span clock ~cat:"op" "get";
-  (result, stage)
+    Shard.drain_dumps_if_idle shard ~now:(Clock.now clock);
+  match Shard.get shard clock key with
+  | None, stage -> { loc = None; stage = stage_of_hit stage; value = None }
+  | Some loc, stage ->
+    let k, _vlen, value = Vlog.read_entry t.vlog clock loc in
+    if Int64.equal k key then
+      { loc = Some loc; stage = stage_of_hit stage; value }
+    else { loc = None; stage = Store_intf.Miss; value = None }
+    (* defensive: corrupt index entry *)
 
-let get t clock key = fst (get_detail t clock key)
-
-let get_value t clock key =
+let read t clock key : Store_intf.read_result =
   Obs.Trace.begin_span clock ~cat:"op" "get";
   let t0 = Clock.now clock in
-  let shard = shard_of t key in
-  if not (Modes.Gpm.active t.gpm) then
-    Shard.drain_dumps_if_idle shard ~now:t0;
   let result =
-    match Shard.get shard clock key with
-    | Some loc, _ -> Vlog.value_at t.vlog clock loc
-    | None, _ -> None
+    match t.cache with
+    | None -> slow_read t clock key
+    | Some cache -> begin
+      let attr = Obs.Attribution.enabled () in
+      let c0 = if attr then Clock.now clock else 0.0 in
+      let outcome = Cache.find cache clock key in
+      if attr then
+        Obs.Attribution.add Obs.Attribution.Get_cache (Clock.now clock -. c0);
+      match outcome with
+      | Cache.Hit { loc; vlen = _; value } ->
+        { Store_intf.loc = Some loc; stage = Store_intf.Cache; value }
+      | Cache.Negative ->
+        { Store_intf.loc = None; stage = Store_intf.Cache; value = None }
+      | Cache.Miss ->
+        let r = slow_read t clock key in
+        let f0 = if attr then Clock.now clock else 0.0 in
+        (match r.Store_intf.loc with
+        | Some loc ->
+          Cache.insert cache clock key ~loc
+            ~vlen:(Vlog.vlen_at t.vlog loc)
+            ?value:r.Store_intf.value ()
+        | None -> Cache.insert_negative cache clock key);
+        if attr then
+          Obs.Attribution.add Obs.Attribution.Get_cache
+            (Clock.now clock -. f0);
+        r
+    end
   in
   Modes.Gpm.record_get t.gpm (Clock.now clock -. t0);
   Obs.Trace.end_span clock ~cat:"op" "get";
   result
+
+let get t clock key = (read t clock key).Store_intf.loc
 
 let flush_all t clock =
   Array.iter (fun shard -> Shard.force_flush shard clock) t.shards;
@@ -136,7 +188,10 @@ let wait_background t clock =
 let crash t =
   Device.crash t.dev;
   Vlog.crash t.vlog;
-  Array.iter Shard.lose_volatile t.shards
+  Array.iter Shard.lose_volatile t.shards;
+  (* the read cache is volatile: it must not survive into recovery, or a
+     cached location could resurrect state the crash rolled back *)
+  Option.iter Cache.clear t.cache
 
 let recover t clock =
   Fault_point.with_site Fault_point.Recovery @@ fun () ->
@@ -179,7 +234,12 @@ type gc_stats = {
   gc_reclaimed_bytes : int;
 }
 
-let gc t clock ?(max_entries = 100_000) () =
+let gc t clock ?max_entries () =
+  let max_entries =
+    match max_entries with
+    | Some n -> n
+    | None -> t.cfg.Config.gc_max_entries
+  in
   Fault_point.with_site Fault_point.Gc @@ fun () ->
   Obs.Trace.begin_span clock ~cat:"gc" "gc";
   (* flush the open batch so the scan limit can include the current tail *)
@@ -195,6 +255,12 @@ let gc t clock ?(max_entries = 100_000) () =
         incr live;
         Obs.Counters.incr c_gc_relocations;
         let fresh = Vlog.copy_entry t.vlog clock loc in
+        (* keep any cached entry pointing at the key's current version:
+           the old location is about to be reclaimed *)
+        Option.iter
+          (fun cache ->
+            Cache.relocate cache clock key ~expect:loc ~loc:fresh)
+          t.cache;
         Shard.put shard clock key fresh
           ~suspend_compactions:(suspend_compactions t)
           ~can_dump:(can_dump t)
@@ -241,9 +307,15 @@ let iter t clock f =
       Shard.iter_newest_first shard clock visit)
     t.shards
 
+let cache_stats t =
+  match t.cache with
+  | None -> None
+  | Some c -> Some (Cache.used_bytes c, Cache.capacity_bytes c)
+
 let dram_footprint t =
   Array.fold_left (fun acc s -> acc +. Shard.dram_footprint s) 0.0 t.shards
   +. Vlog.dram_footprint t.vlog
+  +. (match t.cache with Some c -> Cache.dram_footprint c | None -> 0.0)
 
 let pmem_footprint t =
   Array.fold_left (fun acc s -> acc +. Shard.pmem_footprint s) 0.0 t.shards
@@ -295,8 +367,8 @@ let check_invariants t =
 let store ?(name = "ChameleonDB") t : Kv_common.Store_intf.store =
   (module struct
     let name = name
-    let put clock key ~vlen = put t clock key ~vlen
-    let get clock key = get t clock key
+    let write clock key spec = write t clock key spec
+    let read clock key = read t clock key
     let delete clock key = delete t clock key
     let flush clock = flush_all t clock
     let maintenance clock = ignore (gc t clock ())

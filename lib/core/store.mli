@@ -27,31 +27,37 @@ val shards : t -> Shard.t array
 val device : t -> Pmem_sim.Device.t
 val vlog : t -> Kv_common.Vlog.t
 
+val write :
+  t -> Pmem_sim.Clock.t -> Kv_common.Types.key ->
+  Kv_common.Store_intf.value_spec -> unit
+(** Append the value to the storage log, invalidate any cached entry, and
+    index the key.  [Sized] charges for an accounting-only payload;
+    [Payload] carries real bytes (retained when
+    {!Config.t.materialize_values} is set — identical device traffic
+    either way).  May trigger flushes and compactions whose cost lands on
+    the shard's background clock; the write stalls only when it must wait
+    for previous background work.  Raises [Invalid_argument] on a negative
+    [Sized] length. *)
+
+val read :
+  t -> Pmem_sim.Clock.t -> Kv_common.Types.key ->
+  Kv_common.Store_intf.read_result
+(** The get path: DRAM read-cache probe first (when
+    {!Config.t.cache_bytes} > 0), then index lookup plus a log read of the
+    value on a hit.  The result carries the log location ([None] for
+    absent or deleted keys), the answering structure, and the payload when
+    the store materializes values.  Feeds the Get-Protect Mode latency
+    monitor.  With the cache disabled the path is byte-for-byte the
+    pre-cache one. *)
+
 val put : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> vlen:int -> unit
-(** Append the value to the storage log and index it.  May trigger flushes
-    and compactions whose cost lands on the shard's background clock; the
-    put stalls only when it must wait for previous background work. *)
+(** Thin wrapper: {!write} with [Sized vlen]. *)
 
 val get : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> Kv_common.Types.loc option
-(** Index lookup plus a log read of the value on a hit.  [None] for absent
-    or deleted keys.  Feeds the Get-Protect Mode latency monitor. *)
-
-val get_detail :
-  t -> Pmem_sim.Clock.t -> Kv_common.Types.key ->
-  Kv_common.Types.loc option * Shard.hit_stage
-(** Like {!get} but also reports which structure answered (experiments). *)
+(** Thin wrapper: [(read ...).loc]. *)
 
 val delete : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> unit
 (** Tombstone write: a header-only log entry plus an index tombstone. *)
-
-val put_value : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> bytes -> unit
-(** Like {!put} with a real payload.  Retained and retrievable via
-    {!get_value} when {!Config.t.materialize_values} is set; otherwise only
-    its size is kept (identical device traffic either way). *)
-
-val get_value : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> bytes option
-(** The stored payload, or [None] when the key is absent/deleted or the
-    store runs in accounting-only mode. *)
 
 val flush_all : t -> Pmem_sim.Clock.t -> unit
 (** Flush every MemTable and the log batch (clean checkpoint). *)
@@ -90,8 +96,14 @@ type gc_stats = {
 }
 
 val gc : t -> Pmem_sim.Clock.t -> ?max_entries:int -> unit -> gc_stats
-(** Run one GC pass over up to [max_entries] (default 100k) of the oldest
-    live log prefix. *)
+(** Run one GC pass over up to [max_entries] (default
+    {!Config.t.gc_max_entries}) of the oldest live log prefix.  Live
+    entries a pass relocates keep any cached read-cache entry pointing at
+    the key's current location. *)
+
+val cache_stats : t -> (int * int) option
+(** [(used_bytes, capacity_bytes)] of the DRAM read cache, or [None] when
+    the cache is disabled. *)
 
 val iter :
   t -> Pmem_sim.Clock.t ->

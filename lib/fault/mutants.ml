@@ -19,16 +19,20 @@ let broken_replay () : Kv_common.Store_intf.store =
   (module struct
     let name = "Broken-Replay"
 
-    let put clock key ~vlen =
+    let write clock key spec =
+      let vlen = Kv_common.Store_intf.spec_vlen spec in
       let loc = Vlog.append vlog clock key ~vlen in
       Robinhood.put !index clock key loc
 
-    let get clock key =
+    let read clock key : Kv_common.Store_intf.read_result =
       match Robinhood.get !index clock key with
       | Some loc when not (Types.is_tombstone loc) ->
         let k, _ = Vlog.read vlog clock loc in
-        if Int64.equal k key then Some loc else None
-      | Some _ | None -> None
+        if Int64.equal k key then
+          { loc = Some loc; stage = Kv_common.Store_intf.Index; value = None }
+        else { loc = None; stage = Kv_common.Store_intf.Miss; value = None }
+      | Some _ | None ->
+        { loc = None; stage = Kv_common.Store_intf.Miss; value = None }
 
     let delete clock key =
       let _loc = Vlog.append vlog clock key ~vlen:(-1) in

@@ -44,9 +44,9 @@ let chameleon ?(f = fun cfg -> cfg) ?(name = "ChameleonDB") scale =
       (fun () -> Chameleondb.Store.store ~name
           (Chameleondb.Store.create ~cfg:(f (chameleon_cfg scale)) ())) }
 
-let all scale =
+let all ?(cache_bytes = 0) scale =
   let cfg = chameleon_cfg scale in
-  [ chameleon scale;
+  [ chameleon ~f:(fun cfg -> { cfg with Config.cache_bytes }) scale;
     { name = "Pmem-LSM-PinK";
       make =
         (fun () -> Baselines.Pmem_lsm.store
@@ -67,8 +67,8 @@ let all scale =
         (fun () -> Baselines.Dram_hash.store (Baselines.Dram_hash.create ())) }
   ]
 
-let find scale name =
-  match List.find_opt (fun s -> s.name = name) (all scale) with
+let find ?cache_bytes scale name =
+  match List.find_opt (fun s -> s.name = name) (all ?cache_bytes scale) with
   | Some s -> s
   | None -> invalid_arg ("Stores.find: unknown store " ^ name)
 

@@ -26,9 +26,11 @@ type spec = {
       (** fresh store on a fresh simulated device *)
 }
 
-val all : scale -> spec list
+val all : ?cache_bytes:int -> scale -> spec list
 (** The six stores of the main evaluation: ChameleonDB, Pmem-LSM-PinK,
-    Pmem-LSM-NF, Pmem-LSM-F, Pmem-Hash, Dram-Hash. *)
+    Pmem-LSM-NF, Pmem-LSM-F, Pmem-Hash, Dram-Hash.  [cache_bytes]
+    (default 0 = disabled) sizes ChameleonDB's DRAM read cache; the
+    baselines have none, as in the paper. *)
 
 val chameleon :
   ?f:(Chameleondb.Config.t -> Chameleondb.Config.t) -> ?name:string ->
@@ -36,7 +38,7 @@ val chameleon :
 (** ChameleonDB with a config tweak (modes, compaction scheme, ablations);
     [name] labels the variant in reports and the crash sweep. *)
 
-val find : scale -> string -> spec
+val find : ?cache_bytes:int -> scale -> string -> spec
 
 val load_unique :
   store:Kv_common.Store_intf.store -> threads:int -> start_at:float ->

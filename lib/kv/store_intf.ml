@@ -2,10 +2,42 @@
    [(module STORE)]; the harness and the fault injector drive stores
    through the accessor functions below without knowing the design. *)
 
+type read_stage =
+  | Memtable
+  | Cache
+  | Abi
+  | Dump
+  | Upper
+  | Last
+  | Index
+  | Miss
+
+let stage_name = function
+  | Memtable -> "memtable"
+  | Cache -> "cache"
+  | Abi -> "abi"
+  | Dump -> "dump"
+  | Upper -> "upper"
+  | Last -> "last"
+  | Index -> "index"
+  | Miss -> "miss"
+
+type read_result = {
+  loc : Types.loc option;
+  stage : read_stage;
+  value : bytes option;
+}
+
+type value_spec = Sized of int | Payload of bytes
+
+let spec_vlen = function
+  | Sized vlen -> vlen
+  | Payload v -> Bytes.length v
+
 module type STORE = sig
   val name : string
-  val put : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit
-  val get : Pmem_sim.Clock.t -> Types.key -> Types.loc option
+  val write : Pmem_sim.Clock.t -> Types.key -> value_spec -> unit
+  val read : Pmem_sim.Clock.t -> Types.key -> read_result
   val delete : Pmem_sim.Clock.t -> Types.key -> unit
   val flush : Pmem_sim.Clock.t -> unit
   val maintenance : Pmem_sim.Clock.t -> unit
@@ -22,8 +54,8 @@ end
 type store = (module STORE)
 
 let name (module S : STORE) = S.name
-let put (module S : STORE) clock key ~vlen = S.put clock key ~vlen
-let get (module S : STORE) clock key = S.get clock key
+let write (module S : STORE) clock key spec = S.write clock key spec
+let read (module S : STORE) clock key = S.read clock key
 let delete (module S : STORE) clock key = S.delete clock key
 let flush (module S : STORE) clock = S.flush clock
 let maintenance (module S : STORE) clock = S.maintenance clock
@@ -36,11 +68,16 @@ let device (module S : STORE) = S.device
 let vlog (module S : STORE) = S.vlog
 let fault_points (module S : STORE) = S.fault_points
 
+(* Thin convenience wrappers over [read]/[write] — the blessed way to ask
+   the simpler questions.  Everything else drives the two-method API. *)
+let put (module S : STORE) clock key ~vlen = S.write clock key (Sized vlen)
+let get (module S : STORE) clock key = (S.read clock key).loc
+
 let apply (module S : STORE) clock (op : Types.op) =
   match op with
-  | Types.Put (k, vlen) -> S.put clock k ~vlen
-  | Types.Get k -> ignore (S.get clock k)
+  | Types.Put (k, vlen) -> S.write clock k (Sized vlen)
+  | Types.Get k -> ignore (S.read clock k)
   | Types.Delete k -> S.delete clock k
   | Types.Read_modify_write (k, vlen) ->
-    ignore (S.get clock k);
-    S.put clock k ~vlen
+    ignore (S.read clock k);
+    S.write clock k (Sized vlen)

@@ -3,15 +3,53 @@
     Each store design (ChameleonDB and the five baselines) packs itself as
     a [(module STORE)] value; the harness, checker and fault injector drive
     stores through the accessors below without knowing the design.  All
-    operations charge simulated time to the supplied clock.  [get] includes
-    reading the value payload from the log on a hit, as a real get must. *)
+    operations charge simulated time to the supplied clock.
+
+    The read/write surface is deliberately narrow: one {!STORE.read} that
+    returns everything a get can know (location, answering structure,
+    payload when available) and one {!STORE.write} that takes a
+    {!value_spec} (a size for accounting-only runs, real bytes for
+    materialized ones).  The old [get]/[get_detail]/[get_value] and
+    [put]/[put_value] sprawl collapsed into these two; {!get} and {!put}
+    survive only as thin convenience wrappers. *)
+
+type read_stage =
+  | Memtable  (** DRAM MemTable *)
+  | Cache     (** DRAM read cache (positive or negative hit) *)
+  | Abi       (** asynchronous DRAM index *)
+  | Dump      (** GPM-dumped un-merged Pmem table *)
+  | Upper     (** upper Pmem levels (degraded window) *)
+  | Last      (** last-level Pmem table *)
+  | Index     (** design-specific index (baselines report this) *)
+  | Miss
+
+val stage_name : read_stage -> string
+
+type read_result = {
+  loc : Types.loc option;  (** [None] for absent or deleted keys *)
+  stage : read_stage;      (** which structure answered *)
+  value : bytes option;
+      (** the payload, when the store materializes values (or the cache
+          holds them); [None] in accounting-only mode *)
+}
+
+type value_spec =
+  | Sized of int     (** accounting-only payload of [vlen] bytes *)
+  | Payload of bytes (** real payload (retained in materialized mode) *)
+
+val spec_vlen : value_spec -> int
+(** The payload size a spec charges for. *)
 
 module type STORE = sig
   val name : string
 
-  val put : Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit
-  val get : Pmem_sim.Clock.t -> Types.key -> Types.loc option
-  (** [None] for absent or deleted keys. *)
+  val write : Pmem_sim.Clock.t -> Types.key -> value_spec -> unit
+  (** Append the value to the storage log and index it.  May trigger
+      flushes and compactions on background clocks. *)
+
+  val read : Pmem_sim.Clock.t -> Types.key -> read_result
+  (** Index (or cache) lookup plus a log read of the value on a hit, as a
+      real get must. *)
 
   val delete : Pmem_sim.Clock.t -> Types.key -> unit
 
@@ -52,8 +90,8 @@ type store = (module STORE)
 (** {1 Accessors} — call these rather than unpacking at every site. *)
 
 val name : store -> string
-val put : store -> Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit
-val get : store -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
+val write : store -> Pmem_sim.Clock.t -> Types.key -> value_spec -> unit
+val read : store -> Pmem_sim.Clock.t -> Types.key -> read_result
 val delete : store -> Pmem_sim.Clock.t -> Types.key -> unit
 val flush : store -> Pmem_sim.Clock.t -> unit
 val maintenance : store -> Pmem_sim.Clock.t -> unit
@@ -66,5 +104,13 @@ val device : store -> Pmem_sim.Device.t
 val vlog : store -> Vlog.t
 val fault_points : store -> Fault_point.site list
 
+(** {1 Convenience wrappers} — thin sugar over {!read}/{!write}. *)
+
+val put : store -> Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit
+(** [write] with [Sized vlen]. *)
+
+val get : store -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
+(** [(read ...).loc]. *)
+
 val apply : store -> Pmem_sim.Clock.t -> Types.op -> unit
-(** Run one workload operation against a store (RMW = get then put). *)
+(** Run one workload operation against a store (RMW = read then write). *)

@@ -167,6 +167,22 @@ let read t clock loc =
     Obs.Attribution.add Obs.Attribution.Get_log_read (Clock.now clock -. t0);
   (key_at t loc, vlen)
 
+let read_entry t clock loc =
+  if loc < 0 || loc >= t.n then invalid_arg "Vlog.read_entry";
+  if loc < t.head then invalid_arg "Vlog.read_entry: reclaimed location";
+  let attr = Obs.Attribution.enabled () in
+  let t0 = if attr then Clock.now clock else 0.0 in
+  let vlen = vlen_at t loc in
+  let bytes = entry_bytes ~vlen in
+  Device.charge_read_bytes t.dev clock ~len:(min bytes 256) ~hint:Random;
+  if bytes > 256 then
+    Device.charge_read_bytes t.dev clock ~len:(bytes - 256) ~hint:Bulk;
+  Obs.Counters.incr c_reads;
+  if attr then
+    Obs.Attribution.add Obs.Attribution.Get_log_read (Clock.now clock -. t0);
+  (* the payload rode along in the same entry read — no further charge *)
+  (key_at t loc, vlen, Option.map Bytes.copy (Hashtbl.find_opt t.payloads loc))
+
 let verify t clock loc key =
   let k, _ = read t clock loc in
   Int64.equal k key

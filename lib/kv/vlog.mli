@@ -52,6 +52,13 @@ val read : t -> Pmem_sim.Clock.t -> Types.loc -> Types.key * int
 (** [read t c loc] charges a device read of the full entry and returns
     [(key, vlen)].  Raises [Invalid_argument] on an out-of-range location. *)
 
+val read_entry :
+  t -> Pmem_sim.Clock.t -> Types.loc -> Types.key * int * bytes option
+(** [read_entry t c loc] is {!read} plus the materialized payload when one
+    exists ([None] in accounting mode): one device read charge covers the
+    whole entry, payload included.  The unified store read path uses this
+    so a cache fill can capture the bytes without a second read. *)
+
 val verify : t -> Pmem_sim.Clock.t -> Types.loc -> Types.key -> bool
 (** [verify t c loc key]: read the entry and check it carries [key] (the
     synthesized payload is a function of the key, so a key match validates

@@ -1,4 +1,5 @@
 type stage =
+  | Get_cache
   | Get_memtable
   | Get_abi
   | Get_level_probe
@@ -12,28 +13,30 @@ type stage =
   | Svc_execute
   | Svc_encode
 
-let nstages = 12
+let nstages = 13
 
 let index = function
-  | Get_memtable -> 0
-  | Get_abi -> 1
-  | Get_level_probe -> 2
-  | Get_log_read -> 3
-  | Put_batch_copy -> 4
-  | Put_index_insert -> 5
-  | Put_flush_stall -> 6
-  | Put_compaction_stall -> 7
-  | Svc_decode -> 8
-  | Svc_queue -> 9
-  | Svc_execute -> 10
-  | Svc_encode -> 11
+  | Get_cache -> 0
+  | Get_memtable -> 1
+  | Get_abi -> 2
+  | Get_level_probe -> 3
+  | Get_log_read -> 4
+  | Put_batch_copy -> 5
+  | Put_index_insert -> 6
+  | Put_flush_stall -> 7
+  | Put_compaction_stall -> 8
+  | Svc_decode -> 9
+  | Svc_queue -> 10
+  | Svc_execute -> 11
+  | Svc_encode -> 12
 
 let all =
-  [ Get_memtable; Get_abi; Get_level_probe; Get_log_read; Put_batch_copy;
-    Put_index_insert; Put_flush_stall; Put_compaction_stall; Svc_decode;
-    Svc_queue; Svc_execute; Svc_encode ]
+  [ Get_cache; Get_memtable; Get_abi; Get_level_probe; Get_log_read;
+    Put_batch_copy; Put_index_insert; Put_flush_stall; Put_compaction_stall;
+    Svc_decode; Svc_queue; Svc_execute; Svc_encode ]
 
 let name = function
+  | Get_cache -> "cache"
   | Get_memtable -> "memtable"
   | Get_abi -> "abi"
   | Get_level_probe -> "level-probe"
@@ -48,7 +51,8 @@ let name = function
   | Svc_encode -> "svc-encode"
 
 let op_of = function
-  | Get_memtable | Get_abi | Get_level_probe | Get_log_read -> `Get
+  | Get_cache | Get_memtable | Get_abi | Get_level_probe | Get_log_read ->
+    `Get
   | Put_batch_copy | Put_index_insert | Put_flush_stall
   | Put_compaction_stall ->
     `Put

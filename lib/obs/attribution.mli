@@ -6,8 +6,9 @@
     per-stage breakdown whose sums reconcile with the end-to-end mean
     latency.
 
-    Get stages: MemTable probe, ABI probe, persistent-level probes (dumped /
-    upper / last tables), value-log read.  Put stages: log batch copy,
+    Get stages: DRAM read-cache probe/serve/fill, MemTable probe, ABI
+    probe, persistent-level probes (dumped / upper / last tables),
+    value-log read.  Put stages: log batch copy,
     index (MemTable) insert, and the two stall flavours — waiting behind a
     background flush vs. behind a compaction.  Service stages (the [`Svc]
     class) attribute a request's life inside the serving pipeline: frame
@@ -17,6 +18,7 @@
     Like {!Trace}, recording is a no-op unless {!enable}d. *)
 
 type stage =
+  | Get_cache
   | Get_memtable
   | Get_abi
   | Get_level_probe

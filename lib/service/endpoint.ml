@@ -18,40 +18,20 @@ let backend_of_store ~clock store =
   let rec exec ~top req =
     match req with
     | Proto.Get k -> (
-      match S.get store clock k with
-      | Some loc -> (
+      match S.read store clock k with
+      | { S.value = Some v; _ } -> Proto.Value v
+      | { S.loc = Some loc; _ } -> (
+        (* stores that don't surface payloads in [read] may still
+           materialize them in the vlog *)
         match Kv_common.Vlog.value_at vlog clock loc with
         | Some v -> Proto.Value v
         | None -> Proto.Hit (Kv_common.Vlog.vlen_at vlog loc))
-      | None -> Proto.Miss)
+      | { S.loc = None; _ } -> Proto.Miss)
     | Proto.Put (k, v) ->
-      S.put store clock k ~vlen:(Bytes.length v);
+      S.write store clock k (S.Payload v);
       Proto.Ok
     | Proto.Delete k ->
       S.delete store clock k;
-      Proto.Ok
-    | Proto.Batch reqs ->
-      if top then Proto.Replies (List.map (exec ~top:false) reqs)
-      else Proto.Err "nested batch"
-  in
-  exec ~top:true
-
-let backend_of_chameleon ~clock (t : Chameleondb.Store.t) =
-  let rec exec ~top req =
-    match req with
-    | Proto.Get k -> (
-      match Chameleondb.Store.get_value t clock k with
-      | Some v -> Proto.Value v
-      | None -> (
-        match Chameleondb.Store.get t clock k with
-        | Some loc ->
-          Proto.Hit (Kv_common.Vlog.vlen_at (Chameleondb.Store.vlog t) loc)
-        | None -> Proto.Miss))
-    | Proto.Put (k, v) ->
-      Chameleondb.Store.put_value t clock k v;
-      Proto.Ok
-    | Proto.Delete k ->
-      Chameleondb.Store.delete t clock k;
       Proto.Ok
     | Proto.Batch reqs ->
       if top then Proto.Replies (List.map (exec ~top:false) reqs)

@@ -8,12 +8,10 @@ type backend = Proto.req -> Proto.reply
 
 val backend_of_store :
   clock:Pmem_sim.Clock.t -> Kv_common.Store_intf.store -> backend
-(** Executes against any packed store.  Gets reply [Value] when the vlog
-    materializes payloads, [Hit vlen] otherwise. *)
-
-val backend_of_chameleon :
-  clock:Pmem_sim.Clock.t -> Chameleondb.Store.t -> backend
-(** ChameleonDB with real payloads via [put_value] / [get_value]. *)
+(** Executes against any packed store through the unified
+    [read]/[write] API.  Gets reply [Value] when the read (or the vlog)
+    surfaces a materialized payload, [Hit vlen] otherwise; puts carry
+    their real bytes as a [Payload] spec. *)
 
 val serve :
   ?backlog:int ->

@@ -10,8 +10,13 @@ module Clock = Pmem_sim.Clock
 module Device = Pmem_sim.Device
 module Types = Kv_common.Types
 module Vlog = Kv_common.Vlog
+module SI = Kv_common.Store_intf
 
 let key i = Workload.Keyspace.key_of_index i
+
+let write_bytes db c k v = Store.write db c k (SI.Payload v)
+let read_value db c k = (Store.read db c k).SI.value
+let read_stage db c k = (Store.read db c k).SI.stage
 
 (* a small but structurally complete configuration *)
 let small_cfg =
@@ -263,14 +268,14 @@ let test_store_get_stages () =
   load db c (2 * full_cycle_keys small_cfg);
   let stages = Hashtbl.create 8 in
   for i = 0 to 2 * full_cycle_keys small_cfg - 1 do
-    let r, stage = Store.get_detail db c (key i) in
-    Alcotest.(check bool) "found" true (r <> None);
-    Hashtbl.replace stages stage ()
+    let r = Store.read db c (key i) in
+    Alcotest.(check bool) "found" true (r.SI.loc <> None);
+    Hashtbl.replace stages r.SI.stage ()
   done;
   Alcotest.(check bool) "some last-level hits" true
-    (Hashtbl.mem stages Shard.Hit_last);
+    (Hashtbl.mem stages SI.Last);
   Alcotest.(check bool) "some DRAM-index hits" true
-    (Hashtbl.mem stages Shard.Hit_abi || Hashtbl.mem stages Shard.Hit_memtable)
+    (Hashtbl.mem stages SI.Abi || Hashtbl.mem stages SI.Memtable)
 
 (* ---------------------------- Crash and recovery ------------------------- *)
 
@@ -303,17 +308,18 @@ let test_recovery_degraded_then_ready () =
   let rc = Clock.create ~at:(Clock.now c) () in
   ignore (Store.recover db rc);
   (* immediately after recovery: gets run degraded but must be correct *)
-  let _, stage = Store.get_detail db rc (key 0) in
-  Alcotest.(check bool) "answered" true (stage <> Shard.Miss);
+  let stage = read_stage db rc (key 0) in
+  Alcotest.(check bool) "answered" true (stage <> SI.Miss);
   (* after the ABI rebuild completes, gets go through the ABI again *)
   Store.wait_background db rc;
   let late = Clock.create ~at:(Clock.now rc +. 1e9) () in
   let hit_dram = ref false in
   for i = 0 to n - 1 do
-    match Store.get_detail db late (key i) with
-    | Some _, (Shard.Hit_abi | Shard.Hit_memtable) -> hit_dram := true
-    | Some _, _ -> ()
-    | None, _ -> Alcotest.failf "key %d missing" i
+    match Store.read db late (key i) with
+    | { SI.loc = Some _; stage = SI.Abi | SI.Memtable; _ } ->
+      hit_dram := true
+    | { loc = Some _; _ } -> ()
+    | { loc = None; _ } -> Alcotest.failf "key %d missing" i
   done;
   Alcotest.(check bool) "ABI serving after rebuild" true !hit_dram
 
@@ -424,14 +430,14 @@ let test_abi_disabled_still_correct () =
   let n = full_cycle_keys small_cfg in
   load db c n;
   for i = 0 to n - 1 do
-    match Store.get_detail db c (key i) with
-    | Some _, _ -> ()
-    | None, _ -> Alcotest.failf "key %d missing without ABI" i
+    match Store.read db c (key i) with
+    | { SI.loc = Some _; _ } -> ()
+    | { loc = None; _ } -> Alcotest.failf "key %d missing without ABI" i
   done;
   (* and gets never report ABI hits *)
-  let r, stage = Store.get_detail db c (key 0) in
+  let r = Store.read db c (key 0) in
   Alcotest.(check bool) "no ABI stage" true
-    (r <> None && stage <> Shard.Hit_abi)
+    (r.SI.loc <> None && r.SI.stage <> SI.Abi)
 
 (* ------------------------------- Footprints ------------------------------ *)
 
@@ -703,26 +709,26 @@ let mat_cfg = { small_cfg with Config.materialize_values = true }
 let test_put_get_value_roundtrip () =
   let db = mk ~cfg:mat_cfg () in
   let c = Clock.create () in
-  Store.put_value db c 1L (Bytes.of_string "hello world");
-  Store.put_value db c 2L (Bytes.of_string "");
+  write_bytes db c 1L (Bytes.of_string "hello world");
+  write_bytes db c 2L (Bytes.of_string "");
   Alcotest.(check (option string)) "roundtrip" (Some "hello world")
-    (Option.map Bytes.to_string (Store.get_value db c 1L));
+    (Option.map Bytes.to_string (read_value db c 1L));
   Alcotest.(check (option string)) "empty value" (Some "")
-    (Option.map Bytes.to_string (Store.get_value db c 2L));
-  Alcotest.(check bool) "absent" true (Store.get_value db c 3L = None);
-  Store.put_value db c 1L (Bytes.of_string "v2");
+    (Option.map Bytes.to_string (read_value db c 2L));
+  Alcotest.(check bool) "absent" true (read_value db c 3L = None);
+  write_bytes db c 1L (Bytes.of_string "v2");
   Alcotest.(check (option string)) "update" (Some "v2")
-    (Option.map Bytes.to_string (Store.get_value db c 1L));
+    (Option.map Bytes.to_string (read_value db c 1L));
   Store.delete db c 1L;
-  Alcotest.(check bool) "deleted" true (Store.get_value db c 1L = None)
+  Alcotest.(check bool) "deleted" true (read_value db c 1L = None)
 
 let test_value_accounting_mode_returns_none () =
   let db = mk () in
   let c = Clock.create () in
-  Store.put_value db c 1L (Bytes.of_string "x");
+  write_bytes db c 1L (Bytes.of_string "x");
   Alcotest.(check bool) "present in index" true (Store.get db c 1L <> None);
   Alcotest.(check bool) "payload not retained" true
-    (Store.get_value db c 1L = None)
+    (read_value db c 1L = None)
 
 let test_values_survive_compactions_and_gc () =
   let db = mk ~cfg:mat_cfg () in
@@ -730,15 +736,15 @@ let test_values_survive_compactions_and_gc () =
   let n = full_cycle_keys small_cfg in
   let content i = Printf.sprintf "value-%d" i in
   for i = 0 to n - 1 do
-    Store.put_value db c (key i) (Bytes.of_string (content i))
+    write_bytes db c (key i) (Bytes.of_string (content i))
   done;
   (* force compactions with a second round of updates *)
   for i = 0 to n - 1 do
-    Store.put_value db c (key i) (Bytes.of_string (content (i + 1)))
+    write_bytes db c (key i) (Bytes.of_string (content (i + 1)))
   done;
   let _ = Store.gc db c ~max_entries:n () in
   for i = 0 to n - 1 do
-    match Store.get_value db c (key i) with
+    match read_value db c (key i) with
     | Some v when Bytes.to_string v = content (i + 1) -> ()
     | Some v ->
       Alcotest.failf "key %d: wrong payload %S" i (Bytes.to_string v)
@@ -748,15 +754,15 @@ let test_values_survive_compactions_and_gc () =
 let test_values_dropped_on_crash_tail () =
   let db = mk ~cfg:mat_cfg () in
   let c = Clock.create () in
-  Store.put_value db c 1L (Bytes.of_string "persisted");
+  write_bytes db c 1L (Bytes.of_string "persisted");
   Store.flush_all db c;
-  Store.put_value db c 2L (Bytes.of_string "volatile");
+  write_bytes db c 2L (Bytes.of_string "volatile");
   Store.crash db;
   ignore (Store.recover db c);
   Alcotest.(check (option string)) "persisted survives" (Some "persisted")
-    (Option.map Bytes.to_string (Store.get_value db c 1L));
+    (Option.map Bytes.to_string (read_value db c 1L));
   Alcotest.(check bool) "unpersisted payload gone" true
-    (Store.get_value db c 2L = None)
+    (read_value db c 2L = None)
 
 
 (* --------------------------------- Report -------------------------------- *)

@@ -241,12 +241,14 @@ let test_export_json_from_real_run () =
 (* --------------------- Attribution vs. measured latency ------------------ *)
 
 (* The acceptance bar for the attribution table: per-op stage sums must
-   reconcile with the measured end-to-end mean latency (within 1%). *)
-let test_attribution_reconciles_with_latency () =
+   reconcile with the measured end-to-end mean latency (within 1%).  Run
+   both without and with the DRAM read cache: the cache stage's probe and
+   fill time must fold into the same budget, not leak outside it. *)
+let reconciles_with_latency ~cache_bytes () =
   reset_obs ();
   Attribution.enable ();
   let scale = Harness.Stores.quick in
-  let spec = Harness.Stores.find scale "ChameleonDB" in
+  let spec = Harness.Stores.find ~cache_bytes scale "ChameleonDB" in
   let store = spec.Harness.Stores.make () in
   let load =
     Harness.Stores.load_unique ~store ~threads:4 ~start_at:0.0 ~n:20_000
@@ -276,6 +278,13 @@ let test_attribution_reconciles_with_latency () =
   in
   check_op `Get r.Harness.Runner.get_latency;
   check_op `Put r.Harness.Runner.put_latency;
+  let cache_ns =
+    Attribution.stage_ns r.Harness.Runner.attribution Attribution.Get_cache
+  in
+  if cache_bytes > 0 then
+    Alcotest.(check bool) "cache stage accumulated time" true (cache_ns > 0.0)
+  else
+    Alcotest.(check (float 0.0)) "no cache, no cache time" 0.0 cache_ns;
   (* the table renders without blowing up and names every get/put stage
      (svc-* stages belong to the serving layer, which has its own runs) *)
   let table = Harness.Runner.attribution_table ~name:"ChameleonDB" r in
@@ -288,6 +297,12 @@ let test_attribution_reconciles_with_latency () =
           (count_substring table (Attribution.name stage) >= 1))
     Attribution.all;
   reset_obs ()
+
+let test_attribution_reconciles_with_latency () =
+  reconciles_with_latency ~cache_bytes:0 ()
+
+let test_attribution_reconciles_with_cache () =
+  reconciles_with_latency ~cache_bytes:(16 * 1024 * 1024) ()
 
 let () =
   Alcotest.run "obs"
@@ -307,7 +322,9 @@ let () =
         [ Alcotest.test_case "accumulate / snapshot / diff" `Quick
             test_attribution_accumulates;
           Alcotest.test_case "reconciles with measured latency" `Quick
-            test_attribution_reconciles_with_latency ] );
+            test_attribution_reconciles_with_latency;
+          Alcotest.test_case "reconciles with read cache enabled" `Quick
+            test_attribution_reconciles_with_cache ] );
       ( "export",
         [ Alcotest.test_case "balances orphan spans" `Quick
             test_export_balances_orphans;

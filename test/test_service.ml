@@ -450,7 +450,9 @@ let test_endpoint_roundtrip () =
   in
   let sdb = Chameleondb.Store.create ~cfg () in
   let clock = Pmem_sim.Clock.create () in
-  let backend = Endpoint.backend_of_chameleon ~clock sdb in
+  let backend =
+    Endpoint.backend_of_store ~clock (Chameleondb.Store.store sdb)
+  in
   let server = Thread.create (fun () -> Endpoint.serve ~max_requests:5 ~path backend) () in
   let rec wait_sock n =
     if n = 0 then Alcotest.fail "socket never appeared";
