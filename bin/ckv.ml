@@ -318,6 +318,146 @@ let run_crash store seeds seed ops universe per_site no_tear site at
     Table.print tbl);
   if !violations > 0 then exit 1
 
+(* ------------------------------ scrub command ---------------------------- *)
+
+let run_scrub store keys faults budget seed quick =
+  let scale = scale_of_quick quick in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "scrub: %d keys, %d injected media faults, %s budget per pass"
+           keys faults
+           (Table.cell_bytes (float_of_int budget)))
+      ~columns:
+        [ ("store", Table.Left); ("injected", Table.Right);
+          ("passes", Table.Right); ("detected", Table.Right);
+          ("repaired", Table.Right); ("quarantined", Table.Right);
+          ("scanned", Table.Right); ("verdict", Table.Left) ]
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun spec ->
+      let handle = spec.Harness.Stores.make () in
+      let load =
+        Harness.Stores.load_unique ~store:handle ~threads:1 ~start_at:0.0
+          ~n:keys ~vlen:24
+      in
+      let clock =
+        Pmem_sim.Clock.create
+          ~at:(Harness.Stores.settled_cursor ~store:handle load)
+          ()
+      in
+      let vlog = Store_intf.vlog handle in
+      let dev = Store_intf.device handle in
+      let rng = Workload.Rng.create ~seed in
+      (* corrupt the newest record of [faults] distinct live keys,
+         alternating poisoned 256B units with single-entry bit rot *)
+      let victims = Hashtbl.create faults in
+      let guard = ref 0 in
+      while Hashtbl.length victims < faults && !guard < 100 * faults do
+        incr guard;
+        let key = Workload.Keyspace.key_of_index (Workload.Rng.int rng keys) in
+        if not (Hashtbl.mem victims key) then
+          match Store_intf.get handle clock key with
+          | Some loc when loc < Kv_common.Vlog.persisted vlog ->
+            if Hashtbl.length victims land 1 = 0 then begin
+              let off, len = Kv_common.Vlog.entry_range vlog loc in
+              Pmem_sim.Device.inject_poison dev ~off ~len
+            end
+            else Kv_common.Vlog.corrupt_entry vlog loc;
+            Hashtbl.replace victims key ()
+          | Some _ | None -> ()
+      done;
+      let injected = Hashtbl.length victims in
+      let scrubs = List.mem Kv_common.Fault_point.Scrub
+          (Store_intf.fault_points handle)
+      in
+      let detected = ref 0 and repaired = ref 0 and quarantined = ref 0 in
+      let scanned = ref 0 and passes = ref 0 in
+      let continue = ref true in
+      while !continue && !passes < 10_000 do
+        let r = Store_intf.scrub handle clock ~budget_bytes:budget in
+        incr passes;
+        detected := !detected + r.Store_intf.sr_detected;
+        repaired := !repaired + r.Store_intf.sr_repaired;
+        quarantined := !quarantined + r.Store_intf.sr_quarantined;
+        scanned := !scanned + r.Store_intf.sr_scanned_bytes;
+        if !detected >= injected || r.Store_intf.sr_scanned_bytes = 0 then
+          continue := false
+      done;
+      (* a scrubbing store must detect every injected fault (collateral on
+         shared 256B units may push detections past the injected count) and
+         must never serve a victim's record as a successful read *)
+      let ok = ref (not scrubs || !detected >= injected) in
+      Hashtbl.iter
+        (fun key () ->
+          let r = Store_intf.read handle clock key in
+          match (r.Store_intf.loc, r.Store_intf.stage) with
+          | Some _, _ -> ok := false (* corrupted record served *)
+          | None, Store_intf.Corrupt -> ()
+          | None, _ -> if scrubs then ok := false (* silent miss *))
+        victims;
+      if not !ok then incr failures;
+      Table.add_row tbl
+        [ spec.Harness.Stores.name;
+          string_of_int injected;
+          string_of_int !passes;
+          string_of_int !detected;
+          string_of_int !repaired;
+          string_of_int !quarantined;
+          Table.cell_bytes (float_of_int !scanned);
+          (if !ok then if scrubs then "ok" else "no scrubber"
+           else "FAIL") ])
+    (resolve_stores scale store);
+  Table.print tbl;
+  if !failures > 0 then exit 1
+
+(* ------------------------------ media command ---------------------------- *)
+
+let run_media store seeds ops universe faults quick =
+  let scale = scale_of_quick quick in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "media-fault sweep: %d seed(s), %d faults per case"
+           (List.length seeds) faults)
+      ~columns:
+        [ ("store", Table.Left); ("injected", Table.Right);
+          ("corrupt reads", Table.Right); ("scrub detected", Table.Right);
+          ("recovered", Table.Right); ("violations", Table.Right);
+          ("verdict", Table.Left) ]
+  in
+  let violations = ref 0 in
+  List.iter
+    (fun spec ->
+      let v =
+        Fault.Media.run_store ~name:spec.Harness.Stores.name
+          ~make:spec.Harness.Stores.make ~seeds ~ops ~universe ~faults ()
+      in
+      violations := !violations + List.length v.Fault.Media.m_violations;
+      Table.add_row tbl
+        [ v.Fault.Media.m_store;
+          string_of_int v.Fault.Media.m_injected;
+          string_of_int v.Fault.Media.m_corrupt_reads;
+          string_of_int v.Fault.Media.m_scrub_detected;
+          string_of_int v.Fault.Media.m_recovered;
+          string_of_int (List.length v.Fault.Media.m_violations);
+          (if Fault.Media.passed v then "ok" else "FAIL") ];
+      List.iter
+        (fun d -> Printf.printf "    %s\n" d)
+        v.Fault.Media.m_violations)
+    (resolve_stores scale store);
+  Table.print tbl;
+  (* artifact legs: table runs and manifest floors, ChameleonDB only *)
+  (match Fault.Media.run_chameleon_artifacts ~ops ~universe () with
+  | [] -> print_endline "artifact legs (table runs, manifest floors): ok"
+  | vs ->
+    violations := !violations + List.length vs;
+    print_endline "artifact legs (table runs, manifest floors): FAIL";
+    List.iter (fun d -> Printf.printf "    %s\n" d) vs);
+  if !violations > 0 then exit 1
+
 (* --------------------------- serve / client ------------------------------ *)
 
 let run_serve store path max_requests cache_mb quick =
@@ -532,6 +672,68 @@ let crash_cmd =
       $ no_tear $ site $ at $ recovery_at $ export $ cache_mb_arg
       $ quick_arg)
 
+let scrub_cmd =
+  let keys =
+    Arg.(
+      value & opt int 20_000
+      & info [ "keys" ] ~docv:"N" ~doc:"Unique keys to load before injecting.")
+  in
+  let faults =
+    Arg.(
+      value & opt int 16
+      & info [ "faults" ] ~docv:"N"
+          ~doc:"Media faults to inject into live log records.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int (256 * 1024)
+      & info [ "budget" ] ~docv:"BYTES" ~doc:"Scrub byte budget per pass.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Fault-placement seed.")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Inject media faults into a loaded store, run the scrubber, and \
+          verify every fault is detected and contained")
+    Term.(
+      const run_scrub $ store_arg $ keys $ faults $ budget $ seed $ quick_arg)
+
+let media_cmd =
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) [ 1; 11; 101 ]
+      & info [ "seeds" ] ~docv:"S1,S2,.." ~doc:"Sweep seeds.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 3_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Workload operations per case.")
+  in
+  let universe =
+    Arg.(
+      value & opt int 300
+      & info [ "universe" ] ~docv:"N" ~doc:"Distinct keys in the workload.")
+  in
+  let faults =
+    Arg.(
+      value & opt int 12
+      & info [ "faults" ] ~docv:"N" ~doc:"Media faults injected per case.")
+  in
+  Cmd.v
+    (Cmd.info "media"
+       ~doc:
+         "Media-fault sweep: seeded bit rot and poisoned units across all \
+          stores; no store may serve corrupted data as a successful read")
+    Term.(
+      const run_media $ store_arg $ seeds $ ops $ universe $ faults
+      $ quick_arg)
+
 let bench_cmd =
   let ids =
     Arg.(
@@ -626,5 +828,5 @@ let () =
       ~doc:"ChameleonDB (EuroSys'21) reproduction driver"
   in
   exit (Cmd.eval (Cmd.group info
-       [ load_cmd; ycsb_cmd; bench_cmd; crash_cmd; trace_cmd; inspect_cmd;
-         serve_cmd; client_cmd; list_cmd ]))
+       [ load_cmd; ycsb_cmd; bench_cmd; crash_cmd; scrub_cmd; media_cmd;
+         trace_cmd; inspect_cmd; serve_cmd; client_cmd; list_cmd ]))

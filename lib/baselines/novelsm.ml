@@ -159,45 +159,53 @@ let probe_run t clock tbl key =
       *. Cost_model.key_compare_ns);
     Linear_table.get tbl clock key
   end
-  else None
+  else Linear_table.Absent
 
 let resolve = function
-  | Some loc when Types.is_tombstone loc -> None
+  | `Hit loc when Types.is_tombstone loc -> `Miss
   | r -> r
 
-let get t clock key =
+(* A corrupt run block fails the probe closed (no fall-through to an older
+   level); a corrupt log record answers [`Corrupt], never wrong data. *)
+let probe t clock key =
   let raw =
     match Skiplist.get t.memtable clock key with
-    | Some loc -> Some loc
+    | Some loc -> `Hit loc
     | None ->
       let rec probe_list = function
-        | [] -> None
+        | [] -> `Miss
         | tbl :: rest ->
           (match probe_run t clock tbl key with
-          | Some loc -> Some loc
-          | None -> probe_list rest)
+          | Linear_table.Found loc -> `Hit loc
+          | Linear_table.Corrupted -> `Corrupt
+          | Linear_table.Absent -> probe_list rest)
       in
       (match probe_list t.l0 with
-      | Some loc -> Some loc
-      | None ->
+      | (`Hit _ | `Corrupt) as r -> r
+      | `Miss ->
         let rec lower k =
-          if k >= t.nlevels then None
+          if k >= t.nlevels then `Miss
           else begin
             match t.lower.(k) with
             | Some tbl ->
               (match probe_run t clock tbl key with
-              | Some loc -> Some loc
-              | None -> lower (k + 1))
+              | Linear_table.Found loc -> `Hit loc
+              | Linear_table.Corrupted -> `Corrupt
+              | Linear_table.Absent -> lower (k + 1))
             | None -> lower (k + 1)
           end
         in
         lower 0)
   in
   match resolve raw with
-  | Some loc ->
-    let k, _ = Vlog.read t.vlog clock loc in
-    if Int64.equal k key then Some loc else None
-  | None -> None
+  | `Hit loc -> (
+    match Vlog.read t.vlog clock loc with
+    | Ok (k, _) -> if Int64.equal k key then `Hit loc else `Corrupt
+    | Error `Corrupt -> `Corrupt)
+  | (`Miss | `Corrupt) as r -> r
+
+let get t clock key =
+  match probe t clock key with `Hit loc -> Some loc | `Miss | `Corrupt -> None
 
 let flush_all t clock =
   if Skiplist.count t.memtable > 0 then flush t clock;
@@ -229,15 +237,20 @@ let store t : Kv_common.Store_intf.store =
       put t clock key ~vlen:(Kv_common.Store_intf.spec_vlen spec)
 
     let read clock key : Kv_common.Store_intf.read_result =
-      match get t clock key with
-      | Some loc ->
+      match probe t clock key with
+      | `Hit loc ->
         { loc = Some loc; stage = Kv_common.Store_intf.Index; value = None }
-      | None ->
+      | `Miss ->
         { loc = None; stage = Kv_common.Store_intf.Miss; value = None }
+      | `Corrupt ->
+        { loc = None; stage = Kv_common.Store_intf.Corrupt; value = None }
 
     let delete clock key = delete t clock key
     let flush clock = flush_all t clock
     let maintenance _ = ()
+    let scrub _ ~budget_bytes:_ = Kv_common.Store_intf.empty_scrub_report
+    let health () = Kv_common.Store_intf.Healthy
+    let shard_degraded _ = false
     let crash () = crash t
     let recover clock = ignore (recover t clock)
     let check_invariants () = check_invariants t

@@ -22,12 +22,18 @@ let put t clock key ~vlen =
   let loc = Vlog.append t.vlog clock key ~vlen in
   Cceh.put t.index clock key loc
 
-let get t clock key =
+(* Distinguishes a detected-corrupt log record from a plain miss so the
+   store-level read can answer an explicit error instead of wrong data. *)
+let probe t clock key =
   match Cceh.get t.index clock key with
-  | Some loc when not (Types.is_tombstone loc) ->
-    let k, _ = Vlog.read t.vlog clock loc in
-    if Int64.equal k key then Some loc else None
-  | Some _ | None -> None
+  | Some loc when not (Types.is_tombstone loc) -> (
+    match Vlog.read t.vlog clock loc with
+    | Ok (k, _) -> if Int64.equal k key then `Hit loc else `Corrupt
+    | Error `Corrupt -> `Corrupt)
+  | Some _ | None -> `Miss
+
+let get t clock key =
+  match probe t clock key with `Hit loc -> Some loc | `Miss | `Corrupt -> None
 
 let delete t clock key =
   let _loc = Vlog.append t.vlog clock key ~vlen:(-1) in
@@ -65,15 +71,20 @@ let store t : Kv_common.Store_intf.store =
       put t clock key ~vlen:(Kv_common.Store_intf.spec_vlen spec)
 
     let read clock key : Kv_common.Store_intf.read_result =
-      match get t clock key with
-      | Some loc ->
+      match probe t clock key with
+      | `Hit loc ->
         { loc = Some loc; stage = Kv_common.Store_intf.Index; value = None }
-      | None ->
+      | `Miss ->
         { loc = None; stage = Kv_common.Store_intf.Miss; value = None }
+      | `Corrupt ->
+        { loc = None; stage = Kv_common.Store_intf.Corrupt; value = None }
 
     let delete clock key = delete t clock key
     let flush clock = Vlog.flush t.vlog clock
     let maintenance _ = ()
+    let scrub _ ~budget_bytes:_ = Kv_common.Store_intf.empty_scrub_report
+    let health () = Kv_common.Store_intf.Healthy
+    let shard_degraded _ = false
     let crash () = crash t
     let recover clock = ignore (recover t clock)
     let check_invariants () = check_invariants t

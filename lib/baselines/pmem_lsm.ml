@@ -259,11 +259,14 @@ let delete t clock key =
 let probe_table t shard clock tbl key =
   match t.variant with
   | Pink ->
+    (* DRAM mirror probe: not subject to media corruption *)
     let result, probes = Linear_table.get_silent tbl key in
     Clock.advance clock
       (Cost_model.dram_read_ns
       +. (float_of_int (max 0 (probes - 1)) *. Cost_model.dram_hit_ns));
-    result
+    (match result with
+    | Some loc -> Linear_table.Found loc
+    | None -> Linear_table.Absent)
   | Nf -> Linear_table.get tbl clock key
   | F ->
     let bloom = Hashtbl.find_opt shard.blooms (Linear_table.tag tbl) in
@@ -274,10 +277,11 @@ let probe_table t shard clock tbl key =
     in
     if maybe_present then begin
       let r = Linear_table.get tbl clock key in
-      if r = None && bloom <> None then Obs.Counters.incr c_bloom_fp;
+      if r = Linear_table.Absent && bloom <> None then
+        Obs.Counters.incr c_bloom_fp;
       r
     end
-    else None
+    else Linear_table.Absent
 
 (* The last level is never pinned in DRAM: even PinK probes it on the
    device (the F variant still consults its filter first). *)
@@ -293,10 +297,11 @@ let probe_last t shard clock tbl key =
     in
     if maybe_present then begin
       let r = Linear_table.get tbl clock key in
-      if r = None && bloom <> None then Obs.Counters.incr c_bloom_fp;
+      if r = Linear_table.Absent && bloom <> None then
+        Obs.Counters.incr c_bloom_fp;
       r
     end
-    else None
+    else Linear_table.Absent
 
 let shard_get t shard clock key =
   let attr = Obs.Attribution.enabled () in
@@ -307,18 +312,26 @@ let shard_get t shard clock key =
   match mt with
   | Some loc ->
     Obs.Counters.incr c_memtable_hits;
-    (Some loc, 0)
+    (`Hit loc, 0)
   | None ->
     let t1 = if attr then Clock.now clock else 0.0 in
+    let of_probe = function
+      | Linear_table.Found loc -> `Hit loc
+      | Linear_table.Absent -> `Miss
+      | Linear_table.Corrupted -> `Corrupt
+    in
     let rec go n = function
       | [] ->
         (match Levels.last shard.lv with
-        | Some tbl -> (probe_last t shard clock tbl key, n + 1)
-        | None -> (None, n))
+        | Some tbl -> (of_probe (probe_last t shard clock tbl key), n + 1)
+        | None -> (`Miss, n))
       | tbl :: rest ->
+        (* a corrupt block fails the whole probe closed: falling through
+           to an older level could resurrect a superseded version *)
         (match probe_table t shard clock tbl key with
-        | Some loc -> (Some loc, n + 1)
-        | None -> go (n + 1) rest)
+        | Linear_table.Found loc -> (`Hit loc, n + 1)
+        | Linear_table.Corrupted -> (`Corrupt, n + 1)
+        | Linear_table.Absent -> go (n + 1) rest)
     in
     let r = go 0 (Levels.upper_tables_newest_first shard.lv ()) in
     if attr then
@@ -327,21 +340,27 @@ let shard_get t shard clock key =
     r
 
 let resolve = function
-  | Some loc when Types.is_tombstone loc -> None
+  | `Hit loc when Types.is_tombstone loc -> `Miss
   | r -> r
 
-let get_with_level t clock key =
+let probe_with_level t clock key =
   Obs.Trace.begin_span clock ~cat:"op" "get";
   let result, probed = shard_get t (shard_of t key) clock key in
   let result =
     match resolve result with
-    | Some loc ->
-      let k, _ = Vlog.read t.vlog clock loc in
-      if Int64.equal k key then Some loc else None
-    | None -> None
+    | `Hit loc -> (
+      match Vlog.read t.vlog clock loc with
+      | Ok (k, _) -> if Int64.equal k key then `Hit loc else `Corrupt
+      | Error `Corrupt -> `Corrupt)
+    | (`Miss | `Corrupt) as r -> r
   in
   Obs.Trace.end_span clock ~cat:"op" "get";
   (result, probed)
+
+let get_with_level t clock key =
+  match probe_with_level t clock key with
+  | `Hit loc, probed -> (Some loc, probed)
+  | (`Miss | `Corrupt), probed -> (None, probed)
 
 let get t clock key = fst (get_with_level t clock key)
 
@@ -474,15 +493,20 @@ let store t : Kv_common.Store_intf.store =
       put t clock key ~vlen:(Kv_common.Store_intf.spec_vlen spec)
 
     let read clock key : Kv_common.Store_intf.read_result =
-      match get t clock key with
-      | Some loc ->
+      match fst (probe_with_level t clock key) with
+      | `Hit loc ->
         { loc = Some loc; stage = Kv_common.Store_intf.Index; value = None }
-      | None ->
+      | `Miss ->
         { loc = None; stage = Kv_common.Store_intf.Miss; value = None }
+      | `Corrupt ->
+        { loc = None; stage = Kv_common.Store_intf.Corrupt; value = None }
 
     let delete clock key = delete t clock key
     let flush clock = flush_all t clock
     let maintenance _ = ()
+    let scrub _ ~budget_bytes:_ = Kv_common.Store_intf.empty_scrub_report
+    let health () = Kv_common.Store_intf.Healthy
+    let shard_degraded _ = false
     let crash () = crash t
     let recover clock = ignore (recover t clock)
     let check_invariants () = check_invariants t

@@ -21,6 +21,7 @@ type t = {
   cache_bytes : int;
   cache_negative : bool;
   gc_max_entries : int;
+  scrub_budget_bytes : int;
   seed : int;
 }
 
@@ -45,6 +46,7 @@ let default =
     cache_bytes = 0;
     cache_negative = true;
     gc_max_entries = 100_000;
+    scrub_budget_bytes = 1 lsl 20;
     seed = 7 }
 
 let scaled ?shards ?memtable_slots t =
@@ -68,6 +70,8 @@ let validate t =
     Error "load-factor band must satisfy 0 < min <= max < 1"
   else if t.cache_bytes < 0 then Error "cache_bytes must be >= 0"
   else if t.gc_max_entries <= 0 then Error "gc_max_entries must be positive"
+  else if t.scrub_budget_bytes <= 0 then
+    Error "scrub_budget_bytes must be positive"
   else begin
     (* the ABI must accommodate the worst-case upper-level content *)
     let abi_capacity =

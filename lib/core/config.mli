@@ -44,6 +44,9 @@ type t = {
           [cache_bytes > 0]) *)
   gc_max_entries : int;
       (** log entries one {!Store.gc} pass scans by default (100k) *)
+  scrub_budget_bytes : int;
+      (** artifact bytes one {!Store.scrub} pass verifies by default
+          (1 MiB); the scrubber stops scanning once the budget is spent *)
   seed : int;             (** randomized-load-factor seed *)
 }
 

@@ -1,5 +1,7 @@
 module Device = Pmem_sim.Device
 module Clock = Pmem_sim.Clock
+module Crc32c = Pmem_sim.Crc32c
+module Cost_model = Pmem_sim.Cost_model
 module Fault_point = Kv_common.Fault_point
 
 type t = {
@@ -10,15 +12,26 @@ type t = {
 }
 
 let record_bytes = 64
-let floor_bytes = 16
+let floor_bytes = 24
+
+(* Floor-record checksum.  The CRC covers both watermarks AND the shard
+   index, so a record blitted to the wrong slot (or a misdirected write)
+   fails verification instead of feeding another shard's floors into
+   recovery. *)
+let floor_crc ~shard ~mt ~ab =
+  Crc32c.int (Crc32c.int64 (Crc32c.int64 Crc32c.empty mt) ab) shard
 
 (* Encoding of a shard's floor record: two little-endian int64s,
-   [mt_floor] then [absorb_floor] (-1L = none). *)
-let encode_floor ~mt_floor ~absorb_floor =
+   [mt_floor] then [absorb_floor] (-1L = none), then a 4 B CRC32C (padded
+   to 8 B) binding the watermarks to the shard index. *)
+let encode_floor ~shard ~mt_floor ~absorb_floor =
   let b = Bytes.create floor_bytes in
-  Bytes.set_int64_le b 0 (Int64.of_int mt_floor);
-  Bytes.set_int64_le b 8
-    (match absorb_floor with None -> -1L | Some f -> Int64.of_int f);
+  let mt = Int64.of_int mt_floor in
+  let ab = match absorb_floor with None -> -1L | Some f -> Int64.of_int f in
+  Bytes.set_int64_le b 0 mt;
+  Bytes.set_int64_le b 8 ab;
+  Bytes.set_int64_le b 16
+    (Int64.logand (Int64.of_int32 (floor_crc ~shard ~mt ~ab)) 0xFFFFFFFFL);
   b
 
 let create ?(shards = 0) dev =
@@ -33,7 +46,7 @@ let create ?(shards = 0) dev =
       for s = 0 to shards - 1 do
         Device.write_bytes dev clock
           ~off:(off + (s * floor_bytes))
-          (encode_floor ~mt_floor:0 ~absorb_floor:None)
+          (encode_floor ~shard:s ~mt_floor:0 ~absorb_floor:None)
       done;
       Device.persist dev clock ~off ~len:(shards * floor_bytes);
       off
@@ -46,21 +59,58 @@ let record_update t clock =
       t.nupdates <- t.nupdates + 1;
       Device.charge_append t.dev clock ~len:record_bytes)
 
+let floor_range t ~shard =
+  if shard < 0 || shard >= t.shards then invalid_arg "Manifest.floor_range";
+  (t.floors_off + (shard * floor_bytes), floor_bytes)
+
 let set_floors t clock ~shard ~mt_floor ~absorb_floor =
   if shard < 0 || shard >= t.shards then invalid_arg "Manifest.set_floors";
   Fault_point.with_site Fault_point.Manifest_update (fun () ->
       t.nupdates <- t.nupdates + 1;
       let off = t.floors_off + (shard * floor_bytes) in
+      Clock.advance clock
+        (Cost_model.crc_ns_per_byte *. float_of_int floor_bytes);
       Device.write_bytes t.dev clock ~off
-        (encode_floor ~mt_floor ~absorb_floor);
+        (encode_floor ~shard ~mt_floor ~absorb_floor);
       Device.persist t.dev clock ~off ~len:floor_bytes)
+
+(* Uncharged verification of one floor record against media state: the
+   record must sit on un-poisoned units and its stored CRC must match the
+   recomputed one. *)
+let floor_intact t ~shard =
+  let off, len = floor_range t ~shard in
+  (not (Device.poisoned_in t.dev ~off ~len))
+  &&
+  let mt = Device.peek_u64 t.dev ~off in
+  let ab = Device.peek_u64 t.dev ~off:(off + 8) in
+  let stored = Int64.to_int32 (Device.peek_u64 t.dev ~off:(off + 16)) in
+  Int32.equal stored (floor_crc ~shard ~mt ~ab)
 
 let floors t ~shard =
   if shard < 0 || shard >= t.shards then invalid_arg "Manifest.floors";
-  let off = t.floors_off + (shard * floor_bytes) in
-  let mt = Int64.to_int (Device.peek_u64 t.dev ~off) in
-  let ab = Device.peek_u64 t.dev ~off:(off + 8) in
-  (mt, if Int64.compare ab 0L < 0 then None else Some (Int64.to_int ab))
+  if not (floor_intact t ~shard) then
+    (* Conservative fallback: a corrupt floor record means we no longer
+       know how much of the log this shard may skip, so it skips nothing.
+       Replaying from the origin is idempotent, just slower. *)
+    (0, None)
+  else begin
+    let off = t.floors_off + (shard * floor_bytes) in
+    let mt = Int64.to_int (Device.peek_u64 t.dev ~off) in
+    let ab = Device.peek_u64 t.dev ~off:(off + 8) in
+    (mt, if Int64.compare ab 0L < 0 then None else Some (Int64.to_int ab))
+  end
+
+(* Scrub support: verify a floor record, and if damaged rewrite it from
+   the caller's in-DRAM truth (clearing any poison by the full-unit
+   rewrite plus an explicit heal for the general case). *)
+let repair_floor t clock ~shard ~mt_floor ~absorb_floor =
+  if floor_intact t ~shard then false
+  else begin
+    let off, len = floor_range t ~shard in
+    Device.clear_poison t.dev ~off ~len;
+    set_floors t clock ~shard ~mt_floor ~absorb_floor;
+    true
+  end
 
 let shards t = t.shards
 let updates t = t.nupdates

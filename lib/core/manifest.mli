@@ -5,11 +5,14 @@
     table handles {e are} the recovered metadata, charged via
     {!record_update}), but the {e recovery floors} — the log watermarks
     that bound how much of the value log a shard must replay after a crash
-    — are real device-backed records: 16 B per shard, written and
-    persisted under the [Manifest_update] fault site, re-read by
-    {!floors} during crash recovery.  A crash between a structural change
-    and its floor persist leaves a stale (smaller) floor, which is safe:
-    replaying more of the log than necessary is idempotent. *)
+    — are real device-backed records: 24 B per shard (two watermarks plus
+    a CRC32C binding them to the shard index), written and persisted under
+    the [Manifest_update] fault site, re-read by {!floors} during crash
+    recovery.  A crash between a structural change and its floor persist
+    leaves a stale (smaller) floor, which is safe: replaying more of the
+    log than necessary is idempotent.  The same argument makes corruption
+    containable: a floor record that fails verification is treated as
+    [(0, None)] — replay from the origin — rather than trusted. *)
 
 type t
 
@@ -24,13 +27,29 @@ val record_update : t -> Pmem_sim.Clock.t -> unit
 val set_floors :
   t -> Pmem_sim.Clock.t -> shard:int -> mt_floor:int ->
   absorb_floor:int option -> unit
-(** Persist shard's recovery floors (a 16 B in-place write + persist,
-    [Manifest_update] site).  Call only after the state the floors stand
-    for is itself durable. *)
+(** Persist shard's recovery floors (a checksummed 24 B in-place write +
+    persist, [Manifest_update] site).  Call only after the state the
+    floors stand for is itself durable. *)
 
 val floors : t -> shard:int -> int * int option
 (** [(mt_floor, absorb_floor)] as last persisted (uncharged read; recovery
-    charges its device traffic elsewhere). *)
+    charges its device traffic elsewhere).  A record that fails its
+    checksum — or sits on poisoned media — answers the conservative
+    [(0, None)]: replay from the log origin, never trust damaged floors. *)
+
+val floor_intact : t -> shard:int -> bool
+(** Uncharged: does the shard's floor record verify against the media? *)
+
+val floor_range : t -> shard:int -> int * int
+(** [(device offset, length)] of a shard's floor record — the media-fault
+    injector corrupts through this. *)
+
+val repair_floor :
+  t -> Pmem_sim.Clock.t -> shard:int -> mt_floor:int ->
+  absorb_floor:int option -> bool
+(** Scrub path: if the shard's floor record fails verification, clear any
+    poison and rewrite it from the caller's in-DRAM floors; returns
+    whether a repair happened. *)
 
 val shards : t -> int
 val updates : t -> int

@@ -73,15 +73,20 @@ module Signals = struct
     write_intensive : bool;
     get_protect_active : unit -> bool;
     get_p99_ns : unit -> float;
+    shard_degraded : Kv_common.Types.key -> bool;
+    degraded_fraction : unit -> float;
   }
 
   let none =
     { write_intensive = false;
       get_protect_active = (fun () -> false);
-      get_p99_ns = (fun () -> 0.0) }
+      get_p99_ns = (fun () -> 0.0);
+      shard_degraded = (fun _ -> false);
+      degraded_fraction = (fun () -> 0.0) }
 
   let of_gpm ~write_intensive gpm =
-    { write_intensive;
+    { none with
+      write_intensive;
       get_protect_active = (fun () -> Gpm.active gpm);
       get_p99_ns = (fun () -> Gpm.current_p99 gpm) }
 end

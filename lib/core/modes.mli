@@ -34,10 +34,17 @@ module Signals : sig
     write_intensive : bool;       (** static WIM configuration switch *)
     get_protect_active : unit -> bool;  (** live {!Gpm.active} probe *)
     get_p99_ns : unit -> float;   (** live windowed get p99 *)
+    shard_degraded : Kv_common.Types.key -> bool;
+        (** is the shard owning the key serving with unrepaired
+            corruption?  Admission throttles writes into such shards *)
+    degraded_fraction : unit -> float;
+        (** fraction of shards currently degraded (health telemetry) *)
   }
 
   val none : t
-  (** Inert signals (stores without mode controllers). *)
+  (** Inert signals (stores without mode controllers or shard health). *)
 
   val of_gpm : write_intensive:bool -> Gpm.t -> t
+  (** Mode signals from a GPM controller; health fields stay inert (the
+      store overrides them with live probes). *)
 end

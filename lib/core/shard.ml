@@ -5,8 +5,21 @@ module Linear_table = Kv_common.Linear_table
 module Types = Kv_common.Types
 module Vlog = Kv_common.Vlog
 module Fault_point = Kv_common.Fault_point
+module Hash = Kv_common.Hash
 
-type hit_stage = Hit_memtable | Hit_abi | Hit_dump | Hit_upper | Hit_last | Miss
+type hit_stage =
+  | Hit_memtable
+  | Hit_abi
+  | Hit_dump
+  | Hit_upper
+  | Hit_last
+  | Miss
+  | Hit_corrupt
+      (* a table block the probe needed failed verification: fail closed,
+         never serve around it — and the shard needs scrub attention *)
+  | Hit_quarantined
+      (* the newest version is quarantined (index marker): containment is
+         already in place, the read answers an explicit error *)
 
 (* Unified observability counters (Obs.Counters registry); the per-shard
    [counters] record below stays the per-instance view consumed by
@@ -21,6 +34,7 @@ let c_flush_bytes = Obs.Counters.counter "flush.bytes"
 let c_compaction_bytes = Obs.Counters.counter "compaction.bytes"
 let c_memtable_hits = Obs.Counters.counter "get.memtable_hits"
 let c_abi_hits = Obs.Counters.counter "get.abi_hits"
+let c_rebuilds = Obs.Counters.counter "shard.vlog_rebuilds"
 
 (* Background work is traced on a per-shard virtual thread. *)
 let bg_tid id = 1000 + id
@@ -56,6 +70,9 @@ type t = {
   mutable last_bg_compacted : bool;
       (* whether the most recent background job ran a compaction: decides
          if a put stalling behind it is attributed to flush or compaction *)
+  mutable notify_quarantine : Kv_common.Types.key -> unit;
+      (* the store hooks cache invalidation and counters in here; shard-
+         internal repair (rebuild-from-vlog) quarantines through it *)
   ctr : counters;
 }
 
@@ -81,6 +98,7 @@ let create ?manifest ~cfg ~id dev vlog =
     absorb_floor = None;
     next_seq = 1;
     last_bg_compacted = false;
+    notify_quarantine = (fun _ -> ());
     ctr =
       { flushes = 0;
         upper_compactions = 0;
@@ -120,11 +138,132 @@ let table_iter_source clock tbl visit = Linear_table.iter tbl clock visit
 
 let round_up_to v m = (v + m - 1) / m * m
 
+let set_notify_quarantine t f = t.notify_quarantine <- f
+let floors t = (t.mt_floor, t.absorb_floor)
+
+let owns t key =
+  Hash.shard_of ~hash:(Hash.mix64 key) ~shards:t.cfg.Config.shards = t.id
+
+(* Every persistent run this shard holds (dumps, upper levels, last), for
+   the scrubber's whole-run verification. *)
+let persistent_tables t =
+  t.dumps
+  @ Levels.upper_tables_newest_first t.lv ()
+  @ (match Levels.last t.lv with Some tbl -> [ tbl ] | None -> [])
+
+(* Verify compaction inputs before trusting their slots.  The streaming
+   [iter] a merge performs already pays the device traffic, so only the
+   CRC pass is charged here ([charge_read] stays false). *)
+let sources_intact bg tables =
+  List.for_all (fun tbl -> Linear_table.intact tbl bg) tables
+
+(* Repair path: rebuild this shard's entire index from the value log.
+   Every live index entry points at a log location >= the log head (GC
+   maintains this), so replaying [head, persisted) reconstructs a complete
+   index no matter which table run was damaged.  The result is one fresh
+   last-level table; the MemTable, ABI, dumps and upper levels are all
+   dropped — their content is re-derived from the log.  Corrupt log
+   records owned by this shard whose version is still newest are
+   quarantined: indexed as {!Types.corrupt_marker} so reads answer an
+   explicit error rather than a silent miss or a stale version. *)
+let rebuild_from_vlog t bg =
+  Fault_point.with_site Fault_point.Scrub @@ fun () ->
+  Obs.Counters.incr c_rebuilds;
+  Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"bg" "vlog-rebuild";
+  Vlog.flush t.vlog bg;
+  let newest = Hashtbl.create 1024 in
+  let corrupt_seen = Hashtbl.create 8 in
+  Vlog.iter_range t.vlog bg ~lo:(Vlog.head t.vlog)
+    ~hi:(Vlog.persisted t.vlog)
+    ~on_corrupt:(fun _loc key _vlen ->
+      (* untrusted key: used only to place a conservative quarantine *)
+      if owns t key then begin
+        Hashtbl.replace newest key Types.corrupt_marker;
+        Hashtbl.replace corrupt_seen key ()
+      end)
+    (fun loc key vlen ->
+      if owns t key then begin
+        Hashtbl.replace newest key
+          (if vlen = Types.corrupt_marker then Types.corrupt_marker
+           else if vlen < 0 then Types.tombstone
+           else loc);
+        (* a later valid record supersedes the rot; a later quarantine
+           record means the containment is already durable and counted *)
+        Hashtbl.remove corrupt_seen key
+      end);
+  (* Make fresh quarantines durable in the log, as [Store.quarantine]
+     would: without the marker record, the next scan of the still-corrupt
+     entry would count the same incident again. *)
+  Hashtbl.iter
+    (fun k () ->
+      if Hashtbl.find_opt newest k = Some Types.corrupt_marker then
+        ignore (Vlog.append t.vlog bg k ~vlen:Types.corrupt_marker))
+    corrupt_seen;
+  Vlog.flush t.vlog bg;
+  let entries =
+    Hashtbl.fold
+      (fun k l acc -> if Types.is_tombstone l then acc else (k, l) :: acc)
+      newest []
+  in
+  let live = List.length entries in
+  (* Build the replacement run BEFORE dropping anything: a crash at the
+     build's persist must leave the old structures (and old floors) in
+     place, from which recovery proceeds as if the rebuild never started. *)
+  let fresh =
+    if live = 0 then None
+    else begin
+      let slots =
+        max t.cfg.Config.memtable_slots
+          (round_up_to
+             (int_of_float
+                (Float.ceil
+                   (float_of_int live /. t.cfg.Config.last_level_load_factor)))
+             t.cfg.Config.memtable_slots)
+      in
+      let tbl = build_table t bg ~slots entries in
+      Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size tbl);
+      Some tbl
+    end
+  in
+  Memtable.reset t.memtable;
+  Flat_table.clear t.abi;
+  List.iter Linear_table.free t.dumps;
+  t.dumps <- [];
+  Levels.clear_upper_range t.lv ~upto:(Config.upper_levels t.cfg - 1);
+  (match Levels.last t.lv with Some old -> Linear_table.free old | None -> ());
+  Levels.set_last t.lv fresh;
+  t.absorb_floor <- None;
+  t.mt_floor <- Vlog.persisted t.vlog;
+  (match t.manifest with
+  | Some m when Manifest.shards m > t.id ->
+    Manifest.set_floors m bg ~shard:t.id ~mt_floor:t.mt_floor
+      ~absorb_floor:None
+  | Some _ | None -> ());
+  (* report quarantines only for keys whose final log version really is
+     the corrupt record (later intact versions supersede earlier rot) *)
+  Hashtbl.iter
+    (fun k () ->
+      if Hashtbl.find_opt newest k = Some Types.corrupt_marker then
+        t.notify_quarantine k)
+    corrupt_seen;
+  Obs.Trace.end_span bg ~tid:(bg_tid t.id) ~cat:"bg" "vlog-rebuild"
+
 (* {2 Last-level compaction (leveled), Direct flavour: fed from the ABI
    (Fig. 8) plus any GPM-dumped tables, merged with the old last level.
    Clears the upper levels, the dumps and the ABI. } *)
 
 let last_level_compact t bg =
+  let source_tables =
+    (if t.cfg.Config.abi_enabled then []
+     else Levels.upper_tables_newest_first t.lv ())
+    @ t.dumps
+    @ (match Levels.last t.lv with None -> [] | Some tbl -> [ tbl ])
+  in
+  if not (sources_intact bg source_tables) then
+    (* merging unverifiable slots would launder corruption into a fresh
+       run; rebuild the shard from the value log instead *)
+    rebuild_from_vlog t bg
+  else begin
   Fault_point.with_site Fault_point.Last_level_merge @@ fun () ->
   t.ctr.last_compactions <- t.ctr.last_compactions + 1;
   Obs.Counters.incr c_last_compactions;
@@ -176,16 +315,19 @@ let last_level_compact t bg =
   Flat_table.clear t.abi;
   t.absorb_floor <- None;
   Obs.Trace.end_span bg ~tid:(bg_tid t.id) ~cat:"compaction" "compact:last"
+  end
 
 (* {2 Size-tiered Direct Compaction among upper levels: merge levels
    [0, target-1] into a single level-[target] table.} *)
 
 let direct_merge_upper t bg ~target =
+  let sources = Levels.upper_tables_newest_first t.lv ~upto:(target - 1) () in
+  if not (sources_intact bg sources) then rebuild_from_vlog t bg
+  else begin
   Fault_point.with_site Fault_point.Direct_compaction @@ fun () ->
   t.ctr.upper_compactions <- t.ctr.upper_compactions + 1;
   Obs.Counters.incr c_upper_compactions;
   Obs.Trace.begin_span bg ~tid:(bg_tid t.id) ~cat:"compaction" "compact:upper";
-  let sources = Levels.upper_tables_newest_first t.lv ~upto:(target - 1) () in
   let entries =
     merge_entries (List.map (table_iter_source bg) sources)
   in
@@ -195,6 +337,7 @@ let direct_merge_upper t bg ~target =
   Levels.clear_upper_range t.lv ~upto:(target - 1);
   Levels.add_table t.lv ~level:target fresh;
   Obs.Trace.end_span bg ~tid:(bg_tid t.id) ~cat:"compaction" "compact:upper"
+  end
 
 (* {2 Level-by-level compaction cascade (Fig. 15 ablation).} *)
 
@@ -202,20 +345,24 @@ let rec cascade_compact t bg ~level =
   let u = Config.upper_levels t.cfg in
   let tables = (Levels.upper t.lv).(level) in
   if level + 1 <= u - 1 then begin
-    Fault_point.with_site Fault_point.Upper_compaction (fun () ->
-        t.ctr.upper_compactions <- t.ctr.upper_compactions + 1;
-        Obs.Counters.incr c_upper_compactions;
-        let entries =
-          merge_entries (List.map (table_iter_source bg) tables)
-        in
-        let slots = Levels.table_slots ~cfg:t.cfg ~level:(level + 1) in
-        let fresh = build_table t bg ~slots entries in
-        Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
-        List.iter Linear_table.free tables;
-        (Levels.upper t.lv).(level) <- [];
-        Levels.add_table t.lv ~level:(level + 1) fresh);
-    if Levels.level_len t.lv (level + 1) >= t.cfg.Config.ratio then
-      cascade_compact t bg ~level:(level + 1)
+    if not (sources_intact bg tables) then rebuild_from_vlog t bg
+    else begin
+      Fault_point.with_site Fault_point.Upper_compaction (fun () ->
+          t.ctr.upper_compactions <- t.ctr.upper_compactions + 1;
+          Obs.Counters.incr c_upper_compactions;
+          let entries =
+            merge_entries (List.map (table_iter_source bg) tables)
+          in
+          let slots = Levels.table_slots ~cfg:t.cfg ~level:(level + 1) in
+          let fresh = build_table t bg ~slots entries in
+          Obs.Counters.add_int c_compaction_bytes
+            (Linear_table.byte_size fresh);
+          List.iter Linear_table.free tables;
+          (Levels.upper t.lv).(level) <- [];
+          Levels.add_table t.lv ~level:(level + 1) fresh);
+      if Levels.level_len t.lv (level + 1) >= t.cfg.Config.ratio then
+        cascade_compact t bg ~level:(level + 1)
+    end
   end
   else begin
     (* merging the deepest upper level into the last level: a full cascade
@@ -225,14 +372,16 @@ let rec cascade_compact t bg ~level =
     match t.absorb_floor with
     | Some _ -> last_level_compact t bg
     | None ->
+      let last_tables =
+        match Levels.last t.lv with None -> [] | Some tbl -> [ tbl ]
+      in
+      if not (sources_intact bg (tables @ last_tables)) then
+        rebuild_from_vlog t bg
+      else begin
       Fault_point.with_site Fault_point.Last_level_merge @@ fun () ->
       t.ctr.last_compactions <- t.ctr.last_compactions + 1;
       Obs.Counters.incr c_last_compactions;
-      let last_source =
-        match Levels.last t.lv with
-        | None -> []
-        | Some tbl -> [ table_iter_source bg tbl ]
-      in
+      let last_source = List.map (table_iter_source bg) last_tables in
       let entries =
         merge_entries ~drop_tombstones:true
           (List.map (table_iter_source bg) tables @ last_source)
@@ -255,6 +404,7 @@ let rec cascade_compact t bg ~level =
       List.iter Linear_table.free tables;
       (Levels.upper t.lv).(level) <- [];
       if Levels.upper_entry_count t.lv = 0 then Flat_table.clear t.abi
+      end
   end
 
 let maybe_compact t bg =
@@ -430,19 +580,36 @@ let force_flush t clock =
 (* {2 Get path.} *)
 
 let resolve stage = function
+  | Some loc when Types.is_corrupt loc ->
+    (* a marker the index stores is containment already in place; a probe
+       that itself failed verification keeps the Hit_corrupt stage *)
+    (None, if stage = Hit_corrupt then Hit_corrupt else Hit_quarantined)
   | Some loc when Types.is_tombstone loc -> (None, stage)
   | Some loc -> (Some loc, stage)
   | None -> (None, Miss)
 
 let probe_tables clock tables key =
   let rec go = function
-    | [] -> None
+    | [] -> Linear_table.Absent
     | tbl :: rest ->
       (match Linear_table.get tbl clock key with
-      | Some loc -> Some loc
-      | None -> go rest)
+      | Linear_table.Found loc -> Linear_table.Found loc
+      | Linear_table.Absent -> go rest
+      | Linear_table.Corrupted ->
+        (* the key may live in the damaged block: fail closed rather than
+           fall through to an older (stale) version *)
+        Linear_table.Corrupted)
   in
   go tables
+
+let probe_last t clock key =
+  match Levels.last t.lv with
+  | Some tbl ->
+    (match Linear_table.get tbl clock key with
+    | Linear_table.Found loc -> (Some loc, Hit_last)
+    | Linear_table.Absent -> (None, Miss)
+    | Linear_table.Corrupted -> (Some Types.corrupt_marker, Hit_corrupt))
+  | None -> (None, Miss)
 
 (* Degraded path (ABI still rebuilding after restart): consult every
    persistent table in recency order, like Pmem-LSM-NF would. *)
@@ -453,11 +620,9 @@ let degraded_lookup t clock key =
       (Levels.upper_tables_newest_first t.lv () @ t.dumps)
   in
   match probe_tables clock candidates key with
-  | Some loc -> (Some loc, Hit_upper)
-  | None ->
-    (match Levels.last t.lv with
-    | Some tbl -> (Linear_table.get tbl clock key, Hit_last)
-    | None -> (None, Miss))
+  | Linear_table.Found loc -> (Some loc, Hit_upper)
+  | Linear_table.Corrupted -> (Some Types.corrupt_marker, Hit_corrupt)
+  | Linear_table.Absent -> probe_last t clock key
 
 (* Raw index lookup: the stored location, tombstones included.  Each probe
    stage's clock delta is attributed so the harness can decompose the get
@@ -496,11 +661,10 @@ let lookup t clock key =
         let t2 = if attr then Clock.now clock else 0.0 in
         let r =
           match probe_tables clock t.dumps key with
-          | Some loc -> (Some loc, Hit_dump)
-          | None ->
-            (match Levels.last t.lv with
-            | Some tbl -> (Linear_table.get tbl clock key, Hit_last)
-            | None -> (None, Miss))
+          | Linear_table.Found loc -> (Some loc, Hit_dump)
+          | Linear_table.Corrupted ->
+            (Some Types.corrupt_marker, Hit_corrupt)
+          | Linear_table.Absent -> probe_last t clock key
         in
         if attr then
           Obs.Attribution.add Obs.Attribution.Get_level_probe
@@ -665,7 +829,7 @@ let check_invariants t =
                 if
                   !missing = None
                   && Flat_table.get t.abi scratch k = None
-                  && probe_tables scratch t.dumps k = None
+                  && probe_tables scratch t.dumps k = Linear_table.Absent
                 then missing := Some k))
           (Levels.upper_tables_newest_first t.lv ());
       match !missing with

@@ -19,7 +19,19 @@
 
 type t
 
-type hit_stage = Hit_memtable | Hit_abi | Hit_dump | Hit_upper | Hit_last | Miss
+type hit_stage =
+  | Hit_memtable
+  | Hit_abi
+  | Hit_dump
+  | Hit_upper
+  | Hit_last
+  | Miss
+  | Hit_corrupt
+      (** a table block the probe needed failed verification — fail
+          closed; the shard needs scrub attention *)
+  | Hit_quarantined
+      (** the newest version carries the quarantine marker: containment
+          already in place, the read answers an explicit error *)
 
 type counters = {
   mutable flushes : int;
@@ -56,6 +68,38 @@ val raw_lookup :
 (** The stored location without tombstone filtering — the GC's liveness
     test ([Some loc] with [loc] equal to the scanned position means the log
     entry is the key's current version). *)
+
+val lookup :
+  t -> Pmem_sim.Clock.t -> Kv_common.Types.key ->
+  Kv_common.Types.loc option * hit_stage
+(** {!raw_lookup} plus the answering stage.  [Hit_corrupt] with
+    [Some corrupt_marker] means a table block failed verification mid-probe
+    (liveness unknowable); a stored quarantine marker comes back as
+    [Some corrupt_marker] with the structure's own stage (only {!get}'s
+    [resolve] maps it to [Hit_quarantined]). *)
+
+val owns : t -> Kv_common.Types.key -> bool
+(** Does this shard's hash partition contain [key]? *)
+
+val floors : t -> int * int option
+(** Current in-DRAM [(mt_floor, absorb_floor)] — what the manifest record
+    should say; the scrubber repairs damaged records from these. *)
+
+val persistent_tables : t -> Kv_common.Linear_table.t list
+(** Every persistent run the shard holds (dumps, upper levels, last), for
+    whole-run scrub verification. *)
+
+val set_notify_quarantine : t -> (Kv_common.Types.key -> unit) -> unit
+(** Hook invoked for every key the shard quarantines internally (during a
+    value-log rebuild); the store uses it to invalidate cached entries and
+    count quarantines. *)
+
+val rebuild_from_vlog : t -> Pmem_sim.Clock.t -> unit
+(** Repair: drop every index structure and rebuild the shard from the
+    value log (all live entries sit above the log head, so the log is a
+    complete redundant copy of the index).  Corrupt log records that are
+    still a key's newest version are quarantined to
+    [Types.corrupt_marker].  Runs under the [Scrub] fault site. *)
 
 val force_flush : t -> Pmem_sim.Clock.t -> unit
 (** Flush the MemTable regardless of load factor (shutdown / checkpoint). *)

@@ -8,6 +8,11 @@ module Store_intf = Kv_common.Store_intf
 
 let c_gc_relocations = Obs.Counters.counter "gc.relocations"
 let c_gc_reclaimed = Obs.Counters.counter "gc.reclaimed_bytes"
+let c_scrub_scanned_bytes = Obs.Counters.counter "scrub.scanned_bytes"
+let c_scrub_scanned = Obs.Counters.counter "scrub.scanned_entries"
+let c_scrub_detected = Obs.Counters.counter "scrub.detected"
+let c_scrub_repaired = Obs.Counters.counter "scrub.repaired"
+let c_quarantined = Obs.Counters.counter "scrub.quarantined"
 
 type t = {
   cfg : Config.t;
@@ -17,6 +22,10 @@ type t = {
   gpm : Modes.Gpm.t;
   manifest : Manifest.t;
   cache : Cache.t option;
+  health : Store_intf.health array; (* per shard *)
+  mutable scrub_cursor : int; (* next log location the scrubber verifies *)
+  mutable scrub_shard : int; (* first shard the next table pass covers *)
+  mutable nquarantined : int; (* lifetime quarantine events *)
 }
 
 let create ?(cfg = Config.default) ?dev () =
@@ -33,34 +42,87 @@ let create ?(cfg = Config.default) ?dev () =
       ~batch_bytes:cfg.Config.vlog_batch_bytes dev
   in
   let manifest = Manifest.create ~shards:cfg.Config.shards dev in
-  { cfg;
-    dev;
-    vlog;
-    shards =
-      Array.init cfg.Config.shards (fun id ->
-          Shard.create ~manifest ~cfg ~id dev vlog);
-    gpm = Modes.Gpm.create ~cfg;
-    manifest;
-    cache =
-      (if cfg.Config.cache_bytes > 0 then
-         Some
-           (Cache.create ~negative:cfg.Config.cache_negative
-              ~shards:cfg.Config.shards
-              ~capacity_bytes:cfg.Config.cache_bytes ())
-       else None) }
+  let t =
+    { cfg;
+      dev;
+      vlog;
+      shards =
+        Array.init cfg.Config.shards (fun id ->
+            Shard.create ~manifest ~cfg ~id dev vlog);
+      gpm = Modes.Gpm.create ~cfg;
+      manifest;
+      cache =
+        (if cfg.Config.cache_bytes > 0 then
+           Some
+             (Cache.create ~negative:cfg.Config.cache_negative
+                ~shards:cfg.Config.shards
+                ~capacity_bytes:cfg.Config.cache_bytes ())
+         else None);
+      health = Array.make cfg.Config.shards Store_intf.Healthy;
+      scrub_cursor = 0;
+      scrub_shard = 0;
+      nquarantined = 0 }
+  in
+  (* Shard-internal repair (value-log rebuilds) quarantines keys without
+     going through the store: hook cache invalidation and accounting so a
+     cached copy can never outlive its quarantine. *)
+  Array.iter
+    (fun shard ->
+      Shard.set_notify_quarantine shard (fun key ->
+          t.nquarantined <- t.nquarantined + 1;
+          Obs.Counters.incr c_quarantined;
+          match t.cache with
+          | None -> ()
+          | Some cache -> Cache.invalidate cache (Clock.create ()) key))
+    t.shards;
+  t
 
 let cfg t = t.cfg
 let shards t = t.shards
 let device t = t.dev
 let vlog t = t.vlog
+let manifest t = t.manifest
 let gpm t = t.gpm
 let gpm_active t = Modes.Gpm.active t.gpm
 
-let signals t =
-  Modes.Signals.of_gpm ~write_intensive:t.cfg.Config.write_intensive t.gpm
+let shard_index t key =
+  Hash.shard_of ~hash:(Hash.mix64 key) ~shards:t.cfg.Config.shards
 
-let shard_of t key =
-  t.shards.(Hash.shard_of ~hash:(Hash.mix64 key) ~shards:t.cfg.Config.shards)
+let shard_of t key = t.shards.(shard_index t key)
+
+(* {2 Shard health.}  [Degraded] is set at detection (a read or GC pass
+   that hits unverifiable state) and cleared by the scrub pass that repairs
+   or contains the damage; [Scrubbing] marks shards a pass is covering. *)
+
+let mark_degraded t key =
+  t.health.(shard_index t key) <- Store_intf.Degraded
+
+let shard_degraded t key =
+  t.health.(shard_index t key) = Store_intf.Degraded
+
+let degraded_fraction t =
+  let n =
+    Array.fold_left
+      (fun a h -> if h = Store_intf.Degraded then a + 1 else a)
+      0 t.health
+  in
+  float_of_int n /. float_of_int (Array.length t.health)
+
+let health t =
+  Array.fold_left
+    (fun acc h ->
+      match (acc, h) with
+      | Store_intf.Degraded, _ | _, Store_intf.Degraded -> Store_intf.Degraded
+      | Store_intf.Scrubbing, _ | _, Store_intf.Scrubbing ->
+        Store_intf.Scrubbing
+      | Store_intf.Healthy, Store_intf.Healthy -> Store_intf.Healthy)
+    Store_intf.Healthy t.health
+
+let signals t =
+  { (Modes.Signals.of_gpm ~write_intensive:t.cfg.Config.write_intensive t.gpm)
+    with
+    Modes.Signals.shard_degraded = (fun key -> shard_degraded t key);
+    degraded_fraction = (fun () -> degraded_fraction t) }
 
 let suspend_compactions t =
   t.cfg.Config.abi_enabled
@@ -120,6 +182,27 @@ let stage_of_hit : Shard.hit_stage -> Store_intf.read_stage = function
   | Shard.Hit_upper -> Store_intf.Upper
   | Shard.Hit_last -> Store_intf.Last
   | Shard.Miss -> Store_intf.Miss
+  | Shard.Hit_corrupt | Shard.Hit_quarantined -> Store_intf.Corrupt
+
+(* Quarantine a key whose newest log record failed verification: tombstone
+   the index entry to the corrupt marker (reads answer an explicit error,
+   never a silent miss or a stale version) and append a durable quarantine
+   record — a header-only entry with vlen = corrupt_marker — so the
+   containment survives crashes and GC passes.  The cache entry is dropped
+   in the same breath: a cached copy must never outlive its quarantine. *)
+let quarantine t clock key =
+  match Shard.raw_lookup (shard_of t key) clock key with
+  | Some cur when Types.is_corrupt cur ->
+    (* already contained: a second marker record would double-count the
+       same incident on every later scan of the rotted entry *)
+    ()
+  | _ ->
+    ignore (Vlog.append t.vlog clock key ~vlen:Types.corrupt_marker);
+    cache_invalidate ~attributed:false t clock key;
+    Shard.put (shard_of t key) clock key Types.corrupt_marker
+      ~suspend_compactions:(suspend_compactions t) ~can_dump:(can_dump t);
+    t.nquarantined <- t.nquarantined + 1;
+    Obs.Counters.incr c_quarantined
 
 (* Index walk + log read, byte-for-byte the pre-cache get path: with the
    cache disabled this is the whole read, so [cache_bytes = 0] reproduces
@@ -129,13 +212,31 @@ let slow_read t clock key : Store_intf.read_result =
   if not (Modes.Gpm.active t.gpm) then
     Shard.drain_dumps_if_idle shard ~now:(Clock.now clock);
   match Shard.get shard clock key with
+  | None, Shard.Hit_corrupt ->
+    mark_degraded t key;
+    { loc = None; stage = Store_intf.Corrupt; value = None }
+  | None, Shard.Hit_quarantined ->
+    (* containment already in place: the read answers the explicit error
+       but must NOT re-degrade the shard — that would send the scrubber
+       rebuilding a shard whose damage is already contained, forever *)
+    { loc = None; stage = Store_intf.Corrupt; value = None }
   | None, stage -> { loc = None; stage = stage_of_hit stage; value = None }
-  | Some loc, stage ->
-    let k, _vlen, value = Vlog.read_entry t.vlog clock loc in
-    if Int64.equal k key then
-      { loc = Some loc; stage = stage_of_hit stage; value }
-    else { loc = None; stage = Store_intf.Miss; value = None }
-    (* defensive: corrupt index entry *)
+  | Some loc, stage -> (
+    match Vlog.read_entry t.vlog clock loc with
+    | Error `Corrupt ->
+      (* detection on the read path: answer the explicit error and flag
+         the shard; the scrub pass quarantines/repairs off the hot path *)
+      mark_degraded t key;
+      { loc = None; stage = Store_intf.Corrupt; value = None }
+    | Ok (k, _vlen, value) ->
+      if Int64.equal k key then
+        { loc = Some loc; stage = stage_of_hit stage; value }
+      else begin
+        (* the record verifies but belongs to another key: the index entry
+           itself is damaged — an explicit error, not a miss *)
+        mark_degraded t key;
+        { loc = None; stage = Store_intf.Corrupt; value = None }
+      end)
 
 let read t clock key : Store_intf.read_result =
   Obs.Trace.begin_span clock ~cat:"op" "get";
@@ -162,6 +263,10 @@ let read t clock key : Store_intf.read_result =
           Cache.insert cache clock key ~loc
             ~vlen:(Vlog.vlen_at t.vlog loc)
             ?value:r.Store_intf.value ()
+        | None when r.Store_intf.stage = Store_intf.Corrupt ->
+          (* never cache a corrupt outcome: a negative entry would turn
+             the explicit error into a silent miss *)
+          ()
         | None -> Cache.insert_negative cache clock key);
         if attr then
           Obs.Attribution.add Obs.Attribution.Get_cache
@@ -191,7 +296,12 @@ let crash t =
   Array.iter Shard.lose_volatile t.shards;
   (* the read cache is volatile: it must not survive into recovery, or a
      cached location could resurrect state the crash rolled back *)
-  Option.iter Cache.clear t.cache
+  Option.iter Cache.clear t.cache;
+  (* health marks and the scrub cursor are DRAM state; detection (on read,
+     GC or replay) re-establishes them *)
+  Array.fill t.health 0 (Array.length t.health) Store_intf.Healthy;
+  t.scrub_cursor <- 0;
+  t.scrub_shard <- 0
 
 let recover t clock =
   Fault_point.with_site Fault_point.Recovery @@ fun () ->
@@ -200,12 +310,25 @@ let recover t clock =
   let marks = Array.map Shard.persisted_mark t.shards in
   let lo = Array.fold_left min (Vlog.persisted t.vlog) marks in
   Vlog.iter_range t.vlog clock ~lo ~hi:(Vlog.persisted t.vlog)
-    (fun loc key vlen ->
-      let shard_ix =
-        Hash.shard_of ~hash:(Hash.mix64 key) ~shards:t.cfg.Config.shards
-      in
+    ~on_corrupt:(fun loc key _vlen ->
+      (* a replayed record that fails verification: quarantine the
+         (untrusted) key conservatively — served reads answer Corrupt
+         until a scrub pass re-examines the shard *)
+      let shard_ix = shard_index t key in
       if loc >= marks.(shard_ix) then begin
-        let index_loc = if vlen < 0 then Types.tombstone else loc in
+        Shard.replay t.shards.(shard_ix) clock key Types.corrupt_marker;
+        t.health.(shard_ix) <- Store_intf.Degraded;
+        t.nquarantined <- t.nquarantined + 1;
+        Obs.Counters.incr c_quarantined
+      end)
+    (fun loc key vlen ->
+      let shard_ix = shard_index t key in
+      if loc >= marks.(shard_ix) then begin
+        let index_loc =
+          if vlen = Types.corrupt_marker then Types.corrupt_marker
+          else if vlen < 0 then Types.tombstone
+          else loc
+        in
         Shard.replay t.shards.(shard_ix) clock key index_loc
       end);
   let restart_ns = Clock.now clock -. t0 in
@@ -247,47 +370,228 @@ let gc t clock ?max_entries () =
   let head = Vlog.head t.vlog in
   let limit = min (Vlog.persisted t.vlog) (head + max_entries) in
   let scanned = ref 0 and live = ref 0 and dead = ref 0 in
-  Vlog.iter_range t.vlog clock ~lo:head ~hi:limit (fun loc key vlen ->
-      incr scanned;
-      let shard = shard_of t key in
-      match Shard.raw_lookup shard clock key with
-      | Some cur when cur = loc ->
-        incr live;
-        Obs.Counters.incr c_gc_relocations;
-        let fresh = Vlog.copy_entry t.vlog clock loc in
-        (* keep any cached entry pointing at the key's current version:
-           the old location is about to be reclaimed *)
-        Option.iter
-          (fun cache ->
-            Cache.relocate cache clock key ~expect:loc ~loc:fresh)
-          t.cache;
-        Shard.put shard clock key fresh
-          ~suspend_compactions:(suspend_compactions t)
-          ~can_dump:(can_dump t)
-      | Some cur when Types.is_tombstone cur && vlen < 0 ->
-        (* the key is currently deleted and this is a deletion record: it
-           must survive, or a crash could resurrect an older version still
-           sitting in the persistent index *)
-        incr live;
-        Obs.Counters.incr c_gc_relocations;
-        let _fresh = Vlog.append t.vlog clock key ~vlen:(-1) in
-        Shard.put shard clock key Types.tombstone
-          ~suspend_compactions:(suspend_compactions t)
-          ~can_dump:(can_dump t)
-      | Some _ | None -> incr dead);
+  (* If a lookup runs into an unverifiable table block, liveness of the
+     scanned prefix is unknowable: abort the pass without advancing the
+     head (copies already made are merely duplicated, never lost) and let
+     a scrub pass repair the shard first. *)
+  let aborted = ref false in
+  Vlog.iter_range t.vlog clock ~lo:head ~hi:limit
+    ~on_corrupt:(fun loc key _vlen ->
+      (* GC rewrite is a verification point: a corrupt record about to be
+         reclaimed must leave a durable quarantine behind if the index
+         still references it (the key is untrusted — conservative
+         containment only) *)
+      if not !aborted then begin
+        incr scanned;
+        let shard = shard_of t key in
+        match Shard.lookup shard clock key with
+        | _, Shard.Hit_corrupt ->
+          mark_degraded t key;
+          aborted := true
+        | Some cur, _ when cur = loc ->
+          incr live;
+          quarantine t clock key
+        | _ -> incr dead
+      end)
+    (fun loc key vlen ->
+      if not !aborted then begin
+        incr scanned;
+        let shard = shard_of t key in
+        match Shard.lookup shard clock key with
+        | _, Shard.Hit_corrupt ->
+          mark_degraded t key;
+          aborted := true
+        | Some cur, _ when cur = loc ->
+          incr live;
+          Obs.Counters.incr c_gc_relocations;
+          let fresh = Vlog.copy_entry t.vlog clock loc in
+          (* keep any cached entry pointing at the key's current version:
+             the old location is about to be reclaimed *)
+          Option.iter
+            (fun cache ->
+              Cache.relocate cache clock key ~expect:loc ~loc:fresh)
+            t.cache;
+          Shard.put shard clock key fresh
+            ~suspend_compactions:(suspend_compactions t)
+            ~can_dump:(can_dump t)
+        | Some cur, _ when Types.is_corrupt cur && vlen = Types.corrupt_marker
+          ->
+          (* quarantine record for a still-quarantined key: it must
+             survive the pass exactly like a live tombstone, or a crash
+             would resurrect an older version *)
+          incr live;
+          Obs.Counters.incr c_gc_relocations;
+          let _fresh =
+            Vlog.append t.vlog clock key ~vlen:Types.corrupt_marker
+          in
+          Shard.put shard clock key Types.corrupt_marker
+            ~suspend_compactions:(suspend_compactions t)
+            ~can_dump:(can_dump t)
+        | Some cur, _ when Types.is_tombstone cur && vlen < 0 ->
+          (* the key is currently deleted and this is a deletion record:
+             it must survive, or a crash could resurrect an older version
+             still sitting in the persistent index *)
+          incr live;
+          Obs.Counters.incr c_gc_relocations;
+          let _fresh = Vlog.append t.vlog clock key ~vlen:(-1) in
+          Shard.put shard clock key Types.tombstone
+            ~suspend_compactions:(suspend_compactions t)
+            ~can_dump:(can_dump t)
+        | (Some _ | None), _ -> incr dead
+      end);
   (* the copies must be durable before the originals are reclaimed *)
   Vlog.flush t.vlog clock;
   let reclaimed =
-    Vlog.bytes_upto t.vlog limit - Vlog.bytes_upto t.vlog head
+    if !aborted then 0
+    else begin
+      let r = Vlog.bytes_upto t.vlog limit - Vlog.bytes_upto t.vlog head in
+      Vlog.advance_head t.vlog limit;
+      Manifest.record_update t.manifest clock;
+      Obs.Counters.add_int c_gc_reclaimed r;
+      r
+    end
   in
-  Vlog.advance_head t.vlog limit;
-  Manifest.record_update t.manifest clock;
-  Obs.Counters.add_int c_gc_reclaimed reclaimed;
   Obs.Trace.end_span clock ~cat:"gc" "gc";
   { gc_scanned = !scanned;
     gc_live = !live;
     gc_dead = !dead;
     gc_reclaimed_bytes = reclaimed }
+
+(* {2 Background scrubber.}
+
+   One pass verifies up to [budget_bytes] of durable artifacts, cheapest
+   containment first:
+
+   - manifest floor records (24 B each — always verified, repaired in
+     place from the shard's in-DRAM floors);
+   - table runs, whole-run checksum verification; a failing run flags the
+     shard, which is then rebuilt from the value log (the log holds every
+     live entry above its head, so it is a complete redundant copy of the
+     index) — quarantining any log records that themselves turn out
+     corrupt;
+   - the value log, incrementally from a persistent cursor; a corrupt
+     record that the index still references is quarantined (explicit
+     Corrupt on read), a stale one is left for GC to reclaim.
+
+   A shard marked [Degraded] by earlier detection is rebuilt outright.
+   The budget is a target, not a hard cap: the pass stops after the
+   artifact that crosses it, so one oversized run can overshoot.
+
+   The table/floor/rebuild leg starts spending against at most half the
+   budget and begins at a persistent shard rotor, so when the per-shard
+   runs outweigh the budget, successive passes still cover every shard
+   in turn; the value-log leg is then guaranteed the remaining slice
+   regardless of how far the table leg overshot — neither leg can starve
+   the other. *)
+
+let scrub t clock ~budget_bytes : Store_intf.scrub_report =
+  if budget_bytes <= 0 then invalid_arg "Store.scrub";
+  Fault_point.with_site Fault_point.Scrub @@ fun () ->
+  Obs.Trace.begin_span clock ~cat:"scrub" "scrub";
+  let spent = ref 0 in
+  let scanned_entries = ref 0 in
+  let detected = ref 0 and repaired = ref 0 in
+  let q0 = t.nquarantined in
+  let rebuild i =
+    Shard.rebuild_from_vlog t.shards.(i) clock;
+    incr repaired;
+    (* the rebuild streamed the live log *)
+    spent := !spent + Vlog.live_bytes t.vlog;
+    t.health.(i) <- Store_intf.Scrubbing
+  in
+  let nshards = Array.length t.shards in
+  let table_budget = max 1 (budget_bytes / 2) in
+  let next_start = ref t.scrub_shard in
+  for k = 0 to nshards - 1 do
+    let i = (t.scrub_shard + k) mod nshards in
+    let shard = t.shards.(i) in
+    if !spent < table_budget then begin
+      next_start := (i + 1) mod nshards;
+      if t.health.(i) = Store_intf.Healthy then
+        t.health.(i) <- Store_intf.Scrubbing;
+      (* floors: cheap enough to verify for every covered shard *)
+      let _, flen = Manifest.floor_range t.manifest ~shard:i in
+      incr scanned_entries;
+      spent := !spent + flen;
+      if not (Manifest.floor_intact t.manifest ~shard:i) then begin
+        incr detected;
+        let mt, ab = Shard.floors shard in
+        if Manifest.repair_floor t.manifest clock ~shard:i ~mt_floor:mt
+             ~absorb_floor:ab
+        then incr repaired
+      end;
+      if t.health.(i) = Store_intf.Degraded then rebuild i
+      else begin
+        List.iter
+          (fun tbl ->
+            if !spent < table_budget then begin
+              incr scanned_entries;
+              spent := !spent + Kv_common.Linear_table.byte_size tbl;
+              if not (Kv_common.Linear_table.intact ~charge_read:true tbl
+                        clock)
+              then begin
+                incr detected;
+                t.health.(i) <- Store_intf.Degraded
+              end
+            end)
+          (Shard.persistent_tables shard);
+        if t.health.(i) = Store_intf.Degraded && !spent < table_budget
+        then rebuild i
+      end
+    end
+  done;
+  t.scrub_shard <- !next_start;
+  (* the value log, incrementally from the cursor (wrapping at the tail) *)
+  Vlog.flush t.vlog clock;
+  let head = Vlog.head t.vlog in
+  let hi = Vlog.persisted t.vlog in
+  let cursor = ref (max t.scrub_cursor head) in
+  if !cursor >= hi then cursor := head;
+  (* the log leg is guaranteed its slice even when one shard's runs
+     overshot the table leg past the whole budget — otherwise a store
+     whose smallest run outweighs the budget never advances the cursor *)
+  let vlog_budget = budget_bytes - min !spent table_budget in
+  let scan_bytes = ref 0 in
+  while !scan_bytes < vlog_budget && !cursor < hi do
+    let loc = !cursor in
+    let bytes = Vlog.entry_bytes ~vlen:(Vlog.vlen_at t.vlog loc) in
+    incr scanned_entries;
+    spent := !spent + bytes;
+    scan_bytes := !scan_bytes + bytes;
+    if not (Vlog.intact t.vlog clock loc) then begin
+      incr detected;
+      (* untrusted key: only used to place conservative containment *)
+      let key = Vlog.key_at t.vlog loc in
+      match Shard.lookup (shard_of t key) clock key with
+      | Some cur, _ when cur = loc -> quarantine t clock key
+      | _, Shard.Hit_corrupt ->
+        (* already quarantined (containment in place) — damaged runs are
+           the table pass's job, so nothing more to do here *)
+        ()
+      | _ -> () (* stale record: nothing references it; GC reclaims it *)
+    end;
+    cursor := loc + 1
+  done;
+  (* one bulk read covers the scanned log slice *)
+  if !scan_bytes > 0 then
+    Device.charge_read_bytes t.dev clock ~len:!scan_bytes ~hint:Pmem_sim.Device.Bulk;
+  t.scrub_cursor <- !cursor;
+  (* shards this pass covered (and did not leave degraded) are healthy *)
+  Array.iteri
+    (fun i h ->
+      if h = Store_intf.Scrubbing then t.health.(i) <- Store_intf.Healthy)
+    t.health;
+  let quarantined = t.nquarantined - q0 in
+  Obs.Counters.add_int c_scrub_scanned_bytes !spent;
+  Obs.Counters.add_int c_scrub_scanned !scanned_entries;
+  Obs.Counters.add_int c_scrub_detected !detected;
+  Obs.Counters.add_int c_scrub_repaired !repaired;
+  Obs.Trace.end_span clock ~cat:"scrub" "scrub";
+  { Store_intf.sr_scanned_bytes = !spent;
+    sr_scanned_entries = !scanned_entries;
+    sr_detected = !detected;
+    sr_repaired = !repaired;
+    sr_quarantined = quarantined }
 
 (* {2 Full scan.} *)
 
@@ -298,7 +602,9 @@ let iter t clock f =
   let visit key loc =
     if not (Hashtbl.mem seen key) then begin
       Hashtbl.add seen key ();
-      if not (Types.is_tombstone loc) then f key loc
+      (* tombstones and quarantine markers both mask older versions and
+         carry no servable location *)
+      if Types.is_live loc then f key loc
     end
   in
   Array.iter
@@ -375,6 +681,9 @@ let store ?(name = "ChameleonDB") t : Kv_common.Store_intf.store =
     let crash () = crash t
     let recover clock = ignore (recover t clock)
     let check_invariants () = check_invariants t
+    let scrub clock ~budget_bytes = scrub t clock ~budget_bytes
+    let health () = health t
+    let shard_degraded key = shard_degraded t key
     let dram_footprint () = dram_footprint t
     let pmem_footprint () = pmem_footprint t
     let device = t.dev
@@ -383,7 +692,7 @@ let store ?(name = "ChameleonDB") t : Kv_common.Store_intf.store =
     let fault_points =
       Fault_point.
         [ Foreground; Flush; Last_level_merge; Gc; Manifest_update;
-          Recovery ]
+          Recovery; Scrub ]
       @ (match t.cfg.Config.compaction with
         | Config.Direct -> [ Fault_point.Direct_compaction ]
         | Config.Level_by_level -> [ Fault_point.Upper_compaction ])

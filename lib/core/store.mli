@@ -27,6 +27,10 @@ val shards : t -> Shard.t array
 val device : t -> Pmem_sim.Device.t
 val vlog : t -> Kv_common.Vlog.t
 
+val manifest : t -> Manifest.t
+(** The structural-change manifest (exposed for the media-fault sweep and
+    tests, which corrupt its floor records). *)
+
 val write :
   t -> Pmem_sim.Clock.t -> Kv_common.Types.key ->
   Kv_common.Store_intf.value_spec -> unit
@@ -79,7 +83,42 @@ val gpm_active : t -> bool
 val gpm : t -> Modes.Gpm.t
 
 val signals : t -> Modes.Signals.t
-(** Live mode signals for the serving layer's admission controller. *)
+(** Live mode signals for the serving layer's admission controller,
+    including per-shard health probes. *)
+
+(** {1 Integrity}
+
+    Every durable artifact (log records, table runs, manifest floors)
+    carries a CRC32C verified on read, replay and rewrite.  Detection
+    marks the owning shard [Degraded]; the scrubber repairs (rebuilding
+    damaged runs from the value log) or contains (quarantining keys whose
+    newest log record is lost — reads answer an explicit [Corrupt], never
+    wrong data and never a silent miss). *)
+
+val scrub :
+  t -> Pmem_sim.Clock.t -> budget_bytes:int ->
+  Kv_common.Store_intf.scrub_report
+(** One background integrity pass over up to [budget_bytes] of durable
+    artifacts (the budget is a target: the pass stops after the artifact
+    that crosses it).  Verifies manifest floors and table runs for as
+    many shards as half the budget covers — round-robin from a persistent
+    rotor, so successive passes cover every shard even when one shard's
+    runs outweigh the budget — then spends the rest on a cursor-tracked
+    slice of the value log; rebuilds shards with damaged runs from the
+    log; quarantines unrepairable keys.  Raises [Invalid_argument] on a
+    non-positive budget. *)
+
+val quarantine : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> unit
+(** Mark the key's index entry with the corrupt marker and append a
+    durable quarantine record: subsequent reads answer [Corrupt] until a
+    fresh write supersedes the key.  (Exposed for tests; normally driven
+    by {!scrub} and GC.) *)
+
+val health : t -> Kv_common.Store_intf.health
+(** Worst health across the shards. *)
+
+val shard_degraded : t -> Kv_common.Types.key -> bool
+val degraded_fraction : t -> float
 
 (** {1 Value-log garbage collection}
 

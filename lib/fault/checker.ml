@@ -128,7 +128,9 @@ let run_case ~make ?(ops = 4_000) ?(universe = 400) ?crash_site ?crash_after
          incr step;
          run_op !step;
          if !step mod 701 = 0 then Store_intf.flush store clock;
-         if !step mod 907 = 0 then Store_intf.maintenance store clock
+         if !step mod 907 = 0 then Store_intf.maintenance store clock;
+         if !step mod 1103 = 0 then
+           ignore (Store_intf.scrub store clock ~budget_bytes:65536)
        done
      with
     | Injector.Crash_injected ->
@@ -188,7 +190,9 @@ let profile ~make ?(ops = 4_000) ?(universe = 400) ~seed () =
     | 9 | 10 -> Store_intf.delete store clock key
     | _ -> ignore (Store_intf.get store clock key));
     if step mod 701 = 0 then Store_intf.flush store clock;
-    if step mod 907 = 0 then Store_intf.maintenance store clock
+    if step mod 907 = 0 then Store_intf.maintenance store clock;
+    if step mod 1103 = 0 then
+      ignore (Store_intf.scrub store clock ~budget_bytes:65536)
   done;
   let counts = Injector.counts inj in
   Injector.detach inj;

@@ -26,11 +26,12 @@ let broken_replay () : Kv_common.Store_intf.store =
 
     let read clock key : Kv_common.Store_intf.read_result =
       match Robinhood.get !index clock key with
-      | Some loc when not (Types.is_tombstone loc) ->
-        let k, _ = Vlog.read vlog clock loc in
-        if Int64.equal k key then
+      | Some loc when not (Types.is_tombstone loc) -> (
+        match Vlog.read vlog clock loc with
+        | Ok (k, _) when Int64.equal k key ->
           { loc = Some loc; stage = Kv_common.Store_intf.Index; value = None }
-        else { loc = None; stage = Kv_common.Store_intf.Miss; value = None }
+        | Ok _ | Error `Corrupt ->
+          { loc = None; stage = Kv_common.Store_intf.Corrupt; value = None })
       | Some _ | None ->
         { loc = None; stage = Kv_common.Store_intf.Miss; value = None }
 
@@ -61,6 +62,9 @@ let broken_replay () : Kv_common.Store_intf.store =
         !entries
 
     let check_invariants () = Ok ()
+    let scrub _ ~budget_bytes:_ = Kv_common.Store_intf.empty_scrub_report
+    let health () = Kv_common.Store_intf.Healthy
+    let shard_degraded _ = false
     let dram_footprint () = Robinhood.footprint_bytes !index
     let pmem_footprint () = Device.used_bytes dev
     let device = dev

@@ -8,10 +8,11 @@ type site =
   | Gc
   | Manifest_update
   | Recovery
+  | Scrub
 
 let all =
   [ Foreground; Flush; Upper_compaction; Direct_compaction; Abi_dump;
-    Last_level_merge; Gc; Manifest_update; Recovery ]
+    Last_level_merge; Gc; Manifest_update; Recovery; Scrub ]
 
 let to_string = function
   | Foreground -> "foreground"
@@ -23,6 +24,7 @@ let to_string = function
   | Gc -> "gc"
   | Manifest_update -> "manifest-update"
   | Recovery -> "recovery"
+  | Scrub -> "scrub"
 
 let of_string s =
   List.find_opt (fun site -> to_string site = s) all

@@ -17,6 +17,7 @@ type site =
   | Gc                (** value-log garbage collection *)
   | Manifest_update   (** persisting manifest records (recovery floors) *)
   | Recovery          (** post-crash recovery itself (for crash-during-recovery) *)
+  | Scrub             (** background integrity scrub / repair rewrites *)
 
 val all : site list
 val to_string : site -> string

@@ -76,4 +76,15 @@ let clear t =
   Array.fill t.keys 0 t.nslots Types.empty_key;
   t.n <- 0
 
+(* Order-independent content digest: XOR of per-binding record CRCs.  The
+   table is DRAM-resident (not subject to media faults), but integrity
+   tests use this to assert that a rebuild reproduced the same logical
+   contents regardless of probe order. *)
+let digest t =
+  let module Crc = Pmem_sim.Crc32c in
+  let d = ref 0l in
+  iter t (fun k loc ->
+      d := Int32.logxor !d (Crc.int (Crc.int64 Crc.empty k) loc));
+  !d
+
 let footprint_bytes t = float_of_int (t.nslots * Types.slot_bytes)

@@ -41,5 +41,11 @@ val iter : t -> (Types.key -> Types.loc -> unit) -> unit
 
 val clear : t -> unit
 
+val digest : t -> int32
+(** Order-independent digest of the live bindings (XOR of per-binding
+    CRC32Cs): two tables holding the same key/location set digest equal.
+    Integrity tests use it to check that a rebuilt index reproduced the
+    original contents.  Uncharged. *)
+
 val footprint_bytes : t -> float
 (** slots x 16 B. *)

@@ -1,6 +1,7 @@
 module Clock = Pmem_sim.Clock
 module Device = Pmem_sim.Device
 module Cost_model = Pmem_sim.Cost_model
+module Crc32c = Pmem_sim.Crc32c
 
 type t = {
   dev : Device.t;
@@ -8,9 +9,22 @@ type t = {
   nslots : int;
   mutable live : int;
   mutable tag : int;
+  unit_crcs : int32 array; (* per-write-unit block checksums *)
 }
 
+type probe = Found of Types.loc | Absent | Corrupted
+
 let slot_off t i = t.off + (i * Types.slot_bytes)
+
+(* Per-unit checksums over the run's bytes.  [off] is unit-aligned (the
+   allocator aligns), so run-relative unit boundaries coincide with media
+   units: a probe can verify exactly the block it loads. *)
+let compute_unit_crcs ~unit bytes =
+  let len = Bytes.length bytes in
+  let n = (len + unit - 1) / unit in
+  Array.init n (fun u ->
+      let lo = u * unit in
+      Crc32c.update Crc32c.empty bytes ~off:lo ~len:(min unit (len - lo)))
 
 let build dev clock ~slots entries =
   if slots <= 0 then invalid_arg "Linear_table.build";
@@ -40,16 +54,31 @@ let build dev clock ~slots entries =
     Bytes.set_int64_le bytes ((i * Types.slot_bytes) + 8)
       (Int64.of_int locs.(i))
   done;
+  let unit = (Device.profile dev).Cost_model.write_unit in
+  (* checksum the staged run before it goes out: one streaming CRC pass *)
+  Clock.advance clock
+    (Cost_model.crc_ns_per_byte *. float_of_int (Bytes.length bytes));
+  let unit_crcs = compute_unit_crcs ~unit bytes in
   let off = Device.alloc dev (slots * Types.slot_bytes) in
   Device.write_bytes dev clock ~off bytes;
   Device.persist dev clock ~off ~len:(slots * Types.slot_bytes);
-  { dev; off; nslots = slots; live = !live; tag = 0 }
+  { dev; off; nslots = slots; live = !live; tag = 0; unit_crcs }
 
 let slots t = t.nslots
 let count t = t.live
 let tag t = t.tag
 let set_tag t v = t.tag <- v
 let byte_size t = t.nslots * Types.slot_bytes
+
+(* Does the media block holding run-relative unit [u] still carry the bytes
+   the run was built with?  Uncharged: the caller prices the CRC pass. *)
+let unit_intact_unpriced t u =
+  let unit = (Device.profile t.dev).Cost_model.write_unit in
+  let lo = u * unit in
+  let len = min unit (byte_size t - lo) in
+  (not (Device.poisoned_in t.dev ~off:(t.off + lo) ~len))
+  && Int32.equal t.unit_crcs.(u)
+       (Crc32c.bytes (Device.peek_bytes t.dev ~off:(t.off + lo) ~len))
 
 let get t clock key =
   let h = Hash.mix64 key in
@@ -61,15 +90,40 @@ let get t clock key =
     let hint : Device.read_hint =
       if prev_line = line then Adjacent else Random
     in
-    let k = Device.read_u64 t.dev clock ~off ~hint in
-    if Int64.equal k key then begin
-      let loc = Device.read_u64 t.dev clock ~off:(off + 8) ~hint:Adjacent in
-      Some (Int64.to_int loc)
+    (* first touch of a block verifies its checksum before any slot in it
+       is trusted (the block is in cache; the CRC pass is CPU cost) *)
+    if line <> prev_line then
+      Clock.advance clock (Cost_model.crc_ns_per_byte *. float_of_int unit);
+    if line <> prev_line && not (unit_intact_unpriced t (line - (t.off / unit)))
+    then Corrupted
+    else begin
+      let k = Device.read_u64 t.dev clock ~off ~hint in
+      if Int64.equal k key then begin
+        let loc = Device.read_u64 t.dev clock ~off:(off + 8) ~hint:Adjacent in
+        Found (Int64.to_int loc)
+      end
+      else if Int64.equal k Types.empty_key then Absent
+      else probe ((i + 1) mod t.nslots) line
     end
-    else if Int64.equal k Types.empty_key then None
-    else probe ((i + 1) mod t.nslots) line
   in
   probe start (-1)
+
+(* Whole-run verification: poison over the span plus every block checksum.
+   Charges the CRC pass always, and the bulk device read only when asked —
+   compaction piggybacks verification on the streaming read it already does
+   ([iter]), while the standalone scrubber pays for its own read. *)
+let intact ?(charge_read = false) t clock =
+  let len = byte_size t in
+  if charge_read then
+    Device.charge_read_bytes t.dev clock ~len ~hint:Bulk;
+  Clock.advance clock (Cost_model.crc_ns_per_byte *. float_of_int len);
+  (not (Device.poisoned_in t.dev ~off:t.off ~len))
+  &&
+  let ok = ref true in
+  for u = 0 to Array.length t.unit_crcs - 1 do
+    if !ok && not (unit_intact_unpriced t u) then ok := false
+  done;
+  !ok
 
 let iter t clock f =
   let len = t.nslots * Types.slot_bytes in
@@ -82,11 +136,13 @@ let iter t clock f =
     end
   done
 
+let media_range t = (t.off, byte_size t)
 let free t = Device.dealloc t.dev ~off:t.off ~len:(byte_size t)
 
 (* Silent accessors: no device-cost charging.  Used by stores that keep a
    DRAM copy of a table (Pmem-LSM-PinK) and charge DRAM costs themselves.
-   [get_silent] also reports the probe count so callers can price the walk. *)
+   [get_silent] also reports the probe count so callers can price the walk.
+   The DRAM mirror is not subject to media faults, so these do not verify. *)
 
 let get_silent t key =
   let h = Hash.mix64 key in

@@ -9,6 +9,12 @@
 
 type t
 
+type probe =
+  | Found of Types.loc
+  | Absent
+  | Corrupted
+      (** a block the probe touched is poisoned or fails its checksum *)
+
 val build :
   Pmem_sim.Device.t -> Pmem_sim.Clock.t -> slots:int ->
   (Types.key * Types.loc) list -> t
@@ -29,10 +35,23 @@ val set_tag : t -> int -> unit
 
 val byte_size : t -> int
 
-val get : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
+val media_range : t -> int * int
+(** [(off, len)] of the run on the device — the media-fault injection
+    target for tests and the sweep. *)
+
+val get : t -> Pmem_sim.Clock.t -> Types.key -> probe
 (** Probe the persistent table.  The first probe is a random device read;
     linear-probe successors within the same 256 B unit are charged as
-    adjacent accesses. *)
+    adjacent accesses.  Each block is checksum-verified on first touch
+    (charged at [crc_ns_per_byte]); a failing block answers [Corrupted]
+    rather than trusting its slots. *)
+
+val intact : ?charge_read:bool -> t -> Pmem_sim.Clock.t -> bool
+(** Verify the whole run: no poisoned media units and every per-unit block
+    checksum matches the device bytes.  Always charges the streaming CRC
+    pass; [charge_read] (default false) additionally charges the bulk
+    device read — the scrubber sets it, while compaction piggybacks
+    verification on the streaming read {!iter} already performs. *)
 
 val iter : t -> Pmem_sim.Clock.t -> (Types.key -> Types.loc -> unit) -> unit
 (** Stream the whole table from the device (one bulk read) and apply [f] to

@@ -11,6 +11,7 @@ type read_stage =
   | Last
   | Index
   | Miss
+  | Corrupt
 
 let stage_name = function
   | Memtable -> "memtable"
@@ -21,6 +22,29 @@ let stage_name = function
   | Last -> "last"
   | Index -> "index"
   | Miss -> "miss"
+  | Corrupt -> "corrupt"
+
+type health = Healthy | Scrubbing | Degraded
+
+let health_name = function
+  | Healthy -> "healthy"
+  | Scrubbing -> "scrubbing"
+  | Degraded -> "degraded"
+
+type scrub_report = {
+  sr_scanned_bytes : int;
+  sr_scanned_entries : int;
+  sr_detected : int;
+  sr_repaired : int;
+  sr_quarantined : int;
+}
+
+let empty_scrub_report =
+  { sr_scanned_bytes = 0;
+    sr_scanned_entries = 0;
+    sr_detected = 0;
+    sr_repaired = 0;
+    sr_quarantined = 0 }
 
 type read_result = {
   loc : Types.loc option;
@@ -44,6 +68,9 @@ module type STORE = sig
   val crash : unit -> unit
   val recover : Pmem_sim.Clock.t -> unit
   val check_invariants : unit -> (unit, string) result
+  val scrub : Pmem_sim.Clock.t -> budget_bytes:int -> scrub_report
+  val health : unit -> health
+  val shard_degraded : Types.key -> bool
   val dram_footprint : unit -> float
   val pmem_footprint : unit -> float
   val device : Pmem_sim.Device.t
@@ -62,6 +89,9 @@ let maintenance (module S : STORE) clock = S.maintenance clock
 let crash (module S : STORE) = S.crash ()
 let recover (module S : STORE) clock = S.recover clock
 let check_invariants (module S : STORE) = S.check_invariants ()
+let scrub (module S : STORE) clock ~budget_bytes = S.scrub clock ~budget_bytes
+let health (module S : STORE) = S.health ()
+let shard_degraded (module S : STORE) key = S.shard_degraded key
 let dram_footprint (module S : STORE) = S.dram_footprint ()
 let pmem_footprint (module S : STORE) = S.pmem_footprint ()
 let device (module S : STORE) = S.device

@@ -22,8 +22,32 @@ type read_stage =
   | Last      (** last-level Pmem table *)
   | Index     (** design-specific index (baselines report this) *)
   | Miss
+  | Corrupt
+      (** the newest version of the key failed integrity verification (or
+          the key is quarantined): an explicit error, never wrong data and
+          never a silent miss *)
 
 val stage_name : read_stage -> string
+
+type health =
+  | Healthy
+  | Scrubbing  (** a scrub pass is underway; service continues *)
+  | Degraded
+      (** unrepaired corruption detected; writes to this shard should be
+          throttled until a scrub pass covers it *)
+
+val health_name : health -> string
+
+type scrub_report = {
+  sr_scanned_bytes : int;   (** artifact bytes verified this pass *)
+  sr_scanned_entries : int; (** records/runs verified *)
+  sr_detected : int;        (** verification failures found *)
+  sr_repaired : int;        (** rebuilt from redundant state (vlog) *)
+  sr_quarantined : int;     (** keys marked {!Types.corrupt_marker} *)
+}
+
+val empty_scrub_report : scrub_report
+(** All-zero report — what a store without a scrubber returns. *)
 
 type read_result = {
   loc : Types.loc option;  (** [None] for absent or deleted keys *)
@@ -73,6 +97,21 @@ module type STORE = sig
   val check_invariants : unit -> (unit, string) result
   (** Structural self-check; the crash checker runs it after recovery. *)
 
+  val scrub : Pmem_sim.Clock.t -> budget_bytes:int -> scrub_report
+  (** One background integrity pass over up to [budget_bytes] of durable
+      artifacts: verify record/run checksums, repair what redundant state
+      allows, quarantine what it does not.  Stores without an integrity
+      subsystem return {!empty_scrub_report} (detection still happens on
+      their read paths via the shared log/table verification). *)
+
+  val health : unit -> health
+  (** Worst health across the store's shards. *)
+
+  val shard_degraded : Types.key -> bool
+  (** Is the shard owning [key] currently {!Degraded}?  Admission control
+      uses this to throttle writes into damaged shards.  [false] for
+      designs without shard health. *)
+
   val dram_footprint : unit -> float  (** resident DRAM bytes *)
 
   val pmem_footprint : unit -> float  (** allocated device bytes *)
@@ -98,6 +137,9 @@ val maintenance : store -> Pmem_sim.Clock.t -> unit
 val crash : store -> unit
 val recover : store -> Pmem_sim.Clock.t -> unit
 val check_invariants : store -> (unit, string) result
+val scrub : store -> Pmem_sim.Clock.t -> budget_bytes:int -> scrub_report
+val health : store -> health
+val shard_degraded : store -> Types.key -> bool
 val dram_footprint : store -> float
 val pmem_footprint : store -> float
 val device : store -> Pmem_sim.Device.t

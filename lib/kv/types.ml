@@ -3,7 +3,10 @@ type loc = int
 
 let empty_key = 0L
 let tombstone = -1
-let is_tombstone loc = loc < 0
+let corrupt_marker = -2
+let is_tombstone loc = loc = tombstone
+let is_corrupt loc = loc = corrupt_marker
+let is_live loc = loc >= 0
 let slot_bytes = 16
 
 type op =

@@ -16,7 +16,21 @@ val empty_key : key
 val tombstone : loc
 (** Location value marking a deletion; negative, never a valid log index. *)
 
+val corrupt_marker : loc
+(** Location value marking a quarantined key: its newest log record failed
+    integrity verification, so reads must answer an explicit corrupt error
+    — not a miss, and not an older version.  Negative, distinct from
+    {!tombstone}; like a tombstone it masks older versions in the level
+    structure, but unlike one it is never dropped by merges (only a fresh
+    put or delete of the key clears it). *)
+
 val is_tombstone : loc -> bool
+(** True exactly for {!tombstone} (corrupt markers are not tombstones). *)
+
+val is_corrupt : loc -> bool
+
+val is_live : loc -> bool
+(** [loc >= 0]: an actual log location, neither tombstone nor quarantine. *)
 
 val slot_bytes : int
 (** Bytes per index slot: 8 B key + 8 B location, the 16 B index-entry size

@@ -1,21 +1,34 @@
 module Clock = Pmem_sim.Clock
 module Device = Pmem_sim.Device
 module Cost_model = Pmem_sim.Cost_model
+module Crc32c = Pmem_sim.Crc32c
 
 let c_append_bytes = Obs.Counters.counter "vlog.append_bytes"
 let c_batch_flushes = Obs.Counters.counter "vlog.batch_flushes"
 let c_reads = Obs.Counters.counter "vlog.reads"
+let c_corrupt_reads = Obs.Counters.counter "vlog.corrupt_reads"
 
-(* Growable parallel arrays for entry metadata: key and value length. *)
+(* The log is accounting-only by default, so its bytes have no materialized
+   device offsets.  Entry [i] is modelled as occupying
+   [media_base + bytes_upto i, media_base + bytes_upto (i+1)) in the
+   device's media-fault namespace: high enough never to collide with real
+   allocations, stable across GC (offsets are absolute, not head-relative). *)
+let media_base = 1 lsl 46
+
+(* Growable parallel arrays for entry metadata: key, value length, and the
+   record CRC32C (over the 16 B header encoding plus the payload when one is
+   materialized — exactly what the durable record would carry). *)
 type meta = {
   mutable keys : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
   mutable vlens : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable crcs : (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t;
   mutable cap : int;
 }
 
 let meta_create () =
   { keys = Bigarray.Array1.create Int64 C_layout 1024;
     vlens = Bigarray.Array1.create Int C_layout 1024;
+    crcs = Bigarray.Array1.create Int32 C_layout 1024;
     cap = 1024 }
 
 let meta_ensure m n =
@@ -26,10 +39,13 @@ let meta_ensure m n =
     done;
     let keys = Bigarray.Array1.create Int64 C_layout !cap in
     let vlens = Bigarray.Array1.create Int C_layout !cap in
+    let crcs = Bigarray.Array1.create Int32 C_layout !cap in
     Bigarray.Array1.blit m.keys (Bigarray.Array1.sub keys 0 m.cap);
     Bigarray.Array1.blit m.vlens (Bigarray.Array1.sub vlens 0 m.cap);
+    Bigarray.Array1.blit m.crcs (Bigarray.Array1.sub crcs 0 m.cap);
     m.keys <- keys;
     m.vlens <- vlens;
+    m.crcs <- crcs;
     m.cap <- !cap
   end
 
@@ -45,8 +61,8 @@ type t = {
   mutable persisted_n : int;
   mutable open_batch_bytes : int;
   mutable total_bytes : int; (* bytes of entries [0, n) *)
-  mutable byte_offsets_dirty : bool;
-  mutable byte_offsets : int array; (* prefix sums, rebuilt lazily *)
+  mutable byte_offsets : int array; (* prefix sums over entries [0, offsets_n) *)
+  mutable offsets_n : int; (* entries the prefix sums cover *)
 }
 
 (* A negative [vlen] encodes a tombstone entry: header only, no payload. *)
@@ -65,18 +81,13 @@ let create ?(fenced = false) ?(materialize = false) ?(batch_bytes = 4096) dev
     persisted_n = 0;
     open_batch_bytes = 0;
     total_bytes = 0;
-    byte_offsets_dirty = true;
-    byte_offsets = [||] }
+    byte_offsets = Array.make 1025 0;
+    offsets_n = 0 }
 
 let device t = t.dev
 let length t = t.n
 let persisted t = t.persisted_n
 let head t = t.head
-
-let advance_head t upto =
-  if upto < t.head || upto > t.persisted_n then
-    invalid_arg "Vlog.advance_head";
-  t.head <- upto
 
 let key_at t loc =
   if loc < 0 || loc >= t.n then invalid_arg "Vlog.key_at";
@@ -86,6 +97,77 @@ let vlen_at t loc =
   if loc < 0 || loc >= t.n then invalid_arg "Vlog.vlen_at";
   Bigarray.Array1.get t.meta.vlens loc
 
+(* Prefix sums are extended incrementally (appends only ever add entries at
+   the tail), so a read after an append costs O(new entries), not O(n). *)
+let bytes_upto t n =
+  if n <= 0 then 0
+  else begin
+    if t.offsets_n < t.n then begin
+      if Array.length t.byte_offsets < t.n + 1 then begin
+        let cap = ref (Array.length t.byte_offsets) in
+        while !cap < t.n + 1 do
+          cap := !cap * 2
+        done;
+        let bigger = Array.make !cap 0 in
+        Array.blit t.byte_offsets 0 bigger 0 (t.offsets_n + 1);
+        t.byte_offsets <- bigger
+      end;
+      for i = t.offsets_n to t.n - 1 do
+        t.byte_offsets.(i + 1) <-
+          t.byte_offsets.(i) + entry_bytes ~vlen:(vlen_at t i)
+      done;
+      t.offsets_n <- t.n
+    end;
+    t.byte_offsets.(min n t.n)
+  end
+
+let entry_range t loc =
+  if loc < 0 || loc >= t.n then invalid_arg "Vlog.entry_range";
+  (media_base + bytes_upto t loc, entry_bytes ~vlen:(vlen_at t loc))
+
+let advance_head t upto =
+  if upto < t.head || upto > t.persisted_n then
+    invalid_arg "Vlog.advance_head";
+  (* reclaimed media is returned to the allocator: its faults go with it *)
+  if upto > t.head then begin
+    let off = media_base + bytes_upto t t.head in
+    let len = bytes_upto t upto - bytes_upto t t.head in
+    Device.clear_poison t.dev ~off ~len
+  end;
+  t.head <- upto
+
+(* ------------------------------ checksums ------------------------------ *)
+
+let entry_crc ~key ~vlen ~payload =
+  let c = Crc32c.int (Crc32c.int64 Crc32c.empty key) vlen in
+  match payload with None -> c | Some v -> Crc32c.bytes ~crc:c v
+
+let stored_crc t loc = Bigarray.Array1.get t.meta.crcs loc
+
+(* Would a load of this record return exactly what was appended?  False if
+   a poisoned media unit covers the record, or the stored bytes no longer
+   checksum to the recorded CRC (bit rot).  Uncharged: callers price the
+   verification (a CRC pass over the record) themselves. *)
+let intact_unpriced t loc =
+  let off, len = entry_range t loc in
+  (not (Device.poisoned_in t.dev ~off ~len))
+  && Int32.equal (stored_crc t loc)
+       (entry_crc ~key:(key_at t loc) ~vlen:(vlen_at t loc)
+          ~payload:(Hashtbl.find_opt t.payloads loc))
+
+let charge_crc clock ~bytes =
+  Clock.advance clock (Cost_model.crc_ns_per_byte *. float_of_int bytes)
+
+let intact t clock loc =
+  charge_crc clock ~bytes:(entry_bytes ~vlen:(vlen_at t loc));
+  intact_unpriced t loc
+
+let corrupt_entry t loc =
+  if loc < 0 || loc >= t.n then invalid_arg "Vlog.corrupt_entry";
+  Bigarray.Array1.set t.meta.crcs loc (Int32.lognot (stored_crc t loc))
+
+(* ------------------------------- appends ------------------------------- *)
+
 let flush t clock =
   if t.open_batch_bytes > 0 then begin
     Obs.Counters.incr c_batch_flushes;
@@ -94,17 +176,19 @@ let flush t clock =
     t.persisted_n <- t.n
   end
 
-let append t clock key ~vlen =
+let append_raw t clock key ~vlen ~payload =
   let attr = Obs.Attribution.enabled () in
   let t0 = if attr then Clock.now clock else 0.0 in
   let loc = t.n in
   meta_ensure t.meta (t.n + 1);
   Bigarray.Array1.set t.meta.keys loc key;
   Bigarray.Array1.set t.meta.vlens loc vlen;
+  Bigarray.Array1.set t.meta.crcs loc (entry_crc ~key ~vlen ~payload);
   t.n <- t.n + 1;
-  t.byte_offsets_dirty <- true;
   let bytes = entry_bytes ~vlen in
   t.total_bytes <- t.total_bytes + bytes;
+  (* sealing the record: one CRC pass over header + payload *)
+  charge_crc clock ~bytes;
   if t.fenced then begin
     (* per-operation persistence: every append is an individually fenced
        small write — the tail media unit is rewritten each time *)
@@ -122,27 +206,15 @@ let append t clock key ~vlen =
     Obs.Attribution.add Obs.Attribution.Put_batch_copy (Clock.now clock -. t0);
   loc
 
+let append t clock key ~vlen = append_raw t clock key ~vlen ~payload:None
+
 let append_value t clock key value =
-  let loc = append t clock key ~vlen:(Bytes.length value) in
+  let loc =
+    append_raw t clock key ~vlen:(Bytes.length value)
+      ~payload:(if t.materialize then Some (Bytes.copy value) else None)
+  in
   if t.materialize then Hashtbl.replace t.payloads loc (Bytes.copy value);
   loc
-
-let value_at t clock loc =
-  if loc < t.head || loc >= t.n then invalid_arg "Vlog.value_at";
-  match Hashtbl.find_opt t.payloads loc with
-  | Some v ->
-    let attr = Obs.Attribution.enabled () in
-    let t0 = if attr then Clock.now clock else 0.0 in
-    let bytes = entry_bytes ~vlen:(Bytes.length v) in
-    Device.charge_read_bytes t.dev clock ~len:(min bytes 256) ~hint:Random;
-    if bytes > 256 then
-      Device.charge_read_bytes t.dev clock ~len:(bytes - 256) ~hint:Bulk;
-    Obs.Counters.incr c_reads;
-    if attr then
-      Obs.Attribution.add Obs.Attribution.Get_log_read
-        (Clock.now clock -. t0);
-    Some (Bytes.copy v)
-  | None -> None
 
 let copy_entry t clock loc =
   let vlen = vlen_at t loc in
@@ -151,21 +223,34 @@ let copy_entry t clock loc =
   | Some v -> append_value t clock key v
   | None -> append t clock key ~vlen
 
+(* -------------------------------- reads -------------------------------- *)
+
+let charge_entry_read t clock ~bytes =
+  (* First line is a random access; a large value streams the rest. *)
+  Device.charge_read_bytes t.dev clock ~len:(min bytes 256) ~hint:Random;
+  if bytes > 256 then
+    Device.charge_read_bytes t.dev clock ~len:(bytes - 256) ~hint:Bulk;
+  (* every consumer verifies the record CRC before trusting the bytes *)
+  charge_crc clock ~bytes;
+  Obs.Counters.incr c_reads
+
 let read t clock loc =
   if loc < 0 || loc >= t.n then invalid_arg "Vlog.read";
   if loc < t.head then invalid_arg "Vlog.read: reclaimed location";
   let attr = Obs.Attribution.enabled () in
   let t0 = if attr then Clock.now clock else 0.0 in
   let vlen = vlen_at t loc in
-  let bytes = entry_bytes ~vlen in
-  (* First line is a random access; a large value streams the rest. *)
-  Device.charge_read_bytes t.dev clock ~len:(min bytes 256) ~hint:Random;
-  if bytes > 256 then
-    Device.charge_read_bytes t.dev clock ~len:(bytes - 256) ~hint:Bulk;
-  Obs.Counters.incr c_reads;
+  charge_entry_read t clock ~bytes:(entry_bytes ~vlen);
+  let r =
+    if intact_unpriced t loc then Ok (key_at t loc, vlen)
+    else begin
+      Obs.Counters.incr c_corrupt_reads;
+      Error `Corrupt
+    end
+  in
   if attr then
     Obs.Attribution.add Obs.Attribution.Get_log_read (Clock.now clock -. t0);
-  (key_at t loc, vlen)
+  r
 
 let read_entry t clock loc =
   if loc < 0 || loc >= t.n then invalid_arg "Vlog.read_entry";
@@ -173,55 +258,80 @@ let read_entry t clock loc =
   let attr = Obs.Attribution.enabled () in
   let t0 = if attr then Clock.now clock else 0.0 in
   let vlen = vlen_at t loc in
-  let bytes = entry_bytes ~vlen in
-  Device.charge_read_bytes t.dev clock ~len:(min bytes 256) ~hint:Random;
-  if bytes > 256 then
-    Device.charge_read_bytes t.dev clock ~len:(bytes - 256) ~hint:Bulk;
-  Obs.Counters.incr c_reads;
+  charge_entry_read t clock ~bytes:(entry_bytes ~vlen);
+  let r =
+    if intact_unpriced t loc then
+      (* the payload rode along in the same entry read — no further charge *)
+      Ok
+        ( key_at t loc,
+          vlen,
+          Option.map Bytes.copy (Hashtbl.find_opt t.payloads loc) )
+    else begin
+      Obs.Counters.incr c_corrupt_reads;
+      Error `Corrupt
+    end
+  in
   if attr then
     Obs.Attribution.add Obs.Attribution.Get_log_read (Clock.now clock -. t0);
-  (* the payload rode along in the same entry read — no further charge *)
-  (key_at t loc, vlen, Option.map Bytes.copy (Hashtbl.find_opt t.payloads loc))
+  r
+
+let value_at t clock loc =
+  if loc < t.head || loc >= t.n then invalid_arg "Vlog.value_at";
+  match Hashtbl.find_opt t.payloads loc with
+  | Some v ->
+    let attr = Obs.Attribution.enabled () in
+    let t0 = if attr then Clock.now clock else 0.0 in
+    charge_entry_read t clock ~bytes:(entry_bytes ~vlen:(Bytes.length v));
+    let r =
+      if intact_unpriced t loc then Ok (Some (Bytes.copy v))
+      else begin
+        Obs.Counters.incr c_corrupt_reads;
+        Error `Corrupt
+      end
+    in
+    if attr then
+      Obs.Attribution.add Obs.Attribution.Get_log_read
+        (Clock.now clock -. t0);
+    r
+  | None -> if intact_unpriced t loc then Ok None else Error `Corrupt
 
 let verify t clock loc key =
-  let k, _ = read t clock loc in
-  Int64.equal k key
-
-let bytes_upto t n =
-  if n <= 0 then 0
-  else begin
-    if t.byte_offsets_dirty then begin
-      t.byte_offsets <- Array.make (t.n + 1) 0;
-      for i = 0 to t.n - 1 do
-        t.byte_offsets.(i + 1) <-
-          t.byte_offsets.(i) + entry_bytes ~vlen:(vlen_at t i)
-      done;
-      t.byte_offsets_dirty <- false
-    end;
-    t.byte_offsets.(min n t.n)
-  end
+  match read t clock loc with
+  | Ok (k, _) -> Int64.equal k key
+  | Error `Corrupt -> false
 
 let live_bytes t = bytes_upto t t.n - bytes_upto t t.head
 
-let iter_range t clock ~lo ~hi f =
+let iter_range ?on_corrupt t clock ~lo ~hi f =
   let lo = max lo t.head in
   let hi = min hi t.persisted_n in
   if lo < hi then begin
     let bytes = bytes_upto t hi - bytes_upto t lo in
     Device.charge_read_bytes t.dev clock ~len:bytes ~hint:Bulk;
+    (* the scan verifies every record's CRC as it parses — one streaming
+       pass over the same bytes *)
+    charge_crc clock ~bytes;
     for loc = lo to hi - 1 do
       Clock.advance clock Pmem_sim.Cost_model.cpu_op_ns;
-      f loc (key_at t loc) (vlen_at t loc)
+      if intact_unpriced t loc then f loc (key_at t loc) (vlen_at t loc)
+      else begin
+        Obs.Counters.incr c_corrupt_reads;
+        match on_corrupt with
+        | Some g -> g loc (key_at t loc) (vlen_at t loc)
+        | None -> ()
+      end
     done
   end
 
 (* Torn-batch crash: with a tear function on the device, a crash while the
    open batch streams toward the tail keeps whichever whole 256 B media
    units reached the device.  An entry is recoverable only if every unit it
-   touches survived AND every earlier entry in the batch is recoverable —
-   log traversal stops at the first torn record (length-chained records
-   with per-record checksums cannot be walked past a hole), so the
-   surviving prefix simply extends [persisted_n]. *)
+   touches survived, its record CRC verifies over the surviving bytes (a
+   torn-but-length-plausible tail record is rejected by its checksum, not
+   accepted because its size field parses), AND every earlier entry in the
+   batch is recoverable — log traversal stops at the first rejected record
+   (length-chained records cannot be walked past a hole), so the surviving
+   prefix simply extends [persisted_n]. *)
 let torn_survivors t =
   match Device.tear t.dev with
   | None -> t.persisted_n
@@ -246,7 +356,7 @@ let torn_survivors t =
         for u = u0 to u1 do
           if not (unit_kept (base + (u * unit))) then ok := false
         done;
-        if !ok then extend (loc + 1) off' else loc
+        if !ok && intact_unpriced t loc then extend (loc + 1) off' else loc
       end
     in
     extend t.persisted_n base
@@ -255,7 +365,7 @@ let crash t =
   if not t.fenced then t.persisted_n <- torn_survivors t;
   t.n <- t.persisted_n;
   t.open_batch_bytes <- 0;
-  t.byte_offsets_dirty <- true;
+  t.offsets_n <- min t.offsets_n t.n;
   t.total_bytes <- bytes_upto t t.n;
   if t.materialize then
     Hashtbl.iter

@@ -6,6 +6,15 @@
     buffered in a DRAM batch and appended to the log tail when the batch
     reaches [batch_bytes] (4 KB by default).
 
+    Every record carries a CRC32C over its header encoding and payload,
+    verified (and charged at [Cost_model.crc_ns_per_byte]) by every consumer
+    — point reads, the recovery scan, GC — so silent media corruption
+    surfaces as an explicit [`Corrupt] result, never as wrong data.  The log
+    is accounting-only by default, so its bytes occupy a {e virtual} device
+    range starting at a high media base; {!entry_range} exposes each
+    record's span in that namespace for
+    {!Pmem_sim.Device.inject_poison}-style media faults.
+
     Payload bytes are synthesized deterministically from the key rather than
     materialized (see DESIGN.md): all device traffic is charged for the full
     entry size, and {!verify} checks reads end-to-end. *)
@@ -26,8 +35,9 @@ val create :
 val device : t -> Pmem_sim.Device.t
 
 val append : t -> Pmem_sim.Clock.t -> Types.key -> vlen:int -> Types.loc
-(** Append an entry; returns its location.  Charges the DRAM batching copy,
-    and a contiguous device append whenever the batch fills. *)
+(** Append an entry; returns its location.  Charges the record-CRC pass and
+    the DRAM batching copy, and a contiguous device append whenever the
+    batch fills. *)
 
 val flush : t -> Pmem_sim.Clock.t -> unit
 (** Force out a partial batch (persistence point for MemTable flushes). *)
@@ -36,24 +46,30 @@ val append_value : t -> Pmem_sim.Clock.t -> Types.key -> bytes -> Types.loc
 (** Append an entry carrying a real payload (retained only in materialized
     mode; device traffic is charged either way). *)
 
-val value_at : t -> Pmem_sim.Clock.t -> Types.loc -> bytes option
-(** Read back a materialized payload ([None] in accounting mode or for
-    entries appended without one).  Charges the same device read as
-    {!read}.  Raises [Invalid_argument] for reclaimed or out-of-range
-    locations. *)
+val value_at :
+  t -> Pmem_sim.Clock.t -> Types.loc -> (bytes option, [ `Corrupt ]) result
+(** Read back a materialized payload ([Ok None] in accounting mode or for
+    entries appended without one).  Charges the same device read + CRC
+    verification as {!read}; [Error `Corrupt] if the record fails it.
+    Raises [Invalid_argument] for reclaimed or out-of-range locations. *)
 
 val copy_entry : t -> Pmem_sim.Clock.t -> Types.loc -> Types.loc
 (** Re-append entry [loc] at the tail, payload included when present — the
-    GC's relocation primitive. *)
+    GC's relocation primitive.  The caller is expected to have checked
+    {!intact} first (GC must not relocate garbage). *)
 
 val materialized : t -> bool
 
-val read : t -> Pmem_sim.Clock.t -> Types.loc -> Types.key * int
-(** [read t c loc] charges a device read of the full entry and returns
-    [(key, vlen)].  Raises [Invalid_argument] on an out-of-range location. *)
+val read :
+  t -> Pmem_sim.Clock.t -> Types.loc -> (Types.key * int, [ `Corrupt ]) result
+(** [read t c loc] charges a device read of the full entry plus its CRC
+    verification and returns [(key, vlen)], or [Error `Corrupt] when the
+    record's media units are poisoned or its checksum no longer verifies.
+    Raises [Invalid_argument] on an out-of-range location. *)
 
 val read_entry :
-  t -> Pmem_sim.Clock.t -> Types.loc -> Types.key * int * bytes option
+  t -> Pmem_sim.Clock.t -> Types.loc ->
+  (Types.key * int * bytes option, [ `Corrupt ]) result
 (** [read_entry t c loc] is {!read} plus the materialized payload when one
     exists ([None] in accounting mode): one device read charge covers the
     whole entry, payload included.  The unified store read path uses this
@@ -62,7 +78,7 @@ val read_entry :
 val verify : t -> Pmem_sim.Clock.t -> Types.loc -> Types.key -> bool
 (** [verify t c loc key]: read the entry and check it carries [key] (the
     synthesized payload is a function of the key, so a key match validates
-    the payload too). *)
+    the payload too).  [false] on a corrupt record. *)
 
 val key_at : t -> Types.loc -> Types.key
 (** Metadata peek without cost charging (tests, recovery bookkeeping). *)
@@ -81,8 +97,9 @@ val head : t -> int
 
 val advance_head : t -> int -> unit
 (** Reclaim the prefix [0, upto): the caller (the GC) guarantees no index
-    references locations below [upto].  Monotone; must not exceed
-    {!persisted}.  Raises [Invalid_argument] otherwise. *)
+    references locations below [upto].  Clears media poison over the
+    reclaimed range (the space is returned to the allocator).  Monotone;
+    must not exceed {!persisted}.  Raises [Invalid_argument] otherwise. *)
 
 val live_bytes : t -> int
 (** Log bytes between {!head} and the tail. *)
@@ -95,18 +112,41 @@ val bytes_upto : t -> int -> int
 (** Total log bytes occupied by entries [0, n). *)
 
 val iter_range :
+  ?on_corrupt:(Types.loc -> Types.key -> int -> unit) ->
   t -> Pmem_sim.Clock.t -> lo:int -> hi:int ->
   (Types.loc -> Types.key -> int -> unit) -> unit
 (** Recovery scan of persisted entries [lo, hi): charges a bulk device read
-    of the byte range and the per-entry parse cost, then applies [f]. *)
+    of the byte range plus a streaming CRC pass, then applies [f] to every
+    record that verifies.  Records that fail verification are passed to
+    [on_corrupt] instead (default: skipped).  The key/vlen given to
+    [on_corrupt] are {e untrusted} — the record failed its checksum — and
+    may only be used for conservative containment (quarantine), never to
+    serve data. *)
+
+(** {1 Integrity} *)
+
+val entry_range : t -> Types.loc -> int * int
+(** [(off, len)] of the record in the device's media namespace (a virtual
+    range above [2^46]; the log's bytes are accounting-only).  Feed to
+    {!Pmem_sim.Device.inject_poison} / [poisoned_in]. *)
+
+val intact : t -> Pmem_sim.Clock.t -> Types.loc -> bool
+(** Verify one record in place (poison check + CRC recomputation), charging
+    the CRC pass — the scrubber's unit of work. *)
+
+val corrupt_entry : t -> Types.loc -> unit
+(** Test-only media-fault injection: flip the record's stored checksum
+    state, as a bit flip inside the record would.  Detected by every
+    subsequent verification of that location. *)
 
 val crash : t -> unit
 (** Drop the unpersisted tail (entries beyond {!persisted}).  If the device
     has a tear function installed ({!Pmem_sim.Device.set_tear}), the open
     batch is instead truncated at 256 B media-unit granularity: the longest
-    prefix of whole entries whose units all survived the torn write extends
-    {!persisted} — entries past the first torn record are unreachable (log
-    traversal cannot walk past a hole) and are dropped. *)
+    prefix of whole entries whose units all survived the torn write {e and}
+    whose record CRCs still verify extends {!persisted} — entries past the
+    first torn or checksum-failing record are unreachable (log traversal
+    cannot walk past a hole) and are dropped. *)
 
 val dram_footprint : t -> float
 (** DRAM used by the open batch buffer. *)

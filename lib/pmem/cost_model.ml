@@ -51,6 +51,7 @@ let key_compare_ns = 2.0
 let bloom_check_ns = 110.0
 let bloom_build_per_key_ns = 140.0
 let memcpy_ns_per_byte = 0.04
+let crc_ns_per_byte = 0.05
 let cpu_op_ns = 45.0
 let sort_per_key_ns = 60.0
 let skiplist_probe_ns = 85.0

@@ -54,6 +54,11 @@ val bloom_build_per_key_ns : float
 val memcpy_ns_per_byte : float
 (** Streaming copy cost per byte (used for batching, table writes). *)
 
+val crc_ns_per_byte : float
+(** CRC32C computation per byte (hardware-assisted rate, slightly above a
+    streaming copy); charged wherever a record checksum is computed or
+    verified. *)
+
 val cpu_op_ns : float
 (** Fixed per-request software overhead (dispatch, branch, allocation). *)
 

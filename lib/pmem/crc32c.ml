@@ -1,0 +1,47 @@
+(* Software CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the
+   checksum real Pmem stores use because SSE4.2 computes it at ~1 B/cycle.
+   The simulation only needs the value (for integrity tests) and the cost
+   (charged by callers via [Cost_model.crc_ns_per_byte]); a table-driven
+   byte-at-a-time implementation is plenty. *)
+
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         c :=
+           if Int32.logand !c 1l <> 0l then
+             Int32.logxor 0x82F63B78l (Int32.shift_right_logical !c 1)
+           else Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let empty = 0l
+
+let feed_byte t c b =
+  let idx = Int32.to_int (Int32.logand (Int32.logxor c (Int32.of_int b)) 0xFFl) in
+  Int32.logxor t.(idx) (Int32.shift_right_logical c 8)
+
+let update crc buf ~off ~len =
+  let t = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = off to off + len - 1 do
+    c := feed_byte t !c (Char.code (Bytes.get buf i))
+  done;
+  Int32.lognot !c
+
+let bytes ?(crc = empty) b = update crc b ~off:0 ~len:(Bytes.length b)
+
+let int64 crc v =
+  let t = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = 0 to 7 do
+    let b = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL) in
+    c := feed_byte t !c b
+  done;
+  Int32.lognot !c
+
+let int crc v = int64 crc (Int64.of_int v)

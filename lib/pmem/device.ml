@@ -45,6 +45,7 @@ type t = {
   mutable threads : int;
   mutable persist_hook : (unit -> unit) option;
   mutable tear : (int -> bool) option;
+  poison : (int, unit) Hashtbl.t; (* unit-aligned offsets with media errors *)
 }
 
 let create ?(capacity = 4 * 1024 * 1024) prof =
@@ -57,7 +58,8 @@ let create ?(capacity = 4 * 1024 * 1024) prof =
     write_srv = { backlog = 0.0; last = 0.0 };
     threads = 1;
     persist_hook = None;
-    tear = None }
+    tear = None;
+    poison = Hashtbl.create 8 }
 
 let profile t = t.prof
 let stats t = t.st
@@ -94,7 +96,46 @@ let alloc t len =
   t.st.Stats.live_bytes <- t.st.Stats.live_bytes +. float_of_int len;
   off
 
-let dealloc t ~off:_ ~len =
+(* Media faults.  A poisoned write unit models an uncorrectable media error:
+   any load touching it returns poison instead of data.  The registry is
+   keyed by unit-aligned offset and is independent of the materialized byte
+   space, so accounting-only ranges (the value log's virtual addresses) can
+   be poisoned too.  Poison is damage to the media, not volatile state: it
+   survives [crash] and is cleared only by rewriting the whole unit
+   ([charge_persist_range] with full coverage) or freeing the range. *)
+
+let iter_units t ~off ~len f =
+  if len > 0 then begin
+    let unit = t.prof.Cost_model.write_unit in
+    let u0 = off / unit and u1 = (off + len - 1) / unit in
+    for u = u0 to u1 do
+      f (u * unit)
+    done
+  end
+
+let inject_poison t ~off ~len =
+  iter_units t ~off ~len (fun u -> Hashtbl.replace t.poison u ())
+
+let clear_poison t ~off ~len =
+  if Hashtbl.length t.poison > 0 then
+    iter_units t ~off ~len (fun u -> Hashtbl.remove t.poison u)
+
+let poisoned_in t ~off ~len =
+  Hashtbl.length t.poison > 0
+  &&
+  let hit = ref false in
+  iter_units t ~off ~len (fun u -> if Hashtbl.mem t.poison u then hit := true);
+  !hit
+
+let poisoned_units t = Hashtbl.length t.poison
+
+let flip_bit t ~off ~bit =
+  if off < 0 || off >= t.brk then invalid_arg "Device.flip_bit";
+  let b = Char.code (Bytes.get t.mem off) in
+  Bytes.set t.mem off (Char.chr (b lxor (1 lsl (bit land 7))))
+
+let dealloc t ~off ~len =
+  clear_poison t ~off ~len;
   t.st.Stats.live_bytes <- t.st.Stats.live_bytes -. float_of_int len
 
 let used_bytes t = t.st.Stats.live_bytes
@@ -181,6 +222,10 @@ let charge_persist_range t clock ~off ~len =
     let occ = float_of_int rmw_bytes /. read_bw t in
     queue_read t clock ~occupancy:occ ~latency:t.prof.Cost_model.read_latency_ns
   end;
+  (* rewriting a whole unit re-ECCs it: fully covered units are healed *)
+  if Hashtbl.length t.poison > 0 then
+    iter_units t ~off ~len (fun u ->
+        if off <= u && off + len >= u + unit then Hashtbl.remove t.poison u);
   let occupancy = float_of_int span /. write_bw t in
   (* service time lives in the bucket (the serve wait covers it under
      contention); the caller sees only the post-fence latency *)

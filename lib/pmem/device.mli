@@ -130,3 +130,32 @@ val tear : t -> (int -> bool) option
 
 val pending_ranges : t -> (int * int) list
 (** Offsets and lengths of currently unpersisted stores (for tests). *)
+
+(** {1 Media faults}
+
+    Silent-corruption model, complementing the crash model: a {e poisoned}
+    media write unit models an uncorrectable media error (any load touching
+    it returns poison rather than data), and {!flip_bit} models bit rot that
+    ECC missed (the load succeeds and returns wrong bytes — only a software
+    checksum can catch it).  Poison is keyed by unit-aligned offset and does
+    not require the range to be materialized, so accounting-only value-log
+    addresses can be poisoned too.  Poison survives {!crash}; it is cleared
+    by {!dealloc}, by an explicit {!clear_poison}, or by a persist that
+    rewrites the whole unit (re-ECC on full-line write). *)
+
+val inject_poison : t -> off:int -> len:int -> unit
+(** Poison every media write unit intersecting [off, off+len). *)
+
+val clear_poison : t -> off:int -> len:int -> unit
+
+val poisoned_in : t -> off:int -> len:int -> bool
+(** Does any poisoned unit intersect the range?  Read paths consult this to
+    decide whether a load would have returned poison. *)
+
+val poisoned_units : t -> int
+(** Number of currently poisoned units (for stats and tests). *)
+
+val flip_bit : t -> off:int -> bit:int -> unit
+(** Flip bit [bit land 7] of the materialized byte at [off] — undetectable
+    at the device level by design.  Raises [Invalid_argument] if [off] is
+    outside the allocated byte space. *)

@@ -22,6 +22,7 @@ type t = {
   rate_per_ns : float;      (* refill rate *)
   gpm_write_cost : float;   (* per-write tokens while Get-Protect active *)
   wim_write_cost : float;   (* per-write tokens under Write-Intensive Mode *)
+  degraded_write_cost : float;  (* multiplier for writes to degraded shards *)
   mutable tokens : float;
   mutable last_ns : float;
   mutable admitted : int;
@@ -29,15 +30,19 @@ type t = {
 }
 
 let create ?(signals = Signals.none) ?(burst = 512.0)
-    ?(rate_mops = 1.0) ?(gpm_write_cost = 4.0) ?(wim_write_cost = 0.5) () =
+    ?(rate_mops = 1.0) ?(gpm_write_cost = 4.0) ?(wim_write_cost = 0.5)
+    ?(degraded_write_cost = 4.0) () =
   if burst <= 0.0 then invalid_arg "Admission.create: burst <= 0";
   if rate_mops <= 0.0 then invalid_arg "Admission.create: rate <= 0";
+  if degraded_write_cost < 1.0 then
+    invalid_arg "Admission.create: degraded_write_cost < 1";
   { signals;
     burst;
     (* 1 Mops/s = one token per 1000 simulated ns *)
     rate_per_ns = rate_mops /. 1000.0;
     gpm_write_cost;
     wim_write_cost;
+    degraded_write_cost;
     tokens = burst;
     last_ns = 0.0;
     admitted = 0;
@@ -55,6 +60,18 @@ let write_cost t =
   else if t.signals.Signals.write_intensive then t.wim_write_cost
   else 1.0
 
+(* Tokens a request's writes must draw: writes into shards serving with
+   unrepaired corruption pay the degraded multiplier, so the scrubber's
+   repair traffic is not raced by a write flood into the same shard. *)
+let rec write_tokens t = function
+  | Proto.Get _ -> 0.0
+  | Proto.Put (k, _) | Proto.Delete k ->
+    let base = write_cost t in
+    if t.signals.Signals.shard_degraded k then base *. t.degraded_write_cost
+    else base
+  | Proto.Batch reqs ->
+    List.fold_left (fun acc r -> acc +. write_tokens t r) 0.0 reqs
+
 let admit t ~now req =
   let writes = Proto.puts_in_req req in
   if writes = 0 then begin
@@ -64,7 +81,7 @@ let admit t ~now req =
   end
   else begin
     refill t ~now;
-    let cost = float_of_int writes *. write_cost t in
+    let cost = write_tokens t req in
     if t.tokens >= cost then begin
       t.tokens <- t.tokens -. cost;
       t.admitted <- t.admitted + 1;

@@ -16,13 +16,17 @@ val create :
   ?rate_mops:float ->
   ?gpm_write_cost:float ->
   ?wim_write_cost:float ->
+  ?degraded_write_cost:float ->
   unit ->
   t
 (** [burst] is the bucket capacity in tokens (default 512); [rate_mops]
     the refill rate in million write-tokens per simulated second (default
     1.0); a write costs 1 token normally, [gpm_write_cost] (default 4)
     while Get-Protect is active, [wim_write_cost] (default 0.5) under
-    Write-Intensive Mode. *)
+    Write-Intensive Mode.  A write whose key lands in a shard the health
+    signals report degraded pays [degraded_write_cost] times its base
+    token cost (default 4, must be >= 1): writes into shards serving with
+    unrepaired corruption are throttled so repair traffic is not raced. *)
 
 val admit : t -> now:float -> Proto.req -> bool
 (** Whether the request may enter the queue at simulated time [now].

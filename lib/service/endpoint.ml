@@ -24,8 +24,10 @@ let backend_of_store ~clock store =
         (* stores that don't surface payloads in [read] may still
            materialize them in the vlog *)
         match Kv_common.Vlog.value_at vlog clock loc with
-        | Some v -> Proto.Value v
-        | None -> Proto.Hit (Kv_common.Vlog.vlen_at vlog loc))
+        | Ok (Some v) -> Proto.Value v
+        | Ok None -> Proto.Hit (Kv_common.Vlog.vlen_at vlog loc)
+        | Error `Corrupt -> Proto.Corrupted)
+      | { S.stage = S.Corrupt; _ } -> Proto.Corrupted
       | { S.loc = None; _ } -> Proto.Miss)
     | Proto.Put (k, v) ->
       S.write store clock k (S.Payload v);

@@ -24,6 +24,7 @@ type reply =
   | Hit of int
   | Miss
   | Shed
+  | Corrupted
   | Err of string
   | Replies of reply list
 
@@ -46,6 +47,7 @@ let t_miss = 0x14
 let t_shed = 0x15
 let t_err = 0x16
 let t_replies = 0x17
+let t_corrupted = 0x18
 
 (* ------------------------------ encoding ------------------------------ *)
 
@@ -81,6 +83,7 @@ let rec add_reply ?(top = true) b = function
     add_u32 b vlen
   | Miss -> Buffer.add_uint8 b t_miss
   | Shed -> Buffer.add_uint8 b t_shed
+  | Corrupted -> Buffer.add_uint8 b t_corrupted
   | Err m ->
     Buffer.add_uint8 b t_err;
     add_u32 b (String.length m);
@@ -182,6 +185,7 @@ let rec parse_reply ?(top = true) c =
   | t when t = t_hit -> Hit (read_u32 c "hit length")
   | t when t = t_miss -> Miss
   | t when t = t_shed -> Shed
+  | t when t = t_corrupted -> Corrupted
   | t when t = t_err ->
     let n = read_u32 c "error" in
     Err (Bytes.to_string (read_bytes c n "error"))
@@ -305,6 +309,7 @@ let rec pp_reply ppf = function
   | Hit n -> Format.fprintf ppf "Hit(%d)" n
   | Miss -> Format.fprintf ppf "Miss"
   | Shed -> Format.fprintf ppf "Shed"
+  | Corrupted -> Format.fprintf ppf "Corrupted"
   | Err m -> Format.fprintf ppf "Err(%s)" m
   | Replies rs ->
     Format.fprintf ppf "Replies[%a]"

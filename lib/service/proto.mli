@@ -27,6 +27,8 @@ type reply =
   | Hit of int         (** get hit, value length only (accounting stores) *)
   | Miss
   | Shed               (** rejected by admission control *)
+  | Corrupted          (** the key's newest record failed verification:
+                           an explicit integrity error, not a miss *)
   | Err of string
   | Replies of reply list  (** one per batched op; may not nest *)
 

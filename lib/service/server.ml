@@ -209,18 +209,26 @@ let run ?(costs = default_costs) ?(sched = Fifo) ?admission ?(batch_max = 8)
       cs.rx_ns <-
         cs.rx_ns +. (costs.byte_ns *. float_of_int (Bytes.length a.frame));
       Proto.feed_bytes cs.decoder a.frame;
+      (* a corrupt stream gets one final Err reply (charged on the RX
+         clock, as shed replies are), then the connection closes: the
+         decoder state is sticky, so nothing after it can be trusted *)
+      let reject msg =
+        let rb = Proto.encode_reply (Proto.Err msg) in
+        cs.rx_ns <-
+          cs.rx_ns +. costs.frame_ns
+          +. (costs.byte_ns *. float_of_int (Bytes.length rb));
+        if cs.rx_ns > !end_ns then end_ns := cs.rx_ns;
+        cs.dead <- true;
+        incr corrupt;
+        Obs.Counters.incr c_corrupt
+      in
       let rec drain () =
         match Proto.next cs.decoder with
         | `Await -> ()
-        | `Corrupt _ ->
-          cs.dead <- true;
-          incr corrupt;
-          Obs.Counters.incr c_corrupt
+        | `Corrupt m -> reject m
         | `Msg (Proto.Reply _) ->
           (* a client pushing replies at the server is a protocol error *)
-          cs.dead <- true;
-          incr corrupt;
-          Obs.Counters.incr c_corrupt
+          reject "unexpected reply"
         | `Msg (Proto.Request req) ->
           cs.rx_ns <- cs.rx_ns +. costs.frame_ns;
           incr submitted;
@@ -331,9 +339,11 @@ let run ?(costs = default_costs) ?(sched = Fifo) ?admission ?(batch_max = 8)
     let rec go top req =
       match req with
       | Proto.Get k -> (
-        match Store_intf.get store clock k with
-        | Some loc -> Proto.Hit (Vlog.vlen_at (Store_intf.vlog store) loc)
-        | None -> Proto.Miss)
+        match Store_intf.read store clock k with
+        | { Store_intf.loc = Some loc; _ } ->
+          Proto.Hit (Vlog.vlen_at (Store_intf.vlog store) loc)
+        | { Store_intf.stage = Store_intf.Corrupt; _ } -> Proto.Corrupted
+        | _ -> Proto.Miss)
       | Proto.Put (k, v) ->
         Store_intf.put store clock k ~vlen:(Bytes.length v);
         Proto.Ok

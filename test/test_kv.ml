@@ -177,15 +177,15 @@ let test_lt_build_get () =
   Alcotest.(check int) "count" 50 (LT.count t);
   List.iter
     (fun (k, v) ->
-      Alcotest.(check bool) "present" true (LT.get t c k = Some v))
+      Alcotest.(check bool) "present" true (LT.get t c k = LT.Found v))
     entries;
-  Alcotest.(check bool) "absent" true (LT.get t c (key 999) = None)
+  Alcotest.(check bool) "absent" true (LT.get t c (key 999) = LT.Absent)
 
 let test_lt_later_binding_wins () =
   let d = dev () in
   let c = Clock.create () in
   let t = LT.build d c ~slots:16 [ (7L, 1); (7L, 2) ] in
-  Alcotest.(check bool) "newest wins" true (LT.get t c 7L = Some 2);
+  Alcotest.(check bool) "newest wins" true (LT.get t c 7L = LT.Found 2);
   Alcotest.(check int) "deduped" 1 (LT.count t)
 
 let test_lt_overfull_rejected () =
@@ -217,7 +217,7 @@ let test_lt_persists_to_device () =
   let t = LT.build d c ~slots:16 [ (1L, 1) ] in
   Device.crash d;
   (* built tables are persisted: crash must not lose them *)
-  Alcotest.(check bool) "survives crash" true (LT.get t c 1L = Some 1)
+  Alcotest.(check bool) "survives crash" true (LT.get t c 1L = LT.Found 1)
 
 let test_lt_media_accounting () =
   let d = dev () in
@@ -247,7 +247,7 @@ let prop_lt_vs_model =
       in
       let m = Hashtbl.create 64 in
       List.iter (fun (k, v) -> Hashtbl.replace m (key k) v) pairs;
-      Hashtbl.fold (fun k v acc -> acc && LT.get t c k = Some v) m true)
+      Hashtbl.fold (fun k v acc -> acc && LT.get t c k = LT.Found v) m true)
 
 (* -------------------------------- Robinhood ------------------------------ *)
 
@@ -448,7 +448,7 @@ let test_vlog_append_read () =
   let l0 = Vlog.append t c 7L ~vlen:100 in
   let l1 = Vlog.append t c 8L ~vlen:8 in
   Alcotest.(check int) "locations sequential" (l0 + 1) l1;
-  Alcotest.(check bool) "read" true (Vlog.read t c l0 = (7L, 100));
+  Alcotest.(check bool) "read" true (Vlog.read t c l0 = Ok (7L, 100));
   Alcotest.(check bool) "verify ok" true (Vlog.verify t c l0 7L);
   Alcotest.(check bool) "verify mismatch" false (Vlog.verify t c l0 9L)
 
@@ -551,7 +551,7 @@ let prop_vlog_roundtrip =
           vlens
       in
       List.for_all
-        (fun (loc, i, vlen) -> Vlog.read t c loc = (key i, vlen))
+        (fun (loc, i, vlen) -> Vlog.read t c loc = Ok (key i, vlen))
         locs)
 
 
