@@ -61,10 +61,22 @@ let run_load store keys threads quick =
     (resolve_stores scale store);
   Table.print tbl
 
+(* Benchmark JSON is hand-rolled (flat structure, numeric leaves) so the
+   CI artifacts need no extra dependency. *)
+let json_write path body =
+  try
+    let oc = open_out path in
+    output_string oc body;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  with Sys_error msg -> Printf.eprintf "ckv: cannot write JSON: %s\n" msg
+
 (* ------------------------------- ycsb command ---------------------------- *)
 
-let run_ycsb store mix ops threads trace_file cache_mb quick =
+let run_ycsb store mix ops threads trace_file cache_mb quick bench_json =
   let scale = scale_of_quick quick in
+  let wall_t0 = Unix.gettimeofday () in
   let cache_bytes = cache_mb * 1024 * 1024 in
   let mix =
     match String.uppercase_ascii mix with
@@ -151,7 +163,33 @@ let run_ycsb store mix ops threads trace_file cache_mb quick =
     (fun (name, r) ->
       print_string (Harness.Runner.attribution_table ~name r);
       print_newline ())
-    results
+    results;
+  match bench_json with
+  | None -> ()
+  | Some path ->
+    let wall_s = Unix.gettimeofday () -. wall_t0 in
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\n  \"suite\": \"ycsb\", \"mix\": \"%s\", \"quick\": %b, \
+          \"ops\": %d, \"threads\": %d, \"wall_s\": %.2f,\n  \"results\": \
+          [\n"
+         (Workload.Ycsb.name mix) quick ops threads wall_s);
+    List.iteri
+      (fun i (name, r) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"store\": \"%s\", \"ops\": %d, \"sim_ns\": %.0f, \
+              \"mops\": %.4f, \"p50_ns\": %.0f, \"p99_ns\": %.0f}%s\n"
+             name r.Harness.Runner.ops
+             (Harness.Runner.sim_ns r)
+             (Harness.Runner.throughput_mops r)
+             (Metrics.Histogram.percentile r.Harness.Runner.latency 50.0)
+             (Metrics.Histogram.percentile r.Harness.Runner.latency 99.0)
+             (if i = List.length results - 1 then "" else ",")))
+      results;
+    Buffer.add_string b "  ]\n}";
+    json_write path (Buffer.contents b)
 
 (* ----------------------------- inspect command --------------------------- *)
 
@@ -519,6 +557,118 @@ let run_client path script =
 let run_bench ids quick =
   Harness.Experiments.run_ids ~scale:(scale_of_quick quick) ids
 
+(* ----------------------------- cluster command --------------------------- *)
+
+let run_cluster quick seed bench_json =
+  let scale = scale_of_quick quick in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let module CB = Harness.Cluster_bench in
+  let counts = [ 1; 2; 4; 8 ] in
+  let points, w_scaling = wall (fun () -> CB.scaling ~seed scale counts) in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "cluster: closed-loop Mops/s vs node count (seed %d)" seed)
+      ~columns:
+        [ ("nodes", Table.Right); ("Mops/s", Table.Right);
+          ("get p99", Table.Right); ("put p99", Table.Right) ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row tbl
+        [ string_of_int p.CB.sp_nodes; Table.cell_f p.CB.sp_mops;
+          Table.cell_ns p.CB.sp_get_p99; Table.cell_ns p.CB.sp_put_p99 ])
+    points;
+  Table.print tbl;
+  let fo, w_fo = wall (fun () -> CB.failover ~seed scale) in
+  let rb, w_rb = wall (fun () -> CB.rebalance ~seed:(seed + 1) scale) in
+  let summarize sc =
+    let r = sc.CB.sc_result in
+    let router = sc.CB.sc_setup.CB.router in
+    Printf.printf
+      "%s: %d ops at %.2f Mops/s offered; %d errs, %d redirects, %d \
+       misrouted; divergence %d/%d\n"
+      sc.CB.sc_label r.Cluster.Run.r_ops sc.CB.sc_rate_mops
+      r.Cluster.Run.r_errs
+      (Cluster.Router.redirects router)
+      (Cluster.Router.misrouted router)
+      (List.length sc.CB.sc_mismatches)
+      sc.CB.sc_checked
+  in
+  summarize fo;
+  summarize rb;
+  let catchup_done = fo.CB.sc_result.Cluster.Run.r_catchups <> [] in
+  let migration_done =
+    match rb.CB.sc_result.Cluster.Run.r_migrations with
+    | [ m ] -> Cluster.Migration.phase m = Cluster.Migration.Cleaned
+    | _ -> false
+  in
+  let ok =
+    fo.CB.sc_mismatches = [] && rb.CB.sc_mismatches = []
+    && Cluster.Router.misrouted fo.CB.sc_setup.CB.router = 0
+    && Cluster.Router.misrouted rb.CB.sc_setup.CB.router = 0
+    && Cluster.Router.redirects rb.CB.sc_setup.CB.router >= 1
+    && catchup_done && migration_done
+  in
+  (match bench_json with
+  | None -> ()
+  | Some path ->
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"suite\": \"cluster\", \"quick\": %b, \"seed\": %d,\n" quick
+         seed);
+    Buffer.add_string b "  \"scaling\": [\n";
+    List.iteri
+      (fun i p ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"nodes\": %d, \"replicas\": %d, \"ops\": %d, \
+              \"sim_ns\": %.0f, \"mops\": %.4f, \"get_p99_ns\": %.0f, \
+              \"put_p99_ns\": %.0f}%s\n"
+             p.CB.sp_nodes p.CB.sp_replicas p.CB.sp_ops p.CB.sp_sim_ns
+             p.CB.sp_mops p.CB.sp_get_p99 p.CB.sp_put_p99
+             (if i = List.length points - 1 then "" else ",")))
+      points;
+    Buffer.add_string b
+      (Printf.sprintf "  ], \"scaling_wall_s\": %.2f,\n" w_scaling);
+    let scenario_json name sc wall_s =
+      let r = sc.CB.sc_result in
+      let router = sc.CB.sc_setup.CB.router in
+      Printf.sprintf
+        "  \"%s\": {\"ops\": %d, \"reqs\": %d, \"errs\": %d, \
+         \"offered_mops\": %.4f, \"capacity_mops\": %.4f, \"sim_ns\": \
+         %.0f, \"wall_s\": %.2f, \"get_p99_ns\": %.0f, \"put_p99_ns\": \
+         %.0f, \"redirects\": %d, \"misrouted\": %d, \"quorum_failures\": \
+         %d, \"checked\": %d, \"mismatches\": %d}"
+        name r.Cluster.Run.r_ops r.Cluster.Run.r_reqs r.Cluster.Run.r_errs
+        sc.CB.sc_rate_mops sc.CB.sc_probe_mops
+        (r.Cluster.Run.r_end_ns -. sc.CB.sc_start)
+        wall_s
+        (Metrics.Histogram.percentile r.Cluster.Run.r_get_h 99.0)
+        (Metrics.Histogram.percentile r.Cluster.Run.r_put_h 99.0)
+        (Cluster.Router.redirects router)
+        (Cluster.Router.misrouted router)
+        (Cluster.Router.quorum_failures router)
+        sc.CB.sc_checked
+        (List.length sc.CB.sc_mismatches)
+    in
+    Buffer.add_string b (scenario_json "failover" fo w_fo);
+    Buffer.add_string b ",\n";
+    Buffer.add_string b (scenario_json "rebalance" rb w_rb);
+    Buffer.add_string b (Printf.sprintf ",\n  \"pass\": %b\n}" ok);
+    json_write path (Buffer.contents b));
+  if not ok then begin
+    Printf.eprintf "ckv cluster: FAILED acceptance checks\n";
+    exit 1
+  end
+
 let run_list () =
   print_endline "experiments:";
   List.iter
@@ -535,6 +685,15 @@ let run_list () =
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use the reduced scale.")
+
+let bench_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable benchmark summary (throughput, tail \
+           latency, wall-clock) to $(docv).")
 
 let store_arg =
   Arg.(
@@ -590,7 +749,7 @@ let ycsb_cmd =
     (Cmd.info "ycsb" ~doc:"Run a YCSB workload")
     Term.(
       const run_ycsb $ store_arg $ mix $ ops $ threads_arg $ trace
-      $ cache_mb_arg $ quick_arg)
+      $ cache_mb_arg $ quick_arg $ bench_json_arg)
 
 let crash_cmd =
   let seeds =
@@ -817,6 +976,21 @@ let client_cmd =
     (Cmd.info "client" ~doc:"Send requests to a running ckv serve")
     Term.(const run_client $ socket_arg $ script)
 
+let cluster_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Deterministic seed (load streams and crash tearing).")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the cluster suite: scaling curve, node kill + rejoin, live \
+          shard migration; exits non-zero if any divergence, misroute or \
+          unfinished recovery is detected")
+    Term.(const run_cluster $ quick_arg $ seed $ bench_json_arg)
+
 let list_cmd =
   Cmd.v
     (Cmd.info "list" ~doc:"List experiments and stores")
@@ -829,4 +1003,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ load_cmd; ycsb_cmd; bench_cmd; crash_cmd; scrub_cmd; media_cmd;
-         trace_cmd; inspect_cmd; serve_cmd; client_cmd; list_cmd ]))
+         trace_cmd; inspect_cmd; serve_cmd; client_cmd; cluster_cmd;
+         list_cmd ]))

@@ -1,0 +1,113 @@
+(* Node failure and rejoin.
+
+   A kill puts the node's store through the real crash model — torn tail
+   writes, dropped DRAM state — at node granularity ([Fault.Node]).  The
+   node stays a ring member while down: its vshards keep their owner
+   lists, writes continue at the surviving replicas (acked as long as the
+   quorum holds), and reads skip it.
+
+   Rejoin recovers the store (charged restart time on the node's service
+   loop), computes the durable floor (the highest stamp surviving in the
+   node's own log) and then catches up by streaming stamped entries above
+   that floor from each live peer's value log — chunked, so catch-up
+   traffic interleaves with foreground service on both the joiner's and
+   the sources' clocks and shows up in the latency timeline.  The joiner
+   serves writes while [Syncing] (so it does not fall further behind) and
+   is readable again only once every peer has been drained. *)
+
+module Clock = Pmem_sim.Clock
+module Store_intf = Kv_common.Store_intf
+module Vlog = Kv_common.Vlog
+
+let kill ?tear ~seed router nid = Node.kill ?tear ~seed (Router.node router nid)
+
+type catchup = {
+  c_node : int;
+  c_floor : int;
+  mutable c_peers : int list; (* remaining source peers *)
+  mutable c_loc : int; (* log cursor into the current peer *)
+  mutable c_flushed : bool; (* current peer's open batch pushed out? *)
+  mutable c_scanned : int; (* peer log entries considered *)
+  mutable c_shipped : int; (* entries streamed over the network *)
+  mutable c_applied : int; (* entries the joiner actually applied *)
+  mutable c_restart_ns : float;
+}
+
+let node cu = cu.c_node
+let floor cu = cu.c_floor
+let scanned cu = cu.c_scanned
+let shipped cu = cu.c_shipped
+let applied cu = cu.c_applied
+let restart_ns cu = cu.c_restart_ns
+
+let start_rejoin router ~now nid =
+  let n = Router.node router nid in
+  ignore (Clock.wait_until (Node.rx n) now);
+  let dt = Node.rejoin n (Node.rx n) in
+  let peers =
+    List.filter
+      (fun p -> p <> nid && Node.status (Router.node router p) = Node.Up)
+      (Ring.members (Router.ring router))
+  in
+  { c_node = nid;
+    c_floor = Node.durable_floor n;
+    c_peers = peers;
+    c_loc = 0;
+    c_flushed = false;
+    c_scanned = 0;
+    c_shipped = 0;
+    c_applied = 0;
+    c_restart_ns = dt }
+
+(* Stream up to [chunk] entries from the current peer.  The peer filters
+   by stamp and ownership against its DRAM metadata (free), then pays a
+   real log read per shipped entry; the joiner pays the real write path.
+   Both charges land on the respective service loops, competing with
+   foreground requests.  Returns [true] when catch-up is complete (the
+   joiner flips to [Up]). *)
+let step router cu ~now ~chunk =
+  match cu.c_peers with
+  | [] ->
+      Node.set_status (Router.node router cu.c_node) Node.Up;
+      true
+  | peer :: rest ->
+      let p = Router.node router peer and n = Router.node router cu.c_node in
+      let prx = Node.rx p and nrx = Node.rx n in
+      ignore (Clock.wait_until prx now);
+      ignore (Clock.wait_until nrx now);
+      let vlog = Store_intf.vlog (Node.store p) in
+      if not cu.c_flushed then begin
+        Vlog.flush vlog prx;
+        cu.c_flushed <- true
+      end;
+      let ring = Router.ring router in
+      let budget = ref chunk in
+      while !budget > 0 && cu.c_loc < Vlog.persisted vlog do
+        let loc = cu.c_loc in
+        cu.c_loc <- cu.c_loc + 1;
+        cu.c_scanned <- cu.c_scanned + 1;
+        let stamp = Node.stamp_at p loc in
+        if
+          stamp > cu.c_floor
+          && List.mem cu.c_node (Ring.owners_of_key ring (Vlog.key_at vlog loc))
+        then begin
+          decr budget;
+          match Vlog.read vlog prx loc with
+          | Error `Corrupt -> () (* nothing trustworthy to ship *)
+          | Ok (key, vlen) ->
+              cu.c_shipped <- cu.c_shipped + 1;
+              let action = if vlen < 0 then Node.Delete else Node.Put vlen in
+              if Node.apply n nrx ~stamp key action then
+                cu.c_applied <- cu.c_applied + 1
+        end
+      done;
+      if cu.c_loc >= Vlog.persisted vlog then begin
+        cu.c_peers <- rest;
+        cu.c_loc <- 0;
+        cu.c_flushed <- false
+      end;
+      (match cu.c_peers with
+      | [] ->
+          Node.set_status n Node.Up;
+          true
+      | _ -> false)

@@ -1,0 +1,36 @@
+(** Node failure and rejoin.
+
+    {!kill} crashes a node's store through the real [Fault.Node] crash
+    model (torn tail, lost DRAM); the node stays a ring member, so
+    surviving replicas keep serving its vshards at quorum.
+    {!start_rejoin} recovers the store and opens a chunked catch-up that
+    streams stamped log entries above the node's durable floor from each
+    live peer; {!step} drains it incrementally so catch-up competes with
+    foreground traffic on both service loops. *)
+
+val kill : ?tear:bool -> seed:int -> Router.t -> int -> unit
+
+type catchup
+
+val node : catchup -> int
+val floor : catchup -> int
+val scanned : catchup -> int
+
+val shipped : catchup -> int
+(** Entries streamed from peers (each pays a real log read). *)
+
+val applied : catchup -> int
+(** Shipped entries the joiner actually applied (the rest were already
+    superseded by writes it took while [Syncing]). *)
+
+val restart_ns : catchup -> float
+
+val start_rejoin : Router.t -> now:float -> int -> catchup
+(** Recover the node at simulated time [now] (restart charged on its
+    service loop) and plan catch-up from every live peer; the node is
+    [Syncing] until {!step} reports completion. *)
+
+val step : Router.t -> catchup -> now:float -> chunk:int -> bool
+(** Stream up to [chunk] owned entries from the current peer at time
+    [now].  Returns [true] once all peers are drained — the joiner is
+    then [Up] and readable again. *)

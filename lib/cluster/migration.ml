@@ -1,0 +1,137 @@
+(* Live shard migration: move one vshard from [m_from] to [m_to] without
+   a service gap.
+
+   Three stages, all under load:
+
+   1. Dual-write ([start]): the destination is registered as an extra
+      write target for the vshard, so every new write lands on it as
+      well as on the current owners.  Reads still go to the old owners
+      only — the destination is not yet authoritative.
+
+   2. Copy ([step], chunked): the source walks a snapshot of its keys in
+      the vshard, reads each through its real read path and applies it
+      to the destination with the key's current stamp.  The per-node
+      version check makes copy and dual-write commute: whichever lands
+      second is a no-op, so no ordering coordination is needed.
+
+   3. Cutover + cleanup: once the copy cursor drains, the ring's owner
+      list swaps [m_from] for [m_to] (an explicit override) and the
+      dual-write registration is dropped.  The router's route cache is
+      deliberately left stale: the next request for the vshard bounces
+      off the old owner with [Not_owner] and is retried — one observable
+      redirect, never a wrong answer.  [cleanup_step] then reclaims the
+      moved keys on the source with unstamped local deletes. *)
+
+module Types = Kv_common.Types
+
+type phase = Copying | Serving | Cleaned
+
+type t = {
+  m_vshard : int;
+  m_from : int;
+  m_to : int;
+  m_keys : Types.key array; (* snapshot of the source's keys in the vshard *)
+  mutable m_cursor : int;
+  mutable m_cleanup : int; (* second cursor, for source cleanup *)
+  mutable m_copied : int;
+  mutable m_phase : phase;
+}
+
+let vshard t = t.m_vshard
+let from_node t = t.m_from
+let to_node t = t.m_to
+let phase t = t.m_phase
+let copied t = t.m_copied
+let total t = Array.length t.m_keys
+
+let start router ~vshard ~from_ ~to_ =
+  let ring = Router.ring router in
+  let owners = Ring.owners ring vshard in
+  if not (List.mem from_ owners) then
+    invalid_arg "Migration.start: source does not own the vshard";
+  if List.mem to_ owners then
+    invalid_arg "Migration.start: destination already owns the vshard";
+  Router.add_dual router ~vshard to_;
+  let src = Router.node router from_ in
+  let keys = ref [] in
+  Node.iter_versions src (fun key _ ->
+      if Ring.vshard_of ring key = vshard then keys := key :: !keys);
+  let arr = Array.of_list !keys in
+  Array.sort compare arr; (* deterministic copy order *)
+  { m_vshard = vshard;
+    m_from = from_;
+    m_to = to_;
+    m_keys = arr;
+    m_cursor = 0;
+    m_cleanup = 0;
+    m_copied = 0;
+    m_phase = Copying }
+
+let cutover router t =
+  let ring = Router.ring router in
+  let owners =
+    List.map
+      (fun nid -> if nid = t.m_from then t.m_to else nid)
+      (Ring.owners ring t.m_vshard)
+  in
+  Ring.set_override ring ~vshard:t.m_vshard owners;
+  Router.remove_dual router ~vshard:t.m_vshard t.m_to;
+  (* route cache left stale on purpose: the next request redirects *)
+  t.m_phase <- Serving
+
+(* Copy up to [chunk] keys; on drain, cut over.  Returns [true] once the
+   vshard is serving from the destination. *)
+let step router t ~now ~chunk =
+  match t.m_phase with
+  | Serving | Cleaned -> true
+  | Copying ->
+      let src = Router.node router t.m_from
+      and dst = Router.node router t.m_to in
+      let srx = Node.rx src and drx = Node.rx dst in
+      ignore (Pmem_sim.Clock.wait_until srx now);
+      ignore (Pmem_sim.Clock.wait_until drx now);
+      let budget = ref chunk in
+      let module S = Kv_common.Store_intf in
+      while !budget > 0 && t.m_cursor < Array.length t.m_keys do
+        let key = t.m_keys.(t.m_cursor) in
+        t.m_cursor <- t.m_cursor + 1;
+        decr budget;
+        match Node.version src key with
+        | None -> () (* forgotten since the snapshot *)
+        | Some stamp -> (
+            (* a real read on the source, a real write on the dest *)
+            match Node.read src srx key with
+            | { S.stage = S.Corrupt; _ } -> () (* scrub territory, skip *)
+            | { S.loc = Some loc; _ } ->
+                let vlen =
+                  Kv_common.Vlog.vlen_at (S.vlog (Node.store src)) loc
+                in
+                if Node.apply dst drx ~stamp key (Node.Put vlen) then
+                  t.m_copied <- t.m_copied + 1
+            | { S.loc = None; _ } ->
+                (* tombstoned key: ship the deletion at its stamp *)
+                if Node.apply dst drx ~stamp key Node.Delete then
+                  t.m_copied <- t.m_copied + 1)
+      done;
+      if t.m_cursor >= Array.length t.m_keys then cutover router t;
+      t.m_phase <> Copying
+
+(* Reclaim up to [chunk] moved keys on the source (unstamped local
+   deletes).  Returns [true] when cleanup is done. *)
+let cleanup_step router t ~now ~chunk =
+  match t.m_phase with
+  | Copying -> false
+  | Cleaned -> true
+  | Serving ->
+      let src = Router.node router t.m_from in
+      let srx = Node.rx src in
+      ignore (Pmem_sim.Clock.wait_until srx now);
+      let budget = ref chunk in
+      while !budget > 0 && t.m_cleanup < Array.length t.m_keys do
+        let key = t.m_keys.(t.m_cleanup) in
+        t.m_cleanup <- t.m_cleanup + 1;
+        decr budget;
+        if Node.version src key <> None then Node.forget src srx key
+      done;
+      if t.m_cleanup >= Array.length t.m_keys then t.m_phase <- Cleaned;
+      t.m_phase = Cleaned

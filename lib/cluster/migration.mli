@@ -1,0 +1,39 @@
+(** Live shard migration: move one vshard between nodes under load.
+
+    {!start} registers the destination as a dual-write target and
+    snapshots the source's keys; {!step} copies them chunk by chunk
+    through real read/write paths (idempotent against concurrent
+    dual-writes via the per-key stamp check) and cuts the ring over when
+    the copy drains — leaving the router's route cache stale so the
+    switch surfaces as one counted [Not_owner] redirect, never a wrong
+    answer.  {!cleanup_step} then reclaims the moved keys on the source
+    with unstamped local deletes. *)
+
+type phase =
+  | Copying  (** dual-writes on, copy in flight, reads still at source *)
+  | Serving  (** cutover done: destination owns the vshard *)
+  | Cleaned  (** source space reclaimed *)
+
+type t
+
+val vshard : t -> int
+val from_node : t -> int
+val to_node : t -> int
+val phase : t -> phase
+val copied : t -> int
+
+val total : t -> int
+(** Keys in the copy snapshot. *)
+
+val start : Router.t -> vshard:int -> from_:int -> to_:int -> t
+(** Begin dual-writing and snapshot the copy set.  Raises
+    [Invalid_argument] unless [from_] owns the vshard and [to_] does
+    not. *)
+
+val step : Router.t -> t -> now:float -> chunk:int -> bool
+(** Copy up to [chunk] keys at time [now]; cuts over on drain.  Returns
+    [true] once the destination is serving. *)
+
+val cleanup_step : Router.t -> t -> now:float -> chunk:int -> bool
+(** After cutover: reclaim up to [chunk] moved keys on the source.
+    Returns [true] when done. *)

@@ -1,0 +1,165 @@
+(* One cluster node: a full store instance plus the replication metadata
+   the cluster layer needs on top of it.
+
+   The store itself is unmodified — crashes, recovery, checksums and the
+   device cost model all behave exactly as in single-node runs.  The node
+   wrapper adds:
+
+   - [versions]: per-key newest applied version stamp (DRAM).  Quorum
+     reads compare stamps across replicas; applies are idempotent (an
+     entry with a stamp <= the current one is skipped), which is what
+     makes catch-up streaming and migration dual-writes safe to replay.
+
+   - [stamps]: vlog location -> stamp, mirroring the store's value log.
+     Stamps are assigned by the router's global sequencer and applied in
+     stamp order, so the array is monotone over cluster-written locations
+     — the durable floor and catch-up scans exploit that.
+
+   Both are DRAM state: a node crash loses them (the array is truncated
+   to the persisted log prefix, [versions] is rebuilt from it on rejoin),
+   exactly as a real replica would rebuild its session state from its
+   durable log. *)
+
+module Clock = Pmem_sim.Clock
+module Store_intf = Kv_common.Store_intf
+module Vlog = Kv_common.Vlog
+module Types = Kv_common.Types
+
+type status = Up | Down | Syncing
+
+let status_name = function
+  | Up -> "up"
+  | Down -> "down"
+  | Syncing -> "syncing"
+
+type action = Put of int | Delete
+
+type t = {
+  id : int;
+  store : Store_intf.store;
+  rx : Clock.t; (* the node's serialized service loop *)
+  versions : (Types.key, int) Hashtbl.t;
+  mutable stamps : int array; (* vlog loc -> stamp; -1 = non-cluster entry *)
+  mutable nstamps : int;
+  mutable status : status;
+  mutable kills : int;
+  mutable restart_ns : float; (* total simulated restart time across rejoins *)
+}
+
+let create ~id store =
+  { id;
+    store;
+    rx = Clock.create ();
+    versions = Hashtbl.create 4096;
+    stamps = Array.make 4096 (-1);
+    nstamps = 0;
+    status = Up;
+    kills = 0;
+    restart_ns = 0.0 }
+
+let id t = t.id
+let store t = t.store
+let rx t = t.rx
+let status t = t.status
+let set_status t s = t.status <- s
+let kills t = t.kills
+let restart_ns t = t.restart_ns
+let version t key = Hashtbl.find_opt t.versions key
+let live_keys t = Hashtbl.length t.versions
+let iter_versions t f = Hashtbl.iter f t.versions
+
+let set_stamp t loc stamp =
+  let cap = Array.length t.stamps in
+  if loc >= cap then begin
+    let grown = Array.make (max (cap * 2) (loc + 1)) (-1) in
+    Array.blit t.stamps 0 grown 0 t.nstamps;
+    t.stamps <- grown
+  end;
+  t.stamps.(loc) <- stamp;
+  if loc >= t.nstamps then t.nstamps <- loc + 1
+
+let stamp_at t loc = if loc < t.nstamps then t.stamps.(loc) else -1
+
+(* Apply a stamped mutation.  Returns [false] (and charges nothing) when
+   the node already holds this version or a newer one — catch-up and
+   dual-write replays hit this path. *)
+let apply t clock ~stamp key action =
+  let cur = Option.value ~default:(-1) (Hashtbl.find_opt t.versions key) in
+  if stamp <= cur then false
+  else begin
+    (match action with
+    | Put vlen -> Store_intf.write t.store clock key (Sized vlen)
+    | Delete -> Store_intf.delete t.store clock key);
+    set_stamp t (Vlog.length (Store_intf.vlog t.store) - 1) stamp;
+    Hashtbl.replace t.versions key stamp;
+    true
+  end
+
+let read t clock key = Store_intf.read t.store clock key
+
+(* Local space reclamation after a shard migrates away: a plain store
+   delete, deliberately unstamped so it can never propagate through
+   catch-up and delete live data on the shard's new owners. *)
+let forget t clock key =
+  Store_intf.delete t.store clock key;
+  Hashtbl.remove t.versions key
+
+(* -- crash / rejoin ------------------------------------------------- *)
+
+let kill ?tear ~seed t =
+  Fault.Node.kill ?tear ~seed t.store;
+  t.status <- Down;
+  t.kills <- t.kills + 1;
+  (* the log dropped its unpersisted tail; locations above it will be
+     reused, so the stamp mirror must forget them too *)
+  t.nstamps <- min t.nstamps (Vlog.length (Store_intf.vlog t.store));
+  Hashtbl.reset t.versions
+
+(* Highest stamp the node is known to hold contiguously: the end of the
+   longest non-decreasing stamped prefix of its log.  During normal
+   service applies land in stamp order so this is simply the newest
+   surviving stamp; if the node crashed mid-catch-up, replayed middle
+   stamps interleave with fresh high ones and the prefix stops at the
+   pre-crash data — a conservative floor, never an overstated one. *)
+let durable_floor t =
+  let floor = ref (-1) in
+  (try
+     for loc = 0 to t.nstamps - 1 do
+       let s = t.stamps.(loc) in
+       if s >= 0 then
+         if s >= !floor then floor := s else raise Exit
+     done
+   with Exit -> ());
+  !floor
+
+let rejoin t clock =
+  let dt = Fault.Node.rejoin t.store clock in
+  t.restart_ns <- t.restart_ns +. dt;
+  (* rebuild the version map from the surviving stamped log prefix;
+     ascending location order means the last write per key wins, and a
+     tombstone is a version like any other *)
+  let vlog = Store_intf.vlog t.store in
+  for loc = Vlog.head vlog to min t.nstamps (Vlog.length vlog) - 1 do
+    if t.stamps.(loc) >= 0 then
+      Hashtbl.replace t.versions (Vlog.key_at vlog loc) t.stamps.(loc)
+  done;
+  t.status <- Syncing;
+  dt
+
+(* Stream this node's stamped entries with stamp > [floor] to [f], in
+   stamp order, charging honest log reads to [clock] (the peer serves
+   catch-up from its own service loop).  Returns the number streamed. *)
+let stream_since t clock ~floor f =
+  let vlog = Store_intf.vlog t.store in
+  Vlog.flush vlog clock;
+  let streamed = ref 0 in
+  for loc = Vlog.head vlog to min t.nstamps (Vlog.persisted vlog) - 1 do
+    let stamp = t.stamps.(loc) in
+    if stamp > floor then
+      match Vlog.read vlog clock loc with
+      | Ok (key, vlen) ->
+          incr streamed;
+          f ~stamp ~key ~action:(if vlen < 0 then Delete else Put vlen)
+      | Error `Corrupt -> () (* damaged record: nothing trustworthy to ship *)
+  done;
+  !streamed

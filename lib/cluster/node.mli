@@ -1,0 +1,80 @@
+(** One cluster node: an unmodified store instance plus the DRAM
+    replication metadata the cluster layer keeps about it — a per-key
+    version map (for quorum reads and idempotent applies) and a vlog
+    location -> stamp mirror (for the durable floor and catch-up
+    streaming).  A node crash loses both; rejoin rebuilds them from the
+    surviving persisted log prefix. *)
+
+type status =
+  | Up
+  | Down     (** crashed; owns its vshards on paper but serves nothing *)
+  | Syncing  (** recovered and accepting writes, not yet read-serving *)
+
+val status_name : status -> string
+
+type action = Put of int | Delete
+
+type t
+
+val create : id:int -> Kv_common.Store_intf.store -> t
+
+val id : t -> int
+val store : t -> Kv_common.Store_intf.store
+
+val rx : t -> Pmem_sim.Clock.t
+(** The node's serialized service loop — all request execution, catch-up
+    serving and migration copy work charge here, so they compete. *)
+
+val status : t -> status
+val set_status : t -> status -> unit
+
+val kills : t -> int
+val restart_ns : t -> float
+
+val version : t -> Kv_common.Types.key -> int option
+(** Newest stamp applied for [key] ([None] if the node never saw it). *)
+
+val live_keys : t -> int
+
+val iter_versions :
+  t -> (Kv_common.Types.key -> int -> unit) -> unit
+(** Iterate the per-key version map (order unspecified). *)
+
+val stamp_at : t -> Kv_common.Types.loc -> int
+(** Stamp recorded for a vlog location; -1 for non-cluster entries. *)
+
+val apply :
+  t -> Pmem_sim.Clock.t -> stamp:int -> Kv_common.Types.key -> action -> bool
+(** Apply a stamped mutation through the store's real write path.
+    Returns [false] without charging when the node already holds this
+    version or newer (idempotent replay for catch-up and dual-writes). *)
+
+val read :
+  t -> Pmem_sim.Clock.t -> Kv_common.Types.key ->
+  Kv_common.Store_intf.read_result
+
+val forget : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> unit
+(** Local, unstamped delete (migration source cleanup): removes the key
+    from the store and the version map without minting a version, so the
+    tombstone can never propagate through catch-up. *)
+
+val kill : ?tear:bool -> seed:int -> t -> unit
+(** Crash the node through {!Fault.Node.kill} (torn tail writes by
+    default): status [Down], version map lost, stamp mirror truncated to
+    the surviving persisted log prefix. *)
+
+val durable_floor : t -> int
+(** Highest stamp surviving in the node's persisted log (-1 if none) —
+    the catch-up floor after a crash. *)
+
+val rejoin : t -> Pmem_sim.Clock.t -> float
+(** Recover the store ({!Fault.Node.rejoin}), rebuild the version map
+    from the stamped log prefix, and enter [Syncing].  Returns the
+    simulated restart time (ns). *)
+
+val stream_since :
+  t -> Pmem_sim.Clock.t -> floor:int ->
+  (stamp:int -> key:Kv_common.Types.key -> action:action -> unit) -> int
+(** Stream this node's stamped, persisted entries with stamp > [floor]
+    in stamp order, charging honest log reads to [clock].  Returns the
+    count streamed.  The rejoin path calls this on a live peer. *)

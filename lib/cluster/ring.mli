@@ -1,0 +1,43 @@
+(** Rendezvous-hash (HRW) placement over a fixed set of virtual shards.
+
+    A key hashes to one of {!vshards} virtual shards; each virtual shard
+    is owned by the {!replicas} member nodes with the highest
+    per-(vshard, node) hash scores.  Placement is a pure function of the
+    member list, so every router and node computes identical owners with
+    no shared metadata; an explicit per-vshard override (set by migration
+    at cutover) takes precedence over the HRW ranking. *)
+
+type t
+
+val create : vshards:int -> replicas:int -> nodes:int list -> unit -> t
+(** Raises [Invalid_argument] on non-positive sizes or fewer nodes than
+    replicas. *)
+
+val vshards : t -> int
+val replicas : t -> int
+
+val members : t -> int list
+(** Current member node ids, sorted. *)
+
+val add_node : t -> int -> unit
+val remove_node : t -> int -> unit
+
+val vshard_of : t -> Kv_common.Types.key -> int
+(** The virtual shard owning [key], in [0, vshards).  Salted so it is
+    independent of the store-internal shard hash. *)
+
+val preference : t -> int -> int list
+(** All members ranked by HRW score for the given vshard (descending). *)
+
+val owners : t -> int -> int list
+(** The [replicas] owners of a vshard: the override when one is set,
+    otherwise the HRW top-[replicas] prefix of {!preference}. *)
+
+val owners_of_key : t -> Kv_common.Types.key -> int list
+
+val set_override : t -> vshard:int -> int list -> unit
+(** Pin a vshard's owner list (migration cutover).  Raises
+    [Invalid_argument] unless exactly [replicas] owners are given. *)
+
+val clear_override : t -> vshard:int -> unit
+val override : t -> vshard:int -> int list option

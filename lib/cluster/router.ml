@@ -1,0 +1,269 @@
+(* Request router: the client-facing front of the cluster.
+
+   Speaks the existing [Service.Proto] messages, routes each op to the
+   owners of its key's vshard, and enforces quorum semantics:
+
+   - Writes take a fresh stamp from a global sequencer and are applied to
+     every live owner (plus any migration dual-write targets); the client
+     is acked when the [write_quorum]-th owner's apply completes.  Fewer
+     live owners than the quorum fails the write without applying it
+     anywhere (fail-fast, so a failed write never leaves partial state
+     the oracle cannot predict).
+
+   - Reads probe the first [read_quorum] [Up] owners in preference order
+     and answer from the replica holding the highest version stamp, at
+     the time the slowest probe returns — freshness is decided by stamp
+     comparison, not by which replica happens to answer first.
+
+   The router keeps a per-vshard route cache that is deliberately NOT
+   refreshed at migration cutover: the first request after cutover goes
+   to the old owner, which refuses with [Not_owner] (the node-side
+   ownership check), and the router re-resolves and retries.  Stale
+   routing therefore costs one observable redirect round-trip and is
+   counted — it can never be served by a non-owner. *)
+
+module Clock = Pmem_sim.Clock
+module Proto = Service.Proto
+module Types = Kv_common.Types
+
+type costs = { byte_ns : float; frame_ns : float; net_ns : float }
+
+(* one-way network hop ~1.5 us: same order as the service layer's frame
+   costs, big enough that a redirect round-trip is visible in p99 *)
+let default_costs = { byte_ns = 0.25; frame_ns = 120.0; net_ns = 1500.0 }
+
+type t = {
+  ring : Ring.t;
+  nodes : Node.t array; (* indexed by node id *)
+  write_quorum : int;
+  read_quorum : int;
+  costs : costs;
+  mutable stamp : int; (* global version sequencer *)
+  route_cache : int list option array; (* vshard -> cached owners *)
+  dual : (int, int list) Hashtbl.t; (* vshard -> extra write targets *)
+  (* stats *)
+  mutable ops : int;
+  mutable gets : int;
+  mutable writes : int;
+  mutable redirects : int;
+  mutable quorum_failures : int;
+  mutable unavailable : int;
+  mutable misrouted : int;
+  mutable replica_applies : int;
+  mutable degraded_reads : int; (* reads probing fewer than read_quorum *)
+}
+
+let create ?(costs = default_costs) ~write_quorum ~read_quorum ring nodes =
+  let n_owners = Ring.replicas ring in
+  if write_quorum < 1 || write_quorum > n_owners then
+    invalid_arg "Router.create: write_quorum out of range";
+  if read_quorum < 1 || read_quorum > n_owners then
+    invalid_arg "Router.create: read_quorum out of range";
+  Array.iter
+    (fun n ->
+      if Node.id n >= Array.length nodes || nodes.(Node.id n) != n then
+        invalid_arg "Router.create: node ids must index the array")
+    nodes;
+  { ring;
+    nodes;
+    write_quorum;
+    read_quorum;
+    costs;
+    stamp = 0;
+    route_cache = Array.make (Ring.vshards ring) None;
+    dual = Hashtbl.create 8;
+    ops = 0;
+    gets = 0;
+    writes = 0;
+    redirects = 0;
+    quorum_failures = 0;
+    unavailable = 0;
+    misrouted = 0;
+    replica_applies = 0;
+    degraded_reads = 0 }
+
+let ring t = t.ring
+let nodes t = t.nodes
+let node t id = t.nodes.(id)
+let write_quorum t = t.write_quorum
+let read_quorum t = t.read_quorum
+let last_stamp t = t.stamp
+let ops t = t.ops
+let redirects t = t.redirects
+let quorum_failures t = t.quorum_failures
+let unavailable t = t.unavailable
+let misrouted t = t.misrouted
+let replica_applies t = t.replica_applies
+let degraded_reads t = t.degraded_reads
+
+let invalidate_route t ~vshard = t.route_cache.(vshard) <- None
+
+(* migration dual-write registration *)
+let add_dual t ~vshard nid =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.dual vshard) in
+  if not (List.mem nid cur) then Hashtbl.replace t.dual vshard (nid :: cur)
+
+let remove_dual t ~vshard nid =
+  match Hashtbl.find_opt t.dual vshard with
+  | None -> ()
+  | Some cur -> (
+      match List.filter (( <> ) nid) cur with
+      | [] -> Hashtbl.remove t.dual vshard
+      | rest -> Hashtbl.replace t.dual vshard rest)
+
+(* Occupy node [nid]'s service loop for one frame arriving at [ready];
+   run [f] on its clock and return (result, ack time at the client). *)
+let on_node t nid ~ready ~bytes f =
+  let n = t.nodes.(nid) in
+  let rxc = Node.rx n in
+  ignore (Clock.wait_until rxc ready);
+  Clock.advance rxc (t.costs.frame_ns +. (t.costs.byte_ns *. float_of_int bytes));
+  let r = f n rxc in
+  (r, Clock.now rxc +. t.costs.net_ns)
+
+(* Resolve a vshard's owners through the route cache.  A stale cache
+   entry costs one observable bounce: the old first owner handles the
+   frame, refuses with [Not_owner], and the client retries after the
+   extra round-trip.  Returns (owners, time the retried frame departs). *)
+let resolve t ~at ~bytes vshard =
+  let real = Ring.owners t.ring vshard in
+  match t.route_cache.(vshard) with
+  | Some cached when cached = real -> (real, at)
+  | None ->
+      t.route_cache.(vshard) <- Some real;
+      (real, at)
+  | Some cached ->
+      t.redirects <- t.redirects + 1;
+      t.route_cache.(vshard) <- Some real;
+      let depart =
+        match
+          List.find_opt (fun nid -> Node.status t.nodes.(nid) <> Node.Down) cached
+        with
+        | Some nid ->
+            let (), bounced =
+              on_node t nid ~ready:(at +. t.costs.net_ns) ~bytes (fun _ _ -> ())
+            in
+            bounced
+        | None -> at +. (2.0 *. t.costs.net_ns)
+      in
+      (real, depart)
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+type outcome = {
+  reply : Proto.reply;
+  finish : float; (* client-side completion time *)
+  acked : (Types.key * int * Node.action) list;
+      (* quorum-acked mutations, for the oracle *)
+}
+
+let submit_write t ~at ~bytes key action =
+  t.writes <- t.writes + 1;
+  let vshard = Ring.vshard_of t.ring key in
+  let owners, depart = resolve t ~at ~bytes vshard in
+  let extras =
+    List.filter
+      (fun nid -> not (List.mem nid owners))
+      (Option.value ~default:[] (Hashtbl.find_opt t.dual vshard))
+  in
+  let live = List.filter (fun nid -> Node.status t.nodes.(nid) <> Node.Down) in
+  let live_owners = live owners in
+  if List.length live_owners < t.write_quorum then begin
+    t.quorum_failures <- t.quorum_failures + 1;
+    { reply = Proto.Err "quorum";
+      finish = depart +. (2.0 *. t.costs.net_ns);
+      acked = [] }
+  end
+  else begin
+    t.stamp <- t.stamp + 1;
+    let stamp = t.stamp in
+    let apply_on nid =
+      let applied, ack =
+        on_node t nid ~ready:(depart +. t.costs.net_ns) ~bytes (fun n rxc ->
+            Node.apply n rxc ~stamp key action)
+      in
+      if applied then t.replica_applies <- t.replica_applies + 1;
+      ack
+    in
+    let owner_acks = List.map apply_on live_owners in
+    List.iter (fun nid -> ignore (apply_on nid)) (live extras);
+    let sorted = List.sort compare owner_acks in
+    let finish = List.nth sorted (t.write_quorum - 1) in
+    { reply = Proto.Ok; finish = max at finish; acked = [ (key, stamp, action) ] }
+  end
+
+let reply_of_read n result =
+  let module S = Kv_common.Store_intf in
+  match result with
+  | { S.value = Some v; _ } -> Proto.Value v
+  | { S.stage = S.Corrupt; _ } -> Proto.Corrupted
+  | { S.loc = Some loc; _ } ->
+      Proto.Hit (Kv_common.Vlog.vlen_at (S.vlog (Node.store n)) loc)
+  | { S.loc = None; _ } -> Proto.Miss
+
+let submit_read t ~at ~bytes key =
+  t.gets <- t.gets + 1;
+  let vshard = Ring.vshard_of t.ring key in
+  let owners, depart = resolve t ~at ~bytes vshard in
+  let readable =
+    List.filter (fun nid -> Node.status t.nodes.(nid) = Node.Up) owners
+  in
+  let probes = take t.read_quorum readable in
+  if probes = [] then begin
+    t.unavailable <- t.unavailable + 1;
+    { reply = Proto.Err "unavailable";
+      finish = depart +. (2.0 *. t.costs.net_ns);
+      acked = [] }
+  end
+  else begin
+    if List.length probes < t.read_quorum then
+      t.degraded_reads <- t.degraded_reads + 1;
+    let answers =
+      List.map
+        (fun nid ->
+          let (n, result), ack =
+            on_node t nid ~ready:(depart +. t.costs.net_ns) ~bytes (fun n rxc ->
+                if not (List.mem nid (Ring.owners t.ring vshard)) then
+                  t.misrouted <- t.misrouted + 1;
+                (n, Node.read n rxc key))
+          in
+          let version = Option.value ~default:(-1) (Node.version n key) in
+          (version, reply_of_read n result, ack))
+        probes
+    in
+    let finish =
+      List.fold_left (fun acc (_, _, ack) -> max acc ack) at answers
+    in
+    let _, best, _ =
+      List.fold_left
+        (fun ((bv, _, _) as acc) ((v, _, _) as cand) ->
+          if v > bv then cand else acc)
+        (List.hd answers) (List.tl answers)
+    in
+    { reply = best; finish; acked = [] }
+  end
+
+let vlen_of_payload v = Bytes.length v
+
+(* Route one request; batches route each inner op (all charged against
+   the batch frame's arrival time) and fold their outcomes. *)
+let rec submit t ~at ~bytes req =
+  t.ops <- t.ops + 1;
+  match req with
+  | Proto.Get k -> submit_read t ~at ~bytes k
+  | Proto.Put (k, v) ->
+      submit_write t ~at ~bytes k (Node.Put (vlen_of_payload v))
+  | Proto.Delete k -> submit_write t ~at ~bytes k Node.Delete
+  | Proto.Batch reqs ->
+      let outcomes =
+        List.map
+          (fun r ->
+            submit t ~at ~bytes:(Bytes.length (Proto.encode_request r)) r)
+          reqs
+      in
+      { reply = Proto.Replies (List.map (fun o -> o.reply) outcomes);
+        finish = List.fold_left (fun acc o -> max acc o.finish) at outcomes;
+        acked = List.concat_map (fun o -> o.acked) outcomes }

@@ -1,0 +1,76 @@
+(** Request router: the client-facing front of the cluster.  Routes
+    {!Service.Proto} requests to the owners of each key's vshard,
+    assigns global version stamps from a sequencer, applies writes to
+    every live owner and acks at [write_quorum], probes [read_quorum]
+    replicas and answers from the freshest.  A per-vshard route cache is
+    deliberately not refreshed at migration cutover, so stale routing
+    surfaces as one counted [Not_owner] redirect round-trip — never as
+    an answer from a non-owner. *)
+
+type costs = {
+  byte_ns : float;   (** per-byte frame handling cost at a node *)
+  frame_ns : float;  (** fixed per-frame handling cost at a node *)
+  net_ns : float;    (** one-way network hop *)
+}
+
+val default_costs : costs
+
+type t
+
+val create :
+  ?costs:costs -> write_quorum:int -> read_quorum:int ->
+  Ring.t -> Node.t array -> t
+(** Raises [Invalid_argument] when a quorum is outside [1, replicas] or
+    node ids do not index the array. *)
+
+val ring : t -> Ring.t
+val nodes : t -> Node.t array
+val node : t -> int -> Node.t
+val write_quorum : t -> int
+val read_quorum : t -> int
+
+val last_stamp : t -> int
+(** Newest stamp the sequencer has issued. *)
+
+val invalidate_route : t -> vshard:int -> unit
+
+val add_dual : t -> vshard:int -> int -> unit
+(** Register an extra write target for a vshard (migration dual-write).
+    Dual targets receive every write but do not count toward the write
+    quorum. *)
+
+val remove_dual : t -> vshard:int -> int -> unit
+
+(** {1 Stats} *)
+
+val ops : t -> int
+val redirects : t -> int
+
+val quorum_failures : t -> int
+(** Writes refused (and applied nowhere) for lack of a live quorum. *)
+
+val unavailable : t -> int
+(** Reads refused because no owner was [Up]. *)
+
+val misrouted : t -> int
+(** Requests executed by a non-owner — must stay 0; counted so the
+    migration experiment can assert it. *)
+
+val replica_applies : t -> int
+val degraded_reads : t -> int
+
+type outcome = {
+  reply : Service.Proto.reply;
+  finish : float;  (** client-side completion time *)
+  acked : (Kv_common.Types.key * int * Node.action) list;
+      (** quorum-acked mutations with their stamps, for the oracle *)
+}
+
+val submit_write :
+  t -> at:float -> bytes:int -> Kv_common.Types.key -> Node.action -> outcome
+
+val submit_read : t -> at:float -> bytes:int -> Kv_common.Types.key -> outcome
+
+val submit : t -> at:float -> bytes:int -> Service.Proto.req -> outcome
+(** Route one request ([bytes] is the encoded frame size, charged at
+    each contacted node); batches route each inner op and fold. *)

@@ -1,0 +1,354 @@
+(* Discrete-event cluster runs: open-loop (and optionally closed-loop)
+   load through the router, interleaved with scripted fault and
+   migration events, under one global virtual time.
+
+   The loop merges three time-ordered sources — the pre-computed arrival
+   schedule (encoded [Proto] frames, decoded here per connection), the
+   closed-loop connections' next-issue times, and an internal queue of
+   continuation events (catch-up chunks, migration copy/cleanup chunks,
+   scripted kills/rejoins/migrations) — and processes whichever is
+   earliest.  Latency is measured from intended arrival time, so queueing
+   behind a recovering node or a migration copy burst is visible (no
+   coordinated omission).
+
+   A DRAM oracle records every quorum-ACKED mutation (key, stamp,
+   action).  Failed writes apply nowhere by construction, so the oracle
+   is exact: at the end of the run {!divergence} asserts that every [Up]
+   owner of every acked key agrees with it — the "no acked write lost,
+   no replica divergence" check the cluster experiments gate on. *)
+
+module Clock = Pmem_sim.Clock
+module Histogram = Metrics.Histogram
+module Proto = Service.Proto
+module Server = Service.Server
+module Types = Kv_common.Types
+module S = Kv_common.Store_intf
+
+type event =
+  | Kill of int
+  | Rejoin of int
+  | Migrate of { vshard : int; from_ : int; to_ : int }
+
+type timed = { at : float; ev : event }
+
+type window = {
+  w_start : float;
+  mutable w_gets : int;
+  mutable w_puts : int;
+  mutable w_errs : int;
+  w_get_h : Histogram.t;
+  w_put_h : Histogram.t;
+}
+
+type result = {
+  r_reqs : int;           (* frames processed *)
+  r_ops : int;            (* primitive ops (batches expanded) *)
+  r_errs : int;           (* Err replies (quorum / unavailable) *)
+  r_corrupt_conns : int;  (* connections dropped on a corrupt frame *)
+  r_end_ns : float;       (* completion of the last request *)
+  r_get_h : Histogram.t;
+  r_put_h : Histogram.t;
+  r_windows : window list;
+  r_catchups : Membership.catchup list; (* completed, newest last *)
+  r_migrations : Migration.t list;
+  r_acked : int;          (* oracle size: distinct quorum-acked keys *)
+}
+
+(* oracle: key -> (stamp, expected liveness, expected vlen) *)
+type oracle = (Types.key, int * Node.action) Hashtbl.t
+
+let oracle () : oracle = Hashtbl.create 65536
+
+let oracle_note (orc : oracle) acked =
+  List.iter
+    (fun (key, stamp, action) ->
+      match Hashtbl.find_opt orc key with
+      | Some (s, _) when s >= stamp -> ()
+      | _ -> Hashtbl.replace orc key (stamp, action))
+    acked
+
+(* Preload through the router: sequential stamped, replicated writes, so
+   every replica starts with its owned slice and the oracle knows the
+   whole universe. *)
+let preload router (orc : oracle) ~n_keys ~vlen =
+  let t = ref 0.0 in
+  let payload = Bytes.create vlen in
+  let bytes =
+    Bytes.length (Proto.encode_request (Proto.Put (1L, payload)))
+  in
+  for i = 0 to n_keys - 1 do
+    let key = Workload.Keyspace.key_of_index i in
+    let o = Router.submit_write router ~at:!t ~bytes key (Node.Put vlen) in
+    (match o.Router.reply with
+    | Proto.Ok -> ()
+    | r -> Format.kasprintf failwith "preload refused: %a" Proto.pp_reply r);
+    oracle_note orc o.Router.acked;
+    t := o.Router.finish
+  done;
+  !t
+
+type cfg = {
+  window_ns : float;     (* latency-timeline bucket width *)
+  chunk : int;           (* catch-up / migration entries per tick *)
+  tick_ns : float;       (* pacing between chunks *)
+  seed : int;            (* tear seed for kills *)
+}
+
+let default_cfg =
+  { window_ns = 2e6; chunk = 1024; tick_ns = 50_000.0; seed = 1 }
+
+type internal =
+  | Ext of event
+  | Catchup_tick of Membership.catchup
+  | Migrate_tick of Migration.t
+  | Cleanup_tick of Migration.t
+
+let run ?(cfg = default_cfg) ?(start_at = 0.0) ?(arrivals = [||]) ?closed
+    ~events router (orc : oracle) =
+  let pending = ref (List.map (fun t -> (t.at, Ext t.ev)) events) in
+  let sort_pending () =
+    pending := List.sort (fun (a, _) (b, _) -> compare a b) !pending
+  in
+  sort_pending ();
+  let push at it =
+    pending :=
+      List.merge
+        (fun (a, _) (b, _) -> compare a b)
+        !pending
+        [ (at, it) ]
+  in
+  (* closed-loop connections: next issue time per conn, None = done *)
+  let n_closed = match closed with Some c -> c.Server.conns | None -> 0 in
+  let closed_next = Array.make (max n_closed 1) (Some start_at) in
+  if n_closed = 0 then closed_next.(0) <- None;
+  let decoders : (int, Proto.decoder) Hashtbl.t = Hashtbl.create 64 in
+  let decoder_for conn =
+    match Hashtbl.find_opt decoders conn with
+    | Some d -> d
+    | None ->
+        let d = Proto.decoder () in
+        Hashtbl.add decoders conn d;
+        d
+  in
+  let windows : (int, window) Hashtbl.t = Hashtbl.create 256 in
+  let window_at at =
+    let idx = int_of_float (at /. cfg.window_ns) in
+    match Hashtbl.find_opt windows idx with
+    | Some w -> w
+    | None ->
+        let w =
+          { w_start = float_of_int idx *. cfg.window_ns;
+            w_gets = 0;
+            w_puts = 0;
+            w_errs = 0;
+            w_get_h = Histogram.create ();
+            w_put_h = Histogram.create () }
+        in
+        Hashtbl.add windows idx w;
+        w
+  in
+  let get_h = Histogram.create () and put_h = Histogram.create () in
+  let reqs = ref 0
+  and ops = ref 0
+  and errs = ref 0
+  and corrupt = ref 0
+  and end_ns = ref 0.0 in
+  let catchups = ref [] and migrations = ref [] in
+  let rec is_err = function
+    | Proto.Err _ -> true
+    | Proto.Replies rs -> List.exists is_err rs
+    | _ -> false
+  in
+  let submit_one ~at ~bytes req =
+    incr reqs;
+    ops := !ops + Proto.ops_in_req req;
+    let o = Router.submit router ~at ~bytes req in
+    oracle_note orc o.Router.acked;
+    let lat = o.Router.finish -. at in
+    let w = window_at at in
+    if Proto.puts_in_req req > 0 then begin
+      Histogram.record put_h lat;
+      Histogram.record w.w_put_h lat;
+      w.w_puts <- w.w_puts + 1
+    end
+    else begin
+      Histogram.record get_h lat;
+      Histogram.record w.w_get_h lat;
+      w.w_gets <- w.w_gets + 1
+    end;
+    if is_err o.Router.reply then begin
+      incr errs;
+      w.w_errs <- w.w_errs + 1
+    end;
+    if o.Router.finish > !end_ns then end_ns := o.Router.finish;
+    o.Router.finish
+  in
+  let handle_arrival (a : Server.arrival) =
+    let d = decoder_for a.Server.conn in
+    Proto.feed_bytes d a.Server.frame;
+    let rec drain () =
+      match Proto.next d with
+      | `Await -> ()
+      | `Corrupt _ ->
+          incr corrupt;
+          Hashtbl.replace decoders a.Server.conn (Proto.decoder ())
+      | `Msg (Proto.Reply _) ->
+          incr corrupt;
+          Hashtbl.replace decoders a.Server.conn (Proto.decoder ())
+      | `Msg (Proto.Request req) ->
+          ignore
+            (submit_one ~at:a.Server.at
+               ~bytes:(Bytes.length a.Server.frame)
+               req);
+          drain ()
+    in
+    drain ()
+  in
+  let handle_internal now = function
+    | Ext (Kill nid) -> Membership.kill ~seed:(cfg.seed + nid) router nid
+    | Ext (Rejoin nid) ->
+        let cu = Membership.start_rejoin router ~now nid in
+        push (now +. cfg.tick_ns) (Catchup_tick cu)
+    | Ext (Migrate { vshard; from_; to_ }) ->
+        let m = Migration.start router ~vshard ~from_ ~to_ in
+        migrations := !migrations @ [ m ];
+        push (now +. cfg.tick_ns) (Migrate_tick m)
+    | Catchup_tick cu ->
+        if Membership.step router cu ~now ~chunk:cfg.chunk then
+          catchups := !catchups @ [ cu ]
+        else push (now +. cfg.tick_ns) (Catchup_tick cu)
+    | Migrate_tick m ->
+        if Migration.step router m ~now ~chunk:cfg.chunk then
+          push (now +. cfg.tick_ns) (Cleanup_tick m)
+        else push (now +. cfg.tick_ns) (Migrate_tick m)
+    | Cleanup_tick m ->
+        if not (Migration.cleanup_step router m ~now ~chunk:cfg.chunk) then
+          push (now +. cfg.tick_ns) (Cleanup_tick m)
+  in
+  let handle_closed conn now =
+    match closed with
+    | None -> closed_next.(conn) <- None
+    | Some c -> (
+        match c.Server.gen ~conn ~now with
+        | None -> closed_next.(conn) <- None
+        | Some req ->
+            let bytes = Bytes.length (Proto.encode_request req) in
+            let fin = submit_one ~at:now ~bytes req in
+            closed_next.(conn) <- Some fin)
+  in
+  let ai = ref 0 in
+  let next_closed () =
+    let best = ref None in
+    for c = 0 to n_closed - 1 do
+      match (closed_next.(c), !best) with
+      | Some t, Some (_, bt) when t < bt -> best := Some (c, t)
+      | Some t, None -> best := Some (c, t)
+      | _ -> ()
+    done;
+    !best
+  in
+  let rec loop () =
+    let arr =
+      if !ai < Array.length arrivals then
+        Some arrivals.(!ai).Server.at
+      else None
+    in
+    let pend = match !pending with (t, _) :: _ -> Some t | [] -> None in
+    let clsd = next_closed () in
+    let min3 =
+      List.fold_left
+        (fun acc x ->
+          match (acc, x) with
+          | None, v -> v
+          | v, None -> v
+          | Some a, Some b -> if b < a then Some b else Some a)
+        None
+        [ arr; pend; Option.map snd clsd ]
+    in
+    match min3 with
+    | None -> ()
+    | Some t ->
+        (if arr = Some t then begin
+           handle_arrival arrivals.(!ai);
+           incr ai
+         end
+         else if pend = Some t then begin
+           match !pending with
+           | (_, it) :: rest ->
+               pending := rest;
+               handle_internal t it
+           | [] -> assert false
+         end
+         else
+           match clsd with
+           | Some (c, _) -> handle_closed c t
+           | None -> assert false);
+        loop ()
+  in
+  loop ();
+  let ws =
+    List.sort
+      (fun a b -> compare a.w_start b.w_start)
+      (Hashtbl.fold (fun _ w acc -> w :: acc) windows [])
+  in
+  { r_reqs = !reqs;
+    r_ops = !ops;
+    r_errs = !errs;
+    r_corrupt_conns = !corrupt;
+    r_end_ns = !end_ns;
+    r_get_h = get_h;
+    r_put_h = put_h;
+    r_windows = ws;
+    r_catchups = !catchups;
+    r_migrations = !migrations;
+    r_acked = Hashtbl.length orc }
+
+(* -- divergence check ----------------------------------------------- *)
+
+type mismatch = {
+  mm_key : Types.key;
+  mm_node : int;
+  mm_expected : string;
+  mm_got : string;
+}
+
+(* Audit every quorum-acked key against every [Up] owner: presence must
+   match the oracle's last acked action, and a present value must carry
+   the acked length.  Probe reads run on throwaway clocks after the run,
+   so the audit charges nothing to the service loops. *)
+let divergence router (orc : oracle) =
+  let ring = Router.ring router in
+  let probes =
+    Array.map (fun n -> Clock.copy (Node.rx n)) (Router.nodes router)
+  in
+  let mismatches = ref [] and checked = ref 0 in
+  Hashtbl.iter
+    (fun key (_stamp, action) ->
+      List.iter
+        (fun nid ->
+          let n = Router.node router nid in
+          if Node.status n = Node.Up then begin
+            incr checked;
+            let r = Node.read n probes.(nid) key in
+            let got =
+              match r with
+              | { S.stage = S.Corrupt; _ } -> "corrupt"
+              | { S.loc = Some loc; _ } ->
+                  Printf.sprintf "present(%d)"
+                    (Kv_common.Vlog.vlen_at (S.vlog (Node.store n)) loc)
+              | { S.loc = None; _ } -> "absent"
+            in
+            let expected =
+              match action with
+              | Node.Put vlen -> Printf.sprintf "present(%d)" vlen
+              | Node.Delete -> "absent"
+            in
+            if got <> expected then
+              mismatches :=
+                { mm_key = key; mm_node = nid; mm_expected = expected;
+                  mm_got = got }
+                :: !mismatches
+          end)
+        (Ring.owners_of_key ring key))
+    orc;
+  (!checked, List.rev !mismatches)

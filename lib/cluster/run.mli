@@ -1,0 +1,75 @@
+(** Discrete-event cluster runs: open- and/or closed-loop load through
+    the {!Router} merged with scripted kill / rejoin / migration events
+    under one virtual time, plus the end-of-run replica-divergence audit
+    against a DRAM oracle of quorum-acked mutations. *)
+
+type event =
+  | Kill of int
+  | Rejoin of int
+  | Migrate of { vshard : int; from_ : int; to_ : int }
+
+type timed = { at : float; ev : event }
+
+type window = {
+  w_start : float;
+  mutable w_gets : int;
+  mutable w_puts : int;
+  mutable w_errs : int;
+  w_get_h : Metrics.Histogram.t;
+  w_put_h : Metrics.Histogram.t;
+}
+
+type result = {
+  r_reqs : int;            (** frames processed *)
+  r_ops : int;             (** primitive ops (batches expanded) *)
+  r_errs : int;            (** [Err] replies (quorum / unavailable) *)
+  r_corrupt_conns : int;   (** connections reset on a corrupt frame *)
+  r_end_ns : float;        (** completion time of the last request *)
+  r_get_h : Metrics.Histogram.t;
+  r_put_h : Metrics.Histogram.t;
+  r_windows : window list; (** latency timeline, ascending start time *)
+  r_catchups : Membership.catchup list;
+  r_migrations : Migration.t list;
+  r_acked : int;           (** distinct quorum-acked keys in the oracle *)
+}
+
+type oracle
+
+val oracle : unit -> oracle
+
+val preload : Router.t -> oracle -> n_keys:int -> vlen:int -> float
+(** Load keys [0, n_keys) through the router (stamped, replicated,
+    oracle-recorded); returns the simulated finish time.  Raises on a
+    refused write — preload must be clean. *)
+
+type cfg = {
+  window_ns : float;  (** latency-timeline bucket width *)
+  chunk : int;        (** catch-up / migration entries per tick *)
+  tick_ns : float;    (** pacing between chunks *)
+  seed : int;         (** tear seed for kills *)
+}
+
+val default_cfg : cfg
+
+val run :
+  ?cfg:cfg ->
+  ?start_at:float ->
+  ?arrivals:Service.Server.arrival array ->
+  ?closed:Service.Server.closed ->
+  events:timed list ->
+  Router.t -> oracle -> result
+(** Process the merged event stream to completion (arrivals drained,
+    closed connections done, catch-ups and migrations finished).
+    Latency is measured from intended arrival time. *)
+
+type mismatch = {
+  mm_key : Kv_common.Types.key;
+  mm_node : int;
+  mm_expected : string;
+  mm_got : string;
+}
+
+val divergence : Router.t -> oracle -> int * mismatch list
+(** Audit every acked key against every [Up] owner on throwaway clocks:
+    [(replica checks performed, mismatches)].  An empty mismatch list is
+    the "no quorum-acked write lost, no divergence" guarantee. *)

@@ -25,6 +25,7 @@ type t = {
   health : Store_intf.health array; (* per shard *)
   mutable scrub_cursor : int; (* next log location the scrubber verifies *)
   mutable scrub_shard : int; (* first shard the next table pass covers *)
+  mutable scrub_deficit : int; (* bytes the previous pass overshot by *)
   mutable nquarantined : int; (* lifetime quarantine events *)
 }
 
@@ -61,6 +62,7 @@ let create ?(cfg = Config.default) ?dev () =
       health = Array.make cfg.Config.shards Store_intf.Healthy;
       scrub_cursor = 0;
       scrub_shard = 0;
+      scrub_deficit = 0;
       nquarantined = 0 }
   in
   (* Shard-internal repair (value-log rebuilds) quarantines keys without
@@ -301,7 +303,8 @@ let crash t =
      GC or replay) re-establishes them *)
   Array.fill t.health 0 (Array.length t.health) Store_intf.Healthy;
   t.scrub_cursor <- 0;
-  t.scrub_shard <- 0
+  t.scrub_shard <- 0;
+  t.scrub_deficit <- 0
 
 let recover t clock =
   Fault_point.with_site Fault_point.Recovery @@ fun () ->
@@ -475,7 +478,10 @@ let gc t clock ?max_entries () =
 
    A shard marked [Degraded] by earlier detection is rebuilt outright.
    The budget is a target, not a hard cap: the pass stops after the
-   artifact that crosses it, so one oversized run can overshoot.
+   artifact that crosses it, so one oversized run can overshoot.  The
+   overshoot is carried as a deficit into the next pass (its target
+   shrinks by the excess), so long-run scrub bandwidth converges to
+   [budget_bytes] per pass even when single artifacts outweigh it.
 
    The table/floor/rebuild leg starts spending against at most half the
    budget and begins at a persistent shard rotor, so when the per-shard
@@ -488,6 +494,8 @@ let scrub t clock ~budget_bytes : Store_intf.scrub_report =
   if budget_bytes <= 0 then invalid_arg "Store.scrub";
   Fault_point.with_site Fault_point.Scrub @@ fun () ->
   Obs.Trace.begin_span clock ~cat:"scrub" "scrub";
+  (* the previous pass's overshoot shrinks this pass's target *)
+  let target_bytes = max 1 (budget_bytes - t.scrub_deficit) in
   let spent = ref 0 in
   let scanned_entries = ref 0 in
   let detected = ref 0 and repaired = ref 0 in
@@ -500,7 +508,7 @@ let scrub t clock ~budget_bytes : Store_intf.scrub_report =
     t.health.(i) <- Store_intf.Scrubbing
   in
   let nshards = Array.length t.shards in
-  let table_budget = max 1 (budget_bytes / 2) in
+  let table_budget = max 1 (target_bytes / 2) in
   let next_start = ref t.scrub_shard in
   for k = 0 to nshards - 1 do
     let i = (t.scrub_shard + k) mod nshards in
@@ -550,7 +558,7 @@ let scrub t clock ~budget_bytes : Store_intf.scrub_report =
   (* the log leg is guaranteed its slice even when one shard's runs
      overshot the table leg past the whole budget — otherwise a store
      whose smallest run outweighs the budget never advances the cursor *)
-  let vlog_budget = budget_bytes - min !spent table_budget in
+  let vlog_budget = target_bytes - min !spent table_budget in
   let scan_bytes = ref 0 in
   while !scan_bytes < vlog_budget && !cursor < hi do
     let loc = !cursor in
@@ -576,6 +584,7 @@ let scrub t clock ~budget_bytes : Store_intf.scrub_report =
   if !scan_bytes > 0 then
     Device.charge_read_bytes t.dev clock ~len:!scan_bytes ~hint:Pmem_sim.Device.Bulk;
   t.scrub_cursor <- !cursor;
+  t.scrub_deficit <- max 0 (!spent - target_bytes);
   (* shards this pass covered (and did not leave degraded) are healthy *)
   Array.iteri
     (fun i h ->

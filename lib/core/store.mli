@@ -100,7 +100,9 @@ val scrub :
   Kv_common.Store_intf.scrub_report
 (** One background integrity pass over up to [budget_bytes] of durable
     artifacts (the budget is a target: the pass stops after the artifact
-    that crosses it).  Verifies manifest floors and table runs for as
+    that crosses it, and the overshoot is carried as a deficit into the
+    next pass so long-run scrub bandwidth converges to [budget_bytes] per
+    pass).  Verifies manifest floors and table runs for as
     many shards as half the budget covers — round-robin from a persistent
     rotor, so successive passes cover every shard even when one shard's
     runs outweigh the budget — then spends the rest on a cursor-tracked

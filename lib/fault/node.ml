@@ -1,0 +1,24 @@
+(* Node-granularity crash hooks for the cluster layer.
+
+   A cluster "node failure" is the PR 2 crash model applied to a whole
+   store at once: install a deterministic torn-write function on the
+   node's device, run the store's real [crash] path (volatile state lost,
+   unpersisted 256 B media units survive independently), then clear the
+   tear.  Rejoin is the store's real [recover] path — the instant-restart
+   property the paper claims is exactly what makes node rejoin cheap, and
+   charging it to a clock makes the downtime measurable. *)
+
+module Clock = Pmem_sim.Clock
+module Store_intf = Kv_common.Store_intf
+
+let kill ?(tear = true) ~seed store =
+  let inj = Injector.attach (Store_intf.device store) in
+  if tear then Injector.set_tear inj ~seed ~keep_prob:0.5;
+  Store_intf.crash store;
+  Injector.clear_tear inj;
+  Injector.detach inj
+
+let rejoin store clock =
+  let t0 = Clock.now clock in
+  Store_intf.recover store clock;
+  Clock.now clock -. t0

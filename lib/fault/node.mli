@@ -1,0 +1,13 @@
+(** Node-granularity crash hooks: the PR 2 crash model applied to a whole
+    store, for the cluster layer's node failures. *)
+
+val kill : ?tear:bool -> seed:int -> Kv_common.Store_intf.store -> unit
+(** Power-fail the node's store: install a deterministic torn-write
+    function (each unpersisted 256 B unit survives independently, decided
+    by [seed]), run the store's real [crash] path, clear the tear.
+    [tear:false] gives a clean cut at the persistence watermark. *)
+
+val rejoin : Kv_common.Store_intf.store -> Pmem_sim.Clock.t -> float
+(** Run the store's real [recover] path on the given clock; returns the
+    simulated restart time in ns.  The caller (cluster membership) then
+    catches the node up from a peer's log. *)

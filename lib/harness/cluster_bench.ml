@@ -1,0 +1,187 @@
+(* Shared plumbing for the cluster experiment family.
+
+   Builds N-node clusters (one full store per node, each on its own
+   simulated device), preloads them through the router, and runs the
+   three scenarios the evaluation reports: a closed-loop throughput
+   scaling curve, a node kill + rejoin timeline, and a live shard
+   migration timeline — each ending in the oracle divergence audit.
+   Both the `cluster` experiment (pretty tables) and `ckv cluster`
+   (benchmark JSON, CI gate) drive these entry points, so the numbers
+   they report come from identical runs. *)
+
+module Histogram = Metrics.Histogram
+module Loadgen = Service.Loadgen
+module Run = Cluster.Run
+
+type setup = {
+  router : Cluster.Router.t;
+  orc : Run.oracle;
+  t0 : float; (* preload finish time *)
+  n_keys : int;
+}
+
+let build scale ~n ~replicas ~wq ~rq ?(vshards = 64) ?n_keys () =
+  let n_keys =
+    Option.value n_keys ~default:(scale.Stores.load_keys / 2)
+  in
+  let nodes =
+    Array.init n (fun i ->
+        let spec =
+          Stores.chameleon ~name:(Printf.sprintf "node%d" i) scale
+        in
+        Cluster.Node.create ~id:i (spec.Stores.make ()))
+  in
+  let ring =
+    Cluster.Ring.create ~vshards ~replicas ~nodes:(List.init n Fun.id) ()
+  in
+  let router = Cluster.Router.create ~write_quorum:wq ~read_quorum:rq ring nodes in
+  let orc = Run.oracle () in
+  let t0 = Run.preload router orc ~n_keys ~vlen:scale.Stores.vlen in
+  { router; orc; t0; n_keys }
+
+let mops (r : Run.result) ~since =
+  if r.Run.r_end_ns <= since then 0.0
+  else float_of_int r.Run.r_ops /. (r.Run.r_end_ns -. since) *. 1000.0
+
+(* -- scaling curve --------------------------------------------------- *)
+
+type scaling_point = {
+  sp_nodes : int;
+  sp_replicas : int;
+  sp_ops : int;
+  sp_sim_ns : float;
+  sp_mops : float;
+  sp_get_p99 : float;
+  sp_put_p99 : float;
+}
+
+let scaling ?(seed = 7) ?(get_frac = 0.9) scale node_counts =
+  List.map
+    (fun n ->
+      let replicas = min 2 n in
+      let s = build scale ~n ~replicas ~wq:replicas ~rq:1 () in
+      let conns = 8 * n in
+      let closed =
+        Loadgen.closed_loop ~seed ~conns
+          ~reqs_per_conn:(max 64 (scale.Stores.sweep_ops / conns))
+          ~reqgen:
+            (Loadgen.mixed_reqgen ~n_keys:s.n_keys ~get_frac
+               ~vlen:scale.Stores.vlen)
+          ()
+      in
+      let r = Run.run ~start_at:s.t0 ~closed ~events:[] s.router s.orc in
+      let checked, mms = Run.divergence s.router s.orc in
+      if mms <> [] then
+        failwith
+          (Printf.sprintf "cluster scaling: %d/%d divergent replica reads"
+             (List.length mms) checked);
+      { sp_nodes = n;
+        sp_replicas = replicas;
+        sp_ops = r.Run.r_ops;
+        sp_sim_ns = r.Run.r_end_ns -. s.t0;
+        sp_mops = mops r ~since:s.t0;
+        sp_get_p99 = Histogram.percentile r.Run.r_get_h 99.0;
+        sp_put_p99 = Histogram.percentile r.Run.r_put_h 99.0 })
+    node_counts
+
+(* -- timeline scenarios ---------------------------------------------- *)
+
+type scenario = {
+  sc_label : string;
+  sc_setup : setup;
+  sc_probe_mops : float; (* closed-loop capacity before the open phase *)
+  sc_rate_mops : float;  (* offered open-loop rate *)
+  sc_start : float;      (* open-loop phase start *)
+  sc_duration_ns : float;
+  sc_result : Run.result;
+  sc_marks : (float * string) list; (* event annotations for the timeline *)
+  sc_checked : int;
+  sc_mismatches : Run.mismatch list;
+}
+
+(* Common shape: build a 4-node, 2-replica cluster, probe its closed-loop
+   capacity, then offer an open-loop 90/10 mix at half that capacity
+   while [mk_events] injects faults or migrations. *)
+let scenario ~seed ~label ~mk_events scale =
+  let n = 4 in
+  let s = build scale ~n ~replicas:2 ~wq:2 ~rq:1 () in
+  let reqgen =
+    Loadgen.mixed_reqgen ~n_keys:s.n_keys ~get_frac:0.9
+      ~vlen:scale.Stores.vlen
+  in
+  let probe_closed =
+    Loadgen.closed_loop ~seed ~conns:16
+      ~reqs_per_conn:(max 64 (scale.Stores.sweep_ops / 64))
+      ~reqgen ()
+  in
+  let probe =
+    Run.run ~start_at:s.t0 ~closed:probe_closed ~events:[] s.router s.orc
+  in
+  let cap = mops probe ~since:s.t0 in
+  let t1 = probe.Run.r_end_ns in
+  let rate = 0.5 *. cap in
+  let duration_ns =
+    float_of_int scale.Stores.sweep_ops /. rate *. 1000.0
+  in
+  let arrivals =
+    Loadgen.open_loop ~seed:(seed + 100) ~conns:8
+      ~process:(Loadgen.Poisson { rate_mops = rate })
+      ~reqgen ~duration_ns ~start_at:t1 ()
+  in
+  let events, marks = mk_events s ~t1 ~duration_ns in
+  let cfg =
+    { Run.window_ns = duration_ns /. 40.0;
+      chunk = 512;
+      tick_ns = 25_000.0;
+      seed }
+  in
+  let r = Run.run ~cfg ~start_at:t1 ~arrivals ~events s.router s.orc in
+  let checked, mms = Run.divergence s.router s.orc in
+  { sc_label = label;
+    sc_setup = s;
+    sc_probe_mops = cap;
+    sc_rate_mops = rate;
+    sc_start = t1;
+    sc_duration_ns = duration_ns;
+    sc_result = r;
+    sc_marks = marks;
+    sc_checked = checked;
+    sc_mismatches = mms }
+
+let victim = 1 (* the node the failover scenario kills *)
+
+let failover ?(seed = 1) scale =
+  scenario ~seed ~label:"failover" scale ~mk_events:(fun _s ~t1 ~duration_ns ->
+      let kill_at = t1 +. (0.30 *. duration_ns) in
+      let rejoin_at = t1 +. (0.55 *. duration_ns) in
+      ( [ { Run.at = kill_at; ev = Run.Kill victim };
+          { Run.at = rejoin_at; ev = Run.Rejoin victim } ],
+        [ (kill_at, Printf.sprintf "kill node%d" victim);
+          (rejoin_at, Printf.sprintf "rejoin node%d" victim) ] ))
+
+(* First vshard owned by node 0, migrated to a non-owner. *)
+let pick_migration router =
+  let ring = Cluster.Router.ring router in
+  let n_nodes = Array.length (Cluster.Router.nodes router) in
+  let rec find v =
+    if v >= Cluster.Ring.vshards ring then
+      failwith "cluster rebalance: node0 owns no vshard"
+    else if List.mem 0 (Cluster.Ring.owners ring v) then v
+    else find (v + 1)
+  in
+  let vshard = find 0 in
+  let owners = Cluster.Ring.owners ring vshard in
+  let rec dest i =
+    if i >= n_nodes then failwith "cluster rebalance: no destination node"
+    else if List.mem i owners then dest (i + 1)
+    else i
+  in
+  (vshard, dest 0)
+
+let rebalance ?(seed = 2) scale =
+  scenario ~seed ~label:"rebalance" scale ~mk_events:(fun s ~t1 ~duration_ns ->
+      let vshard, to_ = pick_migration s.router in
+      let at = t1 +. (0.30 *. duration_ns) in
+      ( [ { Run.at; ev = Run.Migrate { vshard; from_ = 0; to_ } } ],
+        [ (at, Printf.sprintf "migrate vshard %d: node0 -> node%d" vshard to_) ]
+      ))

@@ -1,0 +1,60 @@
+(** Shared plumbing for the cluster experiment family: build and preload
+    an N-node cluster, then run the three reported scenarios — scaling
+    curve, node kill + rejoin, live shard migration — each ending in the
+    oracle divergence audit.  Used by both the [cluster] experiment and
+    [ckv cluster], so tables and benchmark JSON come from identical
+    runs. *)
+
+type setup = {
+  router : Cluster.Router.t;
+  orc : Cluster.Run.oracle;
+  t0 : float;    (** preload finish time *)
+  n_keys : int;  (** preloaded key universe *)
+}
+
+val build :
+  Stores.scale -> n:int -> replicas:int -> wq:int -> rq:int ->
+  ?vshards:int -> ?n_keys:int -> unit -> setup
+
+type scaling_point = {
+  sp_nodes : int;
+  sp_replicas : int;
+  sp_ops : int;
+  sp_sim_ns : float;
+  sp_mops : float;
+  sp_get_p99 : float;
+  sp_put_p99 : float;
+}
+
+val scaling :
+  ?seed:int -> ?get_frac:float -> Stores.scale -> int list ->
+  scaling_point list
+(** Closed-loop 90/10 throughput per node count (8 conns/node).  Each
+    point runs its own fresh cluster and must pass the divergence audit
+    (raises otherwise). *)
+
+type scenario = {
+  sc_label : string;
+  sc_setup : setup;
+  sc_probe_mops : float;  (** closed-loop capacity before the open phase *)
+  sc_rate_mops : float;   (** offered open-loop rate (half of capacity) *)
+  sc_start : float;       (** open-loop phase start *)
+  sc_duration_ns : float;
+  sc_result : Cluster.Run.result;
+  sc_marks : (float * string) list;  (** timeline annotations *)
+  sc_checked : int;
+  sc_mismatches : Cluster.Run.mismatch list;
+}
+
+val victim : int
+(** Node id the failover scenario kills. *)
+
+val failover : ?seed:int -> Stores.scale -> scenario
+(** 4 nodes, 2 replicas, write quorum 2: kill {!victim} at 30% of the
+    open-loop phase (real crash, torn tail), rejoin at 55% with chunked
+    catch-up competing with traffic. *)
+
+val rebalance : ?seed:int -> Stores.scale -> scenario
+(** Same cluster shape: at 30% of the run, migrate the first vshard
+    node 0 owns to a non-owner — dual-write, chunked copy, cutover
+    (surfacing one [Not_owner] redirect), source cleanup. *)

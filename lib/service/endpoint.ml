@@ -12,11 +12,23 @@
 
 type backend = Proto.req -> Proto.reply
 
-let backend_of_store ~clock store =
+let backend_of_store ?redirect ~clock store =
   let module S = Kv_common.Store_intf in
   let vlog = S.vlog store in
+  (* routing-aware serving: when a redirect function says another node owns
+     the key, refuse with an explicit Not_owner hint instead of answering —
+     a node must never serve a range it does not own *)
+  let not_owner k =
+    match redirect with None -> None | Some f -> f k
+  in
   let rec exec ~top req =
     match req with
+    | Proto.Get k when not_owner k <> None ->
+      Proto.Not_owner (Option.get (not_owner k))
+    | Proto.Put (k, _) when not_owner k <> None ->
+      Proto.Not_owner (Option.get (not_owner k))
+    | Proto.Delete k when not_owner k <> None ->
+      Proto.Not_owner (Option.get (not_owner k))
     | Proto.Get k -> (
       match S.read store clock k with
       | { S.value = Some v; _ } -> Proto.Value v

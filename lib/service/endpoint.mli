@@ -7,11 +7,17 @@
 type backend = Proto.req -> Proto.reply
 
 val backend_of_store :
+  ?redirect:(Kv_common.Types.key -> int option) ->
   clock:Pmem_sim.Clock.t -> Kv_common.Store_intf.store -> backend
 (** Executes against any packed store through the unified
     [read]/[write] API.  Gets reply [Value] when the read (or the vlog)
     surfaces a materialized payload, [Hit vlen] otherwise; puts carry
-    their real bytes as a [Payload] spec. *)
+    their real bytes as a [Payload] spec.
+
+    [redirect] makes the endpoint routing-aware: when it returns
+    [Some node] for a key, the op is refused with {!Proto.Not_owner}
+    carrying that node id as the redirect hint — this endpoint does not
+    own the key's shard.  Batch frames check per inner op. *)
 
 val serve :
   ?backlog:int ->

@@ -25,6 +25,7 @@ type reply =
   | Miss
   | Shed
   | Corrupted
+  | Not_owner of int
   | Err of string
   | Replies of reply list
 
@@ -48,6 +49,7 @@ let t_shed = 0x15
 let t_err = 0x16
 let t_replies = 0x17
 let t_corrupted = 0x18
+let t_not_owner = 0x19
 
 (* ------------------------------ encoding ------------------------------ *)
 
@@ -84,6 +86,10 @@ let rec add_reply ?(top = true) b = function
   | Miss -> Buffer.add_uint8 b t_miss
   | Shed -> Buffer.add_uint8 b t_shed
   | Corrupted -> Buffer.add_uint8 b t_corrupted
+  | Not_owner node ->
+    if node < 0 || node > 0xFFFF then invalid_arg "Proto: node id out of range";
+    Buffer.add_uint8 b t_not_owner;
+    Buffer.add_uint16_le b node
   | Err m ->
     Buffer.add_uint8 b t_err;
     add_u32 b (String.length m);
@@ -186,6 +192,7 @@ let rec parse_reply ?(top = true) c =
   | t when t = t_miss -> Miss
   | t when t = t_shed -> Shed
   | t when t = t_corrupted -> Corrupted
+  | t when t = t_not_owner -> Not_owner (read_u16 c "owner node id")
   | t when t = t_err ->
     let n = read_u32 c "error" in
     Err (Bytes.to_string (read_bytes c n "error"))
@@ -310,6 +317,7 @@ let rec pp_reply ppf = function
   | Miss -> Format.fprintf ppf "Miss"
   | Shed -> Format.fprintf ppf "Shed"
   | Corrupted -> Format.fprintf ppf "Corrupted"
+  | Not_owner node -> Format.fprintf ppf "NotOwner(%d)" node
   | Err m -> Format.fprintf ppf "Err(%s)" m
   | Replies rs ->
     Format.fprintf ppf "Replies[%a]"

@@ -29,6 +29,11 @@ type reply =
   | Shed               (** rejected by admission control *)
   | Corrupted          (** the key's newest record failed verification:
                            an explicit integrity error, not a miss *)
+  | Not_owner of int
+      (** routing refusal: this node does not own the key's shard; the
+          payload is a redirect hint — the id of a node that does.  A node
+          never answers for a range it does not own, so stale routing
+          tables surface as an explicit redirect, not wrong data. *)
   | Err of string
   | Replies of reply list  (** one per batched op; may not nest *)
 

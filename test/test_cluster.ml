@@ -1,0 +1,298 @@
+(* Cluster layer: HRW ring placement, quorum replication, node failover
+   with catch-up, and live shard migration.
+
+   The scenario tests run the same Cluster_bench entry points the
+   harness experiment and `ckv cluster` use, at a tiny scale, and gate
+   on the oracle divergence audit — the executable form of "no
+   quorum-acked write is ever lost". *)
+
+module Ring = Cluster.Ring
+module Node = Cluster.Node
+module Router = Cluster.Router
+module Membership = Cluster.Membership
+module Migration = Cluster.Migration
+module Run = Cluster.Run
+module Proto = Service.Proto
+module Clock = Pmem_sim.Clock
+
+let key i = Workload.Keyspace.key_of_index i
+
+let tiny =
+  { Harness.Stores.shards = 4;
+    memtable_slots = 64;
+    load_keys = 4000;
+    sweep_ops = 6000;
+    threads = [ 1 ];
+    vlen = 8 }
+
+let mk_cluster ?(vshards = 32) ~n ~replicas ~wq ~rq () =
+  let nodes =
+    Array.init n (fun i ->
+        let spec =
+          Harness.Stores.chameleon ~name:(Printf.sprintf "n%d" i) tiny
+        in
+        Cluster.Node.create ~id:i (spec.Harness.Stores.make ()))
+  in
+  let ring =
+    Ring.create ~vshards ~replicas ~nodes:(List.init n Fun.id) ()
+  in
+  (ring, nodes, Router.create ~write_quorum:wq ~read_quorum:rq ring nodes)
+
+(* --------------------------------- ring ---------------------------------- *)
+
+let test_ring_deterministic_and_balanced () =
+  let mk () = Ring.create ~vshards:128 ~replicas:2 ~nodes:[ 0; 1; 2; 3 ] () in
+  let a = mk () and b = mk () in
+  let counts = Array.make 4 0 in
+  for v = 0 to 127 do
+    let oa = Ring.owners a v and ob = Ring.owners b v in
+    Alcotest.(check (list int)) "same owners on identical rings" oa ob;
+    Alcotest.(check int) "replica count" 2 (List.length oa);
+    Alcotest.(check bool) "owners distinct" true
+      (List.length (List.sort_uniq compare oa) = 2);
+    List.iter (fun n -> counts.(n) <- counts.(n) + 1) oa
+  done;
+  Array.iteri
+    (fun n c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d owns a fair share (%d vshards)" n c)
+        true
+        (c >= 16))
+    counts;
+  (* keys map to stable vshards in range *)
+  for i = 0 to 999 do
+    let v = Ring.vshard_of a (key i) in
+    Alcotest.(check bool) "vshard in range" true (v >= 0 && v < 128);
+    Alcotest.(check int) "vshard stable" v (Ring.vshard_of b (key i))
+  done
+
+let test_ring_minimal_disruption () =
+  (* adding a node only reassigns vshards the new node scores into *)
+  let four = Ring.create ~vshards:128 ~replicas:2 ~nodes:[ 0; 1; 2; 3 ] () in
+  let five =
+    Ring.create ~vshards:128 ~replicas:2 ~nodes:[ 0; 1; 2; 3; 4 ] ()
+  in
+  let moved = ref 0 in
+  for v = 0 to 127 do
+    let o4 = Ring.owners four v and o5 = Ring.owners five v in
+    if o4 <> o5 then begin
+      incr moved;
+      Alcotest.(check bool) "changed owner sets involve the new node" true
+        (List.mem 4 o5)
+    end
+  done;
+  Alcotest.(check bool) "some vshards moved to the new node" true (!moved > 0);
+  Alcotest.(check bool) "most vshards did not move" true (!moved < 128)
+
+let test_ring_override () =
+  let r = Ring.create ~vshards:16 ~replicas:2 ~nodes:[ 0; 1; 2 ] () in
+  let before = Ring.owners r 3 in
+  Ring.set_override r ~vshard:3 [ 2; 0 ];
+  Alcotest.(check (list int)) "override wins" [ 2; 0 ] (Ring.owners r 3);
+  Alcotest.(check bool) "other vshards untouched" true
+    (Ring.owners r 4 = Ring.owners (Ring.create ~vshards:16 ~replicas:2 ~nodes:[ 0; 1; 2 ] ()) 4);
+  Ring.clear_override r ~vshard:3;
+  Alcotest.(check (list int)) "clear restores HRW" before (Ring.owners r 3);
+  Alcotest.check_raises "override must carry exactly replicas owners"
+    (Invalid_argument "Ring.set_override: wrong owner count") (fun () ->
+      Ring.set_override r ~vshard:1 [ 0 ])
+
+(* ------------------------------ quorum I/O -------------------------------- *)
+
+let test_quorum_write_and_read () =
+  let ring, nodes, router = mk_cluster ~n:3 ~replicas:2 ~wq:2 ~rq:1 () in
+  let k = key 7 in
+  let o = Router.submit_write router ~at:0.0 ~bytes:26 k (Node.Put 8) in
+  Alcotest.(check bool) "write acked" true (o.Router.reply = Proto.Ok);
+  (match o.Router.acked with
+  | [ (k', stamp, Node.Put 8) ] ->
+      Alcotest.(check bool) "acked the key" true (k' = k);
+      Alcotest.(check int) "first stamp" 1 stamp
+  | _ -> Alcotest.fail "expected one acked put");
+  (* every owner applied it, with the same stamp *)
+  List.iter
+    (fun nid ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "owner %d holds version" nid)
+        (Some 1)
+        (Node.version nodes.(nid) k))
+    (Ring.owners_of_key ring k);
+  let r = Router.submit_read router ~at:o.Router.finish ~bytes:14 k in
+  Alcotest.(check bool) "read hits" true (r.Router.reply = Proto.Hit 8);
+  Alcotest.(check bool) "reply after request" true (r.Router.finish > o.Router.finish);
+  (* a delete is a stamped version too *)
+  let d = Router.submit_write router ~at:r.Router.finish ~bytes:14 k Node.Delete in
+  Alcotest.(check bool) "delete acked" true (d.Router.reply = Proto.Ok);
+  let r2 = Router.submit_read router ~at:d.Router.finish ~bytes:14 k in
+  Alcotest.(check bool) "deleted reads miss" true (r2.Router.reply = Proto.Miss)
+
+let test_quorum_failfast_on_owner_down () =
+  let ring, nodes, router = mk_cluster ~n:3 ~replicas:2 ~wq:2 ~rq:1 () in
+  let k = key 42 in
+  ignore (Router.submit_write router ~at:0.0 ~bytes:26 k (Node.Put 8));
+  let owners = Ring.owners_of_key ring k in
+  let dead = List.hd owners and alive = List.nth owners 1 in
+  Node.kill ~tear:false ~seed:1 nodes.(dead);
+  (* writes lose their quorum: refused and applied nowhere *)
+  let o = Router.submit_write router ~at:1e6 ~bytes:26 k (Node.Put 9) in
+  Alcotest.(check bool) "write refused" true (o.Router.reply = Proto.Err "quorum");
+  Alcotest.(check int) "nothing acked" 0 (List.length o.Router.acked);
+  Alcotest.(check (option int)) "survivor kept the old version" (Some 1)
+    (Node.version nodes.(alive) k);
+  Alcotest.(check int) "quorum failure counted" 1
+    (Router.quorum_failures router);
+  (* reads survive on the remaining replica *)
+  let r = Router.submit_read router ~at:2e6 ~bytes:14 k in
+  Alcotest.(check bool) "read served by survivor" true
+    (r.Router.reply = Proto.Hit 8);
+  (* both owners down: unavailable *)
+  Node.kill ~tear:false ~seed:2 nodes.(alive);
+  let r2 = Router.submit_read router ~at:3e6 ~bytes:14 k in
+  Alcotest.(check bool) "no owner up" true
+    (r2.Router.reply = Proto.Err "unavailable");
+  Alcotest.(check int) "unavailability counted" 1 (Router.unavailable router)
+
+let test_apply_is_idempotent () =
+  let _, nodes, _ = mk_cluster ~n:2 ~replicas:2 ~wq:2 ~rq:1 () in
+  let n = nodes.(0) in
+  let c = Clock.create () in
+  Alcotest.(check bool) "fresh stamp applies" true
+    (Node.apply n c ~stamp:5 (key 1) (Node.Put 8));
+  Alcotest.(check bool) "replay of same stamp is a no-op" false
+    (Node.apply n c ~stamp:5 (key 1) (Node.Put 8));
+  Alcotest.(check bool) "older stamp is a no-op" false
+    (Node.apply n c ~stamp:3 (key 1) (Node.Put 16));
+  Alcotest.(check bool) "newer stamp applies" true
+    (Node.apply n c ~stamp:9 (key 1) Node.Delete);
+  Alcotest.(check (option int)) "version tracks newest" (Some 9)
+    (Node.version n (key 1))
+
+let test_stale_route_redirects_not_misroutes () =
+  let ring, _, router = mk_cluster ~n:3 ~replicas:2 ~wq:2 ~rq:1 () in
+  let k = key 11 in
+  ignore (Router.submit_write router ~at:0.0 ~bytes:26 k (Node.Put 8));
+  let v = Ring.vshard_of ring k in
+  (* reorder the owner list behind the router's cache: the cached route
+     is now stale, so the next request must bounce once and still be
+     answered correctly by a real owner *)
+  Ring.set_override ring ~vshard:v (List.rev (Ring.owners ring v));
+  let before = Router.redirects router in
+  let r = Router.submit_read router ~at:1e6 ~bytes:14 k in
+  Alcotest.(check bool) "still answered correctly" true
+    (r.Router.reply = Proto.Hit 8);
+  Alcotest.(check int) "one redirect" (before + 1) (Router.redirects router);
+  Alcotest.(check int) "never served by a non-owner" 0
+    (Router.misrouted router)
+
+(* ------------------------- failover end to end ---------------------------- *)
+
+let test_failover_no_acked_write_lost () =
+  let sc = Harness.Cluster_bench.failover ~seed:3 tiny in
+  let r = sc.Harness.Cluster_bench.sc_result in
+  let router = sc.Harness.Cluster_bench.sc_setup.Harness.Cluster_bench.router in
+  Alcotest.(check bool) "ran a real load" true (r.Run.r_ops > 1000);
+  Alcotest.(check bool) "writes were refused while down (fail-fast)" true
+    (Router.quorum_failures router > 0);
+  (match r.Run.r_catchups with
+  | [ cu ] ->
+      Alcotest.(check bool) "catch-up streamed the lost tail" true
+        (Membership.shipped cu >= 0);
+      Alcotest.(check int) "rejoined node is the victim"
+        Harness.Cluster_bench.victim (Membership.node cu)
+  | _ -> Alcotest.fail "expected exactly one completed catch-up");
+  let victim =
+    Router.node router Harness.Cluster_bench.victim
+  in
+  Alcotest.(check bool) "victim is readable again" true
+    (Node.status victim = Node.Up);
+  Alcotest.(check int) "no misroutes" 0 (Router.misrouted router);
+  Alcotest.(check bool) "audit covered every acked key" true
+    (sc.Harness.Cluster_bench.sc_checked >= r.Run.r_acked);
+  Alcotest.(check int) "zero divergence: no acked write lost" 0
+    (List.length sc.Harness.Cluster_bench.sc_mismatches)
+
+(* ------------------------- migration end to end --------------------------- *)
+
+let test_migration_dual_write_cutover_cleanup () =
+  let sc = Harness.Cluster_bench.rebalance ~seed:4 tiny in
+  let r = sc.Harness.Cluster_bench.sc_result in
+  let s = sc.Harness.Cluster_bench.sc_setup in
+  let router = s.Harness.Cluster_bench.router in
+  let m =
+    match r.Run.r_migrations with
+    | [ m ] -> m
+    | _ -> Alcotest.fail "expected exactly one migration"
+  in
+  Alcotest.(check bool) "migration finished and cleaned" true
+    (Migration.phase m = Migration.Cleaned);
+  Alcotest.(check bool) "copied the snapshot" true
+    (Migration.total m > 0 && Migration.copied m <= Migration.total m);
+  let ring = Router.ring router in
+  let owners = Ring.owners ring (Migration.vshard m) in
+  Alcotest.(check bool) "destination owns the vshard" true
+    (List.mem (Migration.to_node m) owners);
+  Alcotest.(check bool) "source no longer owns it" true
+    (not (List.mem (Migration.from_node m) owners));
+  Alcotest.(check int) "no misroutes across cutover" 0
+    (Router.misrouted router);
+  (* force one more request at the migrated vshard: even if the load
+     never touched it after cutover, the stale route must bounce exactly
+     through NotOwner, never serve from the old owner *)
+  let rec find_key i =
+    if i >= s.Harness.Cluster_bench.n_keys then
+      Alcotest.fail "no key in migrated vshard"
+    else if Ring.vshard_of ring (key i) = Migration.vshard m then key i
+    else find_key (i + 1)
+  in
+  let k = find_key 0 in
+  let probe = Router.submit_read router ~at:(r.Run.r_end_ns +. 1e6) ~bytes:14 k in
+  Alcotest.(check bool) "migrated key still readable" true
+    (match probe.Router.reply with
+    | Proto.Hit _ | Proto.Value _ | Proto.Miss -> true
+    | _ -> false);
+  Alcotest.(check bool) "cutover surfaced as redirects" true
+    (Router.redirects router >= 1);
+  Alcotest.(check int) "zero divergence after migration" 0
+    (List.length sc.Harness.Cluster_bench.sc_mismatches);
+  (* the source actually reclaimed the moved keys *)
+  let src = Router.node router (Migration.from_node m) in
+  let leaked = ref 0 in
+  Node.iter_versions src (fun k _ ->
+      if Ring.vshard_of ring k = Migration.vshard m then incr leaked);
+  Alcotest.(check int) "source dropped the moved vshard" 0 !leaked
+
+(* --------------------------- preload + audit ------------------------------ *)
+
+let test_preload_replicates_and_audits_clean () =
+  let _, _, router = mk_cluster ~n:3 ~replicas:2 ~wq:2 ~rq:1 () in
+  let orc = Run.oracle () in
+  let t0 = Run.preload router orc ~n_keys:500 ~vlen:8 in
+  Alcotest.(check bool) "preload advances time" true (t0 > 0.0);
+  let checked, mms = Run.divergence router orc in
+  Alcotest.(check int) "two replica reads per key" 1000 checked;
+  Alcotest.(check int) "clean audit" 0 (List.length mms)
+
+let () =
+  Alcotest.run "cluster"
+    [ ( "ring",
+        [ Alcotest.test_case "deterministic and balanced" `Quick
+            test_ring_deterministic_and_balanced;
+          Alcotest.test_case "minimal disruption on add" `Quick
+            test_ring_minimal_disruption;
+          Alcotest.test_case "override set/clear" `Quick test_ring_override ] );
+      ( "quorum",
+        [ Alcotest.test_case "replicated write, versioned read" `Quick
+            test_quorum_write_and_read;
+          Alcotest.test_case "fail-fast without quorum" `Quick
+            test_quorum_failfast_on_owner_down;
+          Alcotest.test_case "stamped apply is idempotent" `Quick
+            test_apply_is_idempotent;
+          Alcotest.test_case "stale route redirects, never misroutes" `Quick
+            test_stale_route_redirects_not_misroutes ] );
+      ( "scenarios",
+        [ Alcotest.test_case "failover: no acked write lost" `Quick
+            test_failover_no_acked_write_lost;
+          Alcotest.test_case "migration: dual-write, cutover, cleanup" `Quick
+            test_migration_dual_write_cutover_cleanup;
+          Alcotest.test_case "preload replicates and audits clean" `Quick
+            test_preload_replicates_and_audits_clean ] ) ]

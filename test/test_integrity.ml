@@ -208,6 +208,48 @@ let test_crash_during_scrub_recovers () =
 
 (* ------------------------------- runner ----------------------------------- *)
 
+(* ----------------------- scrub: budget deficit carry ---------------------- *)
+
+let test_scrub_budget_deficit_carry () =
+  (* The budget is a target, not a hard cap: a pass stops after the
+     artifact that crosses it, so one pass can overshoot.  The overshoot
+     must be carried: the next pass's target shrinks by the excess, so
+     long-run scrub bandwidth converges to [budget] per pass instead of
+     [budget + one artifact] per pass. *)
+  let db = mk () in
+  let c = Clock.create () in
+  load db c 3_000;
+  let budget = 48 * 1024 in
+  let n = 12 in
+  let per_pass = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let r = Store.scrub db c ~budget_bytes:budget in
+    per_pass.(i) <- r.SI.sr_scanned_bytes;
+    Alcotest.(check bool)
+      (Printf.sprintf "pass %d makes progress" i)
+      true
+      (r.SI.sr_scanned_bytes > 0);
+    Alcotest.(check int)
+      (Printf.sprintf "pass %d is clean" i)
+      0 r.SI.sr_detected
+  done;
+  let total = Array.fold_left ( + ) 0 per_pass in
+  let max_pass = Array.fold_left max 0 per_pass in
+  (* the carry telescopes: n passes may exceed n*budget only by the last
+     pass's (bounded, single-artifact) overshoot *)
+  Alcotest.(check bool)
+    (Printf.sprintf "long-run bandwidth converges (%d over %d passes <= %d)"
+       total n ((n * budget) + max_pass))
+    true
+    (total <= (n * budget) + max_pass);
+  (* the signature of the carry: some pass overshoots the nominal budget,
+     and a later pass runs against a shrunken target to pay it back *)
+  let overshot = Array.exists (fun s -> s > budget) per_pass in
+  let compensated = Array.exists (fun s -> s < budget) per_pass in
+  Alcotest.(check bool) "a pass overshot its budget" true overshot;
+  Alcotest.(check bool) "a later pass paid the overshoot back" true
+    compensated
+
 let () =
   Alcotest.run "integrity"
     [ ( "checksums",
@@ -229,4 +271,6 @@ let () =
           Alcotest.test_case "cache invalidated on quarantine" `Quick
             test_cache_invalidated_on_quarantine;
           Alcotest.test_case "crash during scrub" `Quick
-            test_crash_during_scrub_recovers ] ) ]
+            test_crash_during_scrub_recovers;
+          Alcotest.test_case "budget deficit carries between passes" `Quick
+            test_scrub_budget_deficit_carry ] ) ]

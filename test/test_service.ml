@@ -35,7 +35,9 @@ let sample_replies =
     Proto.Miss;
     Proto.Shed;
     Proto.Err "bad things";
+    Proto.Not_owner 3;
     Proto.Replies [ Proto.Ok; Proto.Miss; Proto.Hit 9; Proto.Err "x" ];
+    Proto.Replies [ Proto.Not_owner 0 ];
     Proto.Replies [] ]
 
 let sample_msgs =
@@ -419,6 +421,39 @@ let test_square_wave_rates () =
   Alcotest.(check (float 0.0)) "next period bursts again" 10.0
     (Loadgen.rate_at p ~elapsed_ns:1250.0)
 
+let test_same_seed_identical_streams () =
+  (* the cluster experiments lean on this: two runs with the same seed
+     must see byte-identical request streams, for Poisson and for the
+     bursty square wave alike *)
+  let mk process seed =
+    Loadgen.open_loop ~seed ~conns:3 ~process
+      ~reqgen:(Loadgen.mixed_reqgen ~n_keys:500 ~get_frac:0.7 ~vlen:8)
+      ~duration_ns:800_000.0 ~start_at:10.0 ()
+  in
+  let identical a b =
+    Array.length a = Array.length b
+    && Array.for_all2
+         (fun x y ->
+           x.Server.at = y.Server.at
+           && x.Server.conn = y.Server.conn
+           && Bytes.equal x.Server.frame y.Server.frame)
+         a b
+  in
+  List.iter
+    (fun (name, process) ->
+      let a = mk process 21 and b = mk process 21 and c = mk process 22 in
+      Alcotest.(check bool)
+        (name ^ ": same seed is byte-identical")
+        true (identical a b);
+      Alcotest.(check bool)
+        (name ^ ": different seed differs")
+        false (identical a c))
+    [ ("poisson", Loadgen.Poisson { rate_mops = 1.5 });
+      ( "square",
+        Loadgen.Square
+          { base_mops = 0.5; burst_mops = 5.0; period_ns = 100_000.0;
+            duty = 0.3 } ) ]
+
 let test_merge_interleaves () =
   let mk base =
     Array.init 5 (fun i ->
@@ -475,6 +510,123 @@ let test_endpoint_roundtrip () =
     (Endpoint.request c (Proto.Get 5L) = Proto.Miss);
   Endpoint.close c;
   ignore (Thread.join server)
+
+let test_endpoint_batch_and_malformed_inner () =
+  (* Batch end-to-end over the socket: one frame in, per-op replies out.
+     Then a batch frame whose inner op carries an unknown tag: the server
+     must answer [Err] and close that connection (sticky corrupt), while
+     continuing to serve fresh connections. *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ckv-test-batch-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    { Chameleondb.Config.default with
+      Chameleondb.Config.shards = 4;
+      memtable_slots = 64;
+      materialize_values = true }
+  in
+  let sdb = Chameleondb.Store.create ~cfg () in
+  let clock = Pmem_sim.Clock.create () in
+  let backend =
+    Endpoint.backend_of_store ~clock (Chameleondb.Store.store sdb)
+  in
+  (* corrupt frames do not count as served requests, so exactly two good
+     requests let the server exit *)
+  let server =
+    Thread.create (fun () -> Endpoint.serve ~max_requests:2 ~path backend) ()
+  in
+  let rec wait_sock n =
+    if n = 0 then Alcotest.fail "socket never appeared";
+    if not (Sys.file_exists path) then begin
+      Thread.delay 0.05;
+      wait_sock (n - 1)
+    end
+  in
+  wait_sock 100;
+  (* 1: a pipelined batch gets one reply per inner op, in order *)
+  let c = Endpoint.connect path in
+  (match
+     Endpoint.request c
+       (Proto.Batch
+          [ Proto.Put (9L, Bytes.of_string "vv"); Proto.Get 9L;
+            Proto.Delete 9L; Proto.Get 9L ])
+   with
+  | Proto.Replies [ Proto.Ok; Proto.Value v; Proto.Ok; Proto.Miss ] ->
+    Alcotest.(check string) "batch get sees the batch put" "vv"
+      (Bytes.to_string v)
+  | r -> Alcotest.failf "unexpected batch reply: %a" Proto.pp_reply r);
+  Endpoint.close c;
+  (* 2: same frame, inner op tag smashed to an unknown value *)
+  let frame = Proto.encode_request (Proto.Batch [ Proto.Get 1L ]) in
+  Bytes.set frame (Bytes.length frame - 9) '\xEE';
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let off = ref 0 in
+  while !off < Bytes.length frame do
+    off := !off + Unix.write fd frame !off (Bytes.length frame - !off)
+  done;
+  let d = Proto.decoder () in
+  let buf = Bytes.create 1024 in
+  let rec read_reply () =
+    match Proto.next d with
+    | `Msg (Proto.Reply r) -> r
+    | `Msg (Proto.Request _) -> Alcotest.fail "server sent a request"
+    | `Corrupt m -> Alcotest.fail ("client decoder corrupt: " ^ m)
+    | `Await ->
+      let n = Unix.read fd buf 0 (Bytes.length buf) in
+      if n = 0 then Alcotest.fail "connection closed before the Err reply";
+      Proto.feed d buf ~off:0 ~len:n;
+      read_reply ()
+  in
+  (match read_reply () with
+  | Proto.Err _ -> ()
+  | r -> Alcotest.failf "malformed batch earned %a, not Err" Proto.pp_reply r);
+  (* the poisoned connection is closed, not resumed *)
+  let rec read_eof () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | _ -> read_eof ()
+  in
+  read_eof ();
+  Unix.close fd;
+  (* 3: the server still serves fresh connections afterwards *)
+  let c2 = Endpoint.connect path in
+  Alcotest.(check bool) "server survives the poisoned connection" true
+    (Endpoint.request c2 (Proto.Get 1L) = Proto.Miss);
+  Endpoint.close c2;
+  ignore (Thread.join server)
+
+let test_endpoint_redirect () =
+  (* routing-aware backend: keys the redirect function disowns earn an
+     explicit [Not_owner] hint — standalone and inside a batch — and are
+     never executed against the store *)
+  let cfg =
+    { Chameleondb.Config.default with
+      Chameleondb.Config.shards = 4;
+      memtable_slots = 64 }
+  in
+  let sdb = Chameleondb.Store.create ~cfg () in
+  let clock = Pmem_sim.Clock.create () in
+  let redirect k = if k = 5L then Some 3 else None in
+  let backend =
+    Endpoint.backend_of_store ~redirect ~clock (Chameleondb.Store.store sdb)
+  in
+  Alcotest.(check bool) "get refused" true
+    (backend (Proto.Get 5L) = Proto.Not_owner 3);
+  Alcotest.(check bool) "put refused" true
+    (backend (Proto.Put (5L, Bytes.of_string "x")) = Proto.Not_owner 3);
+  Alcotest.(check bool) "delete refused" true
+    (backend (Proto.Delete 5L) = Proto.Not_owner 3);
+  Alcotest.(check bool) "owned keys still served" true
+    (backend (Proto.Put (6L, Bytes.of_string "y")) = Proto.Ok);
+  (match backend (Proto.Batch [ Proto.Get 5L; Proto.Get 6L ]) with
+  | Proto.Replies [ Proto.Not_owner 3; (Proto.Hit _ | Proto.Value _) ] -> ()
+  | r -> Alcotest.failf "batch redirect: %a" Proto.pp_reply r);
+  (* the refused put really did not land *)
+  let module S = Kv_common.Store_intf in
+  let got = S.read (Chameleondb.Store.store sdb) clock 5L in
+  Alcotest.(check bool) "refused put never landed" true (got.S.loc = None)
 
 (* ----------------------------- counters diff ----------------------------- *)
 
@@ -546,11 +698,17 @@ let () =
         [ Alcotest.test_case "deterministic sorted schedule" `Quick
             test_open_loop_schedule_sorted_and_deterministic;
           Alcotest.test_case "square wave rates" `Quick test_square_wave_rates;
+          Alcotest.test_case "same seed, byte-identical streams" `Quick
+            test_same_seed_identical_streams;
           Alcotest.test_case "merge interleaves streams" `Quick
             test_merge_interleaves ] );
       ( "endpoint",
         [ Alcotest.test_case "unix socket roundtrip" `Quick
-            test_endpoint_roundtrip ] );
+            test_endpoint_roundtrip;
+          Alcotest.test_case "batch over socket, malformed inner op" `Quick
+            test_endpoint_batch_and_malformed_inner;
+          Alcotest.test_case "redirect refuses disowned keys" `Quick
+            test_endpoint_redirect ] );
       ( "counters",
         [ Alcotest.test_case "runs do not leak into each other" `Quick
             test_run_counters_isolated ] ) ]
