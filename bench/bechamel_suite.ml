@@ -30,8 +30,9 @@ let put_test ~name store =
   Test.make ~name
     (Staged.stage (fun () ->
          incr i;
-         Store_intf.put store clock (Workload.Keyspace.key_of_index !i)
-           ~vlen:8))
+         Store_intf.write store clock
+           (Workload.Keyspace.key_of_index !i)
+           (Store_intf.Sized 8)))
 
 let get_test ~name store =
   let store = loaded_handle store in
@@ -40,7 +41,7 @@ let get_test ~name store =
   Test.make ~name
     (Staged.stage (fun () ->
          ignore
-           (Store_intf.get store clock
+           (Store_intf.read store clock
               (Workload.Keyspace.key_of_index
                  (Workload.Rng.int rng small_scale.Harness.Stores.load_keys)))))
 

@@ -74,7 +74,7 @@ let json_write path body =
 
 (* ------------------------------- ycsb command ---------------------------- *)
 
-let run_ycsb store mix ops threads trace_file cache_mb quick bench_json =
+let run_ycsb store mix ops threads seed trace_file cache_mb quick bench_json =
   let scale = scale_of_quick quick in
   let wall_t0 = Unix.gettimeofday () in
   let cache_bytes = cache_mb * 1024 * 1024 in
@@ -85,6 +85,7 @@ let run_ycsb store mix ops threads trace_file cache_mb quick bench_json =
     | "B" -> Workload.Ycsb.B
     | "C" -> Workload.Ycsb.C
     | "D" -> Workload.Ycsb.D
+    | "E" -> Workload.Ycsb.E
     | "F" -> Workload.Ycsb.F
     | s -> failwith ("unknown YCSB mix: " ^ s)
   in
@@ -129,7 +130,7 @@ let run_ycsb store mix ops threads trace_file cache_mb quick bench_json =
           | _ ->
             if tracing then Obs.Trace.enable ();
             let gen =
-              Workload.Ycsb.create ~mix
+              Workload.Ycsb.create ?seed ~mix
                 ~loaded:scale.Harness.Stores.load_keys ()
             in
             Harness.Runner.run_ops ~store:handle ~threads
@@ -199,7 +200,9 @@ let run_inspect keys quick =
   let db = Chameleondb.Store.create ~cfg () in
   let clock = Pmem_sim.Clock.create () in
   for i = 0 to keys - 1 do
-    Chameleondb.Store.put db clock (Workload.Keyspace.key_of_index i) ~vlen:8
+    Chameleondb.Store.write db clock
+      (Workload.Keyspace.key_of_index i)
+      (Kv_common.Store_intf.Sized 8)
   done;
   Printf.printf "Loaded %d keys in %.2f simulated ms.\n\n" keys
     (Pmem_sim.Clock.now clock /. 1e6);
@@ -397,7 +400,7 @@ let run_scrub store keys faults budget seed quick =
         incr guard;
         let key = Workload.Keyspace.key_of_index (Workload.Rng.int rng keys) in
         if not (Hashtbl.mem victims key) then
-          match Store_intf.get handle clock key with
+          match (Store_intf.read handle clock key).Store_intf.loc with
           | Some loc when loc < Kv_common.Vlog.persisted vlog ->
             if Hashtbl.length victims land 1 = 0 then begin
               let off, len = Kv_common.Vlog.entry_range vlog loc in
@@ -726,7 +729,14 @@ let ycsb_cmd =
   let mix =
     Arg.(
       value & opt string "B"
-      & info [ "mix" ] ~docv:"MIX" ~doc:"LOAD, A, B, C, D or F.")
+      & info [ "mix" ] ~docv:"MIX" ~doc:"LOAD, A, B, C, D, E or F.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Workload generator seed (default: the generator's own).")
   in
   let ops =
     Arg.(
@@ -748,7 +758,7 @@ let ycsb_cmd =
   Cmd.v
     (Cmd.info "ycsb" ~doc:"Run a YCSB workload")
     Term.(
-      const run_ycsb $ store_arg $ mix $ ops $ threads_arg $ trace
+      const run_ycsb $ store_arg $ mix $ ops $ threads_arg $ seed $ trace
       $ cache_mb_arg $ quick_arg $ bench_json_arg)
 
 let crash_cmd =

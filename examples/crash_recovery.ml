@@ -19,7 +19,7 @@ let load_and_crash ~cfg label =
   let db = Store.create ~cfg () in
   let clock = Clock.create () in
   for i = 0 to n - 1 do
-    Store.put db clock (Workload.Keyspace.key_of_index i) ~vlen:8
+    Store.write db clock (Workload.Keyspace.key_of_index i) (Store_intf.Sized 8)
   done;
   Store.crash db;
   let restart = Store.recover db clock in

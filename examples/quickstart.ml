@@ -3,6 +3,7 @@
    Run with:  dune exec examples/quickstart.exe *)
 
 module Store = Chameleondb.Store
+module SI = Kv_common.Store_intf
 module Config = Chameleondb.Config
 module Clock = Pmem_sim.Clock
 
@@ -17,21 +18,21 @@ let () =
   let clock = Clock.create () in
 
   (* Insert some keys (8-byte keys, values live in the Pmem storage log). *)
-  Store.put db clock 42L ~vlen:64;
-  Store.put db clock 7L ~vlen:128;
-  Store.put db clock 42L ~vlen:64;
+  Store.write db clock 42L (SI.Sized 64);
+  Store.write db clock 7L (SI.Sized 128);
+  Store.write db clock 42L (SI.Sized 64);
   (* update: newest version wins *)
-  (match Store.get db clock 42L with
+  (match (Store.read db clock 42L).SI.loc with
   | Some loc -> Printf.printf "42L -> log location %d\n" loc
   | None -> assert false);
 
   (* Delete writes a tombstone; the key disappears. *)
   Store.delete db clock 7L;
-  assert (Store.get db clock 7L = None);
+  assert ((Store.read db clock 7L).SI.loc = None);
 
   (* Load enough data to exercise flushes and compactions. *)
   for i = 0 to 99_999 do
-    Store.put db clock (Workload.Keyspace.key_of_index i) ~vlen:8
+    Store.write db clock (Workload.Keyspace.key_of_index i) (SI.Sized 8)
   done;
   let t = Store.totals db in
   Printf.printf
@@ -48,7 +49,8 @@ let () =
   let t0 = Clock.now clock in
   let hits = ref 0 in
   for i = 0 to 9_999 do
-    if Store.get db clock (Workload.Keyspace.key_of_index i) <> None then
+    if (Store.read db clock (Workload.Keyspace.key_of_index i)).SI.loc <> None
+    then
       incr hits
   done;
   Printf.printf "10k gets: %d hits, %.0f ns average simulated latency\n"
@@ -72,7 +74,7 @@ let () =
   (* Value-log garbage collection (an extension beyond the paper): update a
      slice of keys, then reclaim the superseded log prefix. *)
   for i = 0 to 19_999 do
-    Store.put db clock (Workload.Keyspace.key_of_index i) ~vlen:8
+    Store.write db clock (Workload.Keyspace.key_of_index i) (SI.Sized 8)
   done;
   let stats = Store.gc db clock ~max_entries:20_000 () in
   Printf.printf "GC pass: scanned %d, copied %d live, reclaimed %.1f KB\n"
@@ -86,5 +88,5 @@ let () =
   let restart = Store.recover db clock in
   Printf.printf "crash + recover: restart took %.2f simulated ms\n"
     (restart /. 1e6);
-  assert (Store.get db clock 42L <> None);
+  assert ((Store.read db clock 42L).SI.loc <> None);
   print_endline "quickstart OK"

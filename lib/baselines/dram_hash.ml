@@ -41,6 +41,17 @@ let delete t clock key =
 
 let count t = Robinhood.count t.index
 
+module Scan = Kv_common.Scan
+
+(* A hash index has no order: a scan pays a full snapshot of the index —
+   walk every entry, sort, then serve the range.  Tombstones survive into
+   the stream and are dropped by [Scan.live]. *)
+let scan t clock ~start ~limit =
+  if limit < 0 then invalid_arg "Dram_hash.scan: negative limit";
+  let snap = Scan.of_iter clock ~start (fun f -> Robinhood.iter t.index f) in
+  let entries, _status = Scan.take (Scan.live snap) ~limit in
+  entries
+
 (* Honest crash semantics: the whole index is DRAM, so a power failure
    loses every entry — by design.  What survives is exactly the persisted
    prefix of the log. *)
@@ -92,6 +103,7 @@ let store t : Kv_common.Store_intf.store =
         { loc = None; stage = Kv_common.Store_intf.Corrupt; value = None }
 
     let delete clock key = delete t clock key
+    let scan clock ~start ~limit = scan t clock ~start ~limit
     let flush clock = Vlog.flush t.vlog clock
     let maintenance _ = ()
     let scrub _ ~budget_bytes:_ = Kv_common.Store_intf.empty_scrub_report

@@ -211,6 +211,28 @@ let flush_all t clock =
   if Skiplist.count t.memtable > 0 then flush t clock;
   Vlog.flush t.vlog clock
 
+module Scan = Kv_common.Scan
+
+(* Hash-bucketed runs have no internal order, so every source pays a full
+   snapshot; newest-first source order gives the merge correct shadowing
+   (memtable, then L0 newest first, then L1..Ln). *)
+let scan t clock ~start ~limit =
+  if limit < 0 then invalid_arg "Novelsm.scan: negative limit";
+  let run_stream tbl =
+    if Linear_table.intact tbl clock then
+      Scan.of_iter clock ~start (fun f -> Linear_table.iter tbl clock f)
+    else fun () -> Scan.Error
+  in
+  let mem = Scan.of_iter clock ~start (fun f -> Skiplist.iter t.memtable f) in
+  let lower =
+    List.filter_map
+      (Option.map run_stream)
+      (Array.to_list t.lower)
+  in
+  let merged = Scan.merge ((mem :: List.map run_stream t.l0) @ lower) in
+  let entries, _status = Scan.take (Scan.live merged) ~limit in
+  entries
+
 let crash t =
   Device.crash t.dev;
   Vlog.crash t.vlog;
@@ -246,6 +268,7 @@ let store t : Kv_common.Store_intf.store =
         { loc = None; stage = Kv_common.Store_intf.Corrupt; value = None }
 
     let delete clock key = delete t clock key
+    let scan clock ~start ~limit = scan t clock ~start ~limit
     let flush clock = flush_all t clock
     let maintenance _ = ()
     let scrub _ ~budget_bytes:_ = Kv_common.Store_intf.empty_scrub_report

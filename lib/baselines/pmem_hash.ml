@@ -59,6 +59,17 @@ let recover t clock =
 
 let cceh t = t.index
 
+module Scan = Kv_common.Scan
+
+(* CCEH keeps nothing in key order: a scan bulk-reads every distinct
+   segment, sorts the survivors, and serves the range — the honest cost a
+   pmem hash index pays for ordered access. *)
+let scan t clock ~start ~limit =
+  if limit < 0 then invalid_arg "Pmem_hash.scan: negative limit";
+  let snap = Scan.of_iter clock ~start (fun f -> Cceh.iter t.index clock f) in
+  let entries, _status = Scan.take (Scan.live snap) ~limit in
+  entries
+
 let check_invariants t =
   if Cceh.count t.index < 0 then Error "CCEH count negative"
   else if Cceh.segments t.index < 1 then Error "CCEH has no segments"
@@ -80,6 +91,7 @@ let store t : Kv_common.Store_intf.store =
         { loc = None; stage = Kv_common.Store_intf.Corrupt; value = None }
 
     let delete clock key = delete t clock key
+    let scan clock ~start ~limit = scan t clock ~start ~limit
     let flush clock = Vlog.flush t.vlog clock
     let maintenance _ = ()
     let scrub _ ~budget_bytes:_ = Kv_common.Store_intf.empty_scrub_report

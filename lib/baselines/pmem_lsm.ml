@@ -84,8 +84,7 @@ let shard_of t key =
 
 (* {2 Table construction, with variant-specific extras.} *)
 
-let build_table t shard clock ~slots entries =
-  let tbl = Linear_table.build t.dev clock ~slots entries in
+let register_table t shard clock tbl entries =
   Linear_table.set_tag tbl shard.next_seq;
   shard.next_seq <- shard.next_seq + 1;
   (match t.variant with
@@ -108,6 +107,17 @@ let build_table t shard clock ~slots entries =
   | Nf -> ());
   tbl
 
+let build_table t shard clock ~slots entries =
+  register_table t shard clock (Linear_table.build t.dev clock ~slots entries)
+    entries
+
+(* The last level is the ordered run, as in ChameleonDB: built dense and
+   key-sorted during the wholesale merge rewrite so range scans cursor it. *)
+let build_last_table t shard clock entries =
+  register_table t shard clock
+    (Linear_table.build_sorted t.dev clock entries)
+    entries
+
 let drop_table shard tbl =
   Hashtbl.remove shard.blooms (Linear_table.tag tbl);
   Linear_table.free tbl
@@ -129,8 +139,6 @@ let merge_newest_first ?drop_tombstones clock per_table_entries =
   Kv_common.Merge.newest_first ?drop_tombstones
     ~on_entry:(fun () -> Clock.advance clock Cost_model.key_compare_ns)
     (List.map Kv_common.Merge.of_list per_table_entries)
-
-let round_up_to v m = (v + m - 1) / m * m
 
 (* {2 Level-by-level size-tiered compaction with a leveled last level.} *)
 
@@ -164,16 +172,7 @@ let rec cascade t shard bg ~level =
     let entries =
       merge_newest_first ~drop_tombstones:true bg (sources @ last_entries)
     in
-    let live = List.length entries in
-    let slots =
-      max t.cfg.Config.memtable_slots
-        (round_up_to
-           (int_of_float
-              (Float.ceil
-                 (float_of_int live /. t.cfg.Config.last_level_load_factor)))
-           t.cfg.Config.memtable_slots)
-    in
-    let fresh = build_table t shard bg ~slots entries in
+    let fresh = build_last_table t shard bg entries in
     Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
     (match Levels.last shard.lv with
     | Some old -> drop_table shard old
@@ -371,6 +370,52 @@ let flush_all t clock =
     t.shards;
   Vlog.flush t.vlog clock
 
+(* {2 Range scan: per-shard merge streams, newest source first — MemTable,
+   upper tables by recency, last level — then a cross-shard min-merge.
+   Upper (hashed) runs are snapshotted and sorted; PinK reads its DRAM
+   mirrors, the other variants stream from Pmem with verification.  The
+   sorted last level streams lazily through its cursor.} *)
+
+module Scan = Kv_common.Scan
+
+let scan t clock ~start ~limit =
+  if limit < 0 then invalid_arg "Pmem_lsm.scan: negative limit";
+  Obs.Trace.begin_span clock ~cat:"op" "scan";
+  let run_stream tbl =
+    match t.variant with
+    | Pink ->
+      (* DRAM mirror read: not subject to media faults *)
+      Scan.of_iter clock ~start (fun f ->
+          List.iter (fun (k, l) -> f k l) (table_entries t clock tbl))
+    | Nf | F ->
+      if Linear_table.intact tbl clock then
+        Scan.of_iter clock ~start (fun f -> Linear_table.iter tbl clock f)
+      else fun () -> Scan.Error
+  in
+  let shard_stream shard =
+    let mem =
+      Scan.of_iter clock ~start (fun f ->
+          Flat_table.iter (Memtable.table shard.memtable) f)
+    in
+    let upper =
+      List.map run_stream (Levels.upper_tables_newest_first shard.lv ())
+    in
+    let last =
+      match Levels.last shard.lv with
+      | None -> []
+      | Some tbl when Linear_table.is_sorted tbl ->
+        [ Scan.of_cursor (Linear_table.cursor tbl clock ~start) ]
+      | Some tbl -> [ run_stream tbl ]
+    in
+    Scan.merge ((mem :: upper) @ last)
+  in
+  let merged =
+    Scan.merge (Array.to_list (Array.map shard_stream t.shards))
+  in
+  let entries, _status = Scan.take (Scan.live merged) ~limit in
+  Obs.Trace.end_span clock ~cat:"op" "scan";
+  entries
+
 (* {2 Crash and recovery: only MemTables are volatile (plus the PinK DRAM
    mirrors and the F filters, both rebuilt by scanning the tables).} *)
 
@@ -502,6 +547,7 @@ let store t : Kv_common.Store_intf.store =
         { loc = None; stage = Kv_common.Store_intf.Corrupt; value = None }
 
     let delete clock key = delete t clock key
+    let scan clock ~start ~limit = scan t clock ~start ~limit
     let flush clock = flush_all t clock
     let maintenance _ = ()
     let scrub _ ~budget_bytes:_ = Kv_common.Store_intf.empty_scrub_report

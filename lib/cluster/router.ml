@@ -51,6 +51,7 @@ type t = {
   mutable misrouted : int;
   mutable replica_applies : int;
   mutable degraded_reads : int; (* reads probing fewer than read_quorum *)
+  mutable scan_rejections : int; (* Scan requests refused (no fan-out yet) *)
 }
 
 let create ?(costs = default_costs) ~write_quorum ~read_quorum ring nodes =
@@ -80,7 +81,8 @@ let create ?(costs = default_costs) ~write_quorum ~read_quorum ring nodes =
     unavailable = 0;
     misrouted = 0;
     replica_applies = 0;
-    degraded_reads = 0 }
+    degraded_reads = 0;
+    scan_rejections = 0 }
 
 let ring t = t.ring
 let nodes t = t.nodes
@@ -95,6 +97,7 @@ let unavailable t = t.unavailable
 let misrouted t = t.misrouted
 let replica_applies t = t.replica_applies
 let degraded_reads t = t.degraded_reads
+let scan_rejections t = t.scan_rejections
 
 let invalidate_route t ~vshard = t.route_cache.(vshard) <- None
 
@@ -257,6 +260,13 @@ let rec submit t ~at ~bytes req =
   | Proto.Put (k, v) ->
       submit_write t ~at ~bytes k (Node.Put (vlen_of_payload v))
   | Proto.Delete k -> submit_write t ~at ~bytes k Node.Delete
+  | Proto.Scan _ ->
+    (* an ordered scan crosses every vshard; cross-node merge fan-out is
+       not implemented, so refuse explicitly — counted, connection kept *)
+    t.scan_rejections <- t.scan_rejections + 1;
+    { reply = Proto.Err "scan unsupported by cluster router";
+      finish = at +. (2.0 *. t.costs.net_ns);
+      acked = [] }
   | Proto.Batch reqs ->
       let outcomes =
         List.map

@@ -59,6 +59,10 @@ val misrouted : t -> int
 val replica_applies : t -> int
 val degraded_reads : t -> int
 
+val scan_rejections : t -> int
+(** [Scan] requests refused with an explicit error (cross-node scan
+    fan-out is not implemented); the connection is kept. *)
+
 type outcome = {
   reply : Service.Proto.reply;
   finish : float;  (** client-side completion time *)

@@ -130,6 +130,14 @@ let build_table t clock ~slots entries =
   Linear_table.set_tag tbl (fresh_tag t);
   tbl
 
+(* The last level is the ordered run: built dense and key-sorted so range
+   scans can cursor it.  Sorting rides on the wholesale rewrite the merge
+   does anyway (charged at [sort_per_key_ns]). *)
+let build_last_table t clock entries =
+  let tbl = Linear_table.build_sorted t.dev clock entries in
+  Linear_table.set_tag tbl (fresh_tag t);
+  tbl
+
 let merge_entries = Kv_common.Merge.newest_first
 
 let abi_iter_source t visit = Flat_table.iter t.abi visit
@@ -212,15 +220,7 @@ let rebuild_from_vlog t bg =
   let fresh =
     if live = 0 then None
     else begin
-      let slots =
-        max t.cfg.Config.memtable_slots
-          (round_up_to
-             (int_of_float
-                (Float.ceil
-                   (float_of_int live /. t.cfg.Config.last_level_load_factor)))
-             t.cfg.Config.memtable_slots)
-      in
-      let tbl = build_table t bg ~slots entries in
+      let tbl = build_last_table t bg entries in
       Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size tbl);
       Some tbl
     end
@@ -296,16 +296,7 @@ let last_level_compact t bg =
     Clock.advance bg
       (float_of_int (Flat_table.count t.abi)
       *. Pmem_sim.Cost_model.scan_per_entry_ns);
-  let live = List.length entries in
-  let slots =
-    max t.cfg.Config.memtable_slots
-      (round_up_to
-         (int_of_float
-            (Float.ceil
-               (float_of_int live /. t.cfg.Config.last_level_load_factor)))
-         t.cfg.Config.memtable_slots)
-  in
-  let fresh = build_table t bg ~slots entries in
+  let fresh = build_last_table t bg entries in
   Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
   (match Levels.last t.lv with Some old -> Linear_table.free old | None -> ());
   Levels.set_last t.lv (Some fresh);
@@ -386,16 +377,7 @@ let rec cascade_compact t bg ~level =
         merge_entries ~drop_tombstones:true
           (List.map (table_iter_source bg) tables @ last_source)
       in
-      let live = List.length entries in
-      let slots =
-        max t.cfg.Config.memtable_slots
-          (round_up_to
-             (int_of_float
-                (Float.ceil
-                   (float_of_int live /. t.cfg.Config.last_level_load_factor)))
-             t.cfg.Config.memtable_slots)
-      in
-      let fresh = build_table t bg ~slots entries in
+      let fresh = build_last_table t bg entries in
       Obs.Counters.add_int c_compaction_bytes (Linear_table.byte_size fresh);
       (match Levels.last t.lv with
       | Some old -> Linear_table.free old
@@ -786,10 +768,54 @@ let iter_newest_first t clock f =
   | Some tbl -> Linear_table.iter tbl clock f
   | None -> ()
 
+(* {2 Range scan.}
+
+   One ordered stream per shard, sources listed newest first so the merge
+   resolves versions exactly as [iter_newest_first] does: MemTable, ABI,
+   dumps and upper tables by recency tag, last level.  The unordered DRAM
+   and hashed-run sources are snapshotted and sorted up front (charged per
+   entry visited plus the sort); only the sorted last level streams lazily
+   through its cursor, so a short scan pays for the units it touches.
+   Hashed runs are checksum-verified before their slots are trusted; a
+   failing run makes its stream — and therefore the merge — fail-stop. *)
+
+module Scan = Kv_common.Scan
+
+let scan_stream t clock ~start =
+  let snap iter = Scan.of_iter clock ~start iter in
+  let run_source tbl =
+    if Linear_table.intact tbl clock then
+      snap (fun f -> Linear_table.iter tbl clock f)
+    else fun () -> Scan.Error
+  in
+  let mem = snap (fun f -> Flat_table.iter (Memtable.table t.memtable) f) in
+  let abi =
+    if t.cfg.Config.abi_enabled then [ snap (fun f -> Flat_table.iter t.abi f) ]
+    else []
+  in
+  let tables =
+    List.sort
+      (fun a b -> compare (Linear_table.tag b) (Linear_table.tag a))
+      (Levels.upper_tables_newest_first t.lv () @ t.dumps)
+  in
+  let last =
+    match Levels.last t.lv with
+    | None -> []
+    | Some tbl when Linear_table.is_sorted tbl ->
+      [ Scan.of_cursor (Linear_table.cursor tbl clock ~start) ]
+    | Some tbl -> [ run_source tbl ]
+  in
+  Scan.merge ((mem :: abi) @ List.map run_source tables @ last)
+
 (* {2 Footprints and invariants.} *)
 
 let dram_footprint t =
-  Memtable.footprint_bytes t.memtable +. Flat_table.footprint_bytes t.abi
+  Memtable.footprint_bytes t.memtable
+  +. Flat_table.footprint_bytes t.abi
+  +.
+  match Levels.last t.lv with
+  | Some tbl -> float_of_int (Linear_table.dram_bytes tbl)
+  | None -> 0.0
 
 let pmem_footprint t =
   float_of_int

@@ -139,6 +139,16 @@ val iter_newest_first :
     dumps/upper tables by recency, last level).  The caller deduplicates by
     key; tombstones are passed through. *)
 
+val scan_stream :
+  t -> Pmem_sim.Clock.t -> start:Kv_common.Types.key -> Kv_common.Scan.stream
+(** Ordered merge stream over this shard from the first key [>= start]:
+    newest version per key, tombstones and markers still present (the
+    store's scan filters them after the cross-shard merge).  Unordered
+    sources (MemTable, ABI, hashed runs) are snapshotted and sorted up
+    front; the sorted last level streams lazily through its cursor.  A run
+    that fails verification makes the stream fail-stop with
+    [Scan.Error]. *)
+
 val dram_footprint : t -> float
 val pmem_footprint : t -> float
 

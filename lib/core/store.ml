@@ -149,6 +149,38 @@ let cache_invalidate ?(attributed = true) t clock key =
       Obs.Attribution.add Obs.Attribution.Put_index_insert
         (Clock.now clock -. t0)
 
+(* {2 Range scan.}
+
+   One ordered stream per shard (shadowing resolved inside the shard, see
+   [Shard.scan_stream]), k-way merged into a single global stream — shard
+   key sets are disjoint, so the cross-shard merge is a pure min-merge —
+   then filtered to live entries and capped at [limit].  A shard stream
+   that fail-stops (corrupt run) degrades that shard and truncates the
+   scan at the damage: no fabricated results past it. *)
+let scan t clock ~start ~limit =
+  if limit < 0 then invalid_arg "Store.scan: negative limit";
+  Obs.Trace.begin_span clock ~cat:"op" "scan";
+  let attr = Obs.Attribution.enabled () in
+  let t0 = if attr then Clock.now clock else 0.0 in
+  let shard_stream i =
+    let s = Shard.scan_stream t.shards.(i) clock ~start in
+    fun () ->
+      match s () with
+      | Kv_common.Scan.Error ->
+        t.health.(i) <- Store_intf.Degraded;
+        Kv_common.Scan.Error
+      | e -> e
+  in
+  let merged =
+    Kv_common.Scan.merge
+      (List.init (Array.length t.shards) shard_stream)
+  in
+  let entries, _status = Kv_common.Scan.take (Kv_common.Scan.live merged) ~limit in
+  if attr then
+    Obs.Attribution.add Obs.Attribution.Scan_stream (Clock.now clock -. t0);
+  Obs.Trace.end_span clock ~cat:"op" "scan";
+  entries
+
 let write t clock key spec =
   (match spec with
   | Store_intf.Sized vlen when vlen < 0 ->
@@ -165,8 +197,6 @@ let write t clock key spec =
   Shard.put shard clock key loc ~suspend_compactions:(suspend_compactions t)
     ~can_dump:(can_dump t);
   Obs.Trace.end_span clock ~cat:"op" "put"
-
-let put t clock key ~vlen = write t clock key (Store_intf.Sized vlen)
 
 let delete t clock key =
   Obs.Trace.begin_span clock ~cat:"op" "delete";
@@ -279,8 +309,6 @@ let read t clock key : Store_intf.read_result =
   Modes.Gpm.record_get t.gpm (Clock.now clock -. t0);
   Obs.Trace.end_span clock ~cat:"op" "get";
   result
-
-let get t clock key = (read t clock key).Store_intf.loc
 
 let flush_all t clock =
   Array.iter (fun shard -> Shard.force_flush shard clock) t.shards;
@@ -685,6 +713,7 @@ let store ?(name = "ChameleonDB") t : Kv_common.Store_intf.store =
     let write clock key spec = write t clock key spec
     let read clock key = read t clock key
     let delete clock key = delete t clock key
+    let scan clock ~start ~limit = scan t clock ~start ~limit
     let flush clock = flush_all t clock
     let maintenance clock = ignore (gc t clock ())
     let crash () = crash t

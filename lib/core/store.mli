@@ -9,8 +9,8 @@
       let dev = Pmem_sim.Device.create Pmem_sim.Cost_model.optane in
       let db = Store.create ~dev () in
       let clock = Pmem_sim.Clock.create () in
-      Store.put db clock 42L ~vlen:8;
-      assert (Store.get db clock 42L <> None)
+      Store.write db clock 42L (Kv_common.Store_intf.Sized 8);
+      assert ((Store.read db clock 42L).Kv_common.Store_intf.loc <> None)
     ]} *)
 
 type t
@@ -54,11 +54,16 @@ val read :
     monitor.  With the cache disabled the path is byte-for-byte the
     pre-cache one. *)
 
-val put : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> vlen:int -> unit
-(** Thin wrapper: {!write} with [Sized vlen]. *)
-
-val get : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> Kv_common.Types.loc option
-(** Thin wrapper: [(read ...).loc]. *)
+val scan :
+  t -> Pmem_sim.Clock.t -> start:Kv_common.Types.key -> limit:int ->
+  (Kv_common.Types.key * Kv_common.Types.loc) list
+(** Ordered range scan: up to [limit] live entries with key [>= start] in
+    ascending {!Kv_common.Types.key_compare} order, newest version of each
+    key, tombstones and quarantined keys suppressed.  Built as a k-way
+    merge of per-shard streams (MemTable/ABI/run snapshots plus a lazy
+    cursor over the sorted last level).  A corrupt run fail-stops the
+    scan at the damage and degrades the owning shard.  Raises
+    [Invalid_argument] on a negative limit. *)
 
 val delete : t -> Pmem_sim.Clock.t -> Kv_common.Types.key -> unit
 (** Tombstone write: a header-only log entry plus an index tombstone. *)

@@ -89,17 +89,54 @@ let run_case ~make ?(ops = 4_000) ?(universe = 400) ?crash_site ?crash_after
   let check_key ~context key =
     if !ambiguous <> Some key then begin
       let expect = oracle_mem oracle key in
-      let got = Store_intf.get store clock key <> None in
+      let got = (Store_intf.read store clock key).Store_intf.loc <> None in
       if expect <> got then
         violate "%s: key %Ld expected %s, store says %s" context key
           (if expect then "present" else "absent")
           (if got then "present" else "absent")
     end
   in
+  (* Ordered-scan oracle: the store's scan must return exactly the live
+     oracle keys >= start, in ascending order, truncated at the limit — no
+     phantom, lost, duplicated, or mis-ordered keys.  When the ambiguous
+     key falls inside the range its presence would shift the cut-off, so
+     the check is skipped for that one verification. *)
+  let check_scan ~context ~start ~limit =
+    let ambiguous_in_range =
+      match !ambiguous with
+      | Some k -> Types.key_compare k start >= 0
+      | None -> false
+    in
+    if not ambiguous_in_range then begin
+      let rec firstn n = function
+        | x :: tl when n > 0 -> x :: firstn (n - 1) tl
+        | _ -> []
+      in
+      let expect =
+        List.init universe Keyspace.key_of_index
+        |> List.filter (fun k ->
+               Types.key_compare k start >= 0 && oracle_mem oracle k)
+        |> List.sort Types.key_compare
+        |> firstn limit
+      in
+      let got = List.map fst (Store_intf.scan store clock ~start ~limit) in
+      if got <> expect then
+        violate "%s: scan(%Lu,%d) returned %d keys [%s], oracle expects %d [%s]"
+          context start limit (List.length got)
+          (String.concat ";" (List.map (Printf.sprintf "%Lu") (firstn 8 got)))
+          (List.length expect)
+          (String.concat ";" (List.map (Printf.sprintf "%Lu") (firstn 8 expect)))
+    end
+  in
   let verify_sweep ~context =
     for i = 0 to universe - 1 do
       check_key ~context (Keyspace.key_of_index i)
     done;
+    (* full-range and mid-range ordered scans against the oracle *)
+    check_scan ~context ~start:0L ~limit:universe;
+    check_scan ~context
+      ~start:(Keyspace.key_of_index (universe / 2))
+      ~limit:(max 1 (universe / 8));
     match Store_intf.check_invariants store with
     | Ok () -> ()
     | Error msg -> violate "%s: invariant violated: %s" context msg
@@ -109,7 +146,7 @@ let run_case ~make ?(ops = 4_000) ?(universe = 400) ?crash_site ?crash_after
     match Rng.int rng 20 with
     | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 ->
       inflight := Some key;
-      Store_intf.put store clock key ~vlen:8;
+      Store_intf.write store clock key (Store_intf.Sized 8);
       oracle_record oracle key (Vlog.length vlog - 1) ~deleted:false;
       inflight := None;
       if !ambiguous = Some key then ambiguous := None
@@ -119,6 +156,11 @@ let run_case ~make ?(ops = 4_000) ?(universe = 400) ?crash_site ?crash_after
       oracle_record oracle key (Vlog.length vlog - 1) ~deleted:true;
       inflight := None;
       if !ambiguous = Some key then ambiguous := None
+    | 11 | 12 ->
+      check_scan
+        ~context:(Printf.sprintf "step %d" step)
+        ~start:key
+        ~limit:(1 + Rng.int rng 16)
     | _ -> check_key ~context:(Printf.sprintf "step %d" step) key
   in
   let drive lo hi =
@@ -186,9 +228,11 @@ let profile ~make ?(ops = 4_000) ?(universe = 400) ~seed () =
   for step = 1 to ops do
     let key = Keyspace.key_of_index (Rng.int rng universe) in
     (match Rng.int rng 20 with
-    | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 -> Store_intf.put store clock key ~vlen:8
+    | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 ->
+      Store_intf.write store clock key (Store_intf.Sized 8)
     | 9 | 10 -> Store_intf.delete store clock key
-    | _ -> ignore (Store_intf.get store clock key));
+    | 11 | 12 -> ignore (Store_intf.scan store clock ~start:key ~limit:8)
+    | _ -> ignore (Store_intf.read store clock key));
     if step mod 701 = 0 then Store_intf.flush store clock;
     if step mod 907 = 0 then Store_intf.maintenance store clock;
     if step mod 1103 = 0 then

@@ -56,7 +56,7 @@ let run_seed ~make ~ops ~universe ~faults ~seed ~violations =
       Store_intf.delete store clock key;
       Hashtbl.replace newest key (Vlog.length vlog - 1, true)
     | _ ->
-      Store_intf.put store clock key ~vlen:24;
+      Store_intf.write store clock key (Store_intf.Sized 24);
       Hashtbl.replace newest key (Vlog.length vlog - 1, false)
   done;
   Store_intf.flush store clock;
@@ -142,7 +142,7 @@ let run_seed ~make ~ops ~universe ~faults ~seed ~violations =
     | Error msg -> violate "post-scrub: seed %d invariant violated: %s" seed msg);
     Array.iter
       (fun (key, _) ->
-        Store_intf.put store clock key ~vlen:24;
+        Store_intf.write store clock key (Store_intf.Sized 24);
         let r = Store_intf.read store clock key in
         if r.Store_intf.loc <> None then incr recovered
         else
@@ -202,7 +202,7 @@ let run_chameleon_artifacts ?(seed = 7) ?(ops = 4_000) ?(universe = 300) () =
       Hashtbl.replace present key false
     end
     else begin
-      Store.put db clock key ~vlen:24;
+      Store.write db clock key (Store_intf.Sized 24);
       Hashtbl.replace present key true
     end
   done;

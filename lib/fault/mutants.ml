@@ -39,6 +39,11 @@ let broken_replay () : Kv_common.Store_intf.store =
       let _loc = Vlog.append vlog clock key ~vlen:(-1) in
       ignore (Robinhood.delete !index clock key)
 
+    let scan clock ~start ~limit =
+      let module Scan = Kv_common.Scan in
+      let snap = Scan.of_iter clock ~start (fun f -> Robinhood.iter !index f) in
+      fst (Scan.take (Scan.live snap) ~limit)
+
     let flush clock = Vlog.flush vlog clock
     let maintenance _ = ()
 

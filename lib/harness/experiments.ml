@@ -1035,8 +1035,9 @@ let abl_gc scale =
   for round = 1 to 3 do
     ignore round;
     for i = 0 to n - 1 do
-      Chameleondb.Store.put db clock (Workload.Keyspace.key_of_index i)
-        ~vlen:scale.Stores.vlen
+      Chameleondb.Store.write db clock
+        (Workload.Keyspace.key_of_index i)
+        (Kv_common.Store_intf.Sized scale.Stores.vlen)
     done
   done;
   let vlog = Chameleondb.Store.vlog db in
@@ -1074,7 +1075,8 @@ let abl_gc scale =
   let missing = ref 0 in
   for i = 0 to n - 1 do
     if
-      Chameleondb.Store.get db clock (Workload.Keyspace.key_of_index i) = None
+      (Chameleondb.Store.read db clock (Workload.Keyspace.key_of_index i))
+        .Kv_common.Store_intf.loc = None
     then incr missing
   done;
   Table.print tbl;
@@ -1810,6 +1812,152 @@ let cluster scale =
   pr "zero misroutes; both audits end with zero mismatches.@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Extension: ordered range scans — throughput vs scan length plus a   *)
+(* DRAM-oracle audit across flush / ABI dump / merge / GC / crash.     *)
+(* ------------------------------------------------------------------ *)
+
+let scan_lengths = [ 10; 50; 100; 250; 500 ]
+
+let rec firstn n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: firstn (n - 1) tl
+
+(* Drive one ChameleonDB instance through every structural transition and
+   compare [Store.scan] against a DRAM set oracle after each one.  Returns
+   (checks, mismatches). *)
+let scan_audit ~seed scale =
+  let db = Chameleondb.Store.create ~cfg:(Stores.chameleon_cfg scale) () in
+  let clock = Clock.create () in
+  let oracle : (Types.key, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let rng = Workload.Rng.create ~seed in
+  let universe = 4_096 in
+  let key i = Workload.Keyspace.key_of_index i in
+  let put i =
+    Chameleondb.Store.write db clock (key i) (Store_intf.Sized 8);
+    Hashtbl.replace oracle (key i) ()
+  in
+  let del i =
+    Chameleondb.Store.delete db clock (key i);
+    Hashtbl.remove oracle (key i)
+  in
+  let checks = ref 0 and mismatches = ref 0 in
+  let verify phase ~start ~limit =
+    incr checks;
+    let want =
+      Hashtbl.fold (fun k () acc -> k :: acc) oracle []
+      |> List.filter (fun k -> Types.key_compare k start >= 0)
+      |> List.sort Types.key_compare |> firstn limit
+    in
+    let got =
+      List.map fst (Chameleondb.Store.scan db clock ~start ~limit)
+    in
+    if got <> want then begin
+      incr mismatches;
+      pr "  AUDIT MISMATCH [%s] seed %d start %Lu limit %d: want %d got %d@."
+        phase seed start limit (List.length want) (List.length got)
+    end
+  in
+  let audit phase =
+    verify phase ~start:0L ~limit:(2 * universe);
+    verify phase ~start:(key (universe / 3)) ~limit:64;
+    verify phase ~start:(key (universe - (universe / 8))) ~limit:256;
+    verify phase
+      ~start:(key (Workload.Rng.int rng universe))
+      ~limit:(1 + Workload.Rng.int rng 128)
+  in
+  (* memtable only *)
+  for i = 0 to (universe / 4) - 1 do put i done;
+  audit "memtable";
+  (* flushed runs *)
+  Chameleondb.Store.flush_all db clock;
+  audit "flush";
+  (* more writes: ABI dumps and merges pending, then drained *)
+  for i = universe / 4 to (universe / 2) - 1 do put i done;
+  for _ = 1 to universe / 8 do put (Workload.Rng.int rng (universe / 2)) done;
+  audit "dump-pending";
+  Chameleondb.Store.wait_background db clock;
+  audit "merged";
+  (* rest of the universe plus deletes, through another merge round *)
+  for i = universe / 2 to universe - 1 do put i done;
+  for i = 0 to universe - 1 do if i mod 5 = 0 then del i done;
+  Chameleondb.Store.flush_all db clock;
+  Chameleondb.Store.wait_background db clock;
+  audit "delete+merge";
+  (* value-log GC relocates live entries *)
+  ignore (Chameleondb.Store.gc db clock ());
+  audit "gc";
+  (* crash and recover from pmem state *)
+  Chameleondb.Store.flush_all db clock;
+  Chameleondb.Store.crash db;
+  ignore (Chameleondb.Store.recover db clock);
+  audit "crash+recover";
+  (!checks, !mismatches)
+
+let scan_exp scale =
+  let specs =
+    List.map (Stores.find scale)
+      [ "ChameleonDB"; "Pmem-LSM-PinK"; "Pmem-LSM-NF"; "Pmem-LSM-F" ]
+  in
+  let tbl =
+    Table.create
+      ~title:"scan: ordered range-scan throughput vs scan length (8 threads, \
+              zipfian start keys)"
+      ~columns:
+        [ ("store", Table.Left); ("len", Table.Right);
+          ("scans", Table.Right); ("kscans/s", Table.Right);
+          ("Mkeys/s", Table.Right); ("p50", Table.Right);
+          ("p99", Table.Right) ]
+  in
+  let universe = scale.Stores.load_keys in
+  List.iter
+    (fun spec ->
+      let store = spec.Stores.make () in
+      let load =
+        Stores.load_unique ~store ~threads:8 ~start_at:0.0 ~n:universe
+          ~vlen:scale.Stores.vlen
+      in
+      let cursor = ref (Stores.settled_cursor ~store load) in
+      List.iter
+        (fun len ->
+          let rng = Workload.Rng.create ~seed:((7 * len) + 1) in
+          let zipf = Workload.Zipf.create ~n:universe () in
+          let next () =
+            let ix = Workload.Zipf.scrambled zipf rng ~universe in
+            Types.Scan (Workload.Keyspace.key_of_index ix, len)
+          in
+          let ops = max 400 (scale.Stores.sweep_ops / (4 * len)) in
+          let r =
+            Runner.run_ops ~store ~threads:8 ~start_at:!cursor ~ops ~next ()
+          in
+          cursor := r.Runner.end_ns;
+          let ns = Runner.sim_ns r in
+          Table.add_row tbl
+            [ spec.Stores.name; string_of_int len; string_of_int ops;
+              Table.cell_f (float_of_int ops /. ns *. 1e6);
+              Table.cell_f (float_of_int (ops * len) /. ns *. 1e3);
+              Table.cell_ns
+                (Histogram.percentile r.Runner.scan_latency 50.0);
+              Table.cell_ns
+                (Histogram.percentile r.Runner.scan_latency 99.0) ])
+        scan_lengths)
+    specs;
+  Table.print tbl;
+  pr "Scan audit: DRAM set oracle vs Store.scan after every structural@.";
+  pr "transition (memtable, flush, ABI dump, merge, deletes, GC, crash).@.";
+  List.iter
+    (fun seed ->
+      let checks, mismatches = scan_audit ~seed scale in
+      pr "  seed %3d: %d ordered-scan checks, %d mismatches%s@." seed checks
+        mismatches
+        (if mismatches = 0 then "" else "  << ORDER VIOLATION"))
+    [ 1; 11; 101 ];
+  pr "Shape check: per-scan cost grows sublinearly with length (seek@.";
+  pr "dominates short scans); ChameleonDB tracks Pmem-LSM within a small@.";
+  pr "factor since both serve scans from sorted runs; audit shows 0@.";
+  pr "mismatches at every seed.@.@."
+
+(* ------------------------------------------------------------------ *)
 (* Registry.                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1857,7 +2005,11 @@ let all =
       run = integrity };
     { id = "cluster";
       title = "Extension: cluster scaling, failover and live migration";
-      run = cluster } ]
+      run = cluster };
+    { id = "scan";
+      title = "Extension: ordered range scans — throughput vs length + \
+               oracle audit";
+      run = scan_exp } ]
 
 let ids () = List.map (fun e -> e.id) all
 

@@ -13,6 +13,7 @@ type result = {
   latency : Histogram.t;
   get_latency : Histogram.t;
   put_latency : Histogram.t;
+  scan_latency : Histogram.t;
   device_delta : Stats.t;
   attribution : Obs.Attribution.snapshot;
   counters : (string * float) list;
@@ -47,6 +48,7 @@ let run ?seed ~store ~threads ~start_at ~gen () =
   let latency = Histogram.create () in
   let get_latency = Histogram.create () in
   let put_latency = Histogram.create () in
+  let scan_latency = Histogram.create () in
   let ops = ref 0 in
   let nalive = ref threads in
   while !nalive > 0 do
@@ -64,6 +66,7 @@ let run ?seed ~store ~threads ~start_at ~gen () =
       Histogram.record latency lat;
       (match op with
       | Types.Get _ -> Histogram.record get_latency lat
+      | Types.Scan _ -> Histogram.record scan_latency lat
       | Types.Put _ | Types.Delete _ | Types.Read_modify_write _ ->
         Histogram.record put_latency lat);
       incr ops
@@ -79,6 +82,7 @@ let run ?seed ~store ~threads ~start_at ~gen () =
     latency;
     get_latency;
     put_latency;
+    scan_latency;
     device_delta = Stats.diff ~after:(Device.stats dev) ~before;
     attribution =
       Obs.Attribution.diff ~after:(Obs.Attribution.snapshot ())
@@ -110,13 +114,17 @@ let attribution_table ~name r =
           ("mean/op", Metrics.Table_fmt.Right);
           ("share", Metrics.Table_fmt.Right) ]
   in
-  let section (op : [ `Get | `Put | `Svc ]) hist =
+  let section (op : [ `Get | `Put | `Svc | `Scan ]) hist =
     let n = Histogram.count hist in
     if n > 0 then begin
       let nf = float_of_int n in
       let mean = Histogram.mean hist in
       let op_name =
-        match op with `Get -> "get" | `Put -> "put" | `Svc -> "svc"
+        match op with
+        | `Get -> "get"
+        | `Put -> "put"
+        | `Svc -> "svc"
+        | `Scan -> "scan"
       in
       let covered = ref 0.0 in
       List.iter
@@ -151,6 +159,7 @@ let attribution_table ~name r =
   in
   section `Get r.get_latency;
   section `Put r.put_latency;
+  section `Scan r.scan_latency;
   Metrics.Table_fmt.render tbl
 
 let summary ~name ?(user_bytes = 0.0) ?dram_bytes r =

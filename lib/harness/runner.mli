@@ -17,6 +17,7 @@ type result = {
   latency : Metrics.Histogram.t;
   get_latency : Metrics.Histogram.t; (** subset: Get ops only *)
   put_latency : Metrics.Histogram.t; (** subset: Put / RMW / Delete ops *)
+  scan_latency : Metrics.Histogram.t; (** subset: Scan ops only *)
   device_delta : Pmem_sim.Stats.t;   (** device counters over the run *)
   attribution : Obs.Attribution.snapshot;
       (** per-stage time accumulated during the run (all zero unless

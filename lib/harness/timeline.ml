@@ -66,6 +66,7 @@ let run ~store ~threads ~start_at ~window_ns ~gen () =
       | Types.Get _ ->
         b.b_gets <- b.b_gets + 1;
         Histogram.record b.b_get_hist (t1 -. t0)
+      | Types.Scan _ -> () (* counted in b_ops; neither a get nor a put *)
       | Types.Put _ | Types.Delete _ | Types.Read_modify_write _ ->
         b.b_puts <- b.b_puts + 1)
   done;

@@ -218,6 +218,28 @@ let delete t clock key =
     true
   | `Empty _ | `Full -> false
 
+let iter t clock f =
+  (* one bulk read per distinct segment (directory entries alias segments
+     whose local depth trails the global depth) *)
+  let seen = Hashtbl.create (t.nsegments * 2) in
+  Array.iter
+    (fun seg ->
+      if not (Hashtbl.mem seen seg.off) then begin
+        Hashtbl.add seen seg.off ();
+        let raw =
+          Device.read_bytes t.dev clock ~off:seg.off ~len:(seg_bytes t)
+            ~hint:Bulk
+        in
+        for i = 0 to t.seg_slots - 1 do
+          let key = Bytes.get_int64_le raw (i * Types.slot_bytes) in
+          if not (Int64.equal key Types.empty_key) then
+            f key
+              (Int64.to_int
+                 (Bytes.get_int64_le raw ((i * Types.slot_bytes) + 8)))
+        done
+      end)
+    t.dir
+
 let dram_footprint t =
   float_of_int ((Array.length t.dir * 8) + (t.nsegments * 64))
 

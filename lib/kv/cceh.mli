@@ -29,6 +29,11 @@ val get : t -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
 val delete : t -> Pmem_sim.Clock.t -> Types.key -> bool
 (** In-place tombstone write; [true] if the key was present. *)
 
+val iter : t -> Pmem_sim.Clock.t -> (Types.key -> Types.loc -> unit) -> unit
+(** Visit every occupied slot (tombstones included), one bulk device read
+    per distinct segment — the honest enumeration cost a hash index pays
+    for a snapshot scan. *)
+
 val dram_footprint : t -> float
 (** Directory cache plus per-segment metadata kept in DRAM. *)
 

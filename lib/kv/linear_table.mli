@@ -24,6 +24,23 @@ val build :
     the same key override earlier ones.  Raises [Invalid_argument] if
     [entries] exceed [slots]. *)
 
+val build_sorted :
+  Pmem_sim.Device.t -> Pmem_sim.Clock.t ->
+  (Types.key * Types.loc) list -> t
+(** Ordered variant of the run format used for the last level: the same
+    dense 16 B-slot array, but slots hold the entries in ascending
+    {!Types.key_compare} order (no probing, no holes) and a DRAM fence
+    array records the first key of each write unit.  Charges
+    [sort_per_key_ns] per entry plus the usual checksum/copy/write costs.
+    Later bindings of the same key override earlier ones.  Point {!get}s
+    binary-search the fences and touch exactly one unit; {!iter} and
+    {!cursor} stream in key order. *)
+
+val is_sorted : t -> bool
+
+val dram_bytes : t -> int
+(** DRAM resident bytes of the run's fence index (0 for hashed runs). *)
+
 val slots : t -> int
 val count : t -> int
 (** Live entries. *)
@@ -55,7 +72,25 @@ val intact : ?charge_read:bool -> t -> Pmem_sim.Clock.t -> bool
 
 val iter : t -> Pmem_sim.Clock.t -> (Types.key -> Types.loc -> unit) -> unit
 (** Stream the whole table from the device (one bulk read) and apply [f] to
-    live slots — the read half of a compaction. *)
+    live slots — the read half of a compaction.  On a sorted run the order
+    is ascending {!Types.key_compare}. *)
+
+type cursor
+(** Lazy ordered iterator over a {!build_sorted} run: units are bulk-read
+    and checksum-verified one at a time as the cursor crosses into them, so
+    a short scan touching one unit pays for one unit. *)
+
+val cursor : t -> Pmem_sim.Clock.t -> start:Types.key -> cursor
+(** Position a cursor at the first entry whose key is [>= start] (fence
+    binary search, charged per compare).  Raises [Invalid_argument] on a
+    hashed run. *)
+
+val cursor_next :
+  cursor -> [ `Entry of Types.key * Types.loc | `End | `Corrupt ]
+(** Next entry in ascending key order.  Tombstone and quarantine locations
+    are emitted as-is — suppression is the merge layer's job.  A unit that
+    fails verification makes the cursor fail-stop: [`Corrupt] from then
+    on. *)
 
 val free : t -> unit
 (** Return the allocation to the device accounting. *)

@@ -63,6 +63,16 @@ module type STORE = sig
   val write : Pmem_sim.Clock.t -> Types.key -> value_spec -> unit
   val read : Pmem_sim.Clock.t -> Types.key -> read_result
   val delete : Pmem_sim.Clock.t -> Types.key -> unit
+
+  val scan :
+    Pmem_sim.Clock.t -> start:Types.key -> limit:int ->
+    (Types.key * Types.loc) list
+  (* Up to [limit] live entries with key >= [start], in ascending
+     [Types.key_compare] order, newest version of each key, tombstones
+     and quarantined keys suppressed.  A scan that hits a corrupt run
+     fail-stops: it returns the prefix gathered so far and marks the
+     shard degraded rather than fabricate results past the damage. *)
+
   val flush : Pmem_sim.Clock.t -> unit
   val maintenance : Pmem_sim.Clock.t -> unit
   val crash : unit -> unit
@@ -84,6 +94,13 @@ let name (module S : STORE) = S.name
 let write (module S : STORE) clock key spec = S.write clock key spec
 let read (module S : STORE) clock key = S.read clock key
 let delete (module S : STORE) clock key = S.delete clock key
+let scan (module S : STORE) clock ~start ~limit = S.scan clock ~start ~limit
+
+let scan_fold (module S : STORE) clock ~start ~limit ~init f =
+  List.fold_left
+    (fun acc (k, loc) -> f acc k loc)
+    init
+    (S.scan clock ~start ~limit)
 let flush (module S : STORE) clock = S.flush clock
 let maintenance (module S : STORE) clock = S.maintenance clock
 let crash (module S : STORE) = S.crash ()
@@ -98,11 +115,6 @@ let device (module S : STORE) = S.device
 let vlog (module S : STORE) = S.vlog
 let fault_points (module S : STORE) = S.fault_points
 
-(* Thin convenience wrappers over [read]/[write] — the blessed way to ask
-   the simpler questions.  Everything else drives the two-method API. *)
-let put (module S : STORE) clock key ~vlen = S.write clock key (Sized vlen)
-let get (module S : STORE) clock key = (S.read clock key).loc
-
 let apply (module S : STORE) clock (op : Types.op) =
   match op with
   | Types.Put (k, vlen) -> S.write clock k (Sized vlen)
@@ -111,3 +123,4 @@ let apply (module S : STORE) clock (op : Types.op) =
   | Types.Read_modify_write (k, vlen) ->
     ignore (S.read clock k);
     S.write clock k (Sized vlen)
+  | Types.Scan (k, limit) -> ignore (S.scan clock ~start:k ~limit)

@@ -5,13 +5,13 @@
     stores through the accessors below without knowing the design.  All
     operations charge simulated time to the supplied clock.
 
-    The read/write surface is deliberately narrow: one {!STORE.read} that
-    returns everything a get can know (location, answering structure,
-    payload when available) and one {!STORE.write} that takes a
-    {!value_spec} (a size for accounting-only runs, real bytes for
-    materialized ones).  The old [get]/[get_detail]/[get_value] and
-    [put]/[put_value] sprawl collapsed into these two; {!get} and {!put}
-    survive only as thin convenience wrappers. *)
+    The op surface is deliberately narrow: one {!STORE.read} that returns
+    everything a get can know (location, answering structure, payload when
+    available), one {!STORE.write} that takes a {!value_spec} (a size for
+    accounting-only runs, real bytes for materialized ones), and one
+    {!STORE.scan} for ordered ranges.  The old [get]/[put] sprawl — and
+    the thin wrappers that briefly survived it — is gone: every caller
+    drives [read]/[write]/[scan] directly. *)
 
 type read_stage =
   | Memtable  (** DRAM MemTable *)
@@ -77,6 +77,15 @@ module type STORE = sig
 
   val delete : Pmem_sim.Clock.t -> Types.key -> unit
 
+  val scan :
+    Pmem_sim.Clock.t -> start:Types.key -> limit:int ->
+    (Types.key * Types.loc) list
+  (** Up to [limit] live entries with key [>= start], in ascending
+      {!Types.key_compare} order: newest version of each key, tombstones
+      and quarantined keys suppressed.  A scan that reaches a corrupt run
+      fail-stops — it returns the prefix gathered before the damage and
+      degrades the shard — rather than fabricate results. *)
+
   val flush : Pmem_sim.Clock.t -> unit
   (** Push buffered state (log batch, MemTables) to the device. *)
 
@@ -132,6 +141,16 @@ val name : store -> string
 val write : store -> Pmem_sim.Clock.t -> Types.key -> value_spec -> unit
 val read : store -> Pmem_sim.Clock.t -> Types.key -> read_result
 val delete : store -> Pmem_sim.Clock.t -> Types.key -> unit
+
+val scan :
+  store -> Pmem_sim.Clock.t -> start:Types.key -> limit:int ->
+  (Types.key * Types.loc) list
+
+val scan_fold :
+  store -> Pmem_sim.Clock.t -> start:Types.key -> limit:int ->
+  init:'a -> ('a -> Types.key -> Types.loc -> 'a) -> 'a
+(** Fold form of {!scan} over the same ordered, shadow-resolved entries. *)
+
 val flush : store -> Pmem_sim.Clock.t -> unit
 val maintenance : store -> Pmem_sim.Clock.t -> unit
 val crash : store -> unit
@@ -146,13 +165,6 @@ val device : store -> Pmem_sim.Device.t
 val vlog : store -> Vlog.t
 val fault_points : store -> Fault_point.site list
 
-(** {1 Convenience wrappers} — thin sugar over {!read}/{!write}. *)
-
-val put : store -> Pmem_sim.Clock.t -> Types.key -> vlen:int -> unit
-(** [write] with [Sized vlen]. *)
-
-val get : store -> Pmem_sim.Clock.t -> Types.key -> Types.loc option
-(** [(read ...).loc]. *)
-
 val apply : store -> Pmem_sim.Clock.t -> Types.op -> unit
-(** Run one workload operation against a store (RMW = read then write). *)
+(** Run one workload operation against a store (RMW = read then write;
+    Scan discards its results after charging their cost). *)

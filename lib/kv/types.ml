@@ -8,15 +8,18 @@ let is_tombstone loc = loc = tombstone
 let is_corrupt loc = loc = corrupt_marker
 let is_live loc = loc >= 0
 let slot_bytes = 16
+let key_compare = Int64.unsigned_compare
 
 type op =
   | Put of key * int
   | Get of key
   | Delete of key
   | Read_modify_write of key * int
+  | Scan of key * int
 
 let pp_op ppf = function
   | Put (k, n) -> Format.fprintf ppf "Put(%Ld,%d)" k n
   | Get k -> Format.fprintf ppf "Get(%Ld)" k
   | Delete k -> Format.fprintf ppf "Delete(%Ld)" k
   | Read_modify_write (k, n) -> Format.fprintf ppf "RMW(%Ld,%d)" k n
+  | Scan (k, n) -> Format.fprintf ppf "Scan(%Ld,%d)" k n

@@ -36,11 +36,19 @@ val slot_bytes : int
 (** Bytes per index slot: 8 B key + 8 B location, the 16 B index-entry size
     the paper uses when computing write amplification. *)
 
+val key_compare : key -> key -> int
+(** The canonical key order for range scans: unsigned 64-bit comparison.
+    Every sorted structure (ordered last level, merge iterator, oracle,
+    snapshot scans) must use this single order. *)
+
 type op =
   | Put of key * int       (** insert/update with value length *)
   | Get of key
   | Delete of key
   | Read_modify_write of key * int
       (** YCSB F: get then put of the same key *)
+  | Scan of key * int
+      (** YCSB E: ordered range scan from a start key, inclusive, for a
+          bounded number of live entries *)
 
 val pp_op : Format.formatter -> op -> unit

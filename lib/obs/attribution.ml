@@ -12,8 +12,9 @@ type stage =
   | Svc_queue
   | Svc_execute
   | Svc_encode
+  | Scan_stream
 
-let nstages = 13
+let nstages = 14
 
 let index = function
   | Get_cache -> 0
@@ -29,11 +30,12 @@ let index = function
   | Svc_queue -> 10
   | Svc_execute -> 11
   | Svc_encode -> 12
+  | Scan_stream -> 13
 
 let all =
   [ Get_cache; Get_memtable; Get_abi; Get_level_probe; Get_log_read;
     Put_batch_copy; Put_index_insert; Put_flush_stall; Put_compaction_stall;
-    Svc_decode; Svc_queue; Svc_execute; Svc_encode ]
+    Svc_decode; Svc_queue; Svc_execute; Svc_encode; Scan_stream ]
 
 let name = function
   | Get_cache -> "cache"
@@ -49,6 +51,7 @@ let name = function
   | Svc_queue -> "svc-queue"
   | Svc_execute -> "svc-execute"
   | Svc_encode -> "svc-encode"
+  | Scan_stream -> "scan-stream"
 
 let op_of = function
   | Get_cache | Get_memtable | Get_abi | Get_level_probe | Get_log_read ->
@@ -57,6 +60,7 @@ let op_of = function
   | Put_compaction_stall ->
     `Put
   | Svc_decode | Svc_queue | Svc_execute | Svc_encode -> `Svc
+  | Scan_stream -> `Scan
 
 let on = ref false
 let acc = Array.make nstages 0.0

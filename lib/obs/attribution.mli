@@ -13,7 +13,10 @@
     background flush vs. behind a compaction.  Service stages (the [`Svc]
     class) attribute a request's life inside the serving pipeline: frame
     decode, scheduler-queue wait, store execution, reply encode — their sum
-    is the coordinated-omission-free service latency.
+    is the coordinated-omission-free service latency.  The [`Scan]
+    class covers the ordered-range path: per-shard stream setup (snapshot
+    sorts, fence searches) plus the k-way merge pull, charged as one
+    [Scan_stream] stage.
 
     Like {!Trace}, recording is a no-op unless {!enable}d. *)
 
@@ -31,10 +34,11 @@ type stage =
   | Svc_queue
   | Svc_execute
   | Svc_encode
+  | Scan_stream
 
 val all : stage list
 val name : stage -> string
-val op_of : stage -> [ `Get | `Put | `Svc ]
+val op_of : stage -> [ `Get | `Put | `Svc | `Scan ]
 
 val enable : unit -> unit
 val disable : unit -> unit
@@ -52,5 +56,5 @@ type snapshot
 val snapshot : unit -> snapshot
 val diff : after:snapshot -> before:snapshot -> snapshot
 val stage_ns : snapshot -> stage -> float
-val total : op:[ `Get | `Put | `Svc ] -> snapshot -> float
+val total : op:[ `Get | `Put | `Svc | `Scan ] -> snapshot -> float
 (** Sum of the stage times belonging to one operation kind. *)

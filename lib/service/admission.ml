@@ -64,7 +64,7 @@ let write_cost t =
    unrepaired corruption pay the degraded multiplier, so the scrubber's
    repair traffic is not raced by a write flood into the same shard. *)
 let rec write_tokens t = function
-  | Proto.Get _ -> 0.0
+  | Proto.Get _ | Proto.Scan _ -> 0.0
   | Proto.Put (k, _) | Proto.Delete k ->
     let base = write_cost t in
     if t.signals.Signals.shard_degraded k then base *. t.degraded_write_cost

@@ -41,6 +41,22 @@ let backend_of_store ?redirect ~clock store =
         | Error `Corrupt -> Proto.Corrupted)
       | { S.stage = S.Corrupt; _ } -> Proto.Corrupted
       | { S.loc = None; _ } -> Proto.Miss)
+    | Proto.Scan _ when redirect <> None ->
+      (* a scan spans the whole keyspace; a routed node owning only some
+         shards cannot answer it alone *)
+      Proto.Err "scan unsupported on routed node"
+    | Proto.Scan (start, limit) -> (
+      let entries = S.scan store clock ~start ~limit in
+      let materialize (k, loc) =
+        match Kv_common.Vlog.value_at vlog clock loc with
+        | Ok (Some v) -> Some (k, Bytes.length v, Some v)
+        | Ok None -> Some (k, Kv_common.Vlog.vlen_at vlog loc, None)
+        | Error `Corrupt -> None
+      in
+      let out = List.map materialize entries in
+      (* a corrupt record fails the whole scan closed, like a corrupt get *)
+      if List.exists Option.is_none out then Proto.Corrupted
+      else Proto.Values (List.filter_map Fun.id out))
     | Proto.Put (k, v) ->
       S.write store clock k (S.Payload v);
       Proto.Ok

@@ -17,6 +17,7 @@ type req =
   | Put of key * bytes
   | Delete of key
   | Batch of req list
+  | Scan of key * int  (* start key, limit (1..max_batch) *)
 
 type reply =
   | Ok
@@ -28,6 +29,9 @@ type reply =
   | Not_owner of int
   | Err of string
   | Replies of reply list
+  | Values of (key * int * bytes option) list
+      (* (key, vlen, value) per scanned entry; value is [None] when the
+         server answers locations without materialising payloads *)
 
 type msg = Request of req | Reply of reply
 
@@ -41,6 +45,7 @@ let t_get = 0x01
 let t_put = 0x02
 let t_delete = 0x03
 let t_batch = 0x04
+let t_scan = 0x05
 let t_ok = 0x11
 let t_value = 0x12
 let t_hit = 0x13
@@ -50,6 +55,7 @@ let t_err = 0x16
 let t_replies = 0x17
 let t_corrupted = 0x18
 let t_not_owner = 0x19
+let t_values = 0x1A
 
 (* ------------------------------ encoding ------------------------------ *)
 
@@ -73,6 +79,12 @@ let rec add_req ?(top = true) b = function
     Buffer.add_uint8 b t_batch;
     Buffer.add_uint16_le b (List.length reqs);
     List.iter (add_req ~top:false b) reqs
+  | Scan (key, limit) ->
+    if limit < 1 || limit > max_batch then
+      invalid_arg "Proto: scan limit out of range";
+    Buffer.add_uint8 b t_scan;
+    Buffer.add_int64_le b key;
+    Buffer.add_uint16_le b limit
 
 let rec add_reply ?(top = true) b = function
   | Ok -> Buffer.add_uint8 b t_ok
@@ -100,6 +112,24 @@ let rec add_reply ?(top = true) b = function
     Buffer.add_uint8 b t_replies;
     Buffer.add_uint16_le b (List.length rs);
     List.iter (add_reply ~top:false b) rs
+  | Values entries ->
+    if List.length entries > max_batch then
+      invalid_arg "Proto: too many scan entries";
+    Buffer.add_uint8 b t_values;
+    Buffer.add_uint16_le b (List.length entries);
+    List.iter
+      (fun (key, vlen, v) ->
+        if vlen < 0 || vlen > max_body_bytes then
+          invalid_arg "Proto: scan entry vlen out of range";
+        Buffer.add_int64_le b key;
+        add_u32 b vlen;
+        match v with
+        | None -> Buffer.add_uint8 b 0
+        | Some v ->
+          Buffer.add_uint8 b 1;
+          add_u32 b (Bytes.length v);
+          Buffer.add_bytes b v)
+      entries
 
 let frame body =
   let n = Buffer.length body in
@@ -180,6 +210,12 @@ let rec parse_req ?(top = true) c =
     let n = read_u16 c "batch count" in
     if n > max_batch then corrupt "batch count %d out of range" n;
     Batch (List.init n (fun _ -> parse_req ~top:false c))
+  | t when t = t_scan ->
+    let key = read_key c in
+    let limit = read_u16 c "scan limit" in
+    if limit < 1 || limit > max_batch then
+      corrupt "scan limit %d out of range" limit;
+    Scan (key, limit)
   | t -> corrupt "unknown request tag 0x%02x" t
 
 let rec parse_reply ?(top = true) c =
@@ -201,13 +237,26 @@ let rec parse_reply ?(top = true) c =
     let n = read_u16 c "reply count" in
     if n > max_batch then corrupt "reply count %d out of range" n;
     Replies (List.init n (fun _ -> parse_reply ~top:false c))
+  | t when t = t_values ->
+    let n = read_u16 c "scan entry count" in
+    if n > max_batch then corrupt "scan entry count %d out of range" n;
+    Values
+      (List.init n (fun _ ->
+           let key = read_key c in
+           let vlen = read_u32 c "scan entry vlen" in
+           match read_u8 c "scan entry flag" with
+           | 0 -> (key, vlen, None)
+           | 1 ->
+             let n = read_u32 c "scan entry value" in
+             (key, vlen, Some (read_bytes c n "scan entry value"))
+           | f -> corrupt "scan entry flag %d invalid" f))
   | t -> corrupt "unknown reply tag 0x%02x" t
 
 let parse_body buf ~pos ~len =
   let c = { cbuf = buf; cpos = pos; climit = pos + len } in
   let tag = Char.code (Bytes.get buf pos) in
   let msg =
-    if tag <= t_batch then Request (parse_req c) else Reply (parse_reply c)
+    if tag <= t_scan then Request (parse_req c) else Reply (parse_reply c)
   in
   if c.cpos <> c.climit then
     corrupt "%d trailing bytes in frame" (c.climit - c.cpos);
@@ -291,11 +340,11 @@ let next d =
 (* ------------------------------ utilities ----------------------------- *)
 
 let rec ops_in_req = function
-  | Get _ | Put _ | Delete _ -> 1
+  | Get _ | Put _ | Delete _ | Scan _ -> 1
   | Batch reqs -> List.fold_left (fun a r -> a + ops_in_req r) 0 reqs
 
 let rec puts_in_req = function
-  | Get _ -> 0
+  | Get _ | Scan _ -> 0
   | Put _ | Delete _ -> 1
   | Batch reqs -> List.fold_left (fun a r -> a + puts_in_req r) 0 reqs
 
@@ -303,6 +352,7 @@ let rec pp_req ppf = function
   | Get k -> Format.fprintf ppf "Get(%Ld)" k
   | Put (k, v) -> Format.fprintf ppf "Put(%Ld,%dB)" k (Bytes.length v)
   | Delete k -> Format.fprintf ppf "Delete(%Ld)" k
+  | Scan (k, n) -> Format.fprintf ppf "Scan(%Ld,%d)" k n
   | Batch rs ->
     Format.fprintf ppf "Batch[%a]"
       (Format.pp_print_list
@@ -319,6 +369,7 @@ let rec pp_reply ppf = function
   | Corrupted -> Format.fprintf ppf "Corrupted"
   | Not_owner node -> Format.fprintf ppf "NotOwner(%d)" node
   | Err m -> Format.fprintf ppf "Err(%s)" m
+  | Values es -> Format.fprintf ppf "Values(%d)" (List.length es)
   | Replies rs ->
     Format.fprintf ppf "Replies[%a]"
       (Format.pp_print_list

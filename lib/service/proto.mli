@@ -20,6 +20,10 @@ type req =
   | Put of key * bytes
   | Delete of key
   | Batch of req list  (** one frame, several ops; may not nest *)
+  | Scan of key * int
+      (** ordered range scan: start key (inclusive) and entry limit; the
+          limit must lie in [1, {!max_batch}] so one reply frame always
+          fits the result *)
 
 type reply =
   | Ok                 (** put / delete acknowledged *)
@@ -36,6 +40,10 @@ type reply =
           tables surface as an explicit redirect, not wrong data. *)
   | Err of string
   | Replies of reply list  (** one per batched op; may not nest *)
+  | Values of (key * int * bytes option) list
+      (** scan result, ascending key order: (key, value length, payload);
+          the payload is [None] when the store answers locations without
+          materialising values (accounting stores) *)
 
 type msg = Request of req | Reply of reply
 

@@ -107,7 +107,7 @@ type wacc = {
 }
 
 let rec first_key = function
-  | Proto.Get k | Proto.Put (k, _) | Proto.Delete k -> k
+  | Proto.Get k | Proto.Put (k, _) | Proto.Delete k | Proto.Scan (k, _) -> k
   | Proto.Batch [] -> 0L
   | Proto.Batch (r :: _) -> first_key r
 
@@ -345,11 +345,19 @@ let run ?(costs = default_costs) ?(sched = Fifo) ?admission ?(batch_max = 8)
         | { Store_intf.stage = Store_intf.Corrupt; _ } -> Proto.Corrupted
         | _ -> Proto.Miss)
       | Proto.Put (k, v) ->
-        Store_intf.put store clock k ~vlen:(Bytes.length v);
+        Store_intf.write store clock k
+          (Store_intf.Sized (Bytes.length v));
         Proto.Ok
       | Proto.Delete k ->
         Store_intf.delete store clock k;
         Proto.Ok
+      | Proto.Scan (start, limit) ->
+        (* accounting path: answer key + length, never materialize *)
+        let vlog = Store_intf.vlog store in
+        Proto.Values
+          (List.map
+             (fun (k, loc) -> (k, Vlog.vlen_at vlog loc, None))
+             (Store_intf.scan store clock ~start ~limit))
       | Proto.Batch reqs ->
         if top then Proto.Replies (List.map (go false) reqs)
         else Proto.Err "nested batch"

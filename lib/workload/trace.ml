@@ -34,7 +34,8 @@ let save t path =
           | Types.Get k -> Printf.fprintf oc "G %Lu\n" k
           | Types.Delete k -> Printf.fprintf oc "D %Lu\n" k
           | Types.Read_modify_write (k, vlen) ->
-            Printf.fprintf oc "R %Lu %d\n" k vlen)
+            Printf.fprintf oc "R %Lu %d\n" k vlen
+          | Types.Scan (k, limit) -> Printf.fprintf oc "S %Lu %d\n" k limit)
         t.ops)
 
 let parse_line lineno line =
@@ -51,6 +52,9 @@ let parse_line lineno line =
     try Types.Delete (Int64.of_string ("0u" ^ k)) with _ -> fail ())
   | [ "R"; k; v ] -> (
     try Types.Read_modify_write (Int64.of_string ("0u" ^ k), int_of_string v)
+    with _ -> fail ())
+  | [ "S"; k; n ] -> (
+    try Types.Scan (Int64.of_string ("0u" ^ k), int_of_string n)
     with _ -> fail ())
   | _ -> fail ()
 

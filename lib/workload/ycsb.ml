@@ -1,8 +1,8 @@
 module Types = Kv_common.Types
 
-type mix = Load | A | B | C | D | F
+type mix = Load | A | B | C | D | E | F
 
-let all = [ Load; A; B; C; D; F ]
+let all = [ Load; A; B; C; D; E; F ]
 
 let name = function
   | Load -> "YCSB_LOAD"
@@ -10,6 +10,7 @@ let name = function
   | B -> "YCSB_B"
   | C -> "YCSB_C"
   | D -> "YCSB_D"
+  | E -> "YCSB_E"
   | F -> "YCSB_F"
 
 let description = function
@@ -18,6 +19,7 @@ let description = function
   | B -> "95% get / 5% update"
   | C -> "100% get"
   | D -> "Get most recently inserted keys"
+  | E -> "95% short scan / 5% insert"
   | F -> "50% get / 50% read-modify-write"
 
 type t = {
@@ -71,6 +73,11 @@ let next t : Types.op =
   | C -> Types.Get (existing_key t)
   | D ->
     if Rng.int t.rng 100 < 95 then Types.Get (latest_key t)
+    else Types.Put (fresh_key t, t.vlen)
+  | E ->
+    (* zipfian start key, short uniform scan length (YCSB's default 1-100) *)
+    if Rng.int t.rng 100 < 95 then
+      Types.Scan (existing_key t, 1 + Rng.int t.rng 100)
     else Types.Put (fresh_key t, t.vlen)
   | F ->
     if Rng.bool t.rng then Types.Get (existing_key t)

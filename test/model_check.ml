@@ -29,7 +29,7 @@ let model_crash m ~persisted =
 
 let check_key store clock m key ~context =
   let expect = model_mem m key in
-  let got = Store_intf.get store clock key <> None in
+  let got = (Store_intf.read store clock key).Store_intf.loc <> None in
   if expect <> got then
     Alcotest.failf "%s: key %Ld expected %s, store says %s" context key
       (if expect then "present" else "absent")
@@ -46,7 +46,7 @@ let run ?(ops = 20_000) ?(universe = 2_000) ?crash_every ~seed store =
     let key = key_at (Workload.Rng.int rng universe) in
     (match Workload.Rng.int rng 10 with
     | 0 | 1 | 2 | 3 | 4 ->
-      Store_intf.put store clock key ~vlen:8;
+      Store_intf.write store clock key (Store_intf.Sized 8);
       model_put m key (Vlog.length (Store_intf.vlog store) - 1) ~deleted:false
     | 5 ->
       Store_intf.delete store clock key;

@@ -8,6 +8,9 @@ module Config = Chameleondb.Config
 
 let key i = Workload.Keyspace.key_of_index i
 
+let put h c k ~vlen = Store_intf.write h c k (Store_intf.Sized vlen)
+let get h c k = (Store_intf.read h c k).Store_intf.loc
+
 let small_cfg = { Config.default with Config.shards = 4; memtable_slots = 32 }
 
 let lsm variant () =
@@ -29,16 +32,16 @@ let all_stores () =
 let crud_check (h : Store_intf.store) =
   let c = Clock.create () in
   Alcotest.(check bool) ((Store_intf.name h) ^ ": missing") true
-    (Store_intf.get h c 1L = None);
-  Store_intf.put h c 1L ~vlen:8;
+    (get h c 1L = None);
+  put h c 1L ~vlen:8;
   Alcotest.(check bool) ((Store_intf.name h) ^ ": present") true
-    (Store_intf.get h c 1L <> None);
+    (get h c 1L <> None);
   Store_intf.delete h c 1L;
   Alcotest.(check bool) ((Store_intf.name h) ^ ": deleted") true
-    (Store_intf.get h c 1L = None);
-  Store_intf.put h c 1L ~vlen:8;
+    (get h c 1L = None);
+  put h c 1L ~vlen:8;
   Alcotest.(check bool) ((Store_intf.name h) ^ ": reinserted") true
-    (Store_intf.get h c 1L <> None)
+    (get h c 1L <> None)
 
 let test_all_crud () = List.iter crud_check (all_stores ())
 
@@ -46,10 +49,10 @@ let bulk_check (h : Store_intf.store) =
   let c = Clock.create () in
   let n = 8_000 in
   for i = 0 to n - 1 do
-    Store_intf.put h c (key i) ~vlen:8
+    put h c (key i) ~vlen:8
   done;
   for i = 0 to n - 1 do
-    if Store_intf.get h c (key i) = None then
+    if get h c (key i) = None then
       Alcotest.failf "%s: key %d lost during load" (Store_intf.name h) i
   done
 
@@ -59,14 +62,14 @@ let crash_check (h : Store_intf.store) =
   let c = Clock.create () in
   let n = 4_000 in
   for i = 0 to n - 1 do
-    Store_intf.put h c (key i) ~vlen:8
+    put h c (key i) ~vlen:8
   done;
   Store_intf.crash h;
   let persisted = Vlog.persisted (Store_intf.vlog h) in
   Store_intf.recover h c;
   for i = 0 to persisted - 1 do
     let k = Vlog.key_at (Store_intf.vlog h) i in
-    if Store_intf.get h c k = None then
+    if get h c k = None then
       Alcotest.failf "%s: persisted entry %d lost across crash"
         (Store_intf.name h) i
   done
@@ -102,7 +105,7 @@ let test_pmem_hash_write_amplification () =
   let h = Baselines.Pmem_hash.store (Baselines.Pmem_hash.create ()) in
   let c = Clock.create () in
   for i = 0 to 999 do
-    Store_intf.put h c (key i) ~vlen:8
+    put h c (key i) ~vlen:8
   done;
   let st = Device.stats (Store_intf.device h) in
   let wa = st.Stats.media_write_bytes /. (1000.0 *. 24.0) in
@@ -114,7 +117,7 @@ let test_lsm_write_batching () =
   let h = lsm Baselines.Pmem_lsm.Nf () in
   let c = Clock.create () in
   for i = 0 to 9_999 do
-    Store_intf.put h c (key i) ~vlen:8
+    put h c (key i) ~vlen:8
   done;
   Store_intf.flush h c;
   let st = Device.stats (Store_intf.device h) in
@@ -127,7 +130,7 @@ let test_dram_hash_restart_scans_whole_log () =
     let h = Baselines.Dram_hash.store (Baselines.Dram_hash.create ()) in
     let c = Clock.create () in
     for i = 0 to n - 1 do
-      Store_intf.put h c (key i) ~vlen:8
+      put h c (key i) ~vlen:8
     done;
     Store_intf.flush h c;
     Store_intf.crash h;
@@ -148,7 +151,7 @@ let test_lsm_restart_is_bounded () =
     let h = lsm Baselines.Pmem_lsm.Nf () in
     let c = Clock.create () in
     for i = 0 to n - 1 do
-      Store_intf.put h c (key i) ~vlen:8
+      put h c (key i) ~vlen:8
     done;
     Store_intf.crash h;
     let rc = Clock.create () in
@@ -166,7 +169,7 @@ let test_lsm_variant_footprints () =
     let h = lsm variant () in
     let c = Clock.create () in
     for i = 0 to 9_999 do
-      Store_intf.put h c (key i) ~vlen:8
+      put h c (key i) ~vlen:8
     done;
     Store_intf.dram_footprint h
   in
@@ -185,7 +188,7 @@ let test_novelsm_memtable_in_pmem () =
   in
   (* stays in the (in-Pmem) MemTable: no flush, yet heavy media writes *)
   for i = 0 to 999 do
-    Store_intf.put h c (key i) ~vlen:8
+    put h c (key i) ~vlen:8
   done;
   let delta =
     (Device.stats (Store_intf.device h)).Stats.media_write_bytes -. before
@@ -201,7 +204,7 @@ let test_matrixkv_rowtable_traffic () =
     in
     let c = Clock.create () in
     for i = 0 to 2_000 do
-      Store_intf.put h c (key i) ~vlen:8
+      put h c (key i) ~vlen:8
     done;
     (Device.stats (Store_intf.device h)).Stats.media_write_bytes
   in
@@ -215,7 +218,7 @@ let test_pmem_lsm_get_depth () =
   let h = Baselines.Pmem_lsm.store store in
   let c = Clock.create () in
   for i = 0 to 9_999 do
-    Store_intf.put h c (key i) ~vlen:8
+    put h c (key i) ~vlen:8
   done;
   let deep = ref 0 in
   for i = 0 to 999 do
@@ -235,14 +238,14 @@ let flush_durability_check (h : Store_intf.store) =
   let c = Clock.create () in
   let n = 3_000 in
   for i = 0 to n - 1 do
-    Store_intf.put h c (key i) ~vlen:8
+    put h c (key i) ~vlen:8
   done;
   Store_intf.flush h c;
   (* after an explicit flush, a crash must lose nothing *)
   Store_intf.crash h;
   Store_intf.recover h c;
   for i = 0 to n - 1 do
-    if Store_intf.get h c (key i) = None then
+    if get h c (key i) = None then
       Alcotest.failf "%s: key %d lost despite flush" (Store_intf.name h) i
   done
 
@@ -255,7 +258,7 @@ let test_repeated_crashes () =
     (fun (h : Store_intf.store) ->
       let c = Clock.create () in
       for i = 0 to 499 do
-        Store_intf.put h c (key i) ~vlen:8
+        put h c (key i) ~vlen:8
       done;
       Store_intf.flush h c;
       for _ = 1 to 3 do
@@ -263,7 +266,7 @@ let test_repeated_crashes () =
         Store_intf.recover h c
       done;
       for i = 0 to 499 do
-        if Store_intf.get h c (key i) = None then
+        if get h c (key i) = None then
           Alcotest.failf "%s: key %d lost across repeated crashes"
             (Store_intf.name h) i
       done)
@@ -273,14 +276,53 @@ let test_update_semantics_all () =
   List.iter
     (fun (h : Store_intf.store) ->
       let c = Clock.create () in
-      Store_intf.put h c 9L ~vlen:8;
-      let l1 = Store_intf.get h c 9L in
-      Store_intf.put h c 9L ~vlen:8;
-      let l2 = Store_intf.get h c 9L in
+      put h c 9L ~vlen:8;
+      let l1 = get h c 9L in
+      put h c 9L ~vlen:8;
+      let l2 = get h c 9L in
       Alcotest.(check bool)
         ((Store_intf.name h) ^ ": update yields newer location")
         true (l2 > l1))
     (all_stores ())
+
+(* every store must answer the same ordered scan over the same history —
+   including ChameleonDB, run through the identical op sequence *)
+let test_scan_parity_all () =
+  let stores =
+    Chameleondb.Store.store (Chameleondb.Store.create ~cfg:small_cfg ())
+    :: all_stores ()
+  in
+  let n = 400 in
+  let histories =
+    List.map
+      (fun h ->
+        let c = Clock.create () in
+        let rng = Workload.Rng.create ~seed:42 in
+        for _ = 1 to 3 * n do
+          let i = Workload.Rng.int rng n in
+          if Workload.Rng.int rng 10 = 0 then Store_intf.delete h c (key i)
+          else put h c (key i) ~vlen:8
+        done;
+        Store_intf.flush h c;
+        (h, c))
+      stores
+  in
+  let reference = List.hd histories in
+  let scan (h, c) ~start ~limit =
+    List.map fst (Store_intf.scan h c ~start ~limit)
+  in
+  List.iter
+    (fun (start, limit) ->
+      let want = scan reference ~start ~limit in
+      List.iter
+        (fun ((h, _) as hc) ->
+          let got = scan hc ~start ~limit in
+          if got <> want then
+            Alcotest.failf "%s: scan(%Lu,%d) diverges (%d vs %d keys)"
+              (Store_intf.name h) start limit (List.length got)
+              (List.length want))
+        (List.tl histories))
+    [ (0L, 2 * n); (key (n / 2), 31); (key (n - 1), 10); (key n, 5) ]
 
 let () =
   Alcotest.run "baselines"
@@ -300,7 +342,9 @@ let () =
           Alcotest.test_case "repeated crashes (all stores)" `Quick
             test_repeated_crashes;
           Alcotest.test_case "update semantics (all stores)" `Quick
-            test_update_semantics_all ] );
+            test_update_semantics_all;
+          Alcotest.test_case "scan parity (all stores)" `Quick
+            test_scan_parity_all ] );
       ( "design-signatures",
         [ Alcotest.test_case "Pmem-Hash write amplification" `Quick
             test_pmem_hash_write_amplification;

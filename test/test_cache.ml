@@ -9,6 +9,9 @@ module Sweep = Fault.Sweep
 
 let key i = Workload.Keyspace.key_of_index i
 
+let put db c k ~vlen = Store.write db c k (SI.Sized vlen)
+let get db c k = (Store.read db c k).SI.loc
+
 let small_cfg =
   { Config.default with Config.shards = 4; memtable_slots = 32 }
 
@@ -183,12 +186,12 @@ let test_gc_relocates_cached_locations () =
 let test_crash_drops_cache () =
   let db = Store.create ~cfg:(cached_cfg ()) () in
   let c = Clock.create () in
-  Store.put db c (key 1) ~vlen:8;
+  put db c (key 1) ~vlen:8;
   Store.flush_all db c;
   (* an unpersisted tail write, read back through the cache *)
-  Store.put db c (key 2) ~vlen:8;
+  put db c (key 2) ~vlen:8;
   Alcotest.(check bool) "tail visible before crash" true
-    (Store.get db c (key 2) <> None);
+    (get db c (key 2) <> None);
   Store.crash db;
   (match Store.cache_stats db with
   | Some (used, _) -> Alcotest.(check int) "cache emptied by crash" 0 used
@@ -196,9 +199,9 @@ let test_crash_drops_cache () =
   let rc = Clock.create ~at:(Clock.now c) () in
   ignore (Store.recover db rc);
   Alcotest.(check bool) "persisted key survives" true
-    (Store.get db rc (key 1) <> None);
+    (get db rc (key 1) <> None);
   Alcotest.(check bool) "rolled-back key not served from cache" true
-    (Store.get db rc (key 2) = None)
+    (get db rc (key 2) = None)
 
 (* --------------------- Cached / uncached equivalence ---------------------- *)
 
@@ -214,8 +217,8 @@ let test_cached_matches_uncached () =
   let both f = f cached c1; f plain c2 in
   let agree label =
     for i = 0 to universe - 1 do
-      let a = Store.get cached c1 (key i) in
-      let b = Store.get plain c2 (key i) in
+      let a = get cached c1 (key i) in
+      let b = get plain c2 (key i) in
       if a <> b then Alcotest.failf "%s: key %d diverged" label i
     done
   in
@@ -223,8 +226,8 @@ let test_cached_matches_uncached () =
     let k = key (Workload.Rng.int rng universe) in
     (match Workload.Rng.int rng 10 with
     | 0 -> both (fun db c -> Store.delete db c k)
-    | 1 | 2 | 3 -> both (fun db c -> Store.put db c k ~vlen:8)
-    | _ -> both (fun db c -> ignore (Store.get db c k)));
+    | 1 | 2 | 3 -> both (fun db c -> put db c k ~vlen:8)
+    | _ -> both (fun db c -> ignore (get db c k)));
     if step mod 1_000 = 0 then both (fun db c -> Store.flush_all db c)
   done;
   agree "after mixed ops";
@@ -237,8 +240,8 @@ let test_cached_matches_uncached () =
   ignore (Store.recover cached r1);
   ignore (Store.recover plain r2);
   for i = 0 to universe - 1 do
-    let a = Store.get cached r1 (key i) in
-    let b = Store.get plain r2 (key i) in
+    let a = get cached r1 (key i) in
+    let b = get plain r2 (key i) in
     if a <> b then Alcotest.failf "after crash+recover: key %d diverged" i
   done
 
@@ -251,12 +254,12 @@ let test_dram_footprint_accounts_cache () =
   let c1 = Clock.create () and c2 = Clock.create () in
   let n = 3_000 in
   for i = 0 to n - 1 do
-    Store.put cached c1 (key i) ~vlen:8;
-    Store.put plain c2 (key i) ~vlen:8
+    put cached c1 (key i) ~vlen:8;
+    put plain c2 (key i) ~vlen:8
   done;
   for i = 0 to n - 1 do
-    ignore (Store.get cached c1 (key i));
-    ignore (Store.get plain c2 (key i))
+    ignore (get cached c1 (key i));
+    ignore (get plain c2 (key i))
   done;
   let used, cap =
     match Store.cache_stats cached with

@@ -14,6 +14,9 @@ module SI = Kv_common.Store_intf
 
 let key i = Workload.Keyspace.key_of_index i
 
+let put db c k ~vlen = Store.write db c k (SI.Sized vlen)
+let get db c k = (Store.read db c k).SI.loc
+
 let write_bytes db c k v = Store.write db c k (SI.Payload v)
 let read_value db c k = (Store.read db c k).SI.value
 let read_stage db c k = (Store.read db c k).SI.stage
@@ -30,7 +33,7 @@ let full_cycle_keys cfg =
 
 let load db clock n =
   for i = 0 to n - 1 do
-    Store.put db clock (key i) ~vlen:8
+    put db clock (key i) ~vlen:8
   done
 
 (* --------------------------------- Config -------------------------------- *)
@@ -177,21 +180,21 @@ let test_manifest () =
 let test_store_crud () =
   let db = mk () in
   let c = Clock.create () in
-  Alcotest.(check bool) "missing" true (Store.get db c 1L = None);
-  Store.put db c 1L ~vlen:8;
-  Alcotest.(check bool) "present" true (Store.get db c 1L <> None);
+  Alcotest.(check bool) "missing" true (get db c 1L = None);
+  put db c 1L ~vlen:8;
+  Alcotest.(check bool) "present" true (get db c 1L <> None);
   Store.delete db c 1L;
-  Alcotest.(check bool) "deleted" true (Store.get db c 1L = None);
-  Store.put db c 1L ~vlen:8;
-  Alcotest.(check bool) "reinserted" true (Store.get db c 1L <> None)
+  Alcotest.(check bool) "deleted" true (get db c 1L = None);
+  put db c 1L ~vlen:8;
+  Alcotest.(check bool) "reinserted" true (get db c 1L <> None)
 
 let test_store_update_returns_newest () =
   let db = mk () in
   let c = Clock.create () in
-  Store.put db c 5L ~vlen:8;
-  let l1 = Store.get db c 5L in
-  Store.put db c 5L ~vlen:8;
-  let l2 = Store.get db c 5L in
+  put db c 5L ~vlen:8;
+  let l1 = get db c 5L in
+  put db c 5L ~vlen:8;
+  let l2 = get db c 5L in
   Alcotest.(check bool) "newer location" true (l2 > l1)
 
 let test_store_negative_vlen_rejected () =
@@ -199,7 +202,7 @@ let test_store_negative_vlen_rejected () =
   let c = Clock.create () in
   Alcotest.check_raises "negative vlen"
     (Invalid_argument "Store.put: negative value length") (fun () ->
-      Store.put db c 1L ~vlen:(-3))
+      put db c 1L ~vlen:(-3))
 
 let test_store_full_cycle_correct () =
   let db = mk () in
@@ -213,7 +216,7 @@ let test_store_full_cycle_correct () =
   Alcotest.(check bool) "last-level compactions happened" true
     (t.Store.last_compactions > 0);
   for i = 0 to n - 1 do
-    if Store.get db c (key i) = None then
+    if get db c (key i) = None then
       Alcotest.failf "key %d missing after compactions" i
   done;
   (match Store.check_invariants db with
@@ -230,16 +233,16 @@ let test_store_updates_survive_compactions () =
   let updated_locs =
     List.map
       (fun i ->
-        Store.put db c (key i) ~vlen:16;
-        (i, Option.get (Store.get db c (key i))))
+        put db c (key i) ~vlen:16;
+        (i, Option.get (get db c (key i))))
       probe
   in
   for i = n to 2 * n do
-    Store.put db c (key i) ~vlen:8
+    put db c (key i) ~vlen:8
   done;
   List.iter
     (fun (i, loc) ->
-      match Store.get db c (key i) with
+      match get db c (key i) with
       | Some l ->
         Alcotest.(check bool)
           (Printf.sprintf "key %d kept newest version" i)
@@ -255,12 +258,12 @@ let test_store_deletes_survive_compactions () =
   Store.delete db c (key 3);
   Store.delete db c (key (n / 2));
   for i = n to 2 * n do
-    Store.put db c (key i) ~vlen:8
+    put db c (key i) ~vlen:8
   done;
   Alcotest.(check bool) "deleted stays deleted" true
-    (Store.get db c (key 3) = None);
+    (get db c (key 3) = None);
   Alcotest.(check bool) "deleted stays deleted 2" true
-    (Store.get db c (key (n / 2)) = None)
+    (get db c (key (n / 2)) = None)
 
 let test_store_get_stages () =
   let db = mk () in
@@ -292,7 +295,7 @@ let test_recovery_normal () =
   (* every key whose log entry persisted must be readable *)
   for i = 0 to persisted - 1 do
     let k = Vlog.key_at (Store.vlog db) i in
-    if Store.get db rc k = None then
+    if get db rc k = None then
       Alcotest.failf "persisted key at loc %d missing after recovery" i
   done
 
@@ -339,7 +342,7 @@ let test_recovery_wim_preserves_absorbed () =
   let restart = Store.recover db rc in
   for i = 0 to persisted - 1 do
     let k = Vlog.key_at (Store.vlog db) i in
-    if Store.get db rc k = None then
+    if get db rc k = None then
       Alcotest.failf "WIM: persisted key at loc %d lost" i
   done;
   (* WIM restart scans a long log tail: far slower than a normal restart *)
@@ -493,7 +496,7 @@ let test_gc_reclaims_dead_versions () =
   for round = 1 to 3 do
     ignore round;
     for i = 0 to n - 1 do
-      Store.put db c (key i) ~vlen:8
+      put db c (key i) ~vlen:8
     done
   done;
   let before = Vlog.live_bytes (Store.vlog db) in
@@ -507,7 +510,7 @@ let test_gc_reclaims_dead_versions () =
     (Vlog.live_bytes (Store.vlog db) < before);
   Alcotest.(check int) "head advanced" (2 * n) (Vlog.head (Store.vlog db));
   for i = 0 to n - 1 do
-    if Store.get db c (key i) = None then Alcotest.failf "key %d lost by GC" i
+    if get db c (key i) = None then Alcotest.failf "key %d lost by GC" i
   done
 
 let test_gc_preserves_live_prefix () =
@@ -515,14 +518,14 @@ let test_gc_preserves_live_prefix () =
   let c = Clock.create () in
   let n = 3_000 in
   for i = 0 to n - 1 do
-    Store.put db c (key i) ~vlen:8
+    put db c (key i) ~vlen:8
   done;
   (* everything in the scanned prefix is live: GC must copy it all *)
   let stats = Store.gc db c ~max_entries:n () in
   Alcotest.(check int) "all live" n stats.Store.gc_live;
   Alcotest.(check int) "none dead" 0 stats.Store.gc_dead;
   for i = 0 to n - 1 do
-    if Store.get db c (key i) = None then Alcotest.failf "key %d lost" i
+    if get db c (key i) = None then Alcotest.failf "key %d lost" i
   done
 
 let test_gc_tombstones_survive () =
@@ -530,7 +533,7 @@ let test_gc_tombstones_survive () =
   let c = Clock.create () in
   let n = 2_000 in
   for i = 0 to n - 1 do
-    Store.put db c (key i) ~vlen:8
+    put db c (key i) ~vlen:8
   done;
   for i = 0 to (n / 2) - 1 do
     Store.delete db c (key i)
@@ -540,7 +543,7 @@ let test_gc_tombstones_survive () =
   let _ = Store.gc db c ~max_entries:(Vlog.length (Store.vlog db)) () in
   for i = 0 to n - 1 do
     let expect_deleted = i < n / 2 in
-    let present = Store.get db c (key i) <> None in
+    let present = get db c (key i) <> None in
     if present = expect_deleted then
       Alcotest.failf "key %d wrong after GC (present=%b)" i present
   done;
@@ -549,7 +552,7 @@ let test_gc_tombstones_survive () =
   ignore (Store.recover db rc);
   for i = 0 to n - 1 do
     let expect_deleted = i < n / 2 in
-    let present = Store.get db rc (key i) <> None in
+    let present = get db rc (key i) <> None in
     if present = expect_deleted then
       Alcotest.failf "key %d resurrected/lost after GC+crash (present=%b)" i
         present
@@ -562,7 +565,7 @@ let test_gc_stats_consistency () =
   for round = 1 to 2 do
     ignore round;
     for i = 0 to n - 1 do
-      Store.put db c (key i) ~vlen:8
+      put db c (key i) ~vlen:8
     done
   done;
   for i = 0 to (n / 4) - 1 do
@@ -596,7 +599,7 @@ let test_gc_then_crash_preserves_data () =
   for round = 1 to 2 do
     ignore round;
     for i = 0 to n - 1 do
-      Store.put db c (key i) ~vlen:8
+      put db c (key i) ~vlen:8
     done
   done;
   let _ = Store.gc db c ~max_entries:n () in
@@ -604,7 +607,7 @@ let test_gc_then_crash_preserves_data () =
   let rc = Clock.create ~at:(Clock.now c) () in
   ignore (Store.recover db rc);
   for i = 0 to n - 1 do
-    if Store.get db rc (key i) = None then
+    if get db rc (key i) = None then
       Alcotest.failf "key %d lost after GC+crash" i
   done
 
@@ -615,7 +618,7 @@ let test_gc_repeated_passes_converge () =
   for round = 1 to 4 do
     ignore round;
     for i = 0 to n - 1 do
-      Store.put db c (key i) ~vlen:8
+      put db c (key i) ~vlen:8
     done
   done;
   (* run GC to exhaustion: live bytes converge to ~one version per key *)
@@ -633,7 +636,7 @@ let test_gc_repeated_passes_converge () =
     true
     (live < 3 * n * 24);
   for i = 0 to n - 1 do
-    if Store.get db c (key i) = None then Alcotest.failf "key %d lost" i
+    if get db c (key i) = None then Alcotest.failf "key %d lost" i
   done
 
 let test_gc_model_random_ops () =
@@ -648,14 +651,14 @@ let test_gc_model_random_ops () =
     let i = Workload.Rng.int rng universe in
     (match Workload.Rng.int rng 10 with
     | 0 | 1 | 2 | 3 | 4 | 5 ->
-      Store.put db c (key i) ~vlen:8;
+      put db c (key i) ~vlen:8;
       Hashtbl.replace m (key i) true
     | 6 ->
       Store.delete db c (key i);
       Hashtbl.replace m (key i) false
     | _ ->
       let expect = Option.value ~default:false (Hashtbl.find_opt m (key i)) in
-      let got = Store.get db c (key i) <> None in
+      let got = get db c (key i) <> None in
       if expect <> got then
         Alcotest.failf "step %d: key %d expect %b got %b" step i expect got);
     if step mod 4_000 = 0 then ignore (Store.gc db c ~max_entries:5_000 ())
@@ -666,7 +669,7 @@ let test_gc_model_random_ops () =
   ignore (Store.recover db c);
   Hashtbl.iter
     (fun k expect ->
-      let got = Store.get db c k <> None in
+      let got = get db c k <> None in
       if expect <> got then
         Alcotest.failf "after crash: key %Ld expect %b got %b" k expect got)
     m
@@ -695,11 +698,95 @@ let test_iter_sees_updates () =
   let c = Clock.create () in
   let n = 2_000 in
   load db c n;
-  Store.put db c (key 7) ~vlen:16;
-  let newest = Option.get (Store.get db c (key 7)) in
+  put db c (key 7) ~vlen:16;
+  let newest = Option.get (get db c (key 7)) in
   let found = ref (-1) in
   Store.iter db c (fun k loc -> if Int64.equal k (key 7) then found := loc);
   Alcotest.(check int) "newest version" newest !found
+
+(* ------------------------------ Ordered scan ----------------------------- *)
+
+let model_scan model ~start ~limit =
+  Hashtbl.fold (fun k () acc -> k :: acc) model []
+  |> List.filter (fun k -> Types.key_compare k start >= 0)
+  |> List.sort Types.key_compare
+  |> List.filteri (fun i _ -> i < limit)
+
+let check_scan_matches db c model ~start ~limit label =
+  let got = List.map fst (Store.scan db c ~start ~limit) in
+  let want = model_scan model ~start ~limit in
+  if got <> want then
+    Alcotest.failf "%s: scan(%Lu,%d) want %d keys got %d" label start limit
+      (List.length want) (List.length got)
+
+let test_scan_across_structures () =
+  (* the merged stream must shadow correctly whatever mix of memtable,
+     upper runs and last level currently holds the data *)
+  let db = mk () in
+  let c = Clock.create () in
+  let model = Hashtbl.create 1024 in
+  let n = full_cycle_keys small_cfg in
+  let w i =
+    put db c (key i) ~vlen:8;
+    Hashtbl.replace model (key i) ()
+  in
+  let d i =
+    Store.delete db c (key i);
+    Hashtbl.remove model (key i)
+  in
+  let audit label =
+    check_scan_matches db c model ~start:0L ~limit:(2 * n) label;
+    check_scan_matches db c model ~start:(key (n / 3)) ~limit:17 label;
+    check_scan_matches db c model ~start:(key (n - 2)) ~limit:64 label
+  in
+  (* memtable only *)
+  for i = 0 to 20 do w i done;
+  audit "memtable";
+  (* flushed upper runs *)
+  Store.flush_all db c;
+  audit "flushed";
+  (* push through ABI dumps and last-level merges *)
+  for i = 0 to n - 1 do w i done;
+  audit "mid-compaction";
+  Store.wait_background db c;
+  audit "merged";
+  (* overwrites and deletes spanning old and new versions *)
+  for i = 0 to n - 1 do
+    if i mod 3 = 0 then w i;
+    if i mod 7 = 0 then d i
+  done;
+  audit "overwrite+delete";
+  Store.flush_all db c;
+  Store.wait_background db c;
+  audit "settled";
+  (* GC relocates live vlog entries; key order must be untouched *)
+  ignore (Store.gc db c ());
+  audit "gc";
+  (* crash and recover: scans serve from the recovered structures *)
+  Store.flush_all db c;
+  Store.crash db;
+  ignore (Store.recover db c);
+  audit "recovered"
+
+let test_scan_limits_and_bounds () =
+  let db = mk () in
+  let c = Clock.create () in
+  load db c 100;
+  Alcotest.(check int) "limit honoured" 5
+    (List.length (Store.scan db c ~start:0L ~limit:5));
+  Alcotest.(check int) "limit 0 is empty" 0
+    (List.length (Store.scan db c ~start:0L ~limit:0));
+  (match Store.scan db c ~start:0L ~limit:(-1) with
+  | _ -> Alcotest.fail "negative limit accepted"
+  | exception Invalid_argument _ -> ());
+  (* results are strictly ascending with no duplicates *)
+  let keys = List.map fst (Store.scan db c ~start:0L ~limit:200) in
+  Alcotest.(check int) "all keys" 100 (List.length keys);
+  let rec ascending = function
+    | a :: (b :: _ as tl) -> Types.key_compare a b < 0 && ascending tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly ascending" true (ascending keys)
 
 
 (* ----------------------------- Materialized values ----------------------- *)
@@ -726,7 +813,7 @@ let test_value_accounting_mode_returns_none () =
   let db = mk () in
   let c = Clock.create () in
   write_bytes db c 1L (Bytes.of_string "x");
-  Alcotest.(check bool) "present in index" true (Store.get db c 1L <> None);
+  Alcotest.(check bool) "present in index" true (get db c 1L <> None);
   Alcotest.(check bool) "payload not retained" true
     (read_value db c 1L = None)
 
@@ -876,7 +963,7 @@ let prop_iter_counts_live_keys =
           Hashtbl.remove m (key i)
         end
         else begin
-          Store.put db c (key i) ~vlen:8;
+          put db c (key i) ~vlen:8;
           Hashtbl.replace m (key i) ()
         end
       done;
@@ -963,7 +1050,11 @@ let () =
         [ Alcotest.test_case "iter visits live keys once" `Quick
             test_iter_visits_live_keys_once;
           Alcotest.test_case "iter sees updates" `Quick
-            test_iter_sees_updates ] );
+            test_iter_sees_updates;
+          Alcotest.test_case "ordered scan across structures" `Quick
+            test_scan_across_structures;
+          Alcotest.test_case "limits and bounds" `Quick
+            test_scan_limits_and_bounds ] );
       ( "shard-model",
         [ Alcotest.test_case "direct compaction" `Quick
             test_shard_model_direct;

@@ -126,6 +126,27 @@ let test_quorum_write_and_read () =
   let r2 = Router.submit_read router ~at:d.Router.finish ~bytes:14 k in
   Alcotest.(check bool) "deleted reads miss" true (r2.Router.reply = Proto.Miss)
 
+let test_scan_rejected_counted_connection_kept () =
+  (* the hash router cannot range-partition a scan: it must answer an
+     explicit error, count the rejection, and keep serving the client *)
+  let _ring, _nodes, router = mk_cluster ~n:3 ~replicas:2 ~wq:2 ~rq:1 () in
+  let k = key 7 in
+  ignore (Router.submit_write router ~at:0.0 ~bytes:26 k (Node.Put 8));
+  Alcotest.(check int) "no rejections yet" 0 (Router.scan_rejections router);
+  let o = Router.submit router ~at:1e6 ~bytes:14 (Proto.Scan (k, 10)) in
+  (match o.Router.reply with
+  | Proto.Err _ -> ()
+  | r -> Alcotest.failf "scan earned %a, not Err" Proto.pp_reply r);
+  Alcotest.(check int) "rejection counted" 1 (Router.scan_rejections router);
+  Alcotest.(check bool) "reply takes network time" true
+    (o.Router.finish > 1e6);
+  Alcotest.(check bool) "nothing acked" true (o.Router.acked = []);
+  (* the same client keeps working afterwards *)
+  let r = Router.submit_read router ~at:o.Router.finish ~bytes:14 k in
+  Alcotest.(check bool) "later read still served" true
+    (r.Router.reply = Proto.Hit 8);
+  Alcotest.(check int) "still one rejection" 1 (Router.scan_rejections router)
+
 let test_quorum_failfast_on_owner_down () =
   let ring, nodes, router = mk_cluster ~n:3 ~replicas:2 ~wq:2 ~rq:1 () in
   let k = key 42 in
@@ -288,7 +309,9 @@ let () =
           Alcotest.test_case "stamped apply is idempotent" `Quick
             test_apply_is_idempotent;
           Alcotest.test_case "stale route redirects, never misroutes" `Quick
-            test_stale_route_redirects_not_misroutes ] );
+            test_stale_route_redirects_not_misroutes;
+          Alcotest.test_case "scan rejected, counted, connection kept" `Quick
+            test_scan_rejected_counted_connection_kept ] );
       ( "scenarios",
         [ Alcotest.test_case "failover: no acked write lost" `Quick
             test_failover_no_acked_write_lost;

@@ -144,7 +144,7 @@ let test_load_unique () =
   Alcotest.(check int) "loaded" 500 r.Runner.ops;
   let c = Clock.create ~at:(Stores.settled_cursor ~store r) () in
   for i = 0 to 499 do
-    if Store_intf.get store c (key i) = None then
+    if (Store_intf.read store c (key i)).Store_intf.loc = None then
       Alcotest.failf "key %d missing after load" i
   done
 

@@ -21,13 +21,16 @@ let dev () = Device.create Pmem_sim.Cost_model.optane
 
 let key i = Workload.Keyspace.key_of_index i
 
+let put db c k ~vlen = Store.write db c k (SI.Sized vlen)
+let get db c k = (Store.read db c k).SI.loc
+
 let small_cfg = { Config.default with Config.shards = 4; memtable_slots = 32 }
 
 let mk ?(cfg = small_cfg) () = Store.create ~cfg ()
 
 let load db clock n =
   for i = 0 to n - 1 do
-    Store.put db clock (key i) ~vlen:24
+    put db clock (key i) ~vlen:24
   done;
   Store.flush_all db clock;
   Store.wait_background db clock
@@ -141,7 +144,7 @@ let test_quarantine_returns_corrupt_not_miss () =
   let c = Clock.create () in
   load db c 100;
   let k = key 42 in
-  (match Store.get db c k with
+  (match get db c k with
   | Some loc -> Vlog.corrupt_entry (Store.vlog db) loc
   | None -> Alcotest.fail "victim not found");
   ignore (Store.scrub db c ~budget_bytes:max_int);
@@ -153,7 +156,7 @@ let test_quarantine_returns_corrupt_not_miss () =
   Alcotest.(check bool) "other key fine" true
     ((Store.read db c (key 7)).SI.loc <> None);
   (* a fresh write supersedes the quarantine *)
-  Store.put db c k ~vlen:24;
+  put db c k ~vlen:24;
   let r = Store.read db c k in
   Alcotest.(check bool) "rewrite readable" true (r.SI.loc <> None);
   Alcotest.(check bool) "rewrite not corrupt" true (r.SI.stage <> SI.Corrupt)
@@ -167,7 +170,7 @@ let test_cache_invalidated_on_quarantine () =
   (* populate the read cache for the victim *)
   ignore (Store.read db c k);
   ignore (Store.read db c k);
-  (match Store.get db c k with
+  (match get db c k with
   | Some loc -> Vlog.corrupt_entry (Store.vlog db) loc
   | None -> Alcotest.fail "victim not found");
   Store.quarantine db c k;
@@ -181,7 +184,7 @@ let test_crash_during_scrub_recovers () =
   let c = Clock.create () in
   load db c 300;
   let k = key 99 in
-  (match Store.get db c k with
+  (match get db c k with
   | Some loc -> Vlog.corrupt_entry (Store.vlog db) loc
   | None -> Alcotest.fail "victim not found");
   (* a partial pass, then power failure before the scrub completes *)

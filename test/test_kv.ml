@@ -249,6 +249,154 @@ let prop_lt_vs_model =
       List.iter (fun (k, v) -> Hashtbl.replace m (key k) v) pairs;
       Hashtbl.fold (fun k v acc -> acc && LT.get t c k = LT.Found v) m true)
 
+(* ----------------------------- Sorted runs ------------------------------- *)
+
+let test_lt_sorted_build_get () =
+  let d = dev () in
+  let c = Clock.create () in
+  (* shuffled input with a duplicate: build sorts and keeps the last binding *)
+  let entries =
+    [ (key 30, 1); (key 10, 2); (key 50, 3); (key 20, 4); (key 40, 5);
+      (key 10, 99) ]
+  in
+  let t = LT.build_sorted d c entries in
+  Alcotest.(check bool) "sorted" true (LT.is_sorted t);
+  Alcotest.(check bool) "hashed build is not" false
+    (LT.is_sorted (LT.build d c ~slots:16 [ (1L, 1) ]));
+  Alcotest.(check int) "deduped count" 5 (LT.count t);
+  Alcotest.(check bool) "last binding wins" true
+    (LT.get t c (key 10) = LT.Found 99);
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check bool) "point get" true (LT.get t c (key k) = LT.Found v))
+    [ (20, 4); (30, 1); (40, 5); (50, 3) ];
+  Alcotest.(check bool) "absent" true (LT.get t c (key 25) = LT.Absent);
+  Alcotest.(check bool) "fence index in DRAM" true (LT.dram_bytes t > 0);
+  (* iter streams in ascending key order *)
+  let seen = ref [] in
+  LT.iter t c (fun k _ -> seen := k :: !seen);
+  let keys = List.rev !seen in
+  Alcotest.(check int) "iter count" 5 (List.length keys);
+  Alcotest.(check bool) "iter ascending" true
+    (List.sort Types.key_compare keys = keys)
+
+let test_lt_sorted_cursor () =
+  let d = dev () in
+  let c = Clock.create () in
+  let n = 200 in
+  let entries = List.init n (fun i -> (key i, i)) in
+  let t = LT.build_sorted d c entries in
+  (* start mid-range: first entry is the smallest key >= start *)
+  let sorted_keys = List.sort Types.key_compare (List.map fst entries) in
+  let start = List.nth sorted_keys (n / 2) in
+  let cur = LT.cursor t c ~start in
+  let rec drain acc =
+    match LT.cursor_next cur with
+    | `Entry (k, _) -> drain (k :: acc)
+    | `End -> List.rev acc
+    | `Corrupt -> Alcotest.fail "cursor corrupt on a healthy run"
+  in
+  let got = drain [] in
+  let want =
+    List.filter (fun k -> Types.key_compare k start >= 0) sorted_keys
+  in
+  Alcotest.(check bool) "cursor yields exactly the suffix" true (got = want);
+  (* past the end *)
+  let last = List.nth sorted_keys (n - 1) in
+  let cur2 = LT.cursor t c ~start:(Int64.add last 1L) in
+  Alcotest.(check bool) "past-end cursor is empty" true
+    (LT.cursor_next cur2 = `End);
+  (* hashed runs have no order to expose *)
+  let h = LT.build d c ~slots:16 [ (1L, 1) ] in
+  match LT.cursor h c ~start:0L with
+  | _ -> Alcotest.fail "cursor on hashed run accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_lt_sorted_cursor_lazy () =
+  (* a short scan must not pay for the whole run: one unit read, not all *)
+  let d = dev () in
+  let c = Clock.create () in
+  let n = 4_096 in
+  let t = LT.build_sorted d c (List.init n (fun i -> (key i, i))) in
+  let before = (Device.stats d).Pmem_sim.Stats.media_read_bytes in
+  let cur = LT.cursor t c ~start:0L in
+  (match LT.cursor_next cur with
+  | `Entry _ -> ()
+  | _ -> Alcotest.fail "empty cursor");
+  let delta = (Device.stats d).Pmem_sim.Stats.media_read_bytes -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "one unit touched, not the whole run (read %.0f B)" delta)
+    true
+    (delta > 0.0 && delta < float_of_int (LT.byte_size t) /. 4.0)
+
+(* ------------------------------ Scan algebra ----------------------------- *)
+
+module Scan = Kv_common.Scan
+
+let drain_stream s =
+  let rec go acc =
+    match s () with
+    | Scan.Next e -> go (e :: acc)
+    | Scan.Done -> (List.rev acc, `Ok)
+    | Scan.Error -> (List.rev acc, `Corrupt)
+  in
+  go []
+
+let test_scan_merge_newest_wins () =
+  (* same key in several streams: the earliest stream in the list wins *)
+  let newest = Scan.of_sorted [ (2L, 20); (4L, 40) ] in
+  let mid = Scan.of_sorted [ (1L, 100); (2L, 200) ] in
+  let oldest = Scan.of_sorted [ (2L, 2000); (3L, 3000); (4L, 4000) ] in
+  let got, status = drain_stream (Scan.merge [ newest; mid; oldest ]) in
+  Alcotest.(check bool) "clean" true (status = `Ok);
+  Alcotest.(check bool) "newest wins on ties, order kept" true
+    (got = [ (1L, 100); (2L, 20); (3L, 3000); (4L, 40) ])
+
+let test_scan_tombstone_masks_then_drops () =
+  (* tombstone in the newer stream must mask the older binding through the
+     merge, then vanish under [live] *)
+  let newer () = Scan.of_sorted [ (2L, Types.tombstone) ] in
+  let older () = Scan.of_sorted [ (1L, 10); (2L, 20); (3L, 30) ] in
+  let merged, _ = drain_stream (Scan.merge [ newer (); older () ]) in
+  Alcotest.(check bool) "tombstone survives merge" true
+    (List.exists (fun (k, l) -> k = 2L && Types.is_tombstone l) merged);
+  let live, status =
+    drain_stream (Scan.live (Scan.merge [ newer (); older () ]))
+  in
+  Alcotest.(check bool) "clean" true (status = `Ok);
+  Alcotest.(check bool) "deleted key gone, not resurrected" true
+    (live = [ (1L, 10); (3L, 30) ])
+
+let test_scan_error_fail_stop () =
+  (* one broken source poisons the merged stream; entries pulled before the
+     failure are kept, status reports corruption *)
+  let fine = Scan.of_sorted [ (1L, 10); (5L, 50) ] in
+  let broken =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      if !n = 1 then Scan.Next (2L, 20) else Scan.Error
+  in
+  let entries, status = Scan.take (Scan.merge [ fine; broken ]) ~limit:10 in
+  Alcotest.(check bool) "corrupt reported" true (status = `Corrupt);
+  Alcotest.(check bool) "prefix before failure kept" true
+    (List.for_all (fun (k, _) -> k < 3L) entries);
+  (* fail-stop: pulling again still errors *)
+  let s = Scan.merge [ broken ] in
+  ignore (s ());
+  Alcotest.(check bool) "sticky" true (s () = Scan.Error && s () = Scan.Error)
+
+let test_scan_take_and_of_iter () =
+  let c = Clock.create () in
+  let tbl = [ (5L, 1); (1L, 2); (9L, 3); (3L, 4) ] in
+  let s =
+    Scan.of_iter c ~start:3L (fun f -> List.iter (fun (k, v) -> f k v) tbl)
+  in
+  let entries, status = Scan.take s ~limit:2 in
+  Alcotest.(check bool) "clean" true (status = `Ok);
+  Alcotest.(check bool) "sorted, filtered, limited" true
+    (entries = [ (3L, 4); (5L, 1) ])
+
 (* -------------------------------- Robinhood ------------------------------ *)
 
 let test_rh_basic () =
@@ -645,6 +793,22 @@ let () =
             test_lt_media_accounting;
           Alcotest.test_case "tags" `Quick test_lt_tag;
           QCheck_alcotest.to_alcotest prop_lt_vs_model ] );
+      ( "sorted-run",
+        [ Alcotest.test_case "build_sorted get and iter" `Quick
+            test_lt_sorted_build_get;
+          Alcotest.test_case "cursor streams the suffix" `Quick
+            test_lt_sorted_cursor;
+          Alcotest.test_case "cursor reads lazily" `Quick
+            test_lt_sorted_cursor_lazy ] );
+      ( "scan-algebra",
+        [ Alcotest.test_case "merge: newest stream wins ties" `Quick
+            test_scan_merge_newest_wins;
+          Alcotest.test_case "tombstones mask then drop" `Quick
+            test_scan_tombstone_masks_then_drops;
+          Alcotest.test_case "error is fail-stop" `Quick
+            test_scan_error_fail_stop;
+          Alcotest.test_case "of_iter sorts, filters, limits" `Quick
+            test_scan_take_and_of_iter ] );
       ( "robinhood",
         [ Alcotest.test_case "basics" `Quick test_rh_basic;
           Alcotest.test_case "grows" `Quick test_rh_grows;

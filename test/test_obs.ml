@@ -210,10 +210,11 @@ let test_export_json_from_real_run () =
   let db = Chameleondb.Store.create ~cfg () in
   let c = Clock.create () in
   for i = 0 to 2_000 do
-    Chameleondb.Store.put db c (Workload.Keyspace.key_of_index i) ~vlen:8
+    Chameleondb.Store.write db c (Workload.Keyspace.key_of_index i)
+      (Kv_common.Store_intf.Sized 8)
   done;
   for i = 0 to 500 do
-    ignore (Chameleondb.Store.get db c (Workload.Keyspace.key_of_index i))
+    ignore (Chameleondb.Store.read db c (Workload.Keyspace.key_of_index i))
   done;
   let json = Export.to_chrome_json (Trace.events ()) in
   Alcotest.(check bool) "has event payload" true (Trace.length () > 0);
@@ -255,14 +256,23 @@ let reconciles_with_latency ~cache_bytes () =
       ~vlen:8
   in
   let gen =
+    (* A's get/put mix, salted with scans so the scan stage reconciles too *)
     Workload.Ycsb.create ~mix:Workload.Ycsb.A ~loaded:20_000 ()
+  in
+  let scan_rng = Workload.Rng.create ~seed:97 in
+  let nops = ref 0 in
+  let next () =
+    incr nops;
+    if !nops mod 20 = 0 then
+      Kv_common.Types.Scan
+        ( Workload.Keyspace.key_of_index (Workload.Rng.int scan_rng 20_000),
+          1 + Workload.Rng.int scan_rng 50 )
+    else Workload.Ycsb.next gen
   in
   let r =
     Harness.Runner.run_ops ~store ~threads:4
       ~start_at:(Harness.Stores.settled_cursor ~store load)
-      ~ops:10_000
-      ~next:(fun () -> Workload.Ycsb.next gen)
-      ()
+      ~ops:10_000 ~next ()
   in
   let check_op op hist =
     let n = Metrics.Histogram.count hist in
@@ -278,6 +288,7 @@ let reconciles_with_latency ~cache_bytes () =
   in
   check_op `Get r.Harness.Runner.get_latency;
   check_op `Put r.Harness.Runner.put_latency;
+  check_op `Scan r.Harness.Runner.scan_latency;
   let cache_ns =
     Attribution.stage_ns r.Harness.Runner.attribution Attribution.Get_cache
   in

@@ -25,7 +25,10 @@ let sample_reqs =
     Proto.Delete 0xdeadbeefL;
     Proto.Batch
       [ Proto.Put (1L, Bytes.of_string "a"); Proto.Get 2L; Proto.Delete 3L ];
-    Proto.Batch [] ]
+    Proto.Batch [];
+    Proto.Scan (0L, 1);
+    Proto.Scan (0xfeedfaceL, 100);
+    Proto.Scan (Int64.minus_one, Proto.max_batch) ]
 
 let sample_replies =
   [ Proto.Ok;
@@ -38,7 +41,10 @@ let sample_replies =
     Proto.Not_owner 3;
     Proto.Replies [ Proto.Ok; Proto.Miss; Proto.Hit 9; Proto.Err "x" ];
     Proto.Replies [ Proto.Not_owner 0 ];
-    Proto.Replies [] ]
+    Proto.Replies [];
+    Proto.Values [];
+    Proto.Values [ (5L, 3, Some (Bytes.of_string "abc")); (6L, 7, None) ];
+    Proto.Values [ (Int64.max_int, 0, Some Bytes.empty) ] ]
 
 let sample_msgs =
   List.map (fun r -> Proto.Request r) sample_reqs
@@ -198,12 +204,40 @@ let test_encode_rejects_nesting () =
   | _ -> Alcotest.fail "nested replies accepted"
   | exception Invalid_argument _ -> ()
 
+let test_scan_frame_validation () =
+  (* encode refuses out-of-range scan limits *)
+  List.iter
+    (fun limit ->
+      match Proto.encode_request (Proto.Scan (1L, limit)) with
+      | _ -> Alcotest.failf "scan limit %d accepted" limit
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; Proto.max_batch + 1 ];
+  (* decode refuses a scan frame whose limit field is zero: take a valid
+     frame and smash the u16 limit (last two bytes of the body) *)
+  let b = Proto.encode_request (Proto.Scan (1L, 2)) in
+  Bytes.set_uint16_le b (Bytes.length b - 2) 0;
+  let d = Proto.decoder () in
+  Proto.feed_bytes d b;
+  (match Proto.next d with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "zero-limit scan frame accepted");
+  (* decode refuses a Values entry whose has-value flag is neither 0 nor 1:
+     flag byte sits right after the key (8) + vlen (4) of the first entry *)
+  let v = Proto.encode_reply (Proto.Values [ (9L, 4, None) ]) in
+  Bytes.set v (Proto.header_bytes + 1 + 2 + 8 + 4) '\x07';
+  let d = Proto.decoder () in
+  Proto.feed_bytes d v;
+  match Proto.next d with
+  | `Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad has-value flag accepted"
+
 (* -------------------------------- Server -------------------------------- *)
 
 let preload db n =
   let clock = Pmem_sim.Clock.create () in
   for i = 0 to n - 1 do
-    Chameleondb.Store.put db clock (Workload.Keyspace.key_of_index i) ~vlen:8
+    Chameleondb.Store.write db clock (Workload.Keyspace.key_of_index i)
+      (Kv_common.Store_intf.Sized 8)
   done;
   Pmem_sim.Clock.now clock
 
@@ -626,7 +660,49 @@ let test_endpoint_redirect () =
   (* the refused put really did not land *)
   let module S = Kv_common.Store_intf in
   let got = S.read (Chameleondb.Store.store sdb) clock 5L in
-  Alcotest.(check bool) "refused put never landed" true (got.S.loc = None)
+  Alcotest.(check bool) "refused put never landed" true (got.S.loc = None);
+  (* scans cannot be range-partitioned by a hash router: refused outright *)
+  match backend (Proto.Scan (0L, 10)) with
+  | Proto.Err _ -> ()
+  | r -> Alcotest.failf "routed scan earned %a, not Err" Proto.pp_reply r
+
+let test_backend_scan () =
+  (* scan through the endpoint backend: ordered, value-carrying, limit
+     honoured; starts past the last key return an empty Values *)
+  let cfg =
+    { Chameleondb.Config.default with
+      Chameleondb.Config.shards = 4;
+      memtable_slots = 64;
+      materialize_values = true }
+  in
+  let sdb = Chameleondb.Store.create ~cfg () in
+  let clock = Pmem_sim.Clock.create () in
+  let backend =
+    Endpoint.backend_of_store ~clock (Chameleondb.Store.store sdb)
+  in
+  let keys = [ 40L; 10L; 30L; 20L; 50L ] in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "put ok" true
+        (backend (Proto.Put (k, Bytes.of_string (Printf.sprintf "v%Ld" k)))
+        = Proto.Ok))
+    keys;
+  (match backend (Proto.Scan (15L, 3)) with
+  | Proto.Values entries ->
+    Alcotest.(check (list int64)) "ordered keys from start" [ 20L; 30L; 40L ]
+      (List.map (fun (k, _, _) -> k) entries);
+    List.iter
+      (fun (k, vlen, v) ->
+        let want = Printf.sprintf "v%Ld" k in
+        Alcotest.(check int) "vlen matches" (String.length want) vlen;
+        match v with
+        | Some b -> Alcotest.(check string) "value carried" want (Bytes.to_string b)
+        | None -> Alcotest.fail "materialized store returned no value")
+      entries
+  | r -> Alcotest.failf "scan earned %a" Proto.pp_reply r);
+  match backend (Proto.Scan (51L, 5)) with
+  | Proto.Values [] -> ()
+  | r -> Alcotest.failf "past-the-end scan earned %a" Proto.pp_reply r
 
 (* ----------------------------- counters diff ----------------------------- *)
 
@@ -673,7 +749,9 @@ let () =
           Alcotest.test_case "fuzz: bit flips never raise" `Quick
             test_fuzz_bitflip_roundtrips;
           Alcotest.test_case "encode rejects nesting" `Quick
-            test_encode_rejects_nesting ] );
+            test_encode_rejects_nesting;
+          Alcotest.test_case "scan/values frame validation" `Quick
+            test_scan_frame_validation ] );
       ( "server",
         [ Alcotest.test_case "executes every arrival" `Quick
             test_server_executes_all;
@@ -708,7 +786,9 @@ let () =
           Alcotest.test_case "batch over socket, malformed inner op" `Quick
             test_endpoint_batch_and_malformed_inner;
           Alcotest.test_case "redirect refuses disowned keys" `Quick
-            test_endpoint_redirect ] );
+            test_endpoint_redirect;
+          Alcotest.test_case "scan through the backend" `Quick
+            test_backend_scan ] );
       ( "counters",
         [ Alcotest.test_case "runs do not leak into each other" `Quick
             test_run_counters_isolated ] ) ]

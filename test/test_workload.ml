@@ -131,12 +131,14 @@ let test_unique_stream_bounds () =
 
 let count_ops gen n =
   let puts = ref 0 and gets = ref 0 and rmws = ref 0 and dels = ref 0 in
+  let scans = ref 0 in
   for _ = 1 to n do
     match Ycsb.next gen with
     | Types.Put _ -> incr puts
     | Types.Get _ -> incr gets
     | Types.Read_modify_write _ -> incr rmws
     | Types.Delete _ -> incr dels
+    | Types.Scan _ -> incr scans
   done;
   (!puts, !gets, !rmws, !dels)
 
@@ -184,6 +186,35 @@ let test_ycsb_f_mix () =
   Alcotest.(check bool) "~50% gets" true (near ~pct:50 ~of_total:10_000 gets);
   Alcotest.(check bool) "~50% rmw" true (near ~pct:50 ~of_total:10_000 rmws)
 
+let test_ycsb_e_mix () =
+  let loaded = 1_000 in
+  let g = Ycsb.create ~mix:Ycsb.E ~loaded () in
+  let scans = ref 0 and puts = ref 0 and len_sum = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    match Ycsb.next g with
+    | Types.Scan (start, len) ->
+      incr scans;
+      len_sum := !len_sum + len;
+      Alcotest.(check bool) "length in 1..100" true (len >= 1 && len <= 100);
+      (* start keys come from the loaded universe *)
+      let found = ref false in
+      for i = 0 to loaded + Ycsb.inserted g - 1 do
+        if Int64.equal (Keyspace.key_of_index i) start then found := true
+      done;
+      Alcotest.(check bool) "start key in universe" true !found
+    | Types.Put _ -> incr puts
+    | _ -> Alcotest.fail "unexpected op in E"
+  done;
+  Alcotest.(check bool) "~95% scans" true (near ~pct:95 ~of_total:n !scans);
+  Alcotest.(check bool) "~5% inserts" true (near ~pct:5 ~of_total:n !puts);
+  (* uniform 1..100 lengths: mean near 50.5 *)
+  let mean = float_of_int !len_sum /. float_of_int !scans in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean scan length ~50 (%.1f)" mean)
+    true
+    (mean > 45.0 && mean < 56.0)
+
 let test_ycsb_d_recency () =
   let loaded = 100_000 in
   let g = Ycsb.create ~mix:Ycsb.D ~loaded () in
@@ -225,7 +256,7 @@ let test_ycsb_existing_keys_valid () =
   done
 
 let test_ycsb_names () =
-  Alcotest.(check int) "six workloads" 6 (List.length Ycsb.all);
+  Alcotest.(check int) "seven workloads" 7 (List.length Ycsb.all);
   Alcotest.(check string) "load name" "YCSB_LOAD" (Ycsb.name Ycsb.Load);
   List.iter
     (fun m ->
@@ -354,6 +385,8 @@ let () =
           Alcotest.test_case "B mix" `Quick test_ycsb_b_mix;
           Alcotest.test_case "C all gets" `Quick test_ycsb_c_all_gets;
           Alcotest.test_case "F mix" `Quick test_ycsb_f_mix;
+          Alcotest.test_case "E mix: scans and inserts" `Quick
+            test_ycsb_e_mix;
           Alcotest.test_case "D targets recent keys" `Quick
             test_ycsb_d_recency;
           Alcotest.test_case "keys from universe" `Quick
