@@ -560,6 +560,156 @@ let run_client path script =
 let run_bench ids quick =
   Harness.Experiments.run_ids ~scale:(scale_of_quick quick) ids
 
+(* -------------------------------- mph command ---------------------------- *)
+
+(* Focused driver for the perfect-hash last level: loads the same key
+   population into ChameleonDB (Bloom+probe), ChameleonDB-MPH and
+   Pmem-LSM-F, then sweeps uniform hit and miss gets.  The `bench`
+   experiment of the same name adds latency attribution; this command
+   produces the CI artifact. *)
+
+let run_mph seed quick bench_json =
+  let scale = scale_of_quick quick in
+  let wall_t0 = Unix.gettimeofday () in
+  let module Stores = Harness.Stores in
+  let module Runner = Harness.Runner in
+  let module Stats = Pmem_sim.Stats in
+  let module Config = Chameleondb.Config in
+  let universe = scale.Stores.load_keys in
+  let threads = 8 in
+  let cval name =
+    match Obs.Counters.find name with Some v -> v | None -> 0.0
+  in
+  let specs =
+    [ Stores.chameleon ~f:(fun cfg -> { cfg with Config.seed }) scale;
+      Stores.chameleon ~name:"ChameleonDB-MPH"
+        ~f:(fun cfg ->
+          { cfg with Config.seed; Config.index_kind = Config.Mph })
+        scale;
+      Stores.find scale "Pmem-LSM-F" ]
+  in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "mph: uniform gets over %d keys, %d threads (seed %d)" universe
+           threads seed)
+      ~columns:
+        [ ("store", Table.Left); ("mix", Table.Left);
+          ("get Mops/s", Table.Right); ("p50", Table.Right);
+          ("p99", Table.Right); ("reads/get", Table.Right);
+          ("DRAM B/key", Table.Right) ]
+  in
+  let results =
+    List.map
+      (fun spec ->
+        let name = spec.Stores.name in
+        let handle = spec.Stores.make () in
+        let b0 = cval "mph.builds"
+        and k0 = cval "mph.build_keys"
+        and a0 = cval "mph.build_attempts"
+        and r0 = cval "mph.build_restarts" in
+        let load =
+          Stores.load_unique ~store:handle ~threads ~start_at:0.0 ~n:universe
+            ~vlen:scale.Stores.vlen
+        in
+        let builds = cval "mph.builds" -. b0 in
+        let build_keys = cval "mph.build_keys" -. k0 in
+        let attempts = cval "mph.build_attempts" -. a0 in
+        let restarts = cval "mph.build_restarts" -. r0 in
+        let dram_per_key =
+          Store_intf.dram_footprint handle /. float_of_int universe
+        in
+        let cursor = ref (Stores.settled_cursor ~store:handle load) in
+        let sweep mix next =
+          let r =
+            Runner.run_ops ~store:handle ~threads ~start_at:!cursor
+              ~ops:scale.Stores.sweep_ops ~next ()
+          in
+          cursor := Stores.settled_cursor ~store:handle r;
+          let ops = float_of_int r.Runner.ops in
+          let reads_per_get =
+            float_of_int r.Runner.device_delta.Stats.read_ops /. ops
+          in
+          let p p' = Metrics.Histogram.percentile r.Runner.get_latency p' in
+          Table.add_row tbl
+            [ name; mix;
+              Table.cell_f (Runner.throughput_mops r);
+              Table.cell_ns (p 50.0); Table.cell_ns (p 99.0);
+              Table.cell_f reads_per_get; Table.cell_f dram_per_key ];
+          (Runner.throughput_mops r, p 50.0, p 99.0, reads_per_get)
+        in
+        let hit = sweep "hit" (Stores.uniform_get_gen ~seed ~universe) in
+        let miss_rng = Workload.Rng.create ~seed:(seed + 1) in
+        let miss =
+          sweep "miss" (fun () ->
+              Kv_common.Types.Get
+                (Workload.Keyspace.key_of_index
+                   (universe + Workload.Rng.int miss_rng universe)))
+        in
+        (name, dram_per_key, (builds, build_keys, attempts, restarts),
+         hit, miss))
+      specs
+  in
+  Table.print tbl;
+  List.iter
+    (fun (name, _, (builds, build_keys, attempts, restarts), _, _) ->
+      if builds > 0.0 then
+        Printf.printf
+          "%s construction: %.0f MPH builds over %.0f keys, %.2f \
+           displacement attempts/key, %.0f seed restarts\n"
+          name builds build_keys
+          (attempts /. Float.max 1.0 build_keys)
+          restarts)
+    results;
+  let find_res n =
+    List.find (fun (name, _, _, _, _) -> name = n) results
+  in
+  let _, _, (mph_builds, _, _, _), (_, _, mph_p99, mph_reads), _ =
+    find_res "ChameleonDB-MPH"
+  in
+  let _, _, _, (_, _, base_p99, _), _ = find_res "ChameleonDB" in
+  let ok = mph_builds > 0.0 && mph_p99 <= base_p99 && mph_reads < 4.0 in
+  (match bench_json with
+  | None -> ()
+  | Some path ->
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"suite\": \"mph\", \"quick\": %b, \"seed\": %d, \"universe\": \
+          %d,\n"
+         quick seed universe);
+    Buffer.add_string b "  \"stores\": [\n";
+    List.iteri
+      (fun i
+           (name, dram, (builds, build_keys, attempts, restarts),
+            (h_mops, h_p50, h_p99, h_reads),
+            (m_mops, m_p50, m_p99, m_reads)) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"store\": \"%s\", \"dram_bytes_per_key\": %.3f, \
+              \"mph_builds\": %.0f, \"mph_build_keys\": %.0f, \
+              \"mph_attempts_per_key\": %.3f, \"mph_restarts\": %.0f,\n\
+             \     \"hit\": {\"mops\": %.4f, \"p50_ns\": %.0f, \"p99_ns\": \
+              %.0f, \"reads_per_get\": %.3f},\n\
+             \     \"miss\": {\"mops\": %.4f, \"p50_ns\": %.0f, \
+              \"p99_ns\": %.0f, \"reads_per_get\": %.3f}}%s\n"
+             name dram builds build_keys
+             (attempts /. Float.max 1.0 build_keys)
+             restarts h_mops h_p50 h_p99 h_reads m_mops m_p50 m_p99 m_reads
+             (if i = List.length results - 1 then "" else ",")))
+      results;
+    Buffer.add_string b
+      (Printf.sprintf "  ],\n  \"wall_s\": %.2f, \"pass\": %b\n}"
+         (Unix.gettimeofday () -. wall_t0)
+         ok);
+    json_write path (Buffer.contents b));
+  if not ok then begin
+    Printf.eprintf "ckv mph: FAILED acceptance checks\n";
+    exit 1
+  end
+
 (* ----------------------------- cluster command --------------------------- *)
 
 let run_cluster quick seed bench_json =
@@ -1001,6 +1151,23 @@ let cluster_cmd =
           unfinished recovery is detected")
     Term.(const run_cluster $ quick_arg $ seed $ bench_json_arg)
 
+let mph_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Deterministic seed (MPH construction and the get streams).")
+  in
+  Cmd.v
+    (Cmd.info "mph"
+       ~doc:
+         "Perfect-hash last level vs Bloom+probe: get p50/p99, device \
+          reads per get, DRAM per key and MPH construction cost; exits \
+          non-zero if the MPH variant loses its one-read property or its \
+          tail-latency edge")
+    Term.(const run_mph $ seed $ quick_arg $ bench_json_arg)
+
 let list_cmd =
   Cmd.v
     (Cmd.info "list" ~doc:"List experiments and stores")
@@ -1013,5 +1180,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ load_cmd; ycsb_cmd; bench_cmd; crash_cmd; scrub_cmd; media_cmd;
-         trace_cmd; inspect_cmd; serve_cmd; client_cmd; cluster_cmd;
-         list_cmd ]))
+         mph_cmd; trace_cmd; inspect_cmd; serve_cmd; client_cmd;
+         cluster_cmd; list_cmd ]))

@@ -163,10 +163,10 @@ let probe_l0 _t clock tbl key =
   Clock.advance clock (2.0 *. Cost_model.dram_hit_ns);
   Linear_table.get tbl clock key
 
-let probe_lower t clock tbl key =
+let probe_lower t clock ~level tbl key =
   let bloom = Hashtbl.find_opt t.blooms (Linear_table.tag tbl) in
   let maybe =
-    match bloom with Some b -> Bloom.mem b clock key | None -> true
+    match bloom with Some b -> Bloom.mem ~level b clock key | None -> true
   in
   if maybe then Linear_table.get tbl clock key else Linear_table.Absent
 
@@ -197,7 +197,7 @@ let probe t clock key =
           else begin
             match t.lower.(k) with
             | Some tbl ->
-              (match probe_lower t clock tbl key with
+              (match probe_lower t clock ~level:(k + 1) tbl key with
               | Linear_table.Found loc -> `Hit loc
               | Linear_table.Corrupted -> `Corrupt
               | Linear_table.Absent -> lower (k + 1))

@@ -147,10 +147,10 @@ let delete t clock key =
   if Skiplist.count t.memtable >= t.memtable_cap then flush t clock;
   Skiplist.put t.memtable clock key Types.tombstone
 
-let probe_run t clock tbl key =
+let probe_run t clock ~level tbl key =
   let bloom = Hashtbl.find_opt t.blooms (Linear_table.tag tbl) in
   let maybe =
-    match bloom with Some b -> Bloom.mem b clock key | None -> true
+    match bloom with Some b -> Bloom.mem ~level b clock key | None -> true
   in
   if maybe then begin
     (* binary-search index block before touching data *)
@@ -175,7 +175,7 @@ let probe t clock key =
       let rec probe_list = function
         | [] -> `Miss
         | tbl :: rest ->
-          (match probe_run t clock tbl key with
+          (match probe_run t clock ~level:0 tbl key with
           | Linear_table.Found loc -> `Hit loc
           | Linear_table.Corrupted -> `Corrupt
           | Linear_table.Absent -> probe_list rest)
@@ -188,7 +188,7 @@ let probe t clock key =
           else begin
             match t.lower.(k) with
             | Some tbl ->
-              (match probe_run t clock tbl key with
+              (match probe_run t clock ~level:(k + 1) tbl key with
               | Linear_table.Found loc -> `Hit loc
               | Linear_table.Corrupted -> `Corrupt
               | Linear_table.Absent -> lower (k + 1))

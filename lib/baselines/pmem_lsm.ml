@@ -28,6 +28,20 @@ let c_put_stall_ns = Obs.Counters.counter "put.stall_ns"
 let c_memtable_hits = Obs.Counters.counter "get.memtable_hits"
 let c_bloom_fp = Obs.Counters.counter "bloom.false_positives"
 
+(* Per-level false-positive counters, registered on first use (the global
+   [c_bloom_fp] keeps its historical name for existing reports). *)
+let fp_level_cache = Hashtbl.create 8
+
+let c_bloom_fp_level level =
+  match Hashtbl.find_opt fp_level_cache level with
+  | Some c -> c
+  | None ->
+    let c =
+      Obs.Counters.counter (Printf.sprintf "bloom.false_positives.L%d" level)
+    in
+    Hashtbl.add fp_level_cache level c;
+    c
+
 let bg_tid id = 1000 + id
 
 type shard = {
@@ -255,7 +269,7 @@ let delete t clock key =
 
 (* {2 Get path: MemTable, then every table level by level.} *)
 
-let probe_table t shard clock tbl key =
+let probe_table t shard clock ~level tbl key =
   match t.variant with
   | Pink ->
     (* DRAM mirror probe: not subject to media corruption *)
@@ -271,33 +285,37 @@ let probe_table t shard clock tbl key =
     let bloom = Hashtbl.find_opt shard.blooms (Linear_table.tag tbl) in
     let maybe_present =
       match bloom with
-      | Some b -> Bloom.mem b clock key
+      | Some b -> Bloom.mem ~level b clock key
       | None -> true
     in
     if maybe_present then begin
       let r = Linear_table.get tbl clock key in
-      if r = Linear_table.Absent && bloom <> None then
+      if r = Linear_table.Absent && bloom <> None then begin
         Obs.Counters.incr c_bloom_fp;
+        Obs.Counters.incr (c_bloom_fp_level level)
+      end;
       r
     end
     else Linear_table.Absent
 
 (* The last level is never pinned in DRAM: even PinK probes it on the
    device (the F variant still consults its filter first). *)
-let probe_last t shard clock tbl key =
+let probe_last t shard clock ~level tbl key =
   match t.variant with
   | Nf | Pink -> Linear_table.get tbl clock key
   | F ->
     let bloom = Hashtbl.find_opt shard.blooms (Linear_table.tag tbl) in
     let maybe_present =
       match bloom with
-      | Some b -> Bloom.mem b clock key
+      | Some b -> Bloom.mem ~level b clock key
       | None -> true
     in
     if maybe_present then begin
       let r = Linear_table.get tbl clock key in
-      if r = Linear_table.Absent && bloom <> None then
+      if r = Linear_table.Absent && bloom <> None then begin
         Obs.Counters.incr c_bloom_fp;
+        Obs.Counters.incr (c_bloom_fp_level level)
+      end;
       r
     end
     else Linear_table.Absent
@@ -319,20 +337,30 @@ let shard_get t shard clock key =
       | Linear_table.Absent -> `Miss
       | Linear_table.Corrupted -> `Corrupt
     in
-    let rec go n = function
-      | [] ->
-        (match Levels.last shard.lv with
-        | Some tbl -> (of_probe (probe_last t shard clock tbl key), n + 1)
-        | None -> (`Miss, n))
-      | tbl :: rest ->
-        (* a corrupt block fails the whole probe closed: falling through
-           to an older level could resurrect a superseded version *)
-        (match probe_table t shard clock tbl key with
-        | Linear_table.Found loc -> (`Hit loc, n + 1)
-        | Linear_table.Corrupted -> (`Corrupt, n + 1)
-        | Linear_table.Absent -> go (n + 1) rest)
+    let u = Config.upper_levels t.cfg in
+    (* walk the levels by index (same newest-first order as the flattened
+       [upper_tables_newest_first]) so filter probes carry their level *)
+    let rec go_level n level =
+      if level >= u then
+        match Levels.last shard.lv with
+        | Some tbl ->
+          (of_probe (probe_last t shard clock ~level:u tbl key), n + 1)
+        | None -> (`Miss, n)
+      else begin
+        let rec go_tables n = function
+          | [] -> go_level n (level + 1)
+          | tbl :: rest ->
+            (* a corrupt block fails the whole probe closed: falling through
+               to an older level could resurrect a superseded version *)
+            (match probe_table t shard clock ~level tbl key with
+            | Linear_table.Found loc -> (`Hit loc, n + 1)
+            | Linear_table.Corrupted -> (`Corrupt, n + 1)
+            | Linear_table.Absent -> go_tables (n + 1) rest)
+        in
+        go_tables n (Levels.upper shard.lv).(level)
+      end
     in
-    let r = go 0 (Levels.upper_tables_newest_first shard.lv ()) in
+    let r = go_level 0 0 in
     if attr then
       Obs.Attribution.add Obs.Attribution.Get_level_probe
         (Clock.now clock -. t1);

@@ -51,7 +51,7 @@ type t = {
   mutable misrouted : int;
   mutable replica_applies : int;
   mutable degraded_reads : int; (* reads probing fewer than read_quorum *)
-  mutable scan_rejections : int; (* Scan requests refused (no fan-out yet) *)
+  mutable scans : int; (* Scan requests fanned out across the nodes *)
 }
 
 let create ?(costs = default_costs) ~write_quorum ~read_quorum ring nodes =
@@ -82,7 +82,7 @@ let create ?(costs = default_costs) ~write_quorum ~read_quorum ring nodes =
     misrouted = 0;
     replica_applies = 0;
     degraded_reads = 0;
-    scan_rejections = 0 }
+    scans = 0 }
 
 let ring t = t.ring
 let nodes t = t.nodes
@@ -97,7 +97,7 @@ let unavailable t = t.unavailable
 let misrouted t = t.misrouted
 let replica_applies t = t.replica_applies
 let degraded_reads t = t.degraded_reads
-let scan_rejections t = t.scan_rejections
+let scans t = t.scans
 
 let invalidate_route t ~vshard = t.route_cache.(vshard) <- None
 
@@ -249,6 +249,94 @@ let submit_read t ~at ~bytes key =
     { reply = best; finish; acked = [] }
   end
 
+(* An ordered scan crosses every vshard, so the router fans it out: every
+   [Up] node scans its local store (charged on its own service loop), the
+   replies are reconciled per key — the freshest owner replica wins, by
+   version stamp, ties to the lower node id; leftovers on nodes that no
+   longer own the key's vshard are discarded — and the winner-filtered
+   per-node streams are merged in key order through {!Kv_common.Scan}.
+   Completeness needs every vshard to have at least one [Up] owner;
+   otherwise the scan is refused as unavailable rather than answered with
+   a silent gap. *)
+let submit_scan t ~at ~bytes ~start ~limit =
+  t.scans <- t.scans + 1;
+  let covered = ref true in
+  for v = 0 to Ring.vshards t.ring - 1 do
+    if
+      not
+        (List.exists
+           (fun nid -> Node.status t.nodes.(nid) = Node.Up)
+           (Ring.owners t.ring v))
+    then covered := false
+  done;
+  if not !covered then begin
+    t.unavailable <- t.unavailable + 1;
+    { reply = Proto.Err "unavailable";
+      finish = at +. (2.0 *. t.costs.net_ns);
+      acked = [] }
+  end
+  else begin
+    let module S = Kv_common.Store_intf in
+    let up =
+      List.filter
+        (fun nid -> Node.status t.nodes.(nid) = Node.Up)
+        (List.init (Array.length t.nodes) Fun.id)
+    in
+    let replies =
+      List.map
+        (fun nid ->
+          let entries, ack =
+            on_node t nid ~ready:(at +. t.costs.net_ns) ~bytes (fun n rxc ->
+                S.scan (Node.store n) rxc ~start ~limit)
+          in
+          (nid, entries, ack))
+        up
+    in
+    let finish =
+      List.fold_left (fun acc (_, _, ack) -> max acc ack) at replies
+    in
+    (* per-key reconciliation: (stamp, node) of the freshest owner copy *)
+    let best : (Types.key, int * int) Hashtbl.t = Hashtbl.create 256 in
+    List.iter
+      (fun (nid, entries, _) ->
+        List.iter
+          (fun (key, _loc) ->
+            if List.mem nid (Ring.owners_of_key t.ring key) then begin
+              let stamp =
+                Option.value ~default:(-1) (Node.version t.nodes.(nid) key)
+              in
+              match Hashtbl.find_opt best key with
+              | Some (s, n) when s > stamp || (s = stamp && n <= nid) -> ()
+              | _ -> Hashtbl.replace best key (stamp, nid)
+            end)
+          entries)
+      replies;
+    let streams =
+      List.map
+        (fun (nid, entries, _) ->
+          Kv_common.Scan.of_sorted
+            (List.filter
+               (fun (key, _) ->
+                 match Hashtbl.find_opt best key with
+                 | Some (_, winner) -> winner = nid
+                 | None -> false)
+               entries))
+        replies
+    in
+    let entries, _status =
+      Kv_common.Scan.take (Kv_common.Scan.merge streams) ~limit
+    in
+    let values =
+      List.map
+        (fun (key, loc) ->
+          let _, nid = Hashtbl.find best key in
+          let n = t.nodes.(nid) in
+          (key, Kv_common.Vlog.vlen_at (S.vlog (Node.store n)) loc, None))
+        entries
+    in
+    { reply = Proto.Values values; finish; acked = [] }
+  end
+
 let vlen_of_payload v = Bytes.length v
 
 (* Route one request; batches route each inner op (all charged against
@@ -260,13 +348,7 @@ let rec submit t ~at ~bytes req =
   | Proto.Put (k, v) ->
       submit_write t ~at ~bytes k (Node.Put (vlen_of_payload v))
   | Proto.Delete k -> submit_write t ~at ~bytes k Node.Delete
-  | Proto.Scan _ ->
-    (* an ordered scan crosses every vshard; cross-node merge fan-out is
-       not implemented, so refuse explicitly — counted, connection kept *)
-    t.scan_rejections <- t.scan_rejections + 1;
-    { reply = Proto.Err "scan unsupported by cluster router";
-      finish = at +. (2.0 *. t.costs.net_ns);
-      acked = [] }
+  | Proto.Scan (start, limit) -> submit_scan t ~at ~bytes ~start ~limit
   | Proto.Batch reqs ->
       let outcomes =
         List.map

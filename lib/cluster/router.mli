@@ -50,7 +50,8 @@ val quorum_failures : t -> int
 (** Writes refused (and applied nowhere) for lack of a live quorum. *)
 
 val unavailable : t -> int
-(** Reads refused because no owner was [Up]. *)
+(** Reads refused because no owner was [Up], plus scans refused because
+    some vshard had no [Up] owner (a partial scan would be a silent gap). *)
 
 val misrouted : t -> int
 (** Requests executed by a non-owner — must stay 0; counted so the
@@ -59,9 +60,9 @@ val misrouted : t -> int
 val replica_applies : t -> int
 val degraded_reads : t -> int
 
-val scan_rejections : t -> int
-(** [Scan] requests refused with an explicit error (cross-node scan
-    fan-out is not implemented); the connection is kept. *)
+val scans : t -> int
+(** [Scan] requests fanned out across the nodes (including refused
+    ones — see {!unavailable}). *)
 
 type outcome = {
   reply : Service.Proto.reply;
@@ -74,6 +75,16 @@ val submit_write :
   t -> at:float -> bytes:int -> Kv_common.Types.key -> Node.action -> outcome
 
 val submit_read : t -> at:float -> bytes:int -> Kv_common.Types.key -> outcome
+
+val submit_scan :
+  t -> at:float -> bytes:int -> start:Kv_common.Types.key -> limit:int ->
+  outcome
+(** Fan an ordered scan out to every [Up] node, reconcile the replies per
+    key (freshest owner replica by version stamp, ties to the lower node
+    id, non-owner leftovers discarded) and merge them in key order through
+    {!Kv_common.Scan}.  Answers [Values] with (key, vlen, None) entries;
+    refused as [Err "unavailable"] when any vshard has no [Up] owner,
+    since a partial scan would be indistinguishable from a complete one. *)
 
 val submit : t -> at:float -> bytes:int -> Service.Proto.req -> outcome
 (** Route one request ([bytes] is the encoded frame size, charged at

@@ -352,3 +352,68 @@ let divergence router (orc : oracle) =
         (Ring.owners_of_key ring key))
     orc;
   (!checked, List.rev !mismatches)
+
+(* Scan-path audit: one router fan-out over the whole keyspace must
+   reproduce exactly the oracle's live Put set, in ascending key order,
+   with the acked value lengths.  Runs through the real [Router.submit_scan]
+   path after the run, so its node-side scan costs land past the measured
+   window.  [mm_node] is -1: a scan mismatch is a router-level divergence,
+   not attributable to one replica. *)
+let scan_divergence router (orc : oracle) =
+  let expected =
+    List.sort
+      (fun (a, _) (b, _) -> Types.key_compare a b)
+      (Hashtbl.fold
+         (fun key (_stamp, action) acc ->
+           match action with
+           | Node.Put vlen -> (key, vlen) :: acc
+           | Node.Delete -> acc)
+         orc [])
+  in
+  let limit = max 1 (List.length expected) in
+  let o = Router.submit_scan router ~at:0.0 ~bytes:0 ~start:0L ~limit in
+  let got =
+    match o.Router.reply with
+    | Proto.Values vs -> List.map (fun (k, vlen, _) -> (k, vlen)) vs
+    | _ -> []
+  in
+  let present vlen = Printf.sprintf "present(%d)" vlen in
+  let mismatches = ref [] in
+  let note mm = mismatches := mm :: !mismatches in
+  let rec walk exp got =
+    match (exp, got) with
+    | [], [] -> ()
+    | (k, vlen) :: e, [] ->
+      note
+        { mm_key = k; mm_node = -1; mm_expected = present vlen;
+          mm_got = "absent" };
+      walk e []
+    | [], (k, vlen) :: g ->
+      note
+        { mm_key = k; mm_node = -1; mm_expected = "absent";
+          mm_got = present vlen };
+      walk [] g
+    | ((ke, ve) :: e as exp'), ((kg, vg) :: g as got') ->
+      let c = Types.key_compare ke kg in
+      if c = 0 then begin
+        if ve <> vg then
+          note
+            { mm_key = ke; mm_node = -1; mm_expected = present ve;
+              mm_got = present vg };
+        walk e g
+      end
+      else if c < 0 then begin
+        note
+          { mm_key = ke; mm_node = -1; mm_expected = present ve;
+            mm_got = "absent" };
+        walk e got'
+      end
+      else begin
+        note
+          { mm_key = kg; mm_node = -1; mm_expected = "absent";
+            mm_got = present vg };
+        walk exp' g
+      end
+  in
+  walk expected got;
+  (List.length expected, List.rev !mismatches)

@@ -73,3 +73,10 @@ val divergence : Router.t -> oracle -> int * mismatch list
 (** Audit every acked key against every [Up] owner on throwaway clocks:
     [(replica checks performed, mismatches)].  An empty mismatch list is
     the "no quorum-acked write lost, no divergence" guarantee. *)
+
+val scan_divergence : Router.t -> oracle -> int * mismatch list
+(** Audit the scan path: one {!Router.submit_scan} fan-out over the whole
+    keyspace must reproduce exactly the oracle's live Put keys in
+    ascending order with the acked value lengths.  Returns [(expected
+    entries, mismatches)]; [mm_node] is -1 on scan mismatches (they are
+    router-level, not attributable to one replica). *)

@@ -1,5 +1,7 @@
 type compaction_scheme = Direct | Level_by_level
 
+type index_kind = Probe | Mph
+
 type t = {
   shards : int;
   memtable_slots : int;
@@ -22,6 +24,7 @@ type t = {
   cache_negative : bool;
   gc_max_entries : int;
   scrub_budget_bytes : int;
+  index_kind : index_kind;
   seed : int;
 }
 
@@ -47,6 +50,7 @@ let default =
     cache_negative = true;
     gc_max_entries = 100_000;
     scrub_budget_bytes = 1 lsl 20;
+    index_kind = Probe;
     seed = 7 }
 
 let scaled ?shards ?memtable_slots t =

@@ -10,6 +10,13 @@ type compaction_scheme =
   | Direct         (** multi-level Direct Compaction (Section 2.1, Fig. 5b) *)
   | Level_by_level (** classic two-adjacent-levels compaction (ablation) *)
 
+type index_kind =
+  | Probe (** sorted last-level run, fence search + slot probe (default) *)
+  | Mph
+      (** CompassDB-style minimal-perfect-hash last-level run: gets
+          evaluate the MPH in DRAM and issue exactly one device read;
+          construction rides on the merge (see [Kv_common.Mph]) *)
+
 type t = {
   shards : int;           (** number of index shards *)
   memtable_slots : int;   (** slots per MemTable (16 B each; 512 = 8 KB) *)
@@ -47,6 +54,9 @@ type t = {
   scrub_budget_bytes : int;
       (** artifact bytes one {!Store.scrub} pass verifies by default
           (1 MiB); the scrubber stops scanning once the budget is spent *)
+  index_kind : index_kind;
+      (** last-level index structure (default [Probe]; [Mph] trades merge-
+          time construction for one-device-read gets) *)
   seed : int;             (** randomized-load-factor seed *)
 }
 

@@ -75,6 +75,11 @@ let scaling ?(seed = 7) ?(get_frac = 0.9) scale node_counts =
         failwith
           (Printf.sprintf "cluster scaling: %d/%d divergent replica reads"
              (List.length mms) checked);
+      let scan_checked, scan_mms = Run.scan_divergence s.router s.orc in
+      if scan_mms <> [] then
+        failwith
+          (Printf.sprintf "cluster scaling: %d/%d divergent scan entries"
+             (List.length scan_mms) scan_checked);
       { sp_nodes = n;
         sp_replicas = replicas;
         sp_ops = r.Run.r_ops;
@@ -137,6 +142,10 @@ let scenario ~seed ~label ~mk_events scale =
   in
   let r = Run.run ~cfg ~start_at:t1 ~arrivals ~events s.router s.orc in
   let checked, mms = Run.divergence s.router s.orc in
+  (* the scan path must agree with the oracle too: one full-keyspace
+     fan-out, reconciled per key, compared entry by entry *)
+  let _scan_checked, scan_mms = Run.scan_divergence s.router s.orc in
+  let mms = mms @ scan_mms in
   { sc_label = label;
     sc_setup = s;
     sc_probe_mops = cap;

@@ -44,6 +44,8 @@ type scenario = {
   sc_marks : (float * string) list;  (** timeline annotations *)
   sc_checked : int;
   sc_mismatches : Cluster.Run.mismatch list;
+      (** replica-divergence mismatches followed by scan-audit mismatches
+          ({!Cluster.Run.scan_divergence}); empty = both audits clean *)
 }
 
 val victim : int

@@ -44,9 +44,16 @@ let chameleon ?(f = fun cfg -> cfg) ?(name = "ChameleonDB") scale =
       (fun () -> Chameleondb.Store.store ~name
           (Chameleondb.Store.create ~cfg:(f (chameleon_cfg scale)) ())) }
 
+let chameleon_mph ?(cache_bytes = 0) scale =
+  chameleon ~name:"ChameleonDB-MPH"
+    ~f:(fun cfg ->
+      { cfg with Config.index_kind = Config.Mph; cache_bytes })
+    scale
+
 let all ?(cache_bytes = 0) scale =
   let cfg = chameleon_cfg scale in
   [ chameleon ~f:(fun cfg -> { cfg with Config.cache_bytes }) scale;
+    chameleon_mph ~cache_bytes scale;
     { name = "Pmem-LSM-PinK";
       make =
         (fun () -> Baselines.Pmem_lsm.store

@@ -27,16 +27,20 @@ type spec = {
 }
 
 val all : ?cache_bytes:int -> scale -> spec list
-(** The six stores of the main evaluation: ChameleonDB, Pmem-LSM-PinK,
-    Pmem-LSM-NF, Pmem-LSM-F, Pmem-Hash, Dram-Hash.  [cache_bytes]
-    (default 0 = disabled) sizes ChameleonDB's DRAM read cache; the
-    baselines have none, as in the paper. *)
+(** The stores of the main evaluation: ChameleonDB, ChameleonDB-MPH,
+    Pmem-LSM-PinK, Pmem-LSM-NF, Pmem-LSM-F, Pmem-Hash, Dram-Hash.
+    [cache_bytes] (default 0 = disabled) sizes the ChameleonDB variants'
+    DRAM read cache; the baselines have none, as in the paper. *)
 
 val chameleon :
   ?f:(Chameleondb.Config.t -> Chameleondb.Config.t) -> ?name:string ->
   scale -> spec
 (** ChameleonDB with a config tweak (modes, compaction scheme, ablations);
     [name] labels the variant in reports and the crash sweep. *)
+
+val chameleon_mph : ?cache_bytes:int -> scale -> spec
+(** ChameleonDB with the perfect-hash last-level index
+    ([Config.index_kind = Mph]); named "ChameleonDB-MPH". *)
 
 val find : ?cache_bytes:int -> scale -> string -> spec
 

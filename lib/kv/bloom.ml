@@ -39,15 +39,37 @@ let mem_silent t key =
 let c_probes = Obs.Counters.counter "bloom.probes"
 let c_negatives = Obs.Counters.counter "bloom.negatives"
 
+(* Per-level probe/negative counters, registered on first use.  Levels are
+   small integers, so a memoized array of counter handles keeps the hot
+   path free of string formatting. *)
+let per_level_cache = Hashtbl.create 8
+
+let level_counters level =
+  match Hashtbl.find_opt per_level_cache level with
+  | Some c -> c
+  | None ->
+    let c =
+      ( Obs.Counters.counter (Printf.sprintf "bloom.probes.L%d" level),
+        Obs.Counters.counter (Printf.sprintf "bloom.negatives.L%d" level) )
+    in
+    Hashtbl.add per_level_cache level c;
+    c
+
 let add t clock key =
   Pmem_sim.Clock.advance clock Pmem_sim.Cost_model.bloom_build_per_key_ns;
   add_silent t key
 
-let mem t clock key =
+let mem ?level t clock key =
   Pmem_sim.Clock.advance clock Pmem_sim.Cost_model.bloom_check_ns;
   Obs.Counters.incr c_probes;
   let hit = mem_silent t key in
   if not hit then Obs.Counters.incr c_negatives;
+  (match level with
+  | Some l ->
+    let probes, negatives = level_counters l in
+    Obs.Counters.incr probes;
+    if not hit then Obs.Counters.incr negatives
+  | None -> ());
   hit
 
 let footprint_bytes t = float_of_int (Bytes.length t.bits)

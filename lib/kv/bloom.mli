@@ -14,8 +14,11 @@ val create : expected:int -> bits_per_key:int -> t
 
 val add : t -> Pmem_sim.Clock.t -> Types.key -> unit
 
-val mem : t -> Pmem_sim.Clock.t -> Types.key -> bool
-(** May return false positives; never false negatives. *)
+val mem : ?level:int -> t -> Pmem_sim.Clock.t -> Types.key -> bool
+(** May return false positives; never false negatives.  Always counted
+    against the global [bloom.probes] / [bloom.negatives]; with [?level],
+    additionally against [bloom.probes.L<n>] / [bloom.negatives.L<n>], so
+    experiments can report per-level filter traffic. *)
 
 val add_silent : t -> Types.key -> unit
 (** Insert without charging time (used when rebuilding in tests). *)

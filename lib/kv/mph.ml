@@ -1,0 +1,234 @@
+module Clock = Pmem_sim.Clock
+module Cost_model = Pmem_sim.Cost_model
+module Crc32c = Pmem_sim.Crc32c
+
+(* Minimal perfect hash over an immutable key set, CHD-style (hash and
+   displace): keys are partitioned into m ~ n/2 buckets by a first hash;
+   buckets are processed in decreasing size order, each trying displacement
+   values d = 0, 1, 2, ... until every key in the bucket lands on a distinct
+   free slot of the n-slot table.  Singleton buckets skip the search and are
+   assigned the remaining free slots directly (encoded with a flag bit), so
+   construction cannot stall hunting for the last free slot at load factor
+   1.0.  If any bucket exhausts its displacement budget the whole build
+   deterministically restarts under the next global seed.
+
+   Bucket sizing matters at load factor 1.0: with an average of two keys
+   per bucket the tail of the placement (the last 2-key buckets) still
+   sees ~e^-2 = 13.5% of slots free — those reserved for the singleton
+   buckets placed after the search — so a displacement attempt succeeds
+   with probability ~1.8% and the 2000-attempt budget fails with
+   probability ~e^-36 per bucket.  At four keys per bucket the same tail
+   sees only ~e^-4 = 1.8% free and entire builds fail routinely. *)
+
+type t = {
+  seed : int;
+  n : int; (* member keys = table slots *)
+  m : int; (* displacement buckets *)
+  disps : int array; (* per-bucket displacement code (u32 range) *)
+}
+
+(* construction counters (registry names, see DESIGN.md observability) *)
+let c_builds = Obs.Counters.counter "mph.builds"
+let c_build_keys = Obs.Counters.counter "mph.build_keys"
+let c_build_attempts = Obs.Counters.counter "mph.build_attempts"
+let c_build_restarts = Obs.Counters.counter "mph.build_restarts"
+
+let direct_flag = 0x4000_0000
+let retry_cap = 2_000
+let max_restarts = 64
+
+let salt_a seed = Hash.mix64 (Int64.of_int ((2 * seed) + 0x5bf0_3635))
+let salt_b seed = Hash.mix64 (Int64.of_int ((2 * seed) + 0x1b87_3593))
+
+let bucket_of ~seed ~m key =
+  Hash.to_int (Hash.mix64 (Int64.logxor key (salt_a seed))) mod m
+
+(* slot for [key] under displacement [d]; the per-key base hash can be
+   computed once per bucket attempt sequence *)
+let pos_of_base base ~n d =
+  Hash.to_int
+    (Hash.mix64 (Int64.add base (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (d + 1)))))
+  mod n
+
+let pos ~seed ~n key d =
+  pos_of_base (Hash.mix64 (Int64.logxor key (salt_b seed))) ~n d
+
+let n t = t.n
+let m t = t.m
+let seed t = t.seed
+
+exception Restart
+
+(* One construction attempt under a fixed global seed.  Deterministic in
+   the key *set*: buckets sort their keys and ties between equal-size
+   buckets break on bucket index, so rebuilding from the same keys (in any
+   order) reproduces the identical function. *)
+let try_build ~seed keys attempts =
+  let nn = Array.length keys in
+  let m = max 1 ((nn + 1) / 2) in
+  let buckets = Array.make m [] in
+  Array.iter
+    (fun k ->
+      let b = bucket_of ~seed ~m k in
+      buckets.(b) <- k :: buckets.(b))
+    keys;
+  Array.iteri
+    (fun i l -> buckets.(i) <- List.sort Types.key_compare l)
+    buckets;
+  let order = Array.init m Fun.id in
+  Array.sort
+    (fun a b ->
+      match
+        compare (List.length buckets.(b)) (List.length buckets.(a))
+      with
+      | 0 -> compare a b
+      | c -> c)
+    order;
+  let occupied = Array.make nn false in
+  let disps = Array.make m 0 in
+  let place_bucket b =
+    match buckets.(b) with
+    | [] | [ _ ] -> () (* singletons direct-assigned below *)
+    | ks ->
+      let bases =
+        List.map (fun k -> Hash.mix64 (Int64.logxor k (salt_b seed))) ks
+      in
+      let rec search d =
+        if d > retry_cap then raise Restart;
+        incr attempts;
+        let slots = List.map (fun base -> pos_of_base base ~n:nn d) bases in
+        let ok =
+          List.for_all (fun s -> not occupied.(s)) slots
+          && List.length (List.sort_uniq compare slots) = List.length slots
+        in
+        if ok then begin
+          List.iter (fun s -> occupied.(s) <- true) slots;
+          disps.(b) <- d
+        end
+        else search (d + 1)
+      in
+      search 0
+  in
+  Array.iter place_bucket order;
+  (* free slots in ascending order feed the singleton buckets in bucket
+     order — O(n), collision-free by construction *)
+  let free = ref [] in
+  for s = nn - 1 downto 0 do
+    if not occupied.(s) then free := s :: !free
+  done;
+  Array.iter
+    (fun b ->
+      match buckets.(b) with
+      | [ _ ] ->
+        incr attempts;
+        (match !free with
+        | s :: rest ->
+          occupied.(s) <- true;
+          disps.(b) <- direct_flag lor s;
+          free := rest
+        | [] -> assert false)
+      | _ -> ())
+    order;
+  { seed; n = nn; m; disps }
+
+let build ?(seed = 0) keys =
+  Obs.Counters.incr c_builds;
+  Obs.Counters.add_int c_build_keys (Array.length keys);
+  if Array.length keys = 0 then ({ seed; n = 0; m = 0; disps = [||] }, 0)
+  else begin
+    let attempts = ref 0 in
+    let rec go s tries =
+      if tries >= max_restarts then
+        failwith "Mph.build: displacement search did not converge"
+      else
+        try try_build ~seed:s keys attempts
+        with Restart ->
+          Obs.Counters.incr c_build_restarts;
+          go (s + 1) (tries + 1)
+    in
+    let t = go seed 0 in
+    Obs.Counters.add_int c_build_attempts !attempts;
+    (t, !attempts)
+  end
+
+(* {2 Evaluation.} *)
+
+let eval t key =
+  if t.m = 0 then 0
+  else begin
+    let b = bucket_of ~seed:t.seed ~m:t.m key in
+    let d = t.disps.(b) in
+    if d land direct_flag <> 0 then d land (direct_flag - 1)
+    else pos ~seed:t.seed ~n:t.n key d
+  end
+
+let eval_charged t clock key =
+  if t.m = 0 then begin
+    Clock.advance clock Cost_model.hash_ns;
+    0
+  end
+  else begin
+    (* bucket hash + displacement lookup in the DRAM mirror *)
+    Clock.advance clock (Cost_model.hash_ns +. Cost_model.dram_hit_ns);
+    let b = bucket_of ~seed:t.seed ~m:t.m key in
+    let d = t.disps.(b) in
+    if d land direct_flag <> 0 then d land (direct_flag - 1)
+    else begin
+      Clock.advance clock Cost_model.hash_ns;
+      pos ~seed:t.seed ~n:t.n key d
+    end
+  end
+
+(* {2 Serialization.}
+
+   Device-resident artifact: 32 B header (magic, n, m, seed), m little-
+   endian u32 displacement codes, trailing CRC32C over everything before
+   it.  The DRAM mirror is the deserialized form. *)
+
+let magic = 0x314850_4D__343464L (* "d44MPH1" *)
+let header_bytes = 32
+
+let serialized_bytes t = header_bytes + (4 * t.m) + 4
+
+let dram_bytes t = header_bytes + (4 * t.m)
+
+let serialize t =
+  let len = serialized_bytes t in
+  let b = Bytes.create len in
+  Bytes.set_int64_le b 0 magic;
+  Bytes.set_int64_le b 8 (Int64.of_int t.n);
+  Bytes.set_int64_le b 16 (Int64.of_int t.m);
+  Bytes.set_int64_le b 24 (Int64.of_int t.seed);
+  for i = 0 to t.m - 1 do
+    Bytes.set_int32_le b (header_bytes + (4 * i)) (Int32.of_int t.disps.(i))
+  done;
+  Bytes.set_int32_le b (len - 4) (Crc32c.update Crc32c.empty b ~off:0 ~len:(len - 4));
+  b
+
+let deserialize b =
+  let len = Bytes.length b in
+  if len < header_bytes + 4 then None
+  else if not (Int64.equal (Bytes.get_int64_le b 0) magic) then None
+  else begin
+    let crc = Crc32c.update Crc32c.empty b ~off:0 ~len:(len - 4) in
+    if not (Int32.equal crc (Bytes.get_int32_le b (len - 4))) then None
+    else begin
+      let n = Int64.to_int (Bytes.get_int64_le b 8) in
+      let m = Int64.to_int (Bytes.get_int64_le b 16) in
+      let seed = Int64.to_int (Bytes.get_int64_le b 24) in
+      if n < 0 || m < 0 || len <> header_bytes + (4 * m) + 4 then None
+      else begin
+        let disps =
+          Array.init m (fun i ->
+              Int32.to_int (Bytes.get_int32_le b (header_bytes + (4 * i)))
+              land 0x7fff_ffff)
+        in
+        Some { seed; n; m; disps }
+      end
+    end
+  end
+
+let verify b = deserialize b <> None
+
+let equal a b =
+  a.seed = b.seed && a.n = b.n && a.m = b.m && a.disps = b.disps

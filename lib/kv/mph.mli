@@ -1,0 +1,68 @@
+(** Minimal perfect hash over an immutable key set (CHD-style hash and
+    displace, after CompassDB).
+
+    [build] maps n distinct keys bijectively onto slots [0, n): keys fall
+    into m ~ n/2 buckets by a first hash; buckets are placed in decreasing
+    size order, each retrying displacement values deterministically until
+    its keys land on distinct free slots; singleton buckets are
+    direct-assigned the remaining free slots (flag-bit encoding), so the
+    search cannot stall at load factor 1.0.  A bucket that exhausts its
+    displacement budget restarts the whole build under the next global
+    seed — still deterministic.
+
+    The function is total: a {e non-member} key evaluates to some slot in
+    [0, n), so membership must be confirmed against the key stored in the
+    slot (which the last-level run format provides for free).
+
+    Construction is charged by the caller (see
+    [Cost_model.mph_build_per_key_ns] and the [mph.build_*] counters);
+    {!eval_charged} prices one lookup as hash + DRAM-mirror costs. *)
+
+type t
+
+val build : ?seed:int -> Types.key array -> t * int
+(** [build ~seed keys] constructs the MPH for the distinct [keys] (order
+    does not matter; the result is a function of the key set and [seed])
+    and returns the number of displacement attempts, so the caller can
+    charge the search at [hash_ns + dram_hit_ns] per attempt.  Increments
+    the [mph.builds] / [mph.build_keys] / [mph.build_attempts] /
+    [mph.build_restarts] counters.  Handles the empty set (every key then
+    evaluates to slot 0).  Raises [Failure] if the displacement search
+    does not converge after 64 seed restarts (not expected in
+    practice). *)
+
+val n : t -> int
+(** Member keys (= slots). *)
+
+val m : t -> int
+(** Displacement buckets (DRAM mirror entries). *)
+
+val seed : t -> int
+
+val eval : t -> Types.key -> int
+(** Slot of [key] in [0, max 1 n), uncharged.  Injective over the member
+    keys; arbitrary (but stable) for non-members. *)
+
+val eval_charged : t -> Pmem_sim.Clock.t -> Types.key -> int
+(** {!eval}, charging the bucket hash, the displacement-array DRAM hit
+    and (for displacement-searched buckets) the slot hash. *)
+
+(** {1 Durable artifact}
+
+    32 B header (magic, n, m, seed) + m little-endian u32 displacement
+    codes + trailing CRC32C.  The DRAM mirror is the deserialized form;
+    {!dram_bytes} is what it contributes to [dram_footprint]. *)
+
+val serialized_bytes : t -> int
+val serialize : t -> bytes
+
+val deserialize : bytes -> t option
+(** [None] on bad magic, bad length or CRC mismatch — the caller treats
+    that as artifact corruption and rebuilds from the run. *)
+
+val verify : bytes -> bool
+(** Magic + CRC check only (= [deserialize b <> None]). *)
+
+val dram_bytes : t -> int
+
+val equal : t -> t -> bool

@@ -3,6 +3,7 @@ type stage =
   | Get_memtable
   | Get_abi
   | Get_level_probe
+  | Get_mph
   | Get_log_read
   | Put_batch_copy
   | Put_index_insert
@@ -14,34 +15,37 @@ type stage =
   | Svc_encode
   | Scan_stream
 
-let nstages = 14
+let nstages = 15
 
 let index = function
   | Get_cache -> 0
   | Get_memtable -> 1
   | Get_abi -> 2
   | Get_level_probe -> 3
-  | Get_log_read -> 4
-  | Put_batch_copy -> 5
-  | Put_index_insert -> 6
-  | Put_flush_stall -> 7
-  | Put_compaction_stall -> 8
-  | Svc_decode -> 9
-  | Svc_queue -> 10
-  | Svc_execute -> 11
-  | Svc_encode -> 12
-  | Scan_stream -> 13
+  | Get_mph -> 4
+  | Get_log_read -> 5
+  | Put_batch_copy -> 6
+  | Put_index_insert -> 7
+  | Put_flush_stall -> 8
+  | Put_compaction_stall -> 9
+  | Svc_decode -> 10
+  | Svc_queue -> 11
+  | Svc_execute -> 12
+  | Svc_encode -> 13
+  | Scan_stream -> 14
 
 let all =
-  [ Get_cache; Get_memtable; Get_abi; Get_level_probe; Get_log_read;
-    Put_batch_copy; Put_index_insert; Put_flush_stall; Put_compaction_stall;
-    Svc_decode; Svc_queue; Svc_execute; Svc_encode; Scan_stream ]
+  [ Get_cache; Get_memtable; Get_abi; Get_level_probe; Get_mph;
+    Get_log_read; Put_batch_copy; Put_index_insert; Put_flush_stall;
+    Put_compaction_stall; Svc_decode; Svc_queue; Svc_execute; Svc_encode;
+    Scan_stream ]
 
 let name = function
   | Get_cache -> "cache"
   | Get_memtable -> "memtable"
   | Get_abi -> "abi"
   | Get_level_probe -> "level-probe"
+  | Get_mph -> "mph"
   | Get_log_read -> "log-read"
   | Put_batch_copy -> "batch-copy"
   | Put_index_insert -> "index-insert"
@@ -54,7 +58,8 @@ let name = function
   | Scan_stream -> "scan-stream"
 
 let op_of = function
-  | Get_cache | Get_memtable | Get_abi | Get_level_probe | Get_log_read ->
+  | Get_cache | Get_memtable | Get_abi | Get_level_probe | Get_mph
+  | Get_log_read ->
     `Get
   | Put_batch_copy | Put_index_insert | Put_flush_stall
   | Put_compaction_stall ->

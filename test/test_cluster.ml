@@ -126,26 +126,89 @@ let test_quorum_write_and_read () =
   let r2 = Router.submit_read router ~at:d.Router.finish ~bytes:14 k in
   Alcotest.(check bool) "deleted reads miss" true (r2.Router.reply = Proto.Miss)
 
-let test_scan_rejected_counted_connection_kept () =
-  (* the hash router cannot range-partition a scan: it must answer an
-     explicit error, count the rejection, and keep serving the client *)
+let test_scan_fanout_merges_cluster () =
+  (* an ordered scan fans out to every Up node and merges the replies:
+     ascending keys, one entry per key, acked value lengths *)
   let _ring, _nodes, router = mk_cluster ~n:3 ~replicas:2 ~wq:2 ~rq:1 () in
-  let k = key 7 in
-  ignore (Router.submit_write router ~at:0.0 ~bytes:26 k (Node.Put 8));
-  Alcotest.(check int) "no rejections yet" 0 (Router.scan_rejections router);
-  let o = Router.submit router ~at:1e6 ~bytes:14 (Proto.Scan (k, 10)) in
+  let orc = Run.oracle () in
+  let t0 = Run.preload router orc ~n_keys:200 ~vlen:8 in
+  Alcotest.(check int) "no scans yet" 0 (Router.scans router);
+  let o = Router.submit router ~at:t0 ~bytes:14 (Proto.Scan (0L, 50)) in
+  (match o.Router.reply with
+  | Proto.Values vs ->
+    Alcotest.(check int) "limit honoured" 50 (List.length vs);
+    let rec ascending = function
+      | (a, _, _) :: ((b, _, _) :: _ as rest) ->
+        Kv_common.Types.key_compare a b < 0 && ascending rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "ascending and deduplicated" true (ascending vs);
+    List.iter
+      (fun (_, vlen, _) -> Alcotest.(check int) "acked vlen" 8 vlen)
+      vs
+  | r -> Alcotest.failf "scan earned %a, not Values" Proto.pp_reply r);
+  Alcotest.(check int) "scan counted" 1 (Router.scans router);
+  Alcotest.(check bool) "reply takes time" true (o.Router.finish > t0);
+  Alcotest.(check bool) "nothing acked" true (o.Router.acked = []);
+  (* the scan audit reproduces the oracle's whole live set *)
+  let checked, mms = Run.scan_divergence router orc in
+  Alcotest.(check int) "audited every live key" 200 checked;
+  Alcotest.(check int) "scan audit clean" 0 (List.length mms);
+  (* a quorum-acked delete disappears from the next scan *)
+  let victim =
+    match o.Router.reply with
+    | Proto.Values ((k, _, _) :: _) -> k
+    | _ -> Alcotest.fail "no scanned key"
+  in
+  let d =
+    Router.submit_write router ~at:o.Router.finish ~bytes:14 victim
+      Node.Delete
+  in
+  Alcotest.(check bool) "delete acked" true (d.Router.reply = Proto.Ok);
+  let o2 =
+    Router.submit_scan router ~at:d.Router.finish ~bytes:14 ~start:0L
+      ~limit:50
+  in
+  match o2.Router.reply with
+  | Proto.Values vs ->
+    Alcotest.(check bool) "deleted key suppressed" true
+      (not (List.exists (fun (k, _, _) -> k = victim) vs))
+  | r -> Alcotest.failf "rescan earned %a, not Values" Proto.pp_reply r
+
+let test_scan_refused_when_vshard_uncovered () =
+  (* a vshard with no Up owner makes a complete scan impossible: the
+     router must refuse rather than answer with a silent gap, and keep
+     serving point reads for the surviving vshards *)
+  let ring, nodes, router = mk_cluster ~n:3 ~replicas:2 ~wq:2 ~rq:1 () in
+  for i = 0 to 49 do
+    ignore (Router.submit_write router ~at:0.0 ~bytes:26 (key i) (Node.Put 8))
+  done;
+  List.iter
+    (fun nid -> Node.kill ~tear:false ~seed:(10 + nid) nodes.(nid))
+    (Ring.owners ring 0);
+  let before = Router.unavailable router in
+  let o = Router.submit router ~at:1e6 ~bytes:14 (Proto.Scan (0L, 10)) in
   (match o.Router.reply with
   | Proto.Err _ -> ()
   | r -> Alcotest.failf "scan earned %a, not Err" Proto.pp_reply r);
-  Alcotest.(check int) "rejection counted" 1 (Router.scan_rejections router);
-  Alcotest.(check bool) "reply takes network time" true
-    (o.Router.finish > 1e6);
+  Alcotest.(check int) "unavailability counted" (before + 1)
+    (Router.unavailable router);
+  Alcotest.(check int) "scan counted" 1 (Router.scans router);
   Alcotest.(check bool) "nothing acked" true (o.Router.acked = []);
-  (* the same client keeps working afterwards *)
+  (* the same client keeps working on a covered vshard *)
+  let rec covered i =
+    if i >= 50 then Alcotest.fail "no key on a surviving owner"
+    else if
+      List.exists
+        (fun nid -> Node.status nodes.(nid) = Node.Up)
+        (Ring.owners_of_key ring (key i))
+    then key i
+    else covered (i + 1)
+  in
+  let k = covered 0 in
   let r = Router.submit_read router ~at:o.Router.finish ~bytes:14 k in
   Alcotest.(check bool) "later read still served" true
-    (r.Router.reply = Proto.Hit 8);
-  Alcotest.(check int) "still one rejection" 1 (Router.scan_rejections router)
+    (r.Router.reply = Proto.Hit 8)
 
 let test_quorum_failfast_on_owner_down () =
   let ring, nodes, router = mk_cluster ~n:3 ~replicas:2 ~wq:2 ~rq:1 () in
@@ -291,7 +354,10 @@ let test_preload_replicates_and_audits_clean () =
   Alcotest.(check bool) "preload advances time" true (t0 > 0.0);
   let checked, mms = Run.divergence router orc in
   Alcotest.(check int) "two replica reads per key" 1000 checked;
-  Alcotest.(check int) "clean audit" 0 (List.length mms)
+  Alcotest.(check int) "clean audit" 0 (List.length mms);
+  let scanned, smms = Run.scan_divergence router orc in
+  Alcotest.(check int) "scan audit covers the live set" 500 scanned;
+  Alcotest.(check int) "clean scan audit" 0 (List.length smms)
 
 let () =
   Alcotest.run "cluster"
@@ -310,8 +376,10 @@ let () =
             test_apply_is_idempotent;
           Alcotest.test_case "stale route redirects, never misroutes" `Quick
             test_stale_route_redirects_not_misroutes;
-          Alcotest.test_case "scan rejected, counted, connection kept" `Quick
-            test_scan_rejected_counted_connection_kept ] );
+          Alcotest.test_case "scan fan-out merges the cluster" `Quick
+            test_scan_fanout_merges_cluster;
+          Alcotest.test_case "scan refused when a vshard is uncovered" `Quick
+            test_scan_refused_when_vshard_uncovered ] );
       ( "scenarios",
         [ Alcotest.test_case "failover: no acked write lost" `Quick
             test_failover_no_acked_write_lost;

@@ -1,0 +1,271 @@
+module Clock = Pmem_sim.Clock
+module Device = Pmem_sim.Device
+module CM = Pmem_sim.Cost_model
+module Stats = Pmem_sim.Stats
+module Types = Kv_common.Types
+module Mph = Kv_common.Mph
+module LT = Kv_common.Linear_table
+
+let key i = Workload.Keyspace.key_of_index i
+let dev () = Device.create CM.optane
+let seeds = [ 1; 11; 101 ]
+let keys_of n = Array.init n key
+
+let counter name =
+  match Obs.Counters.find name with Some v -> v | None -> 0.0
+
+(* ------------------------------ Construction ----------------------------- *)
+
+let check_injective ~what t keys =
+  let n = Array.length keys in
+  let hit = Array.make (max 1 n) false in
+  Array.iter
+    (fun k ->
+      let s = Mph.eval t k in
+      if s < 0 || s >= n then
+        Alcotest.failf "%s: slot %d out of range [0,%d)" what s n;
+      if hit.(s) then Alcotest.failf "%s: slot %d assigned twice" what s;
+      hit.(s) <- true)
+    keys
+
+let test_injective_all_sizes () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun n ->
+          let keys = keys_of n in
+          let t, attempts = Mph.build ~seed keys in
+          Alcotest.(check int) "n recorded" n (Mph.n t);
+          Alcotest.(check bool) "attempts non-negative" true (attempts >= 0);
+          check_injective ~what:(Printf.sprintf "seed %d n %d" seed n) t keys)
+        [ 0; 1; 2; 3; 7; 64; 1_000 ])
+    seeds
+
+let test_large_build_converges () =
+  (* regression: quick-scale last-level runs are tens of thousands of keys;
+     construction must converge without burning through seed restarts *)
+  let n = 60_000 in
+  let keys = keys_of n in
+  List.iter
+    (fun seed ->
+      let restarts0 = counter "mph.build_restarts" in
+      let t, attempts = Mph.build ~seed keys in
+      check_injective ~what:(Printf.sprintf "large build seed %d" seed) t keys;
+      let apk = float_of_int attempts /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempts/key sane (%.2f)" apk)
+        true (apk < 20.0);
+      Alcotest.(check bool) "few restarts" true
+        (counter "mph.build_restarts" -. restarts0 < 4.0))
+    seeds
+
+let test_deterministic_in_key_set () =
+  let keys = keys_of 2_000 in
+  let shuffled = Array.copy keys in
+  (* deterministic shuffle *)
+  let rng = Workload.Rng.create ~seed:7 in
+  for i = Array.length shuffled - 1 downto 1 do
+    let j = Workload.Rng.int rng (i + 1) in
+    let tmp = shuffled.(i) in
+    shuffled.(i) <- shuffled.(j);
+    shuffled.(j) <- tmp
+  done;
+  let a, _ = Mph.build ~seed:11 keys in
+  let b, _ = Mph.build ~seed:11 shuffled in
+  Alcotest.(check bool) "same function from any input order" true
+    (Mph.equal a b);
+  Alcotest.(check bool) "identical artifact bytes" true
+    (Bytes.equal (Mph.serialize a) (Mph.serialize b));
+  Array.iter
+    (fun k ->
+      Alcotest.(check int) "same slot" (Mph.eval a k) (Mph.eval b k))
+    keys
+
+let test_eval_total_for_non_members () =
+  let n = 1_000 in
+  let t, _ = Mph.build ~seed:1 (keys_of n) in
+  for i = n to n + 499 do
+    let s = Mph.eval t (key i) in
+    if s < 0 || s >= n then
+      Alcotest.failf "non-member slot %d out of range [0,%d)" s n
+  done
+
+let test_zero_and_one_key () =
+  let empty, attempts0 = Mph.build ~seed:3 [||] in
+  Alcotest.(check int) "empty n" 0 (Mph.n empty);
+  Alcotest.(check int) "empty build needs no attempts" 0 attempts0;
+  Alcotest.(check int) "empty evals to 0" 0 (Mph.eval empty 42L);
+  let one, _ = Mph.build ~seed:3 [| key 9 |] in
+  Alcotest.(check int) "singleton maps to slot 0" 0 (Mph.eval one (key 9))
+
+let test_build_counters_reconcile () =
+  let builds0 = counter "mph.builds" in
+  let keys0 = counter "mph.build_keys" in
+  let attempts0 = counter "mph.build_attempts" in
+  let n = 5_000 in
+  let _, attempts = Mph.build ~seed:11 (keys_of n) in
+  Alcotest.(check (float 0.0)) "one build" 1.0 (counter "mph.builds" -. builds0);
+  Alcotest.(check (float 0.0)) "keys counted" (float_of_int n)
+    (counter "mph.build_keys" -. keys0);
+  Alcotest.(check (float 0.0)) "attempts counter matches return"
+    (float_of_int attempts)
+    (counter "mph.build_attempts" -. attempts0)
+
+(* ------------------------------ Serialization ---------------------------- *)
+
+let test_serialize_roundtrip () =
+  List.iter
+    (fun n ->
+      let keys = keys_of n in
+      let t, _ = Mph.build ~seed:101 keys in
+      let b = Mph.serialize t in
+      Alcotest.(check int) "length as declared" (Mph.serialized_bytes t)
+        (Bytes.length b);
+      Alcotest.(check bool) "verifies" true (Mph.verify b);
+      match Mph.deserialize b with
+      | None -> Alcotest.fail "round-trip failed"
+      | Some t' ->
+        Alcotest.(check bool) "equal after round-trip" true (Mph.equal t t');
+        Array.iter
+          (fun k ->
+            Alcotest.(check int) "same slot after round-trip" (Mph.eval t k)
+              (Mph.eval t' k))
+          keys)
+    [ 0; 1; 5; 1_000 ]
+
+let test_deserialize_rejects_damage () =
+  let t, _ = Mph.build ~seed:1 (keys_of 100) in
+  let b = Mph.serialize t in
+  (* bit rot in the displacement area: CRC must catch it *)
+  let rotted = Bytes.copy b in
+  Bytes.set rotted 40 (Char.chr (Char.code (Bytes.get rotted 40) lxor 0x10));
+  Alcotest.(check bool) "bit rot rejected" true (Mph.deserialize rotted = None);
+  (* bad magic *)
+  let bad = Bytes.copy b in
+  Bytes.set_int64_le bad 0 0L;
+  Alcotest.(check bool) "bad magic rejected" true (Mph.deserialize bad = None);
+  (* truncation *)
+  Alcotest.(check bool) "truncation rejected" true
+    (Mph.deserialize (Bytes.sub b 0 (Bytes.length b - 8)) = None)
+
+(* ------------------------- Last-level run integration -------------------- *)
+
+let test_lt_mph_one_device_read () =
+  let d = dev () in
+  let c = Clock.create () in
+  let n = 500 in
+  let entries = List.init n (fun i -> (key i, i)) in
+  let t = LT.build_mph d c ~seed:1 entries in
+  Alcotest.(check bool) "is_mph" true (LT.is_mph t);
+  Alcotest.(check int) "count" n (LT.count t);
+  Alcotest.(check bool) "mirror counted in DRAM" true (LT.dram_bytes t > 0);
+  (* hit: exactly one device read *)
+  let before = (Device.stats d).Stats.read_ops in
+  (match LT.get t c (key 7) with
+  | LT.Found 7 -> ()
+  | _ -> Alcotest.fail "hit lost");
+  Alcotest.(check int) "one read per hit" 1
+    ((Device.stats d).Stats.read_ops - before);
+  (* miss: also exactly one device read (slot key mismatch answers Absent) *)
+  let before = (Device.stats d).Stats.read_ops in
+  Alcotest.(check bool) "miss answers Absent" true
+    (LT.get t c (key (n + 3)) = LT.Absent);
+  Alcotest.(check int) "one read per miss" 1
+    ((Device.stats d).Stats.read_ops - before)
+
+let test_lt_mph_missing_keys_never_lie () =
+  List.iter
+    (fun seed ->
+      let d = dev () in
+      let c = Clock.create () in
+      let n = 2_000 in
+      let t = LT.build_mph d c ~seed (List.init n (fun i -> (key i, i))) in
+      for i = 0 to n - 1 do
+        match LT.get t c (key i) with
+        | LT.Found v when v = i -> ()
+        | _ -> Alcotest.failf "member %d wrong under seed %d" i seed
+      done;
+      for i = n to (2 * n) - 1 do
+        if LT.get t c (key i) <> LT.Absent then
+          Alcotest.failf "non-member %d not Absent under seed %d" i seed
+      done)
+    seeds
+
+let test_lt_mph_empty_and_single () =
+  let d = dev () in
+  let c = Clock.create () in
+  let empty = LT.build_mph d c ~seed:1 [] in
+  Alcotest.(check int) "empty count" 0 (LT.count empty);
+  Alcotest.(check bool) "empty get" true (LT.get empty c 1L = LT.Absent);
+  let one = LT.build_mph d c ~seed:1 [ (key 5, 55) ] in
+  Alcotest.(check bool) "single hit" true (LT.get one c (key 5) = LT.Found 55);
+  Alcotest.(check bool) "single miss" true (LT.get one c (key 6) = LT.Absent)
+
+let test_lt_mph_artifact_corruption_repair () =
+  let d = dev () in
+  let c = Clock.create () in
+  let t = LT.build_mph d c ~seed:1 (List.init 400 (fun i -> (key i, i))) in
+  let off, len =
+    match LT.mph_media_range t with
+    | Some r -> r
+    | None -> Alcotest.fail "mph run without artifact range"
+  in
+  Device.inject_poison d ~off ~len:(min len 256);
+  Alcotest.(check bool) "artifact damage detected" false (LT.mph_intact t c);
+  Alcotest.(check bool) "slots unaffected" true (LT.slots_intact t c);
+  Alcotest.(check bool) "whole-run verdict fails" false (LT.intact t c);
+  (* gets keep working off the DRAM mirror while damaged *)
+  Alcotest.(check bool) "get during damage" true
+    (LT.get t c (key 3) = LT.Found 3);
+  LT.rebuild_mph_artifact t c;
+  Alcotest.(check bool) "artifact repaired" true (LT.mph_intact t c);
+  Alcotest.(check bool) "whole run intact again" true (LT.intact t c);
+  Alcotest.(check bool) "repair re-verifies" true
+    (match LT.mph_media_range t with
+    | Some (off', _) -> off' <> off || not (Device.poisoned_in d ~off ~len:1)
+    | None -> false)
+
+let test_lt_mph_slot_corruption_fail_stop () =
+  let d = dev () in
+  let c = Clock.create () in
+  let t = LT.build_mph d c ~seed:1 (List.init 400 (fun i -> (key i, i))) in
+  let off, len = LT.media_range t in
+  Device.inject_poison d ~off ~len;
+  Alcotest.(check bool) "slot damage detected" false (LT.slots_intact t c);
+  for i = 0 to 9 do
+    if LT.get t c (key i) <> LT.Corrupted then
+      Alcotest.failf "poisoned slot read for key %d did not fail stop" i
+  done
+
+(* -------------------------------- Registry ------------------------------- *)
+
+let () =
+  Alcotest.run "mph"
+    [ ( "construction",
+        [ Alcotest.test_case "injective at all sizes" `Quick
+            test_injective_all_sizes;
+          Alcotest.test_case "large builds converge" `Quick
+            test_large_build_converges;
+          Alcotest.test_case "deterministic in the key set" `Quick
+            test_deterministic_in_key_set;
+          Alcotest.test_case "total for non-members" `Quick
+            test_eval_total_for_non_members;
+          Alcotest.test_case "zero and one key" `Quick test_zero_and_one_key;
+          Alcotest.test_case "counters reconcile" `Quick
+            test_build_counters_reconcile ] );
+      ( "artifact",
+        [ Alcotest.test_case "serialize round-trip" `Quick
+            test_serialize_roundtrip;
+          Alcotest.test_case "damage rejected" `Quick
+            test_deserialize_rejects_damage ] );
+      ( "last-level run",
+        [ Alcotest.test_case "one device read per get" `Quick
+            test_lt_mph_one_device_read;
+          Alcotest.test_case "missing keys never lie" `Quick
+            test_lt_mph_missing_keys_never_lie;
+          Alcotest.test_case "empty and single-key runs" `Quick
+            test_lt_mph_empty_and_single;
+          Alcotest.test_case "artifact corruption repaired in place" `Quick
+            test_lt_mph_artifact_corruption_repair;
+          Alcotest.test_case "slot corruption fail-stops" `Quick
+            test_lt_mph_slot_corruption_fail_stop ] ) ]
