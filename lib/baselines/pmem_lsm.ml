@@ -565,6 +565,8 @@ let store t : Kv_common.Store_intf.store =
     let write clock key spec =
       put t clock key ~vlen:(Kv_common.Store_intf.spec_vlen spec)
 
+    let write_batch = Kv_common.Store_intf.sequential_write_batch write
+
     let read clock key : Kv_common.Store_intf.read_result =
       match fst (probe_with_level t clock key) with
       | `Hit loc ->

@@ -82,6 +82,7 @@ let step router cu ~now ~chunk =
       end;
       let ring = Router.ring router in
       let budget = ref chunk in
+      let shipped = ref [] in
       while !budget > 0 && cu.c_loc < Vlog.persisted vlog do
         let loc = cu.c_loc in
         cu.c_loc <- cu.c_loc + 1;
@@ -97,10 +98,13 @@ let step router cu ~now ~chunk =
           | Ok (key, vlen) ->
               cu.c_shipped <- cu.c_shipped + 1;
               let action = if vlen < 0 then Node.Delete else Node.Put vlen in
-              if Node.apply n nrx ~stamp key action then
-                cu.c_applied <- cu.c_applied + 1
+              shipped := (stamp, key, action) :: !shipped
         end
       done;
+      (* the chunk lands on the joiner as one grouped apply: fresh puts
+         share a single write_batch group commit on the joiner's loop *)
+      cu.c_applied <-
+        cu.c_applied + Node.apply_batch n nrx (List.rev !shipped);
       if cu.c_loc >= Vlog.persisted vlog then begin
         cu.c_peers <- rest;
         cu.c_loc <- 0;

@@ -95,6 +95,53 @@ let apply t clock ~stamp key action =
     true
   end
 
+(* Grouped apply for catch-up streaming: the fresh puts in [entries]
+   commit as one [write_batch] — one persist fence where the store has
+   one — with stamps mapped onto the group's log locations in order.
+   Deletes, and anything stale, take the single-op [apply] semantics.
+   Returns how many entries were actually applied. *)
+let apply_batch t clock entries =
+  let applied = ref 0 in
+  let cur key = Option.value ~default:(-1) (Hashtbl.find_opt t.versions key) in
+  let pending = ref [] in
+  (* newest pending stamp per key, so intra-group duplicates keep the
+     same skip rule the sequential path has *)
+  let pending_ver : (Types.key, int) Hashtbl.t = Hashtbl.create 16 in
+  let effective key =
+    max (cur key) (Option.value ~default:(-1) (Hashtbl.find_opt pending_ver key))
+  in
+  let flush_pending () =
+    match List.rev !pending with
+    | [] -> ()
+    | group ->
+      pending := [];
+      Hashtbl.reset pending_ver;
+      let vlog = Store_intf.vlog t.store in
+      let base = Vlog.length vlog in
+      Store_intf.write_batch t.store clock
+        (List.map (fun (_, key, vlen) -> (key, Store_intf.Sized vlen)) group);
+      List.iteri
+        (fun i (stamp, key, _) ->
+          set_stamp t (base + i) stamp;
+          Hashtbl.replace t.versions key stamp;
+          incr applied)
+        group
+  in
+  List.iter
+    (fun (stamp, key, action) ->
+      if stamp > effective key then
+        match action with
+        | Put vlen ->
+          pending := (stamp, key, vlen) :: !pending;
+          Hashtbl.replace pending_ver key stamp
+        | Delete ->
+          (* order matters: anything buffered lands before the delete *)
+          flush_pending ();
+          if apply t clock ~stamp key Delete then incr applied)
+    entries;
+  flush_pending ();
+  !applied
+
 let read t clock key = Store_intf.read t.store clock key
 
 (* Local space reclamation after a shard migrates away: a plain store

@@ -49,6 +49,15 @@ val apply :
     Returns [false] without charging when the node already holds this
     version or newer (idempotent replay for catch-up and dual-writes). *)
 
+val apply_batch :
+  t -> Pmem_sim.Clock.t ->
+  (int * Kv_common.Types.key * action) list -> int
+(** Apply a group of stamped [(stamp, key, action)] mutations in list
+    order.  Runs of fresh puts commit through {!STORE.write_batch} — one
+    persist fence where the store has one — with stamps mapped onto the
+    group's log locations; deletes and stale entries keep the single-op
+    {!apply} semantics.  Returns how many were actually applied. *)
+
 val read :
   t -> Pmem_sim.Clock.t -> Kv_common.Types.key ->
   Kv_common.Store_intf.read_result

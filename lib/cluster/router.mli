@@ -76,16 +76,24 @@ val submit_write :
 
 val submit_read : t -> at:float -> bytes:int -> Kv_common.Types.key -> outcome
 
+val call : t -> at:float -> bytes:int -> Service.Proto.req -> outcome
+(** The one typed entry point: route any {!Service.Proto.req} — including
+    [Batch] frames, whose inner ops route individually and fold — and
+    return its outcome.  [bytes] is the encoded frame size, charged at
+    each contacted node.  Scans fan out to every [Up] node; the replies
+    are reconciled per key (freshest owner replica by version stamp, ties
+    to the lower node id, non-owner leftovers discarded) and merged in
+    key order through {!Kv_common.Scan}, answering [Values] with
+    (key, vlen, None) entries — refused as [Err "unavailable"] when any
+    vshard has no [Up] owner, since a partial scan would be
+    indistinguishable from a complete one. *)
+
+val submit : t -> at:float -> bytes:int -> Service.Proto.req -> outcome
+  [@@ocaml.deprecated "use Router.call"]
+(** @deprecated Alias for {!call}; will be removed next PR. *)
+
 val submit_scan :
   t -> at:float -> bytes:int -> start:Kv_common.Types.key -> limit:int ->
   outcome
-(** Fan an ordered scan out to every [Up] node, reconcile the replies per
-    key (freshest owner replica by version stamp, ties to the lower node
-    id, non-owner leftovers discarded) and merge them in key order through
-    {!Kv_common.Scan}.  Answers [Values] with (key, vlen, None) entries;
-    refused as [Err "unavailable"] when any vshard has no [Up] owner,
-    since a partial scan would be indistinguishable from a complete one. *)
-
-val submit : t -> at:float -> bytes:int -> Service.Proto.req -> outcome
-(** Route one request ([bytes] is the encoded frame size, charged at
-    each contacted node); batches route each inner op and fold. *)
+  [@@ocaml.deprecated "use Router.call with a Proto.Scan request"]
+(** @deprecated [call] with a [Proto.Scan]; will be removed next PR. *)

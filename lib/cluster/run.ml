@@ -162,7 +162,7 @@ let run ?(cfg = default_cfg) ?(start_at = 0.0) ?(arrivals = [||]) ?closed
   let submit_one ~at ~bytes req =
     incr reqs;
     ops := !ops + Proto.ops_in_req req;
-    let o = Router.submit router ~at ~bytes req in
+    let o = Router.call router ~at ~bytes req in
     oracle_note orc o.Router.acked;
     let lat = o.Router.finish -. at in
     let w = window_at at in
@@ -355,7 +355,7 @@ let divergence router (orc : oracle) =
 
 (* Scan-path audit: one router fan-out over the whole keyspace must
    reproduce exactly the oracle's live Put set, in ascending key order,
-   with the acked value lengths.  Runs through the real [Router.submit_scan]
+   with the acked value lengths.  Runs through the real [Router.call] scan
    path after the run, so its node-side scan costs land past the measured
    window.  [mm_node] is -1: a scan mismatch is a router-level divergence,
    not attributable to one replica. *)
@@ -371,7 +371,7 @@ let scan_divergence router (orc : oracle) =
          orc [])
   in
   let limit = max 1 (List.length expected) in
-  let o = Router.submit_scan router ~at:0.0 ~bytes:0 ~start:0L ~limit in
+  let o = Router.call router ~at:0.0 ~bytes:0 (Proto.Scan (0L, limit)) in
   let got =
     match o.Router.reply with
     | Proto.Values vs -> List.map (fun (k, vlen, _) -> (k, vlen)) vs

@@ -725,6 +725,12 @@ let store ?(name = "ChameleonDB") t : Kv_common.Store_intf.store =
   (module struct
     let name = name
     let write clock key spec = write t clock key spec
+
+    (* ChameleonDB's vlog already coalesces appends into an open DRAM
+       batch flushed at [vlog_batch_bytes]; forcing an extra fence per
+       group here would only slow loads down. *)
+    let write_batch = Kv_common.Store_intf.sequential_write_batch write
+
     let read clock key = read t clock key
     let delete clock key = delete t clock key
     let scan clock ~start ~limit = scan t clock ~start ~limit

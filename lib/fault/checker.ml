@@ -59,12 +59,26 @@ let run_case ~make ?(ops = 4_000) ?(universe = 400) ?crash_site ?crash_after
   let crash_step = ref 0 in
   let crash_site_fired = ref None in
   let recovery_crashed = ref false in
-  (* [inflight] is the key of the operation currently executing; if the
-     crash interrupts it, that key becomes [ambiguous]: its pre- and post-op
-     states are both acceptable (the append may or may not have persisted),
-     so it is exempt from checks until a later COMPLETED write resolves it. *)
-  let inflight = ref None in
-  let ambiguous = ref None in
+  (* [inflight] holds the key of the single operation currently executing;
+     if the crash interrupts it, that key becomes [ambiguous]: its pre- and
+     post-op states are both acceptable (the append may or may not have
+     persisted), so it is exempt from checks until a later COMPLETED write
+     resolves it.
+
+     A crash inside a grouped write leaves every key of the group
+     individually ambiguous (a store may commit anywhere from none to all
+     of them, and its commit point need not be the log append — Pmem-Hash
+     commits on the slot update), but the ACK ORDER is not ambiguous:
+     batched acks promise that what survives is a prefix of the group.
+     [inflight_group] remembers (base, keys); on a crash mid-group the
+     keys join [ambiguous] for the state sweep, and the group's fresh
+     keys (no earlier history that could mask the outcome) get a direct
+     suffix-only assertion after recovery: a surviving key with a lost
+     predecessor fails the case. *)
+  let inflight = ref [] in
+  let ambiguous = ref [] in
+  let inflight_group = ref None in
+  let group_suffix_check = ref [] in
   let crash_with_tear () =
     if tear then Injector.set_tear inj ~seed ~keep_prob:0.5;
     Store_intf.crash store;
@@ -87,7 +101,7 @@ let run_case ~make ?(ops = 4_000) ?(universe = 400) ?crash_site ?crash_after
         recover_once ())
   in
   let check_key ~context key =
-    if !ambiguous <> Some key then begin
+    if not (List.mem key !ambiguous) then begin
       let expect = oracle_mem oracle key in
       let got = (Store_intf.read store clock key).Store_intf.loc <> None in
       if expect <> got then
@@ -103,9 +117,7 @@ let run_case ~make ?(ops = 4_000) ?(universe = 400) ?crash_site ?crash_after
      the check is skipped for that one verification. *)
   let check_scan ~context ~start ~limit =
     let ambiguous_in_range =
-      match !ambiguous with
-      | Some k -> Types.key_compare k start >= 0
-      | None -> false
+      List.exists (fun k -> Types.key_compare k start >= 0) !ambiguous
     in
     if not ambiguous_in_range then begin
       let rec firstn n = function
@@ -144,18 +156,36 @@ let run_case ~make ?(ops = 4_000) ?(universe = 400) ?crash_site ?crash_after
   let run_op step =
     let key = Keyspace.key_of_index (Rng.int rng universe) in
     match Rng.int rng 20 with
-    | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 ->
-      inflight := Some key;
+    | 0 | 1 | 2 | 3 | 4 | 5 | 6 ->
+      inflight := [ key ];
       Store_intf.write store clock key (Store_intf.Sized 8);
       oracle_record oracle key (Vlog.length vlog - 1) ~deleted:false;
-      inflight := None;
-      if !ambiguous = Some key then ambiguous := None
+      inflight := [];
+      ambiguous := List.filter (fun k -> k <> key) !ambiguous
+    | 7 | 8 ->
+      (* grouped write through [write_batch]: acked as a unit, and a crash
+         inside the group must lose a suffix only — the optimistic group
+         recording in the crash handler plus the watermark prune enforce
+         exactly that *)
+      let n = 2 + Rng.int rng 7 in
+      let keys =
+        List.init n (fun _ -> Keyspace.key_of_index (Rng.int rng universe))
+      in
+      let base = Vlog.length vlog in
+      inflight_group := Some (base, keys);
+      Store_intf.write_batch store clock
+        (List.map (fun k -> (k, Store_intf.Sized 8)) keys);
+      inflight_group := None;
+      List.iteri
+        (fun i k -> oracle_record oracle k (base + i) ~deleted:false)
+        keys;
+      ambiguous := List.filter (fun k -> not (List.mem k keys)) !ambiguous
     | 9 | 10 ->
-      inflight := Some key;
+      inflight := [ key ];
       Store_intf.delete store clock key;
       oracle_record oracle key (Vlog.length vlog - 1) ~deleted:true;
-      inflight := None;
-      if !ambiguous = Some key then ambiguous := None
+      inflight := [];
+      ambiguous := List.filter (fun k -> k <> key) !ambiguous
     | 11 | 12 ->
       check_scan
         ~context:(Printf.sprintf "step %d" step)
@@ -179,10 +209,47 @@ let run_case ~make ?(ops = 4_000) ?(universe = 400) ?crash_site ?crash_after
       crashed := true;
       crash_step := !step;
       crash_site_fired := Injector.fired_site inj;
-      ambiguous := !inflight;
-      inflight := None;
+      (match !inflight_group with
+      | Some (_base, keys) ->
+        (* fresh keys: no prior history and a single occurrence, so
+           post-recovery presence can only come from this group *)
+        group_suffix_check :=
+          List.filter
+            (fun k ->
+              (not (Hashtbl.mem oracle k))
+              && List.length (List.filter (Int64.equal k) keys) = 1)
+            keys;
+        ambiguous := keys;
+        inflight_group := None
+      | None -> ());
+      ambiguous := !inflight @ !ambiguous;
+      inflight := [];
       crash_with_tear ();
       recover ();
+      (* batched-ack order: among the group's fresh keys, survivors must
+         form a prefix — a present key after an absent one means the
+         store acked (or replayed) a middle op without its predecessor *)
+      (match !group_suffix_check with
+      | [] -> ()
+      | fresh ->
+        let flags =
+          List.map
+            (fun k ->
+              (Store_intf.read store clock k).Store_intf.loc <> None)
+            fresh
+        in
+        let rec prefix_ok = function
+          | a :: (b :: _ as tl) -> ((a || not b) && prefix_ok tl)
+          | _ -> true
+        in
+        if not (prefix_ok flags) then
+          violate
+            "crash in group commit (step %d): surviving batch keys are \
+             not a prefix [%s]"
+            !step
+            (String.concat ";"
+               (List.map (fun b -> if b then "1" else "0") flags));
+        group_suffix_check := []);
       verify_sweep ~context:(Printf.sprintf "post-recovery (step %d)" !step)
     | exn ->
       violate "step %d: unexpected exception %s" !step
@@ -228,8 +295,17 @@ let profile ~make ?(ops = 4_000) ?(universe = 400) ~seed () =
   for step = 1 to ops do
     let key = Keyspace.key_of_index (Rng.int rng universe) in
     (match Rng.int rng 20 with
-    | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 ->
+    | 0 | 1 | 2 | 3 | 4 | 5 | 6 ->
       Store_intf.write store clock key (Store_intf.Sized 8)
+    | 7 | 8 ->
+      (* mirror [run_case]'s grouped-write draw so the profiled persist
+         events enumerate the same crash points *)
+      let n = 2 + Rng.int rng 7 in
+      let keys =
+        List.init n (fun _ -> Keyspace.key_of_index (Rng.int rng universe))
+      in
+      Store_intf.write_batch store clock
+        (List.map (fun k -> (k, Store_intf.Sized 8)) keys)
     | 9 | 10 -> Store_intf.delete store clock key
     | 11 | 12 -> ignore (Store_intf.scan store clock ~start:key ~limit:8)
     | _ -> ignore (Store_intf.read store clock key));

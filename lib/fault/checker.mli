@@ -12,7 +12,13 @@
 
     The single operation interrupted mid-flight by the crash is ambiguous
     (its record may or may not have reached the persisted prefix) and is
-    exempt from checks until a later completed write resolves it. *)
+    exempt from checks until a later completed write resolves it.
+
+    A crash inside a grouped write ([write_batch]) leaves each key of
+    the group ambiguous for the state sweep, but additionally asserts
+    the batched-ack order directly: among the group's fresh keys,
+    post-recovery survivors must form a prefix of the group — a store
+    that keeps a middle op while losing its predecessor fails. *)
 
 type outcome = {
   store_name : string;

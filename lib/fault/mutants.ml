@@ -24,6 +24,8 @@ let broken_replay () : Kv_common.Store_intf.store =
       let loc = Vlog.append vlog clock key ~vlen in
       Robinhood.put !index clock key loc
 
+    let write_batch = Kv_common.Store_intf.sequential_write_batch write
+
     let read clock key : Kv_common.Store_intf.read_result =
       match Robinhood.get !index clock key with
       | Some loc when not (Types.is_tombstone loc) -> (

@@ -1438,6 +1438,216 @@ let service scale =
     (100.0 *. shed)
 
 (* ------------------------------------------------------------------ *)
+(* batch: end-to-end write batching — client batches, server group     *)
+(* commit, and the Hybrid-Viper store's single-fence batch path.       *)
+(* ------------------------------------------------------------------ *)
+
+(* All-put request generator: batch <= 1 emits bare Put frames, larger
+   sizes emit [Proto.Batch] frames whose inner ops all share the frame's
+   intended arrival (coordinated-omission-free per-op timing). *)
+let batch_reqgen ~n_keys ~vlen ~batch =
+  let payload = Bytes.make vlen 'v' in
+  fun rng ->
+    let put () =
+      Service.Proto.Put
+        (Workload.Keyspace.key_of_index (Workload.Rng.int rng n_keys), payload)
+    in
+    if batch <= 1 then put ()
+    else Service.Proto.Batch (List.init batch (fun _ -> put ()))
+
+let batch_exp scale =
+  let workers = 8 in
+  let vlen = scale.Stores.vlen in
+  let n_keys = scale.Stores.load_keys in
+  let mk () =
+    let store = (Stores.find scale "Hybrid-Viper").Stores.make () in
+    let load =
+      Stores.load_unique ~store ~threads:workers ~start_at:0.0 ~n:n_keys ~vlen
+    in
+    (store, Stores.settled_cursor ~store load)
+  in
+  (* capacity probe: closed-loop single-put frames — every ack pays a
+     full persist fence, the floor the batched runs amortize away *)
+  let pstore, pt0 = mk () in
+  let conns = workers * 4 in
+  let probe =
+    Service.Server.run ~store:pstore ~workers ~start_at:pt0
+      ~closed:
+        (Service.Loadgen.closed_loop ~conns
+           ~reqs_per_conn:(max 64 (scale.Stores.sweep_ops / conns / 4))
+           ~reqgen:(batch_reqgen ~n_keys ~vlen ~batch:1) ())
+      ()
+  in
+  let cap = Service.Server.throughput_mops probe in
+  pr "Closed-loop put capacity at batch 1: %.2f Mops/s over %d workers@.@."
+    cap workers;
+  let ops_target = scale.Stores.sweep_ops in
+  let counter s n =
+    Option.value ~default:0.0 (List.assoc_opt n s.Service.Server.counters)
+  in
+  let run_cell ~batch ~linger_ns ~rate =
+    let store, t0 = mk () in
+    let frame_rate = rate /. float_of_int (max 1 batch) in
+    let duration_ns = float_of_int ops_target /. rate *. 1000.0 in
+    let arrivals =
+      Service.Loadgen.open_loop ~seed:31 ~conns:8
+        ~process:(Service.Loadgen.Poisson { rate_mops = frame_rate })
+        ~reqgen:(batch_reqgen ~n_keys ~vlen ~batch)
+        ~duration_ns ~start_at:t0 ()
+    in
+    Service.Server.run ~store ~workers ~start_at:t0 ~linger_ns ~arrivals ()
+  in
+  let batches = [ 1; 4; 16; 64 ] in
+  let rates = [ 0.5 *. cap; 1.5 *. cap; 3.0 *. cap ] in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "batch: Hybrid-Viper put throughput and intended-arrival tail vs \
+            client batch size (%d workers, offered rates x%s of batch-1 \
+            capacity)"
+           workers "{0.5,1.5,3}")
+      ~columns:
+        [ ("batch", Table.Right); ("offered", Table.Right);
+          ("Mops/s", Table.Right); ("put p50", Table.Right);
+          ("put p99", Table.Right); ("fences/op", Table.Right) ]
+  in
+  let knee = Hashtbl.create 8 in
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun rate ->
+          let s = run_cell ~batch ~linger_ns:0.0 ~rate in
+          let mops = Service.Server.throughput_mops s in
+          if rate > 2.0 *. cap then Hashtbl.replace knee batch mops;
+          let fences =
+            counter s "vlog.batch_flushes"
+            /. Float.max 1.0 (float_of_int s.Service.Server.ops_executed)
+          in
+          Table.add_row tbl
+            [ string_of_int batch;
+              Printf.sprintf "%.2f" rate;
+              Table.cell_f mops;
+              Table.cell_ns
+                (Histogram.percentile s.Service.Server.put_service 50.0);
+              Table.cell_ns
+                (Histogram.percentile s.Service.Server.put_service 99.0);
+              Table.cell_f fences ])
+        rates;
+      Table.add_rule tbl)
+    batches;
+  Table.print tbl;
+  (* server-side group commit: the same single-put frames, but the
+     dispatcher lingers to coalesce queued writes into one write_batch.
+     Run near capacity, where the queue is shallow — overload groups by
+     itself, linger is what buys grouping before the queue builds up *)
+  let lgr_tbl =
+    Table.create
+      ~title:
+        "batch: server group commit on single-put frames (linger sweep at \
+         0.9x capacity)"
+      ~columns:
+        [ ("linger", Table.Right); ("Mops/s", Table.Right);
+          ("put p99", Table.Right); ("grouped", Table.Right);
+          ("fences/op", Table.Right) ]
+  in
+  List.iter
+    (fun linger_ns ->
+      let s = run_cell ~batch:1 ~linger_ns ~rate:(0.9 *. cap) in
+      let grouped =
+        counter s "service.grouped_writes"
+        /. Float.max 1.0 (float_of_int s.Service.Server.ops_executed)
+      in
+      let fences =
+        counter s "vlog.batch_flushes"
+        /. Float.max 1.0 (float_of_int s.Service.Server.ops_executed)
+      in
+      Table.add_row lgr_tbl
+        [ Table.cell_ns linger_ns;
+          Table.cell_f (Service.Server.throughput_mops s);
+          Table.cell_ns
+            (Histogram.percentile s.Service.Server.put_service 99.0);
+          Printf.sprintf "%.0f%%" (100.0 *. grouped);
+          Table.cell_f fences ])
+    [ 0.0; 500.0; 2_000.0; 8_000.0 ];
+  Table.print lgr_tbl;
+  (* Fig 3's write column with the hybrid in the zoo: bulk-load put
+     throughput per store, normalized to ChameleonDB *)
+  let wtbl =
+    Table.create
+      ~title:"batch: write column across the zoo (batched bulk load)"
+      ~columns:
+        [ ("store", Table.Left); ("put Mops/s", Table.Right);
+          ("vs ChameleonDB", Table.Right) ]
+  in
+  let wload = max 1 (n_keys / 2) in
+  let writes =
+    List.map
+      (fun spec ->
+        let store = spec.Stores.make () in
+        let r =
+          Stores.load_unique ~store ~threads:workers ~start_at:0.0 ~n:wload
+            ~vlen
+        in
+        (spec.Stores.name, Stores.sustained_mops ~store r))
+      (Stores.all scale)
+  in
+  let base =
+    Option.value ~default:1.0 (List.assoc_opt "ChameleonDB" writes)
+  in
+  List.iter
+    (fun (name, mops) ->
+      Table.add_row wtbl
+        [ name; Table.cell_f mops; Printf.sprintf "%.2fx" (mops /. base) ])
+    writes;
+  Table.print wtbl;
+  (* restart-time gap: the hybrid's DRAM index costs a full log replay on
+     recovery, ChameleonDB restarts from its persistent levels *)
+  let rtbl =
+    Table.create
+      ~title:"batch: restart time after crash (index recovery)"
+      ~columns:
+        [ ("store", Table.Left); ("keys", Table.Right);
+          ("restart", Table.Right); ("vs ChameleonDB", Table.Right) ]
+  in
+  let restart name =
+    let spec = Stores.find scale name in
+    let store = spec.Stores.make () in
+    let load =
+      Stores.load_unique ~store ~threads:workers ~start_at:0.0 ~n:n_keys ~vlen
+    in
+    let t0 = Stores.settled_cursor ~store load in
+    Store_intf.crash store;
+    let c = Clock.create ~at:t0 () in
+    Store_intf.recover store c;
+    Clock.now c -. t0
+  in
+  let cham_rt = restart "ChameleonDB" in
+  let restarts =
+    ("ChameleonDB", cham_rt) :: [ ("Hybrid-Viper", restart "Hybrid-Viper") ]
+  in
+  List.iter
+    (fun (name, rt) ->
+      Table.add_row rtbl
+        [ name; string_of_int n_keys; Table.cell_ns rt;
+          Printf.sprintf "%.1fx" (rt /. Float.max 1.0 cham_rt) ])
+    restarts;
+  Table.print rtbl;
+  let m b = Option.value ~default:0.0 (Hashtbl.find_opt knee b) in
+  pr
+    "Shape check: at 3x the per-op-fence capacity, throughput climbs \
+     monotonically@.";
+  pr "with batch size (x%.2f at 4, x%.2f at 16, x%.2f at 64 vs batch 1) —@."
+    (m 4 /. Float.max 0.001 (m 1))
+    (m 16 /. Float.max 0.001 (m 1))
+    (m 64 /. Float.max 0.001 (m 1));
+  pr "one fence per group, with the knee where fences stop dominating; \
+     server@.";
+  pr "linger buys the same amortization without client cooperation, and \
+     the@.";
+  pr "hybrid pays for its DRAM index with a full-log-replay restart.@.@."
+
+(* ------------------------------------------------------------------ *)
 (* Extension: DRAM read cache — zipfian theta x capacity sweep.        *)
 (* ------------------------------------------------------------------ *)
 
@@ -2087,6 +2297,9 @@ let all =
     { id = "service";
       title = "Service: open-loop bursts through the serving layer";
       run = service };
+    { id = "batch";
+      title = "Extension: end-to-end write batching and group commit";
+      run = batch_exp };
     { id = "cache";
       title = "Extension: DRAM read cache sweep (zipfian theta x size)";
       run = cache_sweep };

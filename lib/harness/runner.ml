@@ -102,6 +102,67 @@ let run_ops ?seed ~store ~threads ~start_at ~ops ~next () =
   in
   run ?seed ~store ~threads ~start_at ~gen ()
 
+(* Bulk writer: the same discrete-event skeleton as [run], but each
+   thread step commits one [write_batch] group of up to [group] puts.
+   Per-op latency is the group's commit latency amortized over its
+   members, so histograms stay per-op comparable with [run_ops]. *)
+let run_write_batches ?seed ~store ~threads ~start_at ~ops ~group ~next () =
+  if group <= 0 then invalid_arg "Runner.run_write_batches: group <= 0";
+  let dev = Store_intf.device store in
+  let before = Stats.copy (Device.stats dev) in
+  let attr_before = Obs.Attribution.snapshot () in
+  let counters_before = Obs.Counters.snapshot () in
+  let prev_threads = Device.active_threads dev in
+  Device.set_active_threads dev threads;
+  let clocks = Array.init threads (fun _ -> Clock.create ~at:start_at ()) in
+  let alive = Array.make threads true in
+  let latency = Histogram.create () in
+  let put_latency = Histogram.create () in
+  let done_ops = ref 0 in
+  let remaining = ref ops in
+  let nalive = ref threads in
+  while !nalive > 0 do
+    let i = min_clock_thread clocks alive in
+    let clock = clocks.(i) in
+    if !remaining <= 0 then begin
+      alive.(i) <- false;
+      decr nalive
+    end
+    else begin
+      let n = min group !remaining in
+      remaining := !remaining - n;
+      let items = List.init n (fun _ -> next ()) in
+      if Obs.Trace.enabled () then Obs.Trace.set_tid i;
+      let t0 = Clock.now clock in
+      Store_intf.write_batch store clock items;
+      let per_op = (Clock.now clock -. t0) /. float_of_int n in
+      for _ = 1 to n do
+        Histogram.record latency per_op;
+        Histogram.record put_latency per_op
+      done;
+      done_ops := !done_ops + n
+    end
+  done;
+  Device.set_active_threads dev prev_threads;
+  let end_ns =
+    Array.fold_left (fun acc c -> Float.max acc (Clock.now c)) start_at clocks
+  in
+  { ops = !done_ops;
+    seed;
+    start_ns = start_at;
+    end_ns;
+    latency;
+    get_latency = Histogram.create ();
+    put_latency;
+    scan_latency = Histogram.create ();
+    device_delta = Stats.diff ~after:(Device.stats dev) ~before;
+    attribution =
+      Obs.Attribution.diff ~after:(Obs.Attribution.snapshot ())
+        ~before:attr_before;
+    counters =
+      Obs.Counters.diff_snapshots ~after:(Obs.Counters.snapshot ())
+        ~before:counters_before }
+
 (* Per-stage latency attribution table.  For each op kind the instrumented
    stage means must reconcile with the measured end-to-end mean; whatever
    the stages did not cover is shown as "(other)". *)

@@ -55,6 +55,21 @@ val run_ops :
 (** Convenience: issue exactly [ops] operations drawn from a single shared
     sequence (the min-clock thread takes the next one). *)
 
+val run_write_batches :
+  ?seed:int ->
+  store:Kv_common.Store_intf.store ->
+  threads:int ->
+  start_at:float ->
+  ops:int ->
+  group:int ->
+  next:(unit -> Kv_common.Types.key * Kv_common.Store_intf.value_spec) ->
+  unit ->
+  result
+(** Bulk writer: commit exactly [ops] puts in {!STORE.write_batch} groups
+    of up to [group] (the min-clock thread takes the next group).  Per-op
+    latency is the group commit latency amortized over its members, so
+    the histograms stay comparable with {!run_ops}. *)
+
 val attribution_table : name:string -> result -> string
 (** Render the per-stage get/put latency attribution recorded during the
     run: mean simulated ns per op and share of the end-to-end mean for each

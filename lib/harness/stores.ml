@@ -71,7 +71,11 @@ let all ?(cache_bytes = 0) scale =
         (fun () -> Baselines.Pmem_hash.store (Baselines.Pmem_hash.create ())) };
     { name = "Dram-Hash";
       make =
-        (fun () -> Baselines.Dram_hash.store (Baselines.Dram_hash.create ())) }
+        (fun () -> Baselines.Dram_hash.store (Baselines.Dram_hash.create ())) };
+    { name = "Hybrid-Viper";
+      make =
+        (fun () ->
+          Baselines.Hybrid_viper.store (Baselines.Hybrid_viper.create ())) }
   ]
 
 let find ?cache_bytes scale name =
@@ -79,14 +83,22 @@ let find ?cache_bytes scale name =
   | Some s -> s
   | None -> invalid_arg ("Stores.find: unknown store " ^ name)
 
+(* Bulk loads go through [write_batch] groups: stores with a group
+   commit (Hybrid-Viper) pay one fence per group, the rest take the
+   sequential fallback — identical op stream either way. *)
+let load_group = 32
+
 let load_unique ~store ~threads ~start_at ~n ~vlen =
   let i = ref 0 in
   let next () =
     let key = Workload.Keyspace.key_of_index !i in
     incr i;
-    Types.Put (key, vlen)
+    (key, Store_intf.Sized vlen)
   in
-  let r = Runner.run_ops ~store ~threads ~start_at ~ops:n ~next () in
+  let r =
+    Runner.run_write_batches ~store ~threads ~start_at ~ops:n
+      ~group:load_group ~next ()
+  in
   let clock = Pmem_sim.Clock.create ~at:r.Runner.end_ns () in
   Store_intf.flush store clock;
   r

@@ -44,10 +44,17 @@ val chameleon_mph : ?cache_bytes:int -> scale -> spec
 
 val find : ?cache_bytes:int -> scale -> string -> spec
 
+val load_group : int
+(** Group size bulk loads commit with (32). *)
+
 val load_unique :
   store:Kv_common.Store_intf.store -> threads:int -> start_at:float ->
   n:int -> vlen:int -> Runner.result
-(** Load [n] unique keys (indices [0, n)) and flush. *)
+(** Load [n] unique keys (indices [0, n)) through
+    {!Runner.run_write_batches} groups of {!load_group}, then
+    flush.  Stores with a real group commit pay one persist fence per
+    group; the rest take the sequential [write_batch] fallback, so the
+    op stream is identical. *)
 
 val settled_cursor :
   store:Kv_common.Store_intf.store -> Runner.result -> float

@@ -61,6 +61,14 @@ let spec_vlen = function
 module type STORE = sig
   val name : string
   val write : Pmem_sim.Clock.t -> Types.key -> value_spec -> unit
+
+  val write_batch : Pmem_sim.Clock.t -> (Types.key * value_spec) list -> unit
+  (* Group commit: apply the puts in list order and make them durable
+     with (at most) one persist fence for the whole group.  A crash in
+     the middle of a batch may lose a suffix of the group but never an
+     interior element — the log-append order is the list order.  Stores
+     with no cheaper path use [sequential_write_batch]. *)
+
   val read : Pmem_sim.Clock.t -> Types.key -> read_result
   val delete : Pmem_sim.Clock.t -> Types.key -> unit
 
@@ -88,10 +96,22 @@ module type STORE = sig
   val fault_points : Fault_point.site list
 end
 
+(* Fallback [write_batch] for stores whose [write] already persists each
+   op (or whose log batches internally): per-op writes in list order give
+   the same prefix-loss crash semantics, just without fence amortization. *)
+let sequential_write_batch write clock items =
+  List.iter (fun (key, spec) -> write clock key spec) items
+
 type store = (module STORE)
 
 let name (module S : STORE) = S.name
 let write (module S : STORE) clock key spec = S.write clock key spec
+
+let write_batch (module S : STORE) clock items =
+  match items with
+  | [] -> ()
+  | [ (key, spec) ] -> S.write clock key spec
+  | _ -> S.write_batch clock items
 let read (module S : STORE) clock key = S.read clock key
 let delete (module S : STORE) clock key = S.delete clock key
 let scan (module S : STORE) clock ~start ~limit = S.scan clock ~start ~limit

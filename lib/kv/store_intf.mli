@@ -71,6 +71,14 @@ module type STORE = sig
   (** Append the value to the storage log and index it.  May trigger
       flushes and compactions on background clocks. *)
 
+  val write_batch : Pmem_sim.Clock.t -> (Types.key * value_spec) list -> unit
+  (** Group commit: apply the puts in list order, made durable with (at
+      most) one persist fence for the whole group.  Crash semantics are
+      prefix loss — a power failure mid-batch may drop a suffix of the
+      group, never an interior element, because the log-append order is
+      the list order.  Stores whose per-op [write] already persists (or
+      whose log batches internally) use {!sequential_write_batch}. *)
+
   val read : Pmem_sim.Clock.t -> Types.key -> read_result
   (** Index (or cache) lookup plus a log read of the value on a hit, as a
       real get must. *)
@@ -133,12 +141,23 @@ module type STORE = sig
       enumerates exactly these. *)
 end
 
+val sequential_write_batch :
+  (Pmem_sim.Clock.t -> Types.key -> value_spec -> unit) ->
+  Pmem_sim.Clock.t -> (Types.key * value_spec) list -> unit
+(** Fallback {!STORE.write_batch} built from a per-op write function:
+    same prefix-loss crash semantics, no fence amortization. *)
+
 type store = (module STORE)
 
 (** {1 Accessors} — call these rather than unpacking at every site. *)
 
 val name : store -> string
 val write : store -> Pmem_sim.Clock.t -> Types.key -> value_spec -> unit
+
+(** {!STORE.write_batch} with the trivial cases short-circuited: an empty
+    group is a no-op and a singleton goes through plain [write]. *)
+val write_batch :
+  store -> Pmem_sim.Clock.t -> (Types.key * value_spec) list -> unit
 val read : store -> Pmem_sim.Clock.t -> Types.key -> read_result
 val delete : store -> Pmem_sim.Clock.t -> Types.key -> unit
 

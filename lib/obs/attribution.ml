@@ -9,13 +9,14 @@ type stage =
   | Put_index_insert
   | Put_flush_stall
   | Put_compaction_stall
+  | Put_group_commit
   | Svc_decode
   | Svc_queue
   | Svc_execute
   | Svc_encode
   | Scan_stream
 
-let nstages = 15
+let nstages = 16
 
 let index = function
   | Get_cache -> 0
@@ -28,17 +29,18 @@ let index = function
   | Put_index_insert -> 7
   | Put_flush_stall -> 8
   | Put_compaction_stall -> 9
-  | Svc_decode -> 10
-  | Svc_queue -> 11
-  | Svc_execute -> 12
-  | Svc_encode -> 13
-  | Scan_stream -> 14
+  | Put_group_commit -> 10
+  | Svc_decode -> 11
+  | Svc_queue -> 12
+  | Svc_execute -> 13
+  | Svc_encode -> 14
+  | Scan_stream -> 15
 
 let all =
   [ Get_cache; Get_memtable; Get_abi; Get_level_probe; Get_mph;
     Get_log_read; Put_batch_copy; Put_index_insert; Put_flush_stall;
-    Put_compaction_stall; Svc_decode; Svc_queue; Svc_execute; Svc_encode;
-    Scan_stream ]
+    Put_compaction_stall; Put_group_commit; Svc_decode; Svc_queue;
+    Svc_execute; Svc_encode; Scan_stream ]
 
 let name = function
   | Get_cache -> "cache"
@@ -51,6 +53,7 @@ let name = function
   | Put_index_insert -> "index-insert"
   | Put_flush_stall -> "flush-stall"
   | Put_compaction_stall -> "compaction-stall"
+  | Put_group_commit -> "group-commit"
   | Svc_decode -> "svc-decode"
   | Svc_queue -> "svc-queue"
   | Svc_execute -> "svc-execute"
@@ -62,7 +65,7 @@ let op_of = function
   | Get_log_read ->
     `Get
   | Put_batch_copy | Put_index_insert | Put_flush_stall
-  | Put_compaction_stall ->
+  | Put_compaction_stall | Put_group_commit ->
     `Put
   | Svc_decode | Svc_queue | Svc_execute | Svc_encode -> `Svc
   | Scan_stream -> `Scan

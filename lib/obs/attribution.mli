@@ -33,6 +33,9 @@ type stage =
   | Put_index_insert
   | Put_flush_stall
   | Put_compaction_stall
+  | Put_group_commit
+      (** the persist fence a [write_batch] group commit pays once for the
+          whole group (amortized across the group's puts) *)
   | Svc_decode
   | Svc_queue
   | Svc_execute

@@ -64,8 +64,23 @@ let backend_of_store ?redirect ~clock store =
       S.delete store clock k;
       Proto.Ok
     | Proto.Batch reqs ->
-      if top then Proto.Replies (List.map (exec ~top:false) reqs)
-      else Proto.Err "nested batch"
+      if not top then Proto.Err "nested batch"
+      else begin
+        (* a put-only batch on an unrouted endpoint is a group commit:
+           one [write_batch] (one persist fence where the store has one)
+           covers the whole frame *)
+        let rec puts acc = function
+          | [] -> Some (List.rev acc)
+          | Proto.Put (k, v) :: tl when not_owner k = None ->
+            puts ((k, S.Payload v) :: acc) tl
+          | _ -> None
+        in
+        match puts [] reqs with
+        | Some (_ :: _ as items) ->
+          S.write_batch store clock items;
+          Proto.Replies (List.map (fun _ -> Proto.Ok) reqs)
+        | _ -> Proto.Replies (List.map (exec ~top:false) reqs)
+      end
   in
   exec ~top:true
 
@@ -167,8 +182,7 @@ let connect path =
   Unix.connect fd (Unix.ADDR_UNIX path);
   { cfd = fd; cdec = Proto.decoder () }
 
-let request c req =
-  write_all c.cfd (Proto.encode_request req);
+let await_reply c =
   let buf = Bytes.create 4096 in
   let rec await () =
     match Proto.next c.cdec with
@@ -183,4 +197,99 @@ let request c req =
   in
   await ()
 
+let request c req =
+  write_all c.cfd (Proto.encode_request req);
+  await_reply c
+
 let close c = try Unix.close c.cfd with _ -> ()
+
+(* --------------------------- auto-batching ---------------------------- *)
+
+(* Pipelined client-side write buffering (Viper's per-client buffers over
+   the wire): submitted requests accumulate until a count, byte, or
+   linger threshold flushes them as one [Proto.Batch] frame, sent without
+   blocking for the reply.  Replies are collected by [drain], one per
+   submitted request, in submit order. *)
+
+type frame_shape = Single | Grouped of int
+
+type batcher = {
+  b_client : client;
+  b_max_count : int;
+  b_max_bytes : int;
+  b_linger : float;                      (* seconds on [b_now]'s clock *)
+  b_now : unit -> float;
+  mutable b_queue : Proto.req list;      (* pending, newest first *)
+  mutable b_count : int;
+  mutable b_bytes : int;
+  mutable b_opened : float;              (* when the open buffer started *)
+  b_inflight : frame_shape Queue.t;      (* flushed frames awaiting reply *)
+}
+
+let batcher ?(max_count = 16) ?(max_bytes = 64 * 1024) ?(linger = 0.0)
+    ?(now = Unix.gettimeofday) client =
+  if max_count <= 0 || max_count > Proto.max_batch then
+    invalid_arg "Endpoint.batcher: max_count out of range";
+  if max_bytes <= 0 then invalid_arg "Endpoint.batcher: max_bytes <= 0";
+  if linger < 0.0 then invalid_arg "Endpoint.batcher: linger < 0";
+  { b_client = client;
+    b_max_count = max_count;
+    b_max_bytes = max_bytes;
+    b_linger = linger;
+    b_now = now;
+    b_queue = [];
+    b_count = 0;
+    b_bytes = 0;
+    b_opened = 0.0;
+    b_inflight = Queue.create () }
+
+let pending b = b.b_count
+let inflight b = Queue.length b.b_inflight
+
+let flush b =
+  match List.rev b.b_queue with
+  | [] -> ()
+  | reqs ->
+    let frame, shape =
+      match reqs with
+      | [ req ] -> (req, Single)
+      | reqs -> (Proto.Batch reqs, Grouped (List.length reqs))
+    in
+    write_all b.b_client.cfd (Proto.encode_request frame);
+    Queue.push shape b.b_inflight;
+    b.b_queue <- [];
+    b.b_count <- 0;
+    b.b_bytes <- 0
+
+let submit b req =
+  (match req with
+  | Proto.Batch _ -> invalid_arg "Endpoint.submit: nested batch"
+  | _ -> ());
+  if b.b_count = 0 then b.b_opened <- b.b_now ();
+  b.b_queue <- req :: b.b_queue;
+  b.b_count <- b.b_count + 1;
+  b.b_bytes <- b.b_bytes + Bytes.length (Proto.encode_request req);
+  if b.b_count >= b.b_max_count || b.b_bytes >= b.b_max_bytes then flush b
+
+let deadline b = if b.b_count = 0 then None else Some (b.b_opened +. b.b_linger)
+
+let tick b =
+  if b.b_count > 0 && b.b_now () -. b.b_opened >= b.b_linger then flush b
+
+let drain b =
+  flush b;
+  let out = ref [] in
+  while not (Queue.is_empty b.b_inflight) do
+    let shape = Queue.pop b.b_inflight in
+    let reply = await_reply b.b_client in
+    match (shape, reply) with
+    | Single, r -> out := r :: !out
+    | Grouped n, Proto.Replies rs when List.length rs = n ->
+      List.iter (fun r -> out := r :: !out) rs
+    | Grouped n, r ->
+      (* a whole-frame failure (Err, Shed) answers for each of its ops *)
+      for _ = 1 to n do
+        out := r :: !out
+      done
+  done;
+  List.rev !out

@@ -42,3 +42,54 @@ val request : client -> Proto.req -> Proto.reply
     corrupt stream or closed connection. *)
 
 val close : client -> unit
+
+(** {1 Auto-batching}
+
+    Pipelined client-side write buffering: {!submit}ted requests
+    accumulate until a count, byte, or linger threshold {!flush}es them
+    as one [Proto.Batch] frame, sent without blocking for the reply.
+    {!drain} collects one reply per submitted request, in submit order.
+    Time comes from the injectable [now] function (wall clock by
+    default), so linger behaviour is deterministic under a fake clock. *)
+
+type batcher
+
+val batcher :
+  ?max_count:int ->
+  ?max_bytes:int ->
+  ?linger:float ->
+  ?now:(unit -> float) ->
+  client ->
+  batcher
+(** [max_count] (default 16, capped at {!Proto.max_batch}) and
+    [max_bytes] (default 64 KiB of encoded request bytes) flush from
+    inside {!submit}; [linger] (seconds on [now]'s clock, default 0)
+    flushes from {!tick} once the oldest buffered request has waited
+    that long. *)
+
+val submit : batcher -> Proto.req -> unit
+(** Buffer one request (itself not a [Batch]), flushing if a size
+    threshold is reached. *)
+
+val tick : batcher -> unit
+(** Flush if the linger deadline has passed.  Call from the client's
+    idle loop. *)
+
+val deadline : batcher -> float option
+(** When the open buffer will linger-flush ([None] if empty). *)
+
+val flush : batcher -> unit
+(** Send the open buffer now: one frame for the whole group (a bare
+    request when only one is buffered). *)
+
+val drain : batcher -> Proto.reply list
+(** {!flush}, then block until every in-flight frame is answered.
+    Returns one reply per submitted request in submit order; a
+    whole-frame failure (e.g. [Err]) is replicated to each of its
+    requests. *)
+
+val pending : batcher -> int
+(** Requests buffered but not yet flushed. *)
+
+val inflight : batcher -> int
+(** Flushed frames not yet drained. *)

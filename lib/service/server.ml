@@ -28,6 +28,8 @@ let c_depth = Obs.Counters.counter "service.queue_depth"
 let c_enqueued = Obs.Counters.counter "service.enqueued"
 let c_corrupt = Obs.Counters.counter "service.corrupt_frames"
 let c_batches = Obs.Counters.counter "service.dispatch_batches"
+let c_group_commits = Obs.Counters.counter "service.group_commits"
+let c_grouped_writes = Obs.Counters.counter "service.grouped_writes"
 
 type sched = Fifo | Shard_affinity
 
@@ -112,10 +114,11 @@ let rec first_key = function
   | Proto.Batch (r :: _) -> first_key r
 
 let run ?(costs = default_costs) ?(sched = Fifo) ?admission ?(batch_max = 8)
-    ?(window_ns = 2_000_000.0) ?(arrivals = [||]) ?closed ~store ~workers
-    ~start_at () =
+    ?(linger_ns = 0.0) ?(window_ns = 2_000_000.0) ?(arrivals = [||]) ?closed
+    ~store ~workers ~start_at () =
   if workers <= 0 then invalid_arg "Server.run: workers <= 0";
   if batch_max <= 0 then invalid_arg "Server.run: batch_max <= 0";
+  if linger_ns < 0.0 then invalid_arg "Server.run: linger_ns < 0";
   let dev = Store_intf.device store in
   let prev_threads = Device.active_threads dev in
   Device.set_active_threads dev workers;
@@ -302,27 +305,27 @@ let run ?(costs = default_costs) ?(sched = Fifo) ?admission ?(batch_max = 8)
     go ()
   in
   (* ---------------- dispatch + execute on the min-clock worker --------- *)
+  let queue_for w =
+    match sched with
+    | Fifo -> if Queue.is_empty queues.(0) then None else Some queues.(0)
+    | Shard_affinity ->
+      if not (Queue.is_empty queues.(w)) then Some queues.(w)
+      else begin
+        (* steal from the deepest backlog *)
+        let best = ref (-1) and best_n = ref 0 in
+        Array.iteri
+          (fun i q ->
+            let n = Queue.length q in
+            if n > !best_n then begin
+              best := i;
+              best_n := n
+            end)
+          queues;
+        if !best >= 0 then Some queues.(!best) else None
+      end
+  in
   let pick w =
-    let q =
-      match sched with
-      | Fifo -> if Queue.is_empty queues.(0) then None else Some queues.(0)
-      | Shard_affinity ->
-        if not (Queue.is_empty queues.(w)) then Some queues.(w)
-        else begin
-          (* steal from the deepest backlog *)
-          let best = ref (-1) and best_n = ref 0 in
-          Array.iteri
-            (fun i q ->
-              let n = Queue.length q in
-              if n > !best_n then begin
-                best := i;
-                best_n := n
-              end)
-            queues;
-          if !best >= 0 then Some queues.(!best) else None
-        end
-    in
-    match q with
+    match queue_for w with
     | None -> None
     | Some q ->
       let rec take acc n =
@@ -364,46 +367,129 @@ let run ?(costs = default_costs) ?(sched = Fifo) ?admission ?(batch_max = 8)
     in
     go true req
   in
+  (* Per-op service accounting.  Every op inside a [Batch] frame carries
+     the frame's intended-arrival stamp — one [service] sample per
+     primitive op, all measured from the frame's intended arrival — so a
+     grouped commit cannot hide queueing behind batch size (the
+     coordinated-omission rule from the open-loop design, applied inside
+     the frame). *)
+  let record_done item ~dispatched ~t_exec ~finish =
+    if finish > !end_ns then end_ns := finish;
+    incr executed;
+    let nops = Proto.ops_in_req item.i_req in
+    ops_executed := !ops_executed + nops;
+    let lat = finish -. item.i_intended in
+    let record_op sub =
+      Histogram.record service lat;
+      if Proto.puts_in_req sub > 0 then Histogram.record put_service lat
+      else Histogram.record get_service lat
+    in
+    (match item.i_req with
+    | Proto.Batch reqs -> List.iter record_op reqs
+    | req -> record_op req);
+    let writes = Proto.puts_in_req item.i_req in
+    let w = wacc_of item.i_intended in
+    w.a_reqs <- w.a_reqs + 1;
+    if writes > 0 then w.a_writes <- w.a_writes + 1
+    else begin
+      Histogram.record get_execute (t_exec -. dispatched);
+      w.a_gets <- w.a_gets + 1;
+      Histogram.record w.a_get_hist lat
+    end;
+    closed_gen item.i_conn ~now:finish
+  in
+  (* A frame the group committer can absorb: a lone Put, or a Batch of
+     nothing but Puts.  Its reply is known up front (all acks), so the
+     whole run of frames can share one [write_batch] persist fence. *)
+  let groupable req =
+    match req with
+    | Proto.Put (k, v) ->
+      Some ([ (k, Store_intf.Sized (Bytes.length v)) ], Proto.Ok)
+    | Proto.Batch reqs ->
+      let rec all acc = function
+        | [] -> Some (List.rev acc)
+        | Proto.Put (k, v) :: tl ->
+          all ((k, Store_intf.Sized (Bytes.length v)) :: acc) tl
+        | _ -> None
+      in
+      (match all [] reqs with
+      | Some (_ :: _ as puts) ->
+        Some (puts, Proto.Replies (List.map (fun _ -> Proto.Ok) reqs))
+      | _ -> None)
+    | _ -> None
+  in
   let process w (batch : item list) =
     let clock = clocks.(w) in
     if Obs.Trace.enabled () then Obs.Trace.set_tid w;
     Clock.advance clock costs.dispatch_ns;
-    List.iter
-      (fun item ->
-        ignore (Clock.wait_until clock item.i_ready);
-        let dispatched = Clock.now clock in
-        let qwait = dispatched -. item.i_ready in
-        Histogram.record queue_wait qwait;
-        if attr then Obs.Attribution.add Svc_queue qwait;
-        let reply = exec_one clock item.i_req in
-        let t_exec = Clock.now clock in
-        if attr then Obs.Attribution.add Svc_execute (t_exec -. dispatched);
-        let rb = Proto.encode_reply reply in
-        Clock.advance clock
-          (costs.frame_ns +. (costs.byte_ns *. float_of_int (Bytes.length rb)));
-        let finish = Clock.now clock in
-        if attr then Obs.Attribution.add Svc_encode (finish -. t_exec);
-        if finish > !end_ns then end_ns := finish;
-        incr executed;
-        let nops = Proto.ops_in_req item.i_req in
-        ops_executed := !ops_executed + nops;
-        let lat = finish -. item.i_intended in
-        Histogram.record service lat;
-        let writes = Proto.puts_in_req item.i_req in
-        let w = wacc_of item.i_intended in
-        w.a_reqs <- w.a_reqs + 1;
-        if writes > 0 then begin
-          Histogram.record put_service lat;
-          w.a_writes <- w.a_writes + 1
-        end
-        else begin
-          Histogram.record get_service lat;
-          Histogram.record get_execute (t_exec -. dispatched);
-          w.a_gets <- w.a_gets + 1;
-          Histogram.record w.a_get_hist lat
-        end;
-        closed_gen item.i_conn ~now:finish)
-      batch
+    let wait_ready item =
+      ignore (Clock.wait_until clock item.i_ready)
+    in
+    let note_qwait item ~dispatched =
+      let qwait = dispatched -. item.i_ready in
+      Histogram.record queue_wait qwait;
+      if attr then Obs.Attribution.add Svc_queue qwait
+    in
+    let encode_finish item reply ~dispatched ~t_exec =
+      let rb = Proto.encode_reply reply in
+      let t0 = Clock.now clock in
+      Clock.advance clock
+        (costs.frame_ns +. (costs.byte_ns *. float_of_int (Bytes.length rb)));
+      let finish = Clock.now clock in
+      if attr then Obs.Attribution.add Svc_encode (finish -. t0);
+      record_done item ~dispatched ~t_exec ~finish
+    in
+    let exec_single item =
+      wait_ready item;
+      let dispatched = Clock.now clock in
+      note_qwait item ~dispatched;
+      let reply = exec_one clock item.i_req in
+      let t_exec = Clock.now clock in
+      if attr then Obs.Attribution.add Svc_execute (t_exec -. dispatched);
+      encode_finish item reply ~dispatched ~t_exec
+    in
+    (* Group commit: a run of write-only frames — possibly from different
+       connections — executes as one [write_batch], paying one store
+       group commit (one persist fence where the store has one) for the
+       whole run.  Acks are encoded after the fence, in frame order. *)
+    let exec_group group =
+      List.iter (fun (item, _) -> wait_ready item) group;
+      let dispatched = Clock.now clock in
+      List.iter (fun (item, _) -> note_qwait item ~dispatched) group;
+      let puts = List.concat_map (fun (_, (puts, _)) -> puts) group in
+      Store_intf.write_batch store clock puts;
+      (match group with
+      | _ :: _ :: _ ->
+        Obs.Counters.incr c_group_commits;
+        Obs.Counters.add c_grouped_writes (float_of_int (List.length puts))
+      | _ -> ());
+      let t_exec = Clock.now clock in
+      if attr then Obs.Attribution.add Svc_execute (t_exec -. dispatched);
+      List.iter
+        (fun (item, (_, reply)) -> encode_finish item reply ~dispatched ~t_exec)
+        group
+    in
+    let rec go = function
+      | [] -> ()
+      | item :: rest -> (
+        match groupable item.i_req with
+        | None ->
+          exec_single item;
+          go rest
+        | Some pr ->
+          let rec grab acc rest =
+            match rest with
+            | next :: tl -> (
+              match groupable next.i_req with
+              | Some pr2 -> grab ((next, pr2) :: acc) tl
+              | None -> (List.rev acc, rest))
+            | [] -> (List.rev acc, [])
+          in
+          let group, rest = grab [ (item, pr) ] rest in
+          exec_group group;
+          go rest)
+    in
+    go batch
   in
   let min_clock_worker () =
     let best = ref 0 and best_t = ref (Clock.now clocks.(0)) in
@@ -415,21 +501,48 @@ let run ?(costs = default_costs) ?(sched = Fifo) ?admission ?(batch_max = 8)
     done;
     !best
   in
+  (* Linger: with a short queue, hold off dispatch until the oldest
+     queued item has waited [linger_ns] since it became ready, ingesting
+     arrivals meanwhile so the dispatch batch (and thus the group
+     commit) can fill.  A full batch, or the deadline, dispatches. *)
+  let linger w tw =
+    linger_ns > 0.0 && !depth > 0 && !depth < batch_max
+    &&
+    match queue_for w with
+    | None -> false
+    | Some q -> (
+      match Queue.peek_opt q with
+      | None -> false
+      | Some oldest ->
+        let deadline = oldest.i_ready +. linger_ns in
+        tw < deadline
+        && begin
+             let until =
+               match next_arrival_at () with
+               | Some t when t < deadline -> Float.max t tw
+               | _ -> deadline
+             in
+             ignore (Clock.wait_until clocks.(w) until);
+             true
+           end)
+  in
   let rec loop () =
     let w = min_clock_worker () in
     let tw = Clock.now clocks.(w) in
     ingest_until tw;
-    match pick w with
-    | Some batch ->
-      process w batch;
-      loop ()
-    | None -> (
-      match next_arrival_at () with
-      | Some t ->
-        (* idle until the next arrival lands *)
-        ignore (Clock.wait_until clocks.(w) (Float.max t tw));
+    if linger w tw then loop ()
+    else
+      match pick w with
+      | Some batch ->
+        process w batch;
         loop ()
-      | None -> ())
+      | None -> (
+        match next_arrival_at () with
+        | Some t ->
+          (* idle until the next arrival lands *)
+          ignore (Clock.wait_until clocks.(w) (Float.max t tw));
+          loop ()
+        | None -> ())
   in
   loop ();
   Device.set_active_threads dev prev_threads;

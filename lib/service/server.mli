@@ -73,6 +73,7 @@ val run :
   ?sched:sched ->
   ?admission:Admission.t ->
   ?batch_max:int ->
+  ?linger_ns:float ->
   ?window_ns:float ->
   ?arrivals:arrival array ->
   ?closed:closed ->
@@ -84,5 +85,12 @@ val run :
 (** Drive the serving pipeline to completion: all open-loop [arrivals]
     (must be sorted by [at]) plus any [closed] connections.  [workers]
     simulated threads execute requests; [batch_max] bounds how many queued
-    requests one dispatch hands a worker.  [window_ns] sets the bucketing
+    requests one dispatch hands a worker.  [linger_ns] (default 0: off)
+    lets a worker with a short queue hold dispatch until the oldest queued
+    request has waited that long, so the dispatch batch — and the group
+    commit it becomes — can fill.  Runs of write-only frames inside one
+    dispatch execute as a single {!Kv_common.Store_intf.write_batch}
+    group commit (one persist fence where the store has one); every op
+    inside a [Batch] frame is timed from the frame's intended arrival,
+    one service sample per primitive op.  [window_ns] sets the bucketing
     for {!stats.windows}. *)

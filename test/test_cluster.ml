@@ -133,7 +133,7 @@ let test_scan_fanout_merges_cluster () =
   let orc = Run.oracle () in
   let t0 = Run.preload router orc ~n_keys:200 ~vlen:8 in
   Alcotest.(check int) "no scans yet" 0 (Router.scans router);
-  let o = Router.submit router ~at:t0 ~bytes:14 (Proto.Scan (0L, 50)) in
+  let o = Router.call router ~at:t0 ~bytes:14 (Proto.Scan (0L, 50)) in
   (match o.Router.reply with
   | Proto.Values vs ->
     Alcotest.(check int) "limit honoured" 50 (List.length vs);
@@ -166,8 +166,7 @@ let test_scan_fanout_merges_cluster () =
   in
   Alcotest.(check bool) "delete acked" true (d.Router.reply = Proto.Ok);
   let o2 =
-    Router.submit_scan router ~at:d.Router.finish ~bytes:14 ~start:0L
-      ~limit:50
+    Router.call router ~at:d.Router.finish ~bytes:14 (Proto.Scan (0L, 50))
   in
   match o2.Router.reply with
   | Proto.Values vs ->
@@ -187,7 +186,7 @@ let test_scan_refused_when_vshard_uncovered () =
     (fun nid -> Node.kill ~tear:false ~seed:(10 + nid) nodes.(nid))
     (Ring.owners ring 0);
   let before = Router.unavailable router in
-  let o = Router.submit router ~at:1e6 ~bytes:14 (Proto.Scan (0L, 10)) in
+  let o = Router.call router ~at:1e6 ~bytes:14 (Proto.Scan (0L, 10)) in
   (match o.Router.reply with
   | Proto.Err _ -> ()
   | r -> Alcotest.failf "scan earned %a, not Err" Proto.pp_reply r);

@@ -121,7 +121,7 @@ let test_timeline_windows () =
 
 let test_stores_zoo () =
   let specs = Stores.all tiny_scale in
-  Alcotest.(check int) "seven stores" 7 (List.length specs);
+  Alcotest.(check int) "eight stores" 8 (List.length specs);
   List.iter
     (fun spec ->
       let h = spec.Stores.make () in
