@@ -891,7 +891,7 @@ let run_batch seed quick bench_json =
 
 (* ----------------------------- cluster command --------------------------- *)
 
-let run_cluster quick seed bench_json =
+let run_cluster quick seed loss bench_json =
   let scale = scale_of_quick quick in
   let wall f =
     let t0 = Unix.gettimeofday () in
@@ -917,8 +917,13 @@ let run_cluster quick seed bench_json =
           Table.cell_ns p.CB.sp_get_p99; Table.cell_ns p.CB.sp_put_p99 ])
     points;
   Table.print tbl;
-  let fo, w_fo = wall (fun () -> CB.failover ~seed scale) in
-  let rb, w_rb = wall (fun () -> CB.rebalance ~seed:(seed + 1) scale) in
+  if loss > 0.0 then
+    Printf.printf
+      "Scenarios run under %.3f frame loss (defensive policy, \
+       partition-aware audit).\n"
+      loss;
+  let fo, w_fo = wall (fun () -> CB.failover ~seed ~loss scale) in
+  let rb, w_rb = wall (fun () -> CB.rebalance ~seed:(seed + 1) ~loss scale) in
   let summarize sc =
     let r = sc.CB.sc_result in
     let router = sc.CB.sc_setup.CB.router in
@@ -954,8 +959,9 @@ let run_cluster quick seed bench_json =
     Buffer.add_string b "{\n";
     Buffer.add_string b
       (Printf.sprintf
-         "  \"suite\": \"cluster\", \"quick\": %b, \"seed\": %d,\n" quick
-         seed);
+         "  \"suite\": \"cluster\", \"quick\": %b, \"seed\": %d, \
+          \"loss\": %g,\n"
+         quick seed loss);
     Buffer.add_string b "  \"scaling\": [\n";
     List.iteri
       (fun i p ->
@@ -998,6 +1004,136 @@ let run_cluster quick seed bench_json =
     json_write path (Buffer.contents b));
   if not ok then begin
     Printf.eprintf "ckv cluster: FAILED acceptance checks\n";
+    exit 1
+  end
+
+(* ----------------------------- chaos command ----------------------------- *)
+
+let run_chaos quick seed bench_json =
+  let scale = scale_of_quick quick in
+  let module CB = Harness.Cluster_bench in
+  let wall_t0 = Unix.gettimeofday () in
+  let cells = CB.chaos_sweep ~seed scale in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "chaos: loss x partition x hedge (5 nodes, wq 2, seed %d)" seed)
+      ~columns:
+        [ ("loss", Table.Right); ("part", Table.Left); ("hedge", Table.Left);
+          ("avail", Table.Right); ("goodput", Table.Right);
+          ("get p99", Table.Right); ("event p99", Table.Right);
+          ("retries", Table.Right); ("hedges", Table.Right);
+          ("dedup", Table.Right); ("residue", Table.Right);
+          ("audit", Table.Left) ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row tbl
+        [ Printf.sprintf "%.3f" c.CB.cc_loss;
+          CB.partition_name c.CB.cc_partition;
+          (if c.CB.cc_hedge then "on" else "off");
+          Printf.sprintf "%.4f" c.CB.cc_availability;
+          Table.cell_f c.CB.cc_goodput_mops;
+          Table.cell_ns c.CB.cc_get_p99;
+          Table.cell_ns c.CB.cc_event_get_p99;
+          string_of_int c.CB.cc_retries; string_of_int c.CB.cc_hedges;
+          string_of_int c.CB.cc_dedup_hits; string_of_int c.CB.cc_residue;
+          (if CB.cell_clean c then "clean" else "DIRTY") ])
+    cells;
+  Table.print tbl;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun m ->
+          Printf.printf "  LOST [%s]: key %Ld node %d: expected %s, got %s\n"
+            c.CB.cc_label m.Cluster.Run.mm_key m.Cluster.Run.mm_node
+            m.Cluster.Run.mm_expected m.Cluster.Run.mm_got)
+        c.CB.cc_mismatches;
+      List.iter
+        (fun v -> Printf.printf "  VIOLATION [%s]: %s\n" c.CB.cc_label v)
+        c.CB.cc_violations)
+    cells;
+  let slow_off, slow_on = CB.fail_slow_pair ~seed ~factor:10.0 scale in
+  let slow_ratio =
+    if slow_on.CB.cc_event_get_p99 > 0.0 then
+      slow_off.CB.cc_event_get_p99 /. slow_on.CB.cc_event_get_p99
+    else infinity
+  in
+  Printf.printf
+    "fail-slow 10x: event get p99 %.0f ns no-hedge vs %.0f ns hedged \
+     (%.2fx; %d hedges, %d wins, %d suspicions)\n"
+    slow_off.CB.cc_event_get_p99 slow_on.CB.cc_event_get_p99 slow_ratio
+    slow_on.CB.cc_hedges slow_on.CB.cc_hedge_wins slow_on.CB.cc_suspicions;
+  let base_mops, def_mops = CB.overhead_pair ~seed:(seed + 6) scale in
+  let overhead = 1.0 -. (def_mops /. Float.max base_mops 1e-9) in
+  Printf.printf
+    "zero-fault overhead: %.2f Mops/s default vs %.2f Mops/s defensive \
+     (%.1f%%)\n"
+    base_mops def_mops (100.0 *. overhead);
+  let all_clean = List.for_all CB.cell_clean cells in
+  let pair_clean = CB.cell_clean slow_off && CB.cell_clean slow_on in
+  let ok =
+    all_clean && pair_clean && slow_ratio >= 2.0 && overhead <= 0.05
+  in
+  (match bench_json with
+  | None -> ()
+  | Some path ->
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"suite\": \"chaos\", \"quick\": %b, \"seed\": %d,\n" quick seed);
+    Buffer.add_string b "  \"cells\": [\n";
+    List.iteri
+      (fun i c ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"loss\": %g, \"partition\": \"%s\", \"hedge\": %b, \
+              \"rate_mops\": %.4f, \"issued\": %d, \"ok\": %d, \
+              \"availability\": %.6f, \"event_availability\": %.6f, \
+              \"goodput_mops\": %.4f, \"get_p99_ns\": %.0f, \
+              \"event_get_p99_ns\": %.0f, \"retries\": %d, \"timeouts\": \
+              %d, \"hedges\": %d, \"hedge_wins\": %d, \"late_acks\": %d, \
+              \"routed_around\": %d, \"suspicions\": %d, \"dedup_hits\": \
+              %d, \"checked\": %d, \"residue\": %d, \"mismatches\": %d, \
+              \"reads_checked\": %d, \"violations\": %d}%s\n"
+             c.CB.cc_loss
+             (CB.partition_name c.CB.cc_partition)
+             c.CB.cc_hedge c.CB.cc_rate_mops c.CB.cc_issued c.CB.cc_ok
+             c.CB.cc_availability c.CB.cc_event_availability
+             c.CB.cc_goodput_mops c.CB.cc_get_p99 c.CB.cc_event_get_p99
+             c.CB.cc_retries c.CB.cc_timeouts c.CB.cc_hedges
+             c.CB.cc_hedge_wins c.CB.cc_late_acks c.CB.cc_routed_around
+             c.CB.cc_suspicions c.CB.cc_dedup_hits c.CB.cc_checked
+             c.CB.cc_residue
+             (List.length c.CB.cc_mismatches)
+             c.CB.cc_reads_checked
+             (List.length c.CB.cc_violations)
+             (if i = List.length cells - 1 then "" else ",")))
+      cells;
+    Buffer.add_string b "  ],\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"fail_slow\": {\"factor\": 10.0, \"rate_mops\": %.4f, \
+          \"event_get_p99_ns_no_hedge\": %.0f, \
+          \"event_get_p99_ns_hedged\": %.0f, \"ratio\": %.3f, \"hedges\": \
+          %d, \"hedge_wins\": %d, \"suspicions\": %d},\n"
+         slow_on.CB.cc_rate_mops slow_off.CB.cc_event_get_p99
+         slow_on.CB.cc_event_get_p99 slow_ratio slow_on.CB.cc_hedges
+         slow_on.CB.cc_hedge_wins slow_on.CB.cc_suspicions);
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"overhead\": {\"default_mops\": %.4f, \"defensive_mops\": \
+          %.4f, \"fraction\": %.4f},\n"
+         base_mops def_mops overhead);
+    Buffer.add_string b
+      (Printf.sprintf "  \"wall_s\": %.2f, \"pass\": %b\n}"
+         (Unix.gettimeofday () -. wall_t0)
+         ok);
+    json_write path (Buffer.contents b));
+  if not ok then begin
+    Printf.eprintf "ckv chaos: FAILED acceptance checks\n";
     exit 1
   end
 
@@ -1322,13 +1458,42 @@ let cluster_cmd =
       & info [ "seed" ] ~docv:"N"
           ~doc:"Deterministic seed (load streams and crash tearing).")
   in
+  let loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~docv:"P"
+          ~doc:
+            "Run the failover/rebalance scenarios under an i.i.d. frame \
+             drop probability of $(docv) (defensive router policy, \
+             partition-aware audit).")
+  in
   Cmd.v
     (Cmd.info "cluster"
        ~doc:
          "Run the cluster suite: scaling curve, node kill + rejoin, live \
           shard migration; exits non-zero if any divergence, misroute or \
           unfinished recovery is detected")
-    Term.(const run_cluster $ quick_arg $ seed $ bench_json_arg)
+    Term.(const run_cluster $ quick_arg $ seed $ loss $ bench_json_arg)
+
+let chaos_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Deterministic seed (fault injection, load streams, backoff \
+             jitter).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the network chaos suite: loss x partition x hedge sweep \
+          with the partition-aware consistency audit, the fail-slow \
+          hedging pair and the zero-fault overhead check; exits non-zero \
+          if any acked write is lost, any stale/phantom read is observed, \
+          hedging fails to halve the fail-slow tail, or the defensive \
+          policy costs more than 5% on a clean network")
+    Term.(const run_chaos $ quick_arg $ seed $ bench_json_arg)
 
 let mph_cmd =
   let seed =
@@ -1377,4 +1542,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ load_cmd; ycsb_cmd; bench_cmd; crash_cmd; scrub_cmd; media_cmd;
          mph_cmd; batch_cmd; trace_cmd; inspect_cmd; serve_cmd; client_cmd;
-         cluster_cmd; list_cmd ]))
+         cluster_cmd; chaos_cmd; list_cmd ]))

@@ -1,0 +1,66 @@
+(* Accrual-style failure detection.
+
+   One float score per node: timeouts add a full point, acks halve it.
+   An ack slower than [slow_ratio] times the running-mean round trip
+   still halves the score but adds 1.25 back, so sustained slow service
+   converges to 2.5 — past the default threshold after three slow acks
+   (the fail-slow signal) — while an isolated straggler decays away.  Only normal-band
+   acks update the mean and the histogram, so a fail-slow episode cannot
+   drag the hedge-delay estimate up to its own inflated latency. *)
+
+module Histogram = Metrics.Histogram
+
+type t = {
+  scores : float array;
+  threshold : float;
+  slow_ratio : float;
+  mutable mean_rtt : float; (* EWMA of normal-band acks; 0 = no ack yet *)
+  hist : Histogram.t; (* normal-band round trips, cluster-wide *)
+  mutable suspicions : int;
+}
+
+let c_suspicions = Obs.Counters.counter "detector.suspicions"
+let c_slow_acks = Obs.Counters.counter "detector.slow_acks"
+
+let create ?(threshold = 2.0) ?(slow_ratio = 4.0) ~n () =
+  if n < 1 then invalid_arg "Detector.create";
+  { scores = Array.make n 0.0;
+    threshold;
+    slow_ratio;
+    mean_rtt = 0.0;
+    hist = Histogram.create ();
+    suspicions = 0 }
+
+let score t ~node = t.scores.(node)
+let suspected t ~node = t.scores.(node) >= t.threshold
+let suspicions t = t.suspicions
+let rtt_p99 t = Histogram.percentile t.hist 99.0
+
+let note_crossing t node was =
+  if (not was) && suspected t ~node then begin
+    t.suspicions <- t.suspicions + 1;
+    Obs.Counters.incr c_suspicions
+  end
+
+let observe_ack t ~node ~rtt_ns =
+  let was = suspected t ~node in
+  let slow = t.mean_rtt > 0.0 && rtt_ns > t.slow_ratio *. t.mean_rtt in
+  if slow then begin
+    t.scores.(node) <- (t.scores.(node) /. 2.0) +. 1.25;
+    Obs.Counters.incr c_slow_acks
+  end
+  else begin
+    t.scores.(node) <- t.scores.(node) /. 2.0;
+    t.mean_rtt <-
+      (if t.mean_rtt = 0.0 then rtt_ns
+       else (0.98 *. t.mean_rtt) +. (0.02 *. rtt_ns));
+    Histogram.record t.hist rtt_ns
+  end;
+  note_crossing t node was
+
+let observe_timeout t ~node =
+  let was = suspected t ~node in
+  t.scores.(node) <- t.scores.(node) +. 1.0;
+  note_crossing t node was
+
+let clear t ~node = t.scores.(node) <- 0.0

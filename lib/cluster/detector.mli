@@ -1,0 +1,40 @@
+(** Per-node accrual-style failure detection for the defensive RPC path.
+
+    Every RPC outcome feeds it: an ack decays the node's suspicion score
+    (and, when the round-trip was within the normal band, updates the
+    cluster-wide latency statistics), a timeout accrues it.  A node whose
+    score crosses the threshold is {e suspected} — the router prefers
+    other replicas for reads ({!Router}'s route-around) until catch-up or
+    recovering latency clears it.  A fail-slow node accrues too: acks
+    slower than [slow_ratio] times the running mean bump the score, so
+    gray failures are suspected without a single timeout.
+
+    The normal-band round-trip histogram doubles as the hedge-delay
+    estimator: {!rtt_p99} is the p99 a healthy replica should beat, and a
+    read still unanswered past it is worth hedging to another replica. *)
+
+type t
+
+val create : ?threshold:float -> ?slow_ratio:float -> n:int -> unit -> t
+(** [n] nodes, all unsuspected.  [threshold] (default 2.0) is the
+    suspicion score at which a node counts as suspected; [slow_ratio]
+    (default 4.0) is the multiple of the running mean round-trip beyond
+    which an ack is treated as a slow-path signal rather than as normal
+    latency. *)
+
+val observe_ack : t -> node:int -> rtt_ns:float -> unit
+val observe_timeout : t -> node:int -> unit
+
+val score : t -> node:int -> float
+val suspected : t -> node:int -> bool
+
+val clear : t -> node:int -> unit
+(** Forget the node's suspicion (called when it finishes catch-up). *)
+
+val rtt_p99 : t -> float
+(** p99 of normal-band round trips across the cluster; 0 before any ack.
+    The router's hedge delay is [max hedge_floor (rtt_p99)]. *)
+
+val suspicions : t -> int
+(** Upward threshold crossings (also counted as
+    [detector.suspicions]). *)

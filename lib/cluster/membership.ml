@@ -13,23 +13,40 @@
    traffic interleaves with foreground service on both the joiner's and
    the sources' clocks and shows up in the latency timeline.  The joiner
    serves writes while [Syncing] (so it does not fall further behind) and
-   is readable again only once every peer has been drained. *)
+   is readable again only once every peer has been drained.
+
+   Donors are not trusted to survive the stream.  Each chunk re-validates
+   the current donor: a donor that crashed leaves the plan (its log
+   cannot be read, and the surviving owners cover its entries when the
+   write quorum spans the replica set); a donor that is merely
+   partitioned away from the joiner ({!Fault.Netem.reachable} in either
+   direction) is abandoned for a reachable pending peer and retried
+   later.  Either way the joiner re-selects and RESTARTS the new donor's
+   log from the durable floor — the stamp filter plus the joiner-side
+   stale-stamp skip make re-streaming idempotent, so a donor switch
+   costs duplicate shipping work, never duplicate application.  When no
+   pending peer is reachable the catch-up stalls (counted) and the tick
+   retries until the partition heals. *)
 
 module Clock = Pmem_sim.Clock
 module Store_intf = Kv_common.Store_intf
 module Vlog = Kv_common.Vlog
+module Netem = Fault.Netem
 
 let kill ?tear ~seed router nid = Node.kill ?tear ~seed (Router.node router nid)
 
 type catchup = {
   c_node : int;
   c_floor : int;
-  mutable c_peers : int list; (* remaining source peers *)
-  mutable c_loc : int; (* log cursor into the current peer *)
-  mutable c_flushed : bool; (* current peer's open batch pushed out? *)
+  mutable c_pending : int list; (* source peers not yet drained *)
+  mutable c_current : int option; (* donor the cursor points into *)
+  mutable c_loc : int; (* log cursor into the current donor *)
+  mutable c_flushed : bool; (* current donor's open batch pushed out? *)
   mutable c_scanned : int; (* peer log entries considered *)
   mutable c_shipped : int; (* entries streamed over the network *)
   mutable c_applied : int; (* entries the joiner actually applied *)
+  mutable c_switches : int; (* donors abandoned mid-stream *)
+  mutable c_stalls : int; (* ticks with no reachable donor *)
   mutable c_restart_ns : float;
 }
 
@@ -38,6 +55,8 @@ let floor cu = cu.c_floor
 let scanned cu = cu.c_scanned
 let shipped cu = cu.c_shipped
 let applied cu = cu.c_applied
+let switches cu = cu.c_switches
+let stalls cu = cu.c_stalls
 let restart_ns cu = cu.c_restart_ns
 
 let start_rejoin router ~now nid =
@@ -51,67 +70,116 @@ let start_rejoin router ~now nid =
   in
   { c_node = nid;
     c_floor = Node.durable_floor n;
-    c_peers = peers;
+    c_pending = peers;
+    c_current = None;
     c_loc = 0;
     c_flushed = false;
     c_scanned = 0;
     c_shipped = 0;
     c_applied = 0;
+    c_switches = 0;
+    c_stalls = 0;
     c_restart_ns = dt }
 
-(* Stream up to [chunk] entries from the current peer.  The peer filters
-   by stamp and ownership against its DRAM metadata (free), then pays a
-   real log read per shipped entry; the joiner pays the real write path.
-   Both charges land on the respective service loops, competing with
-   foreground requests.  Returns [true] when catch-up is complete (the
-   joiner flips to [Up]). *)
+(* abandon the current donor: the next one streams from its log head
+   again (floor-filtered), so nothing the joiner needs is lost *)
+let switch cu =
+  (match cu.c_current with
+  | Some _ -> cu.c_switches <- cu.c_switches + 1
+  | None -> ());
+  cu.c_current <- None;
+  cu.c_loc <- 0;
+  cu.c_flushed <- false
+
+let finish router cu =
+  Node.set_status (Router.node router cu.c_node) Node.Up;
+  (* the joiner was timing out while down — let reads come back to it
+     now instead of waiting out the accrual decay *)
+  Detector.clear (Router.detector router) ~node:cu.c_node;
+  true
+
+(* Stream up to [chunk] entries from the current donor.  The donor
+   filters by stamp and ownership against its DRAM metadata (free), then
+   pays a real log read per shipped entry; the joiner pays the real write
+   path.  Both charges land on the respective service loops, competing
+   with foreground requests.  Returns [true] when catch-up is complete
+   (the joiner flips to [Up]). *)
 let step router cu ~now ~chunk =
-  match cu.c_peers with
-  | [] ->
-      Node.set_status (Router.node router cu.c_node) Node.Up;
-      true
-  | peer :: rest ->
-      let p = Router.node router peer and n = Router.node router cu.c_node in
-      let prx = Node.rx p and nrx = Node.rx n in
-      ignore (Clock.wait_until prx now);
-      ignore (Clock.wait_until nrx now);
-      let vlog = Store_intf.vlog (Node.store p) in
-      if not cu.c_flushed then begin
-        Vlog.flush vlog prx;
-        cu.c_flushed <- true
-      end;
-      let ring = Router.ring router in
-      let budget = ref chunk in
-      let shipped = ref [] in
-      while !budget > 0 && cu.c_loc < Vlog.persisted vlog do
-        let loc = cu.c_loc in
-        cu.c_loc <- cu.c_loc + 1;
-        cu.c_scanned <- cu.c_scanned + 1;
-        let stamp = Node.stamp_at p loc in
-        if
-          stamp > cu.c_floor
-          && List.mem cu.c_node (Ring.owners_of_key ring (Vlog.key_at vlog loc))
-        then begin
-          decr budget;
-          match Vlog.read vlog prx loc with
-          | Error `Corrupt -> () (* nothing trustworthy to ship *)
-          | Ok (key, vlen) ->
-              cu.c_shipped <- cu.c_shipped + 1;
-              let action = if vlen < 0 then Node.Delete else Node.Put vlen in
-              shipped := (stamp, key, action) :: !shipped
-        end
-      done;
-      (* the chunk lands on the joiner as one grouped apply: fresh puts
-         share a single write_batch group commit on the joiner's loop *)
-      cu.c_applied <-
-        cu.c_applied + Node.apply_batch n nrx (List.rev !shipped);
-      if cu.c_loc >= Vlog.persisted vlog then begin
-        cu.c_peers <- rest;
-        cu.c_loc <- 0;
-        cu.c_flushed <- false
-      end;
-      (match cu.c_peers with
-      | [] ->
-          Node.set_status n Node.Up;
-          true
-      | _ -> false)
+  let alive p = Node.status (Router.node router p) = Node.Up in
+  (* crashed peers leave the plan *)
+  if List.exists (fun p -> not (alive p)) cu.c_pending then begin
+    cu.c_pending <- List.filter alive cu.c_pending;
+    match cu.c_current with
+    | Some d when not (alive d) -> switch cu
+    | _ -> ()
+  end;
+  if cu.c_pending = [] then finish router cu
+  else begin
+    let reachable p =
+      match Router.netem router with
+      | None -> true
+      | Some nm ->
+          Netem.reachable nm ~now ~src:(Netem.Node p)
+            ~dst:(Netem.Node cu.c_node)
+          && Netem.reachable nm ~now ~src:(Netem.Node cu.c_node)
+               ~dst:(Netem.Node p)
+    in
+    (match cu.c_current with
+    | Some d when reachable d -> ()
+    | Some _ -> switch cu (* donor partitioned away: pick another *)
+    | None -> ());
+    (match cu.c_current with
+    | None -> cu.c_current <- List.find_opt reachable cu.c_pending
+    | Some _ -> ());
+    match cu.c_current with
+    | None ->
+        (* every pending peer is unreachable: wait out the partition *)
+        cu.c_stalls <- cu.c_stalls + 1;
+        false
+    | Some peer ->
+        let p = Router.node router peer
+        and n = Router.node router cu.c_node in
+        let prx = Node.rx p and nrx = Node.rx n in
+        ignore (Clock.wait_until prx now);
+        ignore (Clock.wait_until nrx now);
+        let vlog = Store_intf.vlog (Node.store p) in
+        if not cu.c_flushed then begin
+          Vlog.flush vlog prx;
+          cu.c_flushed <- true
+        end;
+        let ring = Router.ring router in
+        let budget = ref chunk in
+        let shipped = ref [] in
+        while !budget > 0 && cu.c_loc < Vlog.persisted vlog do
+          let loc = cu.c_loc in
+          cu.c_loc <- cu.c_loc + 1;
+          cu.c_scanned <- cu.c_scanned + 1;
+          let stamp = Node.stamp_at p loc in
+          if
+            stamp > cu.c_floor
+            && List.mem cu.c_node
+                 (Ring.owners_of_key ring (Vlog.key_at vlog loc))
+          then begin
+            decr budget;
+            match Vlog.read vlog prx loc with
+            | Error `Corrupt -> () (* nothing trustworthy to ship *)
+            | Ok (key, vlen) ->
+                cu.c_shipped <- cu.c_shipped + 1;
+                let action =
+                  if vlen < 0 then Node.Delete else Node.Put vlen
+                in
+                shipped := (stamp, key, action) :: !shipped
+          end
+        done;
+        (* the chunk lands on the joiner as one grouped apply: fresh puts
+           share a single write_batch group commit on the joiner's loop *)
+        cu.c_applied <-
+          cu.c_applied + Node.apply_batch n nrx (List.rev !shipped);
+        if cu.c_loc >= Vlog.persisted vlog then begin
+          cu.c_pending <- List.filter (( <> ) peer) cu.c_pending;
+          cu.c_current <- None;
+          cu.c_loc <- 0;
+          cu.c_flushed <- false
+        end;
+        if cu.c_pending = [] then finish router cu else false
+  end

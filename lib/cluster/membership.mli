@@ -6,7 +6,16 @@
     {!start_rejoin} recovers the store and opens a chunked catch-up that
     streams stamped log entries above the node's durable floor from each
     live peer; {!step} drains it incrementally so catch-up competes with
-    foreground traffic on both service loops. *)
+    foreground traffic on both service loops.
+
+    Catch-up survives its donors: a donor that crashes mid-stream leaves
+    the plan (surviving owners cover its entries when the write quorum
+    spans the replica set), a donor partitioned away from the joiner is
+    swapped for a reachable pending peer, and the new donor's log is
+    re-streamed from the durable floor — idempotent, thanks to the stamp
+    filter and the joiner's stale-stamp skip.  With every pending peer
+    unreachable the catch-up stalls and retries until the partition
+    heals. *)
 
 val kill : ?tear:bool -> seed:int -> Router.t -> int -> unit
 
@@ -22,6 +31,14 @@ val shipped : catchup -> int
 val applied : catchup -> int
 (** Shipped entries the joiner actually applied (the rest were already
     superseded by writes it took while [Syncing]). *)
+
+val switches : catchup -> int
+(** Donors abandoned mid-stream (crashed or partitioned away); each
+    switch restarts the next donor's log from the durable floor. *)
+
+val stalls : catchup -> int
+(** Ticks that found no reachable pending donor (waiting out a
+    partition). *)
 
 val restart_ns : catchup -> float
 

@@ -34,6 +34,7 @@ type t = {
   mutable m_cursor : int;
   mutable m_cleanup : int; (* second cursor, for source cleanup *)
   mutable m_copied : int;
+  mutable m_stalls : int; (* copy ticks skipped: src/dst partitioned *)
   mutable m_phase : phase;
 }
 
@@ -42,6 +43,7 @@ let from_node t = t.m_from
 let to_node t = t.m_to
 let phase t = t.m_phase
 let copied t = t.m_copied
+let stalls t = t.m_stalls
 let total t = Array.length t.m_keys
 
 let start router ~vshard ~from_ ~to_ =
@@ -65,6 +67,7 @@ let start router ~vshard ~from_ ~to_ =
     m_cursor = 0;
     m_cleanup = 0;
     m_copied = 0;
+    m_stalls = 0;
     m_phase = Copying }
 
 let cutover router t =
@@ -84,6 +87,18 @@ let cutover router t =
 let step router t ~now ~chunk =
   match t.m_phase with
   | Serving | Cleaned -> true
+  | Copying
+    when (match Router.netem router with
+         | None -> false
+         | Some nm ->
+             not
+               (Fault.Netem.reachable nm ~now ~src:(Fault.Netem.Node t.m_from)
+                  ~dst:(Fault.Netem.Node t.m_to))) ->
+      (* copy stream cut by a partition: stall this tick and retry —
+         dual-writes keep landing (or failing observably) through the
+         router, so cutover simply waits for the link to heal *)
+      t.m_stalls <- t.m_stalls + 1;
+      false
   | Copying ->
       let src = Router.node router t.m_from
       and dst = Router.node router t.m_to in

@@ -22,6 +22,11 @@ val to_node : t -> int
 val phase : t -> phase
 val copied : t -> int
 
+val stalls : t -> int
+(** Copy ticks skipped because the source could not reach the
+    destination ({!Fault.Netem} partition); the copy resumes when the
+    link heals. *)
+
 val total : t -> int
 (** Keys in the copy snapshot. *)
 

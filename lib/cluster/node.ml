@@ -44,7 +44,11 @@ type t = {
   mutable status : status;
   mutable kills : int;
   mutable restart_ns : float; (* total simulated restart time across rejoins *)
+  seen_reqs : (int, unit) Hashtbl.t; (* request ids already processed *)
+  mutable dedup_hits : int;
 }
+
+let c_dedup = Obs.Counters.counter "node.dedup_hits"
 
 let create ~id store =
   { id;
@@ -55,7 +59,9 @@ let create ~id store =
     nstamps = 0;
     status = Up;
     kills = 0;
-    restart_ns = 0.0 }
+    restart_ns = 0.0;
+    seen_reqs = Hashtbl.create 4096;
+    dedup_hits = 0 }
 
 let id t = t.id
 let store t = t.store
@@ -64,6 +70,7 @@ let status t = t.status
 let set_status t s = t.status <- s
 let kills t = t.kills
 let restart_ns t = t.restart_ns
+let dedup_hits t = t.dedup_hits
 let version t key = Hashtbl.find_opt t.versions key
 let live_keys t = Hashtbl.length t.versions
 let iter_versions t f = Hashtbl.iter f t.versions
@@ -82,8 +89,20 @@ let stamp_at t loc = if loc < t.nstamps then t.stamps.(loc) else -1
 
 (* Apply a stamped mutation.  Returns [false] (and charges nothing) when
    the node already holds this version or a newer one — catch-up and
-   dual-write replays hit this path. *)
-let apply t clock ~stamp key action =
+   dual-write replays hit this path — or when the request id was already
+   processed (a duplicated or retried delivery: the dedup guard that
+   makes "ack after k retries applies exactly once" hold even before the
+   stamp comparison could catch it). *)
+let apply ?req_id t clock ~stamp key action =
+  match req_id with
+  | Some r when Hashtbl.mem t.seen_reqs r ->
+      t.dedup_hits <- t.dedup_hits + 1;
+      Obs.Counters.incr c_dedup;
+      false
+  | _ ->
+  (match req_id with
+  | Some r -> Hashtbl.replace t.seen_reqs r ()
+  | None -> ());
   let cur = Option.value ~default:(-1) (Hashtbl.find_opt t.versions key) in
   if stamp <= cur then false
   else begin
@@ -160,7 +179,10 @@ let kill ?tear ~seed t =
   (* the log dropped its unpersisted tail; locations above it will be
      reused, so the stamp mirror must forget them too *)
   t.nstamps <- min t.nstamps (Vlog.length (Store_intf.vlog t.store));
-  Hashtbl.reset t.versions
+  Hashtbl.reset t.versions;
+  (* the dedup table is DRAM session state: a crashed node cannot tell a
+     retry from a fresh request — the stamp comparison still can *)
+  Hashtbl.reset t.seen_reqs
 
 (* Highest stamp the node is known to hold contiguously: the end of the
    longest non-decreasing stamped prefix of its log.  During normal

@@ -44,10 +44,19 @@ val stamp_at : t -> Kv_common.Types.loc -> int
 (** Stamp recorded for a vlog location; -1 for non-cluster entries. *)
 
 val apply :
+  ?req_id:int ->
   t -> Pmem_sim.Clock.t -> stamp:int -> Kv_common.Types.key -> action -> bool
 (** Apply a stamped mutation through the store's real write path.
     Returns [false] without charging when the node already holds this
-    version or newer (idempotent replay for catch-up and dual-writes). *)
+    version or newer (idempotent replay for catch-up and dual-writes), or
+    when [req_id] was already processed — the request-id dedup that makes
+    duplicated deliveries and router retries apply exactly once.  The
+    dedup table is DRAM session state (lost on {!kill}); the stamp
+    comparison remains the durable idempotence guard. *)
+
+val dedup_hits : t -> int
+(** Deliveries skipped by the request-id dedup table (also counted as
+    [node.dedup_hits]). *)
 
 val apply_batch :
   t -> Pmem_sim.Clock.t ->

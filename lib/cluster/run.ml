@@ -40,6 +40,27 @@ type window = {
   w_put_h : Histogram.t;
 }
 
+(* Full invocation history for the partition-aware audit: every single-op
+   write (acked or not, with its minted stamp) and every single-op read
+   (with the stamp of the version it answered from).  Batches and scans
+   are not recorded — the chaos workloads issue single ops only, which is
+   what makes the issued-stamp upper bound in {!history_check} sound. *)
+type hist_ev =
+  | H_write of {
+      hw_at : float;      (* issue (intended arrival) time *)
+      hw_fin : float;     (* client-side completion *)
+      hw_key : Types.key;
+      hw_stamp : int;     (* minted stamp, even when unacked *)
+      hw_acked : bool;
+    }
+  | H_read of {
+      hr_at : float;
+      hr_fin : float;
+      hr_key : Types.key;
+      hr_stamp : int;     (* version the answer came from; -1 = none *)
+      hr_ok : bool;       (* false for Err replies *)
+    }
+
 type result = {
   r_reqs : int;           (* frames processed *)
   r_ops : int;            (* primitive ops (batches expanded) *)
@@ -52,6 +73,7 @@ type result = {
   r_catchups : Membership.catchup list; (* completed, newest last *)
   r_migrations : Migration.t list;
   r_acked : int;          (* oracle size: distinct quorum-acked keys *)
+  r_history : hist_ev list; (* issue order; [] unless [record_history] *)
 }
 
 (* oracle: key -> (stamp, expected liveness, expected vlen) *)
@@ -104,7 +126,7 @@ type internal =
   | Cleanup_tick of Migration.t
 
 let run ?(cfg = default_cfg) ?(start_at = 0.0) ?(arrivals = [||]) ?closed
-    ~events router (orc : oracle) =
+    ?(record_history = false) ~events router (orc : oracle) =
   let pending = ref (List.map (fun t -> (t.at, Ext t.ev)) events) in
   let sort_pending () =
     pending := List.sort (fun (a, _) (b, _) -> compare a b) !pending
@@ -154,16 +176,34 @@ let run ?(cfg = default_cfg) ?(start_at = 0.0) ?(arrivals = [||]) ?closed
   and corrupt = ref 0
   and end_ns = ref 0.0 in
   let catchups = ref [] and migrations = ref [] in
+  let history = ref [] in
   let rec is_err = function
     | Proto.Err _ -> true
     | Proto.Replies rs -> List.exists is_err rs
     | _ -> false
   in
-  let submit_one ~at ~bytes req =
+  let submit_one ?hdr ~at ~bytes req =
     incr reqs;
     ops := !ops + Proto.ops_in_req req;
-    let o = Router.call router ~at ~bytes req in
+    let o = Router.call ?hdr router ~at ~bytes req in
     oracle_note orc o.Router.acked;
+    if record_history then begin
+      match req with
+      | Proto.Put (k, _) | Proto.Delete k ->
+          history :=
+            H_write
+              { hw_at = at; hw_fin = o.Router.finish; hw_key = k;
+                hw_stamp = o.Router.stamp; hw_acked = o.Router.acked <> [] }
+            :: !history
+      | Proto.Get k ->
+          history :=
+            H_read
+              { hr_at = at; hr_fin = o.Router.finish; hr_key = k;
+                hr_stamp = o.Router.stamp;
+                hr_ok = not (is_err o.Router.reply) }
+            :: !history
+      | Proto.Scan _ | Proto.Batch _ -> ()
+    end;
     let lat = o.Router.finish -. at in
     let w = window_at at in
     if Proto.puts_in_req req > 0 then begin
@@ -198,6 +238,12 @@ let run ?(cfg = default_cfg) ?(start_at = 0.0) ?(arrivals = [||]) ?closed
       | `Msg (Proto.Request req) ->
           ignore
             (submit_one ~at:a.Server.at
+               ~bytes:(Bytes.length a.Server.frame)
+               req);
+          drain ()
+      | `Msg (Proto.Tagged (hdr, req)) ->
+          ignore
+            (submit_one ~hdr ~at:a.Server.at
                ~bytes:(Bytes.length a.Server.frame)
                req);
           drain ()
@@ -301,7 +347,8 @@ let run ?(cfg = default_cfg) ?(start_at = 0.0) ?(arrivals = [||]) ?closed
     r_windows = ws;
     r_catchups = !catchups;
     r_migrations = !migrations;
-    r_acked = Hashtbl.length orc }
+    r_acked = Hashtbl.length orc;
+    r_history = List.rev !history }
 
 (* -- divergence check ----------------------------------------------- *)
 
@@ -417,3 +464,140 @@ let scan_divergence router (orc : oracle) =
   in
   walk expected got;
   (List.length expected, List.rev !mismatches)
+
+(* -- partition-aware audits ------------------------------------------ *)
+
+(* Under message loss and partitions the exact-presence audit above is
+   too strong: a write that timed out unacked may still have landed on a
+   minority of owners, so a replica can legitimately hold a NEWER version
+   than the oracle's last acked one.  What must still hold on every [Up]
+   owner of every acked key, after partitions heal and catch-up
+   completes:
+
+   - version >= the acked stamp (an acked write is never lost), and
+   - when the versions are equal, the stored effect matches the acked
+     action (presence and value length).
+
+   A strictly newer version is counted as [residue] — unacked-write
+   residue, legal and reported, never a failure by itself. *)
+let chaos_divergence router (orc : oracle) =
+  let ring = Router.ring router in
+  let probes =
+    Array.map (fun n -> Clock.copy (Node.rx n)) (Router.nodes router)
+  in
+  let mismatches = ref [] and checked = ref 0 and residue = ref 0 in
+  Hashtbl.iter
+    (fun key (stamp, action) ->
+      List.iter
+        (fun nid ->
+          let n = Router.node router nid in
+          if Node.status n = Node.Up then begin
+            incr checked;
+            let ver = Option.value ~default:(-1) (Node.version n key) in
+            if ver > stamp then incr residue
+            else if ver < stamp then
+              mismatches :=
+                { mm_key = key; mm_node = nid;
+                  mm_expected = Printf.sprintf "stamp >= %d" stamp;
+                  mm_got = Printf.sprintf "stamp %d (acked write lost)" ver }
+                :: !mismatches
+            else begin
+              let r = Node.read n probes.(nid) key in
+              let got =
+                match r with
+                | { S.stage = S.Corrupt; _ } -> "corrupt"
+                | { S.loc = Some loc; _ } ->
+                    Printf.sprintf "present(%d)"
+                      (Kv_common.Vlog.vlen_at (S.vlog (Node.store n)) loc)
+                | { S.loc = None; _ } -> "absent"
+              in
+              let expected =
+                match action with
+                | Node.Put vlen -> Printf.sprintf "present(%d)" vlen
+                | Node.Delete -> "absent"
+              in
+              if got <> expected then
+                mismatches :=
+                  { mm_key = key; mm_node = nid; mm_expected = expected;
+                    mm_got = got }
+                  :: !mismatches
+            end
+          end)
+        (Ring.owners_of_key ring key))
+    orc;
+  (!checked, !residue, List.rev !mismatches)
+
+(* Client-observable consistency over the recorded history:
+
+   - acked writes to one key carry strictly increasing stamps in issue
+     order (the global sequencer mints in issue order, so a violation
+     means an ack was forged or replayed);
+
+   - every OK read answered from a stamp at least as new as the newest
+     acked write to that key that FINISHED before the read was issued
+     (no stale read under real-time order), and no newer than the
+     newest stamp ISSUED to that key before the read finished (no
+     phantom version).  Keys the history never wrote are skipped —
+     their preload stamps are not recorded, so neither bound is known.
+
+   Sound when the workload issues single ops only (see {!hist_ev}) and
+   the write quorum covers all replicas, which is how the chaos gates
+   configure the cluster. *)
+let history_check (history : hist_ev list) =
+  let by_key : (Types.key, hist_ev list ref) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  let writes_of key =
+    match Hashtbl.find_opt by_key key with
+    | Some l -> List.rev !l
+    | None -> []
+  in
+  let reads_checked = ref 0 and violations = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let last_acked : (Types.key, int) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (function
+      | H_write w ->
+          (if w.hw_acked then begin
+             (match Hashtbl.find_opt last_acked w.hw_key with
+             | Some s when w.hw_stamp <= s ->
+                 note "key %Ld: acked stamp %d issued after acked %d"
+                   w.hw_key w.hw_stamp s
+             | _ -> ());
+             Hashtbl.replace last_acked w.hw_key w.hw_stamp
+           end);
+          (match Hashtbl.find_opt by_key w.hw_key with
+          | Some l -> l := H_write w :: !l
+          | None -> Hashtbl.add by_key w.hw_key (ref [ H_write w ]))
+      | H_read r ->
+          if r.hr_ok then begin
+            match writes_of r.hr_key with
+            | [] -> () (* only preload wrote it: bounds unknown *)
+            | ws ->
+                incr reads_checked;
+                let lo, hi =
+                  List.fold_left
+                    (fun (lo, hi) ev ->
+                      match ev with
+                      | H_write w ->
+                          ( (if w.hw_acked && w.hw_fin <= r.hr_at then
+                               max lo w.hw_stamp
+                             else lo),
+                            if w.hw_at <= r.hr_fin then max hi w.hw_stamp
+                            else hi )
+                      | H_read _ -> (lo, hi))
+                    (-1, -1) ws
+                in
+                if r.hr_stamp < lo then
+                  note
+                    "key %Ld: read issued at %.0f saw stamp %d, acked %d \
+                     had finished (stale read)"
+                    r.hr_key r.hr_at r.hr_stamp lo;
+                if hi >= 0 && r.hr_stamp > hi then
+                  note
+                    "key %Ld: read finished at %.0f saw stamp %d, newest \
+                     issued was %d (phantom version)"
+                    r.hr_key r.hr_fin r.hr_stamp hi
+          end)
+    history;
+  (!reads_checked, List.rev !violations)

@@ -19,6 +19,28 @@ type window = {
   w_put_h : Metrics.Histogram.t;
 }
 
+(** Full invocation history for the partition-aware audit, recorded when
+    [run ~record_history:true]: every single-op write (acked or not, with
+    its minted stamp) and every single-op read (with the stamp of the
+    version it answered from).  Batches and scans are not recorded — the
+    chaos workloads issue single ops only, which keeps the issued-stamp
+    upper bound in {!history_check} sound. *)
+type hist_ev =
+  | H_write of {
+      hw_at : float;      (** issue (intended arrival) time *)
+      hw_fin : float;     (** client-side completion *)
+      hw_key : Kv_common.Types.key;
+      hw_stamp : int;     (** minted stamp, even when unacked *)
+      hw_acked : bool;
+    }
+  | H_read of {
+      hr_at : float;
+      hr_fin : float;
+      hr_key : Kv_common.Types.key;
+      hr_stamp : int;     (** version the answer came from; -1 = none *)
+      hr_ok : bool;       (** false for [Err] replies *)
+    }
+
 type result = {
   r_reqs : int;            (** frames processed *)
   r_ops : int;             (** primitive ops (batches expanded) *)
@@ -31,6 +53,8 @@ type result = {
   r_catchups : Membership.catchup list;
   r_migrations : Migration.t list;
   r_acked : int;           (** distinct quorum-acked keys in the oracle *)
+  r_history : hist_ev list;
+      (** issue order; empty unless [run ~record_history:true] *)
 }
 
 type oracle
@@ -56,11 +80,14 @@ val run :
   ?start_at:float ->
   ?arrivals:Service.Server.arrival array ->
   ?closed:Service.Server.closed ->
+  ?record_history:bool ->
   events:timed list ->
   Router.t -> oracle -> result
 (** Process the merged event stream to completion (arrivals drained,
     closed connections done, catch-ups and migrations finished).
-    Latency is measured from intended arrival time. *)
+    Latency is measured from intended arrival time.  Arrival frames may
+    carry a {!Service.Proto.hdr} envelope ([Tagged]); the header's
+    request id and deadline are passed through to {!Router.call}. *)
 
 type mismatch = {
   mm_key : Kv_common.Types.key;
@@ -75,8 +102,28 @@ val divergence : Router.t -> oracle -> int * mismatch list
     the "no quorum-acked write lost, no divergence" guarantee. *)
 
 val scan_divergence : Router.t -> oracle -> int * mismatch list
-(** Audit the scan path: one {!Router.submit_scan} fan-out over the whole
+(** Audit the scan path: one {!Router.call} [Scan] fan-out over the whole
     keyspace must reproduce exactly the oracle's live Put keys in
     ascending order with the acked value lengths.  Returns [(expected
     entries, mismatches)]; [mm_node] is -1 on scan mismatches (they are
     router-level, not attributable to one replica). *)
+
+val chaos_divergence : Router.t -> oracle -> int * int * mismatch list
+(** Partition-aware variant of {!divergence}: on every [Up] owner of
+    every acked key, the replica's version must be [>=] the acked stamp
+    (acked writes survive), and when equal the stored effect must match
+    the acked action.  A strictly newer version is unacked-write residue
+    — legal under message loss, counted, never a mismatch.  Returns
+    [(replica checks, residue count, mismatches)].  Detach the netem
+    injector ({!Router.set_netem}) before calling. *)
+
+val history_check : hist_ev list -> int * string list
+(** Client-observable consistency over a recorded history: acked stamps
+    strictly increase per key in issue order; every OK read answers from
+    a stamp no older than the newest acked write to its key that finished
+    before the read was issued (no stale read) and no newer than the
+    newest stamp issued to its key (no phantom version).  Keys only the
+    preload wrote are skipped — their stamps are not in the history.
+    Returns [(reads checked, violation descriptions)].  Sound when the
+    workload issues single ops and the write quorum covers all replicas,
+    as the chaos gates configure. *)

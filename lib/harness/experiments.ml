@@ -2022,6 +2022,90 @@ let cluster scale =
   pr "zero misroutes; both audits end with zero mismatches.@.@."
 
 (* ------------------------------------------------------------------ *)
+(* Extension: network chaos — message-level fault injection, the       *)
+(* defensive RPC policy, and the partition-aware consistency audit.    *)
+(* ------------------------------------------------------------------ *)
+
+let chaos scale =
+  let open Cluster_bench in
+  let rec firstn n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: firstn (n - 1) tl
+  in
+  (* loss x partition x hedge grid *)
+  let cells = chaos_sweep ~seed:1 scale in
+  let tbl =
+    Table.create
+      ~title:
+        "chaos: loss x partition x hedge (5 nodes, 2 replicas, wq 2; \
+         open-loop 90/10 at half capacity; partition over [35%, 60%) of \
+         the phase)"
+      ~columns:
+        [ ("loss", Table.Right); ("part", Table.Left); ("hedge", Table.Left);
+          ("avail", Table.Right); ("event avail", Table.Right);
+          ("goodput", Table.Right); ("get p99", Table.Right);
+          ("event p99", Table.Right); ("retries", Table.Right);
+          ("hedges", Table.Right); ("dedup", Table.Right);
+          ("residue", Table.Right); ("audit", Table.Left) ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row tbl
+        [ Printf.sprintf "%.3f" c.cc_loss; partition_name c.cc_partition;
+          (if c.cc_hedge then "on" else "off");
+          Printf.sprintf "%.4f" c.cc_availability;
+          Printf.sprintf "%.4f" c.cc_event_availability;
+          Table.cell_f c.cc_goodput_mops; Table.cell_ns c.cc_get_p99;
+          Table.cell_ns c.cc_event_get_p99; string_of_int c.cc_retries;
+          string_of_int c.cc_hedges; string_of_int c.cc_dedup_hits;
+          string_of_int c.cc_residue;
+          (if cell_clean c then "clean"
+           else
+             Printf.sprintf "%d LOST / %d VIOLATIONS"
+               (List.length c.cc_mismatches)
+               (List.length c.cc_violations)) ])
+    cells;
+  Table.print tbl;
+  List.iter
+    (fun c ->
+      List.iter (fun v -> pr "  VIOLATION [%s]: %s@." c.cc_label v)
+        (firstn 5 c.cc_violations))
+    cells;
+  (* fail-slow: hedging + detector vs neither, same offered rate *)
+  let slow_off, slow_on = fail_slow_pair ~seed:1 ~factor:10.0 scale in
+  let ratio =
+    if slow_on.cc_event_get_p99 > 0.0 then
+      slow_off.cc_event_get_p99 /. slow_on.cc_event_get_p99
+    else infinity
+  in
+  pr
+    "Fail-slow (node1 10x over the window, offered %.2f Mops/s): event \
+     get p99 %s without hedging vs %s with hedging + route-around — \
+     %.2fx better (%d hedges, %d wins, %d suspicions, %d routed \
+     around).@."
+    slow_on.cc_rate_mops
+    (Table.cell_ns slow_off.cc_event_get_p99)
+    (Table.cell_ns slow_on.cc_event_get_p99)
+    ratio slow_on.cc_hedges slow_on.cc_hedge_wins slow_on.cc_suspicions
+    slow_on.cc_routed_around;
+  (* zero-fault overhead of the defensive machinery *)
+  let base, defended = overhead_pair ~seed:7 scale in
+  pr
+    "Zero-fault overhead: %.2f Mops/s default policy vs %.2f Mops/s \
+     defensive + empty injector (%.1f%%).@."
+    base defended
+    (100.0 *. (1.0 -. (defended /. Float.max base 1e-9)));
+  pr "@.";
+  pr
+    "Shape check: every cell's audit is clean (no acked write lost, no@.";
+  pr
+    "stale or phantom read); retries and dedup absorb loss; hedging@.";
+  pr
+    "cuts the fail-slow event p99 by >= 2x; the defensive machinery@.";
+  pr "costs < 5%% on a clean network.@.@."
+
+(* ------------------------------------------------------------------ *)
 (* Extension: ordered range scans — throughput vs scan length plus a   *)
 (* DRAM-oracle audit across flush / ABI dump / merge / GC / crash.     *)
 (* ------------------------------------------------------------------ *)
@@ -2309,6 +2393,10 @@ let all =
     { id = "cluster";
       title = "Extension: cluster scaling, failover and live migration";
       run = cluster };
+    { id = "chaos";
+      title = "Extension: network chaos — fault injection, defensive RPC, \
+               partition-aware audit";
+      run = chaos };
     { id = "scan";
       title = "Extension: ordered range scans — throughput vs length + \
                oracle audit";

@@ -175,7 +175,7 @@ let attribution_table ~name r =
           ("mean/op", Metrics.Table_fmt.Right);
           ("share", Metrics.Table_fmt.Right) ]
   in
-  let section (op : [ `Get | `Put | `Svc | `Scan ]) hist =
+  let section (op : [ `Get | `Put | `Svc | `Scan | `Rpc ]) hist =
     let n = Histogram.count hist in
     if n > 0 then begin
       let nf = float_of_int n in
@@ -186,6 +186,7 @@ let attribution_table ~name r =
         | `Put -> "put"
         | `Svc -> "svc"
         | `Scan -> "scan"
+        | `Rpc -> "rpc"
       in
       let covered = ref 0.0 in
       List.iter

@@ -15,8 +15,11 @@ type stage =
   | Svc_execute
   | Svc_encode
   | Scan_stream
+  | Rpc_backoff
+  | Rpc_hedge
+  | Rpc_timeout
 
-let nstages = 16
+let nstages = 19
 
 let index = function
   | Get_cache -> 0
@@ -35,12 +38,16 @@ let index = function
   | Svc_execute -> 13
   | Svc_encode -> 14
   | Scan_stream -> 15
+  | Rpc_backoff -> 16
+  | Rpc_hedge -> 17
+  | Rpc_timeout -> 18
 
 let all =
   [ Get_cache; Get_memtable; Get_abi; Get_level_probe; Get_mph;
     Get_log_read; Put_batch_copy; Put_index_insert; Put_flush_stall;
     Put_compaction_stall; Put_group_commit; Svc_decode; Svc_queue;
-    Svc_execute; Svc_encode; Scan_stream ]
+    Svc_execute; Svc_encode; Scan_stream; Rpc_backoff; Rpc_hedge;
+    Rpc_timeout ]
 
 let name = function
   | Get_cache -> "cache"
@@ -59,6 +66,9 @@ let name = function
   | Svc_execute -> "svc-execute"
   | Svc_encode -> "svc-encode"
   | Scan_stream -> "scan-stream"
+  | Rpc_backoff -> "rpc-backoff"
+  | Rpc_hedge -> "rpc-hedge"
+  | Rpc_timeout -> "rpc-timeout"
 
 let op_of = function
   | Get_cache | Get_memtable | Get_abi | Get_level_probe | Get_mph
@@ -69,6 +79,7 @@ let op_of = function
     `Put
   | Svc_decode | Svc_queue | Svc_execute | Svc_encode -> `Svc
   | Scan_stream -> `Scan
+  | Rpc_backoff | Rpc_hedge | Rpc_timeout -> `Rpc
 
 let on = ref false
 let acc = Array.make nstages 0.0

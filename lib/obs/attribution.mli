@@ -16,7 +16,9 @@
     is the coordinated-omission-free service latency.  The [`Scan]
     class covers the ordered-range path: per-shard stream setup (snapshot
     sorts, fence searches) plus the k-way merge pull, charged as one
-    [Scan_stream] stage.
+    [Scan_stream] stage.  The [`Rpc] class attributes the defensive
+    cluster RPC path: retry backoff waits, hedge delays, and deadline
+    budget burned by attempts that never acked.
 
     Like {!Trace}, recording is a no-op unless {!enable}d. *)
 
@@ -41,10 +43,16 @@ type stage =
   | Svc_execute
   | Svc_encode
   | Scan_stream
+  | Rpc_backoff
+      (** time a routed op spends waiting out retry backoff windows *)
+  | Rpc_hedge
+      (** hedge delay waited before duplicating a read to another replica *)
+  | Rpc_timeout
+      (** deadline budget burned by RPC attempts that never acked *)
 
 val all : stage list
 val name : stage -> string
-val op_of : stage -> [ `Get | `Put | `Svc | `Scan ]
+val op_of : stage -> [ `Get | `Put | `Svc | `Scan | `Rpc ]
 
 val enable : unit -> unit
 val disable : unit -> unit
@@ -62,5 +70,5 @@ type snapshot
 val snapshot : unit -> snapshot
 val diff : after:snapshot -> before:snapshot -> snapshot
 val stage_ns : snapshot -> stage -> float
-val total : op:[ `Get | `Put | `Svc | `Scan ] -> snapshot -> float
+val total : op:[ `Get | `Put | `Svc | `Scan | `Rpc ] -> snapshot -> float
 (** Sum of the stage times belonging to one operation kind. *)

@@ -134,7 +134,9 @@ let serve ?(backlog = 16) ?(max_requests = max_int) ?on_ready ~path backend =
                (Proto.encode_reply (Proto.Err "unexpected reply"))
            with _ -> ());
           close_conn c
-        | `Msg (Proto.Request req) ->
+        | `Msg (Proto.Request req | Proto.Tagged (_, req)) ->
+          (* the single-node endpoint serves a tagged request like a bare
+             one: the envelope is for the cluster router's retry path *)
           let reply = try backend req with _ -> Proto.Err "backend failure" in
           (match try write_all c.fd (Proto.encode_reply reply); true
                  with _ -> close_conn c; false
@@ -187,7 +189,8 @@ let await_reply c =
   let rec await () =
     match Proto.next c.cdec with
     | `Msg (Proto.Reply r) -> r
-    | `Msg (Proto.Request _) -> failwith "Endpoint.request: server sent request"
+    | `Msg (Proto.Request _ | Proto.Tagged _) ->
+      failwith "Endpoint.request: server sent request"
     | `Corrupt m -> failwith ("Endpoint.request: corrupt reply: " ^ m)
     | `Await ->
       let n = Unix.read c.cfd buf 0 (Bytes.length buf) in

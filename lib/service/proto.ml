@@ -33,7 +33,11 @@ type reply =
       (* (key, vlen, value) per scanned entry; value is [None] when the
          server answers locations without materialising payloads *)
 
-type msg = Request of req | Reply of reply
+(* Defensive-RPC envelope: a request id for node-side write dedup and a
+   latency budget the router turns into per-attempt deadlines. *)
+type hdr = { h_req_id : int; h_deadline_ns : float }
+
+type msg = Request of req | Tagged of hdr * req | Reply of reply
 
 let magic = '\xC7'
 let header_bytes = 5
@@ -46,6 +50,7 @@ let t_put = 0x02
 let t_delete = 0x03
 let t_batch = 0x04
 let t_scan = 0x05
+let t_tagged = 0x06
 let t_ok = 0x11
 let t_value = 0x12
 let t_hit = 0x13
@@ -150,9 +155,25 @@ let encode_reply reply =
   add_reply b reply;
   frame b
 
+let add_hdr b { h_req_id; h_deadline_ns } =
+  if h_req_id < 0 || h_req_id > 0xFFFFFFFF then
+    invalid_arg "Proto: request id out of range";
+  if Float.is_nan h_deadline_ns || h_deadline_ns < 0.0 then
+    invalid_arg "Proto: deadline out of range";
+  Buffer.add_uint8 b t_tagged;
+  add_u32 b h_req_id;
+  Buffer.add_int64_le b (Int64.bits_of_float h_deadline_ns)
+
+let encode_tagged hdr req =
+  let b = Buffer.create 48 in
+  add_hdr b hdr;
+  add_req b req;
+  frame b
+
 let encode msg =
   match msg with
   | Request r -> encode_request r
+  | Tagged (hdr, r) -> encode_tagged hdr r
   | Reply r -> encode_reply r
 
 (* ------------------------------ decoding ------------------------------ *)
@@ -252,11 +273,29 @@ let rec parse_reply ?(top = true) c =
            | f -> corrupt "scan entry flag %d invalid" f))
   | t -> corrupt "unknown reply tag 0x%02x" t
 
+let parse_hdr c =
+  ignore (read_u8 c "header tag");
+  need c 4 "request id";
+  let h_req_id =
+    Int32.to_int (Bytes.get_int32_le c.cbuf c.cpos) land 0xFFFFFFFF
+  in
+  c.cpos <- c.cpos + 4;
+  need c 8 "deadline";
+  let h_deadline_ns = Int64.float_of_bits (Bytes.get_int64_le c.cbuf c.cpos) in
+  c.cpos <- c.cpos + 8;
+  if Float.is_nan h_deadline_ns || h_deadline_ns < 0.0 then
+    corrupt "deadline out of range";
+  { h_req_id; h_deadline_ns }
+
 let parse_body buf ~pos ~len =
   let c = { cbuf = buf; cpos = pos; climit = pos + len } in
   let tag = Char.code (Bytes.get buf pos) in
   let msg =
-    if tag <= t_scan then Request (parse_req c) else Reply (parse_reply c)
+    if tag = t_tagged then
+      let hdr = parse_hdr c in
+      Tagged (hdr, parse_req c)
+    else if tag <= t_scan then Request (parse_req c)
+    else Reply (parse_reply c)
   in
   if c.cpos <> c.climit then
     corrupt "%d trailing bytes in frame" (c.climit - c.cpos);

@@ -45,7 +45,21 @@ type reply =
           the payload is [None] when the store answers locations without
           materialising values (accounting stores) *)
 
-type msg = Request of req | Reply of reply
+type hdr = {
+  h_req_id : int;
+      (** unique per client op (u32 on the wire): nodes deduplicate write
+          applies by it, so a duplicated or retried frame can never
+          double-apply *)
+  h_deadline_ns : float;
+      (** per-attempt latency budget the router enforces; must be finite
+          or [infinity], never negative *)
+}
+
+type msg =
+  | Request of req
+  | Tagged of hdr * req
+      (** a request carrying the defensive-RPC envelope *)
+  | Reply of reply
 
 val max_body_bytes : int
 (** Frames larger than this are rejected as corrupt (1 MiB). *)
@@ -61,6 +75,11 @@ val header_bytes : int
 
 val encode_request : req -> bytes
 val encode_reply : reply -> bytes
+
+val encode_tagged : hdr -> req -> bytes
+(** A request frame with the defensive-RPC envelope (request id +
+    deadline) ahead of the request body. *)
+
 val encode : msg -> bytes
 
 (** {1 Incremental decoding} *)

@@ -232,7 +232,7 @@ let run ?(costs = default_costs) ?(sched = Fifo) ?admission ?(batch_max = 8)
         | `Msg (Proto.Reply _) ->
           (* a client pushing replies at the server is a protocol error *)
           reject "unexpected reply"
-        | `Msg (Proto.Request req) ->
+        | `Msg (Proto.Request req | Proto.Tagged (_, req)) ->
           cs.rx_ns <- cs.rx_ns +. costs.frame_ns;
           incr submitted;
           let intended = a.at in

@@ -1,0 +1,634 @@
+(* Network chaos layer: the netem injector's determinism and fault
+   shapes, the defensive-RPC envelope on the wire, node-side request-id
+   dedup, retry idempotence under drops + duplicates, hedging and
+   route-around under gray failures, catch-up donor failover, and the
+   partition-aware history audit. *)
+
+module Ring = Cluster.Ring
+module Node = Cluster.Node
+module Router = Cluster.Router
+module Detector = Cluster.Detector
+module Membership = Cluster.Membership
+module Run = Cluster.Run
+module Netem = Fault.Netem
+module Proto = Service.Proto
+module Clock = Pmem_sim.Clock
+
+let key i = Workload.Keyspace.key_of_index i
+
+let tiny =
+  { Harness.Stores.shards = 4;
+    memtable_slots = 64;
+    load_keys = 4000;
+    sweep_ops = 6000;
+    threads = [ 1 ];
+    vlen = 8 }
+
+let mk_cluster ?(vshards = 32) ?policy ?netem ?seed ~n ~replicas ~wq ~rq () =
+  let nodes =
+    Array.init n (fun i ->
+        let spec =
+          Harness.Stores.chameleon ~name:(Printf.sprintf "n%d" i) tiny
+        in
+        Cluster.Node.create ~id:i (spec.Harness.Stores.make ()))
+  in
+  let ring = Ring.create ~vshards ~replicas ~nodes:(List.init n Fun.id) () in
+  ( ring,
+    nodes,
+    Router.create ?policy ?netem ?seed ~write_quorum:wq ~read_quorum:rq ring
+      nodes )
+
+(* -------------------------------- netem ---------------------------------- *)
+
+let test_netem_deterministic_loss () =
+  let mk () =
+    let nm = Netem.create ~seed:7 () in
+    Netem.add_rule nm (Netem.Loss 0.1);
+    nm
+  in
+  let a = mk () and b = mk () in
+  let n = 10_000 in
+  let delivered = ref 0 in
+  for i = 0 to n - 1 do
+    let now = float_of_int i *. 1_000.0 in
+    let fa =
+      Netem.send a ~now ~src:Netem.Client ~dst:(Netem.Node 0) ~net_ns:2000.0
+    and fb =
+      Netem.send b ~now ~src:Netem.Client ~dst:(Netem.Node 0) ~net_ns:2000.0
+    in
+    Alcotest.(check (list (float 0.0))) "same fate per seed" fa fb;
+    (match fa with
+    | [] -> ()
+    | [ arr ] ->
+        incr delivered;
+        Alcotest.(check (float 0.0)) "base hop cost" (now +. 2000.0) arr
+    | _ -> Alcotest.fail "loss-only rule cannot duplicate")
+  done;
+  let drops = n - !delivered in
+  Alcotest.(check bool)
+    (Printf.sprintf "drop count near 10%% (%d/%d)" drops n)
+    true
+    (drops > 800 && drops < 1200);
+  Alcotest.(check int) "stats: sent" n (Netem.sent a);
+  Alcotest.(check int) "stats: dropped" drops (Netem.dropped a)
+
+let test_netem_duplicate_reorder () =
+  let nm = Netem.create ~seed:3 () in
+  Netem.add_rule nm (Netem.Duplicate 0.3);
+  Netem.add_rule nm (Netem.Reorder { frac = 0.2; extra_ns = 50_000.0 });
+  let n = 5_000 in
+  let dups = ref 0 in
+  for i = 0 to n - 1 do
+    let now = float_of_int i *. 1_000.0 in
+    let arrivals =
+      Netem.send nm ~now ~src:Netem.Client ~dst:(Netem.Node 1) ~net_ns:2000.0
+    in
+    Alcotest.(check bool) "never lost" true (arrivals <> []);
+    (match arrivals with
+    | [ _; _ ] -> incr dups
+    | [ _ ] -> ()
+    | _ -> Alcotest.fail "at most one duplicate per frame");
+    let rec ascending = function
+      | a :: (b :: _ as rest) -> a <= b && ascending rest
+      | _ -> true
+    in
+    Alcotest.(check bool) "arrivals ascending" true (ascending arrivals);
+    List.iter
+      (fun arr ->
+        Alcotest.(check bool) "no arrival before the hop" true
+          (arr >= now +. 2000.0))
+      arrivals
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicate count near 30%% (%d/%d)" !dups n)
+    true
+    (!dups > 1200 && !dups < 1800);
+  Alcotest.(check int) "stats: duplicated" !dups (Netem.duplicated nm);
+  Alcotest.(check bool) "stats: delayed (reorder holds)" true
+    (Netem.delayed nm > 0)
+
+let test_netem_partition_direction () =
+  let nm = Netem.create ~seed:1 () in
+  Netem.add_rule nm ~from_ns:100.0 ~until_ns:200.0
+    (Netem.Partition
+       { a = [ Netem.Node 0 ]; b = [ Netem.Node 1 ]; symmetric = false });
+  let sends now src dst =
+    Netem.send nm ~now ~src ~dst ~net_ns:10.0 <> []
+  in
+  (* inside the window: a -> b cut, b -> a (the asym gray shape) delivered *)
+  Alcotest.(check bool) "a->b cut" false (sends 150.0 (Netem.Node 0) (Netem.Node 1));
+  Alcotest.(check bool) "b->a delivered" true
+    (sends 150.0 (Netem.Node 1) (Netem.Node 0));
+  Alcotest.(check bool) "bystander unaffected" true
+    (sends 150.0 Netem.Client (Netem.Node 1));
+  (* reachable is pure and matches *)
+  Alcotest.(check bool) "reachable a->b" false
+    (Netem.reachable nm ~now:150.0 ~src:(Netem.Node 0) ~dst:(Netem.Node 1));
+  Alcotest.(check bool) "reachable b->a" true
+    (Netem.reachable nm ~now:150.0 ~src:(Netem.Node 1) ~dst:(Netem.Node 0));
+  (* outside the window: healed *)
+  Alcotest.(check bool) "before the window" true
+    (sends 50.0 (Netem.Node 0) (Netem.Node 1));
+  Alcotest.(check bool) "after the window" true
+    (sends 250.0 (Netem.Node 0) (Netem.Node 1));
+  Alcotest.(check bool) "partition drops counted" true
+    (Netem.partition_dropped nm > 0);
+  (* symmetric cuts both directions *)
+  let sm = Netem.create ~seed:1 () in
+  Netem.add_rule sm
+    (Netem.Partition
+       { a = [ Netem.Node 0 ]; b = [ Netem.Node 1 ]; symmetric = true });
+  Alcotest.(check bool) "sym a->b cut" false
+    (Netem.reachable sm ~now:0.0 ~src:(Netem.Node 0) ~dst:(Netem.Node 1));
+  Alcotest.(check bool) "sym b->a cut" false
+    (Netem.reachable sm ~now:0.0 ~src:(Netem.Node 1) ~dst:(Netem.Node 0))
+
+let test_netem_fail_slow () =
+  let nm = Netem.create ~seed:1 () in
+  Netem.add_rule nm ~from_ns:1_000.0 ~until_ns:2_000.0
+    (Netem.Fail_slow { node = 1; factor = 10.0 });
+  Alcotest.(check (float 0.0)) "inside the window" 10.0
+    (Netem.slow_factor nm ~now:1_500.0 ~node:1);
+  Alcotest.(check (float 0.0)) "other node unaffected" 1.0
+    (Netem.slow_factor nm ~now:1_500.0 ~node:0);
+  Alcotest.(check (float 0.0)) "before the window" 1.0
+    (Netem.slow_factor nm ~now:500.0 ~node:1);
+  Alcotest.(check (float 0.0)) "after the window" 1.0
+    (Netem.slow_factor nm ~now:2_500.0 ~node:1)
+
+(* ------------------------------ wire format ------------------------------- *)
+
+let test_proto_tagged_roundtrip () =
+  let check_roundtrip hdr req =
+    let d = Proto.decoder () in
+    Proto.feed_bytes d (Proto.encode_tagged hdr req);
+    (match Proto.next d with
+    | `Msg (Proto.Tagged (h, r)) ->
+        Alcotest.(check int) "req id" hdr.Proto.h_req_id h.Proto.h_req_id;
+        Alcotest.(check (float 0.0))
+          "deadline" hdr.Proto.h_deadline_ns h.Proto.h_deadline_ns;
+        Alcotest.(check bool) "request body" true (r = req)
+    | _ -> Alcotest.fail "expected one Tagged frame");
+    match Proto.next d with
+    | `Await -> ()
+    | _ -> Alcotest.fail "trailing bytes after the frame"
+  in
+  check_roundtrip
+    { Proto.h_req_id = 42; h_deadline_ns = 500_000.0 }
+    (Proto.Get (key 7));
+  check_roundtrip
+    { Proto.h_req_id = 0xFFFF_FFF; h_deadline_ns = infinity }
+    (Proto.Put (key 9, Bytes.create 8))
+
+(* ----------------------------- node-side dedup ---------------------------- *)
+
+let test_node_req_id_dedup () =
+  let spec = Harness.Stores.chameleon ~name:"dedup" tiny in
+  let n = Node.create ~id:0 (spec.Harness.Stores.make ()) in
+  let c = Node.rx n in
+  Alcotest.(check bool) "first delivery applies" true
+    (Node.apply ~req_id:7 n c ~stamp:1 (key 1) (Node.Put 8));
+  Alcotest.(check bool) "replayed req id is skipped" false
+    (Node.apply ~req_id:7 n c ~stamp:1 (key 1) (Node.Put 8));
+  (* same req id even with a different (higher) stamp: still a replay *)
+  Alcotest.(check bool) "req id wins over stamp" false
+    (Node.apply ~req_id:7 n c ~stamp:9 (key 1) (Node.Put 8));
+  Alcotest.(check int) "dedup hits counted" 2 (Node.dedup_hits n);
+  Alcotest.(check (option int)) "version unchanged by replays" (Some 1)
+    (Node.version n (key 1));
+  (* a fresh id with a stale stamp falls to the durable stamp guard *)
+  Alcotest.(check bool) "stale stamp skipped" false
+    (Node.apply ~req_id:8 n c ~stamp:1 (key 1) (Node.Put 8));
+  Alcotest.(check bool) "fresh id, fresh stamp applies" true
+    (Node.apply ~req_id:9 n c ~stamp:2 (key 1) (Node.Put 8))
+
+(* --------------------------- retry idempotence ---------------------------- *)
+
+(* A write acked after k retries, with frames dropped and duplicated on
+   every link, applies exactly once on every owner: the owners agree on
+   the acked stamp, replayed deliveries land in the dedup table, and the
+   whole schedule is deterministic per seed. *)
+let retry_run seed =
+  let nm = Netem.create ~seed () in
+  Netem.add_rule nm (Netem.Loss 0.25);
+  Netem.add_rule nm (Netem.Duplicate 0.25);
+  Netem.add_rule nm (Netem.Reorder { frac = 0.1; extra_ns = 20_000.0 });
+  let ring, nodes, router =
+    mk_cluster ~policy:Router.defensive ~netem:nm ~seed ~n:3 ~replicas:2
+      ~wq:2 ~rq:1 ()
+  in
+  let acked = ref [] in
+  let at = ref 0.0 in
+  for i = 0 to 299 do
+    let o = Router.submit_write router ~at:!at ~bytes:26 (key i) (Node.Put 8) in
+    at := !at +. 5_000.0;
+    if o.Router.reply = Proto.Ok then acked := (i, o.Router.stamp) :: !acked
+  done;
+  (ring, nodes, router, List.rev !acked)
+
+let test_retry_idempotence () =
+  List.iter
+    (fun seed ->
+      let ring, nodes, router, acked = retry_run seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: most writes acked (%d/300)" seed
+           (List.length acked))
+        true
+        (List.length acked > 250);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: drops forced retries" seed)
+        true (Router.retries router > 0);
+      (* exactly-once on every owner: each acked key holds exactly its
+         acked stamp on all owners, despite duplicated and retried
+         deliveries of the same frame *)
+      List.iter
+        (fun (i, stamp) ->
+          List.iter
+            (fun nid ->
+              Alcotest.(check (option int))
+                (Printf.sprintf "seed %d: key %d owner %d at acked stamp"
+                   seed i nid)
+                (Some stamp)
+                (Node.version nodes.(nid) (key i)))
+            (Ring.owners_of_key ring (key i)))
+        acked;
+      let dedup =
+        Array.fold_left (fun acc n -> acc + Node.dedup_hits n) 0 nodes
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: replays hit the dedup table (%d)" seed dedup)
+        true (dedup > 0);
+      (* deterministic: the same seed replays the same schedule *)
+      let _, nodes', router', acked' = retry_run seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: acked set replays identically" seed)
+        true
+        (acked = acked');
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: retry count replays identically" seed)
+        (Router.retries router)
+        (Router.retries router');
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: dedup hits replay identically" seed)
+        dedup
+        (Array.fold_left (fun acc n -> acc + Node.dedup_hits n) 0 nodes'))
+    [ 1; 11; 101 ]
+
+(* --------------------------- hedging / detector --------------------------- *)
+
+(* find a key whose owner preference order starts at [first] *)
+let key_led_by ring ~first ~n_owners =
+  let rec go i =
+    if i > 100_000 then Alcotest.fail "no key led by wanted owner"
+    else
+      match Ring.owners_of_key ring (key i) with
+      | o :: _ as owners when o = first && List.length owners = n_owners ->
+          (key i, owners)
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let test_hedged_read_beats_fail_slow () =
+  let ring, _, router =
+    mk_cluster ~policy:Router.defensive ~n:3 ~replicas:2 ~wq:2 ~rq:1 ()
+  in
+  let slow = 1 in
+  let k, _ = key_led_by ring ~first:slow ~n_owners:2 in
+  (* seed the value over a clean network so the detector stays calm *)
+  let o = Router.submit_write router ~at:0.0 ~bytes:26 k (Node.Put 8) in
+  Alcotest.(check bool) "write acked" true (o.Router.reply = Proto.Ok);
+  let nm = Netem.create ~seed:5 () in
+  Netem.add_rule nm (Netem.Fail_slow { node = slow; factor = 50.0 });
+  Router.set_netem router (Some nm);
+  let r = Router.submit_read router ~at:(o.Router.finish +. 10_000.0) ~bytes:14 k in
+  (match r.Router.reply with
+  | Proto.Value _ | Proto.Hit _ -> ()
+  | rep ->
+      Format.kasprintf (fun s -> Alcotest.fail s) "read failed: %a"
+        Proto.pp_reply rep);
+  Alcotest.(check bool) "slow primary triggered a hedge" true
+    (Router.hedges router >= 1);
+  Alcotest.(check bool) "the spare replica won" true
+    (Router.hedge_wins router >= 1);
+  Alcotest.(check int) "the answer is quorum-fresh" o.Router.stamp
+    r.Router.stamp
+
+let test_detector_accrual () =
+  let d = Detector.create ~n:2 () in
+  Alcotest.(check bool) "starts unsuspected" false (Detector.suspected d ~node:0);
+  for _ = 1 to 3 do
+    Detector.observe_timeout d ~node:0
+  done;
+  Alcotest.(check bool) "timeouts accrue to suspicion" true
+    (Detector.suspected d ~node:0);
+  Alcotest.(check bool) "the other node is untouched" false
+    (Detector.suspected d ~node:1);
+  Alcotest.(check bool) "crossings counted" true (Detector.suspicions d >= 1);
+  for _ = 1 to 8 do
+    Detector.observe_ack d ~node:0 ~rtt_ns:5_000.0
+  done;
+  Alcotest.(check bool) "acks decay the score" false
+    (Detector.suspected d ~node:0);
+  Detector.observe_timeout d ~node:1;
+  Detector.clear d ~node:1;
+  Alcotest.(check (float 0.0)) "clear resets the score" 0.0
+    (Detector.score d ~node:1)
+
+let test_route_around_partitioned_owner () =
+  let nm = Netem.create ~seed:9 () in
+  let ring, _, router =
+    mk_cluster ~policy:Router.defensive ~netem:nm ~seed:9 ~n:3 ~replicas:2
+      ~wq:2 ~rq:1 ()
+  in
+  let cut = 0 in
+  let k, _ = key_led_by ring ~first:cut ~n_owners:2 in
+  let o = Router.submit_write router ~at:0.0 ~bytes:26 k (Node.Put 8) in
+  Alcotest.(check bool) "write acked" true (o.Router.reply = Proto.Ok);
+  (* cut the client off from the preferred owner: probes to it time out,
+     the hedge answers from the spare, and the accrued suspicion makes
+     later reads route around the cut owner up front *)
+  Netem.add_rule nm ~from_ns:(o.Router.finish +. 1.0)
+    (Netem.Partition
+       { a = [ Netem.Client ]; b = [ Netem.Node cut ]; symmetric = true });
+  let at = ref (o.Router.finish +. 10_000.0) in
+  for i = 1 to 8 do
+    let r = Router.submit_read router ~at:!at ~bytes:14 k in
+    at := !at +. 5_000_000.0;
+    match r.Router.reply with
+    | Proto.Value _ | Proto.Hit _ -> ()
+    | rep ->
+        Format.kasprintf
+          (fun s -> Alcotest.fail s)
+          "read %d failed: %a" i Proto.pp_reply rep
+  done;
+  Alcotest.(check bool) "cut owner is suspected" true
+    (Detector.suspected (Router.detector router) ~node:cut);
+  Alcotest.(check bool) "reads routed around it" true
+    (Router.routed_around router >= 1);
+  Alcotest.(check int) "no read went unavailable" 0 (Router.unavailable router)
+
+(* ----------------------------- catch-up donors ---------------------------- *)
+
+let test_catchup_survives_donor_crash () =
+  let ring, nodes, router = mk_cluster ~n:4 ~replicas:3 ~wq:2 ~rq:1 () in
+  let joiner = 3 in
+  let acked : (Kv_common.Types.key, int) Hashtbl.t = Hashtbl.create 512 in
+  let at = ref 0.0 in
+  let write i =
+    let o = Router.submit_write router ~at:!at ~bytes:26 (key i) (Node.Put 8) in
+    at := max (!at +. 2_000.0) o.Router.finish;
+    Alcotest.(check bool) "write acked" true (o.Router.reply = Proto.Ok);
+    Hashtbl.replace acked (key i) o.Router.stamp
+  in
+  for i = 0 to 299 do
+    write i
+  done;
+  Membership.kill ~seed:42 router joiner;
+  (* the delta the joiner must recover, acked by the surviving quorum *)
+  for i = 0 to 299 do
+    write i
+  done;
+  let cu = Membership.start_rejoin router ~now:!at joiner in
+  let now = ref (!at +. 50_000.0) in
+  Alcotest.(check bool) "first chunk streams" false
+    (Membership.step router cu ~now:!now ~chunk:8);
+  (* crash the donor mid-stream: peers are drained in id order, so the
+     cursor is inside node 0's log *)
+  Membership.kill ~seed:43 router 0;
+  let steps = ref 0 in
+  while
+    now := !now +. 50_000.0;
+    incr steps;
+    if !steps > 10_000 then Alcotest.fail "catch-up never finished";
+    not (Membership.step router cu ~now:!now ~chunk:64)
+  do
+    ()
+  done;
+  Alcotest.(check bool) "the crashed donor was abandoned" true
+    (Membership.switches cu >= 1);
+  Alcotest.(check bool) "joiner is readable again" true
+    (Node.status nodes.(joiner) = Node.Up);
+  (* no acked write the joiner owns was lost to the donor crash *)
+  Hashtbl.iter
+    (fun k stamp ->
+      if List.mem joiner (Ring.owners_of_key ring k) then
+        match Node.version nodes.(joiner) k with
+        | Some v when v >= stamp -> ()
+        | v ->
+            Alcotest.failf "key %Ld: acked stamp %d, joiner has %s" k stamp
+              (match v with Some v -> string_of_int v | None -> "nothing"))
+    acked
+
+let test_catchup_waits_out_partition () =
+  let nm = Netem.create ~seed:4 () in
+  let ring, nodes, router =
+    mk_cluster ~netem:nm ~n:3 ~replicas:2 ~wq:2 ~rq:1 ()
+  in
+  let joiner = 2 in
+  let acked : (Kv_common.Types.key, int) Hashtbl.t = Hashtbl.create 512 in
+  let at = ref 0.0 in
+  for i = 0 to 199 do
+    let o = Router.submit_write router ~at:!at ~bytes:26 (key i) (Node.Put 8) in
+    at := max (!at +. 2_000.0) o.Router.finish;
+    Alcotest.(check bool) "write acked" true (o.Router.reply = Proto.Ok);
+    Hashtbl.replace acked (key i) o.Router.stamp
+  done;
+  Membership.kill ~seed:44 router joiner;
+  let cu = Membership.start_rejoin router ~now:!at joiner in
+  (* both donors partitioned from the joiner: catch-up must stall, not
+     finish with a gap *)
+  let heal = !at +. 10_000_000.0 in
+  Netem.add_rule nm ~until_ns:heal
+    (Netem.Partition
+       { a = [ Netem.Node 0; Netem.Node 1 ];
+         b = [ Netem.Node joiner ];
+         symmetric = true });
+  let now = ref (!at +. 1.0) in
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "stalled behind the partition" false
+      (Membership.step router cu ~now:!now ~chunk:64);
+    now := !now +. 100_000.0
+  done;
+  Alcotest.(check bool) "stalls counted" true (Membership.stalls cu >= 5);
+  Alcotest.(check bool) "still syncing" true
+    (Node.status nodes.(joiner) = Node.Syncing);
+  (* heal: catch-up resumes and completes *)
+  now := heal +. 1.0;
+  let steps = ref 0 in
+  while
+    incr steps;
+    if !steps > 10_000 then Alcotest.fail "catch-up never finished";
+    let fin = Membership.step router cu ~now:!now ~chunk:64 in
+    now := !now +. 50_000.0;
+    not fin
+  do
+    ()
+  done;
+  Alcotest.(check bool) "joiner is readable after the heal" true
+    (Node.status nodes.(joiner) = Node.Up);
+  Hashtbl.iter
+    (fun k stamp ->
+      if List.mem joiner (Ring.owners_of_key ring k) then
+        match Node.version nodes.(joiner) k with
+        | Some v when v >= stamp -> ()
+        | _ -> Alcotest.failf "key %Ld: acked stamp %d missing after heal" k stamp)
+    acked
+
+let test_catchup_switches_to_reachable_donor () =
+  let nm = Netem.create ~seed:6 () in
+  let _, nodes, router = mk_cluster ~netem:nm ~n:3 ~replicas:2 ~wq:2 ~rq:1 () in
+  let joiner = 2 in
+  let at = ref 0.0 in
+  for i = 0 to 199 do
+    let o = Router.submit_write router ~at:!at ~bytes:26 (key i) (Node.Put 8) in
+    at := max (!at +. 2_000.0) o.Router.finish
+  done;
+  Membership.kill ~seed:45 router joiner;
+  let cu = Membership.start_rejoin router ~now:!at joiner in
+  (* stream a first chunk from donor 0, then cut only that link for a
+     while: the catch-up must swap to donor 1 and keep streaming, come
+     back for the rest of donor 0 after the heal, and never declare the
+     joiner readable with donor 0 undrained *)
+  let now = ref (!at +. 1.0) in
+  Alcotest.(check bool) "first chunk streams" false
+    (Membership.step router cu ~now:!now ~chunk:8);
+  let heal = !now +. 5_000_000.0 in
+  Netem.add_rule nm ~from_ns:!now ~until_ns:heal
+    (Netem.Partition
+       { a = [ Netem.Node 0 ]; b = [ Netem.Node joiner ]; symmetric = true });
+  let steps = ref 0 in
+  while
+    now := !now +. 50_000.0;
+    incr steps;
+    if !steps > 10_000 then Alcotest.fail "catch-up never finished";
+    not (Membership.step router cu ~now:!now ~chunk:64)
+  do
+    ()
+  done;
+  Alcotest.(check bool) "partitioned donor was abandoned" true
+    (Membership.switches cu >= 1);
+  Alcotest.(check bool)
+    "donor 1 drained during the cut, then waited for the heal" true
+    (Membership.stalls cu >= 1);
+  Alcotest.(check bool) "finished only after the heal" true (!now >= heal);
+  Alcotest.(check bool) "joiner is readable again" true
+    (Node.status nodes.(joiner) = Node.Up)
+
+(* ------------------------------ history audit ----------------------------- *)
+
+let w ~at ~fin ~stamp ~acked k =
+  Run.H_write { hw_at = at; hw_fin = fin; hw_key = k; hw_stamp = stamp;
+                hw_acked = acked }
+
+let r ~at ~fin ~stamp ~ok k =
+  Run.H_read { hr_at = at; hr_fin = fin; hr_key = k; hr_stamp = stamp;
+               hr_ok = ok }
+
+let test_history_check_clean () =
+  let k = key 1 in
+  let checked, violations =
+    Run.history_check
+      [ w ~at:0.0 ~fin:10.0 ~stamp:1 ~acked:true k;
+        r ~at:20.0 ~fin:25.0 ~stamp:1 ~ok:true k ]
+  in
+  Alcotest.(check int) "one read checked" 1 checked;
+  Alcotest.(check (list string)) "clean" [] violations;
+  (* a read overlapping a write may legally see either version *)
+  let overlapping stamp =
+    Run.history_check
+      [ w ~at:0.0 ~fin:10.0 ~stamp:1 ~acked:true k;
+        w ~at:20.0 ~fin:30.0 ~stamp:2 ~acked:true k;
+        r ~at:25.0 ~fin:26.0 ~stamp ~ok:true k ]
+  in
+  Alcotest.(check (list string)) "overlap: old version legal" []
+    (snd (overlapping 1));
+  Alcotest.(check (list string)) "overlap: new version legal" []
+    (snd (overlapping 2));
+  (* failed reads and unacked writes constrain nothing *)
+  let checked, violations =
+    Run.history_check
+      [ w ~at:0.0 ~fin:10.0 ~stamp:1 ~acked:false k;
+        r ~at:20.0 ~fin:25.0 ~stamp:(-1) ~ok:false k ]
+  in
+  Alcotest.(check int) "err read not checked" 0 checked;
+  Alcotest.(check (list string)) "err read not flagged" [] violations
+
+let test_history_check_flags_stale_and_phantom () =
+  let k = key 2 in
+  (* stale: the read started after stamp 2 was acked, yet answered 1 *)
+  let _, stale =
+    Run.history_check
+      [ w ~at:0.0 ~fin:10.0 ~stamp:1 ~acked:true k;
+        w ~at:12.0 ~fin:20.0 ~stamp:2 ~acked:true k;
+        r ~at:30.0 ~fin:35.0 ~stamp:1 ~ok:true k ]
+  in
+  Alcotest.(check int) "stale read flagged" 1 (List.length stale);
+  (* phantom: no issued write ever carried stamp 5 *)
+  let _, phantom =
+    Run.history_check
+      [ w ~at:0.0 ~fin:10.0 ~stamp:1 ~acked:true k;
+        r ~at:20.0 ~fin:25.0 ~stamp:5 ~ok:true k ]
+  in
+  Alcotest.(check int) "phantom version flagged" 1 (List.length phantom);
+  (* acked stamps must be monotone per key *)
+  let _, mono =
+    Run.history_check
+      [ w ~at:0.0 ~fin:10.0 ~stamp:2 ~acked:true k;
+        w ~at:12.0 ~fin:20.0 ~stamp:1 ~acked:true k ]
+  in
+  Alcotest.(check int) "non-monotone ack flagged" 1 (List.length mono)
+
+(* ------------------------------- end to end ------------------------------- *)
+
+let test_chaos_cell_end_to_end () =
+  let cell =
+    Harness.Cluster_bench.chaos_cell ~seed:1 ~loss:0.005
+      ~partition:Harness.Cluster_bench.P_asym ~hedge:true tiny
+  in
+  Alcotest.(check bool) "issued a real workload" true (cell.cc_issued > 1000);
+  Alcotest.(check bool) "mostly available" true (cell.cc_availability > 0.5);
+  Alcotest.(check bool) "history audit ran" true (cell.cc_reads_checked > 0);
+  Alcotest.(check (list string)) "no stale or phantom reads" []
+    cell.cc_violations;
+  Alcotest.(check int) "no acked write lost" 0
+    (List.length cell.cc_mismatches);
+  Alcotest.(check bool) "cell is clean" true
+    (Harness.Cluster_bench.cell_clean cell)
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "netem",
+        [ Alcotest.test_case "deterministic seeded loss" `Quick
+            test_netem_deterministic_loss;
+          Alcotest.test_case "duplicate and reorder shapes" `Quick
+            test_netem_duplicate_reorder;
+          Alcotest.test_case "partition direction and windows" `Quick
+            test_netem_partition_direction;
+          Alcotest.test_case "fail-slow factor" `Quick test_netem_fail_slow ] );
+      ( "rpc",
+        [ Alcotest.test_case "tagged frame roundtrip" `Quick
+            test_proto_tagged_roundtrip;
+          Alcotest.test_case "node request-id dedup" `Quick
+            test_node_req_id_dedup;
+          Alcotest.test_case "retry idempotence at seeds 1/11/101" `Quick
+            test_retry_idempotence;
+          Alcotest.test_case "hedged read beats a fail-slow primary" `Quick
+            test_hedged_read_beats_fail_slow;
+          Alcotest.test_case "detector accrual and decay" `Quick
+            test_detector_accrual;
+          Alcotest.test_case "route around a partitioned owner" `Quick
+            test_route_around_partitioned_owner ] );
+      ( "catchup",
+        [ Alcotest.test_case "survives a donor crash" `Quick
+            test_catchup_survives_donor_crash;
+          Alcotest.test_case "waits out a full partition" `Quick
+            test_catchup_waits_out_partition;
+          Alcotest.test_case "switches to a reachable donor" `Quick
+            test_catchup_switches_to_reachable_donor ] );
+      ( "audit",
+        [ Alcotest.test_case "clean histories pass" `Quick
+            test_history_check_clean;
+          Alcotest.test_case "stale and phantom reads flagged" `Quick
+            test_history_check_flags_stale_and_phantom;
+          Alcotest.test_case "chaos cell end to end" `Quick
+            test_chaos_cell_end_to_end ] ) ]

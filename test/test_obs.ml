@@ -297,11 +297,12 @@ let reconciles_with_latency ~cache_bytes () =
   else
     Alcotest.(check (float 0.0)) "no cache, no cache time" 0.0 cache_ns;
   (* the table renders without blowing up and names every get/put stage
-     (svc-* stages belong to the serving layer, which has its own runs) *)
+     (svc-* and rpc-* stages belong to the serving and cluster layers,
+     which have their own runs) *)
   let table = Harness.Runner.attribution_table ~name:"ChameleonDB" r in
   List.iter
     (fun stage ->
-      if Attribution.op_of stage <> `Svc then
+      if not (List.mem (Attribution.op_of stage) [ `Svc; `Rpc ]) then
         Alcotest.(check bool)
           (Attribution.name stage ^ " in table")
           true

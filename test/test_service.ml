@@ -60,7 +60,7 @@ let test_roundtrip () =
         Alcotest.(check bool)
           (Format.asprintf "roundtrip %a"
              (fun ppf -> function
-               | Proto.Request r -> Proto.pp_req ppf r
+               | Proto.Request r | Proto.Tagged (_, r) -> Proto.pp_req ppf r
                | Proto.Reply r -> Proto.pp_reply ppf r)
              msg)
           true (got = msg)
@@ -605,7 +605,8 @@ let test_endpoint_batch_and_malformed_inner () =
   let rec read_reply () =
     match Proto.next d with
     | `Msg (Proto.Reply r) -> r
-    | `Msg (Proto.Request _) -> Alcotest.fail "server sent a request"
+    | `Msg (Proto.Request _ | Proto.Tagged _) ->
+      Alcotest.fail "server sent a request"
     | `Corrupt m -> Alcotest.fail ("client decoder corrupt: " ^ m)
     | `Await ->
       let n = Unix.read fd buf 0 (Bytes.length buf) in
